@@ -1,0 +1,401 @@
+//! Aggregate functions and the group-by executor.
+
+use crate::column::Column;
+use crate::error::AggError;
+use crate::hll::HyperLogLog;
+use crate::quantile::median_exact;
+use crate::table::Table;
+use crate::value::Value;
+
+/// The aggregate functions supported by [`Table::group_by`].
+///
+/// These are exactly the DuckDB functions the paper's CTE invokes
+/// (§3.2 "Statistics Computations"), plus the standard complements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// `count(*)` — number of rows in the group (column ignored).
+    Count,
+    /// `count(col)` — number of non-null rows.
+    CountNonNull,
+    /// `approx_count_distinct(col)` — HyperLogLog distinct estimate.
+    CountDistinctApprox,
+    /// Exact distinct count (hash set); the accuracy reference for the
+    /// HLL ablation.
+    CountDistinctExact,
+    /// `median(col)` — exact median of numeric values.
+    Median,
+    /// `avg(col)`.
+    Mean,
+    /// `min(col)`.
+    Min,
+    /// `max(col)`.
+    Max,
+    /// `sum(col)`.
+    Sum,
+    /// First non-null value in group order.
+    First,
+    /// Last non-null value in group order.
+    Last,
+}
+
+/// A named aggregate over an input column.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Input column name (ignored for [`Agg::Count`]).
+    pub column: String,
+    /// Aggregate function.
+    pub func: Agg,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// Creates an aggregate spec.
+    pub fn new(column: impl Into<String>, func: Agg, alias: impl Into<String>) -> Self {
+        Self {
+            column: column.into(),
+            func,
+            alias: alias.into(),
+        }
+    }
+}
+
+/// Per-group accumulator.
+enum Acc {
+    Count(u64),
+    Hll(HyperLogLog),
+    Exact(crate::fxhash::FxHashSet<Value>),
+    Values(Vec<f64>),
+    Mean { sum: f64, n: u64 },
+    MinMax { best: Option<f64>, is_min: bool },
+    Sum(f64),
+    FirstLast { value: Option<Value>, keep_first: bool },
+}
+
+impl Acc {
+    fn new(func: Agg) -> Self {
+        match func {
+            Agg::Count | Agg::CountNonNull => Acc::Count(0),
+            Agg::CountDistinctApprox => Acc::Hll(HyperLogLog::default_precision()),
+            Agg::CountDistinctExact => Acc::Exact(Default::default()),
+            Agg::Median => Acc::Values(Vec::new()),
+            Agg::Mean => Acc::Mean { sum: 0.0, n: 0 },
+            Agg::Min => Acc::MinMax { best: None, is_min: true },
+            Agg::Max => Acc::MinMax { best: None, is_min: false },
+            Agg::Sum => Acc::Sum(0.0),
+            Agg::First => Acc::FirstLast { value: None, keep_first: true },
+            Agg::Last => Acc::FirstLast { value: None, keep_first: false },
+        }
+    }
+
+    fn update(&mut self, func: Agg, col: &Column, row: usize) {
+        let valid = col.is_valid(row);
+        match self {
+            Acc::Count(n) => {
+                if func == Agg::Count || valid {
+                    *n += 1;
+                }
+            }
+            Acc::Hll(h) => {
+                if valid {
+                    h.insert_value(&col.value(row));
+                }
+            }
+            Acc::Exact(set) => {
+                if valid {
+                    set.insert(col.value(row));
+                }
+            }
+            Acc::Values(v) => {
+                if valid {
+                    if let Some(x) = col.value(row).as_f64() {
+                        v.push(x);
+                    }
+                }
+            }
+            Acc::Mean { sum, n } => {
+                if valid {
+                    if let Some(x) = col.value(row).as_f64() {
+                        *sum += x;
+                        *n += 1;
+                    }
+                }
+            }
+            Acc::MinMax { best, is_min } => {
+                if valid {
+                    if let Some(x) = col.value(row).as_f64() {
+                        *best = Some(match *best {
+                            None => x,
+                            Some(b) if *is_min => b.min(x),
+                            Some(b) => b.max(x),
+                        });
+                    }
+                }
+            }
+            Acc::Sum(sum) => {
+                if valid {
+                    if let Some(x) = col.value(row).as_f64() {
+                        *sum += x;
+                    }
+                }
+            }
+            Acc::FirstLast { value, keep_first } => {
+                if valid && (!*keep_first || value.is_none()) {
+                    *value = Some(col.value(row));
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::UInt(n),
+            Acc::Hll(h) => Value::UInt(h.count()),
+            Acc::Exact(set) => Value::UInt(set.len() as u64),
+            Acc::Values(mut v) => median_exact(&mut v).map_or(Value::Null, Value::Float),
+            Acc::Mean { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Acc::MinMax { best, .. } => best.map_or(Value::Null, Value::Float),
+            Acc::Sum(s) => Value::Float(s),
+            Acc::FirstLast { value, .. } => value.unwrap_or(Value::Null),
+        }
+    }
+}
+
+impl Table {
+    /// SQL-style `GROUP BY`: groups rows by `keys` and evaluates `aggs`
+    /// within each group. The output table has the key columns followed by
+    /// one column per aggregate, with groups in first-appearance order.
+    pub fn group_by(&self, keys: &[&str], aggs: &[AggSpec]) -> Result<Table, AggError> {
+        // Validate aggregate input columns up front.
+        for spec in aggs {
+            if spec.func != Agg::Count {
+                self.column_by_name(&spec.column)?;
+            }
+        }
+        let (key_table, groups) = self.group_rows(keys)?;
+
+        let agg_cols: Vec<Option<&Column>> = aggs
+            .iter()
+            .map(|spec| {
+                if spec.func == Agg::Count {
+                    None
+                } else {
+                    Some(self.column_by_name(&spec.column).expect("validated"))
+                }
+            })
+            .collect();
+
+        // One accumulator per (group, aggregate).
+        let mut out_values: Vec<Vec<Value>> = vec![Vec::with_capacity(groups.len()); aggs.len()];
+        for rows in &groups {
+            for (ai, spec) in aggs.iter().enumerate() {
+                let mut acc = Acc::new(spec.func);
+                // `Count` has no input column; reuse the first key column
+                // for row iteration bounds only.
+                match agg_cols[ai] {
+                    Some(col) => {
+                        for &row in rows {
+                            acc.update(spec.func, col, row);
+                        }
+                    }
+                    None => {
+                        if let Acc::Count(n) = &mut acc {
+                            *n = rows.len() as u64;
+                        }
+                    }
+                }
+                out_values[ai].push(acc.finish());
+            }
+        }
+
+        // Assemble: key columns + aggregate columns.
+        let mut result = key_table;
+        for (ai, spec) in aggs.iter().enumerate() {
+            let values = std::mem::take(&mut out_values[ai]);
+            let col = column_from_values(values);
+            result = result.with_column(&spec.alias, col)?;
+        }
+        Ok(result)
+    }
+}
+
+/// Infers a column type from dynamic values (first non-null wins).
+fn column_from_values(values: Vec<Value>) -> Column {
+    use crate::value::DataType;
+    let dtype = values
+        .iter()
+        .find_map(|v| match v {
+            Value::Int(_) => Some(DataType::Int64),
+            Value::UInt(_) => Some(DataType::UInt64),
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Str(_) => Some(DataType::Utf8),
+            Value::Null => None,
+        })
+        .unwrap_or(DataType::Float64);
+    let mut col = Column::new_empty(dtype);
+    for v in values {
+        col.push(v).expect("homogeneous aggregate output");
+    }
+    col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    /// AIS-like test table: cell, vessel, trip, lon, sog.
+    fn ais_table() -> Table {
+        Table::from_columns(vec![
+            ("cl", Column::from_u64(vec![1, 1, 1, 2, 2, 3])),
+            ("vessel", Column::from_u64(vec![10, 10, 11, 10, 12, 12])),
+            ("lon", Column::from_f64(vec![1.0, 2.0, 3.0, 10.0, 20.0, 5.0])),
+            (
+                "sog",
+                Column::from_f64(vec![9.0, 10.0, 11.0, 8.0, 8.5, 0.1]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn count_star_per_group() {
+        let t = ais_table();
+        let g = t
+            .group_by(&["cl"], &[AggSpec::new("", Agg::Count, "cnt")])
+            .unwrap();
+        assert_eq!(g.num_rows(), 3);
+        let cnt = g.column_by_name("cnt").unwrap().u64_values().unwrap().to_vec();
+        assert_eq!(cnt, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn median_per_group_matches_paper_semantics() {
+        let t = ais_table();
+        let g = t
+            .group_by(&["cl"], &[AggSpec::new("lon", Agg::Median, "median_lon")])
+            .unwrap();
+        let med = g.column_by_name("median_lon").unwrap().f64_values().unwrap().to_vec();
+        assert_eq!(med, vec![2.0, 15.0, 5.0]);
+    }
+
+    #[test]
+    fn approx_distinct_is_exact_at_small_cardinality() {
+        let t = ais_table();
+        let g = t
+            .group_by(
+                &["cl"],
+                &[
+                    AggSpec::new("vessel", Agg::CountDistinctApprox, "vessels"),
+                    AggSpec::new("vessel", Agg::CountDistinctExact, "vessels_exact"),
+                ],
+            )
+            .unwrap();
+        let approx = g.column_by_name("vessels").unwrap().u64_values().unwrap().to_vec();
+        let exact = g
+            .column_by_name("vessels_exact")
+            .unwrap()
+            .u64_values()
+            .unwrap()
+            .to_vec();
+        assert_eq!(approx, exact);
+        assert_eq!(exact, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn mean_min_max_sum() {
+        let t = ais_table();
+        let g = t
+            .group_by(
+                &["cl"],
+                &[
+                    AggSpec::new("sog", Agg::Mean, "mean"),
+                    AggSpec::new("sog", Agg::Min, "min"),
+                    AggSpec::new("sog", Agg::Max, "max"),
+                    AggSpec::new("sog", Agg::Sum, "sum"),
+                ],
+            )
+            .unwrap();
+        let mean = g.column_by_name("mean").unwrap().f64_values().unwrap();
+        let min = g.column_by_name("min").unwrap().f64_values().unwrap();
+        let max = g.column_by_name("max").unwrap().f64_values().unwrap();
+        let sum = g.column_by_name("sum").unwrap().f64_values().unwrap();
+        assert!((mean[0] - 10.0).abs() < 1e-12);
+        assert_eq!(min[1], 8.0);
+        assert_eq!(max[1], 8.5);
+        assert!((sum[2] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_last() {
+        let t = ais_table();
+        let g = t
+            .group_by(
+                &["cl"],
+                &[
+                    AggSpec::new("lon", Agg::First, "first"),
+                    AggSpec::new("lon", Agg::Last, "last"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(g.column_by_name("first").unwrap().value(0), Value::Float(1.0));
+        assert_eq!(g.column_by_name("last").unwrap().value(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn nulls_are_skipped_by_aggregates() {
+        let t = Table::from_columns(vec![
+            ("k", Column::from_u64(vec![1, 1, 1])),
+            ("v", Column::from_u64_opt(vec![Some(4), None, Some(6)])),
+        ])
+        .unwrap();
+        let g = t
+            .group_by(
+                &["k"],
+                &[
+                    AggSpec::new("v", Agg::CountNonNull, "nn"),
+                    AggSpec::new("v", Agg::Median, "med"),
+                    AggSpec::new("v", Agg::CountDistinctExact, "dist"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(g.column_by_name("nn").unwrap().value(0), Value::UInt(2));
+        assert_eq!(g.column_by_name("med").unwrap().value(0), Value::Float(5.0));
+        assert_eq!(g.column_by_name("dist").unwrap().value(0), Value::UInt(2));
+    }
+
+    #[test]
+    fn composite_key_group_by() {
+        // The paper's second grouping is by (lag_cl, cl).
+        let t = Table::from_columns(vec![
+            ("lag_cl", Column::from_u64_opt(vec![None, Some(1), Some(1), Some(2)])),
+            ("cl", Column::from_u64(vec![1, 2, 2, 3])),
+            ("trip", Column::from_u64(vec![100, 100, 101, 100])),
+        ])
+        .unwrap();
+        let g = t
+            .group_by(
+                &["lag_cl", "cl"],
+                &[AggSpec::new("trip", Agg::CountDistinctApprox, "transitions")],
+            )
+            .unwrap();
+        assert_eq!(g.num_rows(), 3);
+        // Group (1, 2) has trips {100, 101}.
+        assert_eq!(g.column_by_name("transitions").unwrap().value(1), Value::UInt(2));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = ais_table();
+        assert!(t
+            .group_by(&["cl"], &[AggSpec::new("nope", Agg::Median, "m")])
+            .is_err());
+        assert!(t.group_by(&["nope"], &[]).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Validity bitmap for nullable columns.
+
+/// A growable bitset tracking which rows of a column are valid (non-null).
+///
+/// Stored as packed `u64` words — 1 bit per row instead of the 1 byte a
+/// `Vec<bool>` would use (perf-book: shrink oft-instantiated types).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let word = if value { u64::MAX } else { 0 };
+        let mut bm = Self {
+            words: vec![word; nwords],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        let word_idx = self.len / 64;
+        if word_idx == self.words.len() {
+            self.words.push(0);
+        }
+        if value {
+            self.words[word_idx] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Reads bit `idx`.
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Sets bit `idx`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let mask = 1u64 << (idx % 64);
+        if value {
+            self.words[idx / 64] |= mask;
+        } else {
+            self.words[idx / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set() {
+        let mut b = Bitmap::new();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        b.set(1, true);
+        assert!(b.get(1));
+        b.set(0, false);
+        assert!(!b.get(0));
+    }
+
+    #[test]
+    fn filled_and_count() {
+        let t = Bitmap::filled(100, true);
+        assert_eq!(t.count_ones(), 100);
+        let f = Bitmap::filled(100, false);
+        assert_eq!(f.count_ones(), 0);
+        assert!(Bitmap::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Bitmap::filled(10, true).get(10);
+    }
+}

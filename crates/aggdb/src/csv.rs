@@ -1,0 +1,226 @@
+//! Buffered CSV import/export with type inference.
+//!
+//! Dataset files (Table 1's "Size (MB)" column) are exchanged as CSV,
+//! matching how the paper reads AIS extracts. Parsing is allocation-light:
+//! one reusable line buffer, `&str` splitting, no per-field `String`s
+//! except for actual string columns.
+
+use crate::column::Column;
+use crate::error::AggError;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a CSV with a header row, inferring each column as `Int64`,
+/// `Float64`, or `Utf8` from the first data row (integers that later meet
+/// floats are promoted; anything unparsable demotes to `Utf8` — inference
+/// scans the whole file first).
+pub fn read_csv<R: Read>(reader: R) -> Result<Table, AggError> {
+    let mut reader = BufReader::new(reader);
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(AggError::Csv {
+            line: 1,
+            message: "empty input".into(),
+        });
+    }
+    let names: Vec<String> = header.trim_end().split(',').map(|s| s.to_string()).collect();
+    let ncols = names.len();
+
+    // Pass 1: collect raw fields, infer types.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut kinds = vec![Kind::Int; ncols];
+    let mut line = String::new();
+    let mut line_no = 1usize;
+    loop {
+        line.clear();
+        line_no += 1;
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != ncols {
+            return Err(AggError::Csv {
+                line: line_no,
+                message: format!("expected {ncols} fields, found {}", fields.len()),
+            });
+        }
+        for (i, f) in fields.iter().enumerate() {
+            kinds[i] = kinds[i].meet(f);
+        }
+        rows.push(fields.iter().map(|s| s.to_string()).collect());
+    }
+
+    // Pass 2: build typed columns.
+    let mut columns: Vec<Column> = kinds
+        .iter()
+        .map(|k| Column::new_empty(k.dtype()))
+        .collect();
+    for (ri, fields) in rows.iter().enumerate() {
+        for (ci, field) in fields.iter().enumerate() {
+            let value = kinds[ci].parse(field).map_err(|message| AggError::Csv {
+                line: ri + 2,
+                message,
+            })?;
+            columns[ci].push(value).expect("inferred dtype");
+        }
+    }
+
+    let pairs: Vec<(&str, Column)> = names
+        .iter()
+        .map(|n| n.as_str())
+        .zip(columns)
+        .collect();
+    Table::from_columns(pairs)
+}
+
+/// Reads a CSV file from disk.
+pub fn read_csv_path(path: &Path) -> Result<Table, AggError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+/// Writes a table as CSV (header + rows).
+pub fn write_csv<W: Write>(table: &Table, writer: W) -> Result<(), AggError> {
+    let mut w = BufWriter::new(writer);
+    let names: Vec<&str> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    writeln!(w, "{}", names.join(","))?;
+    for row in 0..table.num_rows() {
+        for col in 0..table.num_columns() {
+            if col > 0 {
+                w.write_all(b",")?;
+            }
+            let v = table.column(col).value(row);
+            write!(w, "{v}")?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a table to a CSV file on disk.
+pub fn write_csv_path(table: &Table, path: &Path) -> Result<(), AggError> {
+    write_csv(table, std::fs::File::create(path)?)
+}
+
+/// Column type inference lattice: Int ⊑ Float ⊑ Str.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Int,
+    Float,
+    Str,
+}
+
+impl Kind {
+    fn meet(self, field: &str) -> Kind {
+        if field.is_empty() {
+            return self; // empty = null, does not constrain the type
+        }
+        match self {
+            Kind::Int => {
+                if field.parse::<i64>().is_ok() {
+                    Kind::Int
+                } else if field.parse::<f64>().is_ok() {
+                    Kind::Float
+                } else {
+                    Kind::Str
+                }
+            }
+            Kind::Float => {
+                if field.parse::<f64>().is_ok() {
+                    Kind::Float
+                } else {
+                    Kind::Str
+                }
+            }
+            Kind::Str => Kind::Str,
+        }
+    }
+
+    fn dtype(self) -> DataType {
+        match self {
+            Kind::Int => DataType::Int64,
+            Kind::Float => DataType::Float64,
+            Kind::Str => DataType::Utf8,
+        }
+    }
+
+    fn parse(self, field: &str) -> Result<Value, String> {
+        if field.is_empty() {
+            return Ok(Value::Null);
+        }
+        match self {
+            Kind::Int => field
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| format!("bad int '{field}': {e}")),
+            Kind::Float => field
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| format!("bad float '{field}': {e}")),
+            Kind::Str => Ok(Value::from(field)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let csv = "mmsi,lat,name\n123,55.5,alpha\n456,56.25,beta\n";
+        let t = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column_by_name("mmsi").unwrap().dtype(), DataType::Int64);
+        assert_eq!(t.column_by_name("lat").unwrap().dtype(), DataType::Float64);
+        assert_eq!(t.column_by_name("name").unwrap().dtype(), DataType::Utf8);
+
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), csv);
+    }
+
+    #[test]
+    fn type_promotion_int_to_float() {
+        let csv = "v\n1\n2.5\n3\n";
+        let t = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.column(0).dtype(), DataType::Float64);
+        assert_eq!(t.column(0).f64_values().unwrap(), &[1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn empty_fields_become_nulls() {
+        let csv = "a,b\n1,\n,2\n";
+        let t = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.column_by_name("a").unwrap().null_count(), 1);
+        assert_eq!(t.column_by_name("b").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let csv = "a,b\n1,2\n3\n";
+        match read_csv(csv.as_bytes()) {
+            Err(AggError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected csv error, got {other:?}"),
+        }
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn crlf_and_blank_lines() {
+        let csv = "a\r\n1\r\n\r\n2\r\n";
+        let t = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+}

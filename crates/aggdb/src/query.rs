@@ -1,0 +1,183 @@
+//! A small fluent query pipeline over [`Table`]s.
+//!
+//! Mirrors the shape of the paper's DuckDB CTE without a SQL parser:
+//! scan → filter → window lag → sort → group-by. Each stage materializes,
+//! which is fine at the data sizes HABIT processes in memory.
+
+use crate::agg::AggSpec;
+use crate::error::AggError;
+use crate::table::Table;
+use crate::value::Value;
+use crate::window::with_lag;
+
+/// A lazily-composed pipeline of table transformations.
+pub struct Query {
+    state: Result<Table, AggError>,
+}
+
+impl Query {
+    /// Starts a pipeline from a table (cloned; tables are columnar and
+    /// cheap to clone relative to pipeline cost).
+    pub fn scan(table: &Table) -> Self {
+        Self {
+            state: Ok(table.clone()),
+        }
+    }
+
+    /// Starts a pipeline that consumes a table.
+    pub fn from_table(table: Table) -> Self {
+        Self { state: Ok(table) }
+    }
+
+    /// Keeps rows where `pred` on column `name` returns true. Null values
+    /// are passed to the predicate as [`Value::Null`].
+    pub fn filter<F: Fn(&Value) -> bool>(self, name: &str, pred: F) -> Self {
+        let state = self.state.and_then(|t| {
+            let col_idx = t
+                .schema()
+                .index_of(name)
+                .ok_or_else(|| AggError::UnknownColumn(name.to_string()))?;
+            let col = t.column(col_idx);
+            let keep: Vec<usize> = (0..t.num_rows())
+                .filter(|&i| pred(&col.value(i)))
+                .collect();
+            Ok(t.take(&keep))
+        });
+        Self { state }
+    }
+
+    /// Appends a `lag` window column (see [`crate::window::lag_over`]).
+    pub fn lag(self, partition: &[&str], order: &str, value: &str, alias: &str) -> Self {
+        let state = self
+            .state
+            .and_then(|t| with_lag(t, partition, order, value, alias));
+        Self { state }
+    }
+
+    /// Sorts by a column (stable, nulls last).
+    pub fn sort_by(self, name: &str) -> Self {
+        let state = self.state.and_then(|t| t.sort_by(name));
+        Self { state }
+    }
+
+    /// Groups and aggregates (see [`Table::group_by`]).
+    pub fn group_by(self, keys: &[&str], aggs: &[AggSpec]) -> Self {
+        let state = self.state.and_then(|t| t.group_by(keys, aggs));
+        Self { state }
+    }
+
+    /// Appends a column computed from each row index of the current table.
+    pub fn map_column<F>(self, alias: &str, f: F) -> Self
+    where
+        F: Fn(&Table, usize) -> Value,
+    {
+        let state = self.state.and_then(|t| {
+            let values: Vec<Value> = (0..t.num_rows()).map(|i| f(&t, i)).collect();
+            let mut col = crate::column::Column::new_empty(infer_dtype(&values));
+            for v in values {
+                col.push(v)?;
+            }
+            t.with_column(alias, col)
+        });
+        Self { state }
+    }
+
+    /// Executes the pipeline, returning the final table.
+    pub fn run(self) -> Result<Table, AggError> {
+        self.state
+    }
+}
+
+fn infer_dtype(values: &[Value]) -> crate::value::DataType {
+    use crate::value::DataType;
+    values
+        .iter()
+        .find_map(|v| match v {
+            Value::Int(_) => Some(DataType::Int64),
+            Value::UInt(_) => Some(DataType::UInt64),
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Str(_) => Some(DataType::Utf8),
+            Value::Null => None,
+        })
+        .unwrap_or(crate::value::DataType::Float64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::Agg;
+    use crate::column::Column;
+
+    fn positions() -> Table {
+        Table::from_columns(vec![
+            ("trip", Column::from_u64(vec![1, 1, 1, 2, 2])),
+            ("ts", Column::from_i64(vec![0, 60, 120, 0, 60])),
+            ("cell", Column::from_u64(vec![100, 100, 101, 200, 201])),
+            ("sog", Column::from_f64(vec![12.0, 11.5, 0.3, 9.0, 9.1])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_mirrors_paper_cte() {
+        // Filter moving messages, lag the cell over each trip, group by
+        // transition, count distinct trips — the paper's edge list.
+        let edges = Query::scan(&positions())
+            .filter("sog", |v| v.as_f64().is_some_and(|s| s >= 0.5))
+            .lag(&["trip"], "ts", "cell", "lag_cell")
+            .group_by(
+                &["lag_cell", "cell"],
+                &[AggSpec::new("trip", Agg::CountDistinctExact, "trips")],
+            )
+            .run()
+            .unwrap();
+        // Groups: (Null,100) from row0, (100,100) from row1, (Null,200), (200,201).
+        // Row 2 was filtered out (sog 0.3), so cell 101 never appears.
+        assert_eq!(edges.num_rows(), 4);
+        let lag_col = edges.column_by_name("lag_cell").unwrap();
+        let cell_col = edges.column_by_name("cell").unwrap();
+        let mut found_transition = false;
+        for i in 0..edges.num_rows() {
+            if lag_col.value(i) == Value::UInt(200) && cell_col.value(i) == Value::UInt(201) {
+                found_transition = true;
+                assert_eq!(edges.column_by_name("trips").unwrap().value(i), Value::UInt(1));
+            }
+        }
+        assert!(found_transition);
+    }
+
+    #[test]
+    fn map_column_adds_derived_values() {
+        let t = Query::scan(&positions())
+            .map_column("sog_mps", |t, i| {
+                let sog = t.column_by_name("sog").unwrap().value(i);
+                sog.as_f64().map_or(Value::Null, |s| Value::Float(s * 0.514444))
+            })
+            .run()
+            .unwrap();
+        assert_eq!(t.num_columns(), 5);
+        let v = t.column_by_name("sog_mps").unwrap().f64_values().unwrap()[0];
+        assert!((v - 12.0 * 0.514444).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_propagates_through_pipeline() {
+        let r = Query::scan(&positions())
+            .filter("nope", |_| true)
+            .sort_by("ts")
+            .run();
+        assert!(matches!(r, Err(AggError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn sort_then_group_preserves_appearance_order() {
+        let g = Query::scan(&positions())
+            .sort_by("cell")
+            .group_by(&["trip"], &[AggSpec::new("", Agg::Count, "n")])
+            .run()
+            .unwrap();
+        assert_eq!(g.num_rows(), 2);
+        // After sorting by cell, trip 1 (cells 100/100/101) still appears first.
+        assert_eq!(g.column_by_name("trip").unwrap().value(0), Value::UInt(1));
+    }
+}

@@ -1,0 +1,376 @@
+//! Tables: named, typed columns of equal length.
+
+use crate::column::Column;
+use crate::error::AggError;
+use crate::fxhash::FxHashMap;
+use crate::value::{DataType, Value};
+
+/// A named, typed column declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Self { fields }
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of the field called `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// An in-memory columnar table.
+///
+/// This is the engine's unit of data exchange: the AIS preprocessing
+/// pipeline materializes trips into a `Table`, and HABIT's graph
+/// generation runs two [`Table::group_by`] passes over it, mirroring the
+/// paper's DuckDB CTE.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new_empty(f.dtype))
+            .collect();
+        Self {
+            schema,
+            columns,
+            nrows: 0,
+        }
+    }
+
+    /// Creates a table from parallel (name, column) pairs.
+    pub fn from_columns(pairs: Vec<(&str, Column)>) -> Result<Self, AggError> {
+        let mut fields = Vec::with_capacity(pairs.len());
+        let mut columns = Vec::with_capacity(pairs.len());
+        let mut nrows = None;
+        for (name, col) in pairs {
+            match nrows {
+                None => nrows = Some(col.len()),
+                Some(n) if n != col.len() => return Err(AggError::LengthMismatch),
+                _ => {}
+            }
+            fields.push(Field::new(name, col.dtype()));
+            columns.push(col);
+        }
+        Ok(Self {
+            schema: Schema::new(fields),
+            columns,
+            nrows: nrows.unwrap_or(0),
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, AggError> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| AggError::UnknownColumn(name.to_string()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Appends a row of dynamic values.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), AggError> {
+        if row.len() != self.columns.len() {
+            return Err(AggError::ArityMismatch {
+                expected: self.columns.len(),
+                actual: row.len(),
+            });
+        }
+        for (i, value) in row.into_iter().enumerate() {
+            self.columns[i].push(value).map_err(|e| match e {
+                AggError::TypeMismatch {
+                    expected, actual, ..
+                } => AggError::TypeMismatch {
+                    column: self.schema.fields()[i].name.clone(),
+                    expected,
+                    actual,
+                },
+                other => other,
+            })?;
+        }
+        self.nrows += 1;
+        Ok(())
+    }
+
+    /// Materializes row `idx` as dynamic values.
+    pub fn row(&self, idx: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(idx)).collect()
+    }
+
+    /// Adds a computed column. Its length must match the table.
+    pub fn with_column(mut self, name: &str, col: Column) -> Result<Self, AggError> {
+        if col.len() != self.nrows {
+            return Err(AggError::LengthMismatch);
+        }
+        self.schema = Schema::new(
+            self.schema
+                .fields()
+                .iter()
+                .cloned()
+                .chain(std::iter::once(Field::new(name, col.dtype())))
+                .collect(),
+        );
+        self.columns.push(col);
+        Ok(self)
+    }
+
+    /// Selects the rows at `indices` (in that order) into a new table.
+    pub fn take(&self, indices: &[usize]) -> Table {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            nrows: indices.len(),
+        }
+    }
+
+    /// Keeps the rows where `predicate` returns true.
+    pub fn filter<F: FnMut(usize) -> bool>(&self, mut predicate: F) -> Table {
+        let indices: Vec<usize> = (0..self.nrows).filter(|&i| predicate(i)).collect();
+        self.take(&indices)
+    }
+
+    /// Returns row indices sorted by the given column (nulls last).
+    pub fn sort_indices_by(&self, name: &str) -> Result<Vec<usize>, AggError> {
+        let col = self.column_by_name(name)?;
+        let mut idx: Vec<usize> = (0..self.nrows).collect();
+        // Sort on the dynamic values; stable so ties keep input order.
+        idx.sort_by(|&a, &b| {
+            let va = col.value(a);
+            let vb = col.value(b);
+            compare_values(&va, &vb)
+        });
+        Ok(idx)
+    }
+
+    /// Sorts the whole table by a column (stable, nulls last).
+    pub fn sort_by(&self, name: &str) -> Result<Table, AggError> {
+        Ok(self.take(&self.sort_indices_by(name)?))
+    }
+
+    /// Approximate in-memory size of the table in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+
+    /// Groups rows by the distinct combinations of `key` column values and
+    /// returns `(group keys table, row indices per group)`.
+    ///
+    /// Group order is first-appearance order, making results deterministic.
+    pub fn group_rows(&self, keys: &[&str]) -> Result<(Table, Vec<Vec<usize>>), AggError> {
+        let key_cols: Vec<&Column> = keys
+            .iter()
+            .map(|k| self.column_by_name(k))
+            .collect::<Result<_, _>>()?;
+
+        let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+        let mut group_rows: Vec<Vec<usize>> = Vec::new();
+        let mut key_order: Vec<Vec<Value>> = Vec::new();
+
+        for row in 0..self.nrows {
+            let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
+            match groups.get(&key) {
+                Some(&g) => group_rows[g].push(row),
+                None => {
+                    let g = group_rows.len();
+                    groups.insert(key.clone(), g);
+                    key_order.push(key);
+                    group_rows.push(vec![row]);
+                }
+            }
+        }
+
+        let key_fields: Vec<Field> = keys
+            .iter()
+            .zip(&key_cols)
+            .map(|(name, col)| Field::new(*name, col.dtype()))
+            .collect();
+        let mut key_table = Table::empty(Schema::new(key_fields));
+        for key in key_order {
+            key_table.push_row(key)?;
+        }
+        Ok((key_table, group_rows))
+    }
+}
+
+/// Total order over values: Null last, numerics by value, strings lexical.
+pub(crate) fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Null, _) => Ordering::Greater,
+        (_, Value::Null) => Ordering::Less,
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => {
+            let fa = a.as_f64().unwrap_or(f64::NAN);
+            let fb = b.as_f64().unwrap_or(f64::NAN);
+            fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_columns(vec![
+            ("trip", Column::from_u64(vec![1, 1, 2, 2, 2])),
+            ("ts", Column::from_i64(vec![10, 20, 5, 15, 25])),
+            ("sog", Column::from_f64(vec![9.0, 9.5, 0.2, 11.0, 12.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.column_by_name("ts").unwrap().i64_values().unwrap()[2], 5);
+        assert!(t.column_by_name("nope").is_err());
+        assert_eq!(t.row(0), vec![Value::UInt(1), Value::Int(10), Value::Float(9.0)]);
+    }
+
+    #[test]
+    fn mismatched_columns_rejected() {
+        let r = Table::from_columns(vec![
+            ("a", Column::from_i64(vec![1, 2])),
+            ("b", Column::from_i64(vec![1])),
+        ]);
+        assert!(matches!(r, Err(AggError::LengthMismatch)));
+    }
+
+    #[test]
+    fn push_row_arity_and_types() {
+        let mut t = sample();
+        assert!(t.push_row(vec![Value::UInt(3), Value::Int(1)]).is_err());
+        let err = t
+            .push_row(vec![Value::UInt(3), Value::from("x"), Value::Float(1.0)])
+            .unwrap_err();
+        match err {
+            AggError::TypeMismatch { column, .. } => assert_eq!(column, "ts"),
+            other => panic!("unexpected {other:?}"),
+        }
+        t.push_row(vec![Value::UInt(3), Value::Int(30), Value::Float(8.0)])
+            .unwrap();
+        assert_eq!(t.num_rows(), 6);
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let t = sample();
+        let fast = t.filter(|i| t.column(2).value(i).as_f64().unwrap() > 9.2);
+        assert_eq!(fast.num_rows(), 3);
+        let taken = t.take(&[4, 0]);
+        assert_eq!(taken.row(0)[1], Value::Int(25));
+        assert_eq!(taken.row(1)[1], Value::Int(10));
+    }
+
+    #[test]
+    fn sort_by_column() {
+        let t = sample();
+        let sorted = t.sort_by("ts").unwrap();
+        let ts = sorted.column_by_name("ts").unwrap().i64_values().unwrap().to_vec();
+        assert_eq!(ts, vec![5, 10, 15, 20, 25]);
+    }
+
+    #[test]
+    fn group_rows_by_single_key() {
+        let t = sample();
+        let (keys, groups) = t.group_rows(&["trip"]).unwrap();
+        assert_eq!(keys.num_rows(), 2);
+        assert_eq!(groups[0], vec![0, 1]);
+        assert_eq!(groups[1], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn group_rows_composite_key_with_nulls() {
+        let t = Table::from_columns(vec![
+            ("a", Column::from_u64_opt(vec![Some(1), None, Some(1), None])),
+            ("b", Column::from_u64(vec![7, 7, 7, 8])),
+        ])
+        .unwrap();
+        let (keys, groups) = t.group_rows(&["a", "b"]).unwrap();
+        assert_eq!(keys.num_rows(), 3, "(1,7), (null,7), (null,8)");
+        assert_eq!(groups[0], vec![0, 2]);
+        assert_eq!(groups[1], vec![1]);
+        assert_eq!(groups[2], vec![3]);
+    }
+
+    #[test]
+    fn with_column_validates_length() {
+        let t = sample();
+        assert!(t.clone().with_column("x", Column::from_i64(vec![1])).is_err());
+        let t2 = t.with_column("x", Column::from_i64(vec![0; 5])).unwrap();
+        assert_eq!(t2.num_columns(), 4);
+        assert_eq!(t2.schema().fields()[3].name, "x");
+    }
+}

@@ -1,0 +1,203 @@
+//! Scalar values and data types.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The data types a column can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (timestamps, counts).
+    Int64,
+    /// 64-bit unsigned integer (cell ids, trip ids, MMSI).
+    UInt64,
+    /// 64-bit float (coordinates, speeds).
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+}
+
+impl DataType {
+    /// Human-readable name, used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int64 => "Int64",
+            DataType::UInt64 => "UInt64",
+            DataType::Float64 => "Float64",
+            DataType::Utf8 => "Utf8",
+        }
+    }
+}
+
+/// A single scalar value, the dynamic counterpart of [`DataType`].
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float.
+    Float(f64),
+    /// String (cheaply cloneable).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extracts an `i64` if the value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::UInt(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `u64` if the value is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            Value::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `f64` from any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::UInt(a), Value::UInt(b)) => a == b,
+            // Floats compare by bit pattern so Value can key hash maps;
+            // group-by keys never contain NaN arithmetic results.
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(v) => {
+                state.write_u8(1);
+                state.write_i64(*v);
+            }
+            Value::UInt(v) => {
+                state.write_u8(2);
+                state.write_u64(*v);
+            }
+            Value::Float(v) => {
+                state.write_u8(3);
+                state.write_u64(v.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                state.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::UInt(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Int(-3).as_i64(), Some(-3));
+        assert_eq!(Value::UInt(7).as_i64(), Some(7));
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn equality_and_hashing_as_map_key() {
+        let mut m: HashMap<Value, u32> = HashMap::new();
+        m.insert(Value::UInt(5), 1);
+        m.insert(Value::from("abc"), 2);
+        m.insert(Value::Float(1.5), 3);
+        assert_eq!(m[&Value::UInt(5)], 1);
+        assert_eq!(m[&Value::from("abc")], 2);
+        assert_eq!(m[&Value::Float(1.5)], 3);
+        assert_ne!(Value::Int(5), Value::UInt(5), "typed equality");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+    }
+}

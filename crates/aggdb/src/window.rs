@@ -1,0 +1,113 @@
+//! Window functions: `lag` over partitions.
+//!
+//! The paper's CTE augments every AIS message with its previous H3 cell
+//! along the trip: `lag(cl) OVER (PARTITION BY trip_id ORDER BY ts)`.
+//! [`lag_over`] implements exactly that.
+
+use crate::column::Column;
+use crate::error::AggError;
+use crate::table::{compare_values, Table};
+use crate::value::Value;
+
+/// Computes `lag(value_col, 1) OVER (PARTITION BY partition_cols ORDER BY
+/// order_col)` and returns it as a new column aligned with the input rows.
+///
+/// The first row of each partition gets `Null`. Row order of the table is
+/// untouched; only the lag semantics follow the partition/order clause.
+pub fn lag_over(
+    table: &Table,
+    partition_cols: &[&str],
+    order_col: &str,
+    value_col: &str,
+) -> Result<Column, AggError> {
+    let value = table.column_by_name(value_col)?;
+    let order = table.column_by_name(order_col)?;
+    let (_, groups) = table.group_rows(partition_cols)?;
+
+    // For each partition, sort its rows by the order column, then assign
+    // each row the value of its predecessor.
+    let mut lagged: Vec<Value> = vec![Value::Null; table.num_rows()];
+    let mut rows_sorted: Vec<usize> = Vec::new();
+    for rows in &groups {
+        rows_sorted.clear();
+        rows_sorted.extend_from_slice(rows);
+        rows_sorted.sort_by(|&a, &b| compare_values(&order.value(a), &order.value(b)));
+        for w in rows_sorted.windows(2) {
+            lagged[w[1]] = value.value(w[0]);
+        }
+    }
+
+    let mut col = Column::new_empty(value.dtype());
+    for v in lagged {
+        col.push(v).expect("lag preserves the source dtype");
+    }
+    Ok(col)
+}
+
+/// Convenience: appends the lag column to the table under `alias`.
+pub fn with_lag(
+    table: Table,
+    partition_cols: &[&str],
+    order_col: &str,
+    value_col: &str,
+    alias: &str,
+) -> Result<Table, AggError> {
+    let col = lag_over(&table, partition_cols, order_col, value_col)?;
+    table.with_column(alias, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn trips() -> Table {
+        // Two trips with interleaved, unordered rows.
+        Table::from_columns(vec![
+            ("trip", Column::from_u64(vec![1, 2, 1, 2, 1])),
+            ("ts", Column::from_i64(vec![10, 100, 30, 110, 20])),
+            ("cl", Column::from_u64(vec![7, 40, 9, 41, 8])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lag_follows_partition_and_order() {
+        let t = trips();
+        let lag = lag_over(&t, &["trip"], "ts", "cl").unwrap();
+        // trip 1 ordered by ts: rows 0(ts10,cl7) -> 4(ts20,cl8) -> 2(ts30,cl9)
+        assert_eq!(lag.value(0), Value::Null);
+        assert_eq!(lag.value(4), Value::UInt(7));
+        assert_eq!(lag.value(2), Value::UInt(8));
+        // trip 2: rows 1(ts100,cl40) -> 3(ts110,cl41)
+        assert_eq!(lag.value(1), Value::Null);
+        assert_eq!(lag.value(3), Value::UInt(40));
+    }
+
+    #[test]
+    fn with_lag_appends_column() {
+        let t = with_lag(trips(), &["trip"], "ts", "cl", "lag_cl").unwrap();
+        assert_eq!(t.num_columns(), 4);
+        assert_eq!(t.column_by_name("lag_cl").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn single_row_partitions_are_all_null() {
+        let t = Table::from_columns(vec![
+            ("trip", Column::from_u64(vec![1, 2, 3])),
+            ("ts", Column::from_i64(vec![1, 2, 3])),
+            ("cl", Column::from_u64(vec![5, 6, 7])),
+        ])
+        .unwrap();
+        let lag = lag_over(&t, &["trip"], "ts", "cl").unwrap();
+        assert_eq!(lag.null_count(), 3);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let t = trips();
+        assert!(lag_over(&t, &["trip"], "ts", "nope").is_err());
+        assert!(lag_over(&t, &["nope"], "ts", "cl").is_err());
+        assert!(lag_over(&t, &["trip"], "nope", "cl").is_err());
+    }
+}

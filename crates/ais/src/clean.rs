@@ -1,0 +1,183 @@
+//! Noise filters for raw AIS streams.
+//!
+//! The paper (§3.1) lists the noise inherent in AIS messages: duplicate
+//! positions, invalid coordinates, delayed messages that distort the
+//! sequence, and physically impossible jumps. [`clean_trajectory`] removes
+//! all of these and reports what it removed.
+
+use crate::types::{AisPoint, Trajectory};
+use geo_kernel::haversine_m;
+
+/// Tunable thresholds for cleaning.
+#[derive(Debug, Clone, Copy)]
+pub struct CleanConfig {
+    /// Maximum physically plausible speed (knots). Implied speeds between
+    /// consecutive reports above this mark the later report as a spike.
+    pub max_speed_knots: f64,
+    /// Maximum plausible reported SOG (knots); higher values are sensor
+    /// glitches and are clamped to the implied speed.
+    pub max_sog_knots: f64,
+}
+
+impl Default for CleanConfig {
+    fn default() -> Self {
+        Self {
+            max_speed_knots: 80.0,
+            max_sog_knots: 60.0,
+        }
+    }
+}
+
+/// What [`clean_trajectory`] removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanReport {
+    /// Reports with coordinates outside WGS84 ranges (AIS "unavailable"
+    /// sentinels like lon 181).
+    pub invalid_coords: usize,
+    /// Exact duplicates (same timestamp) after sorting.
+    pub duplicates: usize,
+    /// Reports implying impossible jump speeds.
+    pub speed_spikes: usize,
+    /// Reports kept.
+    pub kept: usize,
+}
+
+/// Cleans one vessel's report stream: sorts by reception time, drops
+/// invalid coordinates, removes same-timestamp duplicates, and excises
+/// speed spikes. Returns the cleaned trajectory and a removal report.
+pub fn clean_trajectory(traj: &Trajectory, cfg: &CleanConfig) -> (Trajectory, CleanReport) {
+    let mut report = CleanReport::default();
+
+    // 1. Validity filter.
+    let mut pts: Vec<AisPoint> = Vec::with_capacity(traj.points.len());
+    for p in &traj.points {
+        if p.pos.is_valid() && p.sog.is_finite() && p.sog >= 0.0 {
+            pts.push(*p);
+        } else {
+            report.invalid_coords += 1;
+        }
+    }
+
+    // 2. Restore reception order (delayed messages distort the sequence).
+    pts.sort_by_key(|p| p.t);
+
+    // 3. Drop same-timestamp duplicates, keeping the first.
+    let mut deduped: Vec<AisPoint> = Vec::with_capacity(pts.len());
+    for p in pts {
+        match deduped.last() {
+            Some(last) if last.t == p.t => report.duplicates += 1,
+            _ => deduped.push(p),
+        }
+    }
+
+    // 4. Speed-spike filter: a report whose implied speed from the last
+    //    *kept* report exceeds the threshold is discarded; this also
+    //    handles the teleporting-position glitch.
+    let max_mps = cfg.max_speed_knots * geo_kernel::KNOTS_TO_MPS;
+    let mut kept: Vec<AisPoint> = Vec::with_capacity(deduped.len());
+    for mut p in deduped {
+        if let Some(last) = kept.last() {
+            let dt = (p.t - last.t) as f64;
+            debug_assert!(dt > 0.0, "deduplicated by timestamp");
+            let d = haversine_m(&last.pos, &p.pos);
+            if d / dt > max_mps {
+                report.speed_spikes += 1;
+                continue;
+            }
+            // Clamp glitchy SOG values to something physical.
+            if p.sog > cfg.max_sog_knots {
+                p.sog = geo_kernel::mps_to_knots(d / dt);
+            }
+        } else if p.sog > cfg.max_sog_knots {
+            p.sog = cfg.max_sog_knots;
+        }
+        kept.push(p);
+    }
+
+    report.kept = kept.len();
+    (
+        Trajectory {
+            mmsi: traj.mmsi,
+            points: kept,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_points() -> Vec<AisPoint> {
+        // 10 kn northbound, one report a minute: ~308 m between reports.
+        (0..10)
+            .map(|i| AisPoint::new(1, i * 60, 10.0, 55.0 + i as f64 * 0.00278, 10.0, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn clean_stream_is_untouched() {
+        let traj = Trajectory::new(1, base_points());
+        let (out, rep) = clean_trajectory(&traj, &CleanConfig::default());
+        assert_eq!(out.len(), 10);
+        assert_eq!(rep, CleanReport { kept: 10, ..Default::default() });
+    }
+
+    #[test]
+    fn invalid_coordinates_dropped() {
+        let mut pts = base_points();
+        pts.push(AisPoint::new(1, 700, 181.0, 91.0, 5.0, 0.0));
+        pts.push(AisPoint::new(1, 760, f64::NAN, 55.0, 5.0, 0.0));
+        let (out, rep) = clean_trajectory(&Trajectory::new(1, pts), &CleanConfig::default());
+        assert_eq!(rep.invalid_coords, 2);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_timestamps_removed() {
+        let mut pts = base_points();
+        pts.push(AisPoint::new(1, 120, 10.0, 55.1, 10.0, 0.0)); // same t as idx 2
+        let (out, rep) = clean_trajectory(&Trajectory::new(1, pts), &CleanConfig::default());
+        assert_eq!(rep.duplicates, 1);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn speed_spike_excised() {
+        let mut pts = base_points();
+        // Teleport 50 km away for one report at t=125 — an implied speed
+        // of ~10000 m/s.
+        pts.insert(3, AisPoint::new(1, 125, 10.7, 55.0, 10.0, 90.0));
+        let (out, rep) = clean_trajectory(&Trajectory::new(1, pts), &CleanConfig::default());
+        assert_eq!(rep.speed_spikes, 1);
+        assert_eq!(out.len(), 10);
+        // The points after the spike survive (distance measured from the
+        // last kept report, not the spike).
+        assert_eq!(out.points.last().unwrap().t, 540);
+    }
+
+    #[test]
+    fn out_of_order_messages_resorted() {
+        let mut pts = base_points();
+        pts.swap(2, 7);
+        let (out, _) = clean_trajectory(&Trajectory { mmsi: 1, points: pts }, &CleanConfig::default());
+        for w in out.points.windows(2) {
+            assert!(w[0].t < w[1].t);
+        }
+    }
+
+    #[test]
+    fn glitchy_sog_clamped() {
+        let mut pts = base_points();
+        pts[5].sog = 400.0; // bogus sensor value
+        let (out, _) = clean_trajectory(&Trajectory::new(1, pts), &CleanConfig::default());
+        assert!(out.points[5].sog < 60.0, "sog {}", out.points[5].sog);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, rep) = clean_trajectory(&Trajectory::default(), &CleanConfig::default());
+        assert!(out.is_empty());
+        assert_eq!(rep.kept, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ais — AIS data model, cleaning, annotation, and trip segmentation
+//!
+//! This crate rebuilds the preprocessing substrate the paper takes from
+//! the AIS trajectory-annotation framework of Fikioris et al. \[7\]
+//! (paper §3.1):
+//!
+//! * [`AisPoint`] / [`Trajectory`] / [`VesselInfo`] — the positional
+//!   message model (MMSI, coordinates, SOG, COG, heading, reception
+//!   timestamp);
+//! * [`clean`] — noise filters: invalid coordinates, duplicates,
+//!   out-of-sequence messages, speed spikes;
+//! * [`events`] — incremental mobility-event annotation: stops,
+//!   communication gaps, turning points, slow motion, speed changes;
+//! * [`trips`] — segmentation of a vessel's stream into trips delimited by
+//!   stops and communication gaps (`ΔT = 30 min`), the unit HABIT trains
+//!   on;
+//! * [`table`] — conversion of segmented trips into an
+//!   [`aggdb::Table`] with the column layout the paper's
+//!   DuckDB CTE expects.
+
+pub mod clean;
+pub mod events;
+pub mod table;
+pub mod trips;
+pub mod types;
+
+pub use clean::{clean_trajectory, CleanConfig, CleanReport};
+pub use events::{annotate, EventConfig, MobilityEvent};
+pub use table::{trips_to_table, COLS};
+pub use trips::{segment_all, segment_trajectory, Trip, TripConfig};
+pub use types::{AisPoint, Trajectory, VesselInfo, VesselType};

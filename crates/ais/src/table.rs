@@ -1,0 +1,90 @@
+//! Bridging trips into the analytics engine.
+//!
+//! The paper's phase 2 reads trip data "from the source files" into
+//! DuckDB. [`trips_to_table`] materializes segmented trips as an
+//! [`aggdb::Table`] with one row per AIS report, the layout the HABIT
+//! graph-generation CTE consumes.
+
+use crate::trips::Trip;
+use aggdb::{Column, Table};
+
+/// Column names of the trip table, in order: `trip_id`, `vessel_id`,
+/// `ts`, `lon`, `lat`, `sog`, `cog`.
+pub const COLS: [&str; 7] = ["trip_id", "vessel_id", "ts", "lon", "lat", "sog", "cog"];
+
+/// Converts segmented trips into a columnar table (one row per report,
+/// ordered by trip then time).
+pub fn trips_to_table(trips: &[Trip]) -> Table {
+    let n: usize = trips.iter().map(|t| t.points.len()).sum();
+    let mut trip_id = Vec::with_capacity(n);
+    let mut vessel = Vec::with_capacity(n);
+    let mut ts = Vec::with_capacity(n);
+    let mut lon = Vec::with_capacity(n);
+    let mut lat = Vec::with_capacity(n);
+    let mut sog = Vec::with_capacity(n);
+    let mut cog = Vec::with_capacity(n);
+
+    for trip in trips {
+        for p in &trip.points {
+            trip_id.push(trip.trip_id);
+            vessel.push(p.mmsi);
+            ts.push(p.t);
+            lon.push(p.pos.lon);
+            lat.push(p.pos.lat);
+            sog.push(p.sog);
+            cog.push(p.cog);
+        }
+    }
+
+    Table::from_columns(vec![
+        (COLS[0], Column::from_u64(trip_id)),
+        (COLS[1], Column::from_u64(vessel)),
+        (COLS[2], Column::from_i64(ts)),
+        (COLS[3], Column::from_f64(lon)),
+        (COLS[4], Column::from_f64(lat)),
+        (COLS[5], Column::from_f64(sog)),
+        (COLS[6], Column::from_f64(cog)),
+    ])
+    .expect("columns built with equal lengths")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AisPoint;
+
+    #[test]
+    fn layout_and_order() {
+        let trips = vec![
+            Trip {
+                trip_id: 7,
+                mmsi: 111,
+                points: vec![
+                    AisPoint::new(111, 10, 1.0, 2.0, 9.0, 45.0),
+                    AisPoint::new(111, 20, 1.1, 2.1, 9.5, 46.0),
+                ],
+            },
+            Trip {
+                trip_id: 8,
+                mmsi: 222,
+                points: vec![AisPoint::new(222, 5, 3.0, 4.0, 10.0, 90.0)],
+            },
+        ];
+        let t = trips_to_table(&trips);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 7);
+        for (i, name) in COLS.iter().enumerate() {
+            assert_eq!(t.schema().fields()[i].name, *name);
+        }
+        assert_eq!(t.column_by_name("trip_id").unwrap().u64_values().unwrap(), &[7, 7, 8]);
+        assert_eq!(t.column_by_name("ts").unwrap().i64_values().unwrap(), &[10, 20, 5]);
+        assert_eq!(t.column_by_name("lon").unwrap().f64_values().unwrap(), &[1.0, 1.1, 3.0]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_table() {
+        let t = trips_to_table(&[]);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 7);
+    }
+}

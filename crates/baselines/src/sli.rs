@@ -1,0 +1,54 @@
+//! SLI — straight-line interpolation.
+//!
+//! The naive baseline: connect the two gap endpoints with a direct
+//! segment. Fast and memoryless, but the resulting path ignores
+//! coastlines and motion patterns (paper Figure 1: "clearly not
+//! navigable").
+
+use geo_kernel::{haversine_m, TimedPoint};
+
+/// Imputes a gap by linear interpolation, emitting points spaced at most
+/// `max_spacing_m` apart (timestamps interpolated linearly).
+pub fn impute_sli(start: TimedPoint, end: TimedPoint, max_spacing_m: f64) -> Vec<TimedPoint> {
+    assert!(max_spacing_m > 0.0, "spacing must be positive");
+    let d = haversine_m(&start.pos, &end.pos);
+    let pieces = (d / max_spacing_m).ceil().max(1.0) as usize;
+    let mut out = Vec::with_capacity(pieces + 1);
+    for k in 0..=pieces {
+        out.push(start.lerp(&end, k as f64 / pieces as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_preserved() {
+        let a = TimedPoint::new(10.0, 56.0, 0);
+        let b = TimedPoint::new(10.5, 56.2, 3600);
+        let path = impute_sli(a, b, 250.0);
+        assert_eq!(path.first().unwrap(), &a);
+        assert_eq!(path.last().unwrap(), &b);
+    }
+
+    #[test]
+    fn spacing_respected() {
+        let a = TimedPoint::new(10.0, 56.0, 0);
+        let b = TimedPoint::new(10.5, 56.0, 3600);
+        let path = impute_sli(a, b, 250.0);
+        for w in path.windows(2) {
+            assert!(haversine_m(&w[0].pos, &w[1].pos) <= 251.0);
+            assert!(w[1].t >= w[0].t);
+        }
+        assert!(path.len() > 100);
+    }
+
+    #[test]
+    fn degenerate_gap() {
+        let a = TimedPoint::new(10.0, 56.0, 0);
+        let path = impute_sli(a, a, 250.0);
+        assert_eq!(path.len(), 2, "zero-length gap still yields both endpoints");
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion counterpart of **Figure 3**: imputation query cost across
+//! H3 resolutions (the accuracy side lives in the `fig3` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eval::experiments::Bench;
+use eval::methods::Imputer;
+use habit_core::HabitConfig;
+use std::hint::black_box;
+
+fn bench_resolutions(c: &mut Criterion) {
+    std::env::set_var("HABIT_EVAL_SCALE", "0.3");
+    let bench = Bench::kiel(42);
+    let cases = bench.gap_cases(3600, 42);
+    assert!(!cases.is_empty());
+
+    let mut group = c.benchmark_group("fig3_impute_by_resolution");
+    for res in [7u8, 8, 9, 10] {
+        let imputer = Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(res, 100.0))
+            .expect("fit habit");
+        group.bench_with_input(BenchmarkId::new("impute", res), &imputer, |b, imp| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let case = &cases[i % cases.len()];
+                i += 1;
+                black_box(imp.impute(&case.query))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_resolutions
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion counterpart of **Figure 5**: per-query cost of each method
+//! (HABIT, GTI, SLI, PaLMTO) on the same gap workload — the latency side
+//! of the sensitivity analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::experiments::Bench;
+use eval::methods::Imputer;
+use habit_core::HabitConfig;
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    std::env::set_var("HABIT_EVAL_SCALE", "0.3");
+    let bench = Bench::kiel(42);
+    let cases = bench.gap_cases(3600, 42);
+    assert!(!cases.is_empty());
+
+    let methods = vec![
+        Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(9, 100.0)).expect("habit"),
+        Imputer::fit_gti(&bench.train, baselines::GtiConfig::default()).expect("gti"),
+        Imputer::fit_palmto(&bench.train, baselines::PalmtoConfig::default()).expect("palmto"),
+        Imputer::sli(),
+    ];
+
+    let mut group = c.benchmark_group("fig5_method_latency");
+    for m in &methods {
+        group.bench_function(m.label(), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let case = &cases[i % cases.len()];
+                i += 1;
+                black_box(m.impute(&case.query))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the substrate crates: hexgrid operations, aggdb
+//! group-by/HLL, DTW. These back the performance claims in DESIGN.md and
+//! catch regressions in the hot paths underlying every experiment.
+
+use aggdb::{Agg, AggSpec, Column, HyperLogLog, Table};
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::dtw::resampled_dtw_m;
+use geo_kernel::GeoPoint;
+use hexgrid::HexGrid;
+use std::hint::black_box;
+
+fn bench_hexgrid(c: &mut Criterion) {
+    let grid = HexGrid::new();
+    let points: Vec<GeoPoint> = (0..1000)
+        .map(|i| GeoPoint::new(10.0 + (i % 100) as f64 * 0.01, 55.0 + (i / 100) as f64 * 0.01))
+        .collect();
+
+    c.bench_function("hexgrid_latlng_to_cell_r9_x1000", |b| {
+        b.iter(|| {
+            for p in &points {
+                black_box(grid.cell(p, 9).expect("valid"));
+            }
+        })
+    });
+
+    let a = grid.cell(&points[0], 9).expect("valid");
+    let z = grid.cell(&points[999], 9).expect("valid");
+    c.bench_function("hexgrid_grid_distance", |b| {
+        b.iter(|| black_box(grid.grid_distance(a, z).expect("same res")))
+    });
+    c.bench_function("hexgrid_disk_k3", |b| {
+        b.iter(|| black_box(hexgrid::ops::disk(a, 3).expect("ok")))
+    });
+}
+
+fn bench_aggdb(c: &mut Criterion) {
+    // 100k-row group-by with the paper's aggregate set.
+    let n = 100_000usize;
+    let cells: Vec<u64> = (0..n).map(|i| (i % 500) as u64).collect();
+    let vessels: Vec<u64> = (0..n).map(|i| (i % 37) as u64).collect();
+    let lons: Vec<f64> = (0..n).map(|i| 10.0 + (i % 97) as f64 * 0.001).collect();
+    let table = Table::from_columns(vec![
+        ("cl", Column::from_u64(cells)),
+        ("vessel", Column::from_u64(vessels)),
+        ("lon", Column::from_f64(lons)),
+    ])
+    .expect("columns");
+
+    c.bench_function("aggdb_groupby_100k_500groups", |b| {
+        b.iter(|| {
+            black_box(
+                table
+                    .group_by(
+                        &["cl"],
+                        &[
+                            AggSpec::new("", Agg::Count, "cnt"),
+                            AggSpec::new("vessel", Agg::CountDistinctApprox, "vessels"),
+                            AggSpec::new("lon", Agg::Median, "mlon"),
+                        ],
+                    )
+                    .expect("group"),
+            )
+        })
+    });
+
+    c.bench_function("hll_insert_100k", |b| {
+        b.iter(|| {
+            let mut h = HyperLogLog::default_precision();
+            for v in 0..100_000u64 {
+                h.insert_u64(v);
+            }
+            black_box(h.count())
+        })
+    });
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let a: Vec<GeoPoint> = (0..120).map(|i| GeoPoint::new(10.0 + i as f64 * 0.002, 56.0)).collect();
+    let b_path: Vec<GeoPoint> = (0..120)
+        .map(|i| GeoPoint::new(10.0 + i as f64 * 0.002, 56.001))
+        .collect();
+    c.bench_function("dtw_resampled_60min_gap", |bch| {
+        bch.iter(|| black_box(resampled_dtw_m(&a, &b_path).expect("non-empty")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hexgrid, bench_aggdb, bench_dtw
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion counterpart of **Table 2**: model build time and serialized
+//! size for HABIT across resolutions (size is printed; time is measured).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eval::experiments::Bench;
+use habit_core::{HabitConfig, HabitModel};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    std::env::set_var("HABIT_EVAL_SCALE", "0.3");
+    let bench = Bench::kiel(42);
+    let table = ais::trips_to_table(&bench.train);
+
+    let mut group = c.benchmark_group("table2_model_build");
+    for res in [7u8, 8, 9, 10] {
+        let config = HabitConfig::with_r_t(res, 100.0);
+        // Report the storage size once per resolution.
+        if let Ok(model) = HabitModel::fit(&table, config) {
+            eprintln!(
+                "HABIT r={res}: {} nodes, {} edges, {} bytes serialized",
+                model.node_count(),
+                model.edge_count(),
+                model.storage_bytes()
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("fit", res), &config, |b, cfg| {
+            b.iter(|| black_box(HabitModel::fit(&table, *cfg).expect("fit")))
+        });
+    }
+    group.finish();
+
+    let mut ser_group = c.benchmark_group("table2_serialize");
+    let model = HabitModel::fit(&table, HabitConfig::with_r_t(9, 100.0)).expect("fit");
+    ser_group.bench_function("to_bytes_r9", |b| b.iter(|| black_box(model.to_bytes())));
+    let bytes = model.to_bytes();
+    ser_group.bench_function("from_bytes_r9", |b| {
+        b.iter(|| black_box(HabitModel::from_bytes(&bytes).expect("decode")))
+    });
+    ser_group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion counterpart of **Table 4**: per-query imputation latency of
+//! HABIT vs GTI vs SLI on the KIEL corridor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eval::experiments::Bench;
+use eval::methods::Imputer;
+use habit_core::HabitConfig;
+use std::hint::black_box;
+
+fn bench_latency(c: &mut Criterion) {
+    std::env::set_var("HABIT_EVAL_SCALE", "0.3");
+    let bench = Bench::kiel(42);
+    let cases = bench.gap_cases(3600, 42);
+    assert!(!cases.is_empty(), "need gap cases");
+
+    let habit9 = Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(9, 100.0)).expect("fit");
+    let habit10 = Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(10, 100.0)).expect("fit");
+    let gti = Imputer::fit_gti(&bench.train, baselines::GtiConfig::default()).expect("fit");
+    let sli = Imputer::sli();
+
+    let mut group = c.benchmark_group("table4_query_latency");
+    for (name, imputer) in [
+        ("habit_r9_t100", &habit9),
+        ("habit_r10_t100", &habit10),
+        ("gti_rm250_rd1e-4", &gti),
+        ("sli", &sli),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter_batched(
+                || {
+                    let case = &cases[i % cases.len()];
+                    i += 1;
+                    case.query
+                },
+                |query| black_box(imputer.impute(&query)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates **Figure 4** — HABIT accuracy (DTW) for simplification
+//! tolerances t ∈ {0, 100, 250, 500, 1000} at r ∈ {9, 10} on DAN.
+//!
+//! Paper shape to verify: accuracy is essentially flat in t (RDP removes
+//! points, not geometry).
+
+use eval::experiments::fig4;
+use eval::report::{fmt_m, MarkdownTable};
+
+fn main() {
+    println!("# Figure 4 — HABIT DTW vs simplification tolerance [DAN]\n");
+    let bench = habit_bench::dan();
+    let rows = fig4(&bench, habit_bench::SEED);
+    let mut table = MarkdownTable::new(vec!["r", "t", "Mean DTW (m)", "Median DTW (m)"]);
+    for r in rows {
+        table.row(vec![
+            r.resolution.to_string(),
+            format!("{:.0}", r.tolerance_m),
+            fmt_m(r.mean_dtw_m),
+            fmt_m(r.median_dtw_m),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table 3** — effect of simplification on the imputed
+//! trajectories (DAN): position count, average/max rate of turn, turns
+//! over 45°, for tolerances t ∈ {0, 100, 250, 500, 1000} at r ∈ {9, 10}.
+//!
+//! Paper shape to verify: larger t shrinks position counts drastically
+//! and nearly eliminates >45° turns; t in 100–250 is the sweet spot.
+
+use eval::experiments::table3;
+use eval::report::MarkdownTable;
+
+fn main() {
+    println!("# Table 3 — Effect of simplification on imputed trajectories [DAN]\n");
+    let bench = habit_bench::dan();
+    let (rows, original) = table3(&bench, habit_bench::SEED);
+    let mut table = MarkdownTable::new(vec!["r", "t", "cnt", "Avg rot", "Max rot", ">45deg"]);
+    for r in rows {
+        table.row(vec![
+            r.resolution.to_string(),
+            format!("{:.0}", r.tolerance_m),
+            r.stats.count.to_string(),
+            format!("{:.2}", r.stats.avg_rot_deg),
+            format!("{:.2}", r.stats.max_rot_deg),
+            format!("{:.2}", r.stats.turns_over_45),
+        ]);
+    }
+    table.row(vec![
+        "Original".to_string(),
+        "-".to_string(),
+        original.count.to_string(),
+        format!("{:.2}", original.avg_rot_deg),
+        format!("{:.2}", original.max_rot_deg),
+        format!("{:.2}", original.turns_over_45),
+    ]);
+    print!("{}", table.render());
+}

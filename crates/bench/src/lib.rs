@@ -1,0 +1,103 @@
+//! # habit-bench — the benchmark harness
+//!
+//! One runnable binary per table/figure of the paper's evaluation
+//! (`cargo run -p habit-bench --release --bin <target>`):
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 — dataset characteristics |
+//! | `table2` | Table 2 — framework storage size |
+//! | `table3` | Table 3 — simplification effect |
+//! | `table4` | Table 4 — query latency |
+//! | `fig3`   | Figure 3 — accuracy vs resolution × projection |
+//! | `fig4`   | Figure 4 — accuracy vs tolerance |
+//! | `fig5`   | Figure 5 — accuracy sensitivity vs GTI/SLI |
+//! | `fig6`   | Figure 6 — qualitative examples (ASCII map + CSV) |
+//! | `fig7`   | Figure 7 — accuracy vs gap duration |
+//! | `all_experiments` | everything above in sequence |
+//! | `ablation_weights` | DESIGN.md §5 — A* edge-weight schemes |
+//! | `ablation_medians` | DESIGN.md §5 — exact vs P² medians, HLL precision |
+//!
+//! Criterion micro-benchmarks live in `benches/` (`cargo bench`).
+//!
+//! Set `HABIT_EVAL_SCALE` (default 1.0) to shrink datasets for quick
+//! runs; seeds are fixed so outputs are reproducible.
+
+use eval::experiments::Bench;
+
+/// Common seed for all experiment binaries.
+pub const SEED: u64 = 42;
+
+/// Prepares the DAN bench with the shared seed.
+pub fn dan() -> Bench {
+    Bench::dan(SEED)
+}
+
+/// Prepares the KIEL bench with the shared seed.
+pub fn kiel() -> Bench {
+    Bench::kiel(SEED)
+}
+
+/// Prepares the SAR bench with the shared seed.
+pub fn sar() -> Bench {
+    Bench::sar(SEED)
+}
+
+/// Renders a polyline set as a coarse ASCII map (used by `fig6`).
+pub fn ascii_map(series: &[(&str, &[geo_kernel::GeoPoint])], width: usize, height: usize) -> String {
+    let mut min_lon = f64::INFINITY;
+    let mut max_lon = f64::NEG_INFINITY;
+    let mut min_lat = f64::INFINITY;
+    let mut max_lat = f64::NEG_INFINITY;
+    for (_, pts) in series {
+        for p in *pts {
+            min_lon = min_lon.min(p.lon);
+            max_lon = max_lon.max(p.lon);
+            min_lat = min_lat.min(p.lat);
+            max_lat = max_lat.max(p.lat);
+        }
+    }
+    if !min_lon.is_finite() {
+        return String::new();
+    }
+    let pad_lon = ((max_lon - min_lon) * 0.05).max(1e-6);
+    let pad_lat = ((max_lat - min_lat) * 0.05).max(1e-6);
+    min_lon -= pad_lon;
+    max_lon += pad_lon;
+    min_lat -= pad_lat;
+    max_lat += pad_lat;
+
+    let mut canvas = vec![vec![b' '; width]; height];
+    let symbols = [b'o', b'H', b'G', b'S', b'P'];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let sym = symbols[si.min(symbols.len() - 1)];
+        for p in *pts {
+            let x = ((p.lon - min_lon) / (max_lon - min_lon) * (width - 1) as f64) as usize;
+            let y = ((max_lat - p.lat) / (max_lat - min_lat) * (height - 1) as f64) as usize;
+            canvas[y.min(height - 1)][x.min(width - 1)] = sym;
+        }
+    }
+    let mut out = String::with_capacity(height * (width + 1));
+    for row in canvas {
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_kernel::GeoPoint;
+
+    #[test]
+    fn ascii_map_draws_symbols() {
+        let a = vec![GeoPoint::new(10.0, 56.0), GeoPoint::new(10.5, 56.2)];
+        let b = vec![GeoPoint::new(10.2, 56.1)];
+        let map = ascii_map(&[("truth", &a), ("habit", &b)], 40, 12);
+        assert_eq!(map.lines().count(), 12);
+        assert!(map.contains('o'));
+        assert!(map.contains('H'));
+        assert!(ascii_map(&[], 10, 5).is_empty());
+    }
+}

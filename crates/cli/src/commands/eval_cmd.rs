@@ -1,0 +1,89 @@
+//! `habit eval` — quick accuracy/latency comparison on a synthetic
+//! dataset (a compact version of the paper's Figure 5 + Table 4).
+
+use crate::args::Args;
+use crate::commands::synth_cmd::build_dataset;
+use baselines::GtiConfig;
+use eval::experiments::{accuracy_dtw, latency, Bench};
+use eval::report::{fmt_m, fmt_mb, fmt_s, mean, median, MarkdownTable};
+use eval::Imputer;
+use habit_core::HabitConfig;
+use std::error::Error;
+
+/// Entry point for `habit eval`.
+pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+    args.check_flags(&["dataset", "seed", "scale", "gap"])?;
+    let name = args.get("dataset").unwrap_or("kiel");
+    let seed: u64 = args.get_or("seed", 42)?;
+    let scale: f64 = args.get_or("scale", 0.3)?;
+    let gap_minutes: i64 = args.get_or("gap", 60)?;
+    if gap_minutes <= 0 {
+        return Err("--gap must be positive minutes".into());
+    }
+
+    let dataset = build_dataset(name, seed, scale)?;
+    let bench = Bench::prepare(dataset, seed);
+    let cases = bench.gap_cases(gap_minutes * 60, seed);
+    println!(
+        "{}: {} train trips / {} test trips, {} gaps of {} min\n",
+        bench.name,
+        bench.train.len(),
+        bench.test.len(),
+        cases.len(),
+        gap_minutes
+    );
+    if cases.is_empty() {
+        return Err("no trip can host a gap of this duration — lower --gap or raise --scale".into());
+    }
+
+    let mut methods = vec![
+        Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(9, 100.0))?,
+        Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(10, 100.0))?,
+    ];
+    if let Ok(gti) = Imputer::fit_gti(
+        &bench.train,
+        GtiConfig { rm_m: 250.0, rd_deg: 5e-4, ..GtiConfig::default() },
+    ) {
+        methods.push(gti);
+    }
+    methods.push(Imputer::sli());
+
+    let mut table = MarkdownTable::new(vec![
+        "Method", "Mean DTW (m)", "Median DTW (m)", "Failures", "Model (MB)", "Avg lat (s)", "Max lat (s)",
+    ]);
+    for m in &methods {
+        let errors = accuracy_dtw(m, &cases);
+        let (avg, max, failures) = latency(m, &cases);
+        table.row(vec![
+            m.label().to_string(),
+            fmt_m(mean(&errors)),
+            fmt_m(median(&errors)),
+            failures.to_string(),
+            fmt_mb(m.storage_bytes()),
+            fmt_s(avg),
+            fmt_s(max),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_runs_on_tiny_kiel() {
+        let args = Args::parse(
+            ["eval", "--dataset", "kiel", "--scale", "0.1", "--seed", "7"].map(String::from),
+        )
+        .unwrap();
+        run(&args).expect("eval");
+    }
+
+    #[test]
+    fn eval_rejects_bad_gap() {
+        let args = Args::parse(["eval", "--gap", "-10"].map(String::from)).unwrap();
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! `habit fit` — fit a HABIT model from an AIS CSV and save it.
+
+use crate::args::Args;
+use crate::io::read_ais_csv;
+use ais::{segment_all, trips_to_table, TripConfig};
+use habit_core::{CellProjection, HabitConfig, HabitModel};
+use std::error::Error;
+use std::path::Path;
+
+/// Parses the `--projection` flag.
+pub fn parse_projection(raw: &str) -> Result<CellProjection, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "center" | "c" => Ok(CellProjection::Center),
+        "median" | "w" => Ok(CellProjection::Median),
+        other => Err(format!("unknown projection `{other}` (center|median)")),
+    }
+}
+
+/// Entry point for `habit fit`.
+pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+    args.check_flags(&["input", "out", "resolution", "tolerance", "projection"])?;
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let resolution: u8 = args.get_or("resolution", 9)?;
+    let tolerance: f64 = args.get_or("tolerance", 100.0)?;
+    let projection = parse_projection(args.get("projection").unwrap_or("median"))?;
+    if !(1..=hexgrid::MAX_RESOLUTION).contains(&resolution) {
+        return Err(format!("--resolution {resolution} out of range").into());
+    }
+
+    let trajectories = read_ais_csv(Path::new(input))?;
+    let trips = segment_all(&trajectories, &TripConfig::default());
+    if trips.is_empty() {
+        return Err("no trips after segmentation — check the input data".into());
+    }
+    let config = HabitConfig {
+        resolution,
+        rdp_tolerance_m: tolerance,
+        projection,
+        ..HabitConfig::default()
+    };
+    let model = HabitModel::fit(&trips_to_table(&trips), config)?;
+    let bytes = model.to_bytes();
+    std::fs::write(out, &bytes)?;
+    println!(
+        "fitted r={resolution} t={tolerance} on {} trips ({} reports): {} cells, {} transitions, {} bytes -> {out}",
+        trips.len(),
+        trips.iter().map(|t| t.points.len()).sum::<usize>(),
+        model.node_count(),
+        model.edge_count(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::synth_cmd::build_dataset;
+    use crate::io::write_ais_csv;
+
+    #[test]
+    fn projection_parse() {
+        assert_eq!(parse_projection("median").unwrap(), CellProjection::Median);
+        assert_eq!(parse_projection("C").unwrap(), CellProjection::Center);
+        assert!(parse_projection("middle").is_err());
+    }
+
+    #[test]
+    fn fit_end_to_end() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join(format!("habit-fit-{}.csv", std::process::id()));
+        let model_path = dir.join(format!("habit-fit-{}.habit", std::process::id()));
+        let dataset = build_dataset("kiel", 7, 0.05).unwrap();
+        write_ais_csv(&dataset.trajectories, &csv).unwrap();
+
+        let args = Args::parse(
+            [
+                "fit", "--input", csv.to_str().unwrap(), "--out", model_path.to_str().unwrap(),
+                "--resolution", "8", "--tolerance", "250",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        run(&args).expect("fit");
+
+        let bytes = std::fs::read(&model_path).expect("model written");
+        let model = HabitModel::from_bytes(&bytes).expect("valid model blob");
+        assert_eq!(model.config().resolution, 8);
+        assert_eq!(model.config().rdp_tolerance_m, 250.0);
+        assert!(model.node_count() > 10);
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn fit_rejects_empty_input() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join(format!("habit-fit-empty-{}.csv", std::process::id()));
+        // Header + one stationary point: no trips survive segmentation.
+        std::fs::write(&csv, "mmsi,t,lon,lat\n1,0,10.0,56.0\n").unwrap();
+        let args = Args::parse(
+            ["fit", "--input", csv.to_str().unwrap(), "--out", "/tmp/x.habit"].map(String::from),
+        )
+        .unwrap();
+        let err = run(&args).unwrap_err();
+        std::fs::remove_file(&csv).ok();
+        assert!(err.to_string().contains("no trips"), "{err}");
+    }
+}

@@ -1,0 +1,135 @@
+//! `habit impute` — answer one gap query with a fitted model.
+
+use crate::args::Args;
+use crate::io::write_track_csv;
+use geo_kernel::TimedPoint;
+use habit_core::{GapQuery, HabitModel};
+use std::error::Error;
+use std::path::Path;
+
+/// Parses a `LON,LAT,T` endpoint triple.
+pub fn parse_endpoint(raw: &str) -> Result<TimedPoint, String> {
+    let parts: Vec<&str> = raw.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("`{raw}`: expected LON,LAT,T"));
+    }
+    let lon: f64 = parts[0].trim().parse().map_err(|_| format!("bad longitude `{}`", parts[0]))?;
+    let lat: f64 = parts[1].trim().parse().map_err(|_| format!("bad latitude `{}`", parts[1]))?;
+    let t: i64 = parts[2].trim().parse().map_err(|_| format!("bad timestamp `{}`", parts[2]))?;
+    Ok(TimedPoint::new(lon, lat, t))
+}
+
+/// Entry point for `habit impute`.
+pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+    args.check_flags(&["model", "from", "to", "out"])?;
+    let model_path = args.require("model")?;
+    let from = parse_endpoint(args.require("from")?)?;
+    let to = parse_endpoint(args.require("to")?)?;
+    if to.t <= from.t {
+        return Err("--to must be later than --from".into());
+    }
+
+    let bytes = std::fs::read(model_path)?;
+    let model = HabitModel::from_bytes(&bytes)?;
+    let gap = GapQuery { start: from, end: to };
+    let imputation = model.impute(&gap)?;
+
+    match args.get("out") {
+        Some(out) => {
+            write_track_csv(&imputation.points, Path::new(out))?;
+            println!(
+                "imputed {} points across {} cells (cost {:.2}) -> {out}",
+                imputation.points.len(),
+                imputation.cells.len(),
+                imputation.cost
+            );
+        }
+        None => {
+            println!("t,lon,lat");
+            for p in &imputation.points {
+                println!("{},{:.6},{:.6}", p.t, p.pos.lon, p.pos.lat);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::{trips_to_table, AisPoint, Trip};
+    use habit_core::HabitConfig;
+
+    #[test]
+    fn endpoint_parsing() {
+        let p = parse_endpoint("10.5,56.25,1700000000").unwrap();
+        assert_eq!(p.pos.lon, 10.5);
+        assert_eq!(p.pos.lat, 56.25);
+        assert_eq!(p.t, 1_700_000_000);
+        assert!(parse_endpoint("10.5,56.25").is_err());
+        assert!(parse_endpoint("a,b,c").is_err());
+        // Negative longitude works (flag parser passes it through).
+        assert_eq!(parse_endpoint("-3.5,48.0,0").unwrap().pos.lon, -3.5);
+    }
+
+    #[test]
+    fn impute_from_saved_model() {
+        let trips: Vec<Trip> = (0..4)
+            .map(|k| Trip {
+                trip_id: k + 1,
+                mmsi: 100 + k,
+                points: (0..150)
+                    .map(|i| {
+                        AisPoint::new(100 + k, i as i64 * 60, 10.0 + i as f64 * 0.003, 56.0, 12.0, 90.0)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let model = HabitModel::fit(&trips_to_table(&trips), HabitConfig::default()).unwrap();
+        let dir = std::env::temp_dir();
+        let model_path = dir.join(format!("habit-impute-{}.habit", std::process::id()));
+        let out_path = dir.join(format!("habit-impute-{}.csv", std::process::id()));
+        std::fs::write(&model_path, model.to_bytes()).unwrap();
+
+        let args = Args::parse(
+            [
+                "impute", "--model", model_path.to_str().unwrap(),
+                "--from", "10.05,56.0,0", "--to", "10.40,56.0,3600",
+                "--out", out_path.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        run(&args).expect("impute");
+        let text = std::fs::read_to_string(&out_path).expect("csv written");
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&out_path).ok();
+        assert!(text.starts_with("t,lon,lat"));
+        assert!(text.lines().count() >= 3, "{text}");
+    }
+
+    #[test]
+    fn rejects_inverted_time_and_bad_model() {
+        let args = Args::parse(
+            ["impute", "--model", "/nonexistent", "--from", "10,56,100", "--to", "10.4,56,50"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(run(&args).unwrap_err().to_string().contains("later"));
+
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("habit-bad-{}.habit", std::process::id()));
+        std::fs::write(&bad, b"not a model").unwrap();
+        let args = Args::parse(
+            [
+                "impute", "--model", bad.to_str().unwrap(),
+                "--from", "10,56,0", "--to", "10.4,56,3600",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let err = run(&args).unwrap_err();
+        std::fs::remove_file(&bad).ok();
+        assert!(err.to_string().contains("invalid serialized model"), "{err}");
+    }
+}

@@ -1,0 +1,82 @@
+//! `habit info` — describe a fitted model file.
+
+use crate::args::Args;
+use habit_core::{CellProjection, HabitModel, WeightScheme};
+use std::error::Error;
+
+/// Renders a model description (separated from `run` for testing).
+pub fn describe(model: &HabitModel, blob_len: usize) -> String {
+    let c = model.config();
+    let projection = match c.projection {
+        CellProjection::Center => "center (c)",
+        CellProjection::Median => "median (w)",
+    };
+    let weights = match c.weight_scheme {
+        WeightScheme::Hops => "hops (paper default)",
+        WeightScheme::InverseTransitions => "1/transitions",
+        WeightScheme::NegLogFrequency => "neg-log frequency",
+    };
+    let mut out = String::new();
+    out.push_str(&format!("HABIT model ({blob_len} bytes serialized)\n"));
+    out.push_str(&format!("  resolution r      : {}\n", c.resolution));
+    out.push_str(&format!("  projection p      : {projection}\n"));
+    out.push_str(&format!("  rdp tolerance t   : {} m\n", c.rdp_tolerance_m));
+    out.push_str(&format!("  edge weights      : {weights}\n"));
+    out.push_str(&format!("  graph             : {} cells, {} transitions\n",
+        model.node_count(),
+        model.edge_count()
+    ));
+    // Aggregate traffic stats over the graph.
+    let mut msgs = 0u64;
+    let mut max_vessels = 0u64;
+    for (_, stats) in model.graph().nodes() {
+        msgs += stats.msg_count;
+        max_vessels = max_vessels.max(stats.vessels);
+    }
+    out.push_str(&format!("  indexed reports   : {msgs}\n"));
+    out.push_str(&format!("  busiest cell      : {max_vessels} distinct vessels\n"));
+    out
+}
+
+/// Entry point for `habit info`.
+pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+    args.check_flags(&["model"])?;
+    let path = args.require("model")?;
+    let bytes = std::fs::read(path)?;
+    let model = HabitModel::from_bytes(&bytes)?;
+    print!("{}", describe(&model, bytes.len()));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::{trips_to_table, AisPoint, Trip};
+    use habit_core::HabitConfig;
+
+    #[test]
+    fn describe_contains_key_fields() {
+        let trips = vec![Trip {
+            trip_id: 1,
+            mmsi: 5,
+            points: (0..150)
+                .map(|i| AisPoint::new(5, i * 60, 10.0 + i as f64 * 0.003, 56.0, 12.0, 90.0))
+                .collect(),
+        }];
+        let model =
+            HabitModel::fit(&trips_to_table(&trips), HabitConfig::with_r_t(8, 250.0)).unwrap();
+        let text = describe(&model, model.storage_bytes());
+        assert!(text.contains("resolution r      : 8"));
+        assert!(text.contains("250 m"));
+        assert!(text.contains("median (w)"));
+        assert!(text.contains("cells"));
+        assert!(text.contains("indexed reports"));
+    }
+
+    #[test]
+    fn run_reports_missing_file() {
+        let args =
+            Args::parse(["info", "--model", "/does/not/exist"].map(String::from)).unwrap();
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! CLI subcommands. Each command is a function from parsed [`Args`] to a
+//! `Result`, writing human output to stdout; `main` maps errors to exit
+//! codes.
+
+pub mod eval_cmd;
+pub mod export;
+pub mod fit;
+pub mod impute;
+pub mod info;
+pub mod repair;
+pub mod synth_cmd;
+
+use crate::args::Args;
+use std::error::Error;
+
+/// Runs the subcommand named in `args.command`.
+pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
+    match args.command.as_str() {
+        "synth" => synth_cmd::run(args),
+        "fit" => fit::run(args),
+        "impute" => impute::run(args),
+        "repair" => repair::run(args),
+        "info" => info::run(args),
+        "eval" => eval_cmd::run(args),
+        "export" => export::run(args),
+        "help" | "--help" | "-h" => {
+            println!("{}", help_text());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `habit help`)").into()),
+    }
+}
+
+/// The `habit help` text.
+pub fn help_text() -> &'static str {
+    "habit — H3 Aggregation-Based Imputation for vessel Trajectories
+
+USAGE: habit <command> [flags]
+
+COMMANDS
+  synth    generate a synthetic AIS CSV
+           --dataset dan|kiel|sar  --out FILE  [--seed N] [--scale F]
+  fit      fit a HABIT model from an AIS CSV
+           --input FILE  --out FILE  [--resolution 6..10] [--tolerance M]
+           [--projection center|median]
+  impute   impute one gap with a fitted model
+           --model FILE  --from LON,LAT,T  --to LON,LAT,T  [--out FILE]
+  repair   fill every gap in a single-vessel track CSV (t,lon,lat)
+           --model FILE  --input FILE  --out FILE  [--threshold SECONDS]
+           [--densify METERS|none]   (default: 250 m)
+  info     describe a fitted model
+           --model FILE
+  eval     quick accuracy/latency comparison on a synthetic dataset
+           --dataset dan|kiel|sar  [--seed N] [--scale F] [--gap MINUTES]
+  export   build a traffic density map from an AIS CSV
+           --input FILE  --out FILE  [--resolution 1..15]
+           [--format geojson|csv] [--model FILE] [--preview]
+  help     this text
+
+Formats: AIS CSV = mmsi,t,lon,lat[,sog,cog,heading]; track CSV = t,lon,lat.
+Model files are HABIT's compact binary blobs (`fit` output)."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let args = Args::parse(["frobnicate".to_string()]).unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn help_runs() {
+        let args = Args::parse(["help".to_string()]).unwrap();
+        assert!(dispatch(&args).is_ok());
+        assert!(help_text().contains("impute"));
+    }
+}

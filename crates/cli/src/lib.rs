@@ -1,0 +1,14 @@
+//! # habit-cli — the `habit` command-line tool as a library
+//!
+//! The binary (`src/main.rs`) is a thin wrapper over this crate so that
+//! argument parsing, CSV I/O and every subcommand stay unit-testable:
+//!
+//! * [`args`] — the minimal `--flag value` parser;
+//! * [`io`] — AIS CSV ↔ [`ais::Trajectory`] and track CSV ↔
+//!   [`geo_kernel::TimedPoint`] conversions;
+//! * [`commands`] — one module per subcommand (`synth`, `fit`, `impute`,
+//!   `repair`, `info`, `eval`) plus the dispatcher.
+
+pub mod args;
+pub mod commands;
+pub mod io;

@@ -1,0 +1,35 @@
+//! `habit` — the HABIT command-line tool.
+//!
+//! Generate synthetic AIS data, fit imputation models, answer gap
+//! queries, and repair whole tracks from the shell:
+//!
+//! ```text
+//! habit synth  --dataset kiel --scale 0.3 --out kiel.csv
+//! habit fit    --input kiel.csv --resolution 9 --tolerance 100 --out kiel.habit
+//! habit info   --model kiel.habit
+//! habit impute --model kiel.habit --from 10.30,57.10,0 --to 10.85,57.45,3600
+//! habit repair --model kiel.habit --input track.csv --out repaired.csv
+//! habit eval   --dataset sar --scale 0.2
+//! ```
+
+use habit_cli::{args, commands};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::help_text());
+            return ExitCode::from(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

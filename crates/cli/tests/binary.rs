@@ -1,0 +1,127 @@
+//! End-to-end tests of the `habit` executable itself: the full
+//! synth → fit → info → impute → repair → export workflow through real
+//! process invocations, files and exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn habit(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_habit"))
+        .args(args)
+        .output()
+        .expect("spawn habit binary")
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("habit-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let dir = tmpdir();
+    let csv = dir.join("kiel.csv");
+    let model = dir.join("kiel.habit");
+    let imputed = dir.join("imputed.csv");
+    let density = dir.join("density.geojson");
+
+    // synth
+    let out = habit(&[
+        "synth", "--dataset", "kiel", "--scale", "0.05", "--seed", "7",
+        "--out", csv.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "synth: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(csv.exists());
+
+    // fit
+    let out = habit(&[
+        "fit", "--input", csv.to_str().unwrap(), "--out", model.to_str().unwrap(),
+        "--resolution", "9", "--tolerance", "100",
+    ]);
+    assert!(out.status.success(), "fit: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cells"), "{stdout}");
+
+    // info
+    let out = habit(&["info", "--model", model.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resolution r      : 9"), "{stdout}");
+
+    // impute: endpoints on the corridor (read them out of the synth CSV).
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let mut rows = text.lines().skip(1).filter(|l| !l.is_empty());
+    let first: Vec<&str> = rows.next().unwrap().split(',').collect();
+    let (lon, lat) = (first[2], first[3]);
+    let out = habit(&[
+        "impute", "--model", model.to_str().unwrap(),
+        "--from", &format!("{lon},{lat},0"),
+        "--to", &format!("{},{},3600", lon.parse::<f64>().unwrap() + 0.15, lat),
+        "--out", imputed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "impute: {}", String::from_utf8_lossy(&out.stderr));
+    let body = std::fs::read_to_string(&imputed).unwrap();
+    assert!(body.starts_with("t,lon,lat"));
+    assert!(body.lines().count() >= 3);
+
+    // repair the imputed track with an artificial hole.
+    let holed = dir.join("holed.csv");
+    let mut kept = String::from("t,lon,lat\n");
+    for (i, line) in body.lines().skip(1).enumerate() {
+        if i % 7 != 3 {
+            kept.push_str(line);
+            kept.push('\n');
+        }
+    }
+    std::fs::write(&holed, kept).unwrap();
+    let repaired = dir.join("repaired.csv");
+    let out = habit(&[
+        "repair", "--model", model.to_str().unwrap(),
+        "--input", holed.to_str().unwrap(), "--out", repaired.to_str().unwrap(),
+        "--threshold", "600",
+    ]);
+    assert!(out.status.success(), "repair: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(repaired.exists());
+
+    // export a density map with repair.
+    let out = habit(&[
+        "export", "--input", csv.to_str().unwrap(), "--out", density.to_str().unwrap(),
+        "--model", model.to_str().unwrap(), "--resolution", "8",
+    ]);
+    assert!(out.status.success(), "export: {}", String::from_utf8_lossy(&out.stderr));
+    let geo = std::fs::read_to_string(&density).unwrap();
+    assert!(geo.starts_with("{\"type\":\"FeatureCollection\""));
+    assert!(geo.contains("\"Polygon\""));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_failures_and_exit_codes() {
+    // No arguments: usage on stderr, exit code 2.
+    let out = habit(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // Unknown command: exit 1 with a pointer to help.
+    let out = habit(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // help: exit 0.
+    let out = habit(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("impute"));
+
+    // Missing required flag.
+    let out = habit(&["fit", "--input", "/nonexistent.csv"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    // Unreadable input reported cleanly, not a panic.
+    let out = habit(&["info", "--model", "/does/not/exist.habit"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+}

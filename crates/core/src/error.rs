@@ -1,0 +1,69 @@
+//! Error type of the HABIT pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by model fitting and imputation.
+#[derive(Debug)]
+pub enum HabitError {
+    /// The trip table is missing a required column or has a wrong type.
+    BadInput(aggdb::AggError),
+    /// Grid operation failed (invalid resolution or coordinate).
+    Grid(hexgrid::HexError),
+    /// The model has no nodes (e.g. all trips were filtered out).
+    EmptyModel,
+    /// No path exists between the snapped gap endpoints.
+    NoPath {
+        /// Snapped start cell id.
+        from: u64,
+        /// Snapped goal cell id.
+        to: u64,
+    },
+    /// Deserialization failed (corrupt or incompatible blob).
+    BadModelBlob,
+    /// A track passed to [`repair_track`](crate::HabitModel::repair_track)
+    /// was not sorted by timestamp.
+    UnsortedInput,
+    /// Two models with incompatible configurations (resolution,
+    /// projection or weight scheme) cannot be merged.
+    ConfigMismatch,
+}
+
+impl fmt::Display for HabitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HabitError::BadInput(e) => write!(f, "bad trip table: {e}"),
+            HabitError::Grid(e) => write!(f, "grid error: {e}"),
+            HabitError::EmptyModel => write!(f, "model has no transition graph nodes"),
+            HabitError::NoPath { from, to } => {
+                write!(f, "no path between cells {from:#x} and {to:#x}")
+            }
+            HabitError::BadModelBlob => write!(f, "invalid serialized model"),
+            HabitError::UnsortedInput => write!(f, "track is not sorted by timestamp"),
+            HabitError::ConfigMismatch => {
+                write!(f, "models were fitted with incompatible configurations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HabitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HabitError::BadInput(e) => Some(e),
+            HabitError::Grid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aggdb::AggError> for HabitError {
+    fn from(e: aggdb::AggError) -> Self {
+        HabitError::BadInput(e)
+    }
+}
+
+impl From<hexgrid::HexError> for HabitError {
+    fn from(e: hexgrid::HexError) -> Self {
+        HabitError::Grid(e)
+    }
+}

@@ -1,0 +1,412 @@
+//! Phase 2: graph generation (paper §3.2).
+//!
+//! Mirrors the paper's DuckDB CTE step by step on top of `aggdb`:
+//!
+//! 1. read the trip table and assign each message its H3 cell `cl` at the
+//!    configured resolution;
+//! 2. drop trips confined to ≤ `min_cell_span` adjacent cells (sea drift);
+//! 3. window-lag the cell over each trip (`lag_cl`);
+//! 4. group by `cl` → per-cell statistics; group by `(lag_cl, cl)` →
+//!    transition statistics;
+//! 5. assemble the weighted directed graph.
+
+use crate::config::HabitConfig;
+use crate::error::HabitError;
+use aggdb::fxhash::{FxHashMap, FxHashSet};
+use aggdb::{Agg, AggSpec, Column, Table};
+use geo_kernel::GeoPoint;
+use hexgrid::{HexCell, HexGrid};
+use mobgraph::{Codec, DiGraph};
+
+/// Per-cell aggregate statistics — the graph's node attributes
+/// (paper §3.2 "for each H3 cell group cl we compute …").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Median longitude of AIS positions in the cell.
+    pub median_lon: f64,
+    /// Median latitude of AIS positions in the cell.
+    pub median_lat: f64,
+    /// Total number of AIS records (`count(*)`).
+    pub msg_count: u64,
+    /// Approximate distinct vessels (`approx_count_distinct(VESSEL_ID)`).
+    pub vessels: u64,
+    /// Median speed over ground, knots.
+    pub median_sog: f64,
+    /// Median course over ground, degrees.
+    pub median_cog: f64,
+}
+
+impl Codec for CellStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.median_lon.encode(out);
+        self.median_lat.encode(out);
+        self.msg_count.encode(out);
+        self.vessels.encode(out);
+        self.median_sog.encode(out);
+        self.median_cog.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(Self {
+            median_lon: f64::decode(buf)?,
+            median_lat: f64::decode(buf)?,
+            msg_count: u64::decode(buf)?,
+            vessels: u64::decode(buf)?,
+            median_sog: f64::decode(buf)?,
+            median_cog: f64::decode(buf)?,
+        })
+    }
+}
+
+/// Per-transition aggregate statistics — the graph's edge attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Approximate distinct trips that made this transition
+    /// (`approx_count_distinct(TRIP_ID)`) — the edge weight.
+    pub transitions: u32,
+    /// Transition length in H3 cells (`h3_grid_distance`); > 1 when a
+    /// sparse trajectory skipped cells.
+    pub grid_distance: u16,
+}
+
+impl Codec for EdgeStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.transitions.encode(out);
+        (self.grid_distance as u32).encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(Self {
+            transitions: u32::decode(buf)?,
+            grid_distance: u32::decode(buf)? as u16,
+        })
+    }
+}
+
+/// Runs phases 1–2 and returns the transition graph.
+///
+/// `table` must contain the [`ais::COLS`] columns
+/// (`trip_id`, `vessel_id`, `ts`, `lon`, `lat`, `sog`, `cog`).
+pub fn build_transition_graph(
+    table: &Table,
+    config: &HabitConfig,
+) -> Result<DiGraph<CellStats, EdgeStats>, HabitError> {
+    let grid = HexGrid::new();
+    let res = config.resolution;
+
+    // -- 1. Assign each message its H3 cell.
+    let lon = table.column_by_name("lon")?;
+    let lat = table.column_by_name("lat")?;
+    let lons = lon.f64_values().ok_or(HabitError::BadInput(
+        aggdb::AggError::TypeMismatch {
+            column: "lon".into(),
+            expected: "Float64",
+            actual: lon.dtype().name(),
+        },
+    ))?;
+    let lats = lat.f64_values().ok_or(HabitError::BadInput(
+        aggdb::AggError::TypeMismatch {
+            column: "lat".into(),
+            expected: "Float64",
+            actual: lat.dtype().name(),
+        },
+    ))?;
+    let mut cells = Vec::with_capacity(table.num_rows());
+    for i in 0..table.num_rows() {
+        let cell = grid.cell(&GeoPoint::new(lons[i], lats[i]), res)?;
+        cells.push(cell.raw());
+    }
+    let with_cells = table
+        .clone()
+        .with_column("cl", Column::from_u64(cells.clone()))?;
+
+    // -- 2. Cell-span filter: drop trips confined to ≤ min_cell_span
+    //       mutually adjacent cells (paper: "minor, non-essential local
+    //       displacements, e.g. sea drift").
+    let trip_col = with_cells.column_by_name("trip_id")?;
+    let trip_ids = trip_col
+        .u64_values()
+        .ok_or(HabitError::BadInput(aggdb::AggError::TypeMismatch {
+            column: "trip_id".into(),
+            expected: "UInt64",
+            actual: trip_col.dtype().name(),
+        }))?;
+    let mut trip_cells: FxHashMap<u64, FxHashSet<u64>> = FxHashMap::default();
+    for (trip, cell) in trip_ids.iter().zip(&cells) {
+        trip_cells.entry(*trip).or_default().insert(*cell);
+    }
+    let mut small_trips: FxHashSet<u64> = FxHashSet::default();
+    for (trip, cellset) in &trip_cells {
+        if cellset.len() <= config.min_cell_span && cells_mutually_adjacent(&grid, cellset) {
+            small_trips.insert(*trip);
+        }
+    }
+    let filtered = if small_trips.is_empty() {
+        with_cells
+    } else {
+        let keep_trip = |i: usize| !small_trips.contains(&trip_ids_at(&with_cells, i));
+        with_cells.filter(keep_trip)
+    };
+    if filtered.num_rows() == 0 {
+        return Err(HabitError::EmptyModel);
+    }
+
+    // -- 3. lag(cl) OVER (PARTITION BY trip_id ORDER BY ts).
+    let lagged = aggdb::window::with_lag(filtered, &["trip_id"], "ts", "cl", "lag_cl")?;
+
+    // -- 4a. Per-cell statistics.
+    let cell_stats = lagged.group_by(
+        &["cl"],
+        &[
+            AggSpec::new("", Agg::Count, "cnt"),
+            AggSpec::new("vessel_id", Agg::CountDistinctApprox, "vessels"),
+            AggSpec::new("lon", Agg::Median, "median_lon"),
+            AggSpec::new("lat", Agg::Median, "median_lat"),
+            AggSpec::new("sog", Agg::Median, "median_sog"),
+            AggSpec::new("cog", Agg::Median, "median_cog"),
+        ],
+    )?;
+
+    // -- 4b. Per-transition statistics, lag_cl != cl and lag_cl not null.
+    let lag_col = lagged.column_by_name("lag_cl")?.clone();
+    let cl_col = lagged.column_by_name("cl")?.clone();
+    let transitions_tbl = lagged
+        .filter(|i| {
+            lag_col.is_valid(i) && lag_col.value(i).as_u64() != cl_col.value(i).as_u64()
+        })
+        .group_by(
+            &["lag_cl", "cl"],
+            &[AggSpec::new("trip_id", Agg::CountDistinctApprox, "transitions")],
+        )?;
+
+    // -- 5. Assemble the graph. Nodes are the cells present in the edge
+    //       list (paper: "nodes … identified by the corresponding H3 cells
+    //       present in the edge list"), attributed from the cell stats.
+    let mut stats_by_cell: FxHashMap<u64, CellStats> =
+        FxHashMap::default();
+    {
+        let cl = cell_stats.column_by_name("cl")?;
+        let cnt = cell_stats.column_by_name("cnt")?;
+        let ves = cell_stats.column_by_name("vessels")?;
+        let mlon = cell_stats.column_by_name("median_lon")?;
+        let mlat = cell_stats.column_by_name("median_lat")?;
+        let msog = cell_stats.column_by_name("median_sog")?;
+        let mcog = cell_stats.column_by_name("median_cog")?;
+        for i in 0..cell_stats.num_rows() {
+            let cell = cl.value(i).as_u64().expect("cl is u64");
+            stats_by_cell.insert(
+                cell,
+                CellStats {
+                    median_lon: mlon.value(i).as_f64().unwrap_or(0.0),
+                    median_lat: mlat.value(i).as_f64().unwrap_or(0.0),
+                    msg_count: cnt.value(i).as_u64().unwrap_or(0),
+                    vessels: ves.value(i).as_u64().unwrap_or(0),
+                    median_sog: msog.value(i).as_f64().unwrap_or(0.0),
+                    median_cog: mcog.value(i).as_f64().unwrap_or(0.0),
+                },
+            );
+        }
+    }
+
+    let mut graph: DiGraph<CellStats, EdgeStats> = DiGraph::new();
+    let from_col = transitions_tbl.column_by_name("lag_cl")?;
+    let to_col = transitions_tbl.column_by_name("cl")?;
+    let w_col = transitions_tbl.column_by_name("transitions")?;
+    for i in 0..transitions_tbl.num_rows() {
+        let from = from_col.value(i).as_u64().expect("lag_cl filtered non-null");
+        let to = to_col.value(i).as_u64().expect("cl is u64");
+        let transitions = w_col.value(i).as_u64().unwrap_or(0) as u32;
+        let from_cell = HexCell::from_raw(from).map_err(HabitError::Grid)?;
+        let to_cell = HexCell::from_raw(to).map_err(HabitError::Grid)?;
+        let gd = grid.grid_distance(from_cell, to_cell)? as u16;
+
+        for cell in [from, to] {
+            if graph.node_index(cell).is_none() {
+                let stats = stats_by_cell.get(&cell).copied().unwrap_or(CellStats {
+                    median_lon: grid.center(HexCell::from_raw(cell)?).lon,
+                    median_lat: grid.center(HexCell::from_raw(cell)?).lat,
+                    msg_count: 0,
+                    vessels: 0,
+                    median_sog: 0.0,
+                    median_cog: 0.0,
+                });
+                graph.add_node(cell, stats);
+            }
+        }
+        graph.merge_edge(
+            from,
+            to,
+            EdgeStats {
+                transitions: transitions.max(1),
+                grid_distance: gd,
+            },
+            |e, new| {
+                e.transitions += new.transitions;
+            },
+        );
+    }
+
+    if graph.node_count() == 0 {
+        return Err(HabitError::EmptyModel);
+    }
+    Ok(graph)
+}
+
+fn trip_ids_at(table: &Table, row: usize) -> u64 {
+    table
+        .column_by_name("trip_id")
+        .expect("validated")
+        .value(row)
+        .as_u64()
+        .expect("trip_id is u64")
+}
+
+/// `true` when every pair of cells in the set is within grid distance 1
+/// (the paper's "one or at most two adjacent H3 cells" criterion
+/// generalized to `min_cell_span`).
+fn cells_mutually_adjacent(grid: &HexGrid, cells: &FxHashSet<u64>) -> bool {
+    let v: Vec<HexCell> = cells
+        .iter()
+        .filter_map(|&c| HexCell::from_raw(c).ok())
+        .collect();
+    for i in 0..v.len() {
+        for j in (i + 1)..v.len() {
+            match grid.grid_distance(v[i], v[j]) {
+                Ok(d) if d <= 1 => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::{trips_to_table, AisPoint, Trip};
+
+    /// Builds trips flying east along lat 56 at ~12 kn, one report/min.
+    fn eastbound_trip(trip_id: u64, mmsi: u64, n: usize) -> Trip {
+        Trip {
+            trip_id,
+            mmsi,
+            points: (0..n)
+                .map(|i| {
+                    AisPoint::new(mmsi, i as i64 * 60, 10.0 + i as f64 * 0.005, 56.0, 12.0, 90.0)
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn graph_from_repeated_trips() {
+        let trips: Vec<Trip> = (0..5).map(|k| eastbound_trip(k + 1, 100 + k, 120)).collect();
+        let table = trips_to_table(&trips);
+        let g = build_transition_graph(&table, &HabitConfig::default()).unwrap();
+        assert!(g.node_count() > 10, "nodes {}", g.node_count());
+        assert!(g.edge_count() >= g.node_count() - 1);
+        // All 5 trips follow the same lane: every edge should have seen
+        // roughly 5 transitions.
+        let mut weights: Vec<u32> = Vec::new();
+        for (id, _) in g.nodes() {
+            for e in g.edges_from(id).unwrap() {
+                weights.push(e.payload.transitions);
+            }
+        }
+        let avg: f64 = weights.iter().map(|w| *w as f64).sum::<f64>() / weights.len() as f64;
+        assert!(avg > 3.0, "avg transitions {avg}");
+    }
+
+    #[test]
+    fn node_attributes_are_medians() {
+        let trips = vec![eastbound_trip(1, 100, 200)];
+        let table = trips_to_table(&trips);
+        let g = build_transition_graph(&table, &HabitConfig::default()).unwrap();
+        for (_, stats) in g.nodes() {
+            if stats.msg_count > 0 {
+                assert!((stats.median_lat - 56.0).abs() < 0.01);
+                assert!((10.0..11.5).contains(&stats.median_lon));
+                assert!((stats.median_sog - 12.0).abs() < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn drift_trips_filtered_out() {
+        // A "trip" jittering inside one cell (sea drift) must not create
+        // nodes; a real trip must.
+        let drift = Trip {
+            trip_id: 1,
+            mmsi: 100,
+            points: (0..50)
+                .map(|i| AisPoint::new(100, i * 60, 10.0 + (i % 2) as f64 * 1e-4, 56.0, 0.6, 0.0))
+                .collect(),
+        };
+        let real = eastbound_trip(2, 101, 100);
+        let table = trips_to_table(&[drift, real]);
+        let g = build_transition_graph(&table, &HabitConfig::default()).unwrap();
+        // All nodes stem from the eastbound lane at lat 56, lon >= 10.
+        for (_, stats) in g.nodes() {
+            assert!(stats.median_lon >= 9.99);
+        }
+
+        // Only-drift input yields an empty model error.
+        let only_drift = Trip {
+            trip_id: 3,
+            mmsi: 102,
+            points: (0..50)
+                .map(|i| AisPoint::new(102, i * 60, 11.0 + (i % 2) as f64 * 1e-4, 56.5, 0.6, 0.0))
+                .collect(),
+        };
+        let t2 = trips_to_table(&[only_drift]);
+        assert!(matches!(
+            build_transition_graph(&t2, &HabitConfig::default()),
+            Err(HabitError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn coarser_resolution_fewer_nodes() {
+        // Dense reporting (~60 m spacing) so that fine-resolution cells
+        // are saturated rather than visit-limited.
+        let trips: Vec<Trip> = (0..3)
+            .map(|k| Trip {
+                trip_id: k + 1,
+                mmsi: 100 + k,
+                points: (0..600)
+                    .map(|i| {
+                        AisPoint::new(100 + k, i as i64 * 10, 10.0 + i as f64 * 0.001, 56.0, 12.0, 90.0)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let table = trips_to_table(&trips);
+        let g8 = build_transition_graph(&table, &HabitConfig::with_r_t(8, 100.0)).unwrap();
+        let g10 = build_transition_graph(&table, &HabitConfig::with_r_t(10, 100.0)).unwrap();
+        assert!(
+            g10.node_count() > g8.node_count() * 2,
+            "r8 {} vs r10 {}",
+            g8.node_count(),
+            g10.node_count()
+        );
+    }
+
+    #[test]
+    fn edge_stats_encode_round_trip() {
+        let e = EdgeStats { transitions: 77, grid_distance: 3 };
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(EdgeStats::decode(&mut slice), Some(e));
+        let s = CellStats {
+            median_lon: 1.5,
+            median_lat: -2.5,
+            msg_count: 10,
+            vessels: 3,
+            median_sog: 12.0,
+            median_cog: 270.0,
+        };
+        let mut buf2 = Vec::new();
+        s.encode(&mut buf2);
+        let mut slice2 = buf2.as_slice();
+        assert_eq!(CellStats::decode(&mut slice2), Some(s));
+    }
+}

@@ -1,0 +1,393 @@
+//! Phases 3–4: gap imputation and simplification (paper §3.3–3.4).
+
+use crate::config::{CellProjection, WeightScheme};
+use crate::error::HabitError;
+use crate::model::HabitModel;
+use geo_kernel::{haversine_m, rdp_timed, GeoPoint, TimedPoint};
+use hexgrid::{ops, HexCell};
+use mobgraph::astar;
+
+/// A gap to impute: the last report before the silence and the first
+/// report after it.
+#[derive(Debug, Clone, Copy)]
+pub struct GapQuery {
+    /// Last known position/time before the gap.
+    pub start: TimedPoint,
+    /// First known position/time after the gap.
+    pub end: TimedPoint,
+}
+
+impl GapQuery {
+    /// Builds a query from raw coordinates and Unix timestamps.
+    pub fn new(lon1: f64, lat1: f64, t1: i64, lon2: f64, lat2: f64, t2: i64) -> Self {
+        Self {
+            start: TimedPoint::new(lon1, lat1, t1),
+            end: TimedPoint::new(lon2, lat2, t2),
+        }
+    }
+
+    /// Gap duration in seconds.
+    pub fn duration_s(&self) -> i64 {
+        self.end.t - self.start.t
+    }
+}
+
+/// The result of an imputation query.
+#[derive(Debug, Clone)]
+pub struct Imputation {
+    /// The imputed path: gap endpoints plus reconstructed intermediate
+    /// positions with interpolated timestamps, RDP-simplified.
+    pub points: Vec<TimedPoint>,
+    /// The cell sequence the A* search selected.
+    pub cells: Vec<HexCell>,
+    /// Cell the start endpoint snapped to.
+    pub start_cell: HexCell,
+    /// Cell the end endpoint snapped to.
+    pub end_cell: HexCell,
+    /// A* path cost under the configured weight scheme.
+    pub cost: f64,
+    /// Nodes expanded by the search (effort metric).
+    pub expanded: usize,
+    /// Number of path positions before simplification (Table 3's `cnt`).
+    pub raw_point_count: usize,
+}
+
+impl HabitModel {
+    /// Imputes a gap (paper §3.3–3.4): snap endpoints → A* over the
+    /// transition graph → inverse projection (`p`) → timestamp allocation
+    /// → RDP simplification (`t`).
+    pub fn impute(&self, gap: &GapQuery) -> Result<Imputation, HabitError> {
+        if self.graph.node_count() == 0 {
+            return Err(HabitError::EmptyModel);
+        }
+        let (start_cell, _) = self.snap(&gap.start.pos)?;
+        let (end_cell, _) = self.snap(&gap.end.pos)?;
+
+        // Trivial gap: both endpoints in the same (or adjacent) cell.
+        if start_cell == end_cell {
+            return Ok(Imputation {
+                points: vec![gap.start, gap.end],
+                cells: vec![start_cell],
+                start_cell,
+                end_cell,
+                cost: 0.0,
+                expanded: 0,
+                raw_point_count: 2,
+            });
+        }
+
+        // A* minimizing the configured weight; the heuristic is the hex
+        // grid distance to the goal scaled by the smallest possible edge
+        // cost per grid step, which keeps it admissible even when edges
+        // skip cells (grid_distance > 1).
+        let goal_cell = end_cell;
+        let min_step_cost = self.min_cost_per_grid_step();
+        let grid = self.grid;
+        let scheme = self.config.weight_scheme;
+        let max_transitions = self.max_transitions as f64;
+        let weight = |_from: u32, _to: u32, e: &crate::graphgen::EdgeStats| -> f64 {
+            match scheme {
+                WeightScheme::Hops => 1.0,
+                WeightScheme::InverseTransitions => 1.0 / e.transitions as f64,
+                WeightScheme::NegLogFrequency => {
+                    (1.0 + max_transitions / e.transitions as f64).ln()
+                }
+            }
+        };
+        let graph = &self.graph;
+        let heuristic = |idx: u32| -> f64 {
+            let cell = HexCell::from_raw(graph.node_id(idx)).expect("valid node id");
+            match grid.grid_distance(cell, goal_cell) {
+                Ok(d) => d as f64 * min_step_cost,
+                Err(_) => 0.0,
+            }
+        };
+
+        let result = astar(graph, start_cell.raw(), goal_cell.raw(), weight, heuristic)
+            .ok_or(HabitError::NoPath {
+                from: start_cell.raw(),
+                to: goal_cell.raw(),
+            })?;
+
+        let cells: Vec<HexCell> = result
+            .nodes
+            .iter()
+            .map(|&id| HexCell::from_raw(id).expect("valid node id"))
+            .collect();
+
+        // Inverse projection: cells → coordinates.
+        let mut positions: Vec<GeoPoint> = Vec::with_capacity(cells.len() + 2);
+        positions.push(gap.start.pos);
+        for cell in &cells {
+            positions.push(self.project_cell(*cell));
+        }
+        positions.push(gap.end.pos);
+
+        // Timestamp allocation proportional to cumulative distance.
+        let timed = allocate_timestamps(&positions, gap.start.t, gap.end.t);
+        let raw_point_count = timed.len();
+
+        // Phase 4: simplification.
+        let points = if self.config.rdp_tolerance_m > 0.0 {
+            rdp_timed(&timed, self.config.rdp_tolerance_m)
+        } else {
+            timed
+        };
+
+        Ok(Imputation {
+            points,
+            cells,
+            start_cell,
+            end_cell,
+            cost: result.cost,
+            expanded: result.expanded,
+            raw_point_count,
+        })
+    }
+
+    /// Maps a path cell to coordinates per the configured projection `p`.
+    fn project_cell(&self, cell: HexCell) -> GeoPoint {
+        match self.config.projection {
+            CellProjection::Center => self.grid.center(cell),
+            CellProjection::Median => match self.graph.node(cell.raw()) {
+                Some(stats) if stats.msg_count > 0 => {
+                    GeoPoint::new(stats.median_lon, stats.median_lat)
+                }
+                _ => self.grid.center(cell),
+            },
+        }
+    }
+
+    /// Smallest possible A* edge cost per unit grid distance (heuristic
+    /// scale factor).
+    fn min_cost_per_grid_step(&self) -> f64 {
+        let min_edge_cost = match self.config.weight_scheme {
+            WeightScheme::Hops => 1.0,
+            WeightScheme::InverseTransitions => 1.0 / self.max_transitions as f64,
+            WeightScheme::NegLogFrequency => 2f64.ln(),
+        };
+        min_edge_cost / self.max_grid_distance.max(1) as f64
+    }
+
+    /// Projects a point onto a graph node: its own cell when present,
+    /// otherwise an expanding hex-ring search (paper: "a nearest-neighbor
+    /// search is performed to find the closest cell that does"), falling
+    /// back to the global nearest node.
+    pub fn snap(&self, p: &GeoPoint) -> Result<(HexCell, f64), HabitError> {
+        let cell = self.grid.cell(p, self.config.resolution)?;
+        if self.graph.node_index(cell.raw()).is_some() {
+            return Ok((cell, 0.0));
+        }
+        for k in 1..=self.config.snap_max_rings {
+            let mut best: Option<(HexCell, f64)> = None;
+            for candidate in ops::ring(cell, k)? {
+                if self.graph.node_index(candidate.raw()).is_some() {
+                    let d = haversine_m(p, &self.project_cell(candidate));
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((candidate, d));
+                    }
+                }
+            }
+            if let Some(hit) = best {
+                return Ok(hit);
+            }
+        }
+        // Global fallback via the spatial index.
+        let (idx, d) = self.nn.nearest(p).ok_or(HabitError::EmptyModel)?;
+        let id = self.graph.node_id(idx);
+        Ok((HexCell::from_raw(id).expect("valid node id"), d))
+    }
+}
+
+/// Distributes timestamps over `positions` proportionally to cumulative
+/// great-circle distance between `t_start` and `t_end`.
+fn allocate_timestamps(positions: &[GeoPoint], t_start: i64, t_end: i64) -> Vec<TimedPoint> {
+    let mut cum = Vec::with_capacity(positions.len());
+    let mut acc = 0.0;
+    cum.push(0.0);
+    for w in positions.windows(2) {
+        acc += haversine_m(&w[0], &w[1]);
+        cum.push(acc);
+    }
+    let total = acc.max(1e-9);
+    let span = (t_end - t_start) as f64;
+    positions
+        .iter()
+        .zip(&cum)
+        .map(|(p, &d)| TimedPoint {
+            pos: *p,
+            t: t_start + (span * d / total).round() as i64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HabitConfig;
+    use ais::{trips_to_table, AisPoint, Trip};
+
+    /// An L-shaped lane: east along lat 56.0, then north along lon 10.6 —
+    /// so a straight line across the corner is NOT the historical path.
+    fn l_shaped_trip(trip_id: u64, mmsi: u64) -> Trip {
+        let mut points = Vec::new();
+        let mut t = 0i64;
+        for i in 0..100 {
+            points.push(AisPoint::new(mmsi, t, 10.0 + i as f64 * 0.006, 56.0, 12.0, 90.0));
+            t += 60;
+        }
+        for i in 0..100 {
+            points.push(AisPoint::new(mmsi, t, 10.6, 56.0 + i as f64 * 0.004, 12.0, 0.0));
+            t += 60;
+        }
+        Trip { trip_id, mmsi, points }
+    }
+
+    fn l_model(config: HabitConfig) -> HabitModel {
+        let trips: Vec<Trip> = (0..5).map(|k| l_shaped_trip(k + 1, 200 + k)).collect();
+        HabitModel::fit(&trips_to_table(&trips), config).unwrap()
+    }
+
+    #[test]
+    fn imputes_along_historical_lane_not_straight_line() {
+        let model = l_model(HabitConfig::default());
+        // Gap across the corner: from mid-east-leg to mid-north-leg.
+        let gap = GapQuery::new(10.3, 56.0, 0, 10.6, 56.2, 7200);
+        let imp = model.impute(&gap).unwrap();
+        assert!(imp.points.len() >= 3, "path {:?}", imp.points.len());
+        // The historical lane passes the corner at (10.6, 56.0); the
+        // imputed path must come near it, unlike straight interpolation.
+        let corner = GeoPoint::new(10.6, 56.0);
+        let min_d = imp
+            .points
+            .iter()
+            .map(|p| haversine_m(&p.pos, &corner))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_d < 3_000.0, "path misses the corner by {min_d} m");
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_anchored() {
+        let model = l_model(HabitConfig::default());
+        let gap = GapQuery::new(10.2, 56.0, 1000, 10.6, 56.25, 9000);
+        let imp = model.impute(&gap).unwrap();
+        assert_eq!(imp.points.first().unwrap().t, 1000);
+        assert_eq!(imp.points.last().unwrap().t, 9000);
+        for w in imp.points.windows(2) {
+            assert!(w[1].t >= w[0].t);
+        }
+    }
+
+    #[test]
+    fn simplification_reduces_points() {
+        let coarse = l_model(HabitConfig {
+            rdp_tolerance_m: 0.0,
+            ..HabitConfig::default()
+        });
+        let gap = GapQuery::new(10.1, 56.0, 0, 10.6, 56.3, 10_000);
+        let raw = coarse.impute(&gap).unwrap();
+
+        let simplified_model = l_model(HabitConfig {
+            rdp_tolerance_m: 500.0,
+            ..HabitConfig::default()
+        });
+        let simp = simplified_model.impute(&gap).unwrap();
+        assert!(
+            simp.points.len() < raw.points.len(),
+            "{} vs {}",
+            simp.points.len(),
+            raw.points.len()
+        );
+        assert_eq!(simp.raw_point_count, raw.raw_point_count);
+    }
+
+    #[test]
+    fn center_and_median_projections_differ() {
+        let gap = GapQuery::new(10.1, 56.0, 0, 10.5, 56.0, 7200);
+        let med = l_model(HabitConfig::default()).impute(&gap).unwrap();
+        let cen = l_model(HabitConfig {
+            projection: CellProjection::Center,
+            ..HabitConfig::default()
+        })
+        .impute(&gap)
+        .unwrap();
+        assert_eq!(med.cells, cen.cells, "same cell path");
+        // The median projection hugs lat 56.0 (where the data is); the
+        // center projection is displaced inside each hexagon.
+        let med_dev: f64 = med
+            .points
+            .iter()
+            .map(|p| (p.pos.lat - 56.0).abs())
+            .fold(0.0, f64::max);
+        let cen_dev: f64 = cen
+            .points
+            .iter()
+            .map(|p| (p.pos.lat - 56.0).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            med_dev <= cen_dev + 1e-12,
+            "median dev {med_dev} vs center dev {cen_dev}"
+        );
+    }
+
+    #[test]
+    fn snapping_handles_offgrid_endpoints() {
+        let model = l_model(HabitConfig::default());
+        // 1.5 km south of the lane: the endpoint cell has no traffic.
+        let gap = GapQuery::new(10.2, 55.985, 0, 10.45, 56.0, 7200);
+        let imp = model.impute(&gap).unwrap();
+        assert!(imp.points.len() >= 2);
+        // Snapped start cell must be a graph node.
+        assert!(model.graph().node(imp.start_cell.raw()).is_some());
+    }
+
+    #[test]
+    fn same_cell_gap_is_trivial() {
+        let model = l_model(HabitConfig::default());
+        let gap = GapQuery::new(10.3, 56.0, 0, 10.3005, 56.0, 600);
+        let imp = model.impute(&gap).unwrap();
+        assert_eq!(imp.points.len(), 2);
+        assert_eq!(imp.cost, 0.0);
+    }
+
+    #[test]
+    fn weight_schemes_all_find_paths() {
+        let gap = GapQuery::new(10.15, 56.0, 0, 10.6, 56.3, 10_000);
+        for ws in [
+            WeightScheme::Hops,
+            WeightScheme::InverseTransitions,
+            WeightScheme::NegLogFrequency,
+        ] {
+            let model = l_model(HabitConfig {
+                weight_scheme: ws,
+                ..HabitConfig::default()
+            });
+            let imp = model.impute(&gap).unwrap();
+            assert!(imp.points.len() >= 3, "{ws:?}");
+            assert!(imp.cost > 0.0, "{ws:?}");
+        }
+    }
+
+    #[test]
+    fn astar_equals_dijkstra_cost() {
+        // The scaled heuristic must stay admissible: A* cost == Dijkstra
+        // cost on the same graph.
+        let model = l_model(HabitConfig::default());
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.6, 56.35, 10_000);
+        let imp = model.impute(&gap).unwrap();
+        let d = mobgraph::dijkstra(
+            model.graph(),
+            imp.start_cell.raw(),
+            imp.end_cell.raw(),
+            |_, _, _e| 1.0,
+        )
+        .unwrap();
+        assert_eq!(imp.cost, d.cost, "A* must not overpay");
+    }
+
+    #[test]
+    fn gap_duration() {
+        let gap = GapQuery::new(0.0, 0.0, 100, 1.0, 1.0, 3700);
+        assert_eq!(gap.duration_s(), 3600);
+    }
+}

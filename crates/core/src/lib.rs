@@ -1,0 +1,73 @@
+//! # habit-core — H3 Aggregation-Based Imputation for vessel Trajectories
+//!
+//! The paper's primary contribution (EDBT 2026): a lightweight,
+//! configurable, data-driven framework that fills gaps in AIS vessel
+//! trajectories using spatial aggregates over a hexagonal grid. The
+//! pipeline has four phases (paper §3):
+//!
+//! 1. **Preprocessing & trip segmentation** — done by the [`ais`] crate;
+//!    this crate consumes the resulting trip table and applies the
+//!    cell-span filter (trips confined to ≤ 2 adjacent cells are dropped).
+//! 2. **Graph generation** ([`graphgen`]) — each report is assigned its
+//!    hex cell, a window `lag` adds the preceding cell along the trip, and
+//!    two group-bys compute per-cell statistics (count, distinct vessels,
+//!    median lon/lat/SOG/COG) and per-transition statistics (distinct
+//!    trips, grid distance). The transitions become a weighted directed
+//!    graph.
+//! 3. **Trajectory imputation** ([`impute`]) — gap endpoints are projected
+//!    onto grid cells (with an expanding-ring nearest-node fallback) and an
+//!    A* search over the transition graph finds the historically most
+//!    traveled cell sequence; the inverse projection maps cells back to
+//!    coordinates using either the geometric center (`p = c`) or the
+//!    data-driven median (`p = w`).
+//! 4. **Trajectory simplification** — Ramer–Douglas–Peucker with tolerance
+//!    `t` meters produces the final navigable path.
+//!
+//! The fitted [`HabitModel`] serializes to a compact binary blob — the
+//! "framework storage size" of the paper's Table 2 — and answers
+//! imputation queries in sub-millisecond time (Table 4).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use habit_core::{HabitConfig, HabitModel, GapQuery};
+//! use aggdb::{Column, Table};
+//!
+//! // A toy trip table: one vessel sailing east (columns as in ais::COLS).
+//! let n = 200usize;
+//! let table = Table::from_columns(vec![
+//!     ("trip_id", Column::from_u64(vec![1; n])),
+//!     ("vessel_id", Column::from_u64(vec![9; n])),
+//!     ("ts", Column::from_i64((0..n as i64).map(|i| i * 60).collect())),
+//!     ("lon", Column::from_f64((0..n).map(|i| 10.0 + i as f64 * 0.002).collect())),
+//!     ("lat", Column::from_f64(vec![56.0; n])),
+//!     ("sog", Column::from_f64(vec![12.0; n])),
+//!     ("cog", Column::from_f64(vec![90.0; n])),
+//! ]).unwrap();
+//!
+//! let model = HabitModel::fit(&table, HabitConfig::default()).unwrap();
+//! let gap = GapQuery::new(10.05, 56.0, 1_500, 10.3, 56.0, 9_000);
+//! let imputed = model.impute(&gap).unwrap();
+//! assert!(imputed.points.len() >= 2);
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod fleet;
+pub mod graphgen;
+pub mod impute;
+pub mod merge;
+pub mod model;
+pub mod repair;
+
+#[cfg(test)]
+mod proptests;
+
+pub use config::{CellProjection, HabitConfig, WeightScheme};
+pub use error::HabitError;
+pub use fleet::{FleetConfig, FleetModel, ServedBy};
+pub use graphgen::{build_transition_graph, CellStats, EdgeStats};
+pub use impute::{GapQuery, Imputation};
+pub use merge::merge_graphs;
+pub use model::HabitModel;
+pub use repair::{GapOutcome, RepairConfig, RepairReport};

@@ -1,0 +1,254 @@
+//! Merging transition graphs from separate data batches.
+//!
+//! The paper frames HABIT as operating on "statistics from recent
+//! historical AIS data, calculated over regular time intervals" (§1).
+//! Operationally that means periodic batch fits — one graph per day or
+//! week — combined into the serving model, and old windows retired.
+//! [`HabitModel::merged_with`] implements the combination step without
+//! refitting from raw data.
+//!
+//! ## Statistic semantics under merging
+//!
+//! * `msg_count` — exact: counts add.
+//! * `transitions` (edge weights) — exact: distinct trips of disjoint
+//!   batches add (trip ids never span batches).
+//! * `median lon/lat/sog/cog` — **approximate**: the serialized model
+//!   stores only each cell's medians, not the samples, so the merged
+//!   value is the `msg_count`-weighted average of the batch medians.
+//!   For unimodal per-cell distributions (positions inside one lane
+//!   cell) this stays within the cell; it is the same trade-off as
+//!   re-aggregating any pre-aggregated statistic.
+//! * `vessels` — **approximate**: distinct counts are not additive
+//!   without the underlying HLL sketches, which the model file does not
+//!   carry (Table 2 measures the paper's storage layout). The merge
+//!   takes `max(a, b)` — a lower bound that never over-claims traffic
+//!   diversity.
+//! * `grid_distance` — `min`: the shortest observed form of the
+//!   transition.
+
+use crate::error::HabitError;
+use crate::graphgen::{CellStats, EdgeStats};
+use crate::model::HabitModel;
+use mobgraph::DiGraph;
+
+/// Merges two batch graphs cell-wise and edge-wise (see module docs for
+/// the statistic semantics).
+pub fn merge_graphs(
+    a: &DiGraph<CellStats, EdgeStats>,
+    b: &DiGraph<CellStats, EdgeStats>,
+) -> DiGraph<CellStats, EdgeStats> {
+    let mut out: DiGraph<CellStats, EdgeStats> =
+        DiGraph::with_capacity(a.node_count() + b.node_count());
+
+    // Nodes: union; overlapping cells get combined statistics.
+    for (id, stats) in a.nodes() {
+        out.add_node(id, *stats);
+    }
+    for (id, stats) in b.nodes() {
+        match out.node_mut(id) {
+            Some(existing) => *existing = combine_cells(existing, stats),
+            None => {
+                out.add_node(id, *stats);
+            }
+        }
+    }
+
+    // Edges: union; overlapping transitions add weights.
+    for graph in [a, b] {
+        for (from, _) in graph.nodes() {
+            for e in graph.edges_from(from).expect("node exists") {
+                let payload = EdgeStats {
+                    transitions: e.payload.transitions,
+                    grid_distance: e.payload.grid_distance,
+                };
+                out.merge_edge(from, e.to, payload, |mine, new| {
+                    mine.transitions += new.transitions;
+                    mine.grid_distance = mine.grid_distance.min(new.grid_distance);
+                });
+            }
+        }
+    }
+    out
+}
+
+fn combine_cells(a: &CellStats, b: &CellStats) -> CellStats {
+    let total = (a.msg_count + b.msg_count).max(1);
+    let wa = a.msg_count as f64 / total as f64;
+    let wb = b.msg_count as f64 / total as f64;
+    CellStats {
+        median_lon: a.median_lon * wa + b.median_lon * wb,
+        median_lat: a.median_lat * wa + b.median_lat * wb,
+        median_sog: a.median_sog * wa + b.median_sog * wb,
+        median_cog: combine_cog(a.median_cog, wa, b.median_cog, wb),
+        msg_count: a.msg_count + b.msg_count,
+        vessels: a.vessels.max(b.vessels),
+    }
+}
+
+/// Weighted circular combination of two courses (degrees).
+fn combine_cog(a_deg: f64, wa: f64, b_deg: f64, wb: f64) -> f64 {
+    let (asin, acos) = a_deg.to_radians().sin_cos();
+    let (bsin, bcos) = b_deg.to_radians().sin_cos();
+    let y = asin * wa + bsin * wb;
+    let x = acos * wa + bcos * wb;
+    if x == 0.0 && y == 0.0 {
+        return a_deg;
+    }
+    let deg = y.atan2(x).to_degrees();
+    if deg < 0.0 {
+        deg + 360.0
+    } else {
+        deg
+    }
+}
+
+impl HabitModel {
+    /// Combines this model with another batch fitted under the **same
+    /// configuration** (resolution, projection, weights must match —
+    /// graphs at different resolutions are incommensurable).
+    pub fn merged_with(&self, other: &HabitModel) -> Result<HabitModel, HabitError> {
+        let a = self.config();
+        let b = other.config();
+        if a.resolution != b.resolution
+            || a.projection != b.projection
+            || a.weight_scheme != b.weight_scheme
+        {
+            return Err(HabitError::ConfigMismatch);
+        }
+        let graph = merge_graphs(self.graph(), other.graph());
+        Ok(HabitModel::from_graph(graph, *a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HabitConfig;
+    use crate::impute::GapQuery;
+    use ais::{trips_to_table, AisPoint, Trip};
+
+    fn lane_trips(offset_trip_id: u64, lat: f64, n_trips: u64) -> Vec<Trip> {
+        (0..n_trips)
+            .map(|k| Trip {
+                trip_id: offset_trip_id + k,
+                mmsi: 100 + offset_trip_id + k,
+                points: (0..150)
+                    .map(|i| {
+                        AisPoint::new(
+                            100 + offset_trip_id + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.003,
+                            lat,
+                            12.0,
+                            90.0,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn fit(trips: &[Trip]) -> HabitModel {
+        HabitModel::fit(&trips_to_table(trips), HabitConfig::with_r_t(9, 100.0)).expect("fit")
+    }
+
+    #[test]
+    fn merging_disjoint_batches_unions_lanes() {
+        let north = fit(&lane_trips(1, 56.3, 3));
+        let south = fit(&lane_trips(10, 56.0, 3));
+        let merged = north.merged_with(&south).expect("merge");
+        assert_eq!(
+            merged.node_count(),
+            north.node_count() + south.node_count(),
+            "disjoint lanes union"
+        );
+        // Both lanes answer queries after the merge.
+        for lat in [56.0, 56.3] {
+            let gap = GapQuery::new(10.05, lat, 0, 10.4, lat, 3600);
+            let imp = merged.impute(&gap).expect("impute");
+            for p in &imp.points {
+                assert!((p.pos.lat - lat).abs() < 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn merging_same_lane_adds_counts_not_cells() {
+        let batch1 = fit(&lane_trips(1, 56.0, 3));
+        let batch2 = fit(&lane_trips(20, 56.0, 3));
+        let merged = batch1.merged_with(&batch2).expect("merge");
+        assert_eq!(merged.node_count(), batch1.node_count());
+        // Message counts add exactly.
+        let total_before: u64 = batch1
+            .graph()
+            .nodes()
+            .map(|(_, s)| s.msg_count)
+            .sum::<u64>()
+            + batch2.graph().nodes().map(|(_, s)| s.msg_count).sum::<u64>();
+        let total_after: u64 = merged.graph().nodes().map(|(_, s)| s.msg_count).sum();
+        assert_eq!(total_after, total_before);
+        // Edge weights add.
+        let w = |m: &HabitModel| -> u64 {
+            m.graph()
+                .nodes()
+                .flat_map(|(id, _)| {
+                    m.graph()
+                        .edges_from(id)
+                        .expect("node")
+                        .map(|e| e.payload.transitions as u64)
+                        .collect::<Vec<_>>()
+                })
+                .sum()
+        };
+        assert_eq!(w(&merged), w(&batch1) + w(&batch2));
+    }
+
+    #[test]
+    fn merge_is_commutative_on_counts() {
+        let a = fit(&lane_trips(1, 56.0, 2));
+        let b = fit(&lane_trips(10, 56.05, 4));
+        let ab = a.merged_with(&b).expect("merge");
+        let ba = b.merged_with(&a).expect("merge");
+        assert_eq!(ab.node_count(), ba.node_count());
+        assert_eq!(ab.edge_count(), ba.edge_count());
+        for (id, s) in ab.graph().nodes() {
+            let t = ba.graph().node(id).expect("same node set");
+            assert_eq!(s.msg_count, t.msg_count);
+            assert!((s.median_lon - t.median_lon).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mismatched_configs_rejected() {
+        let a = fit(&lane_trips(1, 56.0, 2));
+        let b = HabitModel::fit(
+            &trips_to_table(&lane_trips(10, 56.0, 2)),
+            HabitConfig::with_r_t(8, 100.0),
+        )
+        .expect("fit");
+        assert!(matches!(
+            a.merged_with(&b),
+            Err(HabitError::ConfigMismatch)
+        ));
+    }
+
+    #[test]
+    fn circular_course_combination() {
+        // 350° and 10° average to 0°, not 180°.
+        let c = combine_cog(350.0, 0.5, 10.0, 0.5);
+        assert!(!(1.0..=359.0).contains(&c), "combined course {c}");
+        // Weighted pull toward the heavier batch.
+        let c = combine_cog(0.0, 0.9, 90.0, 0.1);
+        assert!((0.0..30.0).contains(&c), "combined course {c}");
+    }
+
+    #[test]
+    fn merged_model_round_trips_serialization() {
+        let a = fit(&lane_trips(1, 56.0, 2));
+        let b = fit(&lane_trips(10, 56.3, 2));
+        let merged = a.merged_with(&b).expect("merge");
+        let back = HabitModel::from_bytes(&merged.to_bytes()).expect("round trip");
+        assert_eq!(back.node_count(), merged.node_count());
+        assert_eq!(back.edge_count(), merged.edge_count());
+    }
+}

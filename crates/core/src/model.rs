@@ -1,0 +1,228 @@
+//! The fitted HABIT model: transition graph + spatial index + config.
+
+use crate::config::HabitConfig;
+use crate::error::HabitError;
+use crate::graphgen::{build_transition_graph, CellStats, EdgeStats};
+use aggdb::Table;
+use geo_kernel::GeoPoint;
+use hexgrid::{HexCell, HexGrid};
+use mobgraph::{Codec, DiGraph, NearestIndex};
+
+/// Magic bytes prefixing a serialized model ("HBM1").
+const MODEL_MAGIC: u32 = 0x4D42_4831;
+/// Blob format version.
+const MODEL_VERSION: u8 = 1;
+
+/// A fitted HABIT framework instance.
+///
+/// Holds the weighted transition graph (nodes = H3 cells with aggregate
+/// statistics, edges = observed transitions), the working grid, and a
+/// nearest-node index for snapping gap endpoints. Fitting is phase 1–2 of
+/// the paper; [`HabitModel::impute`](crate::impute) is phases 3–4.
+pub struct HabitModel {
+    pub(crate) config: HabitConfig,
+    pub(crate) graph: DiGraph<CellStats, EdgeStats>,
+    pub(crate) grid: HexGrid,
+    pub(crate) nn: NearestIndex,
+    /// Maximum edge transition count (heuristic scaling).
+    pub(crate) max_transitions: u32,
+    /// Maximum per-edge grid distance (heuristic admissibility bound).
+    pub(crate) max_grid_distance: u16,
+}
+
+impl HabitModel {
+    /// Fits the model on a trip table (columns per [`ais::COLS`]).
+    pub fn fit(table: &Table, config: HabitConfig) -> Result<Self, HabitError> {
+        let graph = build_transition_graph(table, &config)?;
+        Ok(Self::from_graph(graph, config))
+    }
+
+    pub(crate) fn from_graph(graph: DiGraph<CellStats, EdgeStats>, config: HabitConfig) -> Self {
+        let grid = HexGrid::new();
+        // Node representative positions for the nearest-node index: the
+        // median position when observed, the cell center otherwise.
+        let mut positions = Vec::with_capacity(graph.node_count());
+        for (id, stats) in graph.nodes() {
+            let pos = if stats.msg_count > 0 {
+                GeoPoint::new(stats.median_lon, stats.median_lat)
+            } else {
+                grid.center(HexCell::from_raw(id).expect("node ids are valid cells"))
+            };
+            positions.push(pos);
+        }
+        let bucket_deg = cell_bucket_degrees(&grid, config.resolution);
+        let nn = NearestIndex::build(positions, bucket_deg);
+
+        let mut max_transitions = 1u32;
+        let mut max_grid_distance = 1u16;
+        for (id, _) in graph.nodes() {
+            for e in graph.edges_from(id).expect("node exists") {
+                max_transitions = max_transitions.max(e.payload.transitions);
+                max_grid_distance = max_grid_distance.max(e.payload.grid_distance.max(1));
+            }
+        }
+
+        Self {
+            config,
+            graph,
+            grid,
+            nn,
+            max_transitions,
+            max_grid_distance,
+        }
+    }
+
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &HabitConfig {
+        &self.config
+    }
+
+    /// Number of graph nodes (distinct cells with traffic).
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of graph edges (distinct observed transitions).
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Cell statistics for a cell id, if it is a graph node.
+    pub fn cell_stats(&self, cell: HexCell) -> Option<&CellStats> {
+        self.graph.node(cell.raw())
+    }
+
+    /// Direct access to the transition graph (read-only).
+    pub fn graph(&self) -> &DiGraph<CellStats, EdgeStats> {
+        &self.graph
+    }
+
+    /// Serializes the model to its on-disk form — the framework storage
+    /// size the paper's Table 2 reports.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        MODEL_MAGIC.encode(&mut out);
+        MODEL_VERSION.encode(&mut out);
+        self.config.resolution.encode(&mut out);
+        self.config.projection_code().encode(&mut out);
+        self.config.weight_code().encode(&mut out);
+        self.config.rdp_tolerance_m.encode(&mut out);
+        let graph_bytes = self.graph.to_bytes();
+        out.extend_from_slice(&graph_bytes);
+        out
+    }
+
+    /// Deserializes a model previously produced by [`HabitModel::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, HabitError> {
+        let mut buf = bytes;
+        let buf = &mut buf;
+        if u32::decode(buf) != Some(MODEL_MAGIC) || u8::decode(buf) != Some(MODEL_VERSION) {
+            return Err(HabitError::BadModelBlob);
+        }
+        let resolution = u8::decode(buf).ok_or(HabitError::BadModelBlob)?;
+        let projection = u8::decode(buf).ok_or(HabitError::BadModelBlob)?;
+        let weight = u8::decode(buf).ok_or(HabitError::BadModelBlob)?;
+        let rdp = f64::decode(buf).ok_or(HabitError::BadModelBlob)?;
+        let config = HabitConfig::decode(resolution, projection, weight, rdp);
+        let graph =
+            DiGraph::<CellStats, EdgeStats>::from_bytes(buf).ok_or(HabitError::BadModelBlob)?;
+        Ok(Self::from_graph(graph, config))
+    }
+
+    /// Serialized size in bytes (storage metric).
+    pub fn storage_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// Bucket size (degrees) for the nearest-node index: roughly one cell
+/// diameter at the given resolution.
+fn cell_bucket_degrees(grid: &HexGrid, resolution: u8) -> f64 {
+    let edge_m = grid.edge_length_m(resolution).unwrap_or(200.0);
+    (edge_m * 2.0 / 111_195.0).max(1e-5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::{trips_to_table, AisPoint, Trip};
+
+    fn model() -> HabitModel {
+        let trips: Vec<Trip> = (0..4)
+            .map(|k| Trip {
+                trip_id: k + 1,
+                mmsi: 100 + k,
+                points: (0..150)
+                    .map(|i| {
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.004,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        HabitModel::fit(&trips_to_table(&trips), HabitConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn fit_produces_nonempty_model() {
+        let m = model();
+        assert!(m.node_count() > 5);
+        assert!(m.edge_count() > 4);
+        assert!(m.max_transitions >= 3, "max_transitions {}", m.max_transitions);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let m = model();
+        let bytes = m.to_bytes();
+        assert_eq!(bytes.len(), m.storage_bytes());
+        let back = HabitModel::from_bytes(&bytes).unwrap();
+        assert_eq!(back.node_count(), m.node_count());
+        assert_eq!(back.edge_count(), m.edge_count());
+        assert_eq!(back.config().resolution, m.config().resolution);
+        assert_eq!(back.max_transitions, m.max_transitions);
+    }
+
+    #[test]
+    fn corrupted_blob_rejected() {
+        let m = model();
+        let mut bytes = m.to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            HabitModel::from_bytes(&bytes),
+            Err(HabitError::BadModelBlob)
+        ));
+        assert!(HabitModel::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn storage_grows_with_resolution() {
+        // Dense reporting so finer grids genuinely hold more cells.
+        let trips: Vec<Trip> = (0..3)
+            .map(|k| Trip {
+                trip_id: k + 1,
+                mmsi: 100 + k,
+                points: (0..600)
+                    .map(|i| {
+                        AisPoint::new(100 + k, i as i64 * 10, 10.0 + i as f64 * 0.001, 56.0, 12.0, 90.0)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let table = trips_to_table(&trips);
+        let m8 = HabitModel::fit(&table, HabitConfig::with_r_t(8, 100.0)).unwrap();
+        let m10 = HabitModel::fit(&table, HabitConfig::with_r_t(10, 100.0)).unwrap();
+        assert!(
+            m10.storage_bytes() > m8.storage_bytes() * 2,
+            "r8 {} vs r10 {}",
+            m8.storage_bytes(),
+            m10.storage_bytes()
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the HABIT core: deserialization robustness,
+//! imputation invariants, and configuration round trips.
+
+use crate::config::{CellProjection, HabitConfig, WeightScheme};
+use crate::impute::GapQuery;
+use crate::model::HabitModel;
+use ais::{trips_to_table, AisPoint, Trip};
+use proptest::prelude::*;
+
+fn lane_model(resolution: u8) -> HabitModel {
+    let trips: Vec<Trip> = (0..3)
+        .map(|k| Trip {
+            trip_id: k + 1,
+            mmsi: 100 + k,
+            points: (0..150)
+                .map(|i| {
+                    AisPoint::new(100 + k, i as i64 * 60, 10.0 + i as f64 * 0.003, 56.0, 12.0, 90.0)
+                })
+                .collect(),
+        })
+        .collect();
+    HabitModel::fit(
+        &trips_to_table(&trips),
+        HabitConfig::with_r_t(resolution, 100.0),
+    )
+    .expect("fit")
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the deserializer: they either decode
+    /// to a valid model or return an error.
+    #[test]
+    fn from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..4_096)) {
+        let _ = HabitModel::from_bytes(&bytes);
+    }
+
+    /// Truncating a valid blob at any point yields an error, not a panic
+    /// or a silently wrong model.
+    #[test]
+    fn truncated_blob_rejected(cut_frac in 0.0f64..0.999) {
+        let model = lane_model(9);
+        let bytes = model.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(HabitModel::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Single-byte corruption anywhere in the payload is either caught
+    /// or produces a model that still answers without panicking.
+    #[test]
+    fn bit_flips_are_contained(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let model = lane_model(8);
+        let mut bytes = model.to_bytes();
+        let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        if let Ok(m) = HabitModel::from_bytes(&bytes) {
+            let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+            let _ = m.impute(&gap); // must not panic
+        }
+    }
+
+    /// Imputation output invariants across gap geometries: endpoints
+    /// preserved, timestamps monotone and spanning the gap, simplified
+    /// path no longer than the raw path.
+    #[test]
+    fn imputation_invariants(
+        start_frac in 0.0f64..0.4,
+        end_frac in 0.55f64..1.0,
+        duration_s in 600i64..14_400,
+    ) {
+        let model = lane_model(9);
+        let lon0 = 10.0 + 0.45 * start_frac;
+        let lon1 = 10.0 + 0.45 * end_frac;
+        let gap = GapQuery::new(lon0, 56.0, 0, lon1, 56.0, duration_s);
+        let imp = model.impute(&gap).expect("on-lane gap imputes");
+        let first = imp.points.first().expect("non-empty");
+        let last = imp.points.last().expect("non-empty");
+        prop_assert_eq!(first.t, 0);
+        prop_assert_eq!(last.t, duration_s);
+        prop_assert!((first.pos.lon - lon0).abs() < 1e-9);
+        prop_assert!((last.pos.lon - lon1).abs() < 1e-9);
+        prop_assert!(imp.points.windows(2).all(|w| w[0].t <= w[1].t));
+        prop_assert!(imp.points.len() <= imp.raw_point_count.max(2));
+        prop_assert!(!imp.cells.is_empty());
+    }
+
+    /// Config encode/decode round-trips for every combination.
+    #[test]
+    fn config_codes_round_trip(res in 0u8..=15, proj in 0u8..2, weight in 0u8..3, tol in 0.0f64..2_000.0) {
+        let config = HabitConfig {
+            resolution: res,
+            projection: if proj == 0 { CellProjection::Center } else { CellProjection::Median },
+            weight_scheme: match weight {
+                1 => WeightScheme::InverseTransitions,
+                2 => WeightScheme::NegLogFrequency,
+                _ => WeightScheme::Hops,
+            },
+            rdp_tolerance_m: tol,
+            ..HabitConfig::default()
+        };
+        let back = HabitConfig::decode(
+            config.resolution,
+            config.projection_code(),
+            config.weight_code(),
+            config.rdp_tolerance_m,
+        );
+        prop_assert_eq!(back.resolution, config.resolution);
+        prop_assert_eq!(back.projection, config.projection);
+        prop_assert_eq!(back.weight_scheme, config.weight_scheme);
+        prop_assert_eq!(back.rdp_tolerance_m, config.rdp_tolerance_m);
+    }
+}

@@ -1,0 +1,36 @@
+//! # density — vessel-traffic density maps over the hex grid
+//!
+//! The paper motivates trajectory imputation with *density maps* (§1,
+//! Fig. 1): per-cell aggregates of AIS traffic that reveal shipping
+//! lanes, congestion, and anomalies — and that gaps corrupt. Its future
+//! work targets "area-specific analytics, such as density maps" on top
+//! of imputed data. This crate is that application layer:
+//!
+//! * [`DensityMap`] — per-H3-cell traffic statistics (message count,
+//!   approximate distinct vessels, mean speed) accumulated from raw
+//!   trajectories, trips, or imputed paths;
+//! * [`DensityDiff`] — cell-level comparison of two maps (e.g. before vs
+//!   after imputation): restored, lost and changed cells, plus lane-
+//!   continuity scoring along corridors;
+//! * [`render`] — ASCII heat maps and CSV export for inspection.
+//!
+//! ```
+//! use density::DensityMap;
+//! use geo_kernel::GeoPoint;
+//!
+//! let mut map = DensityMap::new(8);
+//! for i in 0..100 {
+//!     let p = GeoPoint::new(10.0 + i as f64 * 0.002, 56.0);
+//!     map.record(&p, 1, 12.0);
+//! }
+//! assert!(map.cell_count() > 3);
+//! assert_eq!(map.total_messages(), 100);
+//! ```
+
+pub mod diff;
+pub mod map;
+pub mod render;
+
+pub use diff::{lane_continuity, DensityDiff};
+pub use map::{CellDensity, DensityMap};
+pub use render::{render_ascii, to_csv, to_geojson};

@@ -1,0 +1,335 @@
+//! The density map accumulator.
+
+use aggdb::fxhash::FxHashMap;
+use aggdb::HyperLogLog;
+use ais::{Trajectory, Trip};
+use geo_kernel::{GeoPoint, TimedPoint};
+use hexgrid::{HexCell, HexGrid};
+
+/// Per-cell traffic statistics.
+///
+/// Mirrors the node statistics HABIT keeps (paper §3.2) but is
+/// maintained incrementally so maps can be updated as data streams in.
+#[derive(Debug, Clone)]
+pub struct CellDensity {
+    /// Number of positional reports in the cell.
+    pub messages: u64,
+    /// Approximate distinct vessels (HyperLogLog, like the paper's
+    /// `approx_count_distinct(VESSEL_ID)`).
+    vessels: HyperLogLog,
+    /// Sum of reported speeds (knots) for the mean.
+    sog_sum: f64,
+}
+
+impl CellDensity {
+    fn new() -> Self {
+        Self {
+            messages: 0,
+            vessels: HyperLogLog::default_precision(),
+            sog_sum: 0.0,
+        }
+    }
+
+    /// Approximate distinct vessel count.
+    pub fn vessels(&self) -> u64 {
+        self.vessels.count()
+    }
+
+    /// Mean reported speed over ground, knots (0 when empty).
+    pub fn mean_sog(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.sog_sum / self.messages as f64
+        }
+    }
+
+    fn merge(&mut self, other: &CellDensity) {
+        self.messages += other.messages;
+        self.vessels.merge(&other.vessels);
+        self.sog_sum += other.sog_sum;
+    }
+}
+
+/// A traffic density map over the hex grid at a fixed resolution.
+///
+/// Build one from raw AIS ([`DensityMap::add_trajectory`]), segmented
+/// trips ([`DensityMap::add_trip`]), or imputed paths
+/// ([`DensityMap::add_path`]); combine maps with [`DensityMap::merge`].
+#[derive(Debug, Clone)]
+pub struct DensityMap {
+    resolution: u8,
+    grid: HexGrid,
+    cells: FxHashMap<u64, CellDensity>,
+}
+
+impl DensityMap {
+    /// Creates an empty map at H3 resolution `resolution`.
+    pub fn new(resolution: u8) -> Self {
+        Self {
+            resolution,
+            grid: HexGrid::new(),
+            cells: FxHashMap::default(),
+        }
+    }
+
+    /// The grid resolution the map aggregates at.
+    pub fn resolution(&self) -> u8 {
+        self.resolution
+    }
+
+    /// Records one positional report.
+    ///
+    /// Invalid coordinates are ignored (AIS sentinel values such as
+    /// `lon = 181`), mirroring the cleaning step of the pipeline.
+    pub fn record(&mut self, pos: &GeoPoint, mmsi: u64, sog: f64) {
+        if !pos.is_valid() {
+            return;
+        }
+        let Ok(cell) = self.grid.cell(pos, self.resolution) else {
+            return;
+        };
+        let entry = self.cells.entry(cell.raw()).or_insert_with(CellDensity::new);
+        entry.messages += 1;
+        entry.vessels.insert_u64(mmsi);
+        entry.sog_sum += sog.max(0.0);
+    }
+
+    /// Records every report of a raw trajectory.
+    pub fn add_trajectory(&mut self, traj: &Trajectory) {
+        for p in &traj.points {
+            self.record(&p.pos, p.mmsi, p.sog);
+        }
+    }
+
+    /// Records every report of a segmented trip.
+    pub fn add_trip(&mut self, trip: &Trip) {
+        for p in &trip.points {
+            self.record(&p.pos, p.mmsi, p.sog);
+        }
+    }
+
+    /// Records an imputed path for vessel `mmsi`.
+    ///
+    /// Imputed points carry no speed, so they contribute the implied
+    /// average speed of the path (distance / duration) to keep the
+    /// per-cell speed statistic meaningful.
+    pub fn add_path(&mut self, path: &[TimedPoint], mmsi: u64) {
+        let implied_sog = implied_speed_knots(path);
+        for p in path {
+            self.record(&p.pos, mmsi, implied_sog);
+        }
+    }
+
+    /// Builds a map directly from trips.
+    pub fn from_trips(resolution: u8, trips: &[Trip]) -> Self {
+        let mut map = Self::new(resolution);
+        for t in trips {
+            map.add_trip(t);
+        }
+        map
+    }
+
+    /// Statistics for one cell, if it has traffic.
+    pub fn get(&self, cell: HexCell) -> Option<&CellDensity> {
+        self.cells.get(&cell.raw())
+    }
+
+    /// Iterates `(cell, statistics)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (HexCell, &CellDensity)> {
+        self.cells.iter().map(|(&raw, d)| {
+            (
+                HexCell::from_raw(raw).expect("only valid cells are inserted"),
+                d,
+            )
+        })
+    }
+
+    /// Number of cells with at least one report.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Sum of message counts over all cells.
+    pub fn total_messages(&self) -> u64 {
+        self.cells.values().map(|d| d.messages).sum()
+    }
+
+    /// Largest per-cell message count (render scaling).
+    pub fn max_messages(&self) -> u64 {
+        self.cells.values().map(|d| d.messages).max().unwrap_or(0)
+    }
+
+    /// The `n` busiest cells by message count, descending.
+    pub fn top_cells(&self, n: usize) -> Vec<(HexCell, u64)> {
+        let mut all: Vec<(HexCell, u64)> = self
+            .iter()
+            .map(|(c, d)| (c, d.messages))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
+        all.truncate(n);
+        all
+    }
+
+    /// Merges `other` into `self` cell-wise. Both maps must share the
+    /// same resolution.
+    ///
+    /// # Panics
+    /// Panics when the resolutions differ — merging maps of different
+    /// granularity is a logic error.
+    pub fn merge(&mut self, other: &DensityMap) {
+        assert_eq!(
+            self.resolution, other.resolution,
+            "cannot merge maps of different resolutions"
+        );
+        for (&raw, d) in &other.cells {
+            self.cells
+                .entry(raw)
+                .and_modify(|mine| mine.merge(d))
+                .or_insert_with(|| d.clone());
+        }
+    }
+
+    /// Representative position of a cell (its geometric center).
+    pub fn cell_center(&self, cell: HexCell) -> GeoPoint {
+        self.grid.center(cell)
+    }
+}
+
+/// Average speed a path implies, in knots (0 for degenerate paths).
+fn implied_speed_knots(path: &[TimedPoint]) -> f64 {
+    if path.len() < 2 {
+        return 0.0;
+    }
+    let positions: Vec<GeoPoint> = path.iter().map(|p| p.pos).collect();
+    let meters = geo_kernel::path_length_m(&positions);
+    let seconds = (path.last().expect("len>=2").t - path.first().expect("len>=2").t) as f64;
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    geo_kernel::mps_to_knots(meters / seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::AisPoint;
+
+    fn lane_points_for(mmsi: u64, n: usize) -> Vec<AisPoint> {
+        (0..n)
+            .map(|i| AisPoint::new(mmsi, i as i64 * 60, 10.0 + i as f64 * 0.002, 56.0, 12.0, 90.0))
+            .collect()
+    }
+
+    fn lane_points(n: usize) -> Vec<AisPoint> {
+        lane_points_for(7, n)
+    }
+
+    #[test]
+    fn record_accumulates_per_cell() {
+        let mut map = DensityMap::new(8);
+        let p = GeoPoint::new(10.0, 56.0);
+        map.record(&p, 1, 10.0);
+        map.record(&p, 1, 14.0);
+        map.record(&p, 2, 12.0);
+        assert_eq!(map.cell_count(), 1);
+        let (_, d) = map.iter().next().unwrap();
+        assert_eq!(d.messages, 3);
+        assert_eq!(d.vessels(), 2);
+        assert!((d.mean_sog() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_positions_ignored() {
+        let mut map = DensityMap::new(8);
+        map.record(&GeoPoint::new(181.0, 91.0), 1, 0.0);
+        map.record(&GeoPoint::new(f64::NAN, 56.0), 1, 0.0);
+        assert_eq!(map.cell_count(), 0);
+        assert_eq!(map.total_messages(), 0);
+    }
+
+    #[test]
+    fn trip_and_trajectory_sources_agree() {
+        let pts = lane_points(50);
+        let trip = Trip {
+            trip_id: 1,
+            mmsi: 7,
+            points: pts.clone(),
+        };
+        let traj = Trajectory::new(7, pts);
+        let mut from_trip = DensityMap::new(8);
+        from_trip.add_trip(&trip);
+        let mut from_traj = DensityMap::new(8);
+        from_traj.add_trajectory(&traj);
+        assert_eq!(from_trip.cell_count(), from_traj.cell_count());
+        assert_eq!(from_trip.total_messages(), from_traj.total_messages());
+    }
+
+    #[test]
+    fn imputed_paths_carry_implied_speed() {
+        // 0.02 deg lon at 56N in one hour: ~1.25 km -> ~0.67 knots.
+        let path = vec![
+            TimedPoint::new(10.0, 56.0, 0),
+            TimedPoint::new(10.02, 56.0, 3600),
+        ];
+        let mut map = DensityMap::new(7);
+        map.add_path(&path, 9);
+        let (_, d) = map.iter().next().unwrap();
+        assert!(d.mean_sog() > 0.3 && d.mean_sog() < 1.0, "sog {}", d.mean_sog());
+    }
+
+    #[test]
+    fn top_cells_sorted_descending() {
+        let mut map = DensityMap::new(8);
+        for p in lane_points(200) {
+            map.record(&p.pos, p.mmsi, p.sog);
+        }
+        // Weight one spot heavily.
+        for _ in 0..500 {
+            map.record(&GeoPoint::new(10.1, 56.0), 99, 5.0);
+        }
+        let top = map.top_cells(5);
+        assert!(!top.is_empty());
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(top[0].1 >= 500);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_unions_vessels() {
+        let p = GeoPoint::new(10.0, 56.0);
+        let mut a = DensityMap::new(8);
+        a.record(&p, 1, 10.0);
+        let mut b = DensityMap::new(8);
+        b.record(&p, 2, 20.0);
+        b.record(&GeoPoint::new(11.0, 56.5), 3, 8.0);
+        a.merge(&b);
+        assert_eq!(a.cell_count(), 2);
+        assert_eq!(a.total_messages(), 3);
+        let cell = a.grid.cell(&p, 8).unwrap();
+        let d = a.get(cell).unwrap();
+        assert_eq!(d.messages, 2);
+        assert_eq!(d.vessels(), 2);
+        assert!((d.mean_sog() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different resolutions")]
+    fn merge_rejects_mixed_resolutions() {
+        let mut a = DensityMap::new(8);
+        let b = DensityMap::new(9);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn from_trips_convenience() {
+        let trips = vec![
+            Trip { trip_id: 1, mmsi: 7, points: lane_points_for(7, 30) },
+            Trip { trip_id: 2, mmsi: 8, points: lane_points_for(8, 30) },
+        ];
+        let map = DensityMap::from_trips(8, &trips);
+        assert_eq!(map.total_messages(), 60);
+        // Two vessels visited every lane cell.
+        let (_, d) = map.iter().next().unwrap();
+        assert_eq!(d.vessels(), 2);
+    }
+}

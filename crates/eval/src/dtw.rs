@@ -1,0 +1,146 @@
+//! Dynamic Time Warping accuracy metric (paper §4.1).
+//!
+//! "We use the Dynamic Time Warping (DTW) that indicates the average
+//! distances between the imputed and original paths. For meaningful DTW
+//! measurements, the imputed trajectories were interpolated, ensuring
+//! that consecutive positions were at most 250 m apart."
+
+use geo_kernel::{equirectangular_m, resample_max_spacing, GeoPoint};
+
+/// The paper's resampling bound: consecutive positions ≤ 250 m apart.
+pub const DTW_RESAMPLE_M: f64 = 250.0;
+
+/// Plain DTW between two point sequences with great-circle local costs.
+/// Returns the *mean* matched distance (total warping cost divided by the
+/// warping path length), in meters. `None` when either path is empty.
+///
+/// Memory: two rolling rows (O(min(n,m)) would need transposition; O(m)
+/// as written), plus a parallel matrix of path lengths so the mean is
+/// exact rather than cost/max(n,m).
+pub fn dtw_mean_m(a: &[GeoPoint], b: &[GeoPoint]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let m = b.len();
+    // cost[j], steps[j] for the previous and current row.
+    let mut prev_cost = vec![f64::INFINITY; m];
+    let mut prev_steps = vec![0u32; m];
+    let mut cur_cost = vec![f64::INFINITY; m];
+    let mut cur_steps = vec![0u32; m];
+
+    for (i, pa) in a.iter().enumerate() {
+        for (j, pb) in b.iter().enumerate() {
+            let d = equirectangular_m(pa, pb);
+            let (base, steps) = if i == 0 && j == 0 {
+                (0.0, 0)
+            } else {
+                // min over (i-1,j), (i,j-1), (i-1,j-1)
+                let mut best = f64::INFINITY;
+                let mut best_steps = 0;
+                if i > 0 && prev_cost[j] < best {
+                    best = prev_cost[j];
+                    best_steps = prev_steps[j];
+                }
+                if j > 0 && cur_cost[j - 1] < best {
+                    best = cur_cost[j - 1];
+                    best_steps = cur_steps[j - 1];
+                }
+                if i > 0 && j > 0 && prev_cost[j - 1] < best {
+                    best = prev_cost[j - 1];
+                    best_steps = prev_steps[j - 1];
+                }
+                (best, best_steps)
+            };
+            cur_cost[j] = base + d;
+            cur_steps[j] = steps + 1;
+        }
+        std::mem::swap(&mut prev_cost, &mut cur_cost);
+        std::mem::swap(&mut prev_steps, &mut cur_steps);
+        cur_cost.fill(f64::INFINITY);
+        cur_steps.fill(0);
+    }
+    let total = prev_cost[m - 1];
+    let steps = prev_steps[m - 1].max(1);
+    Some(total / steps as f64)
+}
+
+/// The paper's metric: resample both paths to ≤ 250 m spacing, then mean
+/// DTW distance in meters.
+pub fn resampled_dtw_m(imputed: &[GeoPoint], original: &[GeoPoint]) -> Option<f64> {
+    if imputed.is_empty() || original.is_empty() {
+        return None;
+    }
+    let a = resample_max_spacing(imputed, DTW_RESAMPLE_M);
+    let b = resample_max_spacing(original, DTW_RESAMPLE_M);
+    dtw_mean_m(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(lat: f64, n: usize) -> Vec<GeoPoint> {
+        (0..n).map(|i| GeoPoint::new(10.0 + i as f64 * 0.01, lat)).collect()
+    }
+
+    #[test]
+    fn identical_paths_have_zero_dtw() {
+        let p = line(56.0, 20);
+        assert!(dtw_mean_m(&p, &p).unwrap() < 1e-9);
+        assert!(resampled_dtw_m(&p, &p).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_offset_paths_measure_the_offset() {
+        // Two parallel lines 0.01° of latitude apart ≈ 1112 m.
+        let a = line(56.0, 30);
+        let b = line(56.01, 30);
+        let d = resampled_dtw_m(&a, &b).unwrap();
+        assert!((d - 1_112.0).abs() < 60.0, "d = {d}");
+    }
+
+    #[test]
+    fn dtw_handles_different_lengths() {
+        // The same 0.294° west-east segment sampled with 10 vs 50 points.
+        // After ≤250 m resampling the two point sets are phase-shifted
+        // samplings of one geometry, so the mean matched distance is a
+        // fraction of the resampling step — far below any real imputation
+        // error, but not exactly zero.
+        let span = 0.294f64;
+        let a: Vec<GeoPoint> =
+            (0..10).map(|i| GeoPoint::new(10.0 + span * i as f64 / 9.0, 56.0)).collect();
+        let b: Vec<GeoPoint> =
+            (0..50).map(|i| GeoPoint::new(10.0 + span * i as f64 / 49.0, 56.0)).collect();
+        let d = resampled_dtw_m(&a, &b).unwrap();
+        assert!(d < DTW_RESAMPLE_M / 2.0, "d = {d}");
+    }
+
+    #[test]
+    fn detour_increases_dtw() {
+        let straight = line(56.0, 30);
+        let mut detour = line(56.0, 30);
+        // Push the middle third 3 km north.
+        for p in detour.iter_mut().skip(10).take(10) {
+            p.lat += 0.027;
+        }
+        let d_straight = resampled_dtw_m(&straight, &straight).unwrap();
+        let d_detour = resampled_dtw_m(&detour, &straight).unwrap();
+        assert!(d_detour > d_straight + 500.0, "detour {d_detour}");
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        let p = line(56.0, 5);
+        assert!(dtw_mean_m(&p, &[]).is_none());
+        assert!(dtw_mean_m(&[], &p).is_none());
+        assert!(resampled_dtw_m(&[], &p).is_none());
+    }
+
+    #[test]
+    fn single_point_paths() {
+        let a = vec![GeoPoint::new(10.0, 56.0)];
+        let b = vec![GeoPoint::new(10.0, 56.01)];
+        let d = dtw_mean_m(&a, &b).unwrap();
+        assert!((d - 1_112.0).abs() < 20.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # eval — the paper's experimental harness
+//!
+//! Everything needed to regenerate the evaluation section (§4):
+//!
+//! * [`dtw`] — Dynamic Time Warping accuracy metric with the paper's
+//!   ≤ 250 m resampling;
+//! * [`rot`] — rate-of-turn / navigability statistics (Table 3);
+//! * [`gaps`] — synthetic gap injection of fixed durations (60/120/240
+//!   minutes) placed randomly within test trips;
+//! * [`split`] — the 70 % / 30 % train/test trip split;
+//! * [`methods`] — a uniform [`methods::Imputer`] facade over
+//!   HABIT, GTI, SLI and PaLMTO;
+//! * [`experiments`] — one runner per paper table/figure, producing
+//!   structured rows;
+//! * [`report`] — markdown rendering of experiment outputs.
+//!
+//! Binaries under `crates/bench/src/bin/` call into this crate; run e.g.
+//! `cargo run -p habit-bench --release --bin fig5`.
+
+pub mod dtw;
+pub mod experiments;
+pub mod gaps;
+pub mod methods;
+pub mod report;
+pub mod rot;
+pub mod split;
+
+pub use dtw::{dtw_mean_m, resampled_dtw_m, DTW_RESAMPLE_M};
+pub use gaps::{inject_gap, GapCase};
+pub use methods::{Imputer, MethodOutput};
+pub use rot::{rot_stats, RotStats};
+pub use split::split_trips;

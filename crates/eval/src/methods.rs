@@ -1,0 +1,190 @@
+//! A uniform facade over all imputation methods, so experiment runners
+//! can sweep methods and configurations with one code path.
+
+use ais::Trip;
+use baselines::{impute_sli, GtiConfig, GtiModel, PalmtoConfig, PalmtoModel};
+use geo_kernel::TimedPoint;
+use habit_core::{GapQuery, HabitConfig, HabitModel};
+
+/// The outcome of one imputation query.
+#[derive(Debug, Clone)]
+pub enum MethodOutput {
+    /// An imputed path (endpoints included).
+    Path(Vec<TimedPoint>),
+    /// The method failed on this gap (no path, snap failure, timeout…).
+    Failed(String),
+}
+
+impl MethodOutput {
+    /// The path, if the query succeeded.
+    pub fn path(&self) -> Option<&[TimedPoint]> {
+        match self {
+            MethodOutput::Path(p) => Some(p),
+            MethodOutput::Failed(_) => None,
+        }
+    }
+}
+
+/// A fitted imputation method with a display label.
+pub enum Imputer {
+    /// HABIT with a given configuration.
+    Habit {
+        /// Display label, e.g. `HABIT r=9,t=100`.
+        label: String,
+        /// Fitted model.
+        model: Box<HabitModel>,
+    },
+    /// GTI with a given configuration.
+    Gti {
+        /// Display label, e.g. `GTI rm=250,rd=1e-4`.
+        label: String,
+        /// Fitted model.
+        model: Box<GtiModel>,
+    },
+    /// PaLMTO n-gram model.
+    Palmto {
+        /// Display label.
+        label: String,
+        /// Fitted model.
+        model: Box<PalmtoModel>,
+    },
+    /// Straight-line interpolation (no model).
+    Sli,
+}
+
+impl Imputer {
+    /// Fits HABIT on training trips.
+    pub fn fit_habit(train: &[Trip], config: HabitConfig) -> Result<Self, habit_core::HabitError> {
+        let table = ais::trips_to_table(train);
+        let model = HabitModel::fit(&table, config)?;
+        let label = format!(
+            "HABIT r={},t={:.0}",
+            config.resolution, config.rdp_tolerance_m
+        );
+        Ok(Imputer::Habit {
+            label,
+            model: Box::new(model),
+        })
+    }
+
+    /// Fits GTI on training trips.
+    pub fn fit_gti(train: &[Trip], config: GtiConfig) -> Result<Self, baselines::gti::GtiError> {
+        let model = GtiModel::fit(train, config)?;
+        let label = format!("GTI rm={:.0},rd={:.0e}", config.rm_m, config.rd_deg);
+        Ok(Imputer::Gti {
+            label,
+            model: Box::new(model),
+        })
+    }
+
+    /// Fits PaLMTO on training trips.
+    pub fn fit_palmto(train: &[Trip], config: PalmtoConfig) -> Result<Self, baselines::PalmtoError> {
+        let model = PalmtoModel::fit(train, config)?;
+        Ok(Imputer::Palmto {
+            label: format!("PaLMTO n={},r={}", config.n, config.resolution),
+            model: Box::new(model),
+        })
+    }
+
+    /// The straight-line baseline.
+    pub fn sli() -> Self {
+        Imputer::Sli
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &str {
+        match self {
+            Imputer::Habit { label, .. } => label,
+            Imputer::Gti { label, .. } => label,
+            Imputer::Palmto { label, .. } => label,
+            Imputer::Sli => "SLI",
+        }
+    }
+
+    /// Serialized model footprint in bytes (0 for SLI).
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            Imputer::Habit { model, .. } => model.storage_bytes(),
+            Imputer::Gti { model, .. } => model.storage_bytes(),
+            Imputer::Palmto { model, .. } => model.storage_bytes(),
+            Imputer::Sli => 0,
+        }
+    }
+
+    /// Answers one gap query.
+    pub fn impute(&self, gap: &GapQuery) -> MethodOutput {
+        match self {
+            Imputer::Habit { model, .. } => match model.impute(gap) {
+                Ok(imp) => MethodOutput::Path(imp.points),
+                Err(e) => MethodOutput::Failed(e.to_string()),
+            },
+            Imputer::Gti { model, .. } => match model.impute(gap.start, gap.end) {
+                Ok(p) => MethodOutput::Path(p),
+                Err(e) => MethodOutput::Failed(e.to_string()),
+            },
+            Imputer::Palmto { model, .. } => match model.impute(gap.start, gap.end) {
+                Ok(p) => MethodOutput::Path(p),
+                Err(e) => MethodOutput::Failed(e.to_string()),
+            },
+            Imputer::Sli => MethodOutput::Path(impute_sli(gap.start, gap.end, 250.0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::AisPoint;
+
+    fn lane_trips() -> Vec<Trip> {
+        (0..4u64)
+            .map(|k| Trip {
+                trip_id: k + 1,
+                mmsi: 100 + k,
+                points: (0..120)
+                    .map(|i| {
+                        AisPoint::new(100 + k, i as i64 * 60, 10.0 + i as f64 * 0.004, 56.0, 12.0, 90.0)
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_methods_fit_and_impute() {
+        let train = lane_trips();
+        let gap = GapQuery::new(10.1, 56.0, 0, 10.35, 56.0, 3600);
+        let methods = vec![
+            Imputer::fit_habit(&train, HabitConfig::default()).unwrap(),
+            Imputer::fit_gti(&train, GtiConfig::default()).unwrap(),
+            Imputer::fit_palmto(&train, PalmtoConfig::default()).unwrap(),
+            Imputer::sli(),
+        ];
+        for m in &methods {
+            let out = m.impute(&gap);
+            let path = out.path().unwrap_or_else(|| panic!("{} failed", m.label()));
+            assert!(path.len() >= 2, "{}", m.label());
+            assert_eq!(path.first().unwrap().t, 0, "{}", m.label());
+            assert_eq!(path.last().unwrap().t, 3600, "{}", m.label());
+        }
+        // Storage ordering: GTI (point graph) > HABIT (cell graph) > SLI.
+        assert!(methods[1].storage_bytes() > methods[0].storage_bytes());
+        assert_eq!(methods[3].storage_bytes(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        let train = lane_trips();
+        let h = Imputer::fit_habit(&train, HabitConfig::with_r_t(9, 100.0)).unwrap();
+        assert_eq!(h.label(), "HABIT r=9,t=100");
+        assert_eq!(Imputer::sli().label(), "SLI");
+    }
+
+    #[test]
+    fn failure_is_reported_not_panicked() {
+        let train = lane_trips();
+        let gti = Imputer::fit_gti(&train, GtiConfig::default()).unwrap();
+        let far_gap = GapQuery::new(0.0, 0.0, 0, 1.0, 1.0, 3600);
+        assert!(matches!(gti.impute(&far_gap), MethodOutput::Failed(_)));
+    }
+}

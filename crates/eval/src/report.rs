@@ -1,0 +1,163 @@
+//! Markdown rendering of experiment outputs.
+//!
+//! Every experiment binary prints its table through these helpers so the
+//! rows in `EXPERIMENTS.md` are regenerable verbatim.
+
+/// A rendered markdown table.
+#[derive(Debug, Clone)]
+pub struct MarkdownTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its arity must match the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as github-flavored markdown with padded columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = (0..ncols).map(|i| "-".repeat(widths[i])).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats meters with one decimal.
+pub fn fmt_m(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats bytes as megabytes with two decimals (Table 2 units).
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / 1_048_576.0)
+}
+
+/// Formats seconds with five decimals (Table 4 units; laptop-scale
+/// datasets answer in fractions of a millisecond).
+pub fn fmt_s(v: f64) -> String {
+    format!("{v:.5}")
+}
+
+/// Mean of a sample (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Median of a sample (0 for empty).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) * 0.5
+    }
+}
+
+/// p-th percentile (nearest-rank), 0 for empty samples.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_padded_markdown() {
+        let mut t = MarkdownTable::new(vec!["Method", "DTW"]);
+        t.row(vec!["HABIT", "123.4"]);
+        t.row(vec!["SLI", "999.9"]);
+        let s = t.render();
+        assert!(s.contains("| Method | DTW   |"), "{s}");
+        assert!(s.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        MarkdownTable::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 100.0), 4.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.0), 1.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_mb(1_048_576), "1.00");
+        assert_eq!(fmt_s(0.12345), "0.12345");
+        assert_eq!(fmt_m(12.34), "12.3");
+    }
+}

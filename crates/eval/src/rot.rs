@@ -1,0 +1,110 @@
+//! Rate-of-turn / navigability statistics (paper Table 3).
+
+use geo_kernel::{turn_angle_deg, GeoPoint};
+
+/// Navigability statistics of one path, as reported in Table 3:
+/// position count, average and maximum rate of turn, and the number of
+/// turns exceeding 45°.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RotStats {
+    /// Number of positions (`cnt`).
+    pub count: usize,
+    /// Average turn angle over interior vertices, degrees (`Avg rot`).
+    pub avg_rot_deg: f64,
+    /// Maximum turn angle, degrees (`Max rot`).
+    pub max_rot_deg: f64,
+    /// Number of turns exceeding 45° (`>45°`).
+    pub turns_over_45: usize,
+}
+
+/// Computes [`RotStats`] for a path. Paths with fewer than 3 vertices
+/// have zero turn statistics.
+pub fn rot_stats(path: &[GeoPoint]) -> RotStats {
+    let count = path.len();
+    if count < 3 {
+        return RotStats {
+            count,
+            ..RotStats::default()
+        };
+    }
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    let mut over45 = 0usize;
+    let mut n = 0usize;
+    for w in path.windows(3) {
+        let t = turn_angle_deg(&w[0], &w[1], &w[2]);
+        sum += t;
+        max = max.max(t);
+        if t > 45.0 {
+            over45 += 1;
+        }
+        n += 1;
+    }
+    RotStats {
+        count,
+        avg_rot_deg: sum / n as f64,
+        max_rot_deg: max,
+        turns_over_45: over45,
+    }
+}
+
+/// Averages statistics over many paths (Table 3 reports averages over all
+/// imputed paths).
+pub fn mean_rot_stats(all: &[RotStats]) -> RotStats {
+    if all.is_empty() {
+        return RotStats::default();
+    }
+    let n = all.len() as f64;
+    RotStats {
+        count: (all.iter().map(|s| s.count).sum::<usize>() as f64 / n).round() as usize,
+        avg_rot_deg: all.iter().map(|s| s.avg_rot_deg).sum::<f64>() / n,
+        max_rot_deg: all.iter().map(|s| s.max_rot_deg).sum::<f64>() / n,
+        turns_over_45: (all.iter().map(|s| s.turns_over_45).sum::<usize>() as f64 / n).round()
+            as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_path_no_turns() {
+        let p: Vec<GeoPoint> = (0..10).map(|i| GeoPoint::new(10.0 + 0.01 * i as f64, 56.0)).collect();
+        let s = rot_stats(&p);
+        assert_eq!(s.count, 10);
+        assert!(s.avg_rot_deg < 0.1);
+        assert_eq!(s.turns_over_45, 0);
+    }
+
+    #[test]
+    fn zigzag_counts_sharp_turns() {
+        let p: Vec<GeoPoint> = (0..10)
+            .map(|i| GeoPoint::new(0.01 * i as f64, if i % 2 == 0 { 0.0 } else { 0.008 }))
+            .collect();
+        let s = rot_stats(&p);
+        assert!(s.turns_over_45 >= 6, "{s:?}");
+        assert!(s.max_rot_deg > 70.0);
+        assert!(s.avg_rot_deg > 45.0);
+    }
+
+    #[test]
+    fn short_paths() {
+        assert_eq!(rot_stats(&[]).count, 0);
+        let two = rot_stats(&[GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)]);
+        assert_eq!(two.count, 2);
+        assert_eq!(two.max_rot_deg, 0.0);
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let a = RotStats { count: 10, avg_rot_deg: 20.0, max_rot_deg: 90.0, turns_over_45: 2 };
+        let b = RotStats { count: 20, avg_rot_deg: 40.0, max_rot_deg: 110.0, turns_over_45: 4 };
+        let m = mean_rot_stats(&[a, b]);
+        assert_eq!(m.count, 15);
+        assert_eq!(m.avg_rot_deg, 30.0);
+        assert_eq!(m.max_rot_deg, 100.0);
+        assert_eq!(m.turns_over_45, 3);
+        assert_eq!(mean_rot_stats(&[]), RotStats::default());
+    }
+}

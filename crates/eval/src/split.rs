@@ -1,0 +1,71 @@
+//! Train/test split (paper §4.1: "70% of the trips were utilized to
+//! construct the underlying graph structures … the remaining 30% were
+//! used for accuracy and performance testing").
+
+use ais::Trip;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits trips into `(train, test)` with `train_frac` of them (rounded
+/// down, at least 1 when possible) in the training set. Shuffling is
+/// seeded by the caller's RNG, so splits are reproducible.
+pub fn split_trips<R: Rng>(trips: &[Trip], train_frac: f64, rng: &mut R) -> (Vec<Trip>, Vec<Trip>) {
+    assert!((0.0..=1.0).contains(&train_frac), "fraction in [0,1]");
+    let mut indices: Vec<usize> = (0..trips.len()).collect();
+    indices.shuffle(rng);
+    let n_train = ((trips.len() as f64 * train_frac) as usize)
+        .min(trips.len())
+        .max(usize::from(!trips.is_empty() && train_frac > 0.0));
+    let train = indices[..n_train].iter().map(|&i| trips[i].clone()).collect();
+    let test = indices[n_train..].iter().map(|&i| trips[i].clone()).collect();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::AisPoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trips(n: usize) -> Vec<Trip> {
+        (0..n)
+            .map(|k| Trip {
+                trip_id: k as u64 + 1,
+                mmsi: 1,
+                points: vec![AisPoint::new(1, 0, 10.0, 56.0, 10.0, 0.0); 3],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seventy_thirty() {
+        let all = trips(100);
+        let (train, test) = split_trips(&all, 0.7, &mut StdRng::seed_from_u64(1));
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        // Disjoint and complete.
+        let mut ids: Vec<u64> = train.iter().chain(&test).map(|t| t.trip_id).collect();
+        ids.sort();
+        assert_eq!(ids, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reproducible() {
+        let all = trips(50);
+        let (a, _) = split_trips(&all, 0.7, &mut StdRng::seed_from_u64(9));
+        let (b, _) = split_trips(&all, 0.7, &mut StdRng::seed_from_u64(9));
+        let ida: Vec<u64> = a.iter().map(|t| t.trip_id).collect();
+        let idb: Vec<u64> = b.iter().map(|t| t.trip_id).collect();
+        assert_eq!(ida, idb);
+    }
+
+    #[test]
+    fn small_inputs() {
+        let all = trips(1);
+        let (train, test) = split_trips(&all, 0.7, &mut StdRng::seed_from_u64(1));
+        assert_eq!(train.len() + test.len(), 1);
+        let (e1, e2) = split_trips(&[], 0.7, &mut StdRng::seed_from_u64(1));
+        assert!(e1.is_empty() && e2.is_empty());
+    }
+}

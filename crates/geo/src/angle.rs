@@ -1,0 +1,98 @@
+//! Bearings and turn angles.
+//!
+//! Courses and headings follow the maritime convention: degrees clockwise
+//! from true north in `[0, 360)`.
+
+use crate::point::GeoPoint;
+
+/// Normalizes an angle in degrees into `[0, 360)`.
+#[inline]
+pub fn normalize_deg(deg: f64) -> f64 {
+    let d = deg % 360.0;
+    if d < 0.0 {
+        d + 360.0
+    } else {
+        d
+    }
+}
+
+/// Signed smallest difference `b - a` between two angles, in `(-180, 180]`.
+#[inline]
+pub fn angle_diff_deg(a: f64, b: f64) -> f64 {
+    let mut d = (b - a) % 360.0;
+    if d > 180.0 {
+        d -= 360.0;
+    } else if d <= -180.0 {
+        d += 360.0;
+    }
+    d
+}
+
+/// Initial great-circle bearing from `a` to `b`, degrees clockwise from
+/// true north in `[0, 360)`.
+pub fn initial_bearing_deg(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let lat1 = a.lat.to_radians();
+    let lat2 = b.lat.to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+    let y = dlon.sin() * lat2.cos();
+    let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+    normalize_deg(y.atan2(x).to_degrees())
+}
+
+/// Absolute course change at vertex `b` of the polyline `a -> b -> c`, in
+/// degrees (`[0, 180]`).
+///
+/// This is the quantity the paper's Table 3 reports as "rate of turn":
+/// the deviation from continuing straight.
+pub fn turn_angle_deg(a: &GeoPoint, b: &GeoPoint, c: &GeoPoint) -> f64 {
+    let in_bearing = initial_bearing_deg(a, b);
+    let out_bearing = initial_bearing_deg(b, c);
+    angle_diff_deg(in_bearing, out_bearing).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_examples() {
+        assert_eq!(normalize_deg(0.0), 0.0);
+        assert_eq!(normalize_deg(360.0), 0.0);
+        assert_eq!(normalize_deg(-90.0), 270.0);
+        assert_eq!(normalize_deg(725.0), 5.0);
+    }
+
+    #[test]
+    fn diff_is_signed_and_small() {
+        assert_eq!(angle_diff_deg(10.0, 20.0), 10.0);
+        assert_eq!(angle_diff_deg(350.0, 10.0), 20.0);
+        assert_eq!(angle_diff_deg(10.0, 350.0), -20.0);
+        assert_eq!(angle_diff_deg(0.0, 180.0), 180.0);
+    }
+
+    #[test]
+    fn cardinal_bearings() {
+        let o = GeoPoint::new(0.0, 0.0);
+        assert!((initial_bearing_deg(&o, &GeoPoint::new(0.0, 1.0)) - 0.0).abs() < 1e-9);
+        assert!((initial_bearing_deg(&o, &GeoPoint::new(1.0, 0.0)) - 90.0).abs() < 1e-9);
+        assert!((initial_bearing_deg(&o, &GeoPoint::new(0.0, -1.0)) - 180.0).abs() < 1e-9);
+        assert!((initial_bearing_deg(&o, &GeoPoint::new(-1.0, 0.0)) - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straight_line_has_zero_turn() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 0.1);
+        let c = GeoPoint::new(0.0, 0.2);
+        assert!(turn_angle_deg(&a, &b, &c) < 1e-9);
+    }
+
+    #[test]
+    fn right_angle_turn() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 0.01);
+        let c = GeoPoint::new(0.01, 0.01);
+        let t = turn_angle_deg(&a, &b, &c);
+        assert!((t - 90.0).abs() < 0.2, "turn {t}");
+    }
+}

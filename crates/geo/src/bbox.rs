@@ -1,0 +1,137 @@
+//! Axis-aligned bounding boxes in degrees.
+
+use crate::point::GeoPoint;
+
+/// Axis-aligned geographic bounding box (degrees). Does not handle
+/// antimeridian-crossing boxes; none of the evaluation regions need it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Western edge (min longitude).
+    pub min_lon: f64,
+    /// Southern edge (min latitude).
+    pub min_lat: f64,
+    /// Eastern edge (max longitude).
+    pub max_lon: f64,
+    /// Northern edge (max latitude).
+    pub max_lat: f64,
+}
+
+impl BBox {
+    /// Creates a bounding box; panics in debug builds if inverted.
+    pub fn new(min_lon: f64, min_lat: f64, max_lon: f64, max_lat: f64) -> Self {
+        debug_assert!(min_lon <= max_lon && min_lat <= max_lat, "inverted bbox");
+        Self {
+            min_lon,
+            min_lat,
+            max_lon,
+            max_lat,
+        }
+    }
+
+    /// Smallest box containing all `points`; `None` when empty.
+    pub fn from_points(points: &[GeoPoint]) -> Option<Self> {
+        let first = points.first()?;
+        let mut b = Self::new(first.lon, first.lat, first.lon, first.lat);
+        for p in &points[1..] {
+            b.expand(p);
+        }
+        Some(b)
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand(&mut self, p: &GeoPoint) {
+        self.min_lon = self.min_lon.min(p.lon);
+        self.max_lon = self.max_lon.max(p.lon);
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lat = self.max_lat.max(p.lat);
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            (self.min_lon + self.max_lon) * 0.5,
+            (self.min_lat + self.max_lat) * 0.5,
+        )
+    }
+
+    /// Expands every edge outward by `margin_deg` degrees.
+    pub fn padded(&self, margin_deg: f64) -> BBox {
+        BBox::new(
+            self.min_lon - margin_deg,
+            self.min_lat - margin_deg,
+            self.max_lon + margin_deg,
+            self.max_lat + margin_deg,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_and_contains() {
+        let pts = vec![
+            GeoPoint::new(10.0, 55.0),
+            GeoPoint::new(12.0, 54.0),
+            GeoPoint::new(11.0, 57.0),
+        ];
+        let b = BBox::from_points(&pts).unwrap();
+        assert_eq!(b, BBox::new(10.0, 54.0, 12.0, 57.0));
+        for p in &pts {
+            assert!(b.contains(p));
+        }
+        assert!(!b.contains(&GeoPoint::new(9.9, 55.0)));
+        assert!(BBox::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn center_and_padding() {
+        let b = BBox::new(0.0, 0.0, 2.0, 4.0);
+        let c = b.center();
+        assert_eq!((c.lon, c.lat), (1.0, 2.0));
+        let p = b.padded(0.5);
+        assert_eq!(p, BBox::new(-0.5, -0.5, 2.5, 4.5));
+    }
+
+    #[test]
+    fn expand_grows_monotonically() {
+        let mut b = BBox::new(10.0, 55.0, 10.0, 55.0);
+        b.expand(&GeoPoint::new(9.0, 56.0));
+        assert_eq!(b, BBox::new(9.0, 55.0, 10.0, 56.0));
+        // Expanding with an interior point changes nothing.
+        let before = b;
+        b.expand(&GeoPoint::new(9.5, 55.5));
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn boundary_points_are_contained() {
+        let b = BBox::new(-1.0, -2.0, 3.0, 4.0);
+        for p in [
+            GeoPoint::new(-1.0, -2.0),
+            GeoPoint::new(3.0, 4.0),
+            GeoPoint::new(-1.0, 4.0),
+            GeoPoint::new(3.0, -2.0),
+            b.center(),
+        ] {
+            assert!(b.contains(&p), "{p}");
+        }
+        assert!(!b.contains(&GeoPoint::new(3.0001, 0.0)));
+        assert!(!b.contains(&GeoPoint::new(0.0, -2.0001)));
+    }
+
+    #[test]
+    fn degenerate_single_point_box() {
+        let b = BBox::from_points(&[GeoPoint::new(5.0, 5.0)]).unwrap();
+        assert!(b.contains(&GeoPoint::new(5.0, 5.0)));
+        assert_eq!(b.center(), GeoPoint::new(5.0, 5.0));
+        assert!(!b.contains(&GeoPoint::new(5.0, 5.0001)));
+    }
+}

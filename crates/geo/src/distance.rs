@@ -1,0 +1,130 @@
+//! Great-circle distance and movement along the sphere.
+
+use crate::point::GeoPoint;
+use crate::projection::EARTH_RADIUS_M;
+
+/// Great-circle (haversine) distance between two points, in meters.
+///
+/// Numerically stable formulation; accurate to ~0.5% everywhere (spherical
+/// Earth), which is far below the noise floor of AIS positions.
+pub fn haversine_m(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let lat1 = a.lat.to_radians();
+    let lat2 = b.lat.to_radians();
+    let dlat = (b.lat - a.lat).to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+
+    let s1 = (dlat * 0.5).sin();
+    let s2 = (dlon * 0.5).sin();
+    let h = s1 * s1 + lat1.cos() * lat2.cos() * s2 * s2;
+    2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+}
+
+/// Fast equirectangular approximation of the distance between two nearby
+/// points, in meters.
+///
+/// Within a few tens of kilometers it agrees with [`haversine_m`] to well
+/// under 0.1%, at roughly a third of the cost (no trigonometric inverse).
+/// Used in hot inner loops (DTW, candidate filtering).
+pub fn equirectangular_m(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let mean_lat = ((a.lat + b.lat) * 0.5).to_radians();
+    let dx = (b.lon - a.lon).to_radians() * mean_lat.cos();
+    let dy = (b.lat - a.lat).to_radians();
+    EARTH_RADIUS_M * (dx * dx + dy * dy).sqrt()
+}
+
+/// Total great-circle length of a polyline, in meters.
+pub fn path_length_m(path: &[GeoPoint]) -> f64 {
+    path.windows(2).map(|w| haversine_m(&w[0], &w[1])).sum()
+}
+
+/// Moves `distance_m` meters from `start` along the initial bearing
+/// `bearing_deg` (degrees clockwise from true north) on the sphere.
+pub fn destination_point(start: &GeoPoint, bearing_deg: f64, distance_m: f64) -> GeoPoint {
+    let delta = distance_m / EARTH_RADIUS_M;
+    let theta = bearing_deg.to_radians();
+    let lat1 = start.lat.to_radians();
+    let lon1 = start.lon.to_radians();
+
+    let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+    let lon2 = lon1
+        + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+
+    let mut lon_deg = lon2.to_degrees();
+    if lon_deg > 180.0 {
+        lon_deg -= 360.0;
+    } else if lon_deg < -180.0 {
+        lon_deg += 360.0;
+    }
+    GeoPoint::new(lon_deg, lat2.to_degrees())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::initial_bearing_deg;
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint::new(10.0, 56.0);
+        assert_eq!(haversine_m(&p, &p), 0.0);
+        assert_eq!(equirectangular_m(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let a = GeoPoint::new(10.0, 56.0);
+        let b = GeoPoint::new(10.0, 57.0);
+        let d = haversine_m(&a, &b);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn longitude_shrinks_with_latitude() {
+        let eq = haversine_m(&GeoPoint::new(0.0, 0.0), &GeoPoint::new(1.0, 0.0));
+        let north = haversine_m(&GeoPoint::new(0.0, 60.0), &GeoPoint::new(1.0, 60.0));
+        assert!((north / eq - 0.5).abs() < 0.01, "ratio {}", north / eq);
+    }
+
+    #[test]
+    fn equirectangular_matches_haversine_locally() {
+        let a = GeoPoint::new(23.55, 37.90);
+        let b = GeoPoint::new(23.75, 37.98);
+        let h = haversine_m(&a, &b);
+        let e = equirectangular_m(&a, &b);
+        assert!((h - e).abs() / h < 1e-3, "h={h} e={e}");
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let start = GeoPoint::new(11.0, 55.0);
+        for bearing in [0.0, 45.0, 133.7, 270.0] {
+            let end = destination_point(&start, bearing, 25_000.0);
+            let d = haversine_m(&start, &end);
+            assert!((d - 25_000.0).abs() < 1.0, "bearing {bearing}: {d}");
+            let b = initial_bearing_deg(&start, &end);
+            let diff = (b - bearing).abs().min((b - bearing + 360.0).abs());
+            assert!(diff < 0.5, "bearing {bearing} -> {b}");
+        }
+    }
+
+    #[test]
+    fn destination_wraps_antimeridian() {
+        let start = GeoPoint::new(179.9, 0.0);
+        let end = destination_point(&start, 90.0, 50_000.0);
+        assert!(end.lon < -179.0, "lon {}", end.lon);
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        let path = [
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(0.0, 0.1),
+            GeoPoint::new(0.0, 0.2),
+        ];
+        let total = path_length_m(&path);
+        let direct = haversine_m(&path[0], &path[2]);
+        assert!((total - direct).abs() < 1.0);
+        assert_eq!(path_length_m(&path[..1]), 0.0);
+        assert_eq!(path_length_m(&[]), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Core position types used throughout the workspace.
+
+use std::fmt;
+
+/// A position on the WGS84 ellipsoid (treated as a sphere throughout the
+/// workspace), expressed in decimal degrees.
+///
+/// Longitude is in `[-180, 180]`, latitude in `[-90, 90]`. Constructors do
+/// not clamp; use [`GeoPoint::is_valid`] to check raw AIS input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Longitude in decimal degrees (positive east).
+    pub lon: f64,
+    /// Latitude in decimal degrees (positive north).
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from longitude/latitude degrees.
+    #[inline]
+    pub const fn new(lon: f64, lat: f64) -> Self {
+        Self { lon, lat }
+    }
+
+    /// Returns `true` when both coordinates are finite and inside the valid
+    /// WGS84 ranges. AIS feeds routinely carry the sentinel values
+    /// `lon = 181` / `lat = 91` for "unavailable", which this rejects.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.lon.is_finite()
+            && self.lat.is_finite()
+            && self.lon >= -180.0
+            && self.lon <= 180.0
+            && self.lat >= -90.0
+            && self.lat <= 90.0
+    }
+
+    /// Component-wise linear interpolation between `self` and `other`.
+    ///
+    /// Adequate for the short (< a few km) segments this workspace
+    /// interpolates over; not a great-circle interpolation.
+    #[inline]
+    pub fn lerp(&self, other: &GeoPoint, f: f64) -> GeoPoint {
+        GeoPoint::new(
+            self.lon + (other.lon - self.lon) * f,
+            self.lat + (other.lat - self.lat) * f,
+        )
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lon, self.lat)
+    }
+}
+
+/// A [`GeoPoint`] with a timestamp in Unix seconds.
+///
+/// AIS timestamps are assigned on message reception (paper §2); second
+/// granularity matches the source feeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedPoint {
+    /// Position.
+    pub pos: GeoPoint,
+    /// Unix timestamp, seconds.
+    pub t: i64,
+}
+
+impl TimedPoint {
+    /// Creates a timed point.
+    #[inline]
+    pub const fn new(lon: f64, lat: f64, t: i64) -> Self {
+        Self {
+            pos: GeoPoint::new(lon, lat),
+            t,
+        }
+    }
+
+    /// Linear interpolation in both space and time.
+    #[inline]
+    pub fn lerp(&self, other: &TimedPoint, f: f64) -> TimedPoint {
+        TimedPoint {
+            pos: self.pos.lerp(&other.pos, f),
+            t: self.t + ((other.t - self.t) as f64 * f).round() as i64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_rejects_ais_sentinels() {
+        assert!(!GeoPoint::new(181.0, 91.0).is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 10.0).is_valid());
+        assert!(GeoPoint::new(23.6, 37.9).is_valid());
+        assert!(GeoPoint::new(-180.0, -90.0).is_valid());
+        assert!(GeoPoint::new(180.0, 90.0).is_valid());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let m = a.lerp(&b, 0.5);
+        assert!((m.lon - 1.0).abs() < 1e-12 && (m.lat - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_lerp_interpolates_time() {
+        let a = TimedPoint::new(0.0, 0.0, 100);
+        let b = TimedPoint::new(1.0, 1.0, 200);
+        let m = a.lerp(&b, 0.25);
+        assert_eq!(m.t, 125);
+        assert!((m.pos.lon - 0.25).abs() < 1e-12);
+    }
+}

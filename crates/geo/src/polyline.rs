@@ -1,0 +1,220 @@
+//! Polyline utilities: resampling, interpolation, point–segment distance.
+
+use crate::distance::haversine_m;
+use crate::point::{GeoPoint, TimedPoint};
+use crate::projection::LocalProjection;
+
+/// Cumulative great-circle lengths along `path`, in meters.
+///
+/// `result[0] == 0`, `result[i]` is the distance from the start to vertex
+/// `i`; `result.last()` is the total path length.
+pub fn cumulative_lengths_m(path: &[GeoPoint]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(path.len());
+    let mut acc = 0.0;
+    out.push(0.0);
+    for w in path.windows(2) {
+        acc += haversine_m(&w[0], &w[1]);
+        out.push(acc);
+    }
+    if path.is_empty() {
+        out.clear();
+    }
+    out
+}
+
+/// Returns the point at fraction `f ∈ [0, 1]` of the path's total length.
+///
+/// Returns `None` for an empty path. For a single-point path any fraction
+/// returns that point.
+pub fn interpolate_at_fraction(path: &[GeoPoint], f: f64) -> Option<GeoPoint> {
+    if path.is_empty() {
+        return None;
+    }
+    if path.len() == 1 {
+        return Some(path[0]);
+    }
+    let cum = cumulative_lengths_m(path);
+    let total = *cum.last().expect("non-empty");
+    if total == 0.0 {
+        return Some(path[0]);
+    }
+    let target = f.clamp(0.0, 1.0) * total;
+    // Binary search for the segment containing `target`.
+    let idx = match cum.binary_search_by(|v| v.partial_cmp(&target).expect("finite")) {
+        Ok(i) => return Some(path[i]),
+        Err(i) => i, // first index with cum > target; segment is [i-1, i]
+    };
+    let i = idx.max(1).min(path.len() - 1);
+    let seg_len = cum[i] - cum[i - 1];
+    let local = if seg_len > 0.0 {
+        (target - cum[i - 1]) / seg_len
+    } else {
+        0.0
+    };
+    Some(path[i - 1].lerp(&path[i], local))
+}
+
+/// Densifies `path` so that no two consecutive vertices are more than
+/// `max_spacing_m` meters apart (original vertices are all kept).
+///
+/// The paper resamples imputed paths to ≤ 250 m spacing before computing
+/// DTW so that the metric compares geometry rather than vertex counts.
+pub fn resample_max_spacing(path: &[GeoPoint], max_spacing_m: f64) -> Vec<GeoPoint> {
+    assert!(max_spacing_m > 0.0, "max_spacing_m must be positive");
+    if path.len() < 2 {
+        return path.to_vec();
+    }
+    let mut out = Vec::with_capacity(path.len() * 2);
+    out.push(path[0]);
+    for w in path.windows(2) {
+        let d = haversine_m(&w[0], &w[1]);
+        if d > max_spacing_m {
+            let pieces = (d / max_spacing_m).ceil() as usize;
+            for k in 1..pieces {
+                out.push(w[0].lerp(&w[1], k as f64 / pieces as f64));
+            }
+        }
+        out.push(w[1]);
+    }
+    out
+}
+
+/// Timed variant of [`resample_max_spacing`]: timestamps of inserted
+/// vertices are linearly interpolated along each segment.
+pub fn resample_timed_max_spacing(path: &[TimedPoint], max_spacing_m: f64) -> Vec<TimedPoint> {
+    assert!(max_spacing_m > 0.0, "max_spacing_m must be positive");
+    if path.len() < 2 {
+        return path.to_vec();
+    }
+    let mut out = Vec::with_capacity(path.len() * 2);
+    out.push(path[0]);
+    for w in path.windows(2) {
+        let d = haversine_m(&w[0].pos, &w[1].pos);
+        if d > max_spacing_m {
+            let pieces = (d / max_spacing_m).ceil() as usize;
+            for k in 1..pieces {
+                out.push(w[0].lerp(&w[1], k as f64 / pieces as f64));
+            }
+        }
+        out.push(w[1]);
+    }
+    out
+}
+
+/// Distance in meters from point `p` to the segment `a`–`b`, computed on a
+/// local tangent plane anchored at `a`.
+///
+/// Accurate for the segment lengths found in vessel trajectories (well
+/// under 100 km).
+pub fn point_segment_distance_m(p: &GeoPoint, a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let proj = LocalProjection::new(a);
+    let (px, py) = proj.to_xy(p);
+    let (bx, by) = proj.to_xy(b);
+    // a projects to the origin.
+    let seg_len2 = bx * bx + by * by;
+    if seg_len2 == 0.0 {
+        return (px * px + py * py).sqrt();
+    }
+    let t = ((px * bx + py * by) / seg_len2).clamp(0.0, 1.0);
+    let dx = px - t * bx;
+    let dy = py - t * by;
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight() -> Vec<GeoPoint> {
+        vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(0.0, 0.05),
+            GeoPoint::new(0.0, 0.1),
+        ]
+    }
+
+    #[test]
+    fn cumulative_shapes() {
+        assert!(cumulative_lengths_m(&[]).is_empty());
+        let one = cumulative_lengths_m(&straight()[..1]);
+        assert_eq!(one, vec![0.0]);
+        let cum = cumulative_lengths_m(&straight());
+        assert_eq!(cum.len(), 3);
+        assert!(cum[1] > 0.0 && cum[2] > cum[1]);
+    }
+
+    #[test]
+    fn interpolate_endpoints() {
+        let p = straight();
+        assert_eq!(interpolate_at_fraction(&p, 0.0).unwrap(), p[0]);
+        assert_eq!(interpolate_at_fraction(&p, 1.0).unwrap(), p[2]);
+        assert!(interpolate_at_fraction(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn interpolate_midpoint_of_straight_path() {
+        let p = straight();
+        let m = interpolate_at_fraction(&p, 0.5).unwrap();
+        assert!((m.lat - 0.05).abs() < 1e-9, "lat {}", m.lat);
+    }
+
+    #[test]
+    fn resample_respects_spacing() {
+        let p = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(0.0, 0.1)]; // ~11.1 km
+        let dense = resample_max_spacing(&p, 250.0);
+        assert!(dense.len() >= 44, "len {}", dense.len());
+        for w in dense.windows(2) {
+            assert!(haversine_m(&w[0], &w[1]) <= 250.0 + 1e-6);
+        }
+        assert_eq!(dense[0], p[0]);
+        assert_eq!(*dense.last().unwrap(), p[1]);
+    }
+
+    #[test]
+    fn resample_keeps_short_paths() {
+        let p = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(0.0001, 0.0)];
+        let dense = resample_max_spacing(&p, 250.0);
+        assert_eq!(dense.len(), 2);
+        let single = resample_max_spacing(&p[..1], 250.0);
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn timed_resample_interpolates_time_monotonically() {
+        let p = vec![TimedPoint::new(0.0, 0.0, 0), TimedPoint::new(0.0, 0.1, 1000)];
+        let dense = resample_timed_max_spacing(&p, 500.0);
+        assert!(dense.len() > 10);
+        for w in dense.windows(2) {
+            assert!(w[1].t >= w[0].t);
+        }
+        assert_eq!(dense.first().unwrap().t, 0);
+        assert_eq!(dense.last().unwrap().t, 1000);
+    }
+
+    #[test]
+    fn point_segment_distance_perpendicular() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.1, 0.0);
+        let p = GeoPoint::new(0.05, 0.01); // ~1.11 km north of segment middle
+        let d = point_segment_distance_m(&p, &a, &b);
+        assert!((d - 1_112.0).abs() < 15.0, "d={d}");
+    }
+
+    #[test]
+    fn point_segment_distance_clamps_to_endpoints() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.1, 0.0);
+        let p = GeoPoint::new(-0.1, 0.0);
+        let d = point_segment_distance_m(&p, &a, &b);
+        let direct = haversine_m(&p, &a);
+        assert!((d - direct).abs() / direct < 1e-2);
+    }
+
+    #[test]
+    fn degenerate_segment_is_point_distance() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let p = GeoPoint::new(0.01, 0.0);
+        let d = point_segment_distance_m(&p, &a, &a);
+        assert!((d - haversine_m(&p, &a)).abs() < 5.0);
+    }
+}

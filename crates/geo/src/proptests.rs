@@ -1,0 +1,160 @@
+//! Property-based tests for the geodesy kernel: RDP bounds, resampling
+//! invariants, bearing/destination round trips, and distance sanity.
+
+use crate::distance::{destination_point, haversine_m};
+use crate::point::GeoPoint;
+use crate::polyline::{point_segment_distance_m, resample_max_spacing};
+use crate::rdp::rdp;
+use proptest::prelude::*;
+
+/// A random wandering path around a mid-latitude region.
+fn wander_path() -> impl Strategy<Value = Vec<GeoPoint>> {
+    (
+        2usize..80,
+        0u64..1_000_000,
+        -30f64..30.0,
+        40f64..58.0,
+    )
+        .prop_map(|(n, seed, lon0, lat0)| {
+            // xorshift-ish deterministic walk; proptest provides variety
+            // through (n, seed, origin).
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            let mut pts = vec![GeoPoint::new(lon0, lat0)];
+            for _ in 1..n {
+                let last = *pts.last().expect("non-empty");
+                pts.push(GeoPoint::new(
+                    last.lon + next() * 0.02,
+                    (last.lat + next() * 0.015).clamp(-85.0, 85.0),
+                ));
+            }
+            pts
+        })
+}
+
+proptest! {
+    /// RDP keeps the endpoints, returns a subsequence, and every dropped
+    /// vertex stays within the tolerance of the simplified path.
+    #[test]
+    fn rdp_invariants(path in wander_path(), tol_m in 10f64..5_000.0) {
+        let simplified = rdp(&path, tol_m);
+        prop_assert!(simplified.len() >= 2 || path.len() < 2);
+        prop_assert_eq!(simplified.first(), path.first());
+        prop_assert_eq!(simplified.last(), path.last());
+        prop_assert!(simplified.len() <= path.len());
+
+        // Subsequence check.
+        let mut cursor = 0usize;
+        for p in &simplified {
+            let found = path[cursor..].iter().position(|q| q == p);
+            prop_assert!(found.is_some(), "output must be a subsequence");
+            cursor += found.expect("checked") ;
+        }
+
+        // Deviation bound: every original vertex within tol of some
+        // simplified segment (RDP's defining guarantee).
+        for p in &path {
+            let mut best = f64::INFINITY;
+            for w in simplified.windows(2) {
+                best = best.min(point_segment_distance_m(p, &w[0], &w[1]));
+            }
+            if simplified.len() == 1 {
+                best = haversine_m(p, &simplified[0]);
+            }
+            prop_assert!(
+                best <= tol_m * 1.05 + 1.0,
+                "vertex {p} deviates {best:.1} m > tol {tol_m:.1} m"
+            );
+        }
+    }
+
+    /// RDP is idempotent: simplifying a simplified path changes nothing.
+    #[test]
+    fn rdp_idempotent(path in wander_path(), tol_m in 10f64..5_000.0) {
+        let once = rdp(&path, tol_m);
+        let twice = rdp(&once, tol_m);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Resampling respects the spacing bound, keeps the endpoints, and
+    /// preserves total length.
+    #[test]
+    fn resample_invariants(path in wander_path(), spacing in 50f64..2_000.0) {
+        let dense = resample_max_spacing(&path, spacing);
+        prop_assert_eq!(dense.first(), path.first());
+        prop_assert_eq!(dense.last(), path.last());
+        for w in dense.windows(2) {
+            prop_assert!(
+                haversine_m(&w[0], &w[1]) <= spacing * 1.01,
+                "spacing violated"
+            );
+        }
+        let orig_len = crate::distance::path_length_m(&path);
+        let dense_len = crate::distance::path_length_m(&dense);
+        // Linear interpolation between existing vertices cannot change
+        // the path length by more than numeric noise.
+        prop_assert!((orig_len - dense_len).abs() <= orig_len * 1e-6 + 1.0);
+    }
+
+    /// destination_point followed by haversine recovers the distance, and
+    /// the initial bearing points from origin toward the destination.
+    #[test]
+    fn destination_round_trip(
+        lon in -170f64..170.0,
+        lat in -70f64..70.0,
+        bearing in 0f64..360.0,
+        dist in 10f64..200_000.0,
+    ) {
+        let origin = GeoPoint::new(lon, lat);
+        let dest = destination_point(&origin, bearing, dist);
+        let measured = haversine_m(&origin, &dest);
+        prop_assert!(
+            (measured - dist).abs() <= dist * 1e-6 + 0.5,
+            "distance {measured} vs {dist}"
+        );
+        let b = crate::angle::initial_bearing_deg(&origin, &dest);
+        let diff = crate::angle::angle_diff_deg(b, bearing).abs();
+        prop_assert!(diff < 0.5, "bearing {b} vs {bearing}");
+    }
+
+    /// Haversine is symmetric, non-negative, zero only at identity, and
+    /// obeys the triangle inequality.
+    #[test]
+    fn haversine_is_a_metric(
+        lon1 in -170f64..170.0, lat1 in -70f64..70.0,
+        lon2 in -170f64..170.0, lat2 in -70f64..70.0,
+        lon3 in -170f64..170.0, lat3 in -70f64..70.0,
+    ) {
+        let a = GeoPoint::new(lon1, lat1);
+        let b = GeoPoint::new(lon2, lat2);
+        let c = GeoPoint::new(lon3, lat3);
+        prop_assert!((haversine_m(&a, &b) - haversine_m(&b, &a)).abs() < 1e-6);
+        prop_assert!(haversine_m(&a, &a) < 1e-6);
+        prop_assert!(
+            haversine_m(&a, &c) <= haversine_m(&a, &b) + haversine_m(&b, &c) + 1e-6
+        );
+    }
+
+    /// The equirectangular approximation tracks haversine within 1% for
+    /// the sub-100-km distances the DTW metric uses it for.
+    #[test]
+    fn equirectangular_tracks_haversine_locally(
+        lon in -170f64..170.0,
+        lat in -60f64..60.0,
+        dlon in -0.5f64..0.5,
+        dlat in -0.5f64..0.5,
+    ) {
+        let a = GeoPoint::new(lon, lat);
+        let b = GeoPoint::new(lon + dlon, lat + dlat);
+        let h = haversine_m(&a, &b);
+        let e = crate::distance::equirectangular_m(&a, &b);
+        if h > 100.0 {
+            prop_assert!((h - e).abs() / h < 0.01, "h {h} vs e {e}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Ramer–Douglas–Peucker polyline simplification.
+//!
+//! The paper's final phase (§3.4) smooths grid-derived paths with RDP so
+//! the imputed route becomes navigable: a small number of straight legs
+//! instead of cell-to-cell zigzags. The tolerance `t` is expressed in
+//! meters, matching the paper's `t ∈ {0, 100, 250, 500, 1000}` sweep.
+
+use crate::point::{GeoPoint, TimedPoint};
+use crate::polyline::point_segment_distance_m;
+
+/// Returns the indices of the vertices kept by RDP with tolerance
+/// `tolerance_m` (meters). Always keeps the first and last vertex.
+///
+/// `tolerance_m == 0` keeps every vertex (identity), mirroring the paper's
+/// `t = 0` configuration.
+pub fn rdp_indices(path: &[GeoPoint], tolerance_m: f64) -> Vec<usize> {
+    assert!(tolerance_m >= 0.0, "tolerance must be non-negative");
+    let n = path.len();
+    if n <= 2 || tolerance_m == 0.0 {
+        return (0..n).collect();
+    }
+
+    let mut keep = vec![false; n];
+    keep[0] = true;
+    keep[n - 1] = true;
+
+    // Iterative stack of (start, end) index ranges to avoid recursion depth
+    // limits on long trajectories.
+    let mut stack: Vec<(usize, usize)> = vec![(0, n - 1)];
+    while let Some((s, e)) = stack.pop() {
+        if e <= s + 1 {
+            continue;
+        }
+        let mut max_d = -1.0;
+        let mut max_i = s;
+        for (i, p) in path.iter().enumerate().take(e).skip(s + 1) {
+            let d = point_segment_distance_m(p, &path[s], &path[e]);
+            if d > max_d {
+                max_d = d;
+                max_i = i;
+            }
+        }
+        if max_d > tolerance_m {
+            keep[max_i] = true;
+            stack.push((s, max_i));
+            stack.push((max_i, e));
+        }
+    }
+
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i))
+        .collect()
+}
+
+/// Simplifies `path` with RDP at `tolerance_m` meters.
+pub fn rdp(path: &[GeoPoint], tolerance_m: f64) -> Vec<GeoPoint> {
+    rdp_indices(path, tolerance_m)
+        .into_iter()
+        .map(|i| path[i])
+        .collect()
+}
+
+/// Simplifies a timestamped path with RDP at `tolerance_m` meters; kept
+/// vertices retain their original timestamps.
+pub fn rdp_timed(path: &[TimedPoint], tolerance_m: f64) -> Vec<TimedPoint> {
+    let positions: Vec<GeoPoint> = path.iter().map(|p| p.pos).collect();
+    rdp_indices(&positions, tolerance_m)
+        .into_iter()
+        .map(|i| path[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polyline::point_segment_distance_m;
+
+    /// A zigzag path: 1 km amplitude oscillation around a straight line.
+    fn zigzag() -> Vec<GeoPoint> {
+        (0..21)
+            .map(|i| {
+                let lat = 0.01 * i as f64;
+                let lon = if i % 2 == 0 { 0.0 } else { 0.009 }; // ~1 km swing
+                GeoPoint::new(lon, lat)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_tolerance_is_identity() {
+        let p = zigzag();
+        assert_eq!(rdp(&p, 0.0), p);
+    }
+
+    #[test]
+    fn endpoints_always_kept() {
+        let p = zigzag();
+        let s = rdp(&p, 1e9);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], p[0]);
+        assert_eq!(*s.last().unwrap(), *p.last().unwrap());
+    }
+
+    #[test]
+    fn large_tolerance_removes_zigzag() {
+        let p = zigzag();
+        let s = rdp(&p, 2000.0);
+        assert!(s.len() < p.len() / 2, "kept {}", s.len());
+    }
+
+    #[test]
+    fn small_tolerance_keeps_zigzag() {
+        let p = zigzag();
+        let s = rdp(&p, 100.0);
+        assert_eq!(s.len(), p.len(), "1 km swings exceed 100 m tolerance");
+    }
+
+    #[test]
+    fn simplified_path_stays_within_tolerance() {
+        // RDP guarantee: every dropped vertex is within tolerance of the
+        // simplified polyline.
+        let p = zigzag();
+        let tol = 600.0;
+        let s = rdp(&p, tol);
+        for orig in &p {
+            let d = s
+                .windows(2)
+                .map(|w| point_segment_distance_m(orig, &w[0], &w[1]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= tol + 1.0, "vertex {orig} is {d} m away");
+        }
+    }
+
+    #[test]
+    fn short_paths_unchanged() {
+        let p = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)];
+        assert_eq!(rdp(&p, 500.0), p);
+        assert_eq!(rdp(&p[..1], 500.0).len(), 1);
+        assert!(rdp(&[], 500.0).is_empty());
+    }
+
+    #[test]
+    fn timed_variant_preserves_timestamps() {
+        let p: Vec<TimedPoint> = zigzag()
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| TimedPoint::new(g.lon, g.lat, i as i64 * 60))
+            .collect();
+        let s = rdp_timed(&p, 2000.0);
+        assert_eq!(s.first().unwrap().t, 0);
+        assert_eq!(s.last().unwrap().t, 20 * 60);
+        for w in s.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+}

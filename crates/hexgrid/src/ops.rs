@@ -1,0 +1,177 @@
+//! Neighborhood and path operations on the hex lattice.
+
+use crate::cell::HexCell;
+use crate::error::HexError;
+use crate::grid::HexGrid;
+
+/// The six axial direction vectors of a pointy-top hex lattice, in
+/// counter-clockwise order starting east.
+pub const DIRECTIONS: [(i64, i64); 6] = [(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)];
+
+/// The six neighbors of a cell (H3 `gridDisk(cell, 1)` minus the center).
+pub fn neighbors(cell: HexCell) -> Result<[HexCell; 6], HexError> {
+    let res = cell.resolution();
+    let (q, r) = cell.axial();
+    let mut out = [cell; 6];
+    for (i, (dq, dr)) in DIRECTIONS.iter().enumerate() {
+        out[i] = HexCell::from_axial(res, q + dq, r + dr)?;
+    }
+    Ok(out)
+}
+
+/// All cells within grid distance `k` of `center`, center included
+/// (H3 `gridDisk`). Returned in ring order: center, ring 1, ring 2, …
+pub fn disk(center: HexCell, k: u32) -> Result<Vec<HexCell>, HexError> {
+    let mut out = Vec::with_capacity((3 * k * (k + 1) + 1) as usize);
+    out.push(center);
+    for radius in 1..=k {
+        ring_into(center, radius, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// The cells at exactly grid distance `k` from `center` (H3 `gridRing`).
+/// `k = 0` yields just the center.
+pub fn ring(center: HexCell, k: u32) -> Result<Vec<HexCell>, HexError> {
+    if k == 0 {
+        return Ok(vec![center]);
+    }
+    let mut out = Vec::with_capacity((6 * k) as usize);
+    ring_into(center, k, &mut out)?;
+    Ok(out)
+}
+
+fn ring_into(center: HexCell, k: u32, out: &mut Vec<HexCell>) -> Result<(), HexError> {
+    let res = center.resolution();
+    let (cq, cr) = center.axial();
+    // Start k steps in direction 4 (south-west in axial space), then walk
+    // the six sides of the ring.
+    let mut q = cq + DIRECTIONS[4].0 * k as i64;
+    let mut r = cr + DIRECTIONS[4].1 * k as i64;
+    for (dq, dr) in DIRECTIONS {
+        for _ in 0..k {
+            out.push(HexCell::from_axial(res, q, r)?);
+            q += dq;
+            r += dr;
+        }
+    }
+    Ok(())
+}
+
+/// The cells on the straight lattice line from `a` to `b`, inclusive
+/// (H3 `gridPathCells`). Result length is `grid_distance(a, b) + 1`.
+pub fn grid_path(a: HexCell, b: HexCell) -> Result<Vec<HexCell>, HexError> {
+    let grid = HexGrid::new();
+    let n = grid.grid_distance(a, b)?;
+    let res = a.resolution();
+    if n == 0 {
+        return Ok(vec![a]);
+    }
+    // Interpolate in cube coordinates with a tiny epsilon nudge to break
+    // ties deterministically (same trick as the reference H3 code).
+    let (aq, ar) = a.axial();
+    let (bq, br) = b.axial();
+    let (aqf, arf) = (aq as f64 + 1e-7, ar as f64 + 1e-7);
+    let (bqf, brf) = (bq as f64 + 1e-7, br as f64 + 1e-7);
+    let mut out = Vec::with_capacity(n as usize + 1);
+    for i in 0..=n {
+        let t = i as f64 / n as f64;
+        let qf = aqf + (bqf - aqf) * t;
+        let rf = arf + (brf - arf) * t;
+        let (q, r) = cube_round(qf, rf);
+        out.push(HexCell::from_axial(res, q, r)?);
+    }
+    out.dedup();
+    Ok(out)
+}
+
+fn cube_round(qf: f64, rf: f64) -> (i64, i64) {
+    let sf = -qf - rf;
+    let mut q = qf.round();
+    let mut r = rf.round();
+    let s = sf.round();
+    let dq = (q - qf).abs();
+    let dr = (r - rf).abs();
+    let ds = (s - sf).abs();
+    if dq > dr && dq > ds {
+        q = -r - s;
+    } else if dr > ds {
+        r = -q - s;
+    }
+    (q as i64, r as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::HexGrid;
+    use geo_kernel::GeoPoint;
+
+    fn cell_at(lon: f64, lat: f64, res: u8) -> HexCell {
+        HexGrid::new().cell(&GeoPoint::new(lon, lat), res).unwrap()
+    }
+
+    #[test]
+    fn six_unique_neighbors_at_distance_one() {
+        let g = HexGrid::new();
+        let c = cell_at(10.0, 56.0, 9);
+        let ns = neighbors(c).unwrap();
+        let mut set = std::collections::HashSet::new();
+        for n in ns {
+            assert_eq!(g.grid_distance(c, n).unwrap(), 1);
+            set.insert(n);
+        }
+        assert_eq!(set.len(), 6);
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    fn disk_sizes_follow_centered_hex_numbers() {
+        let c = cell_at(10.0, 56.0, 9);
+        for k in 0..5u32 {
+            let d = disk(c, k).unwrap();
+            let expected = 3 * k * (k + 1) + 1;
+            assert_eq!(d.len() as u32, expected, "k={k}");
+            // No duplicates.
+            let set: std::collections::HashSet<_> = d.iter().collect();
+            assert_eq!(set.len(), d.len());
+        }
+    }
+
+    #[test]
+    fn ring_is_exactly_at_distance_k() {
+        let g = HexGrid::new();
+        let c = cell_at(12.0, 55.0, 8);
+        for k in 1..4u32 {
+            let r = ring(c, k).unwrap();
+            assert_eq!(r.len() as u32, 6 * k);
+            for cell in r {
+                assert_eq!(g.grid_distance(c, cell).unwrap(), k, "k={k}");
+            }
+        }
+        assert_eq!(ring(c, 0).unwrap(), vec![c]);
+    }
+
+    #[test]
+    fn grid_path_connects_and_is_minimal() {
+        let g = HexGrid::new();
+        let a = cell_at(10.0, 56.0, 8);
+        let b = cell_at(10.4, 56.15, 8);
+        let path = grid_path(a, b).unwrap();
+        assert_eq!(path.first(), Some(&a));
+        assert_eq!(path.last(), Some(&b));
+        let d = g.grid_distance(a, b).unwrap() as usize;
+        assert_eq!(path.len(), d + 1);
+        for w in path.windows(2) {
+            assert_eq!(g.grid_distance(w[0], w[1]).unwrap(), 1, "consecutive cells adjacent");
+        }
+    }
+
+    #[test]
+    fn grid_path_trivial_cases() {
+        let a = cell_at(10.0, 56.0, 9);
+        assert_eq!(grid_path(a, a).unwrap(), vec![a]);
+        let n = neighbors(a).unwrap()[0];
+        assert_eq!(grid_path(a, n).unwrap(), vec![a, n]);
+    }
+}

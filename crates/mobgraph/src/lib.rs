@@ -1,0 +1,28 @@
+//! # mobgraph — directed weighted graphs for mobility networks
+//!
+//! The paper assembles its transition statistics into a NetworkX DiGraph
+//! and runs A* over it. This crate is the from-scratch substitute:
+//!
+//! * [`DiGraph`] — a directed graph keyed by stable `u64` ids (hex cells
+//!   in HABIT, point ids in the GTI baseline) with arbitrary node and edge
+//!   payloads;
+//! * [`search`] — Dijkstra and A* with caller-supplied weight and
+//!   heuristic functions, plus BFS reachability and connected components;
+//! * [`spatial::NearestIndex`] — bucket-grid nearest-neighbor lookup used
+//!   to snap gap endpoints onto graph nodes;
+//! * [`codec`] — a compact binary encoding for graphs, giving the
+//!   storage-size numbers of the paper's Table 2.
+//!
+//! Internally nodes are dense `u32` indices so the search frontier works
+//! on flat vectors; the id ↔ index mapping uses an FxHash map (shared
+//! with `aggdb`), following the perf-book guidance for integer keys.
+
+pub mod codec;
+pub mod graph;
+pub mod search;
+pub mod spatial;
+
+pub use codec::Codec;
+pub use graph::{DiGraph, EdgeRef, NodeId};
+pub use search::{astar, dijkstra, reachable_from, strongly_connected_roots, PathResult};
+pub use spatial::NearestIndex;

@@ -1,0 +1,306 @@
+//! Shortest-path search: Dijkstra, A*, reachability.
+
+use crate::graph::{DiGraph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a successful path search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathResult {
+    /// Sum of edge weights along the path.
+    pub cost: f64,
+    /// Node ids from start to goal, inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Number of heap pops performed (search effort; used by the latency
+    /// experiments to explain config differences).
+    pub expanded: usize,
+}
+
+/// Min-heap entry ordered by estimated total cost.
+#[derive(Debug)]
+struct Frontier {
+    est: f64,
+    cost: f64,
+    idx: u32,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.est == other.est
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; est is always finite.
+        other
+            .est
+            .partial_cmp(&self.est)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// A* search from `start` to `goal`.
+///
+/// * `weight(from_idx, to_idx, &edge)` must return a non-negative edge
+///   cost;
+/// * `heuristic(idx)` must be an admissible lower bound on the remaining
+///   cost to `goal` (return `0.0` to degrade to Dijkstra).
+///
+/// Returns `None` when either endpoint is missing or unreachable.
+pub fn astar<N, E>(
+    graph: &DiGraph<N, E>,
+    start: NodeId,
+    goal: NodeId,
+    mut weight: impl FnMut(u32, u32, &E) -> f64,
+    mut heuristic: impl FnMut(u32) -> f64,
+) -> Option<PathResult> {
+    let start_idx = graph.node_index(start)?;
+    let goal_idx = graph.node_index(goal)?;
+
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![u32::MAX; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut expanded = 0usize;
+
+    dist[start_idx as usize] = 0.0;
+    heap.push(Frontier {
+        est: heuristic(start_idx),
+        cost: 0.0,
+        idx: start_idx,
+    });
+
+    while let Some(Frontier { cost, idx, .. }) = heap.pop() {
+        if settled[idx as usize] {
+            continue;
+        }
+        settled[idx as usize] = true;
+        expanded += 1;
+
+        if idx == goal_idx {
+            let mut nodes = Vec::new();
+            let mut cur = goal_idx;
+            loop {
+                nodes.push(graph.node_id(cur));
+                if cur == start_idx {
+                    break;
+                }
+                cur = prev[cur as usize];
+                debug_assert_ne!(cur, u32::MAX, "broken predecessor chain");
+            }
+            nodes.reverse();
+            return Some(PathResult {
+                cost,
+                nodes,
+                expanded,
+            });
+        }
+
+        for edge in graph.edges_from_index(idx) {
+            let t = edge.to_idx as usize;
+            if settled[t] {
+                continue;
+            }
+            let w = weight(idx, edge.to_idx, edge.payload);
+            debug_assert!(w >= 0.0, "negative edge weight breaks Dijkstra/A*");
+            let next = cost + w;
+            if next < dist[t] {
+                dist[t] = next;
+                prev[t] = idx;
+                heap.push(Frontier {
+                    est: next + heuristic(edge.to_idx),
+                    cost: next,
+                    idx: edge.to_idx,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Dijkstra shortest path (A* with a zero heuristic).
+pub fn dijkstra<N, E>(
+    graph: &DiGraph<N, E>,
+    start: NodeId,
+    goal: NodeId,
+    weight: impl FnMut(u32, u32, &E) -> f64,
+) -> Option<PathResult> {
+    astar(graph, start, goal, weight, |_| 0.0)
+}
+
+/// Returns the dense indices reachable from `start` (BFS over out-edges),
+/// including `start` itself.
+pub fn reachable_from<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<u32> {
+    let Some(start_idx) = graph.node_index(start) else {
+        return Vec::new();
+    };
+    let mut visited = vec![false; graph.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut out = Vec::new();
+    visited[start_idx as usize] = true;
+    queue.push_back(start_idx);
+    while let Some(idx) = queue.pop_front() {
+        out.push(idx);
+        for e in graph.edges_from_index(idx) {
+            if !visited[e.to_idx as usize] {
+                visited[e.to_idx as usize] = true;
+                queue.push_back(e.to_idx);
+            }
+        }
+    }
+    out
+}
+
+/// Assigns every node a component root via undirected reachability (edges
+/// traversed both ways) and returns `roots[idx] = root_idx`.
+///
+/// Used as a graph-quality diagnostic: a healthy traffic graph has one
+/// dominant weakly-connected component.
+pub fn strongly_connected_roots<N, E>(graph: &DiGraph<N, E>) -> Vec<u32> {
+    let n = graph.node_count();
+    // Build undirected adjacency once.
+    let mut undirected: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for idx in 0..n as u32 {
+        for e in graph.edges_from_index(idx) {
+            undirected[idx as usize].push(e.to_idx);
+            undirected[e.to_idx as usize].push(idx);
+        }
+    }
+    let mut roots = vec![u32::MAX; n];
+    let mut stack = Vec::new();
+    for seed in 0..n as u32 {
+        if roots[seed as usize] != u32::MAX {
+            continue;
+        }
+        stack.push(seed);
+        roots[seed as usize] = seed;
+        while let Some(idx) = stack.pop() {
+            for &t in &undirected[idx as usize] {
+                if roots[t as usize] == u32::MAX {
+                    roots[t as usize] = seed;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1 → 2 → 3 → 4 (cheap chain) and 1 → 4 (expensive shortcut).
+    fn chain() -> DiGraph<(), f64> {
+        let mut g = DiGraph::new();
+        for id in 1..=4 {
+            g.add_node(id, ());
+        }
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(1, 4, 10.0);
+        g
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_chain() {
+        let g = chain();
+        let r = dijkstra(&g, 1, 4, |_, _, w| *w).unwrap();
+        assert_eq!(r.nodes, vec![1, 2, 3, 4]);
+        assert_eq!(r.cost, 3.0);
+    }
+
+    #[test]
+    fn dijkstra_uses_shortcut_when_cheaper() {
+        let mut g = chain();
+        g.add_edge(1, 4, 2.5);
+        let r = dijkstra(&g, 1, 4, |_, _, w| *w).unwrap();
+        assert_eq!(r.nodes, vec![1, 4]);
+        assert_eq!(r.cost, 2.5);
+    }
+
+    #[test]
+    fn unreachable_and_missing() {
+        let mut g = chain();
+        g.add_node(99, ());
+        assert!(dijkstra(&g, 1, 99, |_, _, w| *w).is_none());
+        assert!(dijkstra(&g, 1, 1000, |_, _, w| *w).is_none());
+        assert!(dijkstra(&g, 4, 1, |_, _, w| *w).is_none(), "directed");
+    }
+
+    #[test]
+    fn start_equals_goal() {
+        let g = chain();
+        let r = dijkstra(&g, 2, 2, |_, _, w| *w).unwrap();
+        assert_eq!(r.nodes, vec![2]);
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn astar_with_admissible_heuristic_finds_same_path() {
+        // Grid-like graph: nodes 0..100 laid out on a 10x10 grid, id = y*10+x.
+        let mut g = DiGraph::new();
+        for id in 0..100u64 {
+            g.add_node(id, ());
+        }
+        for y in 0..10u64 {
+            for x in 0..10u64 {
+                let id = y * 10 + x;
+                if x + 1 < 10 {
+                    g.add_edge(id, id + 1, 1.0);
+                    g.add_edge(id + 1, id, 1.0);
+                }
+                if y + 1 < 10 {
+                    g.add_edge(id, id + 10, 1.0);
+                    g.add_edge(id + 10, id, 1.0);
+                }
+            }
+        }
+        let manhattan = |idx: u32| {
+            let id = idx as u64;
+            let (x, y) = (id % 10, id / 10);
+            ((9 - x) + (9 - y)) as f64
+        };
+        let d = dijkstra(&g, 0, 99, |_, _, w| *w).unwrap();
+        let a = astar(&g, 0, 99, |_, _, w| *w, manhattan).unwrap();
+        assert_eq!(d.cost, a.cost);
+        assert_eq!(a.cost, 18.0);
+        assert!(
+            a.expanded < d.expanded,
+            "A* ({}) must expand fewer nodes than Dijkstra ({})",
+            a.expanded,
+            d.expanded
+        );
+    }
+
+    #[test]
+    fn reachability() {
+        let g = chain();
+        let r = reachable_from(&g, 2);
+        assert_eq!(r.len(), 3, "2, 3, 4");
+        assert!(reachable_from(&g, 1000).is_empty());
+    }
+
+    #[test]
+    fn components() {
+        let mut g = chain();
+        g.add_node(50, ());
+        g.add_node(51, ());
+        g.add_edge(50, 51, 1.0);
+        let roots = strongly_connected_roots(&g);
+        // Nodes 1-4 share a root; 50-51 share a different one.
+        let r14: std::collections::HashSet<u32> =
+            (0..4).map(|i| roots[i as usize]).collect();
+        assert_eq!(r14.len(), 1);
+        assert_eq!(roots[4], roots[5]);
+        assert_ne!(roots[0], roots[4]);
+    }
+}

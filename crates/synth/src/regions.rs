@@ -1,0 +1,237 @@
+//! The three study regions mirroring the paper's datasets.
+//!
+//! Coastlines are deliberately simplified polygons, but the *topology*
+//! matches the real regions: the Danish straits (Great Belt, Øresund)
+//! separate the Kattegat from the Baltic, and the Saronic gulf is ringed
+//! by Attica, the Peloponnese coast and the islands of Salamina and
+//! Aegina. That topology is what makes imputation non-trivial — straight
+//! lines between ports cross land, exactly as in the paper's Figure 1.
+
+use crate::world::{Port, World};
+use geo_kernel::{BBox, GeoPoint, MultiPolygon, Polygon};
+
+fn poly(points: &[(f64, f64)]) -> Polygon {
+    Polygon::new(points.iter().map(|&(lon, lat)| GeoPoint::new(lon, lat)).collect())
+}
+
+/// Danish waters: Jutland, Funen, Zealand, the Swedish west coast and the
+/// German Baltic coast, with ten ports. The DAN dataset sails passenger
+/// vessels between all port pairs; the KIEL dataset restricts itself to
+/// the Kiel ↔ Gothenburg corridor through the Great Belt.
+pub fn denmark() -> World {
+    let jutland = poly(&[
+        (8.0, 55.0),
+        (9.5, 54.82),
+        (10.0, 55.3),
+        (10.2, 56.0),
+        (10.5, 56.8),
+        (10.6, 57.7),
+        (10.0, 57.85),
+        (8.2, 57.1),
+        (8.05, 55.5),
+    ]);
+    let funen = poly(&[
+        (10.1, 55.25),
+        (10.75, 55.25),
+        (10.8, 55.5),
+        (10.3, 55.62),
+        (10.05, 55.45),
+    ]);
+    let zealand = poly(&[
+        (11.1, 55.2),
+        (12.0, 54.97),
+        (12.6, 55.3),
+        (12.6, 56.0),
+        (11.8, 56.05),
+        (11.05, 55.7),
+    ]);
+    let sweden = poly(&[
+        (12.95, 55.55),
+        (13.5, 55.3),
+        (13.5, 58.45),
+        (11.95, 58.45),
+        (11.85, 57.6),
+        (12.3, 56.8),
+        (12.7, 56.1),
+    ]);
+    let germany = poly(&[
+        (8.0, 54.9),
+        (9.4, 54.8),
+        (9.9, 54.5),
+        (10.1, 54.3),
+        (10.6, 54.35),
+        (11.0, 53.95),
+        (13.5, 54.15),
+        (13.5, 53.6),
+        (8.0, 53.6),
+    ]);
+    // Anholt island in the middle of the Kattegat: forces lane structure.
+    let anholt = poly(&[
+        (11.45, 56.68),
+        (11.65, 56.68),
+        (11.65, 56.76),
+        (11.45, 56.76),
+    ]);
+
+    let world = World {
+        name: "denmark".into(),
+        land: MultiPolygon::new(vec![jutland, funen, zealand, sweden, germany, anholt]),
+        ports: vec![
+            Port::new("Copenhagen", 12.70, 55.70),
+            Port::new("Malmo", 12.85, 55.58),
+            Port::new("Helsingborg", 12.66, 56.06),
+            Port::new("Gothenburg", 11.75, 57.68),
+            Port::new("Aarhus", 10.38, 56.15),
+            Port::new("Frederikshavn", 10.72, 57.44),
+            Port::new("Odense", 10.88, 55.48),
+            Port::new("Kalundborg", 10.95, 55.62),
+            Port::new("Kiel", 10.25, 54.42),
+            Port::new("Rostock", 12.10, 54.25),
+        ],
+        bbox: BBox::new(8.0, 53.5, 13.5, 58.5),
+    };
+    debug_assert!(world.validate().is_ok(), "{:?}", world.validate());
+    world
+}
+
+/// The KIEL corridor: same geography as [`denmark`], but only the Kiel and
+/// Gothenburg ports — all trips follow the single confined route through
+/// the Great Belt, mirroring the paper's KIEL scenario.
+pub fn kiel_corridor() -> World {
+    let mut world = denmark();
+    world.name = "kiel".into();
+    world.ports.retain(|p| p.name == "Kiel" || p.name == "Gothenburg");
+    world
+}
+
+/// The Saronic gulf: Attica peninsula, the Peloponnese coast, Salamina and
+/// Aegina, with Piraeus as the hub. All vessel types, short dense routes,
+/// and (in the dataset builder) degraded AIS reception in the southern
+/// half — the paper's SAR scenario.
+pub fn saronic() -> World {
+    let attica = poly(&[
+        (23.49, 38.2),
+        (24.2, 38.2),
+        (24.2, 37.75),
+        (24.05, 37.66),
+        (23.92, 37.76),
+        (23.74, 37.86),
+        (23.61, 37.965),
+        (23.52, 38.02),
+    ]);
+    // North shore (Megara coast) closing the gulf between Attica and
+    // Corinth; the canal is not navigable for our vessel classes.
+    let megara = poly(&[
+        (22.8, 38.2),
+        (23.52, 38.2),
+        (23.48, 38.04),
+        (23.2, 38.0),
+        (22.95, 37.97),
+        (22.8, 38.0),
+    ]);
+    let peloponnese = poly(&[
+        (22.8, 37.95),
+        (23.0, 37.9),
+        (23.12, 37.75),
+        (23.18, 37.6),
+        (23.38, 37.53),
+        (23.42, 37.42),
+        (23.2, 37.2),
+        (22.8, 37.2),
+    ]);
+    let salamina = poly(&[
+        (23.38, 37.88),
+        (23.55, 37.9),
+        (23.52, 38.0),
+        (23.4, 38.01),
+    ]);
+    let aegina = poly(&[
+        (23.42, 37.7),
+        (23.6, 37.68),
+        (23.62, 37.78),
+        (23.47, 37.8),
+    ]);
+
+    let world = World {
+        name: "saronic".into(),
+        land: MultiPolygon::new(vec![attica, megara, peloponnese, salamina, aegina]),
+        ports: vec![
+            Port::new("Piraeus", 23.58, 37.93),
+            Port::new("Aegina", 23.40, 37.74),
+            Port::new("Poros", 23.46, 37.48),
+            Port::new("Salamina", 23.45, 37.86),
+            Port::new("Lavrio", 24.10, 37.68),
+            Port::new("Epidavros", 23.20, 37.66),
+        ],
+        bbox: BBox::new(22.8, 37.2, 24.2, 38.2),
+    };
+    debug_assert!(world.validate().is_ok(), "{:?}", world.validate());
+    world
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_regions_validate() {
+        for w in [denmark(), kiel_corridor(), saronic()] {
+            assert!(w.validate().is_ok(), "{}: {:?}", w.name, w.validate());
+        }
+    }
+
+    #[test]
+    fn denmark_has_ten_ports_kiel_two() {
+        assert_eq!(denmark().ports.len(), 10);
+        assert_eq!(kiel_corridor().ports.len(), 2);
+    }
+
+    #[test]
+    fn straight_kiel_gothenburg_crosses_land() {
+        // The whole point of the region: naive interpolation is not
+        // navigable (paper Fig. 1).
+        let w = kiel_corridor();
+        let kiel = w.port("Kiel").unwrap().pos;
+        let got = w.port("Gothenburg").unwrap().pos;
+        assert!(!w.segment_is_clear(&kiel, &got));
+    }
+
+    #[test]
+    fn straight_piraeus_poros_crosses_aegina_or_coast() {
+        let w = saronic();
+        let a = w.port("Piraeus").unwrap().pos;
+        let b = w.port("Poros").unwrap().pos;
+        assert!(!w.segment_is_clear(&a, &b));
+    }
+
+    #[test]
+    fn open_water_pairs_are_clear() {
+        let w = denmark();
+        // Kattegat open water, east of Anholt.
+        assert!(w.segment_is_clear(
+            &GeoPoint::new(11.2, 56.4),
+            &GeoPoint::new(11.2, 57.2),
+        ));
+    }
+
+    #[test]
+    fn great_belt_is_open() {
+        let w = denmark();
+        // A north-south line through the Great Belt (between Funen 10.8E
+        // and Zealand 11.05E) must be clear of land.
+        assert!(w.segment_is_clear(
+            &GeoPoint::new(10.93, 55.15),
+            &GeoPoint::new(10.93, 55.75),
+        ));
+    }
+
+    #[test]
+    fn oresund_is_open() {
+        let w = denmark();
+        // Øresund between Zealand (12.6E) and Sweden (12.7+E).
+        assert!(w.segment_is_clear(
+            &GeoPoint::new(12.65, 55.4),
+            &GeoPoint::new(12.64, 56.2),
+        ));
+    }
+}

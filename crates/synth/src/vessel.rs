@@ -1,0 +1,162 @@
+//! Vessel-class kinematic profiles.
+//!
+//! Speeds and dimensions are drawn from published AIS statistics for each
+//! ship type; the exact values only need to be *plausible* — what matters
+//! for HABIT is that classes differ (the paper stresses accounting for
+//! vessel characteristics, §1).
+
+use ais::VesselType;
+use rand::Rng;
+
+/// Kinematic envelope of a vessel class.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassProfile {
+    /// Cruise speed range, knots.
+    pub cruise_knots: (f64, f64),
+    /// Overall length range, meters.
+    pub length_m: (f64, f64),
+    /// Draught range, meters.
+    pub draught_m: (f64, f64),
+    /// Base AIS reporting interval range, seconds. (Scaled-up relative to
+    /// real class-A rates to keep synthetic datasets laptop-sized; the
+    /// ratio between classes is preserved.)
+    pub report_interval_s: (f64, f64),
+    /// Berth/anchorage dwell range, minutes.
+    pub berth_minutes: (f64, f64),
+}
+
+/// The kinematic profile of a vessel type.
+pub fn class_profile(vtype: VesselType) -> ClassProfile {
+    match vtype {
+        VesselType::Passenger => ClassProfile {
+            cruise_knots: (15.0, 20.0),
+            length_m: (90.0, 220.0),
+            draught_m: (4.5, 7.0),
+            report_interval_s: (40.0, 70.0),
+            berth_minutes: (25.0, 60.0),
+        },
+        VesselType::Cargo => ClassProfile {
+            cruise_knots: (10.0, 15.0),
+            length_m: (120.0, 300.0),
+            draught_m: (7.0, 13.0),
+            report_interval_s: (50.0, 90.0),
+            berth_minutes: (120.0, 360.0),
+        },
+        VesselType::Tanker => ClassProfile {
+            cruise_knots: (8.0, 12.5),
+            length_m: (150.0, 330.0),
+            draught_m: (9.0, 17.0),
+            report_interval_s: (50.0, 90.0),
+            berth_minutes: (180.0, 420.0),
+        },
+        VesselType::Fishing => ClassProfile {
+            cruise_knots: (4.0, 8.0),
+            length_m: (12.0, 35.0),
+            draught_m: (1.5, 4.0),
+            report_interval_s: (60.0, 120.0),
+            berth_minutes: (60.0, 240.0),
+        },
+        VesselType::Pleasure => ClassProfile {
+            cruise_knots: (5.0, 14.0),
+            length_m: (8.0, 25.0),
+            draught_m: (0.8, 2.5),
+            report_interval_s: (60.0, 150.0),
+            berth_minutes: (60.0, 600.0),
+        },
+        VesselType::HighSpeed => ClassProfile {
+            cruise_knots: (24.0, 34.0),
+            length_m: (30.0, 90.0),
+            draught_m: (1.5, 3.5),
+            report_interval_s: (30.0, 50.0),
+            berth_minutes: (15.0, 40.0),
+        },
+        VesselType::Tug => ClassProfile {
+            cruise_knots: (6.0, 10.0),
+            length_m: (20.0, 45.0),
+            draught_m: (3.0, 6.0),
+            report_interval_s: (60.0, 100.0),
+            berth_minutes: (30.0, 180.0),
+        },
+        VesselType::Other => ClassProfile {
+            cruise_knots: (6.0, 14.0),
+            length_m: (20.0, 120.0),
+            draught_m: (2.0, 8.0),
+            report_interval_s: (50.0, 110.0),
+            berth_minutes: (60.0, 240.0),
+        },
+    }
+}
+
+/// Samples a uniform value from an inclusive range.
+pub(crate) fn sample_range<R: Rng>(rng: &mut R, range: (f64, f64)) -> f64 {
+    if range.0 >= range.1 {
+        return range.0;
+    }
+    rng.gen_range(range.0..range.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classes_are_ordered_sensibly() {
+        let pax = class_profile(VesselType::Passenger);
+        let tanker = class_profile(VesselType::Tanker);
+        let hsc = class_profile(VesselType::HighSpeed);
+        assert!(hsc.cruise_knots.0 > pax.cruise_knots.1, "HSC outruns ferries");
+        assert!(tanker.cruise_knots.1 < pax.cruise_knots.1, "tankers are slow");
+        assert!(tanker.draught_m.1 > pax.draught_m.1, "tankers sit deep");
+    }
+
+    #[test]
+    fn sampling_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = class_profile(VesselType::Cargo);
+        for _ in 0..100 {
+            let v = sample_range(&mut rng, p.cruise_knots);
+            assert!(v >= p.cruise_knots.0 && v < p.cruise_knots.1);
+        }
+        assert_eq!(sample_range(&mut rng, (5.0, 5.0)), 5.0);
+        // Inverted ranges collapse to the lower bound instead of
+        // panicking (defensive against bad profile edits).
+        assert_eq!(sample_range(&mut rng, (9.0, 3.0)), 9.0);
+    }
+
+    #[test]
+    fn every_class_has_a_physical_profile() {
+        for vtype in [
+            VesselType::Passenger,
+            VesselType::Cargo,
+            VesselType::Tanker,
+            VesselType::Fishing,
+            VesselType::Pleasure,
+            VesselType::HighSpeed,
+            VesselType::Tug,
+            VesselType::Other,
+        ] {
+            let p = class_profile(vtype);
+            assert!(p.cruise_knots.0 > 0.0 && p.cruise_knots.0 < p.cruise_knots.1);
+            assert!(p.length_m.0 > 0.0 && p.length_m.0 < p.length_m.1);
+            assert!(p.draught_m.0 > 0.0 && p.draught_m.0 < p.draught_m.1);
+            assert!(p.report_interval_s.0 >= 30.0, "{vtype:?} reports too fast");
+            assert!(p.berth_minutes.0 > 0.0);
+            // Hull proportions stay physical: draught far below length.
+            assert!(p.draught_m.1 < p.length_m.0, "{vtype:?} draught vs length");
+        }
+    }
+
+    #[test]
+    fn reporting_cadence_tracks_speed_class() {
+        // AIS class-A reports faster when the ship moves faster; our
+        // scaled intervals preserve that ordering.
+        let hsc = class_profile(VesselType::HighSpeed);
+        let fishing = class_profile(VesselType::Fishing);
+        assert!(
+            hsc.report_interval_s.1 < fishing.report_interval_s.1,
+            "fast craft report more often"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Ports, land masks and study regions.
+
+use geo_kernel::{BBox, GeoPoint, MultiPolygon};
+
+/// A named port: trips start and end here.
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Port name (e.g. "Kiel").
+    pub name: String,
+    /// Berth position, guaranteed to be on water in the region's mask.
+    pub pos: GeoPoint,
+}
+
+impl Port {
+    /// Creates a port.
+    pub fn new(name: &str, lon: f64, lat: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            pos: GeoPoint::new(lon, lat),
+        }
+    }
+}
+
+/// A study region: coastline polygons (land), ports, and a bounding box.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Region name.
+    pub name: String,
+    /// Land mask; sea is everything not covered.
+    pub land: MultiPolygon,
+    /// Ports in the region.
+    pub ports: Vec<Port>,
+    /// Region bounds.
+    pub bbox: BBox,
+}
+
+impl World {
+    /// Looks a port up by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// `true` when `p` is on water and inside the region.
+    pub fn is_sea(&self, p: &GeoPoint) -> bool {
+        self.bbox.contains(p) && !self.land.contains(p)
+    }
+
+    /// `true` when the straight segment `a`–`b` stays on water.
+    pub fn segment_is_clear(&self, a: &GeoPoint, b: &GeoPoint) -> bool {
+        !self.land.intersects_segment(a, b)
+    }
+
+    /// Sanity check used by tests and dataset builders: every port must
+    /// sit on water.
+    pub fn validate(&self) -> Result<(), String> {
+        for port in &self.ports {
+            if !self.bbox.contains(&port.pos) {
+                return Err(format!("port {} outside bbox", port.name));
+            }
+            if self.land.contains(&port.pos) {
+                return Err(format!("port {} is on land", port.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_kernel::Polygon;
+
+    fn toy_world() -> World {
+        // One square island in the middle of a 4x4 sea.
+        let island = Polygon::new(vec![
+            GeoPoint::new(1.5, 1.5),
+            GeoPoint::new(2.5, 1.5),
+            GeoPoint::new(2.5, 2.5),
+            GeoPoint::new(1.5, 2.5),
+        ]);
+        World {
+            name: "toy".into(),
+            land: MultiPolygon::new(vec![island]),
+            ports: vec![Port::new("west", 0.5, 2.0), Port::new("east", 3.5, 2.0)],
+            bbox: BBox::new(0.0, 0.0, 4.0, 4.0),
+        }
+    }
+
+    #[test]
+    fn sea_and_land() {
+        let w = toy_world();
+        assert!(w.is_sea(&GeoPoint::new(0.5, 0.5)));
+        assert!(!w.is_sea(&GeoPoint::new(2.0, 2.0)), "island is land");
+        assert!(!w.is_sea(&GeoPoint::new(5.0, 5.0)), "outside bbox");
+    }
+
+    #[test]
+    fn segment_clearance() {
+        let w = toy_world();
+        // Straight west→east crosses the island.
+        assert!(!w.segment_is_clear(&w.ports[0].pos, &w.ports[1].pos));
+        // Going around the north is clear.
+        assert!(w.segment_is_clear(&GeoPoint::new(0.5, 3.0), &GeoPoint::new(3.5, 3.0)));
+    }
+
+    #[test]
+    fn validation_catches_port_on_land() {
+        let mut w = toy_world();
+        assert!(w.validate().is_ok());
+        w.ports.push(Port::new("bad", 2.0, 2.0));
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn port_lookup() {
+        let w = toy_world();
+        assert!(w.port("west").is_some());
+        assert!(w.port("nope").is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Quickstart: fit a HABIT model on a synthetic AIS corridor and impute
+//! a communication gap.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full pipeline of the paper: dataset → cleaning & trip
+//! segmentation (§3.1) → graph generation (§3.2) → A* imputation with the
+//! data-driven median projection (§3.3) → RDP simplification (§3.4).
+
+use habit::prelude::*;
+use habit::synth::{datasets, DatasetSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A small synthetic KIEL-style corridor dataset: two ferries
+    //    shuttling between the same pair of ports.
+    let dataset = datasets::kiel(DatasetSpec { seed: 42, scale: 0.3 });
+    println!(
+        "dataset {}: {} raw positions from {} vessels",
+        dataset.name,
+        dataset.num_positions(),
+        dataset.num_ships()
+    );
+
+    // 2. Clean + segment into trips, then hold out 30 % for testing.
+    let trips = dataset.trips();
+    let mut rng = StdRng::seed_from_u64(7);
+    let (train, test) = split_trips(&trips, 0.7, &mut rng);
+    println!("{} trips segmented ({} train / {} test)", trips.len(), train.len(), test.len());
+
+    // 3. Fit HABIT at resolution r=9 with median projection, t=100 m.
+    let config = HabitConfig::with_r_t(9, 100.0);
+    let table = habit::ais::trips_to_table(&train);
+    let model = HabitModel::fit(&table, config).expect("fit");
+    println!(
+        "model: {} cells, {} transitions, {:.2} KiB serialized",
+        model.node_count(),
+        model.edge_count(),
+        model.storage_bytes() as f64 / 1024.0
+    );
+
+    // 4. Inject a synthetic 60-minute gap into a held-out trip and impute.
+    let case = test
+        .iter()
+        .filter_map(|t| habit::eval::inject_gap(t, 3600, &mut rng))
+        .next()
+        .expect("at least one test trip can host a 60-minute gap");
+    println!(
+        "\ngap on trip {}: {:.4},{:.4} -> {:.4},{:.4} ({} s silent, {} truth points withheld)",
+        case.trip_id,
+        case.query.start.pos.lon,
+        case.query.start.pos.lat,
+        case.query.end.pos.lon,
+        case.query.end.pos.lat,
+        case.query.duration_s(),
+        case.truth.len(),
+    );
+
+    let imputation = model.impute(&case.query).expect("impute");
+    println!(
+        "imputed path: {} cells -> {} raw points -> {} after RDP (cost {:.1}, {} nodes expanded)",
+        imputation.cells.len(),
+        imputation.raw_point_count,
+        imputation.points.len(),
+        imputation.cost,
+        imputation.expanded,
+    );
+
+    // 5. Accuracy: DTW against the withheld ground truth, next to the
+    //    straight-line baseline the paper compares with.
+    let imputed: Vec<GeoPoint> = imputation.points.iter().map(|p| p.pos).collect();
+    let truth: Vec<GeoPoint> = case.truth.iter().map(|p| p.pos).collect();
+    let habit_dtw = resampled_dtw_m(&imputed, &truth).expect("dtw");
+
+    let sli_path = impute_sli(case.query.start, case.query.end, 250.0);
+    let sli_pts: Vec<GeoPoint> = sli_path.iter().map(|p| p.pos).collect();
+    let sli_dtw = resampled_dtw_m(&sli_pts, &truth).expect("dtw");
+
+    println!("\nDTW vs ground truth:  HABIT {habit_dtw:.1} m   SLI {sli_dtw:.1} m");
+    for p in imputation.points.iter().take(8) {
+        println!("  t={} lon={:.5} lat={:.5}", p.t, p.pos.lon, p.pos.lat);
+    }
+    if imputation.points.len() > 8 {
+        println!("  ... ({} more)", imputation.points.len() - 8);
+    }
+}

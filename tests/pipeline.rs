@@ -1,0 +1,180 @@
+//! End-to-end integration tests: synthetic world → AIS cleaning → trip
+//! segmentation → HABIT fit → imputation → accuracy, across crate
+//! boundaries (the full paper pipeline).
+
+use habit::prelude::*;
+use habit::synth::{datasets, DatasetSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn kiel_bench() -> (Vec<Trip>, Vec<Trip>) {
+    let dataset = datasets::kiel(DatasetSpec { seed: 42, scale: 0.15 });
+    let trips = dataset.trips();
+    assert!(trips.len() >= 6, "need enough trips, got {}", trips.len());
+    let mut rng = StdRng::seed_from_u64(1);
+    split_trips(&trips, 0.7, &mut rng)
+}
+
+#[test]
+fn full_pipeline_imputes_held_out_gaps() {
+    let (train, test) = kiel_bench();
+    let table = habit::ais::trips_to_table(&train);
+    let model = HabitModel::fit(&table, HabitConfig::with_r_t(9, 100.0)).expect("fit");
+    assert!(model.node_count() > 50, "nodes {}", model.node_count());
+    assert!(model.edge_count() > 50, "edges {}", model.edge_count());
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut attempted = 0usize;
+    let mut succeeded = 0usize;
+    let mut habit_beats_sli = 0usize;
+    for trip in &test {
+        let Some(case) = habit::eval::inject_gap(trip, 3600, &mut rng) else {
+            continue;
+        };
+        attempted += 1;
+        let Ok(imp) = model.impute(&case.query) else {
+            continue;
+        };
+        succeeded += 1;
+        // Paths must start/end exactly at the query endpoints with
+        // monotone timestamps.
+        let first = imp.points.first().expect("non-empty");
+        let last = imp.points.last().expect("non-empty");
+        assert_eq!(first.t, case.query.start.t);
+        assert_eq!(last.t, case.query.end.t);
+        assert!(
+            imp.points.windows(2).all(|w| w[0].t <= w[1].t),
+            "timestamps must be monotone"
+        );
+
+        let truth: Vec<GeoPoint> = case.truth.iter().map(|p| p.pos).collect();
+        let habit_pts: Vec<GeoPoint> = imp.points.iter().map(|p| p.pos).collect();
+        let habit_dtw = resampled_dtw_m(&habit_pts, &truth).expect("dtw");
+
+        let sli: Vec<GeoPoint> = impute_sli(case.query.start, case.query.end, 250.0)
+            .iter()
+            .map(|p| p.pos)
+            .collect();
+        let sli_dtw = resampled_dtw_m(&sli, &truth).expect("dtw");
+        if habit_dtw <= sli_dtw {
+            habit_beats_sli += 1;
+        }
+    }
+    assert!(attempted >= 2, "too few gap cases: {attempted}");
+    assert_eq!(succeeded, attempted, "every gap on the trained corridor must impute");
+    // The corridor has a dog-leg around land, so following history beats
+    // the straight line on a clear majority of gaps.
+    assert!(
+        habit_beats_sli * 2 >= attempted,
+        "HABIT beat SLI on only {habit_beats_sli}/{attempted} gaps"
+    );
+}
+
+#[test]
+fn model_survives_serialization_at_dataset_scale() {
+    let (train, test) = kiel_bench();
+    let table = habit::ais::trips_to_table(&train);
+    let model = HabitModel::fit(&table, HabitConfig::with_r_t(9, 100.0)).expect("fit");
+
+    let bytes = model.to_bytes();
+    let restored = HabitModel::from_bytes(&bytes).expect("round trip");
+    assert_eq!(restored.node_count(), model.node_count());
+    assert_eq!(restored.edge_count(), model.edge_count());
+
+    // The restored model answers queries identically.
+    let mut rng = StdRng::seed_from_u64(3);
+    let case = test
+        .iter()
+        .filter_map(|t| habit::eval::inject_gap(t, 3600, &mut rng))
+        .next()
+        .expect("one gap case");
+    let a = model.impute(&case.query).expect("impute");
+    let b = restored.impute(&case.query).expect("impute");
+    assert_eq!(a.cells, b.cells, "same cell sequence");
+    assert_eq!(a.points.len(), b.points.len());
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert!((pa.pos.lon - pb.pos.lon).abs() < 1e-9);
+        assert!((pa.pos.lat - pb.pos.lat).abs() < 1e-9);
+        assert_eq!(pa.t, pb.t);
+    }
+}
+
+#[test]
+fn imputed_paths_stay_in_region_and_respect_tolerance() {
+    let dataset = datasets::kiel(DatasetSpec { seed: 7, scale: 0.15 });
+    let trips = dataset.trips();
+    let mut rng = StdRng::seed_from_u64(4);
+    let (train, test) = split_trips(&trips, 0.7, &mut rng);
+    let table = habit::ais::trips_to_table(&train);
+    let model = HabitModel::fit(&table, HabitConfig::with_r_t(9, 250.0)).expect("fit");
+
+    let bbox = &dataset.world.bbox;
+    for trip in &test {
+        let Some(case) = habit::eval::inject_gap(trip, 3600, &mut rng) else {
+            continue;
+        };
+        let Ok(imp) = model.impute(&case.query) else {
+            continue;
+        };
+        for p in &imp.points {
+            assert!(
+                p.pos.lon >= bbox.min_lon - 0.2 && p.pos.lon <= bbox.max_lon + 0.2,
+                "lon {} out of region",
+                p.pos.lon
+            );
+            assert!(
+                p.pos.lat >= bbox.min_lat - 0.2 && p.pos.lat <= bbox.max_lat + 0.2,
+                "lat {} out of region",
+                p.pos.lat
+            );
+        }
+        // RDP never leaves more points than the raw cell path.
+        assert!(imp.points.len() <= imp.raw_point_count.max(2));
+    }
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)] // parallel column access by row index
+fn vessel_histories_produce_cell_statistics_consistent_with_aggdb() {
+    use habit::aggdb::{Agg, AggSpec};
+
+    let (train, _) = kiel_bench();
+    let table = habit::ais::trips_to_table(&train);
+    let model = HabitModel::fit(&table, HabitConfig::with_r_t(8, 100.0)).expect("fit");
+
+    // Recompute message counts per cell directly with aggdb and compare
+    // with the statistics stored on the graph nodes.
+    let grid = HexGrid::new();
+    let lon = table.column_by_name("lon").unwrap().f64_values().unwrap();
+    let lat = table.column_by_name("lat").unwrap().f64_values().unwrap();
+    let cells: Vec<u64> = lon
+        .iter()
+        .zip(lat)
+        .map(|(&x, &y)| grid.cell(&GeoPoint::new(x, y), 8).map(|c| c.raw()).unwrap_or(0))
+        .collect();
+    let with_cells = table
+        .clone()
+        .with_column("cell", habit::aggdb::Column::from_u64(cells))
+        .unwrap();
+    let stats = with_cells
+        .group_by(&["cell"], &[AggSpec::new("", Agg::Count, "msgs")])
+        .unwrap();
+
+    let cell_col = stats.column_by_name("cell").unwrap().u64_values().unwrap();
+    let mut checked = 0usize;
+    for i in 0..stats.num_rows() {
+        let Ok(cell) = HexCell::from_raw(cell_col[i]) else { continue };
+        if let Some(node) = model.cell_stats(cell) {
+            let msgs = stats.column_by_name("msgs").unwrap().value(i).as_u64().unwrap();
+            // Cell-span filtering may drop a few short trips from the
+            // model, so the graph count never exceeds the raw count.
+            assert!(
+                node.msg_count <= msgs,
+                "graph count {} > raw count {msgs}",
+                node.msg_count
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 20, "checked only {checked} cells");
+}
