@@ -66,10 +66,19 @@ enum Acc {
     Hll(HyperLogLog),
     Exact(crate::fxhash::FxHashSet<Value>),
     Values(Vec<f64>),
-    Mean { sum: f64, n: u64 },
-    MinMax { best: Option<f64>, is_min: bool },
+    Mean {
+        sum: f64,
+        n: u64,
+    },
+    MinMax {
+        best: Option<f64>,
+        is_min: bool,
+    },
     Sum(f64),
-    FirstLast { value: Option<Value>, keep_first: bool },
+    FirstLast {
+        value: Option<Value>,
+        keep_first: bool,
+    },
 }
 
 impl Acc {
@@ -80,11 +89,23 @@ impl Acc {
             Agg::CountDistinctExact => Acc::Exact(Default::default()),
             Agg::Median => Acc::Values(Vec::new()),
             Agg::Mean => Acc::Mean { sum: 0.0, n: 0 },
-            Agg::Min => Acc::MinMax { best: None, is_min: true },
-            Agg::Max => Acc::MinMax { best: None, is_min: false },
+            Agg::Min => Acc::MinMax {
+                best: None,
+                is_min: true,
+            },
+            Agg::Max => Acc::MinMax {
+                best: None,
+                is_min: false,
+            },
             Agg::Sum => Acc::Sum(0.0),
-            Agg::First => Acc::FirstLast { value: None, keep_first: true },
-            Agg::Last => Acc::FirstLast { value: None, keep_first: false },
+            Agg::First => Acc::FirstLast {
+                value: None,
+                keep_first: true,
+            },
+            Agg::Last => Acc::FirstLast {
+                value: None,
+                keep_first: false,
+            },
         }
     }
 
@@ -255,7 +276,10 @@ mod tests {
         Table::from_columns(vec![
             ("cl", Column::from_u64(vec![1, 1, 1, 2, 2, 3])),
             ("vessel", Column::from_u64(vec![10, 10, 11, 10, 12, 12])),
-            ("lon", Column::from_f64(vec![1.0, 2.0, 3.0, 10.0, 20.0, 5.0])),
+            (
+                "lon",
+                Column::from_f64(vec![1.0, 2.0, 3.0, 10.0, 20.0, 5.0]),
+            ),
             (
                 "sog",
                 Column::from_f64(vec![9.0, 10.0, 11.0, 8.0, 8.5, 0.1]),
@@ -271,7 +295,12 @@ mod tests {
             .group_by(&["cl"], &[AggSpec::new("", Agg::Count, "cnt")])
             .unwrap();
         assert_eq!(g.num_rows(), 3);
-        let cnt = g.column_by_name("cnt").unwrap().u64_values().unwrap().to_vec();
+        let cnt = g
+            .column_by_name("cnt")
+            .unwrap()
+            .u64_values()
+            .unwrap()
+            .to_vec();
         assert_eq!(cnt, vec![3, 2, 1]);
     }
 
@@ -281,7 +310,12 @@ mod tests {
         let g = t
             .group_by(&["cl"], &[AggSpec::new("lon", Agg::Median, "median_lon")])
             .unwrap();
-        let med = g.column_by_name("median_lon").unwrap().f64_values().unwrap().to_vec();
+        let med = g
+            .column_by_name("median_lon")
+            .unwrap()
+            .f64_values()
+            .unwrap()
+            .to_vec();
         assert_eq!(med, vec![2.0, 15.0, 5.0]);
     }
 
@@ -297,7 +331,12 @@ mod tests {
                 ],
             )
             .unwrap();
-        let approx = g.column_by_name("vessels").unwrap().u64_values().unwrap().to_vec();
+        let approx = g
+            .column_by_name("vessels")
+            .unwrap()
+            .u64_values()
+            .unwrap()
+            .to_vec();
         let exact = g
             .column_by_name("vessels_exact")
             .unwrap()
@@ -344,8 +383,14 @@ mod tests {
                 ],
             )
             .unwrap();
-        assert_eq!(g.column_by_name("first").unwrap().value(0), Value::Float(1.0));
-        assert_eq!(g.column_by_name("last").unwrap().value(0), Value::Float(3.0));
+        assert_eq!(
+            g.column_by_name("first").unwrap().value(0),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            g.column_by_name("last").unwrap().value(0),
+            Value::Float(3.0)
+        );
     }
 
     #[test]
@@ -374,7 +419,10 @@ mod tests {
     fn composite_key_group_by() {
         // The paper's second grouping is by (lag_cl, cl).
         let t = Table::from_columns(vec![
-            ("lag_cl", Column::from_u64_opt(vec![None, Some(1), Some(1), Some(2)])),
+            (
+                "lag_cl",
+                Column::from_u64_opt(vec![None, Some(1), Some(1), Some(2)]),
+            ),
             ("cl", Column::from_u64(vec![1, 2, 2, 3])),
             ("trip", Column::from_u64(vec![100, 100, 101, 100])),
         ])
@@ -382,12 +430,19 @@ mod tests {
         let g = t
             .group_by(
                 &["lag_cl", "cl"],
-                &[AggSpec::new("trip", Agg::CountDistinctApprox, "transitions")],
+                &[AggSpec::new(
+                    "trip",
+                    Agg::CountDistinctApprox,
+                    "transitions",
+                )],
             )
             .unwrap();
         assert_eq!(g.num_rows(), 3);
         // Group (1, 2) has trips {100, 101}.
-        assert_eq!(g.column_by_name("transitions").unwrap().value(1), Value::UInt(2));
+        assert_eq!(
+            g.column_by_name("transitions").unwrap().value(1),
+            Value::UInt(2)
+        );
     }
 
     #[test]

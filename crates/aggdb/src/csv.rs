@@ -25,7 +25,11 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Table, AggError> {
             message: "empty input".into(),
         });
     }
-    let names: Vec<String> = header.trim_end().split(',').map(|s| s.to_string()).collect();
+    let names: Vec<String> = header
+        .trim_end()
+        .split(',')
+        .map(|s| s.to_string())
+        .collect();
     let ncols = names.len();
 
     // Pass 1: collect raw fields, infer types.
@@ -57,10 +61,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Table, AggError> {
     }
 
     // Pass 2: build typed columns.
-    let mut columns: Vec<Column> = kinds
-        .iter()
-        .map(|k| Column::new_empty(k.dtype()))
-        .collect();
+    let mut columns: Vec<Column> = kinds.iter().map(|k| Column::new_empty(k.dtype())).collect();
     for (ri, fields) in rows.iter().enumerate() {
         for (ci, field) in fields.iter().enumerate() {
             let value = kinds[ci].parse(field).map_err(|message| AggError::Csv {
@@ -71,11 +72,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Table, AggError> {
         }
     }
 
-    let pairs: Vec<(&str, Column)> = names
-        .iter()
-        .map(|n| n.as_str())
-        .zip(columns)
-        .collect();
+    let pairs: Vec<(&str, Column)> = names.iter().map(|n| n.as_str()).zip(columns).collect();
     Table::from_columns(pairs)
 }
 

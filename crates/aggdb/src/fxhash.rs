@@ -126,7 +126,10 @@ mod tests {
         let h2 = hash_u64(101);
         assert!(h1.wrapping_sub(h2) != 1 && h2.wrapping_sub(h1) != 1);
         // Leading-zero distribution sanity: over 1000 keys, max rho > 5.
-        let max_rho = (0..1000u64).map(|v| hash_u64(v).leading_zeros()).max().unwrap();
+        let max_rho = (0..1000u64)
+            .map(|v| hash_u64(v).leading_zeros())
+            .max()
+            .unwrap();
         assert!(max_rho > 5, "max leading zeros {max_rho}");
     }
 

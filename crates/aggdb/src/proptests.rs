@@ -22,7 +22,10 @@ fn ais_like_table() -> impl Strategy<Value = Table> {
                 Table::from_columns(vec![
                     ("key", Column::from_u64(keys)),
                     ("vessel", Column::from_u64(vessels)),
-                    ("x", Column::from_f64(xs.into_iter().map(|v| v as f64).collect())),
+                    (
+                        "x",
+                        Column::from_f64(xs.into_iter().map(|v| v as f64).collect()),
+                    ),
                 ])
                 .expect("equal lengths")
             })

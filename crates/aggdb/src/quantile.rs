@@ -28,10 +28,7 @@ pub fn quantile_exact(values: &mut Vec<f64>, q: f64) -> Option<f64> {
         return Some(lo);
     }
     // The next order statistic is the minimum of the right partition.
-    let hi = rest
-        .iter()
-        .copied()
-        .fold(f64::INFINITY, f64::min);
+    let hi = rest.iter().copied().fold(f64::INFINITY, f64::min);
     Some(lo + (hi - lo) * frac)
 }
 
@@ -149,8 +146,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, sign: f64) -> f64 {
         let j = (i as f64 + sign) as usize;
         self.heights[i]
-            + sign * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// Current quantile estimate; `None` before any value is observed.
@@ -211,7 +207,9 @@ mod tests {
         let mut state = 12345u64;
         let mut all = Vec::new();
         for _ in 0..20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 1000.0;
             est.insert(x);
             all.push(x);

@@ -38,9 +38,7 @@ impl Query {
                 .index_of(name)
                 .ok_or_else(|| AggError::UnknownColumn(name.to_string()))?;
             let col = t.column(col_idx);
-            let keep: Vec<usize> = (0..t.num_rows())
-                .filter(|&i| pred(&col.value(i)))
-                .collect();
+            let keep: Vec<usize> = (0..t.num_rows()).filter(|&i| pred(&col.value(i))).collect();
             Ok(t.take(&keep))
         });
         Self { state }
@@ -140,7 +138,10 @@ mod tests {
         for i in 0..edges.num_rows() {
             if lag_col.value(i) == Value::UInt(200) && cell_col.value(i) == Value::UInt(201) {
                 found_transition = true;
-                assert_eq!(edges.column_by_name("trips").unwrap().value(i), Value::UInt(1));
+                assert_eq!(
+                    edges.column_by_name("trips").unwrap().value(i),
+                    Value::UInt(1)
+                );
             }
         }
         assert!(found_transition);
@@ -151,7 +152,8 @@ mod tests {
         let t = Query::scan(&positions())
             .map_column("sog_mps", |t, i| {
                 let sog = t.column_by_name("sog").unwrap().value(i);
-                sog.as_f64().map_or(Value::Null, |s| Value::Float(s * 0.514444))
+                sog.as_f64()
+                    .map_or(Value::Null, |s| Value::Float(s * 0.514444))
             })
             .run()
             .unwrap();

@@ -296,7 +296,10 @@ mod tests {
         assert_eq!(t.num_columns(), 3);
         assert_eq!(t.column_by_name("ts").unwrap().i64_values().unwrap()[2], 5);
         assert!(t.column_by_name("nope").is_err());
-        assert_eq!(t.row(0), vec![Value::UInt(1), Value::Int(10), Value::Float(9.0)]);
+        assert_eq!(
+            t.row(0),
+            vec![Value::UInt(1), Value::Int(10), Value::Float(9.0)]
+        );
     }
 
     #[test]
@@ -338,7 +341,12 @@ mod tests {
     fn sort_by_column() {
         let t = sample();
         let sorted = t.sort_by("ts").unwrap();
-        let ts = sorted.column_by_name("ts").unwrap().i64_values().unwrap().to_vec();
+        let ts = sorted
+            .column_by_name("ts")
+            .unwrap()
+            .i64_values()
+            .unwrap()
+            .to_vec();
         assert_eq!(ts, vec![5, 10, 15, 20, 25]);
     }
 
@@ -354,7 +362,10 @@ mod tests {
     #[test]
     fn group_rows_composite_key_with_nulls() {
         let t = Table::from_columns(vec![
-            ("a", Column::from_u64_opt(vec![Some(1), None, Some(1), None])),
+            (
+                "a",
+                Column::from_u64_opt(vec![Some(1), None, Some(1), None]),
+            ),
             ("b", Column::from_u64(vec![7, 7, 7, 8])),
         ])
         .unwrap();
@@ -368,7 +379,10 @@ mod tests {
     #[test]
     fn with_column_validates_length() {
         let t = sample();
-        assert!(t.clone().with_column("x", Column::from_i64(vec![1])).is_err());
+        assert!(t
+            .clone()
+            .with_column("x", Column::from_i64(vec![1]))
+            .is_err());
         let t2 = t.with_column("x", Column::from_i64(vec![0; 5])).unwrap();
         assert_eq!(t2.num_columns(), 4);
         assert_eq!(t2.schema().fields()[3].name, "x");

@@ -120,7 +120,13 @@ mod tests {
         let traj = Trajectory::new(1, base_points());
         let (out, rep) = clean_trajectory(&traj, &CleanConfig::default());
         assert_eq!(out.len(), 10);
-        assert_eq!(rep, CleanReport { kept: 10, ..Default::default() });
+        assert_eq!(
+            rep,
+            CleanReport {
+                kept: 10,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]
@@ -160,7 +166,13 @@ mod tests {
     fn out_of_order_messages_resorted() {
         let mut pts = base_points();
         pts.swap(2, 7);
-        let (out, _) = clean_trajectory(&Trajectory { mmsi: 1, points: pts }, &CleanConfig::default());
+        let (out, _) = clean_trajectory(
+            &Trajectory {
+                mmsi: 1,
+                points: pts,
+            },
+            &CleanConfig::default(),
+        );
         for w in out.points.windows(2) {
             assert!(w[0].t < w[1].t);
         }

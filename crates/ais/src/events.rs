@@ -109,9 +109,7 @@ pub fn annotate(traj: &Trajectory, cfg: &EventConfig) -> Vec<MobilityEvent> {
         }
         let (a, b) = (pts[i - 1].sog, pts[i].sog);
         let base = a.max(1.0);
-        if ((b - a).abs() / base) > cfg.speed_change_ratio
-            && a.max(b) > cfg.stop_speed_knots
-        {
+        if ((b - a).abs() / base) > cfg.speed_change_ratio && a.max(b) > cfg.stop_speed_knots {
             events.push(MobilityEvent::SpeedChange {
                 at: i,
                 from_knots: a,
@@ -229,7 +227,11 @@ mod tests {
             .collect();
         assert_eq!(gaps.len(), 1);
         match gaps[0] {
-            MobilityEvent::Gap { before, after, duration_s } => {
+            MobilityEvent::Gap {
+                before,
+                after,
+                duration_s,
+            } => {
                 assert_eq!(*before, 4);
                 assert_eq!(*after, 5);
                 assert!(*duration_s >= 7200);
@@ -248,7 +250,9 @@ mod tests {
         pts.extend(cruise(1, 1000, 5, 10.0, 90.0));
         let events = annotate(&Trajectory::new(1, pts), &EventConfig::default());
         assert!(
-            events.iter().any(|e| matches!(e, MobilityEvent::Stop { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e, MobilityEvent::Stop { .. })),
             "events: {events:?}"
         );
     }
@@ -259,7 +263,9 @@ mod tests {
         pts.push(AisPoint::new(1, 200, 10.006, 55.0, 0.1, 90.0)); // single slow ping
         pts.extend(cruise(1, 260, 3, 10.0, 90.0));
         let events = annotate(&Trajectory::new(1, pts), &EventConfig::default());
-        assert!(!events.iter().any(|e| matches!(e, MobilityEvent::Stop { .. })));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, MobilityEvent::Stop { .. })));
     }
 
     #[test]

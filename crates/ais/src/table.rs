@@ -76,9 +76,18 @@ mod tests {
         for (i, name) in COLS.iter().enumerate() {
             assert_eq!(t.schema().fields()[i].name, *name);
         }
-        assert_eq!(t.column_by_name("trip_id").unwrap().u64_values().unwrap(), &[7, 7, 8]);
-        assert_eq!(t.column_by_name("ts").unwrap().i64_values().unwrap(), &[10, 20, 5]);
-        assert_eq!(t.column_by_name("lon").unwrap().f64_values().unwrap(), &[1.0, 1.1, 3.0]);
+        assert_eq!(
+            t.column_by_name("trip_id").unwrap().u64_values().unwrap(),
+            &[7, 7, 8]
+        );
+        assert_eq!(
+            t.column_by_name("ts").unwrap().i64_values().unwrap(),
+            &[10, 20, 5]
+        );
+        assert_eq!(
+            t.column_by_name("lon").unwrap().f64_values().unwrap(),
+            &[1.0, 1.1, 3.0]
+        );
     }
 
     #[test]

@@ -95,7 +95,13 @@ pub fn segment_trajectory(
         cursor = cursor.max(cut.start_next);
     }
     if cursor < cleaned.len() {
-        push_trip(&cleaned, cursor, cleaned.len() - 1, next_trip_id, &mut trips);
+        push_trip(
+            &cleaned,
+            cursor,
+            cleaned.len() - 1,
+            next_trip_id,
+            &mut trips,
+        );
     }
     trips
 }
@@ -136,7 +142,16 @@ mod tests {
 
     fn leg(mmsi: u64, t0: i64, n: usize, lon0: f64, sog: f64) -> Vec<AisPoint> {
         (0..n)
-            .map(|i| AisPoint::new(mmsi, t0 + i as i64 * 60, lon0 + i as f64 * 0.003, 55.0, sog, 90.0))
+            .map(|i| {
+                AisPoint::new(
+                    mmsi,
+                    t0 + i as i64 * 60,
+                    lon0 + i as f64 * 0.003,
+                    55.0,
+                    sog,
+                    90.0,
+                )
+            })
             .collect()
     }
 
@@ -153,7 +168,12 @@ mod tests {
         pts.extend(berth(1, 30 * 60, 20, 10.1));
         pts.extend(leg(1, 50 * 60, 30, 10.1, 12.0));
         let trips = segment_all(&[Trajectory::new(1, pts)], &TripConfig::default());
-        assert_eq!(trips.len(), 2, "{:?}", trips.iter().map(|t| t.points.len()).collect::<Vec<_>>());
+        assert_eq!(
+            trips.len(),
+            2,
+            "{:?}",
+            trips.iter().map(|t| t.points.len()).collect::<Vec<_>>()
+        );
         assert_eq!(trips[0].trip_id, 1);
         assert_eq!(trips[1].trip_id, 2);
         // Trip interiors are moving points only.

@@ -342,7 +342,10 @@ mod tests {
         let trips = training_trips();
         let m = GtiModel::fit(&trips, GtiConfig::default()).unwrap();
         let path = m
-            .impute(TimedPoint::new(10.05, 56.0, 500), TimedPoint::new(10.35, 56.0, 4000))
+            .impute(
+                TimedPoint::new(10.05, 56.0, 500),
+                TimedPoint::new(10.35, 56.0, 4000),
+            )
             .unwrap();
         for w in path.windows(2) {
             assert!(w[1].t >= w[0].t);

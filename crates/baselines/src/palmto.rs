@@ -165,7 +165,12 @@ impl PalmtoModel {
             }
             // Goal adjacency: close enough counts as arrival.
             if let (Ok(cur), goal) = (HexCell::from_raw(current), goal_cell) {
-                if self.grid.grid_distance(cur, goal).map(|d| d <= 1).unwrap_or(false) {
+                if self
+                    .grid
+                    .grid_distance(cur, goal)
+                    .map(|d| d <= 1)
+                    .unwrap_or(false)
+                {
                     tokens.push(goal.raw());
                     return Ok(self.tokens_to_path(&tokens, start, end));
                 }
@@ -224,7 +229,12 @@ impl PalmtoModel {
         None
     }
 
-    fn tokens_to_path(&self, tokens: &[u64], start: TimedPoint, end: TimedPoint) -> Vec<TimedPoint> {
+    fn tokens_to_path(
+        &self,
+        tokens: &[u64],
+        start: TimedPoint,
+        end: TimedPoint,
+    ) -> Vec<TimedPoint> {
         let mut positions: Vec<GeoPoint> = Vec::with_capacity(tokens.len() + 2);
         positions.push(start.pos);
         for &t in tokens {
@@ -265,7 +275,14 @@ mod tests {
                 mmsi: 300 + k,
                 points: (0..150)
                     .map(|i| {
-                        AisPoint::new(300 + k, i as i64 * 60, 10.0 + i as f64 * 0.004, 56.0, 12.0, 90.0)
+                        AisPoint::new(
+                            300 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.004,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
                     })
                     .collect(),
             })

@@ -15,8 +15,8 @@ fn bench_resolutions(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig3_impute_by_resolution");
     for res in [7u8, 8, 9, 10] {
-        let imputer = Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(res, 100.0))
-            .expect("fit habit");
+        let imputer =
+            Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(res, 100.0)).expect("fit habit");
         group.bench_with_input(BenchmarkId::new("impute", res), &imputer, |b, imp| {
             let mut i = 0usize;
             b.iter(|| {

@@ -12,7 +12,12 @@ use std::hint::black_box;
 fn bench_hexgrid(c: &mut Criterion) {
     let grid = HexGrid::new();
     let points: Vec<GeoPoint> = (0..1000)
-        .map(|i| GeoPoint::new(10.0 + (i % 100) as f64 * 0.01, 55.0 + (i / 100) as f64 * 0.01))
+        .map(|i| {
+            GeoPoint::new(
+                10.0 + (i % 100) as f64 * 0.01,
+                55.0 + (i / 100) as f64 * 0.01,
+            )
+        })
         .collect();
 
     c.bench_function("hexgrid_latlng_to_cell_r9_x1000", |b| {
@@ -75,7 +80,9 @@ fn bench_aggdb(c: &mut Criterion) {
 }
 
 fn bench_dtw(c: &mut Criterion) {
-    let a: Vec<GeoPoint> = (0..120).map(|i| GeoPoint::new(10.0 + i as f64 * 0.002, 56.0)).collect();
+    let a: Vec<GeoPoint> = (0..120)
+        .map(|i| GeoPoint::new(10.0 + i as f64 * 0.002, 56.0))
+        .collect();
     let b_path: Vec<GeoPoint> = (0..120)
         .map(|i| GeoPoint::new(10.0 + i as f64 * 0.002, 56.001))
         .collect();

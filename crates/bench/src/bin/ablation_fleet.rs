@@ -10,7 +10,10 @@ use habit_core::{FleetConfig, FleetModel, GapQuery, HabitConfig, ServedBy};
 fn main() {
     let bench = habit_bench::sar();
     let cases = bench.gap_cases(3600, habit_bench::SEED);
-    println!("# Ablation — vessel-type conditioning [SAR, {} gaps]\n", cases.len());
+    println!(
+        "# Ablation — vessel-type conditioning [SAR, {} gaps]\n",
+        cases.len()
+    );
 
     let config = HabitConfig::with_r_t(9, 100.0);
     let global = Imputer::fit_habit(&bench.train, config).expect("global fit");
@@ -23,10 +26,7 @@ fn main() {
         },
     )
     .expect("fleet fit");
-    println!(
-        "dedicated class models: {:?}\n",
-        fleet.modeled_types()
-    );
+    println!("dedicated class models: {:?}\n", fleet.modeled_types());
 
     // Global accuracy via the shared harness.
     let global_errors = accuracy_dtw(&global, &cases);
@@ -59,7 +59,11 @@ fn main() {
     }
 
     let mut table = MarkdownTable::new(vec![
-        "Model", "Mean DTW (m)", "Median DTW (m)", "Imputed", "Storage (MB)",
+        "Model",
+        "Mean DTW (m)",
+        "Median DTW (m)",
+        "Imputed",
+        "Storage (MB)",
     ]);
     table.row(vec![
         "Global (paper)".to_string(),
@@ -76,5 +80,8 @@ fn main() {
         fmt_mb(fleet.storage_bytes()),
     ]);
     println!("{}", table.render());
-    println!("{class_served}/{} gaps answered by a dedicated class model", cases.len());
+    println!(
+        "{class_served}/{} gaps answered by a dedicated class model",
+        cases.len()
+    );
 }

@@ -52,7 +52,13 @@ fn main() {
 
     // ---- HLL precision sweep.
     println!("## HyperLogLog precision vs error (n = 50,000 distinct)\n");
-    let mut hll_table = MarkdownTable::new(vec!["precision", "registers", "bytes", "estimate", "rel err %"]);
+    let mut hll_table = MarkdownTable::new(vec![
+        "precision",
+        "registers",
+        "bytes",
+        "estimate",
+        "rel err %",
+    ]);
     let n = 50_000u64;
     for p in [8u8, 10, 12, 14, 16] {
         let mut h = HyperLogLog::new(p);

@@ -21,8 +21,8 @@ fn main() {
         let cases = bench.gap_cases(3600, habit_bench::SEED);
         println!("## {} ({} gaps)\n", bench.name, cases.len());
 
-        let habit = Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(10, 100.0))
-            .expect("habit fit");
+        let habit =
+            Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(10, 100.0)).expect("habit fit");
         let palmto_config = PalmtoConfig {
             resolution: 10,
             n: 3,
@@ -56,8 +56,14 @@ fn main() {
         }
 
         let mut table = MarkdownTable::new(vec![
-            "Method", "Model (MB)", "Imputed", "Timeout", "DeadEnd", "StepLimit",
-            "Mean DTW (m)", "Median DTW (m)",
+            "Method",
+            "Model (MB)",
+            "Imputed",
+            "Timeout",
+            "DeadEnd",
+            "StepLimit",
+            "Mean DTW (m)",
+            "Median DTW (m)",
         ]);
         let habit_errors = accuracy_dtw(&habit, &cases);
         table.row(vec![

@@ -17,7 +17,11 @@ fn main() {
         println!("## {}\n", bench.name);
         let cases = bench.gap_cases(3600, seed);
         let mut table = MarkdownTable::new(vec![
-            "Weight scheme", "Mean DTW (m)", "Median DTW (m)", "Avg lat (s)", "Max lat (s)",
+            "Weight scheme",
+            "Mean DTW (m)",
+            "Median DTW (m)",
+            "Avg lat (s)",
+            "Max lat (s)",
         ]);
         for (scheme, label) in [
             (WeightScheme::Hops, "Hops (paper)"),

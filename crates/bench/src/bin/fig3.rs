@@ -19,7 +19,11 @@ fn main() {
     );
     let rows = fig3(&bench, habit_bench::SEED);
     let mut table = MarkdownTable::new(vec![
-        "r", "p", "Mean DTW (m)", "Median DTW (m)", "Imputed/Total",
+        "r",
+        "p",
+        "Mean DTW (m)",
+        "Median DTW (m)",
+        "Imputed/Total",
     ]);
     for r in rows {
         table.row(vec![

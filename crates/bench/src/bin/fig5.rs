@@ -15,7 +15,11 @@ fn main() {
         let rows = fig5(&bench, habit_bench::SEED);
         println!("## {}\n", bench.name);
         let mut table = MarkdownTable::new(vec![
-            "Method", "Mean DTW (m)", "Median DTW (m)", "Failures", "Gaps",
+            "Method",
+            "Mean DTW (m)",
+            "Median DTW (m)",
+            "Failures",
+            "Gaps",
         ]);
         for r in rows {
             table.row(vec![

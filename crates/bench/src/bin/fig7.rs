@@ -15,7 +15,13 @@ fn main() {
         println!("## {}\n", bench.name);
         let rows = fig7(&bench, habit_bench::SEED);
         let mut table = MarkdownTable::new(vec![
-            "Config (r|t)", "Gap (h)", "Median (m)", "P25 (m)", "P75 (m)", "Max (m)", "Imputed",
+            "Config (r|t)",
+            "Gap (h)",
+            "Median (m)",
+            "P25 (m)",
+            "P75 (m)",
+            "Max (m)",
+            "Imputed",
         ]);
         for r in rows {
             table.row(vec![

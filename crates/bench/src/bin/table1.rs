@@ -12,7 +12,12 @@ fn main() {
     println!("# Table 1 — Characteristics of the AIS datasets\n");
     let rows = table1(habit_bench::SEED);
     let mut table = MarkdownTable::new(vec![
-        "Dataset", "Type", "Size (MB)", "Positions", "Trips", "Ships",
+        "Dataset",
+        "Type",
+        "Size (MB)",
+        "Positions",
+        "Trips",
+        "Ships",
     ]);
     for r in rows {
         table.row(vec![

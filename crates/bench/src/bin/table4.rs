@@ -12,7 +12,11 @@ fn main() {
     println!("# Table 4 — Query latency (seconds)\n");
     for bench in [habit_bench::kiel(), habit_bench::sar()] {
         let rows = table4(&bench, habit_bench::SEED);
-        println!("## {} ({} gaps)\n", bench.name, rows.first().map_or(0, |r| r.gaps));
+        println!(
+            "## {} ({} gaps)\n",
+            bench.name,
+            rows.first().map_or(0, |r| r.gaps)
+        );
         let mut table = MarkdownTable::new(vec!["Method", "Avg", "Max"]);
         for r in rows {
             table.row(vec![r.method, fmt_s(r.avg_s), fmt_s(r.max_s)]);

@@ -44,7 +44,11 @@ pub fn sar() -> Bench {
 }
 
 /// Renders a polyline set as a coarse ASCII map (used by `fig6`).
-pub fn ascii_map(series: &[(&str, &[geo_kernel::GeoPoint])], width: usize, height: usize) -> String {
+pub fn ascii_map(
+    series: &[(&str, &[geo_kernel::GeoPoint])],
+    width: usize,
+    height: usize,
+) -> String {
     let mut min_lon = f64::INFINITY;
     let mut max_lon = f64::NEG_INFINITY;
     let mut min_lat = f64::INFINITY;

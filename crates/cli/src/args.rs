@@ -41,7 +41,11 @@ impl fmt::Display for ArgError {
         match self {
             ArgError::NoCommand => write!(f, "no command given (try `habit help`)"),
             ArgError::Missing(k) => write!(f, "missing required flag --{k}"),
-            ArgError::Invalid { key, value, expected } => {
+            ArgError::Invalid {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key} {value}: expected {expected}")
             }
             ArgError::Unknown(k) => write!(f, "unknown flag --{k}"),

@@ -33,7 +33,9 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
         gap_minutes
     );
     if cases.is_empty() {
-        return Err("no trip can host a gap of this duration — lower --gap or raise --scale".into());
+        return Err(
+            "no trip can host a gap of this duration — lower --gap or raise --scale".into(),
+        );
     }
 
     let mut methods = vec![
@@ -42,14 +44,24 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
     ];
     if let Ok(gti) = Imputer::fit_gti(
         &bench.train,
-        GtiConfig { rm_m: 250.0, rd_deg: 5e-4, ..GtiConfig::default() },
+        GtiConfig {
+            rm_m: 250.0,
+            rd_deg: 5e-4,
+            ..GtiConfig::default()
+        },
     ) {
         methods.push(gti);
     }
     methods.push(Imputer::sli());
 
     let mut table = MarkdownTable::new(vec![
-        "Method", "Mean DTW (m)", "Median DTW (m)", "Failures", "Model (MB)", "Avg lat (s)", "Max lat (s)",
+        "Method",
+        "Mean DTW (m)",
+        "Median DTW (m)",
+        "Failures",
+        "Model (MB)",
+        "Avg lat (s)",
+        "Max lat (s)",
     ]);
     for m in &methods {
         let errors = accuracy_dtw(m, &cases);

@@ -95,8 +95,15 @@ mod tests {
         for format in ["geojson", "csv"] {
             let args = Args::parse(
                 [
-                    "export", "--input", csv.to_str().unwrap(), "--out", out.to_str().unwrap(),
-                    "--resolution", "8", "--format", format,
+                    "export",
+                    "--input",
+                    csv.to_str().unwrap(),
+                    "--out",
+                    out.to_str().unwrap(),
+                    "--resolution",
+                    "8",
+                    "--format",
+                    format,
                 ]
                 .map(String::from),
             )
@@ -125,14 +132,19 @@ mod tests {
             habit_core::HabitConfig::with_r_t(9, 100.0),
         )
         .unwrap();
-        let model_path = std::env::temp_dir()
-            .join(format!("habit-export-{}-model.habit", std::process::id()));
+        let model_path =
+            std::env::temp_dir().join(format!("habit-export-{}-model.habit", std::process::id()));
         std::fs::write(&model_path, model.to_bytes()).unwrap();
 
         let args = Args::parse(
             [
-                "export", "--input", csv.to_str().unwrap(), "--out", out.to_str().unwrap(),
-                "--model", model_path.to_str().unwrap(),
+                "export",
+                "--input",
+                csv.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+                "--model",
+                model_path.to_str().unwrap(),
             ]
             .map(String::from),
         )
@@ -150,8 +162,13 @@ mod tests {
         std::fs::write(&csv, "mmsi,t,lon,lat\n1,0,10.0,56.0\n1,60,10.01,56.0\n").unwrap();
         let args = Args::parse(
             [
-                "export", "--input", csv.to_str().unwrap(), "--out", out.to_str().unwrap(),
-                "--format", "shapefile",
+                "export",
+                "--input",
+                csv.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+                "--format",
+                "shapefile",
             ]
             .map(String::from),
         )

@@ -76,8 +76,15 @@ mod tests {
 
         let args = Args::parse(
             [
-                "fit", "--input", csv.to_str().unwrap(), "--out", model_path.to_str().unwrap(),
-                "--resolution", "8", "--tolerance", "250",
+                "fit",
+                "--input",
+                csv.to_str().unwrap(),
+                "--out",
+                model_path.to_str().unwrap(),
+                "--resolution",
+                "8",
+                "--tolerance",
+                "250",
             ]
             .map(String::from),
         )
@@ -100,7 +107,14 @@ mod tests {
         // Header + one stationary point: no trips survive segmentation.
         std::fs::write(&csv, "mmsi,t,lon,lat\n1,0,10.0,56.0\n").unwrap();
         let args = Args::parse(
-            ["fit", "--input", csv.to_str().unwrap(), "--out", "/tmp/x.habit"].map(String::from),
+            [
+                "fit",
+                "--input",
+                csv.to_str().unwrap(),
+                "--out",
+                "/tmp/x.habit",
+            ]
+            .map(String::from),
         )
         .unwrap();
         let err = run(&args).unwrap_err();

@@ -13,9 +13,18 @@ pub fn parse_endpoint(raw: &str) -> Result<TimedPoint, String> {
     if parts.len() != 3 {
         return Err(format!("`{raw}`: expected LON,LAT,T"));
     }
-    let lon: f64 = parts[0].trim().parse().map_err(|_| format!("bad longitude `{}`", parts[0]))?;
-    let lat: f64 = parts[1].trim().parse().map_err(|_| format!("bad latitude `{}`", parts[1]))?;
-    let t: i64 = parts[2].trim().parse().map_err(|_| format!("bad timestamp `{}`", parts[2]))?;
+    let lon: f64 = parts[0]
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad longitude `{}`", parts[0]))?;
+    let lat: f64 = parts[1]
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad latitude `{}`", parts[1]))?;
+    let t: i64 = parts[2]
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad timestamp `{}`", parts[2]))?;
     Ok(TimedPoint::new(lon, lat, t))
 }
 
@@ -31,7 +40,10 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
 
     let bytes = std::fs::read(model_path)?;
     let model = HabitModel::from_bytes(&bytes)?;
-    let gap = GapQuery { start: from, end: to };
+    let gap = GapQuery {
+        start: from,
+        end: to,
+    };
     let imputation = model.impute(&gap)?;
 
     match args.get("out") {
@@ -80,7 +92,14 @@ mod tests {
                 mmsi: 100 + k,
                 points: (0..150)
                     .map(|i| {
-                        AisPoint::new(100 + k, i as i64 * 60, 10.0 + i as f64 * 0.003, 56.0, 12.0, 90.0)
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.003,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
                     })
                     .collect(),
             })
@@ -93,9 +112,15 @@ mod tests {
 
         let args = Args::parse(
             [
-                "impute", "--model", model_path.to_str().unwrap(),
-                "--from", "10.05,56.0,0", "--to", "10.40,56.0,3600",
-                "--out", out_path.to_str().unwrap(),
+                "impute",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--from",
+                "10.05,56.0,0",
+                "--to",
+                "10.40,56.0,3600",
+                "--out",
+                out_path.to_str().unwrap(),
             ]
             .map(String::from),
         )
@@ -111,8 +136,16 @@ mod tests {
     #[test]
     fn rejects_inverted_time_and_bad_model() {
         let args = Args::parse(
-            ["impute", "--model", "/nonexistent", "--from", "10,56,100", "--to", "10.4,56,50"]
-                .map(String::from),
+            [
+                "impute",
+                "--model",
+                "/nonexistent",
+                "--from",
+                "10,56,100",
+                "--to",
+                "10.4,56,50",
+            ]
+            .map(String::from),
         )
         .unwrap();
         assert!(run(&args).unwrap_err().to_string().contains("later"));
@@ -122,14 +155,22 @@ mod tests {
         std::fs::write(&bad, b"not a model").unwrap();
         let args = Args::parse(
             [
-                "impute", "--model", bad.to_str().unwrap(),
-                "--from", "10,56,0", "--to", "10.4,56,3600",
+                "impute",
+                "--model",
+                bad.to_str().unwrap(),
+                "--from",
+                "10,56,0",
+                "--to",
+                "10.4,56,3600",
             ]
             .map(String::from),
         )
         .unwrap();
         let err = run(&args).unwrap_err();
         std::fs::remove_file(&bad).ok();
-        assert!(err.to_string().contains("invalid serialized model"), "{err}");
+        assert!(
+            err.to_string().contains("invalid serialized model"),
+            "{err}"
+        );
     }
 }

@@ -22,7 +22,8 @@ pub fn describe(model: &HabitModel, blob_len: usize) -> String {
     out.push_str(&format!("  projection p      : {projection}\n"));
     out.push_str(&format!("  rdp tolerance t   : {} m\n", c.rdp_tolerance_m));
     out.push_str(&format!("  edge weights      : {weights}\n"));
-    out.push_str(&format!("  graph             : {} cells, {} transitions\n",
+    out.push_str(&format!(
+        "  graph             : {} cells, {} transitions\n",
         model.node_count(),
         model.edge_count()
     ));
@@ -34,7 +35,9 @@ pub fn describe(model: &HabitModel, blob_len: usize) -> String {
         max_vessels = max_vessels.max(stats.vessels);
     }
     out.push_str(&format!("  indexed reports   : {msgs}\n"));
-    out.push_str(&format!("  busiest cell      : {max_vessels} distinct vessels\n"));
+    out.push_str(&format!(
+        "  busiest cell      : {max_vessels} distinct vessels\n"
+    ));
     out
 }
 
@@ -75,8 +78,7 @@ mod tests {
 
     #[test]
     fn run_reports_missing_file() {
-        let args =
-            Args::parse(["info", "--model", "/does/not/exist"].map(String::from)).unwrap();
+        let args = Args::parse(["info", "--model", "/does/not/exist"].map(String::from)).unwrap();
         assert!(run(&args).is_err());
     }
 }

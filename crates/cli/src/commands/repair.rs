@@ -70,7 +70,14 @@ mod tests {
                 mmsi: 100 + k,
                 points: (0..200)
                     .map(|i| {
-                        AisPoint::new(100 + k, i as i64 * 60, 10.0 + i as f64 * 0.003, 56.0, 12.0, 90.0)
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.003,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
                     })
                     .collect(),
             })
@@ -96,10 +103,15 @@ mod tests {
 
         let args = Args::parse(
             [
-                "repair", "--model", model_path.to_str().unwrap(),
-                "--input", track_path.to_str().unwrap(),
-                "--out", out_path.to_str().unwrap(),
-                "--threshold", "1800",
+                "repair",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--input",
+                track_path.to_str().unwrap(),
+                "--out",
+                out_path.to_str().unwrap(),
+                "--threshold",
+                "1800",
             ]
             .map(String::from),
         )
@@ -122,8 +134,15 @@ mod tests {
         std::fs::write(&track_path, "t,lon,lat\n0,10.0,56.0\n").unwrap();
         let args = Args::parse(
             [
-                "repair", "--model", "/nonexistent", "--input", track_path.to_str().unwrap(),
-                "--out", "/tmp/x.csv", "--threshold", "-5",
+                "repair",
+                "--model",
+                "/nonexistent",
+                "--input",
+                track_path.to_str().unwrap(),
+                "--out",
+                "/tmp/x.csv",
+                "--threshold",
+                "-5",
             ]
             .map(String::from),
         )

@@ -55,8 +55,15 @@ mod tests {
         let out = std::env::temp_dir().join(format!("habit-synth-{}.csv", std::process::id()));
         let args = Args::parse(
             [
-                "synth", "--dataset", "kiel", "--seed", "7", "--scale", "0.05",
-                "--out", out.to_str().unwrap(),
+                "synth",
+                "--dataset",
+                "kiel",
+                "--seed",
+                "7",
+                "--scale",
+                "0.05",
+                "--out",
+                out.to_str().unwrap(),
             ]
             .map(String::from),
         )
@@ -71,12 +78,30 @@ mod tests {
     #[test]
     fn rejects_bad_scale_and_unknown_flags() {
         let args = Args::parse(
-            ["synth", "--dataset", "kiel", "--out", "x.csv", "--scale", "-1"].map(String::from),
+            [
+                "synth",
+                "--dataset",
+                "kiel",
+                "--out",
+                "x.csv",
+                "--scale",
+                "-1",
+            ]
+            .map(String::from),
         )
         .unwrap();
         assert!(run(&args).is_err());
         let args = Args::parse(
-            ["synth", "--dataset", "kiel", "--out", "x.csv", "--sale", "1"].map(String::from),
+            [
+                "synth",
+                "--dataset",
+                "kiel",
+                "--out",
+                "x.csv",
+                "--sale",
+                "1",
+            ]
+            .map(String::from),
         )
         .unwrap();
         assert!(run(&args).unwrap_err().to_string().contains("unknown flag"));

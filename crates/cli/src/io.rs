@@ -154,8 +154,14 @@ pub fn read_track_csv(path: &Path) -> Result<Vec<TimedPoint>, IoError> {
 pub fn write_track_csv(points: &[TimedPoint], path: &Path) -> Result<(), IoError> {
     let table = Table::from_columns(vec![
         ("t", Column::from_i64(points.iter().map(|p| p.t).collect())),
-        ("lon", Column::from_f64(points.iter().map(|p| p.pos.lon).collect())),
-        ("lat", Column::from_f64(points.iter().map(|p| p.pos.lat).collect())),
+        (
+            "lon",
+            Column::from_f64(points.iter().map(|p| p.pos.lon).collect()),
+        ),
+        (
+            "lat",
+            Column::from_f64(points.iter().map(|p| p.pos.lat).collect()),
+        ),
     ])?;
     write_csv_path(&table, path)?;
     Ok(())

@@ -28,18 +28,40 @@ fn full_workflow_through_the_binary() {
 
     // synth
     let out = habit(&[
-        "synth", "--dataset", "kiel", "--scale", "0.05", "--seed", "7",
-        "--out", csv.to_str().unwrap(),
+        "synth",
+        "--dataset",
+        "kiel",
+        "--scale",
+        "0.05",
+        "--seed",
+        "7",
+        "--out",
+        csv.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "synth: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "synth: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(csv.exists());
 
     // fit
     let out = habit(&[
-        "fit", "--input", csv.to_str().unwrap(), "--out", model.to_str().unwrap(),
-        "--resolution", "9", "--tolerance", "100",
+        "fit",
+        "--input",
+        csv.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--resolution",
+        "9",
+        "--tolerance",
+        "100",
     ]);
-    assert!(out.status.success(), "fit: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "fit: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("cells"), "{stdout}");
 
@@ -55,12 +77,21 @@ fn full_workflow_through_the_binary() {
     let first: Vec<&str> = rows.next().unwrap().split(',').collect();
     let (lon, lat) = (first[2], first[3]);
     let out = habit(&[
-        "impute", "--model", model.to_str().unwrap(),
-        "--from", &format!("{lon},{lat},0"),
-        "--to", &format!("{},{},3600", lon.parse::<f64>().unwrap() + 0.15, lat),
-        "--out", imputed.to_str().unwrap(),
+        "impute",
+        "--model",
+        model.to_str().unwrap(),
+        "--from",
+        &format!("{lon},{lat},0"),
+        "--to",
+        &format!("{},{},3600", lon.parse::<f64>().unwrap() + 0.15, lat),
+        "--out",
+        imputed.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "impute: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "impute: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let body = std::fs::read_to_string(&imputed).unwrap();
     assert!(body.starts_with("t,lon,lat"));
     assert!(body.lines().count() >= 3);
@@ -77,19 +108,40 @@ fn full_workflow_through_the_binary() {
     std::fs::write(&holed, kept).unwrap();
     let repaired = dir.join("repaired.csv");
     let out = habit(&[
-        "repair", "--model", model.to_str().unwrap(),
-        "--input", holed.to_str().unwrap(), "--out", repaired.to_str().unwrap(),
-        "--threshold", "600",
+        "repair",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        holed.to_str().unwrap(),
+        "--out",
+        repaired.to_str().unwrap(),
+        "--threshold",
+        "600",
     ]);
-    assert!(out.status.success(), "repair: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "repair: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(repaired.exists());
 
     // export a density map with repair.
     let out = habit(&[
-        "export", "--input", csv.to_str().unwrap(), "--out", density.to_str().unwrap(),
-        "--model", model.to_str().unwrap(), "--resolution", "8",
+        "export",
+        "--input",
+        csv.to_str().unwrap(),
+        "--out",
+        density.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+        "--resolution",
+        "8",
     ]);
-    assert!(out.status.success(), "export: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "export: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let geo = std::fs::read_to_string(&density).unwrap();
     assert!(geo.starts_with("{\"type\":\"FeatureCollection\""));
     assert!(geo.contains("\"Polygon\""));

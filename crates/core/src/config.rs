@@ -90,12 +90,7 @@ impl HabitConfig {
         }
     }
 
-    pub(crate) fn decode(
-        resolution: u8,
-        projection: u8,
-        weight: u8,
-        rdp_tolerance_m: f64,
-    ) -> Self {
+    pub(crate) fn decode(resolution: u8, projection: u8, weight: u8, rdp_tolerance_m: f64) -> Self {
         Self {
             resolution,
             projection: if projection == 0 {

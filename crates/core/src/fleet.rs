@@ -210,7 +210,16 @@ mod tests {
                 trip_id: k + 1,
                 mmsi,
                 points: (0..150)
-                    .map(|i| AisPoint::new(mmsi, i as i64 * 60, 10.0 + i as f64 * 0.003, lat, 12.0, 90.0))
+                    .map(|i| {
+                        AisPoint::new(
+                            mmsi,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.003,
+                            lat,
+                            12.0,
+                            90.0,
+                        )
+                    })
                     .collect(),
             });
         }
@@ -244,7 +253,11 @@ mod tests {
         let p = f.type_model(VesselType::Passenger).unwrap().node_count();
         let t = f.type_model(VesselType::Tanker).unwrap().node_count();
         assert!(p < g && t < g);
-        assert_eq!(p + t, g, "lanes are disjoint so class graphs partition the global one");
+        assert_eq!(
+            p + t,
+            g,
+            "lanes are disjoint so class graphs partition the global one"
+        );
     }
 
     #[test]

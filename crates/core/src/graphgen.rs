@@ -95,20 +95,20 @@ pub fn build_transition_graph(
     // -- 1. Assign each message its H3 cell.
     let lon = table.column_by_name("lon")?;
     let lat = table.column_by_name("lat")?;
-    let lons = lon.f64_values().ok_or(HabitError::BadInput(
-        aggdb::AggError::TypeMismatch {
+    let lons = lon
+        .f64_values()
+        .ok_or(HabitError::BadInput(aggdb::AggError::TypeMismatch {
             column: "lon".into(),
             expected: "Float64",
             actual: lon.dtype().name(),
-        },
-    ))?;
-    let lats = lat.f64_values().ok_or(HabitError::BadInput(
-        aggdb::AggError::TypeMismatch {
+        }))?;
+    let lats = lat
+        .f64_values()
+        .ok_or(HabitError::BadInput(aggdb::AggError::TypeMismatch {
             column: "lat".into(),
             expected: "Float64",
             actual: lat.dtype().name(),
-        },
-    ))?;
+        }))?;
     let mut cells = Vec::with_capacity(table.num_rows());
     for i in 0..table.num_rows() {
         let cell = grid.cell(&GeoPoint::new(lons[i], lats[i]), res)?;
@@ -122,13 +122,14 @@ pub fn build_transition_graph(
     //       mutually adjacent cells (paper: "minor, non-essential local
     //       displacements, e.g. sea drift").
     let trip_col = with_cells.column_by_name("trip_id")?;
-    let trip_ids = trip_col
-        .u64_values()
-        .ok_or(HabitError::BadInput(aggdb::AggError::TypeMismatch {
-            column: "trip_id".into(),
-            expected: "UInt64",
-            actual: trip_col.dtype().name(),
-        }))?;
+    let trip_ids =
+        trip_col
+            .u64_values()
+            .ok_or(HabitError::BadInput(aggdb::AggError::TypeMismatch {
+                column: "trip_id".into(),
+                expected: "UInt64",
+                actual: trip_col.dtype().name(),
+            }))?;
     let mut trip_cells: FxHashMap<u64, FxHashSet<u64>> = FxHashMap::default();
     for (trip, cell) in trip_ids.iter().zip(&cells) {
         trip_cells.entry(*trip).or_default().insert(*cell);
@@ -169,19 +170,20 @@ pub fn build_transition_graph(
     let lag_col = lagged.column_by_name("lag_cl")?.clone();
     let cl_col = lagged.column_by_name("cl")?.clone();
     let transitions_tbl = lagged
-        .filter(|i| {
-            lag_col.is_valid(i) && lag_col.value(i).as_u64() != cl_col.value(i).as_u64()
-        })
+        .filter(|i| lag_col.is_valid(i) && lag_col.value(i).as_u64() != cl_col.value(i).as_u64())
         .group_by(
             &["lag_cl", "cl"],
-            &[AggSpec::new("trip_id", Agg::CountDistinctApprox, "transitions")],
+            &[AggSpec::new(
+                "trip_id",
+                Agg::CountDistinctApprox,
+                "transitions",
+            )],
         )?;
 
     // -- 5. Assemble the graph. Nodes are the cells present in the edge
     //       list (paper: "nodes … identified by the corresponding H3 cells
     //       present in the edge list"), attributed from the cell stats.
-    let mut stats_by_cell: FxHashMap<u64, CellStats> =
-        FxHashMap::default();
+    let mut stats_by_cell: FxHashMap<u64, CellStats> = FxHashMap::default();
     {
         let cl = cell_stats.column_by_name("cl")?;
         let cnt = cell_stats.column_by_name("cnt")?;
@@ -211,7 +213,10 @@ pub fn build_transition_graph(
     let to_col = transitions_tbl.column_by_name("cl")?;
     let w_col = transitions_tbl.column_by_name("transitions")?;
     for i in 0..transitions_tbl.num_rows() {
-        let from = from_col.value(i).as_u64().expect("lag_cl filtered non-null");
+        let from = from_col
+            .value(i)
+            .as_u64()
+            .expect("lag_cl filtered non-null");
         let to = to_col.value(i).as_u64().expect("cl is u64");
         let transitions = w_col.value(i).as_u64().unwrap_or(0) as u32;
         let from_cell = HexCell::from_raw(from).map_err(HabitError::Grid)?;
@@ -290,7 +295,14 @@ mod tests {
             mmsi,
             points: (0..n)
                 .map(|i| {
-                    AisPoint::new(mmsi, i as i64 * 60, 10.0 + i as f64 * 0.005, 56.0, 12.0, 90.0)
+                    AisPoint::new(
+                        mmsi,
+                        i as i64 * 60,
+                        10.0 + i as f64 * 0.005,
+                        56.0,
+                        12.0,
+                        90.0,
+                    )
                 })
                 .collect(),
         }
@@ -298,7 +310,9 @@ mod tests {
 
     #[test]
     fn graph_from_repeated_trips() {
-        let trips: Vec<Trip> = (0..5).map(|k| eastbound_trip(k + 1, 100 + k, 120)).collect();
+        let trips: Vec<Trip> = (0..5)
+            .map(|k| eastbound_trip(k + 1, 100 + k, 120))
+            .collect();
         let table = trips_to_table(&trips);
         let g = build_transition_graph(&table, &HabitConfig::default()).unwrap();
         assert!(g.node_count() > 10, "nodes {}", g.node_count());
@@ -373,7 +387,14 @@ mod tests {
                 mmsi: 100 + k,
                 points: (0..600)
                     .map(|i| {
-                        AisPoint::new(100 + k, i as i64 * 10, 10.0 + i as f64 * 0.001, 56.0, 12.0, 90.0)
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 10,
+                            10.0 + i as f64 * 0.001,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
                     })
                     .collect(),
             })
@@ -391,7 +412,10 @@ mod tests {
 
     #[test]
     fn edge_stats_encode_round_trip() {
-        let e = EdgeStats { transitions: 77, grid_distance: 3 };
+        let e = EdgeStats {
+            transitions: 77,
+            grid_distance: 3,
+        };
         let mut buf = Vec::new();
         e.encode(&mut buf);
         let mut slice = buf.as_slice();

@@ -103,11 +103,12 @@ impl HabitModel {
             }
         };
 
-        let result = astar(graph, start_cell.raw(), goal_cell.raw(), weight, heuristic)
-            .ok_or(HabitError::NoPath {
+        let result = astar(graph, start_cell.raw(), goal_cell.raw(), weight, heuristic).ok_or(
+            HabitError::NoPath {
                 from: start_cell.raw(),
                 to: goal_cell.raw(),
-            })?;
+            },
+        )?;
 
         let cells: Vec<HexCell> = result
             .nodes
@@ -233,14 +234,32 @@ mod tests {
         let mut points = Vec::new();
         let mut t = 0i64;
         for i in 0..100 {
-            points.push(AisPoint::new(mmsi, t, 10.0 + i as f64 * 0.006, 56.0, 12.0, 90.0));
+            points.push(AisPoint::new(
+                mmsi,
+                t,
+                10.0 + i as f64 * 0.006,
+                56.0,
+                12.0,
+                90.0,
+            ));
             t += 60;
         }
         for i in 0..100 {
-            points.push(AisPoint::new(mmsi, t, 10.6, 56.0 + i as f64 * 0.004, 12.0, 0.0));
+            points.push(AisPoint::new(
+                mmsi,
+                t,
+                10.6,
+                56.0 + i as f64 * 0.004,
+                12.0,
+                0.0,
+            ));
             t += 60;
         }
-        Trip { trip_id, mmsi, points }
+        Trip {
+            trip_id,
+            mmsi,
+            points,
+        }
     }
 
     fn l_model(config: HabitConfig) -> HabitModel {

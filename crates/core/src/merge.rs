@@ -184,7 +184,11 @@ mod tests {
             .nodes()
             .map(|(_, s)| s.msg_count)
             .sum::<u64>()
-            + batch2.graph().nodes().map(|(_, s)| s.msg_count).sum::<u64>();
+            + batch2
+                .graph()
+                .nodes()
+                .map(|(_, s)| s.msg_count)
+                .sum::<u64>();
         let total_after: u64 = merged.graph().nodes().map(|(_, s)| s.msg_count).sum();
         assert_eq!(total_after, total_before);
         // Edge weights add.
@@ -226,10 +230,7 @@ mod tests {
             HabitConfig::with_r_t(8, 100.0),
         )
         .expect("fit");
-        assert!(matches!(
-            a.merged_with(&b),
-            Err(HabitError::ConfigMismatch)
-        ));
+        assert!(matches!(a.merged_with(&b), Err(HabitError::ConfigMismatch)));
     }
 
     #[test]

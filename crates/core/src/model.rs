@@ -174,7 +174,11 @@ mod tests {
         let m = model();
         assert!(m.node_count() > 5);
         assert!(m.edge_count() > 4);
-        assert!(m.max_transitions >= 3, "max_transitions {}", m.max_transitions);
+        assert!(
+            m.max_transitions >= 3,
+            "max_transitions {}",
+            m.max_transitions
+        );
     }
 
     #[test]
@@ -210,7 +214,14 @@ mod tests {
                 mmsi: 100 + k,
                 points: (0..600)
                     .map(|i| {
-                        AisPoint::new(100 + k, i as i64 * 10, 10.0 + i as f64 * 0.001, 56.0, 12.0, 90.0)
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 10,
+                            10.0 + i as f64 * 0.001,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
                     })
                     .collect(),
             })

@@ -14,7 +14,14 @@ fn lane_model(resolution: u8) -> HabitModel {
             mmsi: 100 + k,
             points: (0..150)
                 .map(|i| {
-                    AisPoint::new(100 + k, i as i64 * 60, 10.0 + i as f64 * 0.003, 56.0, 12.0, 90.0)
+                    AisPoint::new(
+                        100 + k,
+                        i as i64 * 60,
+                        10.0 + i as f64 * 0.003,
+                        56.0,
+                        12.0,
+                        90.0,
+                    )
                 })
                 .collect(),
         })

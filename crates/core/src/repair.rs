@@ -97,16 +97,21 @@ impl HabitModel {
                 let prev = &points[i - 1];
                 let silence = p.t - prev.t;
                 if silence >= config.gap_threshold_s {
-                    let query =
-                        GapQuery::new(prev.pos.lon, prev.pos.lat, prev.t, p.pos.lon, p.pos.lat, p.t);
+                    let query = GapQuery::new(
+                        prev.pos.lon,
+                        prev.pos.lat,
+                        prev.t,
+                        p.pos.lon,
+                        p.pos.lat,
+                        p.t,
+                    );
                     match self.impute(&query) {
                         Ok(imp) => {
                             // Interior points only; the endpoints are the
                             // existing reports.
                             let mut segment: Vec<TimedPoint> = imp.points;
                             if let Some(spacing) = config.densify_max_spacing_m {
-                                segment =
-                                    geo_kernel::resample_timed_max_spacing(&segment, spacing);
+                                segment = geo_kernel::resample_timed_max_spacing(&segment, spacing);
                             }
                             let interior: Vec<TimedPoint> = segment
                                 .into_iter()
@@ -152,7 +157,14 @@ mod tests {
                 mmsi: 100 + k,
                 points: (0..200)
                     .map(|i| {
-                        AisPoint::new(100 + k, i as i64 * 60, 10.0 + i as f64 * 0.003, 56.0, 12.0, 90.0)
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.003,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
                     })
                     .collect(),
             })
@@ -175,7 +187,10 @@ mod tests {
         let (repaired, report) = model
             .repair_track(
                 &track,
-                &RepairConfig { gap_threshold_s: 20 * 60, ..RepairConfig::default() },
+                &RepairConfig {
+                    gap_threshold_s: 20 * 60,
+                    ..RepairConfig::default()
+                },
             )
             .expect("repair");
         assert_eq!(report.gaps_found(), 2, "{:?}", report.gaps);
@@ -198,7 +213,13 @@ mod tests {
         let track = gappy_track();
         // Threshold above both silences: nothing to repair.
         let (repaired, report) = model
-            .repair_track(&track, &RepairConfig { gap_threshold_s: 3 * 3600, densify_max_spacing_m: None })
+            .repair_track(
+                &track,
+                &RepairConfig {
+                    gap_threshold_s: 3 * 3600,
+                    densify_max_spacing_m: None,
+                },
+            )
             .expect("repair");
         assert_eq!(report.gaps_found(), 0);
         assert_eq!(repaired.len(), track.len());
@@ -211,7 +232,10 @@ mod tests {
         let (repaired, _) = model
             .repair_track(
                 &track,
-                &RepairConfig { gap_threshold_s: 20 * 60, densify_max_spacing_m: Some(200.0) },
+                &RepairConfig {
+                    gap_threshold_s: 20 * 60,
+                    densify_max_spacing_m: Some(200.0),
+                },
             )
             .expect("repair");
         // Inside repaired windows, consecutive spacing ≤ 200 m (with
@@ -220,7 +244,8 @@ mod tests {
         for w in repaired.windows(2) {
             // Only check pairs inside the formerly silent windows.
             let mid_t = (w[0].t + w[1].t) / 2;
-            let in_gap = (40 * 60..70 * 60).contains(&mid_t) || (120 * 60..160 * 60).contains(&mid_t);
+            let in_gap =
+                (40 * 60..70 * 60).contains(&mid_t) || (120 * 60..160 * 60).contains(&mid_t);
             if in_gap {
                 max_gap_spacing =
                     max_gap_spacing.max(geo_kernel::haversine_m(&w[0].pos, &w[1].pos));

@@ -121,7 +121,10 @@ mod tests {
         let with_gap = lane_map(8, Some(40..60));
         let full = lane_map(8, None);
         let diff = DensityDiff::compute(&with_gap, &full);
-        assert!(!diff.restored.is_empty(), "gap cells must appear as restored");
+        assert!(
+            !diff.restored.is_empty(),
+            "gap cells must appear as restored"
+        );
         assert!(diff.lost.is_empty());
         assert!(!diff.common.is_empty());
         assert!(diff.jaccard() < 1.0);
@@ -163,6 +166,9 @@ mod tests {
         let on_lane = grid.cell(&GeoPoint::new(10.1, 56.0), 8).unwrap();
         assert_eq!(lane_continuity(&map, on_lane, on_lane), 1.0);
         let off_lane = grid.cell(&GeoPoint::new(0.0, 0.0), 8).unwrap();
-        assert_eq!(lane_continuity(&DensityMap::new(8), off_lane, off_lane), 0.0);
+        assert_eq!(
+            lane_continuity(&DensityMap::new(8), off_lane, off_lane),
+            0.0
+        );
     }
 }

@@ -89,7 +89,10 @@ impl DensityMap {
         let Ok(cell) = self.grid.cell(pos, self.resolution) else {
             return;
         };
-        let entry = self.cells.entry(cell.raw()).or_insert_with(CellDensity::new);
+        let entry = self
+            .cells
+            .entry(cell.raw())
+            .or_insert_with(CellDensity::new);
         entry.messages += 1;
         entry.vessels.insert_u64(mmsi);
         entry.sog_sum += sog.max(0.0);
@@ -162,10 +165,7 @@ impl DensityMap {
 
     /// The `n` busiest cells by message count, descending.
     pub fn top_cells(&self, n: usize) -> Vec<(HexCell, u64)> {
-        let mut all: Vec<(HexCell, u64)> = self
-            .iter()
-            .map(|(c, d)| (c, d.messages))
-            .collect();
+        let mut all: Vec<(HexCell, u64)> = self.iter().map(|(c, d)| (c, d.messages)).collect();
         all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
         all.truncate(n);
         all
@@ -217,7 +217,16 @@ mod tests {
 
     fn lane_points_for(mmsi: u64, n: usize) -> Vec<AisPoint> {
         (0..n)
-            .map(|i| AisPoint::new(mmsi, i as i64 * 60, 10.0 + i as f64 * 0.002, 56.0, 12.0, 90.0))
+            .map(|i| {
+                AisPoint::new(
+                    mmsi,
+                    i as i64 * 60,
+                    10.0 + i as f64 * 0.002,
+                    56.0,
+                    12.0,
+                    90.0,
+                )
+            })
             .collect()
     }
 
@@ -275,7 +284,11 @@ mod tests {
         let mut map = DensityMap::new(7);
         map.add_path(&path, 9);
         let (_, d) = map.iter().next().unwrap();
-        assert!(d.mean_sog() > 0.3 && d.mean_sog() < 1.0, "sog {}", d.mean_sog());
+        assert!(
+            d.mean_sog() > 0.3 && d.mean_sog() < 1.0,
+            "sog {}",
+            d.mean_sog()
+        );
     }
 
     #[test]
@@ -323,8 +336,16 @@ mod tests {
     #[test]
     fn from_trips_convenience() {
         let trips = vec![
-            Trip { trip_id: 1, mmsi: 7, points: lane_points_for(7, 30) },
-            Trip { trip_id: 2, mmsi: 8, points: lane_points_for(8, 30) },
+            Trip {
+                trip_id: 1,
+                mmsi: 7,
+                points: lane_points_for(7, 30),
+            },
+            Trip {
+                trip_id: 2,
+                mmsi: 8,
+                points: lane_points_for(8, 30),
+            },
         ];
         let map = DensityMap::from_trips(8, &trips);
         assert_eq!(map.total_messages(), 60);

@@ -159,7 +159,10 @@ mod tests {
         let map = sample_map();
         let csv = to_csv(&map);
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "cell,lon,lat,messages,vessels,mean_sog");
+        assert_eq!(
+            lines.next().unwrap(),
+            "cell,lon,lat,messages,vessels,mean_sog"
+        );
         let mut last_cell = 0u64;
         let mut rows = 0usize;
         for line in lines {

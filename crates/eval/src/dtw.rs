@@ -80,7 +80,9 @@ mod tests {
     use super::*;
 
     fn line(lat: f64, n: usize) -> Vec<GeoPoint> {
-        (0..n).map(|i| GeoPoint::new(10.0 + i as f64 * 0.01, lat)).collect()
+        (0..n)
+            .map(|i| GeoPoint::new(10.0 + i as f64 * 0.01, lat))
+            .collect()
     }
 
     #[test]
@@ -107,10 +109,12 @@ mod tests {
         // fraction of the resampling step — far below any real imputation
         // error, but not exactly zero.
         let span = 0.294f64;
-        let a: Vec<GeoPoint> =
-            (0..10).map(|i| GeoPoint::new(10.0 + span * i as f64 / 9.0, 56.0)).collect();
-        let b: Vec<GeoPoint> =
-            (0..50).map(|i| GeoPoint::new(10.0 + span * i as f64 / 49.0, 56.0)).collect();
+        let a: Vec<GeoPoint> = (0..10)
+            .map(|i| GeoPoint::new(10.0 + span * i as f64 / 9.0, 56.0))
+            .collect();
+        let b: Vec<GeoPoint> = (0..50)
+            .map(|i| GeoPoint::new(10.0 + span * i as f64 / 49.0, 56.0))
+            .collect();
         let d = resampled_dtw_m(&a, &b).unwrap();
         assert!(d < DTW_RESAMPLE_M / 2.0, "d = {d}");
     }

@@ -58,17 +58,35 @@ impl Bench {
 
     /// Standard DAN bench.
     pub fn dan(seed: u64) -> Self {
-        Self::prepare(synth::datasets::dan(DatasetSpec { seed, scale: eval_scale() }), seed)
+        Self::prepare(
+            synth::datasets::dan(DatasetSpec {
+                seed,
+                scale: eval_scale(),
+            }),
+            seed,
+        )
     }
 
     /// Standard KIEL bench.
     pub fn kiel(seed: u64) -> Self {
-        Self::prepare(synth::datasets::kiel(DatasetSpec { seed, scale: eval_scale() }), seed)
+        Self::prepare(
+            synth::datasets::kiel(DatasetSpec {
+                seed,
+                scale: eval_scale(),
+            }),
+            seed,
+        )
     }
 
     /// Standard SAR bench.
     pub fn sar(seed: u64) -> Self {
-        Self::prepare(synth::datasets::sar(DatasetSpec { seed, scale: eval_scale() }), seed)
+        Self::prepare(
+            synth::datasets::sar(DatasetSpec {
+                seed,
+                scale: eval_scale(),
+            }),
+            seed,
+        )
     }
 
     /// Injects one gap of `duration_s` into every eligible test trip.
@@ -108,7 +126,11 @@ pub fn latency(imputer: &Imputer, cases: &[GapCase]) -> (f64, f64, usize) {
             failures += 1;
         }
     }
-    let avg = if cases.is_empty() { 0.0 } else { total / cases.len() as f64 };
+    let avg = if cases.is_empty() {
+        0.0
+    } else {
+        total / cases.len() as f64
+    };
     (avg, max, failures)
 }
 
@@ -134,11 +156,7 @@ pub struct Table1Row {
 /// Regenerates Table 1 over the three datasets.
 pub fn table1(seed: u64) -> Vec<Table1Row> {
     let scale = eval_scale();
-    let specs = [
-        ("DAN", "Passenger"),
-        ("KIEL", "Passenger"),
-        ("SAR", "All"),
-    ];
+    let specs = [("DAN", "Passenger"), ("KIEL", "Passenger"), ("SAR", "All")];
     specs
         .iter()
         .map(|(name, types)| {
@@ -232,8 +250,12 @@ pub fn table2(kiel: &Bench, sar: &Bench) -> Vec<Table2Row> {
     let mut rows = Vec::new();
     for res in 6..=10u8 {
         let config = HabitConfig::with_r_t(res, 100.0);
-        let k = Imputer::fit_habit(&kiel.train, config).map(|m| m.storage_bytes()).unwrap_or(0);
-        let s = Imputer::fit_habit(&sar.train, config).map(|m| m.storage_bytes()).unwrap_or(0);
+        let k = Imputer::fit_habit(&kiel.train, config)
+            .map(|m| m.storage_bytes())
+            .unwrap_or(0);
+        let s = Imputer::fit_habit(&sar.train, config)
+            .map(|m| m.storage_bytes())
+            .unwrap_or(0);
         rows.push(Table2Row {
             method: "HABIT",
             config: format!("r={res}"),
@@ -242,9 +264,17 @@ pub fn table2(kiel: &Bench, sar: &Bench) -> Vec<Table2Row> {
         });
     }
     for rd in [1e-4, 5e-4, 1e-3] {
-        let config = GtiConfig { rd_deg: rd, rm_m: 250.0, ..GtiConfig::default() };
-        let k = Imputer::fit_gti(&kiel.train, config).map(|m| m.storage_bytes()).unwrap_or(0);
-        let s = Imputer::fit_gti(&sar.train, config).map(|m| m.storage_bytes()).unwrap_or(0);
+        let config = GtiConfig {
+            rd_deg: rd,
+            rm_m: 250.0,
+            ..GtiConfig::default()
+        };
+        let k = Imputer::fit_gti(&kiel.train, config)
+            .map(|m| m.storage_bytes())
+            .unwrap_or(0);
+        let s = Imputer::fit_gti(&sar.train, config)
+            .map(|m| m.storage_bytes())
+            .unwrap_or(0);
         rows.push(Table2Row {
             method: "GTI",
             config: format!("rd={rd:.0e}"),
@@ -372,7 +402,11 @@ pub fn fig5_habit_configs() -> Vec<HabitConfig> {
 pub fn fig5_gti_configs() -> Vec<GtiConfig> {
     [1e-4, 5e-4, 1e-3]
         .into_iter()
-        .map(|rd| GtiConfig { rm_m: 250.0, rd_deg: rd, ..GtiConfig::default() })
+        .map(|rd| GtiConfig {
+            rm_m: 250.0,
+            rd_deg: rd,
+            ..GtiConfig::default()
+        })
         .collect()
 }
 
@@ -427,17 +461,31 @@ pub fn fig6(bench: &Bench, seed: u64, n: usize) -> Vec<Fig6Case> {
     let habit = Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(9, 100.0)).ok();
     let gti = Imputer::fit_gti(
         &bench.train,
-        GtiConfig { rd_deg: 5e-4, ..GtiConfig::default() },
+        GtiConfig {
+            rd_deg: 5e-4,
+            ..GtiConfig::default()
+        },
     )
     .ok();
     let sli = Imputer::sli();
 
-    cases
-        .iter()
-        .take(n)
+    // Spread the n examples evenly across the case list: test trips come
+    // out of the stratified split grouped by course bucket, so a plain
+    // head-of-list prefix would illustrate only one travel direction.
+    let picks: Vec<&GapCase> = if cases.len() <= n {
+        cases.iter().collect()
+    } else {
+        (0..n).map(|k| &cases[k * cases.len() / n]).collect()
+    };
+
+    picks
+        .into_iter()
         .map(|case| {
             let mut paths = Vec::new();
-            for m in [habit.as_ref(), gti.as_ref(), Some(&sli)].into_iter().flatten() {
+            for m in [habit.as_ref(), gti.as_ref(), Some(&sli)]
+                .into_iter()
+                .flatten()
+            {
                 if let Some(p) = m.impute(&case.query).path() {
                     paths.push((
                         m.label().to_string(),
@@ -566,12 +614,22 @@ mod tests {
                 mmsi: 100 + k,
                 points: (0..120)
                     .map(|i| {
-                        AisPoint::new(100 + k, i as i64 * 60, 10.0 + i as f64 * 0.004, 56.0, 12.0, 90.0)
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.004,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
                     })
                     .collect(),
             })
             .collect();
-        let dataset = synth::datasets::kiel(DatasetSpec { seed: 1, scale: 0.05 });
+        let dataset = synth::datasets::kiel(DatasetSpec {
+            seed: 1,
+            scale: 0.05,
+        });
         let (train, test) = split_trips(&trips, 0.7, &mut StdRng::seed_from_u64(3));
         Bench {
             name: "MINI".into(),
@@ -614,8 +672,14 @@ mod tests {
         assert_eq!(rows.len(), 10, "2 resolutions x 5 tolerances");
         assert!(original.count > 2);
         // Simplification monotonicity: t=1000 keeps fewer points than t=0.
-        let t0 = rows.iter().find(|r| r.resolution == 9 && r.tolerance_m == 0.0).unwrap();
-        let t1000 = rows.iter().find(|r| r.resolution == 9 && r.tolerance_m == 1000.0).unwrap();
+        let t0 = rows
+            .iter()
+            .find(|r| r.resolution == 9 && r.tolerance_m == 0.0)
+            .unwrap();
+        let t1000 = rows
+            .iter()
+            .find(|r| r.resolution == 9 && r.tolerance_m == 1000.0)
+            .unwrap();
         assert!(t1000.stats.count <= t0.stats.count);
 
         let f4 = fig4(&bench, 1);
@@ -627,7 +691,12 @@ mod tests {
         let bench = mini_bench();
         let rows = fig5(&bench, 1);
         // 4 HABIT + 3 GTI + SLI.
-        assert_eq!(rows.len(), 8, "{:?}", rows.iter().map(|r| r.method.clone()).collect::<Vec<_>>());
+        assert_eq!(
+            rows.len(),
+            8,
+            "{:?}",
+            rows.iter().map(|r| r.method.clone()).collect::<Vec<_>>()
+        );
         assert!(rows.iter().any(|r| r.method == "SLI"));
         // On a single confined lane, every method should beat nothing:
         // all DTWs finite and most gaps succeed.

@@ -78,7 +78,10 @@ impl Imputer {
     }
 
     /// Fits PaLMTO on training trips.
-    pub fn fit_palmto(train: &[Trip], config: PalmtoConfig) -> Result<Self, baselines::PalmtoError> {
+    pub fn fit_palmto(
+        train: &[Trip],
+        config: PalmtoConfig,
+    ) -> Result<Self, baselines::PalmtoError> {
         let model = PalmtoModel::fit(train, config)?;
         Ok(Imputer::Palmto {
             label: format!("PaLMTO n={},r={}", config.n, config.resolution),
@@ -143,7 +146,14 @@ mod tests {
                 mmsi: 100 + k,
                 points: (0..120)
                     .map(|i| {
-                        AisPoint::new(100 + k, i as i64 * 60, 10.0 + i as f64 * 0.004, 56.0, 12.0, 90.0)
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.004,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
                     })
                     .collect(),
             })

@@ -70,7 +70,9 @@ mod tests {
 
     #[test]
     fn straight_path_no_turns() {
-        let p: Vec<GeoPoint> = (0..10).map(|i| GeoPoint::new(10.0 + 0.01 * i as f64, 56.0)).collect();
+        let p: Vec<GeoPoint> = (0..10)
+            .map(|i| GeoPoint::new(10.0 + 0.01 * i as f64, 56.0))
+            .collect();
         let s = rot_stats(&p);
         assert_eq!(s.count, 10);
         assert!(s.avg_rot_deg < 0.1);
@@ -98,8 +100,18 @@ mod tests {
 
     #[test]
     fn mean_aggregation() {
-        let a = RotStats { count: 10, avg_rot_deg: 20.0, max_rot_deg: 90.0, turns_over_45: 2 };
-        let b = RotStats { count: 20, avg_rot_deg: 40.0, max_rot_deg: 110.0, turns_over_45: 4 };
+        let a = RotStats {
+            count: 10,
+            avg_rot_deg: 20.0,
+            max_rot_deg: 90.0,
+            turns_over_45: 2,
+        };
+        let b = RotStats {
+            count: 20,
+            avg_rot_deg: 40.0,
+            max_rot_deg: 110.0,
+            turns_over_45: 4,
+        };
         let m = mean_rot_stats(&[a, b]);
         assert_eq!(m.count, 15);
         assert_eq!(m.avg_rot_deg, 30.0);

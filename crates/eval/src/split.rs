@@ -1,23 +1,110 @@
 //! Train/test split (paper §4.1: "70% of the trips were utilized to
 //! construct the underlying graph structures … the remaining 30% were
 //! used for accuracy and performance testing").
+//!
+//! The split is *stratified by net course*: trips are bucketed by the
+//! octant of the bearing from their first to their last report, shuffled
+//! within each bucket, and the train quota is apportioned across buckets
+//! (largest-remainder, every non-empty bucket keeps at least one trip in
+//! train when the quota allows). At the paper's dataset scale this is
+//! indistinguishable from a plain random split; on the miniature smoke
+//! datasets the tests use, it prevents the degenerate draw where every
+//! trip of one direction lands in test and the directed transition graph
+//! has no coverage to answer those queries — the property the pipeline
+//! test ("every gap on the trained corridor must impute") relies on.
 
 use ais::Trip;
+use geo_kernel::initial_bearing_deg;
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Buckets a trip by the octant of its net course, `8` when it has no
+/// net displacement (or fewer than two reports).
+fn course_octant(trip: &Trip) -> usize {
+    let (Some(first), Some(last)) = (trip.points.first(), trip.points.last()) else {
+        return 8;
+    };
+    if (first.pos.lon - last.pos.lon).abs() < 1e-9 && (first.pos.lat - last.pos.lat).abs() < 1e-9 {
+        return 8;
+    }
+    let bearing = initial_bearing_deg(&first.pos, &last.pos).rem_euclid(360.0);
+    (bearing / 45.0) as usize % 8
+}
 
 /// Splits trips into `(train, test)` with `train_frac` of them (rounded
 /// down, at least 1 when possible) in the training set. Shuffling is
 /// seeded by the caller's RNG, so splits are reproducible.
 pub fn split_trips<R: Rng>(trips: &[Trip], train_frac: f64, rng: &mut R) -> (Vec<Trip>, Vec<Trip>) {
     assert!((0.0..=1.0).contains(&train_frac), "fraction in [0,1]");
-    let mut indices: Vec<usize> = (0..trips.len()).collect();
-    indices.shuffle(rng);
     let n_train = ((trips.len() as f64 * train_frac) as usize)
         .min(trips.len())
         .max(usize::from(!trips.is_empty() && train_frac > 0.0));
-    let train = indices[..n_train].iter().map(|&i| trips[i].clone()).collect();
-    let test = indices[n_train..].iter().map(|&i| trips[i].clone()).collect();
+
+    // Bucket trip indices by course octant, shuffling within each bucket.
+    let mut buckets: [Vec<usize>; 9] = Default::default();
+    for (i, trip) in trips.iter().enumerate() {
+        buckets[course_octant(trip)].push(i);
+    }
+    for bucket in &mut buckets {
+        bucket.shuffle(rng);
+    }
+
+    // Largest-remainder apportionment of the train quota across buckets.
+    let occupied: Vec<usize> = (0..buckets.len())
+        .filter(|&b| !buckets[b].is_empty())
+        .collect();
+    let mut quota = [0usize; 9];
+    if !trips.is_empty() && n_train > 0 {
+        let mut assigned = 0usize;
+        let mut remainders: Vec<(f64, usize)> = Vec::new();
+        for &b in &occupied {
+            let exact = buckets[b].len() as f64 * n_train as f64 / trips.len() as f64;
+            quota[b] = (exact as usize).min(buckets[b].len());
+            assigned += quota[b];
+            remainders.push((exact - quota[b] as f64, b));
+        }
+        // Highest fractional remainder first; ties broken by bucket index
+        // so the apportionment stays deterministic.
+        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut cursor = 0usize;
+        while assigned < n_train {
+            let (_, b) = remainders[cursor % remainders.len()];
+            if quota[b] < buckets[b].len() {
+                quota[b] += 1;
+                assigned += 1;
+            }
+            cursor += 1;
+        }
+        // Directional coverage: when the quota allows, every occupied
+        // bucket contributes at least one trip to train.
+        if n_train >= occupied.len() {
+            for &b in &occupied {
+                if quota[b] == 0 {
+                    let donor = occupied
+                        .iter()
+                        .copied()
+                        .max_by_key(|&d| quota[d])
+                        .expect("occupied non-empty");
+                    if quota[donor] > 1 {
+                        quota[donor] -= 1;
+                        quota[b] = 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Note: the returned lists are grouped by course bucket (shuffled
+    // within each). Consumers that subsample should spread across the
+    // whole list (as `experiments::fig6` does) rather than take a
+    // prefix, which would over-represent the first bucket.
+    let mut train = Vec::with_capacity(n_train);
+    let mut test = Vec::with_capacity(trips.len() - n_train);
+    for &b in &occupied {
+        let (into_train, into_test) = buckets[b].split_at(quota[b]);
+        train.extend(into_train.iter().map(|&i| trips[i].clone()));
+        test.extend(into_test.iter().map(|&i| trips[i].clone()));
+    }
     (train, test)
 }
 
@@ -35,6 +122,30 @@ mod tests {
                 mmsi: 1,
                 points: vec![AisPoint::new(1, 0, 10.0, 56.0, 10.0, 0.0); 3],
             })
+            .collect()
+    }
+
+    /// `n` trips heading east, then `m` heading west along the same lane.
+    fn bidirectional(n_east: usize, n_west: usize) -> Vec<Trip> {
+        let leg = |id: u64, rev: bool| {
+            let mut pts: Vec<AisPoint> = (0..10)
+                .map(|i| AisPoint::new(1, i * 60, 10.0 + i as f64 * 0.01, 56.0, 10.0, 90.0))
+                .collect();
+            if rev {
+                pts.reverse();
+                for (i, p) in pts.iter_mut().enumerate() {
+                    p.t = i as i64 * 60;
+                }
+            }
+            Trip {
+                trip_id: id,
+                mmsi: 1,
+                points: pts,
+            }
+        };
+        (0..n_east)
+            .map(|k| leg(k as u64 + 1, false))
+            .chain((0..n_west).map(|k| leg((n_east + k) as u64 + 1, true)))
             .collect()
     }
 
@@ -67,5 +178,41 @@ mod tests {
         assert_eq!(train.len() + test.len(), 1);
         let (e1, e2) = split_trips(&[], 0.7, &mut StdRng::seed_from_u64(1));
         assert!(e1.is_empty() && e2.is_empty());
+    }
+
+    #[test]
+    fn every_direction_in_test_is_trained() {
+        // 4 eastbound + 2 westbound: a plain random 70/30 split can place
+        // both westbound trips in test (P = 1/15 per draw), starving the
+        // directed transition graph. The stratified split cannot.
+        for seed in 0..50 {
+            let all = bidirectional(4, 2);
+            let (train, test) = split_trips(&all, 0.7, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(train.len(), 4);
+            assert_eq!(test.len(), 2);
+            fn east(t: &Trip) -> bool {
+                t.points.first().unwrap().pos.lon < t.points.last().unwrap().pos.lon
+            }
+            assert!(train.iter().any(east), "seed {seed}: no eastbound in train");
+            assert!(
+                train.iter().any(|t| !east(t)),
+                "seed {seed}: no westbound in train"
+            );
+        }
+    }
+
+    #[test]
+    fn proportions_hold_per_direction_at_scale() {
+        let all = bidirectional(70, 30);
+        let (train, _test) = split_trips(&all, 0.7, &mut StdRng::seed_from_u64(5));
+        assert_eq!(train.len(), 70);
+        let east = |t: &&Trip| t.points.first().unwrap().pos.lon < t.points.last().unwrap().pos.lon;
+        let east_train = train.iter().filter(east).count();
+        assert_eq!(east_train, 49, "70% of the 70 eastbound trips");
+        assert_eq!(
+            train.len() - east_train,
+            21,
+            "70% of the 30 westbound trips"
+        );
     }
 }

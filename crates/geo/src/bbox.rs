@@ -49,7 +49,10 @@ impl BBox {
     /// Returns `true` if `p` lies inside or on the boundary.
     #[inline]
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+        p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+            && p.lat >= self.min_lat
+            && p.lat <= self.max_lat
     }
 
     /// Center of the box.

@@ -90,7 +90,9 @@ fn write_coords(out: &mut String, points: &[GeoPoint]) {
 
 /// A `LineString` feature from a path.
 pub fn linestring_feature(points: &[GeoPoint], properties: &[(&str, PropValue)]) -> String {
-    let mut out = String::from("{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\",\"coordinates\":");
+    let mut out = String::from(
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\",\"coordinates\":",
+    );
     write_coords(&mut out, points);
     out.push_str("},\"properties\":");
     write_props(&mut out, properties);
@@ -100,7 +102,8 @@ pub fn linestring_feature(points: &[GeoPoint], properties: &[(&str, PropValue)])
 
 /// A `Point` feature.
 pub fn point_feature(p: &GeoPoint, properties: &[(&str, PropValue)]) -> String {
-    let mut out = String::from("{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\",\"coordinates\":");
+    let mut out =
+        String::from("{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\",\"coordinates\":");
     write!(out, "[{:.6},{:.6}]", p.lon, p.lat).expect("write to string");
     out.push_str("},\"properties\":");
     write_props(&mut out, properties);
@@ -110,7 +113,8 @@ pub fn point_feature(p: &GeoPoint, properties: &[(&str, PropValue)]) -> String {
 
 /// A `Polygon` feature from an exterior ring (closed automatically).
 pub fn polygon_feature(ring: &[GeoPoint], properties: &[(&str, PropValue)]) -> String {
-    let mut out = String::from("{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\",\"coordinates\":[");
+    let mut out =
+        String::from("{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\",\"coordinates\":[");
     let mut closed: Vec<GeoPoint> = ring.to_vec();
     if closed.first() != closed.last() {
         if let Some(&first) = closed.first() {

@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn timed_resample_interpolates_time_monotonically() {
-        let p = vec![TimedPoint::new(0.0, 0.0, 0), TimedPoint::new(0.0, 0.1, 1000)];
+        let p = vec![
+            TimedPoint::new(0.0, 0.0, 0),
+            TimedPoint::new(0.0, 0.1, 1000),
+        ];
         let dense = resample_timed_max_spacing(&p, 500.0);
         assert!(dense.len() > 10);
         for w in dense.windows(2) {

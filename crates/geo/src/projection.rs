@@ -22,7 +22,10 @@ pub const MERCATOR_MAX_LAT: f64 = 85.051_128_779_806_6;
 pub fn mercator(p: &GeoPoint) -> (f64, f64) {
     let lat = p.lat.clamp(-MERCATOR_MAX_LAT, MERCATOR_MAX_LAT);
     let x = EARTH_RADIUS_M * p.lon.to_radians();
-    let y = EARTH_RADIUS_M * (std::f64::consts::FRAC_PI_4 + lat.to_radians() * 0.5).tan().ln();
+    let y = EARTH_RADIUS_M
+        * (std::f64::consts::FRAC_PI_4 + lat.to_radians() * 0.5)
+            .tan()
+            .ln();
     (x, y)
 }
 
@@ -136,7 +139,11 @@ mod tests {
         assert!((p.lat - q.lat).abs() < 1e-12);
         let planar = (x * x + y * y).sqrt();
         let sphere = haversine_m(&anchor, &p);
-        assert!((planar / sphere - 1.0).abs() < 2e-3, "ratio {}", planar / sphere);
+        assert!(
+            (planar / sphere - 1.0).abs() < 2e-3,
+            "ratio {}",
+            planar / sphere
+        );
     }
 
     #[test]

@@ -9,32 +9,26 @@ use proptest::prelude::*;
 
 /// A random wandering path around a mid-latitude region.
 fn wander_path() -> impl Strategy<Value = Vec<GeoPoint>> {
-    (
-        2usize..80,
-        0u64..1_000_000,
-        -30f64..30.0,
-        40f64..58.0,
-    )
-        .prop_map(|(n, seed, lon0, lat0)| {
-            // xorshift-ish deterministic walk; proptest provides variety
-            // through (n, seed, origin).
-            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-            };
-            let mut pts = vec![GeoPoint::new(lon0, lat0)];
-            for _ in 1..n {
-                let last = *pts.last().expect("non-empty");
-                pts.push(GeoPoint::new(
-                    last.lon + next() * 0.02,
-                    (last.lat + next() * 0.015).clamp(-85.0, 85.0),
-                ));
-            }
-            pts
-        })
+    (2usize..80, 0u64..1_000_000, -30f64..30.0, 40f64..58.0).prop_map(|(n, seed, lon0, lat0)| {
+        // xorshift-ish deterministic walk; proptest provides variety
+        // through (n, seed, origin).
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut pts = vec![GeoPoint::new(lon0, lat0)];
+        for _ in 1..n {
+            let last = *pts.last().expect("non-empty");
+            pts.push(GeoPoint::new(
+                last.lon + next() * 0.02,
+                (last.lat + next() * 0.015).clamp(-85.0, 85.0),
+            ));
+        }
+        pts
+    })
 }
 
 proptest! {

@@ -118,14 +118,27 @@ mod tests {
 
     #[test]
     fn zigzag_round_trip() {
-        for v in [-5_000_000i64, -1, 0, 1, 42, 7_777_777, MAX_ABS_COORD, -MAX_ABS_COORD] {
+        for v in [
+            -5_000_000i64,
+            -1,
+            0,
+            1,
+            42,
+            7_777_777,
+            MAX_ABS_COORD,
+            -MAX_ABS_COORD,
+        ] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
         }
     }
 
     #[test]
     fn pack_unpack_round_trip() {
-        for (res, q, r) in [(0u8, 0i64, 0i64), (9, 12345, -9876), (15, -MAX_ABS_COORD, MAX_ABS_COORD)] {
+        for (res, q, r) in [
+            (0u8, 0i64, 0i64),
+            (9, 12345, -9876),
+            (15, -MAX_ABS_COORD, MAX_ABS_COORD),
+        ] {
             let c = HexCell::from_axial(res, q, r).unwrap();
             assert_eq!(c.resolution(), res);
             assert_eq!(c.q(), q);

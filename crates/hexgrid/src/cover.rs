@@ -187,8 +187,7 @@ mod tests {
         let in_box = grid.polyfill_bbox(&bbox, 8).unwrap();
         assert!(!in_tri.is_empty());
         assert!(in_tri.len() < in_box.len());
-        let box_set: std::collections::HashSet<u64> =
-            in_box.iter().map(|c| c.raw()).collect();
+        let box_set: std::collections::HashSet<u64> = in_box.iter().map(|c| c.raw()).collect();
         for c in &in_tri {
             assert!(box_set.contains(&c.raw()), "triangle cell outside box fill");
             assert!(tri.contains(&grid.center(*c)));

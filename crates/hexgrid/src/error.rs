@@ -46,7 +46,10 @@ impl fmt::Display for HexError {
             }
             HexError::CoordinateOverflow => write!(f, "axial coordinate overflows packing range"),
             HexError::CoverTooLarge { estimated } => {
-                write!(f, "cover would enumerate ~{estimated} cells (limit exceeded)")
+                write!(
+                    f,
+                    "cover would enumerate ~{estimated} cells (limit exceeded)"
+                )
             }
         }
     }

@@ -61,7 +61,10 @@ impl HexGrid {
             return Err(HexError::InvalidResolution(res));
         }
         if !p.is_valid() {
-            return Err(HexError::InvalidCoordinate { lon: p.lon, lat: p.lat });
+            return Err(HexError::InvalidCoordinate {
+                lon: p.lon,
+                lat: p.lat,
+            });
         }
         let (x, y) = mercator(p);
         // Rotate the frame by -rotation so the lattice becomes axis-aligned.
@@ -258,8 +261,12 @@ mod tests {
         let g = HexGrid::new();
         let p1 = GeoPoint::new(10.0, 56.0);
         let p2 = GeoPoint::new(10.5, 56.0);
-        let d8 = g.grid_distance(g.cell(&p1, 8).unwrap(), g.cell(&p2, 8).unwrap()).unwrap();
-        let d9 = g.grid_distance(g.cell(&p1, 9).unwrap(), g.cell(&p2, 9).unwrap()).unwrap();
+        let d8 = g
+            .grid_distance(g.cell(&p1, 8).unwrap(), g.cell(&p2, 8).unwrap())
+            .unwrap();
+        let d9 = g
+            .grid_distance(g.cell(&p1, 9).unwrap(), g.cell(&p2, 9).unwrap())
+            .unwrap();
         let ratio = d9 as f64 / d8 as f64;
         assert!((ratio - 7f64.sqrt()).abs() < 0.35, "ratio {ratio}");
     }

@@ -163,7 +163,11 @@ mod tests {
         let d = g.grid_distance(a, b).unwrap() as usize;
         assert_eq!(path.len(), d + 1);
         for w in path.windows(2) {
-            assert_eq!(g.grid_distance(w[0], w[1]).unwrap(), 1, "consecutive cells adjacent");
+            assert_eq!(
+                g.grid_distance(w[0], w[1]).unwrap(),
+                1,
+                "consecutive cells adjacent"
+            );
         }
     }
 

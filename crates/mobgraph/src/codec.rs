@@ -106,6 +106,13 @@ impl<N: Codec, E: Codec> DiGraph<N, E> {
         }
         let nodes = u64::decode(buf)? as usize;
         let edges = u64::decode(buf)? as usize;
+        // A node record is at least its 8-byte id, an edge record at
+        // least its two ids: counts larger than the remaining bytes can
+        // possibly hold are corruption, and must be rejected *before*
+        // they reach an allocator-aborting `with_capacity`.
+        if nodes > buf.len() / 8 || edges > buf.len() / 16 {
+            return None;
+        }
         let mut g = DiGraph::with_capacity(nodes);
         for _ in 0..nodes {
             let id = NodeId::decode(buf)?;
@@ -191,7 +198,10 @@ mod proptests {
 
     /// Strategy: a random digraph over `n` nodes with u64 payloads.
     fn arb_graph() -> impl Strategy<Value = DiGraph<u64, f32>> {
-        (1usize..60, proptest::collection::vec((0usize..60, 0usize..60, 0f32..10.0), 0..200))
+        (
+            1usize..60,
+            proptest::collection::vec((0usize..60, 0usize..60, 0f32..10.0), 0..200),
+        )
             .prop_map(|(n, edges)| {
                 let mut g: DiGraph<u64, f32> = DiGraph::new();
                 for id in 0..n as u64 {

@@ -38,10 +38,7 @@ impl PartialOrd for Frontier {
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap; est is always finite.
-        other
-            .est
-            .partial_cmp(&self.est)
-            .unwrap_or(Ordering::Equal)
+        other.est.partial_cmp(&self.est).unwrap_or(Ordering::Equal)
     }
 }
 
@@ -297,8 +294,7 @@ mod tests {
         g.add_edge(50, 51, 1.0);
         let roots = strongly_connected_roots(&g);
         // Nodes 1-4 share a root; 50-51 share a different one.
-        let r14: std::collections::HashSet<u32> =
-            (0..4).map(|i| roots[i as usize]).collect();
+        let r14: std::collections::HashSet<u32> = (0..4).map(|i| roots[i as usize]).collect();
         assert_eq!(r14.len(), 1);
         assert_eq!(roots[4], roots[5]);
         assert_ne!(roots[0], roots[4]);

@@ -165,7 +165,10 @@ mod tests {
         let mut pts = Vec::new();
         for i in 0..10 {
             for j in 0..10 {
-                pts.push(GeoPoint::new(10.0 + i as f64 * 0.01, 55.0 + j as f64 * 0.01));
+                pts.push(GeoPoint::new(
+                    10.0 + i as f64 * 0.01,
+                    55.0 + j as f64 * 0.01,
+                ));
             }
         }
         pts

@@ -15,7 +15,9 @@ use crate::routing::SeaRouter;
 use crate::sim::{simulate_trip, DropoutModel, SimConfig, TripPlan};
 use crate::vessel::{class_profile, sample_range};
 use crate::world::World;
-use ais::{segment_all, trips_to_table, AisPoint, Trajectory, Trip, TripConfig, VesselInfo, VesselType};
+use ais::{
+    segment_all, trips_to_table, AisPoint, Trajectory, Trip, TripConfig, VesselInfo, VesselType,
+};
 use geo_kernel::GeoPoint;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,7 +36,10 @@ pub struct DatasetSpec {
 
 impl Default for DatasetSpec {
     fn default() -> Self {
-        Self { seed: 42, scale: 1.0 }
+        Self {
+            seed: 42,
+            scale: 1.0,
+        }
     }
 }
 
@@ -116,7 +121,13 @@ impl Fleet {
         }
     }
 
-    fn add_vessel(&mut self, mmsi: u64, vtype: VesselType, name: String, rng: &mut StdRng) -> usize {
+    fn add_vessel(
+        &mut self,
+        mmsi: u64,
+        vtype: VesselType,
+        name: String,
+        rng: &mut StdRng,
+    ) -> usize {
         let profile = class_profile(vtype);
         self.vessels.push(VesselInfo {
             mmsi,
@@ -201,7 +212,12 @@ pub fn dan(spec: DatasetSpec) -> Dataset {
     let trips_per_vessel = ((15.0 * spec.scale).round() as usize).max(1);
     for v in 0..n_vessels {
         let mmsi = 219_000_100 + v as u64;
-        let idx = fleet.add_vessel(mmsi, VesselType::Passenger, format!("DAN Ferry {v:02}"), &mut rng);
+        let idx = fleet.add_vessel(
+            mmsi,
+            VesselType::Passenger,
+            format!("DAN Ferry {v:02}"),
+            &mut rng,
+        );
         // Each vessel serves one fixed route (ferry-like), chosen from all
         // port pairs so the dataset covers many corridors.
         let a = rng.gen_range(0..world.ports.len());
@@ -237,11 +253,26 @@ pub fn kiel(spec: DatasetSpec) -> Dataset {
     let trips_per_vessel = ((32.0 * spec.scale).round() as usize).max(1);
     for v in 0..2 {
         let mmsi = 219_000_900 + v as u64;
-        let idx = fleet.add_vessel(mmsi, VesselType::Passenger, format!("KIEL Ferry {v}"), &mut rng);
+        let idx = fleet.add_vessel(
+            mmsi,
+            VesselType::Passenger,
+            format!("KIEL Ferry {v}"),
+            &mut rng,
+        );
         let kiel_p = world.port("Kiel").expect("port").pos;
         let got_p = world.port("Gothenburg").expect("port").pos;
         let start = EPOCH + v as i64 * 12 * 3600;
-        shuttle(&mut fleet, idx, &router, kiel_p, got_p, trips_per_vessel, start, &cfg, &mut rng);
+        shuttle(
+            &mut fleet,
+            idx,
+            &router,
+            kiel_p,
+            got_p,
+            trips_per_vessel,
+            start,
+            &cfg,
+            &mut rng,
+        );
     }
     fleet.finish("KIEL", world)
 }
@@ -268,39 +299,64 @@ pub fn sar(spec: DatasetSpec) -> Dataset {
     let ferry_destinations = ["Aegina", "Poros", "Salamina", "Epidavros"];
     for (v, dest) in ferry_destinations.iter().cycle().take(8).enumerate() {
         let mmsi = 237_100_000 + v as u64;
-        let idx = fleet.add_vessel(mmsi, VesselType::Passenger, format!("SAR Ferry {v}"), &mut rng);
+        let idx = fleet.add_vessel(
+            mmsi,
+            VesselType::Passenger,
+            format!("SAR Ferry {v}"),
+            &mut rng,
+        );
         let dest_pos = world.port(dest).expect("port").pos;
         let n = ((28.0 * scale).round() as usize).max(1);
         let start = EPOCH + rng.gen_range(0..12 * 3600);
-        shuttle(&mut fleet, idx, &router, piraeus, dest_pos, n, start, &cfg, &mut rng);
+        shuttle(
+            &mut fleet, idx, &router, piraeus, dest_pos, n, start, &cfg, &mut rng,
+        );
     }
 
     // High-speed craft: Piraeus ↔ Poros / Lavrio.
     for v in 0..4 {
         let mmsi = 237_200_000 + v as u64;
-        let idx = fleet.add_vessel(mmsi, VesselType::HighSpeed, format!("SAR HSC {v}"), &mut rng);
+        let idx = fleet.add_vessel(
+            mmsi,
+            VesselType::HighSpeed,
+            format!("SAR HSC {v}"),
+            &mut rng,
+        );
         let dest = if v % 2 == 0 { "Poros" } else { "Lavrio" };
         let dest_pos = world.port(dest).expect("port").pos;
         let n = ((18.0 * scale).round() as usize).max(1);
         let start = EPOCH + rng.gen_range(0..24 * 3600);
-        shuttle(&mut fleet, idx, &router, piraeus, dest_pos, n, start, &cfg, &mut rng);
+        shuttle(
+            &mut fleet, idx, &router, piraeus, dest_pos, n, start, &cfg, &mut rng,
+        );
     }
 
     // Cargo & tankers: arrivals from the southern gate to Piraeus and back.
     let south_gate = GeoPoint::new(23.55, 37.28);
     for v in 0..40 {
-        let vtype = if v % 2 == 0 { VesselType::Cargo } else { VesselType::Tanker };
+        let vtype = if v % 2 == 0 {
+            VesselType::Cargo
+        } else {
+            VesselType::Tanker
+        };
         let mmsi = 237_300_000 + v as u64;
         let idx = fleet.add_vessel(mmsi, vtype, format!("SAR Cargo {v}"), &mut rng);
         let n = ((2.0 * scale).round() as usize).max(1);
         let start = EPOCH + rng.gen_range(0..25 * 24 * 3600);
-        shuttle(&mut fleet, idx, &router, south_gate, piraeus, n, start, &cfg, &mut rng);
+        shuttle(
+            &mut fleet, idx, &router, south_gate, piraeus, n, start, &cfg, &mut rng,
+        );
     }
 
     // Fishing: wandering tracks in the open gulf.
     for v in 0..24 {
         let mmsi = 237_400_000 + v as u64;
-        let idx = fleet.add_vessel(mmsi, VesselType::Fishing, format!("SAR Fisher {v}"), &mut rng);
+        let idx = fleet.add_vessel(
+            mmsi,
+            VesselType::Fishing,
+            format!("SAR Fisher {v}"),
+            &mut rng,
+        );
         let n_trips = ((5.0 * scale).round() as usize).max(1);
         let mut t = EPOCH + rng.gen_range(0..5 * 24 * 3600);
         for _ in 0..n_trips {
@@ -325,7 +381,11 @@ pub fn sar(spec: DatasetSpec) -> Dataset {
 
     // Pleasure craft and tugs: short hops between nearby ports.
     for v in 0..20 {
-        let vtype = if v < 14 { VesselType::Pleasure } else { VesselType::Tug };
+        let vtype = if v < 14 {
+            VesselType::Pleasure
+        } else {
+            VesselType::Tug
+        };
         let mmsi = 237_500_000 + v as u64;
         let idx = fleet.add_vessel(mmsi, vtype, format!("SAR Small {v}"), &mut rng);
         let a = rng.gen_range(0..world.ports.len());
@@ -382,7 +442,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> DatasetSpec {
-        DatasetSpec { seed: 7, scale: 0.15 }
+        DatasetSpec {
+            seed: 7,
+            scale: 0.15,
+        }
     }
 
     #[test]
@@ -423,14 +486,23 @@ mod tests {
         let a = kiel(tiny());
         let b = kiel(tiny());
         assert_eq!(a.num_positions(), b.num_positions());
-        let c = kiel(DatasetSpec { seed: 8, scale: 0.15 });
+        let c = kiel(DatasetSpec {
+            seed: 8,
+            scale: 0.15,
+        });
         assert_ne!(a.num_positions(), c.num_positions());
     }
 
     #[test]
     fn scale_grows_data() {
-        let small = kiel(DatasetSpec { seed: 7, scale: 0.1 });
-        let large = kiel(DatasetSpec { seed: 7, scale: 0.3 });
+        let small = kiel(DatasetSpec {
+            seed: 7,
+            scale: 0.1,
+        });
+        let large = kiel(DatasetSpec {
+            seed: 7,
+            scale: 0.3,
+        });
         assert!(large.num_positions() > small.num_positions());
     }
 

@@ -11,7 +11,12 @@ use crate::world::{Port, World};
 use geo_kernel::{BBox, GeoPoint, MultiPolygon, Polygon};
 
 fn poly(points: &[(f64, f64)]) -> Polygon {
-    Polygon::new(points.iter().map(|&(lon, lat)| GeoPoint::new(lon, lat)).collect())
+    Polygon::new(
+        points
+            .iter()
+            .map(|&(lon, lat)| GeoPoint::new(lon, lat))
+            .collect(),
+    )
 }
 
 /// Danish waters: Jutland, Funen, Zealand, the Swedish west coast and the
@@ -100,7 +105,9 @@ pub fn denmark() -> World {
 pub fn kiel_corridor() -> World {
     let mut world = denmark();
     world.name = "kiel".into();
-    world.ports.retain(|p| p.name == "Kiel" || p.name == "Gothenburg");
+    world
+        .ports
+        .retain(|p| p.name == "Kiel" || p.name == "Gothenburg");
     world
 }
 
@@ -139,18 +146,8 @@ pub fn saronic() -> World {
         (23.2, 37.2),
         (22.8, 37.2),
     ]);
-    let salamina = poly(&[
-        (23.38, 37.88),
-        (23.55, 37.9),
-        (23.52, 38.0),
-        (23.4, 38.01),
-    ]);
-    let aegina = poly(&[
-        (23.42, 37.7),
-        (23.6, 37.68),
-        (23.62, 37.78),
-        (23.47, 37.8),
-    ]);
+    let salamina = poly(&[(23.38, 37.88), (23.55, 37.9), (23.52, 38.0), (23.4, 38.01)]);
+    let aegina = poly(&[(23.42, 37.7), (23.6, 37.68), (23.62, 37.78), (23.47, 37.8)]);
 
     let world = World {
         name: "saronic".into(),
@@ -208,10 +205,7 @@ mod tests {
     fn open_water_pairs_are_clear() {
         let w = denmark();
         // Kattegat open water, east of Anholt.
-        assert!(w.segment_is_clear(
-            &GeoPoint::new(11.2, 56.4),
-            &GeoPoint::new(11.2, 57.2),
-        ));
+        assert!(w.segment_is_clear(&GeoPoint::new(11.2, 56.4), &GeoPoint::new(11.2, 57.2),));
     }
 
     #[test]
@@ -219,19 +213,13 @@ mod tests {
         let w = denmark();
         // A north-south line through the Great Belt (between Funen 10.8E
         // and Zealand 11.05E) must be clear of land.
-        assert!(w.segment_is_clear(
-            &GeoPoint::new(10.93, 55.15),
-            &GeoPoint::new(10.93, 55.75),
-        ));
+        assert!(w.segment_is_clear(&GeoPoint::new(10.93, 55.15), &GeoPoint::new(10.93, 55.75),));
     }
 
     #[test]
     fn oresund_is_open() {
         let w = denmark();
         // Øresund between Zealand (12.6E) and Sweden (12.7+E).
-        assert!(w.segment_is_clear(
-            &GeoPoint::new(12.65, 55.4),
-            &GeoPoint::new(12.64, 56.2),
-        ));
+        assert!(w.segment_is_clear(&GeoPoint::new(12.65, 55.4), &GeoPoint::new(12.64, 56.2),));
     }
 }

@@ -196,15 +196,14 @@ fn curve_leg(world: &World, a: &GeoPoint, b: &GeoPoint) -> Vec<GeoPoint> {
             let taper = (std::f64::consts::PI * f).sin();
             let offset = amp * taper
                 + amp * 0.5 * u2 * (2.0 * std::f64::consts::PI * f).sin()
-                + amp * LANE_MEANDER_FRAC
+                + amp
+                    * LANE_MEANDER_FRAC
                     * taper
                     * (2.0 * std::f64::consts::PI * cycles * f + phase).sin();
             leg.push(destination_point(&along, bearing + 90.0, offset));
         }
         leg.push(*b);
-        let clear = leg
-            .windows(2)
-            .all(|w| world.segment_is_clear(&w[0], &w[1]));
+        let clear = leg.windows(2).all(|w| world.segment_is_clear(&w[0], &w[1]));
         if clear {
             return leg;
         }

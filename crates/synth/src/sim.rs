@@ -178,7 +178,11 @@ impl PathSampler {
             Err(i) => i.min(self.points.len() - 1).max(1),
         };
         let seg = self.cum[idx] - self.cum[idx - 1];
-        let f = if seg > 0.0 { (s - self.cum[idx - 1]) / seg } else { 0.0 };
+        let f = if seg > 0.0 {
+            (s - self.cum[idx - 1]) / seg
+        } else {
+            0.0
+        };
         let pos = self.points[idx - 1].lerp(&self.points[idx], f);
         let bearing = initial_bearing_deg(&self.points[idx - 1], &self.points[idx]);
         (pos, bearing)
@@ -188,14 +192,29 @@ impl PathSampler {
 /// Simulates one trip: pre-departure berthing, the sailing itself, and
 /// post-arrival berthing. Returns the emitted AIS reports and the time at
 /// which the vessel finished berthing (for scheduling the next trip).
-pub fn simulate_trip<R: Rng>(plan: &TripPlan, cfg: &SimConfig, rng: &mut R) -> (Vec<AisPoint>, i64) {
-    assert!(plan.waypoints.len() >= 2, "a trip needs at least two waypoints");
+pub fn simulate_trip<R: Rng>(
+    plan: &TripPlan,
+    cfg: &SimConfig,
+    rng: &mut R,
+) -> (Vec<AisPoint>, i64) {
+    assert!(
+        plan.waypoints.len() >= 2,
+        "a trip needs at least two waypoints"
+    );
     let mut points = Vec::new();
     let mut t = plan.depart_t;
 
     // --- Berthing before departure (reports every ~3 min, sog ≈ 0).
     let berth_start = plan.waypoints[0];
-    t = emit_berth(&mut points, plan.mmsi, berth_start, t, plan.berth_before_min, cfg, rng);
+    t = emit_berth(
+        &mut points,
+        plan.mmsi,
+        berth_start,
+        t,
+        plan.berth_before_min,
+        cfg,
+        rng,
+    );
 
     // --- The sailing.
     let sampler = PathSampler::new(&plan.waypoints);
@@ -247,7 +266,14 @@ pub fn simulate_trip<R: Rng>(plan: &TripPlan, cfg: &SimConfig, rng: &mut R) -> (
 
         let sog = mps_to_knots(v) * (1.0 + 0.02 * gauss(rng));
         let cog = geo_kernel::normalize_deg(bearing + 2.5 * gauss(rng));
-        points.push(AisPoint::new(plan.mmsi, t, noisy_pos.lon, noisy_pos.lat, sog.max(0.0), cog));
+        points.push(AisPoint::new(
+            plan.mmsi,
+            t,
+            noisy_pos.lon,
+            noisy_pos.lat,
+            sog.max(0.0),
+            cog,
+        ));
 
         // Glitches, to be removed by `ais::clean`.
         if rng.gen_bool(cfg.glitch_duplicate) {
@@ -273,7 +299,15 @@ pub fn simulate_trip<R: Rng>(plan: &TripPlan, cfg: &SimConfig, rng: &mut R) -> (
 
     // --- Berthing after arrival.
     let berth_end = *plan.waypoints.last().expect("non-empty");
-    t = emit_berth(&mut points, plan.mmsi, berth_end, t, plan.berth_after_min, cfg, rng);
+    t = emit_berth(
+        &mut points,
+        plan.mmsi,
+        berth_end,
+        t,
+        plan.berth_after_min,
+        cfg,
+        rng,
+    );
 
     (points, t)
 }
@@ -381,7 +415,10 @@ mod tests {
                 let (lane, _) = sampler.at(sampler.length_m() * i as f64 / steps as f64);
                 best = best.min(geo_kernel::haversine_m(&pt.pos, &lane));
             }
-            assert!(best < cfg.lateral_sigma_m * 6.0 + 100.0, "offtrack {best} m");
+            assert!(
+                best < cfg.lateral_sigma_m * 6.0 + 100.0,
+                "offtrack {best} m"
+            );
         }
     }
 

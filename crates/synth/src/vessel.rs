@@ -106,8 +106,14 @@ mod tests {
         let pax = class_profile(VesselType::Passenger);
         let tanker = class_profile(VesselType::Tanker);
         let hsc = class_profile(VesselType::HighSpeed);
-        assert!(hsc.cruise_knots.0 > pax.cruise_knots.1, "HSC outruns ferries");
-        assert!(tanker.cruise_knots.1 < pax.cruise_knots.1, "tankers are slow");
+        assert!(
+            hsc.cruise_knots.0 > pax.cruise_knots.1,
+            "HSC outruns ferries"
+        );
+        assert!(
+            tanker.cruise_knots.1 < pax.cruise_knots.1,
+            "tankers are slow"
+        );
         assert!(tanker.draught_m.1 > pax.draught_m.1, "tankers sit deep");
     }
 

@@ -17,7 +17,10 @@ use habit::prelude::*;
 use habit::synth::{datasets, DatasetSpec};
 
 fn main() {
-    let dataset = datasets::kiel(DatasetSpec { seed: 42, scale: 0.3 });
+    let dataset = datasets::kiel(DatasetSpec {
+        seed: 42,
+        scale: 0.3,
+    });
     let bench = Bench::prepare(dataset, 42);
     let cases = bench.gap_cases(3600, 42);
     println!(
@@ -33,7 +36,11 @@ fn main() {
         methods.push(Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(r, t)).expect("habit"));
     }
     for rd in [1e-4, 5e-4] {
-        let config = GtiConfig { rm_m: 250.0, rd_deg: rd, ..GtiConfig::default() };
+        let config = GtiConfig {
+            rm_m: 250.0,
+            rd_deg: rd,
+            ..GtiConfig::default()
+        };
         methods.push(Imputer::fit_gti(&bench.train, config).expect("gti"));
     }
     methods.push(Imputer::sli());

@@ -18,7 +18,10 @@ use rand::SeedableRng;
 
 fn main() {
     const RES: u8 = 8;
-    let dataset = datasets::kiel(DatasetSpec { seed: 42, scale: 0.3 });
+    let dataset = datasets::kiel(DatasetSpec {
+        seed: 42,
+        scale: 0.3,
+    });
     let trips = dataset.trips();
     let mut rng = StdRng::seed_from_u64(11);
     let (train, test) = split_trips(&trips, 0.7, &mut rng);

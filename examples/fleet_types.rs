@@ -20,7 +20,10 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 
 fn main() {
-    let dataset = datasets::sar(DatasetSpec { seed: 42, scale: 0.3 });
+    let dataset = datasets::sar(DatasetSpec {
+        seed: 42,
+        scale: 0.3,
+    });
     let trips = dataset.trips();
     let mut rng = StdRng::seed_from_u64(3);
     let (train, test) = split_trips(&trips, 0.7, &mut rng);
@@ -86,9 +89,7 @@ fn main() {
         entry.0.push(fe);
         entry.1.push(ge);
     }
-    println!(
-        "{total} gaps imputed, {served_by_class} answered by a class model\n"
-    );
+    println!("{total} gaps imputed, {served_by_class} answered by a class model\n");
 
     let mut table = MarkdownTable::new(vec![
         "Vessel type",

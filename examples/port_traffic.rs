@@ -18,7 +18,10 @@ use habit::synth::{datasets, DatasetSpec};
 
 #[allow(clippy::needless_range_loop)] // parallel column access by row index
 fn main() {
-    let dataset = datasets::sar(DatasetSpec { seed: 42, scale: 0.3 });
+    let dataset = datasets::sar(DatasetSpec {
+        seed: 42,
+        scale: 0.3,
+    });
     let trips = dataset.trips();
     println!(
         "SAR: {} positions, {} vessels, {} trips",
@@ -32,8 +35,16 @@ fn main() {
     const RES: u8 = 8;
     let grid = HexGrid::new();
     let table = habit::ais::trips_to_table(&trips);
-    let lon = table.column_by_name("lon").expect("lon").f64_values().expect("f64");
-    let lat = table.column_by_name("lat").expect("lat").f64_values().expect("f64");
+    let lon = table
+        .column_by_name("lon")
+        .expect("lon")
+        .f64_values()
+        .expect("f64");
+    let lat = table
+        .column_by_name("lat")
+        .expect("lat")
+        .f64_values()
+        .expect("f64");
     let cells: Vec<u64> = lon
         .iter()
         .zip(lat)
@@ -61,7 +72,11 @@ fn main() {
 
     // Rank cells near Piraeus by distinct vessels.
     let piraeus = dataset.world.port("Piraeus").expect("port").pos;
-    let cell_ids = stats.column_by_name("cell").expect("cell").u64_values().expect("u64");
+    let cell_ids = stats
+        .column_by_name("cell")
+        .expect("cell")
+        .u64_values()
+        .expect("u64");
     let mut near: Vec<(u64, u64, u64, f64)> = Vec::new();
     for i in 0..stats.num_rows() {
         let Ok(cell) = HexCell::from_raw(cell_ids[i]) else {
@@ -69,15 +84,33 @@ fn main() {
         };
         let center = grid.center(cell);
         if habit::geo::haversine_m(&center, &piraeus) < 8_000.0 {
-            let vessels = stats.column_by_name("vessels").expect("col").value(i).as_u64().unwrap_or(0);
-            let msgs = stats.column_by_name("msgs").expect("col").value(i).as_u64().unwrap_or(0);
-            let sog = stats.column_by_name("median_sog").expect("col").value(i).as_f64().unwrap_or(0.0);
+            let vessels = stats
+                .column_by_name("vessels")
+                .expect("col")
+                .value(i)
+                .as_u64()
+                .unwrap_or(0);
+            let msgs = stats
+                .column_by_name("msgs")
+                .expect("col")
+                .value(i)
+                .as_u64()
+                .unwrap_or(0);
+            let sog = stats
+                .column_by_name("median_sog")
+                .expect("col")
+                .value(i)
+                .as_f64()
+                .unwrap_or(0.0);
             near.push((vessels, cell_ids[i], msgs, sog));
         }
     }
     near.sort_by_key(|&(v, _, _, _)| std::cmp::Reverse(v));
     println!("\nbusiest cells within 8 km of Piraeus (res {RES}):");
-    println!("{:>18}  {:>8}  {:>8}  {:>10}", "cell", "vessels", "msgs", "median SOG");
+    println!(
+        "{:>18}  {:>8}  {:>8}  {:>10}",
+        "cell", "vessels", "msgs", "median SOG"
+    );
     for (v, cell, m, s) in near.iter().take(10) {
         println!("{cell:>18}  {v:>8}  {m:>8}  {s:>10.1}");
     }
@@ -92,7 +125,9 @@ fn main() {
     );
     let mut corridors: Vec<(u32, u64, u64)> = Vec::new();
     for (id, _) in model.graph().nodes() {
-        let Ok(cell) = HexCell::from_raw(id) else { continue };
+        let Ok(cell) = HexCell::from_raw(id) else {
+            continue;
+        };
         if habit::geo::haversine_m(&grid.center(cell), &piraeus) > 8_000.0 {
             continue;
         }

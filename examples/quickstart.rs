@@ -17,7 +17,10 @@ use rand::SeedableRng;
 fn main() {
     // 1. A small synthetic KIEL-style corridor dataset: two ferries
     //    shuttling between the same pair of ports.
-    let dataset = datasets::kiel(DatasetSpec { seed: 42, scale: 0.3 });
+    let dataset = datasets::kiel(DatasetSpec {
+        seed: 42,
+        scale: 0.3,
+    });
     println!(
         "dataset {}: {} raw positions from {} vessels",
         dataset.name,
@@ -29,7 +32,12 @@ fn main() {
     let trips = dataset.trips();
     let mut rng = StdRng::seed_from_u64(7);
     let (train, test) = split_trips(&trips, 0.7, &mut rng);
-    println!("{} trips segmented ({} train / {} test)", trips.len(), train.len(), test.len());
+    println!(
+        "{} trips segmented ({} train / {} test)",
+        trips.len(),
+        train.len(),
+        test.len()
+    );
 
     // 3. Fit HABIT at resolution r=9 with median projection, t=100 m.
     let config = HabitConfig::with_r_t(9, 100.0);

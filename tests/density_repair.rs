@@ -18,7 +18,10 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
-    let dataset = datasets::kiel(DatasetSpec { seed: 42, scale: 0.2 });
+    let dataset = datasets::kiel(DatasetSpec {
+        seed: 42,
+        scale: 0.2,
+    });
     let trips = dataset.trips();
     let mut rng = StdRng::seed_from_u64(5);
     let (train, test) = split_trips(&trips, 0.7, &mut rng);

@@ -7,11 +7,23 @@ use habit::eval::experiments::{self, Bench};
 use habit::synth::{datasets, DatasetSpec};
 
 fn tiny_kiel() -> Bench {
-    Bench::prepare(datasets::kiel(DatasetSpec { seed: 42, scale: 0.1 }), 42)
+    Bench::prepare(
+        datasets::kiel(DatasetSpec {
+            seed: 42,
+            scale: 0.1,
+        }),
+        42,
+    )
 }
 
 fn tiny_sar() -> Bench {
-    Bench::prepare(datasets::sar(DatasetSpec { seed: 42, scale: 0.1 }), 42)
+    Bench::prepare(
+        datasets::sar(DatasetSpec {
+            seed: 42,
+            scale: 0.1,
+        }),
+        42,
+    )
 }
 
 #[test]
@@ -41,8 +53,14 @@ fn table2_row_set_matches_paper_configurations() {
     assert_eq!(habit_rows.len(), 5);
     // Monotone growth with resolution, on both datasets.
     for w in habit_rows.windows(2) {
-        assert!(w[1].kiel_bytes >= w[0].kiel_bytes, "KIEL storage must grow with r");
-        assert!(w[1].sar_bytes >= w[0].sar_bytes, "SAR storage must grow with r");
+        assert!(
+            w[1].kiel_bytes >= w[0].kiel_bytes,
+            "KIEL storage must grow with r"
+        );
+        assert!(
+            w[1].sar_bytes >= w[0].sar_bytes,
+            "SAR storage must grow with r"
+        );
     }
     // GTI outgrows HABIT at the paper's selected configuration (r = 9).
     // (At r = 10 the comparison needs production-scale data — the ratio-
@@ -70,15 +88,34 @@ fn table3_simplification_reduces_points_and_sharp_turns() {
     for res in [9u8, 10] {
         let series: Vec<_> = rows.iter().filter(|r| r.resolution == res).collect();
         assert_eq!(series.len(), 5);
-        let cnt_t0 = series.iter().find(|r| r.tolerance_m == 0.0).unwrap().stats.count;
-        let cnt_t1000 = series.iter().find(|r| r.tolerance_m == 1000.0).unwrap().stats.count;
+        let cnt_t0 = series
+            .iter()
+            .find(|r| r.tolerance_m == 0.0)
+            .unwrap()
+            .stats
+            .count;
+        let cnt_t1000 = series
+            .iter()
+            .find(|r| r.tolerance_m == 1000.0)
+            .unwrap()
+            .stats
+            .count;
         assert!(
             cnt_t1000 < cnt_t0.max(3),
             "r={res}: t=1000 must compress the path ({cnt_t1000} !< {cnt_t0})"
         );
-        let over45_t0 = series.iter().find(|r| r.tolerance_m == 0.0).unwrap().stats.turns_over_45;
-        let over45_t1000 =
-            series.iter().find(|r| r.tolerance_m == 1000.0).unwrap().stats.turns_over_45;
+        let over45_t0 = series
+            .iter()
+            .find(|r| r.tolerance_m == 0.0)
+            .unwrap()
+            .stats
+            .turns_over_45;
+        let over45_t1000 = series
+            .iter()
+            .find(|r| r.tolerance_m == 1000.0)
+            .unwrap()
+            .stats
+            .turns_over_45;
         assert!(
             over45_t1000 <= over45_t0,
             "r={res}: simplification must not add sharp turns"
@@ -100,7 +137,11 @@ fn fig5_and_table4_cover_every_method() {
     }
 
     let t4 = experiments::table4(&bench, 42);
-    assert_eq!(t4.len(), 7, "4 HABIT + 3 GTI (SLI excluded as in the paper)");
+    assert_eq!(
+        t4.len(),
+        7,
+        "4 HABIT + 3 GTI (SLI excluded as in the paper)"
+    );
     for r in &t4 {
         assert!(r.avg_s >= 0.0 && r.max_s >= r.avg_s);
         assert!(r.gaps > 0);
@@ -115,7 +156,9 @@ fn fig6_cases_include_truth_and_methods() {
     for case in &cases {
         assert!(case.truth.len() >= 2);
         assert!(
-            case.paths.iter().any(|(label, _)| label.starts_with("HABIT")),
+            case.paths
+                .iter()
+                .any(|(label, _)| label.starts_with("HABIT")),
             "HABIT path present"
         );
         assert!(case.paths.iter().any(|(label, _)| label == "SLI"));

@@ -9,7 +9,13 @@ use habit::prelude::*;
 use habit::synth::{datasets, DatasetSpec};
 
 fn kiel_bench() -> Bench {
-    Bench::prepare(datasets::kiel(DatasetSpec { seed: 42, scale: 0.25 }), 42)
+    Bench::prepare(
+        datasets::kiel(DatasetSpec {
+            seed: 42,
+            scale: 0.25,
+        }),
+        42,
+    )
 }
 
 /// Table 2's headline: HABIT's cell-graph model is smaller than GTI's
@@ -19,13 +25,14 @@ fn kiel_bench() -> Bench {
 /// 0.8M-position scale; laptop-scale datasets show the same divergence.)
 #[test]
 fn habit_model_smaller_than_gti_and_gap_widens_with_scale() {
-    let gti_config = GtiConfig { rm_m: 250.0, rd_deg: 5e-4, ..GtiConfig::default() };
+    let gti_config = GtiConfig {
+        rm_m: 250.0,
+        rd_deg: 5e-4,
+        ..GtiConfig::default()
+    };
     let mut ratios = Vec::new();
     for scale in [0.1, 0.3] {
-        let bench = Bench::prepare(
-            datasets::kiel(DatasetSpec { seed: 42, scale }),
-            42,
-        );
+        let bench = Bench::prepare(datasets::kiel(DatasetSpec { seed: 42, scale }), 42);
         let habit =
             Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(9, 100.0)).expect("habit");
         let gti = Imputer::fit_gti(&bench.train, gti_config).expect("gti");
@@ -67,7 +74,11 @@ fn habit_and_gti_beat_sli_on_confined_route() {
     let habit = Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(9, 100.0)).expect("habit");
     let gti = Imputer::fit_gti(
         &bench.train,
-        GtiConfig { rm_m: 250.0, rd_deg: 5e-4, ..GtiConfig::default() },
+        GtiConfig {
+            rm_m: 250.0,
+            rd_deg: 5e-4,
+            ..GtiConfig::default()
+        },
     )
     .expect("gti");
     let sli = Imputer::sli();
@@ -93,7 +104,11 @@ fn habit_queries_are_faster_than_gti() {
     let habit = Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(9, 100.0)).expect("habit");
     let gti = Imputer::fit_gti(
         &bench.train,
-        GtiConfig { rm_m: 250.0, rd_deg: 5e-4, ..GtiConfig::default() },
+        GtiConfig {
+            rm_m: 250.0,
+            rd_deg: 5e-4,
+            ..GtiConfig::default()
+        },
     )
     .expect("gti");
 
@@ -192,8 +207,8 @@ fn drifting_trips_are_filtered_from_the_graph() {
         HabitConfig::with_r_t(9, 100.0),
     )
     .expect("fit");
-    let without = HabitModel::fit(&trips_to_table(&[sail]), HabitConfig::with_r_t(9, 100.0))
-        .expect("fit");
+    let without =
+        HabitModel::fit(&trips_to_table(&[sail]), HabitConfig::with_r_t(9, 100.0)).expect("fit");
     assert_eq!(
         with_drift.node_count(),
         without.node_count(),

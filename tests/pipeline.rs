@@ -8,7 +8,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn kiel_bench() -> (Vec<Trip>, Vec<Trip>) {
-    let dataset = datasets::kiel(DatasetSpec { seed: 42, scale: 0.15 });
+    let dataset = datasets::kiel(DatasetSpec {
+        seed: 42,
+        scale: 0.15,
+    });
     let trips = dataset.trips();
     assert!(trips.len() >= 6, "need enough trips, got {}", trips.len());
     let mut rng = StdRng::seed_from_u64(1);
@@ -61,7 +64,10 @@ fn full_pipeline_imputes_held_out_gaps() {
         }
     }
     assert!(attempted >= 2, "too few gap cases: {attempted}");
-    assert_eq!(succeeded, attempted, "every gap on the trained corridor must impute");
+    assert_eq!(
+        succeeded, attempted,
+        "every gap on the trained corridor must impute"
+    );
     // The corridor has a dog-leg around land, so following history beats
     // the straight line on a clear majority of gaps.
     assert!(
@@ -101,7 +107,10 @@ fn model_survives_serialization_at_dataset_scale() {
 
 #[test]
 fn imputed_paths_stay_in_region_and_respect_tolerance() {
-    let dataset = datasets::kiel(DatasetSpec { seed: 7, scale: 0.15 });
+    let dataset = datasets::kiel(DatasetSpec {
+        seed: 7,
+        scale: 0.15,
+    });
     let trips = dataset.trips();
     let mut rng = StdRng::seed_from_u64(4);
     let (train, test) = split_trips(&trips, 0.7, &mut rng);
@@ -150,7 +159,11 @@ fn vessel_histories_produce_cell_statistics_consistent_with_aggdb() {
     let cells: Vec<u64> = lon
         .iter()
         .zip(lat)
-        .map(|(&x, &y)| grid.cell(&GeoPoint::new(x, y), 8).map(|c| c.raw()).unwrap_or(0))
+        .map(|(&x, &y)| {
+            grid.cell(&GeoPoint::new(x, y), 8)
+                .map(|c| c.raw())
+                .unwrap_or(0)
+        })
         .collect();
     let with_cells = table
         .clone()
@@ -163,9 +176,16 @@ fn vessel_histories_produce_cell_statistics_consistent_with_aggdb() {
     let cell_col = stats.column_by_name("cell").unwrap().u64_values().unwrap();
     let mut checked = 0usize;
     for i in 0..stats.num_rows() {
-        let Ok(cell) = HexCell::from_raw(cell_col[i]) else { continue };
+        let Ok(cell) = HexCell::from_raw(cell_col[i]) else {
+            continue;
+        };
         if let Some(node) = model.cell_stats(cell) {
-            let msgs = stats.column_by_name("msgs").unwrap().value(i).as_u64().unwrap();
+            let msgs = stats
+                .column_by_name("msgs")
+                .unwrap()
+                .value(i)
+                .as_u64()
+                .unwrap();
             // Cell-span filtering may drop a few short trips from the
             // model, so the graph count never exceeds the raw count.
             assert!(

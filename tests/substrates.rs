@@ -114,8 +114,18 @@ fn groupby_matches_hand_computation_on_ais_shaped_table() {
     let cell = out.column_by_name("cell").unwrap().u64_values().unwrap();
     for i in 0..2 {
         let n = out.column_by_name("n").unwrap().value(i).as_u64().unwrap();
-        let trips = out.column_by_name("trips").unwrap().value(i).as_u64().unwrap();
-        let med = out.column_by_name("med").unwrap().value(i).as_f64().unwrap();
+        let trips = out
+            .column_by_name("trips")
+            .unwrap()
+            .value(i)
+            .as_u64()
+            .unwrap();
+        let med = out
+            .column_by_name("med")
+            .unwrap()
+            .value(i)
+            .as_f64()
+            .unwrap();
         match cell[i] {
             7 => {
                 assert_eq!(n, 4);

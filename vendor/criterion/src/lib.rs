@@ -1,0 +1,366 @@
+//! Minimal, self-contained re-implementation of the `criterion` 0.5
+//! API surface used by this workspace's benches.
+//!
+//! The build environment cannot reach crates.io, so this vendored stub
+//! provides a functioning wall-clock benchmark harness with the same
+//! call structure as the real crate: each sample times a batch of
+//! iterations, and the per-iteration mean / median / min over
+//! `sample_size` samples is printed as
+//!
+//! ```text
+//! name                    time: [min 1.20 µs  med 1.31 µs  mean 1.35 µs]
+//! ```
+//!
+//! There is no outlier analysis, no warm-up tuning beyond a fixed
+//! burn-in, and no plots/HTML. `cargo bench` and `cargo bench --no-run`
+//! both work; arguments cargo forwards (e.g. `--bench`, filters) are
+//! accepted and filters are applied to benchmark names.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use self::batch_size::BatchSize;
+
+mod batch_size {
+    /// How much setup output to amortise per timing batch. The stub
+    /// times one routine call per sample regardless, so the variants
+    /// only exist for API compatibility.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum BatchSize {
+        SmallInput,
+        LargeInput,
+        PerIteration,
+        NumBatches(u64),
+        NumIterations(u64),
+    }
+}
+
+/// Identifier for a parameterised benchmark: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over batched calls so nanosecond-scale routines
+    /// amortize the clock-read overhead instead of measuring it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Burn-in: one untimed call to warm caches and lazy statics.
+        let _ = std::hint::black_box(routine());
+        // Calibrate a batch size targeting ≥ ~20 µs per timed batch,
+        // capped so slow routines still run once per sample.
+        let t0 = Instant::now();
+        let _ = std::hint::black_box(routine());
+        let est_ns = t0.elapsed().as_nanos().max(1);
+        let batch = (20_000 / est_ns).clamp(1, 1_024) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                let out = routine();
+                std::hint::black_box(out);
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = std::hint::black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let elapsed = start.elapsed();
+            std::hint::black_box(out);
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name:<44} time: [no samples]");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<44} time: [min {}  med {}  mean {}]",
+        format_duration(min),
+        format_duration(median),
+        format_duration(mean),
+    );
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional args cargo forwards act as name filters, like the
+        // real harness. A `--flag value` pair must not leak its value
+        // into the filter list (it would silently skip every bench), so
+        // any dashed arg other than the boolean `--bench` consumes the
+        // following token as its value.
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            if !arg.starts_with('-') {
+                filters.push(arg);
+            } else if arg != "--bench"
+                && !arg.contains('=')
+                && args.peek().is_some_and(|next| !next.starts_with('-'))
+            {
+                args.next();
+            }
+        }
+        Criterion {
+            sample_size: 100,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (the real crate enforces
+    /// ≥ 10; so does the stub).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.selected(name) {
+            run_one(name, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.selected(&full) {
+            run_one(&full, self.effective_sample_size(), &mut f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.selected(&full) {
+            run_one(&full, self.effective_sample_size(), &mut |b| f(b, input));
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` callers work; the real crate
+/// deprecates its own copy in favour of the std one.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 12,
+            filters: Vec::new(),
+        };
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        // burn-in + calibration + sample_size batches of equal size
+        assert!(calls >= 2 + 12, "calls {calls}");
+        assert_eq!(
+            (calls - 2) % 12,
+            0,
+            "whole batches per sample, calls {calls}"
+        );
+    }
+
+    #[test]
+    fn groups_and_batched_inputs_run() {
+        let mut c = Criterion {
+            sample_size: 10,
+            filters: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut setups = 0u32;
+        group.bench_function(BenchmarkId::new("f", 3), |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert_eq!(setups, 11);
+    }
+
+    #[test]
+    fn filters_skip_unmatched() {
+        let mut c = Criterion {
+            sample_size: 10,
+            filters: vec!["only_this".to_owned()],
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+        c.bench_function("only_this_one", |b| b.iter(|| 1));
+    }
+}

@@ -1,0 +1,352 @@
+//! Minimal, self-contained re-implementation of the `rand` 0.8 API
+//! surface used by this workspace.
+//!
+//! The build environment cannot reach crates.io, so this vendored stub
+//! provides deterministic, seedable pseudo-randomness with the same
+//! call signatures the real crate exposes:
+//!
+//! * [`rngs::StdRng`] — a xoshiro256++ generator (statistically strong,
+//!   not cryptographic — the real `StdRng` is ChaCha12, but nothing in
+//!   this workspace needs CSPRNG guarantees);
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 seed expansion, the
+//!   same scheme rand 0.8 documents for this method;
+//! * [`Rng::gen_range`] / [`Rng::gen_bool`] / [`Rng::gen`];
+//! * [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`].
+//!
+//! Streams differ from the real `rand` crate (different core
+//! generator), which is fine: every consumer seeds explicitly and only
+//! relies on determinism-per-seed, never on matching upstream streams.
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a value from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map a raw `u64` to a uniform `f64` in `[0, 1)` with 53 bits of
+/// precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Types sampleable by [`Rng::gen`] — the tiny subset of rand's
+/// `Standard` distribution this workspace needs.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly.
+///
+/// The blanket `SampleRange` impls below are generic over this trait —
+/// matching the real crate's shape — so that untyped literals like
+/// `rng.gen_range(150..210)` unify with the surrounding context
+/// (e.g. `i64 += …`) instead of falling back to `i32`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+/// Unbiased-enough uniform integer in `[0, span)` via 128-bit widening
+/// multiply (Lemire's method without the rejection step; bias is
+/// ≤ span/2⁶⁴, far below anything a simulation or test can observe).
+#[inline]
+fn uniform_below(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // Widen through i128 so narrow *signed* spans don't
+                // sign-extend (e.g. -2e9..2e9 on i32 wraps in-type).
+                let span = ((hi as i128).wrapping_sub(lo as i128)) as u64;
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = ((hi as i128).wrapping_sub(lo as i128)) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u = unit_f64(rng.next_u64()) as $t;
+                let v = lo + u * (hi - lo);
+                // `lo + u*(hi-lo)` can round up to exactly `hi` even for
+                // u < 1; keep the half-open contract.
+                if v < hi { v } else { hi.next_down().max(lo) }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u = unit_f64(rng.next_u64()) as $t;
+                (lo + u * (hi - lo)).min(hi)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the ChaCha12 generator the real rand 0.8 uses, but every
+    /// consumer in this workspace only needs "deterministic per seed,
+    /// statistically uniform", which xoshiro256++ provides.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64 expansion, as rand documents for seed_from_u64.
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices: the `shuffle` / `choose` subset of
+    /// rand 0.8's `SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..16).map(|_| c.gen_range(0u64..u64::MAX)).collect();
+        let mut d = StdRng::seed_from_u64(42);
+        let other: Vec<u64> = (0..16).map(|_| d.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10i64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = rng.gen_range(3u8..=5);
+            assert!((3..=5).contains(&i));
+            // Narrow signed range whose span exceeds the type's MAX:
+            // must not sign-extend the wrapped in-type difference.
+            let w = rng.gen_range(-2_000_000_000i32..2_000_000_000);
+            assert!((-2_000_000_000..2_000_000_000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left slice in order (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn choose_uniformish() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = [1, 2, 3, 4];
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+}
