@@ -17,6 +17,32 @@
 //! * [`table`] — conversion of segmented trips into an
 //!   [`aggdb::Table`] with the column layout the paper's
 //!   DuckDB CTE expects.
+//!
+//! ## Pipeline position
+//!
+//! This crate is the data layer everything else consumes:
+//!
+//! ```text
+//! raw AIS stream (mmsi, t, lon, lat, sog, cog, heading)
+//!   │ clean::clean_trajectory      noise filters (§3.1)
+//!   │ events::annotate             stops, gaps, turns, speed changes
+//!   ▼
+//! trips::segment_all               Vec<Trip> — the HABIT training unit
+//!   │ table::trips_to_table
+//!   ▼
+//! aggdb::Table                     columnar input to HabitModel::fit
+//! ```
+//!
+//! Trips are delimited by stops and communication gaps with the paper's
+//! `ΔT = 30 min` threshold ([`TripConfig`] makes it tunable); cleaning
+//! rejects invalid coordinates, duplicate/out-of-sequence timestamps and
+//! physically impossible speed spikes, and [`CleanReport`] counts what
+//! was dropped so data-quality regressions are visible in tests.
+//!
+//! All timestamps are epoch seconds; all coordinates are WGS-84 degrees
+//! (`geo_kernel::GeoPoint`). The synthetic datasets in `synth` emit the
+//! same shapes, so the pipeline is identical for real and generated
+//! feeds.
 
 pub mod clean;
 pub mod events;

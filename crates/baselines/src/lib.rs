@@ -19,6 +19,18 @@
 //!
 //! All three share the [`GapQuery`](habit_core's) shape via plain timed
 //! points so the evaluation harness can treat every method uniformly.
+//!
+//! ## Where each baseline wins and loses
+//!
+//! | method | model | strength | weakness (paper evidence) |
+//! |--------|-------|----------|---------------------------|
+//! | SLI | none | zero cost, always answers | ignores geography entirely (Fig. 5) |
+//! | GTI | point graph over raw training positions | most accurate on confined routes (Fig. 5, KIEL) | model size explodes with `rd` (Table 2); slowest queries (Table 4) |
+//! | PaLMTO | N-gram over grid tokens | compact models | generation frequently times out (reproduced in `ablation_palmto`) |
+//!
+//! The `eval` crate wraps all of them (and HABIT) behind
+//! `eval::Imputer`, which is what every experiment binary sweeps; the
+//! committed numbers live in `EXPERIMENTS.md`.
 
 pub mod gti;
 pub mod palmto;

@@ -2,86 +2,11 @@
 //! model, on the heterogeneous SAR dataset — the paper's future-work
 //! extension quantified.
 
-use eval::experiments::accuracy_dtw;
-use eval::report::{fmt_m, fmt_mb, mean, median, MarkdownTable};
-use eval::Imputer;
-use habit_core::{FleetConfig, FleetModel, GapQuery, HabitConfig, ServedBy};
+use std::process::ExitCode;
 
-fn main() {
-    let bench = habit_bench::sar();
-    let cases = bench.gap_cases(3600, habit_bench::SEED);
-    println!(
-        "# Ablation — vessel-type conditioning [SAR, {} gaps]\n",
-        cases.len()
-    );
-
-    let config = HabitConfig::with_r_t(9, 100.0);
-    let global = Imputer::fit_habit(&bench.train, config).expect("global fit");
-    let fleet = FleetModel::fit(
-        &bench.train,
-        &bench.dataset.vessels,
-        FleetConfig {
-            habit: config,
-            min_trips_per_type: 8,
-        },
-    )
-    .expect("fleet fit");
-    println!("dedicated class models: {:?}\n", fleet.modeled_types());
-
-    // Global accuracy via the shared harness.
-    let global_errors = accuracy_dtw(&global, &cases);
-
-    // Fleet accuracy: route each case through the type dispatcher. The
-    // gap cases carry trip ids; recover the vessel through the test trip.
-    let mut fleet_errors = Vec::new();
-    let mut class_served = 0usize;
-    for case in &cases {
-        let mmsi = bench
-            .test
-            .iter()
-            .find(|t| t.trip_id == case.trip_id)
-            .map(|t| t.mmsi)
-            .unwrap_or(0);
-        let query = GapQuery {
-            start: case.query.start,
-            end: case.query.end,
-        };
-        if let Ok((imp, served)) = fleet.impute_for_mmsi(mmsi, &query) {
-            if matches!(served, ServedBy::TypeModel(_)) {
-                class_served += 1;
-            }
-            let pts: Vec<geo_kernel::GeoPoint> = imp.points.iter().map(|p| p.pos).collect();
-            let truth: Vec<geo_kernel::GeoPoint> = case.truth.iter().map(|p| p.pos).collect();
-            if let Some(d) = eval::resampled_dtw_m(&pts, &truth) {
-                fleet_errors.push(d);
-            }
-        }
-    }
-
-    let mut table = MarkdownTable::new(vec![
-        "Model",
-        "Mean DTW (m)",
-        "Median DTW (m)",
-        "Imputed",
-        "Storage (MB)",
-    ]);
-    table.row(vec![
-        "Global (paper)".to_string(),
-        fmt_m(mean(&global_errors)),
-        fmt_m(median(&global_errors)),
-        format!("{}/{}", global_errors.len(), cases.len()),
-        fmt_mb(global.storage_bytes()),
-    ]);
-    table.row(vec![
-        "Fleet (per-type)".to_string(),
-        fmt_m(mean(&fleet_errors)),
-        fmt_m(median(&fleet_errors)),
-        format!("{}/{}", fleet_errors.len(), cases.len()),
-        fmt_mb(fleet.storage_bytes()),
-    ]);
-    println!("{}", table.render());
-    println!(
-        "{class_served}/{} gaps answered by a dedicated class model",
-        cases.len()
-    );
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let sar = habit_bench::sar();
+        habit_bench::reports::ablation_fleet_report(&sar, habit_bench::SEED)
+    })
 }

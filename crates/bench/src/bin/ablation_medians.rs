@@ -6,73 +6,8 @@
 //!
 //! These are the substrate choices behind HABIT's per-cell statistics.
 
-use aggdb::quantile::{median_exact, P2Quantile};
-use aggdb::HyperLogLog;
-use eval::report::MarkdownTable;
-use std::time::Instant;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Ablation — median algorithms and HLL precision\n");
-
-    // ---- Medians: exact vs P² on a heavy-tailed sample.
-    println!("## Exact median vs P² streaming estimator\n");
-    let mut table = MarkdownTable::new(vec!["n", "exact", "p2", "abs err", "exact us", "p2 us"]);
-    let mut state = 0x9E3779B97F4A7C15u64;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 11) as f64 / (1u64 << 53) as f64
-    };
-    for n in [100usize, 1_000, 10_000, 100_000] {
-        let values: Vec<f64> = (0..n).map(|_| next().powi(3) * 1000.0).collect();
-        let t0 = Instant::now();
-        let mut v = values.clone();
-        let exact = median_exact(&mut v).expect("non-empty");
-        let exact_us = t0.elapsed().as_micros();
-
-        let t1 = Instant::now();
-        let mut p2 = P2Quantile::median();
-        for x in &values {
-            p2.insert(*x);
-        }
-        let approx = p2.estimate().expect("non-empty");
-        let p2_us = t1.elapsed().as_micros();
-
-        table.row(vec![
-            n.to_string(),
-            format!("{exact:.2}"),
-            format!("{approx:.2}"),
-            format!("{:.2}", (approx - exact).abs()),
-            exact_us.to_string(),
-            p2_us.to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-
-    // ---- HLL precision sweep.
-    println!("## HyperLogLog precision vs error (n = 50,000 distinct)\n");
-    let mut hll_table = MarkdownTable::new(vec![
-        "precision",
-        "registers",
-        "bytes",
-        "estimate",
-        "rel err %",
-    ]);
-    let n = 50_000u64;
-    for p in [8u8, 10, 12, 14, 16] {
-        let mut h = HyperLogLog::new(p);
-        for v in 0..n {
-            h.insert_u64(v);
-        }
-        let est = h.estimate();
-        hll_table.row(vec![
-            p.to_string(),
-            (1u32 << p).to_string(),
-            h.byte_size().to_string(),
-            format!("{est:.0}"),
-            format!("{:.2}", (est - n as f64).abs() / n as f64 * 100.0),
-        ]);
-    }
-    println!("{}", hll_table.render());
+fn main() -> ExitCode {
+    habit_bench::report_main(|| habit_bench::reports::ablation_medians_report(habit_bench::SEED))
 }

@@ -8,91 +8,12 @@
 //! reports the per-query outcome breakdown (success / timeout / dead end
 //! / step limit) under the same generation budget.
 
-use baselines::{PalmtoConfig, PalmtoError, PalmtoModel};
-use eval::experiments::accuracy_dtw;
-use eval::report::{fmt_m, fmt_mb, mean, median, MarkdownTable};
-use eval::Imputer;
-use habit_core::HabitConfig;
-use std::time::Duration;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Ablation — PaLMTO vs HABIT (the paper's dropped competitor)\n");
-    for bench in [habit_bench::kiel(), habit_bench::sar()] {
-        let cases = bench.gap_cases(3600, habit_bench::SEED);
-        println!("## {} ({} gaps)\n", bench.name, cases.len());
-
-        let habit =
-            Imputer::fit_habit(&bench.train, HabitConfig::with_r_t(10, 100.0)).expect("habit fit");
-        let palmto_config = PalmtoConfig {
-            resolution: 10,
-            n: 3,
-            time_budget: Duration::from_millis(250),
-            ..PalmtoConfig::default()
-        };
-        let palmto = PalmtoModel::fit(&bench.train, palmto_config).expect("palmto fit");
-
-        // Per-query outcome breakdown.
-        let mut ok = 0usize;
-        let mut timeout = 0usize;
-        let mut dead_end = 0usize;
-        let mut step_limit = 0usize;
-        let mut errors = Vec::new();
-        for case in &cases {
-            match palmto.impute(case.query.start, case.query.end) {
-                Ok(path) => {
-                    ok += 1;
-                    let pts: Vec<geo_kernel::GeoPoint> = path.iter().map(|p| p.pos).collect();
-                    let truth: Vec<geo_kernel::GeoPoint> =
-                        case.truth.iter().map(|p| p.pos).collect();
-                    if let Some(d) = eval::resampled_dtw_m(&pts, &truth) {
-                        errors.push(d);
-                    }
-                }
-                Err(PalmtoError::Timeout) => timeout += 1,
-                Err(PalmtoError::DeadEnd) => dead_end += 1,
-                Err(PalmtoError::StepLimit) => step_limit += 1,
-                Err(PalmtoError::EmptyModel) => unreachable!("model fitted"),
-            }
-        }
-
-        let mut table = MarkdownTable::new(vec![
-            "Method",
-            "Model (MB)",
-            "Imputed",
-            "Timeout",
-            "DeadEnd",
-            "StepLimit",
-            "Mean DTW (m)",
-            "Median DTW (m)",
-        ]);
-        let habit_errors = accuracy_dtw(&habit, &cases);
-        table.row(vec![
-            "HABIT r=10,t=100".to_string(),
-            fmt_mb(habit.storage_bytes()),
-            habit_errors.len().to_string(),
-            "-".into(),
-            "-".into(),
-            "-".into(),
-            fmt_m(mean(&habit_errors)),
-            fmt_m(median(&habit_errors)),
-        ]);
-        table.row(vec![
-            "PaLMTO n=3,r=10".to_string(),
-            fmt_mb(palmto.storage_bytes()),
-            ok.to_string(),
-            timeout.to_string(),
-            dead_end.to_string(),
-            step_limit.to_string(),
-            fmt_m(mean(&errors)),
-            fmt_m(median(&errors)),
-        ]);
-        println!("{}", table.render());
-        let failed = timeout + dead_end + step_limit;
-        println!(
-            "PaLMTO failed {failed}/{} queries ({} by timeout) — the behaviour that\n\
-             excluded it from the paper's reported results.\n",
-            cases.len(),
-            timeout
-        );
-    }
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let kiel = habit_bench::kiel();
+        let sar = habit_bench::sar();
+        habit_bench::reports::ablation_palmto_report(&kiel, &sar, habit_bench::SEED)
+    })
 }

@@ -5,46 +5,12 @@
 //! ablation compares the hop scheme against two frequency-aware weights
 //! on accuracy and latency.
 
-use eval::experiments::{accuracy_dtw, latency, Bench};
-use eval::methods::Imputer;
-use eval::report::{fmt_m, fmt_s, mean, median, MarkdownTable};
-use habit_core::{HabitConfig, WeightScheme};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Ablation — A* edge-weight schemes [KIEL & SAR]\n");
-    let seed = habit_bench::SEED;
-    for bench in [Bench::kiel(seed), Bench::sar(seed)] {
-        println!("## {}\n", bench.name);
-        let cases = bench.gap_cases(3600, seed);
-        let mut table = MarkdownTable::new(vec![
-            "Weight scheme",
-            "Mean DTW (m)",
-            "Median DTW (m)",
-            "Avg lat (s)",
-            "Max lat (s)",
-        ]);
-        for (scheme, label) in [
-            (WeightScheme::Hops, "Hops (paper)"),
-            (WeightScheme::InverseTransitions, "1/transitions"),
-            (WeightScheme::NegLogFrequency, "ln(1+max/transitions)"),
-        ] {
-            let config = HabitConfig {
-                weight_scheme: scheme,
-                ..HabitConfig::with_r_t(9, 100.0)
-            };
-            let Ok(imputer) = Imputer::fit_habit(&bench.train, config) else {
-                continue;
-            };
-            let errors = accuracy_dtw(&imputer, &cases);
-            let (avg, max, _) = latency(&imputer, &cases);
-            table.row(vec![
-                label.to_string(),
-                fmt_m(mean(&errors)),
-                fmt_m(median(&errors)),
-                fmt_s(avg),
-                fmt_s(max),
-            ]);
-        }
-        println!("{}", table.render());
-    }
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let kiel = habit_bench::kiel();
+        let sar = habit_bench::sar();
+        habit_bench::reports::ablation_weights_report(&kiel, &sar, habit_bench::SEED)
+    })
 }

@@ -1,185 +1,99 @@
-//! Runs every experiment in sequence (Tables 1–4, Figures 3–7) and
-//! prints one consolidated markdown report — the source for
-//! `EXPERIMENTS.md`. Expect several minutes at full scale.
+//! Runs every experiment (Tables 1–4, Figures 3–7, four ablations) and
+//! emits the consolidated report — the generator behind the committed
+//! `EXPERIMENTS.md` and `reports/*.json` baselines.
+//!
+//! ```text
+//! # Re-run everything; write reports/<id>.json + EXPERIMENTS.md:
+//! cargo run -p habit-bench --release --bin all_experiments -- --out-dir reports/
+//!
+//! # Re-render EXPERIMENTS.md from existing JSON without re-running
+//! # (CI's freshness check):
+//! cargo run -p habit-bench --release --bin all_experiments -- \
+//!     --render-only --out-dir reports/ --md-out /tmp/EXPERIMENTS.md
+//! ```
+//!
+//! Without `--out-dir` the markdown goes to stdout and nothing is
+//! persisted. Expect ~2 minutes at full scale in release mode; set
+//! `HABIT_EVAL_SCALE=0.05` for a smoke run.
 
-use eval::experiments::{self, Bench};
-use eval::report::{fmt_m, fmt_mb, fmt_s, MarkdownTable};
-use std::time::Instant;
+use eval::report::{render_experiments_md, ExperimentReport};
+use habit_bench::{reports, BinArgs};
+use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
-    let t0 = Instant::now();
-    let seed = habit_bench::SEED;
-    println!("# HABIT — consolidated experiment report");
-    println!(
-        "\n(seed {seed}, scale {}, generated by `all_experiments`)\n",
-        experiments::eval_scale()
-    );
-
-    // ---- Table 1.
-    println!("## Table 1 — dataset characteristics\n");
-    let mut t1 = MarkdownTable::new(vec![
-        "Dataset",
-        "Type",
-        "Size (MB)",
-        "Positions",
-        "Trips",
-        "Ships",
-    ]);
-    for r in experiments::table1(seed) {
-        t1.row(vec![
-            r.name,
-            r.vessel_types.to_string(),
-            fmt_mb(r.size_bytes),
-            r.positions.to_string(),
-            r.trips.to_string(),
-            r.ships.to_string(),
-        ]);
-    }
-    println!("{}", t1.render());
-
-    let dan = Bench::dan(seed);
-    let kiel = Bench::kiel(seed);
-    let sar = Bench::sar(seed);
-    eprintln!("[{}s] benches prepared", t0.elapsed().as_secs());
-
-    // ---- Figure 3.
-    println!("## Figure 3 — DTW vs resolution x projection [DAN]\n");
-    let mut f3 = MarkdownTable::new(vec![
-        "r",
-        "p",
-        "Mean DTW (m)",
-        "Median DTW (m)",
-        "Imputed/Total",
-    ]);
-    for r in experiments::fig3(&dan, seed) {
-        f3.row(vec![
-            r.resolution.to_string(),
-            r.projection.to_string(),
-            fmt_m(r.mean_dtw_m),
-            fmt_m(r.median_dtw_m),
-            format!("{}/{}", r.imputed, r.total),
-        ]);
-    }
-    println!("{}", f3.render());
-    eprintln!("[{}s] fig3 done", t0.elapsed().as_secs());
-
-    // ---- Table 2.
-    println!("## Table 2 — framework storage size (MB)\n");
-    let mut t2 = MarkdownTable::new(vec!["Method", "Configuration", "KIEL", "SAR"]);
-    for r in experiments::table2(&kiel, &sar) {
-        t2.row(vec![
-            r.method.to_string(),
-            r.config,
-            fmt_mb(r.kiel_bytes),
-            fmt_mb(r.sar_bytes),
-        ]);
-    }
-    println!("{}", t2.render());
-    eprintln!("[{}s] table2 done", t0.elapsed().as_secs());
-
-    // ---- Table 3 + Figure 4.
-    println!("## Table 3 — simplification effect [DAN]\n");
-    let (t3_rows, original) = experiments::table3(&dan, seed);
-    let mut t3 = MarkdownTable::new(vec!["r", "t", "cnt", "Avg rot", "Max rot", ">45deg"]);
-    for r in &t3_rows {
-        t3.row(vec![
-            r.resolution.to_string(),
-            format!("{:.0}", r.tolerance_m),
-            r.stats.count.to_string(),
-            format!("{:.2}", r.stats.avg_rot_deg),
-            format!("{:.2}", r.stats.max_rot_deg),
-            format!("{:.2}", r.stats.turns_over_45),
-        ]);
-    }
-    t3.row(vec![
-        "Original".into(),
-        "-".into(),
-        original.count.to_string(),
-        format!("{:.2}", original.avg_rot_deg),
-        format!("{:.2}", original.max_rot_deg),
-        format!("{:.2}", original.turns_over_45),
-    ]);
-    println!("{}", t3.render());
-
-    println!("## Figure 4 — DTW vs tolerance [DAN]\n");
-    let mut f4 = MarkdownTable::new(vec!["r", "t", "Mean DTW (m)", "Median DTW (m)"]);
-    for r in experiments::fig4(&dan, seed) {
-        f4.row(vec![
-            r.resolution.to_string(),
-            format!("{:.0}", r.tolerance_m),
-            fmt_m(r.mean_dtw_m),
-            fmt_m(r.median_dtw_m),
-        ]);
-    }
-    println!("{}", f4.render());
-    eprintln!("[{}s] table3/fig4 done", t0.elapsed().as_secs());
-
-    // ---- Figure 5.
-    println!("## Figure 5 — accuracy sensitivity [KIEL & SAR]\n");
-    for bench in [&kiel, &sar] {
-        println!("### {}\n", bench.name);
-        let mut f5 = MarkdownTable::new(vec![
-            "Method",
-            "Mean DTW (m)",
-            "Median DTW (m)",
-            "Failures",
-            "Gaps",
-        ]);
-        for r in experiments::fig5(bench, seed) {
-            f5.row(vec![
-                r.method,
-                fmt_m(r.mean_dtw_m),
-                fmt_m(r.median_dtw_m),
-                r.failures.to_string(),
-                r.total.to_string(),
-            ]);
+fn main() -> ExitCode {
+    let args = match BinArgs::parse_env() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e} (supported: --out-dir DIR, --md-out PATH, --render-only)");
+            return ExitCode::from(2);
         }
-        println!("{}", f5.render());
-    }
-    eprintln!("[{}s] fig5 done", t0.elapsed().as_secs());
+    };
 
-    // ---- Figure 7.
-    println!("## Figure 7 — DTW vs gap duration [KIEL & SAR]\n");
-    for bench in [&kiel, &sar] {
-        println!("### {}\n", bench.name);
-        let mut f7 = MarkdownTable::new(vec![
-            "Config (r|t)",
-            "Gap (h)",
-            "Median (m)",
-            "P25 (m)",
-            "P75 (m)",
-            "Max (m)",
-            "Imputed",
-        ]);
-        for r in experiments::fig7(bench, seed) {
-            f7.row(vec![
-                r.config,
-                format!("{:.0}", r.gap_hours),
-                fmt_m(r.median_dtw_m),
-                fmt_m(r.p25_m),
-                fmt_m(r.p75_m),
-                fmt_m(r.max_m),
-                r.imputed.to_string(),
-            ]);
+    let built: Vec<ExperimentReport> = if args.render_only {
+        let Some(dir) = &args.out_dir else {
+            eprintln!("error: --render-only needs --out-dir pointing at existing JSON reports");
+            return ExitCode::from(2);
+        };
+        match load_reports(dir) {
+            Ok(reports) => reports,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-        println!("{}", f7.render());
-    }
-    eprintln!("[{}s] fig7 done", t0.elapsed().as_secs());
+    } else {
+        let reports = match reports::all_reports(habit_bench::SEED) {
+            Ok(reports) => reports,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(dir) = &args.out_dir {
+            for report in &reports {
+                match habit_bench::write_report_json(report, dir) {
+                    Ok(path) => eprintln!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error: could not write JSON baseline: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        reports
+    };
 
-    // ---- Table 4.
-    println!("## Table 4 — query latency (s)\n");
-    for bench in [&kiel, &sar] {
-        let rows = experiments::table4(bench, seed);
-        println!(
-            "### {} ({} gaps)\n",
-            bench.name,
-            rows.first().map_or(0, |r| r.gaps)
-        );
-        let mut t4 = MarkdownTable::new(vec!["Method", "Avg", "Max"]);
-        for r in rows {
-            t4.row(vec![r.method, fmt_s(r.avg_s), fmt_s(r.max_s)]);
+    let refs: Vec<&ExperimentReport> = built.iter().collect();
+    let md = render_experiments_md(&refs);
+    // With --out-dir the document lands in a file (EXPERIMENTS.md unless
+    // --md-out overrides); without it, on stdout.
+    let target = match (&args.md_out, &args.out_dir) {
+        (Some(path), _) => Some(path.clone()),
+        (None, Some(_)) => Some("EXPERIMENTS.md".into()),
+        (None, None) => None,
+    };
+    match target {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &md) {
+                eprintln!("error: could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} ({} experiments)", path.display(), built.len());
         }
-        println!("{}", t4.render());
+        None => print!("{md}"),
     }
-    eprintln!("[{}s] all experiments done", t0.elapsed().as_secs());
+    ExitCode::SUCCESS
+}
+
+/// Loads every canonical report from `<dir>/<id>.json`.
+fn load_reports(dir: &Path) -> Result<Vec<ExperimentReport>, String> {
+    let mut out = Vec::new();
+    for id in reports::EXPERIMENT_ORDER {
+        let path = dir.join(format!("{id}.json"));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+        out.push(ExperimentReport::from_json(&text).map_err(|e| e.to_string())?);
+    }
+    Ok(out)
 }

@@ -6,33 +6,16 @@
 //! data-driven median projection beats the geometric center, especially
 //! at coarse resolutions.
 
-use eval::experiments::fig3;
-use eval::report::{fmt_m, MarkdownTable};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Figure 3 — HABIT DTW vs resolution x projection [DAN]\n");
-    let bench = habit_bench::dan();
-    eprintln!(
-        "dan: {} train trips, {} test trips",
-        bench.train.len(),
-        bench.test.len()
-    );
-    let rows = fig3(&bench, habit_bench::SEED);
-    let mut table = MarkdownTable::new(vec![
-        "r",
-        "p",
-        "Mean DTW (m)",
-        "Median DTW (m)",
-        "Imputed/Total",
-    ]);
-    for r in rows {
-        table.row(vec![
-            r.resolution.to_string(),
-            r.projection.to_string(),
-            fmt_m(r.mean_dtw_m),
-            fmt_m(r.median_dtw_m),
-            format!("{}/{}", r.imputed, r.total),
-        ]);
-    }
-    print!("{}", table.render());
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let dan = habit_bench::dan();
+        eprintln!(
+            "dan: {} train trips, {} test trips",
+            dan.train.len(),
+            dan.test.len()
+        );
+        habit_bench::reports::fig3_report(&dan, habit_bench::SEED)
+    })
 }

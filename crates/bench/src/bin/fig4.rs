@@ -4,21 +4,11 @@
 //! Paper shape to verify: accuracy is essentially flat in t (RDP removes
 //! points, not geometry).
 
-use eval::experiments::fig4;
-use eval::report::{fmt_m, MarkdownTable};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Figure 4 — HABIT DTW vs simplification tolerance [DAN]\n");
-    let bench = habit_bench::dan();
-    let rows = fig4(&bench, habit_bench::SEED);
-    let mut table = MarkdownTable::new(vec!["r", "t", "Mean DTW (m)", "Median DTW (m)"]);
-    for r in rows {
-        table.row(vec![
-            r.resolution.to_string(),
-            format!("{:.0}", r.tolerance_m),
-            fmt_m(r.mean_dtw_m),
-            fmt_m(r.median_dtw_m),
-        ]);
-    }
-    print!("{}", table.render());
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let dan = habit_bench::dan();
+        habit_bench::reports::fig4_report(&dan, habit_bench::SEED)
+    })
 }

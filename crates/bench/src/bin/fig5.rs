@@ -6,30 +6,12 @@
 //! accurate and both methods beat SLI clearly; on the heterogeneous SAR
 //! dataset HABIT is stable while GTI's mean degrades from outlier paths.
 
-use eval::experiments::fig5;
-use eval::report::{fmt_m, MarkdownTable};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Figure 5 — Accuracy sensitivity: HABIT vs GTI vs SLI [KIEL & SAR]\n");
-    for bench in [habit_bench::kiel(), habit_bench::sar()] {
-        let rows = fig5(&bench, habit_bench::SEED);
-        println!("## {}\n", bench.name);
-        let mut table = MarkdownTable::new(vec![
-            "Method",
-            "Mean DTW (m)",
-            "Median DTW (m)",
-            "Failures",
-            "Gaps",
-        ]);
-        for r in rows {
-            table.row(vec![
-                r.method,
-                fmt_m(r.mean_dtw_m),
-                fmt_m(r.median_dtw_m),
-                r.failures.to_string(),
-                r.total.to_string(),
-            ]);
-        }
-        println!("{}", table.render());
-    }
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let kiel = habit_bench::kiel();
+        let sar = habit_bench::sar();
+        habit_bench::reports::fig5_report(&kiel, &sar, habit_bench::SEED)
+    })
 }

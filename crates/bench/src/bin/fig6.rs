@@ -1,33 +1,54 @@
 //! Regenerates **Figure 6** — indicative imputation results: original
 //! path vs HABIT vs GTI vs SLI, rendered as ASCII maps (symbols: o =
-//! original, H = HABIT, G = GTI, S = SLI) plus machine-readable CSV
-//! polylines on stdout, and a GeoJSON `FeatureCollection` written next
-//! to the working directory (`fig6.geojson`) for GIS inspection.
+//! original, H = HABIT, G = GTI, S = SLI) plus machine-readable
+//! polylines, and a GeoJSON `FeatureCollection` written next to the
+//! working directory (`fig6.geojson`) for GIS inspection.
 
-use eval::experiments::fig6;
 use geo_kernel::geojson::{feature_collection, linestring_feature, PropValue};
-use habit_bench::ascii_map;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Figure 6 — Indicative imputation results [KIEL]\n");
-    let bench = habit_bench::kiel();
-    let cases = fig6(&bench, habit_bench::SEED, 3);
+fn main() -> ExitCode {
+    let args = match habit_bench::BinArgs::parse_env() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e} (supported: --out-dir DIR)");
+            return ExitCode::from(2);
+        }
+    };
+    if args.render_only || args.md_out.is_some() {
+        eprintln!(
+            "error: --render-only/--md-out are `all_experiments` flags (supported here: --out-dir DIR)"
+        );
+        return ExitCode::from(2);
+    }
+    let kiel = habit_bench::kiel();
+    let (report, cases) = match habit_bench::reports::fig6_report(&kiel, habit_bench::SEED, 3) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.to_markdown());
+    if let Some(dir) = &args.out_dir {
+        match habit_bench::write_report_json(&report, dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write JSON baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // GIS side artifact: every truth/imputed polyline as a LineString.
     let mut features: Vec<String> = Vec::new();
     for (i, case) in cases.iter().enumerate() {
-        println!("## Example {} (trip {})\n", i + 1, case.trip_id);
         let mut series: Vec<(&str, &[geo_kernel::GeoPoint])> =
             vec![("original", case.truth.as_slice())];
         for (label, path) in &case.paths {
             series.push((label.as_str(), path.as_slice()));
         }
-        println!("```\n{}```", ascii_map(&series, 72, 20));
-        println!("\npolylines (lon lat per vertex):\n");
         for (label, path) in &series {
-            let coords: Vec<String> = path
-                .iter()
-                .map(|p| format!("{:.5},{:.5}", p.lon, p.lat))
-                .collect();
-            println!("{label}: {}", coords.join(" "));
             features.push(linestring_feature(
                 path,
                 &[
@@ -37,11 +58,11 @@ fn main() {
                 ],
             ));
         }
-        println!();
     }
     let doc = feature_collection(features);
     match std::fs::write("fig6.geojson", &doc) {
         Ok(()) => eprintln!("wrote fig6.geojson ({} bytes)", doc.len()),
         Err(e) => eprintln!("could not write fig6.geojson: {e}"),
     }
+    ExitCode::SUCCESS
 }

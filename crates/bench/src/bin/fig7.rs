@@ -6,34 +6,12 @@
 //! proportionally; the config ranking stays consistent; SAR shows
 //! pronounced outliers (max column).
 
-use eval::experiments::fig7;
-use eval::report::{fmt_m, MarkdownTable};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Figure 7 — HABIT DTW vs gap duration [KIEL & SAR]\n");
-    for bench in [habit_bench::kiel(), habit_bench::sar()] {
-        println!("## {}\n", bench.name);
-        let rows = fig7(&bench, habit_bench::SEED);
-        let mut table = MarkdownTable::new(vec![
-            "Config (r|t)",
-            "Gap (h)",
-            "Median (m)",
-            "P25 (m)",
-            "P75 (m)",
-            "Max (m)",
-            "Imputed",
-        ]);
-        for r in rows {
-            table.row(vec![
-                r.config,
-                format!("{:.0}", r.gap_hours),
-                fmt_m(r.median_dtw_m),
-                fmt_m(r.p25_m),
-                fmt_m(r.p75_m),
-                fmt_m(r.max_m),
-                r.imputed.to_string(),
-            ]);
-        }
-        println!("{}", table.render());
-    }
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let kiel = habit_bench::kiel();
+        let sar = habit_bench::sar();
+        habit_bench::reports::fig7_report(&kiel, &sar, habit_bench::SEED)
+    })
 }

@@ -1,0 +1,67 @@
+//! Generates the repository `README.md` from live sources (the
+//! quickstart example and the `habit` CLI help text are embedded
+//! verbatim), so the front page cannot drift from the code.
+//!
+//! ```text
+//! cargo run -p habit-bench --release --bin gen_readme            # write README.md
+//! cargo run -p habit-bench --release --bin gen_readme -- --check # fail if stale
+//! ```
+//!
+//! Exit codes: 0 fresh/written, 1 stale or unwritable, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out: PathBuf = "README.md".into();
+    let mut check = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(path) => out = path.into(),
+                None => {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => check = true,
+            other => {
+                eprintln!("error: unknown flag `{other}` (supported: --out PATH, --check)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let rendered = habit_bench::docs::render_readme();
+    if check {
+        match std::fs::read_to_string(&out) {
+            Ok(committed) if committed == rendered => {
+                eprintln!("{} is fresh", out.display());
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!(
+                    "error: {} is stale — regenerate with `cargo run -p habit-bench --bin gen_readme`",
+                    out.display()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("error: could not read {}: {e}", out.display());
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match std::fs::write(&out, rendered) {
+            Ok(()) => {
+                eprintln!("wrote {}", out.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", out.display());
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

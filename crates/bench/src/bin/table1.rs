@@ -5,29 +5,8 @@
 //! 1,171,162 / 20,778 / 2,579. Our synthetic analogues are ~1:40 scale
 //! with the same structural ratios.
 
-use eval::experiments::table1;
-use eval::report::{fmt_mb, MarkdownTable};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Table 1 — Characteristics of the AIS datasets\n");
-    let rows = table1(habit_bench::SEED);
-    let mut table = MarkdownTable::new(vec![
-        "Dataset",
-        "Type",
-        "Size (MB)",
-        "Positions",
-        "Trips",
-        "Ships",
-    ]);
-    for r in rows {
-        table.row(vec![
-            r.name,
-            r.vessel_types.to_string(),
-            fmt_mb(r.size_bytes),
-            r.positions.to_string(),
-            r.trips.to_string(),
-            r.ships.to_string(),
-        ]);
-    }
-    print!("{}", table.render());
+fn main() -> ExitCode {
+    habit_bench::report_main(|| habit_bench::reports::table1_report(habit_bench::SEED))
 }

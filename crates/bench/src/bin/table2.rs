@@ -4,22 +4,12 @@
 //! (0.06–57 MB); GTI models are orders of magnitude larger and explode
 //! with rd.
 
-use eval::experiments::table2;
-use eval::report::{fmt_mb, MarkdownTable};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Table 2 — Framework storage size (MB)\n");
-    let kiel = habit_bench::kiel();
-    let sar = habit_bench::sar();
-    let rows = table2(&kiel, &sar);
-    let mut table = MarkdownTable::new(vec!["Method", "Configuration", "KIEL", "SAR"]);
-    for r in rows {
-        table.row(vec![
-            r.method.to_string(),
-            r.config,
-            fmt_mb(r.kiel_bytes),
-            fmt_mb(r.sar_bytes),
-        ]);
-    }
-    print!("{}", table.render());
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let kiel = habit_bench::kiel();
+        let sar = habit_bench::sar();
+        habit_bench::reports::table2_report(&kiel, &sar, habit_bench::SEED)
+    })
 }

@@ -5,31 +5,11 @@
 //! Paper shape to verify: larger t shrinks position counts drastically
 //! and nearly eliminates >45° turns; t in 100–250 is the sweet spot.
 
-use eval::experiments::table3;
-use eval::report::MarkdownTable;
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Table 3 — Effect of simplification on imputed trajectories [DAN]\n");
-    let bench = habit_bench::dan();
-    let (rows, original) = table3(&bench, habit_bench::SEED);
-    let mut table = MarkdownTable::new(vec!["r", "t", "cnt", "Avg rot", "Max rot", ">45deg"]);
-    for r in rows {
-        table.row(vec![
-            r.resolution.to_string(),
-            format!("{:.0}", r.tolerance_m),
-            r.stats.count.to_string(),
-            format!("{:.2}", r.stats.avg_rot_deg),
-            format!("{:.2}", r.stats.max_rot_deg),
-            format!("{:.2}", r.stats.turns_over_45),
-        ]);
-    }
-    table.row(vec![
-        "Original".to_string(),
-        "-".to_string(),
-        original.count.to_string(),
-        format!("{:.2}", original.avg_rot_deg),
-        format!("{:.2}", original.max_rot_deg),
-        format!("{:.2}", original.turns_over_45),
-    ]);
-    print!("{}", table.render());
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let dan = habit_bench::dan();
+        habit_bench::reports::table3_report(&dan, habit_bench::SEED)
+    })
 }

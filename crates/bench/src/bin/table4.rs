@@ -5,22 +5,12 @@
 //! configuration; latency grows with resolution (HABIT) and rd (GTI);
 //! SAR is slower than KIEL for GTI.
 
-use eval::experiments::table4;
-use eval::report::{fmt_s, MarkdownTable};
+use std::process::ExitCode;
 
-fn main() {
-    println!("# Table 4 — Query latency (seconds)\n");
-    for bench in [habit_bench::kiel(), habit_bench::sar()] {
-        let rows = table4(&bench, habit_bench::SEED);
-        println!(
-            "## {} ({} gaps)\n",
-            bench.name,
-            rows.first().map_or(0, |r| r.gaps)
-        );
-        let mut table = MarkdownTable::new(vec!["Method", "Avg", "Max"]);
-        for r in rows {
-            table.row(vec![r.method, fmt_s(r.avg_s), fmt_s(r.max_s)]);
-        }
-        println!("{}", table.render());
-    }
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let kiel = habit_bench::kiel();
+        let sar = habit_bench::sar();
+        habit_bench::reports::table4_report(&kiel, &sar, habit_bench::SEED)
+    })
 }

@@ -1,0 +1,183 @@
+//! Generated repository documentation.
+//!
+//! `README.md` is generated, not hand-written, so it cannot drift from
+//! the code: the quickstart section embeds `examples/quickstart.rs`
+//! verbatim via `include_str!`, the CLI section embeds the `habit`
+//! binary's live `help_text()`, and CI re-renders the file and fails if
+//! the committed copy is stale (`gen_readme --check`).
+
+/// The `examples/quickstart.rs` source, embedded at compile time.
+pub const QUICKSTART_SRC: &str = include_str!("../../../examples/quickstart.rs");
+
+/// Renders the repository `README.md`.
+pub fn render_readme() -> String {
+    format!(
+        r#"# HABIT — Data-Driven Trajectory Imputation for Vessel Mobility Analysis
+
+<!-- GENERATED FILE — do not edit by hand.
+Regenerate:
+
+    cargo run -p habit-bench --release --bin gen_readme
+
+CI runs `gen_readme --check` and fails when this file is stale. -->
+
+A from-scratch Rust reproduction of **"Data-Driven Trajectory Imputation
+for Vessel Mobility Analysis"** (EDBT 2026): HABIT fills AIS
+communication gaps by aggregating historical vessel traffic into an
+H3-style hexagonal cell graph and A*-searching the habitually most
+frequent path between the gap endpoints, then projecting cells back to
+coordinates with a data-driven median projection and RDP simplification.
+
+The workspace builds fully offline — external dependencies (`rand`,
+`proptest`, `criterion`) are vendored as API-compatible stubs under
+`vendor/`, and report/GeoJSON serialization is hand-rolled (no serde).
+
+## Architecture
+
+Twelve crates in six layers, plus the `habit` umbrella crate re-exporting
+a prelude:
+
+```text
+             ┌──────────────────────────────────────────────────┐
+             │          habit — umbrella crate + prelude        │
+             └──────────────────────────────────────────────────┘
+ apps        habit-cli (`habit` binary)   habit-bench (14 experiment bins)
+             ────────────────────────────────────────────────────
+ evaluation  eval (DTW, gap injection,    density (traffic density
+             splits, experiment reports)  maps & rendering)
+             ────────────────────────────────────────────────────
+ methods     habit-core (HABIT model:     baselines (SLI, GTI,
+             fit / impute / repair)       PaLMTO competitors)
+             ────────────────────────────────────────────────────
+ substrate   aggdb (columnar group-by,    mobgraph (cell transition
+             HLL, P² quantiles)           graph + A* search)
+             ────────────────────────────────────────────────────
+ kernel      geo-kernel (geodesy, DTW,    hexgrid (H3-style hexagonal
+             RDP, GeoJSON)                indexing)
+             ────────────────────────────────────────────────────
+ data        ais (cleaning, events,       synth (synthetic AIS worlds:
+             trip segmentation)           DAN / KIEL / SAR analogues)
+```
+
+| crate | role |
+|-------|------|
+| `crates/geo` (`geo-kernel`) | geodesic primitives: haversine, bearings, RDP simplification, polylines, GeoJSON writers |
+| `crates/hexgrid` | H3-style hexagonal grid: cell ids, lat/lon↔cell, neighbors, polygon cover |
+| `crates/aggdb` | columnar aggregation substrate: tables, group-by, HyperLogLog, P² quantiles |
+| `crates/mobgraph` | mobility graph: per-cell stats, transition edges, A* search, compact codec |
+| `crates/ais` | AIS data model, cleaning filters, mobility events, trip segmentation |
+| `crates/synth` | seeded synthetic AIS datasets mirroring the paper's DAN / KIEL / SAR feeds |
+| `crates/core` (`habit-core`) | the HABIT method: fit, gap imputation, track repair, fleet models |
+| `crates/baselines` | competitors: SLI straight-line, GTI point-graph, PaLMTO N-gram |
+| `crates/density` | traffic density maps and exports built on the same substrate |
+| `crates/eval` | experiment harness: DTW accuracy, gap cases, experiment runners, `ExperimentReport` |
+| `crates/cli` (`habit-cli`) | the `habit` command-line tool |
+| `crates/bench` (`habit-bench`) | experiment binaries, criterion benches, report/README generators |
+
+## Quickstart
+
+```sh
+cargo run --release --example quickstart
+```
+
+<details>
+<summary><code>examples/quickstart.rs</code> — dataset → fit → impute → evaluate (embedded verbatim)</summary>
+
+```rust
+{quickstart}```
+
+</details>
+
+More examples: `compare_methods`, `density_map`, `fleet_types`,
+`port_traffic` (`cargo run --release --example <name>`).
+
+## The `habit` CLI
+
+```text
+{help}
+```
+
+## Reproducing the paper's evaluation
+
+Every table and figure of the paper's §4 (plus four ablations) has a
+runnable binary; [`EXPERIMENTS.md`](EXPERIMENTS.md) is the committed
+baseline, generated — never hand-edited:
+
+```sh
+# Re-run everything and regenerate reports/*.json + EXPERIMENTS.md
+# (~2 minutes in release mode at full scale):
+cargo run -p habit-bench --release --bin all_experiments -- --out-dir reports/
+
+# Re-render EXPERIMENTS.md from the committed JSON without re-running:
+cargo run -p habit-bench --release --bin all_experiments -- --render-only --out-dir reports/
+
+# One experiment, e.g. Figure 5:
+cargo run -p habit-bench --release --bin fig5
+
+# Criterion micro-benchmarks:
+cargo bench
+```
+
+Each `reports/<id>.json` is a versioned `habit-experiment-report/v1`
+document carrying the experiment's paper reference, parameters, metric
+tables, and wall-clock / peak-RSS provenance; CI re-renders
+`EXPERIMENTS.md` from them and fails on drift, so the committed numbers
+always match the committed generator.
+
+Set `HABIT_EVAL_SCALE` (default `1.0`) to shrink the synthetic datasets
+for quick smoke runs, e.g. `HABIT_EVAL_SCALE=0.05`. Datasets are seeded
+synthetic analogues of the paper's real AIS feeds, so absolute numbers
+differ from the paper while the comparative shapes it argues from are
+preserved (see the paper-vs-reproduction table in `EXPERIMENTS.md`).
+
+## Development
+
+```sh
+cargo build --release && cargo test -q   # tier-1 gate
+cargo fmt --all --check && cargo clippy --workspace --all-targets
+```
+
+See [ROADMAP.md](ROADMAP.md) for open items, [PAPER.md](PAPER.md) for
+the source paper's abstract, [PAPERS.md](PAPERS.md) for related work,
+and [CHANGES.md](CHANGES.md) for the PR history.
+"#,
+        quickstart = QUICKSTART_SRC,
+        help = habit_cli::commands::help_text(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readme_embeds_live_sources() {
+        let md = render_readme();
+        assert!(md.starts_with("# HABIT"));
+        assert!(md.contains("GENERATED FILE"));
+        // Quickstart is embedded verbatim, so README freshness tracks it.
+        assert!(md.contains("fn main()"));
+        assert!(md.contains(QUICKSTART_SRC));
+        // The CLI section embeds the live help text.
+        assert!(md.contains("USAGE: habit <command>"));
+        // All 12 crates appear in the table.
+        for krate in [
+            "geo-kernel",
+            "hexgrid",
+            "aggdb",
+            "mobgraph",
+            "ais",
+            "synth",
+            "habit-core",
+            "baselines",
+            "density",
+            "eval",
+            "habit-cli",
+            "habit-bench",
+        ] {
+            assert!(md.contains(krate), "README must mention {krate}");
+        }
+        // Deterministic render.
+        assert_eq!(md, render_readme());
+    }
+}

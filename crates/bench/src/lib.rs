@@ -12,11 +12,20 @@
 //! | `fig3`   | Figure 3 — accuracy vs resolution × projection |
 //! | `fig4`   | Figure 4 — accuracy vs tolerance |
 //! | `fig5`   | Figure 5 — accuracy sensitivity vs GTI/SLI |
-//! | `fig6`   | Figure 6 — qualitative examples (ASCII map + CSV) |
+//! | `fig6`   | Figure 6 — qualitative examples (ASCII map + GeoJSON) |
 //! | `fig7`   | Figure 7 — accuracy vs gap duration |
-//! | `all_experiments` | everything above in sequence |
 //! | `ablation_weights` | DESIGN.md §5 — A* edge-weight schemes |
 //! | `ablation_medians` | DESIGN.md §5 — exact vs P² medians, HLL precision |
+//! | `ablation_palmto`  | the paper's dropped competitor, reproduced |
+//! | `ablation_fleet`   | vessel-type conditioning (paper future work) |
+//! | `all_experiments`  | everything above; writes `reports/*.json` + `EXPERIMENTS.md` |
+//!
+//! Every binary builds a structured [`eval::ExperimentReport`] via
+//! [`reports`], prints its markdown, and with `--out-dir DIR` persists
+//! the JSON baseline. `all_experiments --out-dir reports/` regenerates
+//! the committed `EXPERIMENTS.md`; `--render-only` re-renders it from
+//! the checked-in JSON without re-running anything (the CI freshness
+//! check). [`docs`] generates `README.md` the same way (`gen_readme`).
 //!
 //! Criterion micro-benchmarks live in `benches/` (`cargo bench`).
 //!
@@ -24,6 +33,12 @@
 //! runs; seeds are fixed so outputs are reproducible.
 
 use eval::experiments::Bench;
+use eval::report::{ExperimentReport, ReportError};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+pub mod docs;
+pub mod reports;
 
 /// Common seed for all experiment binaries.
 pub const SEED: u64 = 42;
@@ -41,6 +56,93 @@ pub fn kiel() -> Bench {
 /// Prepares the SAR bench with the shared seed.
 pub fn sar() -> Bench {
     Bench::sar(SEED)
+}
+
+/// Flags shared by every experiment binary.
+#[derive(Debug, Default)]
+pub struct BinArgs {
+    /// `--out-dir DIR` — persist `<id>.json` baselines here.
+    pub out_dir: Option<PathBuf>,
+    /// `--render-only` — re-render from existing JSON, run nothing
+    /// (`all_experiments` only).
+    pub render_only: bool,
+    /// `--md-out PATH` — where `all_experiments` writes the generated
+    /// `EXPERIMENTS.md` (default `EXPERIMENTS.md` when `--out-dir` is
+    /// given).
+    pub md_out: Option<PathBuf>,
+}
+
+impl BinArgs {
+    /// Parses the process arguments; errors on anything unrecognized.
+    pub fn parse_env() -> Result<Self, String> {
+        let mut out = BinArgs::default();
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--out-dir" => {
+                    let dir = iter.next().ok_or("--out-dir needs a directory")?;
+                    out.out_dir = Some(PathBuf::from(dir));
+                }
+                "--md-out" => {
+                    let path = iter.next().ok_or("--md-out needs a path")?;
+                    out.md_out = Some(PathBuf::from(path));
+                }
+                "--render-only" => out.render_only = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Writes one report's JSON baseline as `<out_dir>/<id>.json`.
+pub fn write_report_json(report: &ExperimentReport, out_dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{}.json", report.id));
+    std::fs::write(&path, report.to_json())?;
+    Ok(path)
+}
+
+/// Shared `main` for single-experiment binaries: builds the report,
+/// prints its markdown to stdout, and honours `--out-dir`. Exit codes
+/// follow the `habit` CLI convention: 0 success, 1 experiment failure,
+/// 2 usage error.
+pub fn report_main<F>(build: F) -> ExitCode
+where
+    F: FnOnce() -> Result<ExperimentReport, ReportError>,
+{
+    let args = match BinArgs::parse_env() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e} (supported: --out-dir DIR)");
+            return ExitCode::from(2);
+        }
+    };
+    if args.render_only || args.md_out.is_some() {
+        eprintln!(
+            "error: --render-only/--md-out are `all_experiments` flags (supported here: --out-dir DIR)"
+        );
+        return ExitCode::from(2);
+    }
+    match build() {
+        Ok(report) => {
+            print!("{}", report.to_markdown());
+            if let Some(dir) = &args.out_dir {
+                match write_report_json(&report, dir) {
+                    Ok(path) => eprintln!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error: could not write JSON baseline: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Renders a polyline set as a coarse ASCII map (used by `fig6`).

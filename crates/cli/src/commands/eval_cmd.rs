@@ -74,7 +74,7 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
             fmt_mb(m.storage_bytes()),
             fmt_s(avg),
             fmt_s(max),
-        ]);
+        ])?;
     }
     println!("{}", table.render());
     Ok(())

@@ -27,8 +27,17 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
             println!("{}", help_text());
             Ok(())
         }
+        "version" | "--version" | "-V" => {
+            println!("habit {}", version());
+            Ok(())
+        }
         other => Err(format!("unknown command `{other}` (try `habit help`)").into()),
     }
+}
+
+/// The crate version the binary was built from.
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
 }
 
 /// The `habit help` text.
@@ -56,6 +65,28 @@ COMMANDS
            --input FILE  --out FILE  [--resolution 1..15]
            [--format geojson|csv] [--model FILE] [--preview]
   help     this text
+  version  print the habit version (also --version / -V)
+
+EXAMPLES
+  # Synthesize a small KIEL-style corridor, fit a model, inspect it:
+  habit synth --dataset kiel --scale 0.3 --seed 42 --out kiel.csv
+  habit fit --input kiel.csv --resolution 9 --tolerance 100 --out kiel.habit
+  habit info --model kiel.habit
+
+  # Impute one 60-minute gap (from/to are lon,lat,t triples):
+  habit impute --model kiel.habit --from 10.30,57.10,0 --to 10.85,57.45,3600
+
+  # Repair every gap in a single-vessel track, then export a density map:
+  habit repair --model kiel.habit --input track.csv --out repaired.csv
+  habit export --input kiel.csv --resolution 8 --format geojson --out density.geojson
+
+  # Quick accuracy/latency comparison on a synthetic dataset:
+  habit eval --dataset sar --scale 0.2 --gap 60
+
+EXIT CODES (shell-friendly, stable)
+  0  success
+  1  runtime failure (bad input file, no path found, I/O error)
+  2  usage error (unknown command/flag, missing or unparsable value)
 
 Formats: AIS CSV = mmsi,t,lon,lat[,sog,cog,heading]; track CSV = t,lon,lat.
 Model files are HABIT's compact binary blobs (`fit` output)."
@@ -77,5 +108,29 @@ mod tests {
         let args = Args::parse(["help".to_string()]).unwrap();
         assert!(dispatch(&args).is_ok());
         assert!(help_text().contains("impute"));
+    }
+
+    #[test]
+    fn help_documents_examples_and_exit_codes() {
+        let text = help_text();
+        assert!(text.contains("EXAMPLES"));
+        assert!(text.contains("habit fit --input kiel.csv"));
+        assert!(text.contains("EXIT CODES"));
+        assert!(text.contains("2  usage error"));
+        assert!(text.contains("version"));
+    }
+
+    #[test]
+    fn version_runs_under_all_spellings() {
+        for spelling in ["version", "--version", "-V"] {
+            let args = Args::parse([spelling.to_string()]).unwrap();
+            assert!(dispatch(&args).is_ok(), "{spelling}");
+        }
+        assert!(!version().is_empty());
+        assert!(
+            version().split('.').count() >= 2,
+            "semver-ish: {}",
+            version()
+        );
     }
 }

@@ -3,11 +3,40 @@
 //! The binary (`src/main.rs`) is a thin wrapper over this crate so that
 //! argument parsing, CSV I/O and every subcommand stay unit-testable:
 //!
-//! * [`args`] — the minimal `--flag value` parser;
+//! * [`args`] — the minimal `--flag value` parser (hand-rolled; the
+//!   offline workspace has no CLI dependency);
 //! * [`io`] — AIS CSV ↔ [`ais::Trajectory`] and track CSV ↔
 //!   [`geo_kernel::TimedPoint`] conversions;
 //! * [`commands`] — one module per subcommand (`synth`, `fit`, `impute`,
-//!   `repair`, `info`, `eval`) plus the dispatcher.
+//!   `repair`, `info`, `eval`, `export`) plus the dispatcher,
+//!   [`commands::help_text`] (usage, worked examples, exit codes) and
+//!   [`commands::version`].
+//!
+//! ## Exit codes
+//!
+//! The binary's exit codes are stable and shell-friendly — scripts may
+//! branch on them:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success |
+//! | 1 | runtime failure: bad input file, no imputable path, I/O error |
+//! | 2 | usage error: unknown command or flag, missing/unparsable value |
+//!
+//! Usage errors print the offending flag and the full help text to
+//! stderr; runtime failures print a one-line `error: …` diagnostic.
+//! The same convention is shared by the `habit-bench` experiment
+//! binaries.
+//!
+//! ## Typical session
+//!
+//! ```text
+//! habit synth  --dataset kiel --scale 0.3 --out kiel.csv
+//! habit fit    --input kiel.csv --resolution 9 --tolerance 100 --out kiel.habit
+//! habit impute --model kiel.habit --from 10.30,57.10,0 --to 10.85,57.45,3600
+//! ```
+//!
+//! Run `habit help` for the complete command reference.
 
 pub mod args;
 pub mod commands;

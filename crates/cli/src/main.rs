@@ -11,6 +11,9 @@
 //! habit repair --model kiel.habit --input track.csv --out repaired.csv
 //! habit eval   --dataset sar --scale 0.2
 //! ```
+//!
+//! Exit codes are stable for shell use: 0 success, 1 runtime failure,
+//! 2 usage error (see `habit help` or the `habit_cli` crate docs).
 
 use habit_cli::{args, commands};
 use std::process::ExitCode;

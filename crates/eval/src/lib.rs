@@ -1,18 +1,43 @@
 //! # eval — the paper's experimental harness
 //!
-//! Everything needed to regenerate the evaluation section (§4):
+//! Everything needed to regenerate the evaluation section (§4) of
+//! *Data-Driven Trajectory Imputation for Vessel Mobility Analysis* and
+//! keep the recorded baselines honest:
 //!
 //! * [`dtw`] — Dynamic Time Warping accuracy metric with the paper's
 //!   ≤ 250 m resampling;
 //! * [`rot`] — rate-of-turn / navigability statistics (Table 3);
 //! * [`gaps`] — synthetic gap injection of fixed durations (60/120/240
 //!   minutes) placed randomly within test trips;
-//! * [`split`] — the 70 % / 30 % train/test trip split;
+//! * [`split`] — the 70 % / 30 % train/test trip split, stratified by
+//!   course so miniature smoke datasets keep both travel directions;
 //! * [`methods`] — a uniform [`methods::Imputer`] facade over
 //!   HABIT, GTI, SLI and PaLMTO;
 //! * [`experiments`] — one runner per paper table/figure, producing
-//!   structured rows;
-//! * [`report`] — markdown rendering of experiment outputs.
+//!   structured rows from a prepared [`experiments::Bench`];
+//! * [`report`] — the [`report::ExperimentReport`] model every
+//!   experiment binary returns: paper reference, parameters, metric
+//!   tables, wall-clock + peak-RSS provenance, with markdown *and*
+//!   JSON serializers (`EXPERIMENTS.md` and `reports/*.json` are both
+//!   generated from it);
+//! * [`json`] — the dependency-free JSON reader/writer behind report
+//!   persistence (the workspace builds offline; there is no serde).
+//!
+//! ## Report lifecycle
+//!
+//! ```text
+//! experiments::fig3(&bench)          structured rows
+//!        │ habit-bench reports builder
+//!        ▼
+//! report::ExperimentReport           id, paper_ref, params, tables,
+//!        │                           provenance (wall clock, peak RSS)
+//!        ├── to_json()      →  reports/fig3.json      (CI baseline)
+//!        └── to_markdown()  →  one EXPERIMENTS.md section
+//! ```
+//!
+//! `reports/*.json` is the source of truth: `EXPERIMENTS.md` is
+//! regenerated from it byte-identically (`all_experiments
+//! --render-only`), which is what CI diffs to detect drift.
 //!
 //! Binaries under `crates/bench/src/bin/` call into this crate; run e.g.
 //! `cargo run -p habit-bench --release --bin fig5`.
@@ -20,6 +45,7 @@
 pub mod dtw;
 pub mod experiments;
 pub mod gaps;
+pub mod json;
 pub mod methods;
 pub mod report;
 pub mod rot;
@@ -28,5 +54,6 @@ pub mod split;
 pub use dtw::{dtw_mean_m, resampled_dtw_m, DTW_RESAMPLE_M};
 pub use gaps::{inject_gap, GapCase};
 pub use methods::{Imputer, MethodOutput};
+pub use report::{ExperimentReport, MarkdownTable, Provenance, ReportError, ReportSection};
 pub use rot::{rot_stats, RotStats};
 pub use split::split_trips;

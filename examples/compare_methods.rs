@@ -57,15 +57,17 @@ fn main() {
     for m in &methods {
         let errors = accuracy_dtw(m, &cases);
         let (avg_s, max_s, failures) = latency(m, &cases);
-        table.row(vec![
-            m.label().to_string(),
-            fmt_m(mean(&errors)),
-            fmt_m(median(&errors)),
-            failures.to_string(),
-            fmt_mb(m.storage_bytes()),
-            fmt_s(avg_s),
-            fmt_s(max_s),
-        ]);
+        table
+            .row(vec![
+                m.label().to_string(),
+                fmt_m(mean(&errors)),
+                fmt_m(median(&errors)),
+                failures.to_string(),
+                fmt_mb(m.storage_bytes()),
+                fmt_s(avg_s),
+                fmt_s(max_s),
+            ])
+            .expect("row arity matches header");
     }
     println!("{}", table.render());
 

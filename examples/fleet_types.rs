@@ -103,14 +103,16 @@ fn main() {
     types.sort();
     for vtype in types {
         let (fleet_e, global_e) = &per_type_errors[*vtype];
-        table.row(vec![
-            vtype.to_string(),
-            fleet_e.len().to_string(),
-            fmt_m(mean(fleet_e)),
-            fmt_m(median(fleet_e)),
-            fmt_m(mean(global_e)),
-            fmt_m(median(global_e)),
-        ]);
+        table
+            .row(vec![
+                vtype.to_string(),
+                fleet_e.len().to_string(),
+                fmt_m(mean(fleet_e)),
+                fmt_m(median(fleet_e)),
+                fmt_m(mean(global_e)),
+                fmt_m(median(global_e)),
+            ])
+            .expect("row arity matches header");
     }
     println!("{}", table.render());
     println!(

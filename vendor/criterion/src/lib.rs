@@ -273,6 +273,7 @@ pub fn black_box<T>(x: T) -> T {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs this group's bench targets (generated by `criterion_group!`).
         pub fn $name() {
             let mut criterion = $config;
             $($target(&mut criterion);)+
