@@ -39,7 +39,7 @@ pub enum Agg {
 }
 
 /// A named aggregate over an input column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AggSpec {
     /// Input column name (ignored for [`Agg::Count`]).
     pub column: String,
@@ -61,7 +61,10 @@ impl AggSpec {
 }
 
 /// Per-group accumulator.
-enum Acc {
+///
+/// Crate-visible so [`crate::partial`] can hold un-finished accumulators
+/// and merge them across shards.
+pub(crate) enum Acc {
     Count(u64),
     Hll(HyperLogLog),
     Exact(crate::fxhash::FxHashSet<Value>),
@@ -82,7 +85,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(func: Agg) -> Self {
+    pub(crate) fn new(func: Agg) -> Self {
         match func {
             Agg::Count | Agg::CountNonNull => Acc::Count(0),
             Agg::CountDistinctApprox => Acc::Hll(HyperLogLog::default_precision()),
@@ -109,7 +112,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, func: Agg, col: &Column, row: usize) {
+    pub(crate) fn update(&mut self, func: Agg, col: &Column, row: usize) {
         let valid = col.is_valid(row);
         match self {
             Acc::Count(n) => {
@@ -168,7 +171,46 @@ impl Acc {
         }
     }
 
-    fn finish(self) -> Value {
+    /// Absorbs another accumulator of the same variant — the shard-merge
+    /// step of [`crate::partial::PartialGroupBy`]. For every aggregate the
+    /// merged result equals running the aggregate over the concatenated
+    /// inputs: counts and sums add, HLL registers take the element-wise
+    /// max, distinct sets union, and median value buffers concatenate
+    /// (the median sorts, so buffer order is irrelevant).
+    pub(crate) fn merge(&mut self, other: Acc) {
+        match (self, other) {
+            (Acc::Count(n), Acc::Count(m)) => *n += m,
+            (Acc::Hll(h), Acc::Hll(o)) => h.merge(&o),
+            (Acc::Exact(s), Acc::Exact(o)) => s.extend(o),
+            (Acc::Values(v), Acc::Values(o)) => v.extend(o),
+            (Acc::Mean { sum, n }, Acc::Mean { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (Acc::MinMax { best, is_min }, Acc::MinMax { best: b2, .. }) => {
+                if let Some(x) = b2 {
+                    *best = Some(match *best {
+                        None => x,
+                        Some(b) if *is_min => b.min(x),
+                        Some(b) => b.max(x),
+                    });
+                }
+            }
+            (Acc::Sum(s), Acc::Sum(o)) => *s += o,
+            (Acc::FirstLast { value, keep_first }, Acc::FirstLast { value: v2, .. }) => {
+                if *keep_first {
+                    if value.is_none() {
+                        *value = v2;
+                    }
+                } else if v2.is_some() {
+                    *value = v2;
+                }
+            }
+            _ => debug_assert!(false, "mismatched accumulator variants"),
+        }
+    }
+
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::UInt(n),
             Acc::Hll(h) => Value::UInt(h.count()),
@@ -192,62 +234,18 @@ impl Table {
     /// SQL-style `GROUP BY`: groups rows by `keys` and evaluates `aggs`
     /// within each group. The output table has the key columns followed by
     /// one column per aggregate, with groups in first-appearance order.
+    ///
+    /// This is `group_by_partial(...).finish()` — one accumulation
+    /// pipeline serves both the sequential and the sharded path, so the
+    /// two can never diverge (the bit-exactness contract `habit-engine`'s
+    /// byte-identical sharded fit rests on).
     pub fn group_by(&self, keys: &[&str], aggs: &[AggSpec]) -> Result<Table, AggError> {
-        // Validate aggregate input columns up front.
-        for spec in aggs {
-            if spec.func != Agg::Count {
-                self.column_by_name(&spec.column)?;
-            }
-        }
-        let (key_table, groups) = self.group_rows(keys)?;
-
-        let agg_cols: Vec<Option<&Column>> = aggs
-            .iter()
-            .map(|spec| {
-                if spec.func == Agg::Count {
-                    None
-                } else {
-                    Some(self.column_by_name(&spec.column).expect("validated"))
-                }
-            })
-            .collect();
-
-        // One accumulator per (group, aggregate).
-        let mut out_values: Vec<Vec<Value>> = vec![Vec::with_capacity(groups.len()); aggs.len()];
-        for rows in &groups {
-            for (ai, spec) in aggs.iter().enumerate() {
-                let mut acc = Acc::new(spec.func);
-                // `Count` has no input column; reuse the first key column
-                // for row iteration bounds only.
-                match agg_cols[ai] {
-                    Some(col) => {
-                        for &row in rows {
-                            acc.update(spec.func, col, row);
-                        }
-                    }
-                    None => {
-                        if let Acc::Count(n) = &mut acc {
-                            *n = rows.len() as u64;
-                        }
-                    }
-                }
-                out_values[ai].push(acc.finish());
-            }
-        }
-
-        // Assemble: key columns + aggregate columns.
-        let mut result = key_table;
-        for (ai, spec) in aggs.iter().enumerate() {
-            let values = std::mem::take(&mut out_values[ai]);
-            let col = column_from_values(values);
-            result = result.with_column(&spec.alias, col)?;
-        }
-        Ok(result)
+        self.group_by_partial(keys, aggs)?.finish()
     }
 }
 
 /// Infers a column type from dynamic values (first non-null wins).
-fn column_from_values(values: Vec<Value>) -> Column {
+pub(crate) fn column_from_values(values: Vec<Value>) -> Column {
     use crate::value::DataType;
     let dtype = values
         .iter()

@@ -15,6 +15,9 @@
 //!   `min`/`max`/`sum`/`mean`/`first`/`last`;
 //! * [`window::lag_over`] — the windowed `lag(...) OVER (PARTITION BY trip
 //!   ORDER BY ts)` step;
+//! * [`partial::PartialGroupBy`] — mergeable partial aggregates
+//!   (count / distinct / median / …) so sharded group-bys can run in
+//!   parallel and merge deterministically (`habit-engine`'s fit seam);
 //! * [`csv`] — buffered CSV import/export with type inference;
 //! * [`query::Query`] — a small fluent pipeline (filter → sort → group)
 //!   mirroring how the paper's CTE is phrased.
@@ -30,6 +33,7 @@ pub mod csv;
 pub mod error;
 pub mod fxhash;
 pub mod hll;
+pub mod partial;
 pub mod quantile;
 pub mod query;
 pub mod table;
@@ -44,5 +48,6 @@ pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData};
 pub use error::AggError;
 pub use hll::HyperLogLog;
+pub use partial::PartialGroupBy;
 pub use table::{Field, Schema, Table};
 pub use value::{DataType, Value};

@@ -1,0 +1,295 @@
+//! Mergeable partial aggregation — the shard seam of `group_by`.
+//!
+//! `habit-engine` partitions the trip table by spatial tile and runs the
+//! graph-generation group-bys shard by shard, in parallel. Each shard
+//! produces a [`PartialGroupBy`]: the group keys it saw plus one
+//! *un-finished* accumulator per `(group, aggregate)`. Partials merge
+//! associatively in deterministic shard order, and [`PartialGroupBy::finish`]
+//! then produces the table a single [`Table::group_by`] over the
+//! concatenated input would have produced. The merge is **bit-exact** for
+//! `count` / `count distinct` (exact and HLL) / `median` / `min` / `max` /
+//! `first` / `last` — everything HABIT's graph generation aggregates —
+//! and exact up to floating-point summation order for `sum` / `mean`
+//! (shard-tree addition instead of left-to-right).
+//!
+//! Determinism contract: merging shards `0, 1, …, n-1` in order yields
+//! groups in first-appearance-across-shards order; use
+//! [`PartialGroupBy::finish_sorted`] to erase even that order and get the
+//! canonical key-sorted table regardless of how the input was sharded.
+
+use crate::agg::{column_from_values, Acc, Agg, AggSpec};
+use crate::error::AggError;
+use crate::fxhash::FxHashMap;
+use crate::table::{Field, Schema, Table};
+use crate::value::Value;
+
+/// Partially aggregated groups: keys plus mergeable accumulators.
+pub struct PartialGroupBy {
+    specs: Vec<AggSpec>,
+    key_fields: Vec<Field>,
+    /// Group keys in first-appearance order.
+    keys: Vec<Vec<Value>>,
+    index: FxHashMap<Vec<Value>, usize>,
+    /// One accumulator per (group, aggregate spec).
+    accs: Vec<Vec<Acc>>,
+}
+
+impl Table {
+    /// Like [`Table::group_by`], but stops before finishing the
+    /// accumulators so the result can be merged with other partials
+    /// (shards) first.
+    pub fn group_by_partial(
+        &self,
+        keys: &[&str],
+        aggs: &[AggSpec],
+    ) -> Result<PartialGroupBy, AggError> {
+        for spec in aggs {
+            if spec.func != Agg::Count {
+                self.column_by_name(&spec.column)?;
+            }
+        }
+        let (key_table, groups) = self.group_rows(keys)?;
+        let agg_cols: Vec<Option<&crate::column::Column>> = aggs
+            .iter()
+            .map(|spec| {
+                if spec.func == Agg::Count {
+                    None
+                } else {
+                    Some(self.column_by_name(&spec.column).expect("validated"))
+                }
+            })
+            .collect();
+
+        let mut accs: Vec<Vec<Acc>> = Vec::with_capacity(groups.len());
+        for rows in &groups {
+            let mut group_accs = Vec::with_capacity(aggs.len());
+            for (ai, spec) in aggs.iter().enumerate() {
+                let mut acc = Acc::new(spec.func);
+                match agg_cols[ai] {
+                    Some(col) => {
+                        for &row in rows {
+                            acc.update(spec.func, col, row);
+                        }
+                    }
+                    None => {
+                        if let Acc::Count(n) = &mut acc {
+                            *n = rows.len() as u64;
+                        }
+                    }
+                }
+                group_accs.push(acc);
+            }
+            accs.push(group_accs);
+        }
+
+        let key_vecs: Vec<Vec<Value>> = (0..key_table.num_rows())
+            .map(|i| key_table.row(i))
+            .collect();
+        let mut index = FxHashMap::default();
+        index.reserve(key_vecs.len());
+        for (i, k) in key_vecs.iter().enumerate() {
+            index.insert(k.clone(), i);
+        }
+        Ok(PartialGroupBy {
+            specs: aggs.to_vec(),
+            key_fields: key_table.schema().fields().to_vec(),
+            keys: key_vecs,
+            index,
+            accs,
+        })
+    }
+}
+
+impl PartialGroupBy {
+    /// Number of groups accumulated so far.
+    pub fn num_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Absorbs another partial produced with the same keys and aggregate
+    /// specs. Groups present in both are merged accumulator-wise; groups
+    /// only in `other` are appended in `other`'s order.
+    pub fn merge(&mut self, other: PartialGroupBy) -> Result<(), AggError> {
+        if self.key_fields != other.key_fields || self.specs != other.specs {
+            return Err(AggError::PartialSchemaMismatch);
+        }
+        for (key, other_accs) in other.keys.into_iter().zip(other.accs) {
+            match self.index.get(&key) {
+                Some(&g) => {
+                    for (mine, theirs) in self.accs[g].iter_mut().zip(other_accs) {
+                        mine.merge(theirs);
+                    }
+                }
+                None => {
+                    let g = self.keys.len();
+                    self.index.insert(key.clone(), g);
+                    self.keys.push(key);
+                    self.accs.push(other_accs);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes every accumulator into the aggregate output table, with
+    /// groups in first-appearance (merge) order — the exact shape
+    /// [`Table::group_by`] produces.
+    pub fn finish(self) -> Result<Table, AggError> {
+        let mut key_table = Table::empty(Schema::new(self.key_fields.clone()));
+        for key in &self.keys {
+            key_table.push_row(key.clone())?;
+        }
+        let nspecs = self.specs.len();
+        let mut out_values: Vec<Vec<Value>> = (0..nspecs)
+            .map(|_| Vec::with_capacity(self.keys.len()))
+            .collect();
+        for group_accs in self.accs {
+            debug_assert_eq!(group_accs.len(), nspecs);
+            for (ai, acc) in group_accs.into_iter().enumerate() {
+                out_values[ai].push(acc.finish());
+            }
+        }
+        let mut result = key_table;
+        for (spec, values) in self.specs.iter().zip(out_values) {
+            result = result.with_column(&spec.alias, column_from_values(values))?;
+        }
+        Ok(result)
+    }
+
+    /// Like [`PartialGroupBy::finish`], but returns the table sorted by
+    /// the key columns — the canonical order that is independent of input
+    /// row order and sharding (group keys are unique, so the sort has no
+    /// ties).
+    pub fn finish_sorted(self) -> Result<Table, AggError> {
+        let key_names: Vec<String> = self.key_fields.iter().map(|f| f.name.clone()).collect();
+        let table = self.finish()?;
+        let names: Vec<&str> = key_names.iter().map(String::as_str).collect();
+        table.sort_by_columns(&names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn table(cl: Vec<u64>, v: Vec<f64>) -> Table {
+        let trip: Vec<u64> = (0..cl.len() as u64).map(|i| i % 3).collect();
+        Table::from_columns(vec![
+            ("cl", Column::from_u64(cl)),
+            ("trip", Column::from_u64(trip)),
+            ("v", Column::from_f64(v)),
+        ])
+        .unwrap()
+    }
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::new("", Agg::Count, "cnt"),
+            AggSpec::new("trip", Agg::CountDistinctApprox, "trips"),
+            AggSpec::new("trip", Agg::CountDistinctExact, "trips_exact"),
+            AggSpec::new("v", Agg::Median, "med"),
+            AggSpec::new("v", Agg::Mean, "mean"),
+            AggSpec::new("v", Agg::Min, "min"),
+            AggSpec::new("v", Agg::Max, "max"),
+            AggSpec::new("v", Agg::Sum, "sum"),
+        ]
+    }
+
+    /// Splitting a table into row chunks, partially aggregating each and
+    /// merging must equal one sequential group_by (canonical order).
+    #[test]
+    fn chunked_merge_equals_sequential() {
+        let cl: Vec<u64> = (0..60).map(|i| (i * 7) % 5).collect();
+        let v: Vec<f64> = (0..60).map(|i| (i as f64).sin() * 100.0).collect();
+        let t = table(cl, v);
+        let expected = t
+            .group_by(&["cl"], &specs())
+            .unwrap()
+            .sort_by_columns(&["cl"])
+            .unwrap();
+
+        for chunks in [1usize, 2, 3, 4] {
+            let n = t.num_rows();
+            let per = n.div_ceil(chunks);
+            let mut merged: Option<PartialGroupBy> = None;
+            for c in 0..chunks {
+                let lo = c * per;
+                let hi = ((c + 1) * per).min(n);
+                let idx: Vec<usize> = (lo..hi).collect();
+                let part = t.take(&idx).group_by_partial(&["cl"], &specs()).unwrap();
+                match &mut merged {
+                    None => merged = Some(part),
+                    Some(m) => m.merge(part).unwrap(),
+                }
+            }
+            let got = merged.unwrap().finish_sorted().unwrap();
+            assert_eq!(got.num_rows(), expected.num_rows(), "chunks={chunks}");
+            for row in 0..expected.num_rows() {
+                for (ci, (g, e)) in got.row(row).iter().zip(expected.row(row)).enumerate() {
+                    let name = &got.schema().fields()[ci].name;
+                    if name == "sum" || name == "mean" {
+                        // Float summation order differs across shard
+                        // trees; equality holds up to rounding.
+                        let (g, e) = (g.as_f64().unwrap(), e.as_f64().unwrap());
+                        assert!(
+                            (g - e).abs() <= 1e-9 * e.abs().max(1.0),
+                            "chunks={chunks} row={row} {name}: {g} vs {e}"
+                        );
+                    } else {
+                        // Everything else — including the aggregates the
+                        // HABIT fit uses — is bit-exact under sharding.
+                        assert_eq!(*g, e, "chunks={chunks} row={row} {name}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_schemas() {
+        let t = table(vec![1, 2], vec![0.5, 1.5]);
+        let mut a = t.group_by_partial(&["cl"], &specs()).unwrap();
+        let b = t
+            .group_by_partial(&["cl"], &[AggSpec::new("", Agg::Count, "cnt")])
+            .unwrap();
+        assert!(matches!(a.merge(b), Err(AggError::PartialSchemaMismatch)));
+        let c = t.group_by_partial(&["trip"], &specs()).unwrap();
+        assert!(matches!(a.merge(c), Err(AggError::PartialSchemaMismatch)));
+    }
+
+    #[test]
+    fn first_last_respect_merge_order() {
+        let t1 = table(vec![1, 1], vec![10.0, 20.0]);
+        let t2 = table(vec![1], vec![30.0]);
+        let fl = vec![
+            AggSpec::new("v", Agg::First, "first"),
+            AggSpec::new("v", Agg::Last, "last"),
+        ];
+        let mut a = t1.group_by_partial(&["cl"], &fl).unwrap();
+        a.merge(t2.group_by_partial(&["cl"], &fl).unwrap()).unwrap();
+        let out = a.finish().unwrap();
+        assert_eq!(
+            out.column_by_name("first").unwrap().value(0),
+            Value::Float(10.0)
+        );
+        assert_eq!(
+            out.column_by_name("last").unwrap().value(0),
+            Value::Float(30.0)
+        );
+    }
+
+    #[test]
+    fn disjoint_groups_append_in_shard_order() {
+        let t1 = table(vec![5, 5], vec![1.0, 2.0]);
+        let t2 = table(vec![3], vec![9.0]);
+        let s = vec![AggSpec::new("", Agg::Count, "cnt")];
+        let mut a = t1.group_by_partial(&["cl"], &s).unwrap();
+        a.merge(t2.group_by_partial(&["cl"], &s).unwrap()).unwrap();
+        assert_eq!(a.num_groups(), 2);
+        let out = a.finish().unwrap();
+        // First-appearance order across the merge sequence: 5 then 3.
+        assert_eq!(out.column_by_name("cl").unwrap().value(0), Value::UInt(5));
+        assert_eq!(out.column_by_name("cl").unwrap().value(1), Value::UInt(3));
+    }
+}

@@ -215,6 +215,29 @@ impl Table {
         Ok(self.take(&self.sort_indices_by(name)?))
     }
 
+    /// Sorts the table lexicographically by several columns (stable,
+    /// nulls last within each column). Integer columns compare exactly —
+    /// u64 cell ids above 2^53 do not collapse through an f64 round trip —
+    /// which makes this the canonical group-key ordering sharded
+    /// aggregation relies on.
+    pub fn sort_by_columns(&self, names: &[&str]) -> Result<Table, AggError> {
+        let cols: Vec<&Column> = names
+            .iter()
+            .map(|n| self.column_by_name(n))
+            .collect::<Result<_, _>>()?;
+        let mut idx: Vec<usize> = (0..self.nrows).collect();
+        idx.sort_by(|&a, &b| {
+            for col in &cols {
+                let ord = compare_values(&col.value(a), &col.value(b));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(self.take(&idx))
+    }
+
     /// Approximate in-memory size of the table in bytes.
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(|c| c.byte_size()).sum()
@@ -230,9 +253,66 @@ impl Table {
             .map(|k| self.column_by_name(k))
             .collect::<Result<_, _>>()?;
 
+        let key_fields: Vec<Field> = keys
+            .iter()
+            .zip(&key_cols)
+            .map(|(name, col)| Field::new(*name, col.dtype()))
+            .collect();
+        let mut key_table = Table::empty(Schema::new(key_fields));
+
+        // Fast paths for one or two u64 key columns — the shape of both
+        // HABIT group-bys (`cl` and `(lag_cl, cl)`). Hashing a packed
+        // integer key per row avoids allocating and re-hashing a
+        // `Vec<Value>` for every row of the trip table (a profiled
+        // `HabitModel::fit` hot spot). Null is encoded out-of-band in a
+        // validity flag so `Some(0)` and `Null` stay distinct groups.
+        if let [col] = key_cols[..] {
+            if let Some(vals) = col.u64_values() {
+                let mut groups: FxHashMap<(u64, bool), usize> = FxHashMap::default();
+                groups.reserve(self.nrows / 4 + 1);
+                let mut group_rows: Vec<Vec<usize>> = Vec::new();
+                for (row, &val) in vals.iter().enumerate() {
+                    let valid = col.is_valid(row);
+                    let key = (if valid { val } else { 0 }, valid);
+                    match groups.get(&key) {
+                        Some(&g) => group_rows[g].push(row),
+                        None => {
+                            groups.insert(key, group_rows.len());
+                            group_rows.push(vec![row]);
+                            key_table.push_row(vec![col.value(row)])?;
+                        }
+                    }
+                }
+                return Ok((key_table, group_rows));
+            }
+        }
+        if let [a, b] = key_cols[..] {
+            if let (Some(av), Some(bv)) = (a.u64_values(), b.u64_values()) {
+                let mut groups: FxHashMap<(u64, u64, u8), usize> = FxHashMap::default();
+                groups.reserve(self.nrows / 4 + 1);
+                let mut group_rows: Vec<Vec<usize>> = Vec::new();
+                for row in 0..self.nrows {
+                    let (va, vb) = (a.is_valid(row), b.is_valid(row));
+                    let key = (
+                        if va { av[row] } else { 0 },
+                        if vb { bv[row] } else { 0 },
+                        (va as u8) | ((vb as u8) << 1),
+                    );
+                    match groups.get(&key) {
+                        Some(&g) => group_rows[g].push(row),
+                        None => {
+                            groups.insert(key, group_rows.len());
+                            group_rows.push(vec![row]);
+                            key_table.push_row(vec![a.value(row), b.value(row)])?;
+                        }
+                    }
+                }
+                return Ok((key_table, group_rows));
+            }
+        }
+
         let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
         let mut group_rows: Vec<Vec<usize>> = Vec::new();
-        let mut key_order: Vec<Vec<Value>> = Vec::new();
 
         for row in 0..self.nrows {
             let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
@@ -240,27 +320,20 @@ impl Table {
                 Some(&g) => group_rows[g].push(row),
                 None => {
                     let g = group_rows.len();
-                    groups.insert(key.clone(), g);
-                    key_order.push(key);
                     group_rows.push(vec![row]);
+                    key_table.push_row(key.clone())?;
+                    groups.insert(key, g);
                 }
             }
-        }
-
-        let key_fields: Vec<Field> = keys
-            .iter()
-            .zip(&key_cols)
-            .map(|(name, col)| Field::new(*name, col.dtype()))
-            .collect();
-        let mut key_table = Table::empty(Schema::new(key_fields));
-        for key in key_order {
-            key_table.push_row(key)?;
         }
         Ok((key_table, group_rows))
     }
 }
 
-/// Total order over values: Null last, numerics by value, strings lexical.
+/// Total order over values: Null last, numerics by value, strings
+/// lexical. Pure integer pairs compare exactly (no f64 round trip, which
+/// would collapse u64 cell ids above 2^53); mixed numeric pairs fall
+/// back to f64.
 pub(crate) fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     match (a, b) {
@@ -268,6 +341,10 @@ pub(crate) fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
         (Value::Null, _) => Ordering::Greater,
         (_, Value::Null) => Ordering::Less,
         (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::UInt(x), Value::UInt(y)) => x.cmp(y),
+        (Value::Int(x), Value::UInt(y)) => (*x as i128).cmp(&(*y as i128)),
+        (Value::UInt(x), Value::Int(y)) => (*x as i128).cmp(&(*y as i128)),
         _ => {
             let fa = a.as_f64().unwrap_or(f64::NAN);
             let fb = b.as_f64().unwrap_or(f64::NAN);

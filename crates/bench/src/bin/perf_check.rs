@@ -1,0 +1,119 @@
+//! CI perf tracking: compare freshly measured experiment wall clocks
+//! against a committed baseline and fail on regressions.
+//!
+//! ```text
+//! perf_check --baseline reports/smoke --fresh $TMP/smoke-reports [--threshold 2.0]
+//! ```
+//!
+//! Both directories must hold `habit-experiment-report/v1` JSON
+//! documents (one per canonical experiment id). An experiment regresses
+//! when its fresh `provenance.wall_clock_s` exceeds `threshold ×` the
+//! baseline **and** the absolute growth is above a small noise floor
+//! (50 ms) — smoke-scale experiments finish in milliseconds, where pure
+//! scheduler noise can exceed any ratio.
+//!
+//! Exit codes follow the `habit` convention: 0 no regression, 1 at
+//! least one regression (or unreadable reports), 2 usage error.
+
+use eval::ExperimentReport;
+use habit_bench::reports::EXPERIMENT_ORDER;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Absolute wall-clock growth below which a ratio breach is noise, s.
+const NOISE_FLOOR_S: f64 = 0.05;
+
+struct CheckArgs {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    threshold: f64,
+}
+
+fn parse_args() -> Result<CheckArgs, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut threshold = 2.0f64;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    iter.next().ok_or("--baseline needs a directory")?,
+                ))
+            }
+            "--fresh" => {
+                fresh = Some(PathBuf::from(
+                    iter.next().ok_or("--fresh needs a directory")?,
+                ))
+            }
+            "--threshold" => {
+                threshold = iter
+                    .next()
+                    .ok_or("--threshold needs a number")?
+                    .parse()
+                    .map_err(|_| "--threshold needs a number".to_string())?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(CheckArgs {
+        baseline: baseline.ok_or("--baseline DIR is required")?,
+        fresh: fresh.ok_or("--fresh DIR is required")?,
+        threshold,
+    })
+}
+
+fn load(dir: &Path, id: &str) -> Result<ExperimentReport, String> {
+    let path = dir.join(format!("{id}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    ExperimentReport::from_json(&text).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e} (usage: perf_check --baseline DIR --fresh DIR [--threshold X])");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = 0usize;
+    println!("experiment           baseline_s    fresh_s    ratio   verdict");
+    for id in EXPERIMENT_ORDER {
+        let (base, fresh) = match (load(&args.baseline, id), load(&args.fresh, id)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for err in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("error: {err}");
+                }
+                regressions += 1;
+                continue;
+            }
+        };
+        let (b_s, f_s) = (base.provenance.wall_clock_s, fresh.provenance.wall_clock_s);
+        let ratio = f_s / b_s.max(1e-9);
+        let regressed = ratio > args.threshold && (f_s - b_s) > NOISE_FLOOR_S;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "{id:20} {b_s:10.3} {f_s:10.3} {ratio:8.2}   {}",
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "error: {regressions} experiment(s) regressed beyond {}x wall clock",
+            args.threshold
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf ok: no experiment beyond {}x baseline wall clock",
+        args.threshold
+    );
+    ExitCode::SUCCESS
+}

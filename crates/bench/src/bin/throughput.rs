@@ -1,0 +1,23 @@
+//! Regenerates the **throughput** experiment — `habit-engine` batched
+//! imputation serving on KIEL: sequential single-query loop vs
+//! `BatchImputer` at 1/2/4 threads (route dedup + LRU cache), route
+//! cache behaviour across repeated serving ticks, and the sharded-fit
+//! wall clock with its byte-identical-model check.
+//!
+//! Shape to verify: batch serving beats the one-at-a-time loop by ≥2x
+//! on recurring traffic, with a warm cache answering repeat ticks
+//! without any A* search — while every answer stays identical.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let kiel = habit_bench::kiel();
+        eprintln!(
+            "kiel: {} train trips, {} test trips",
+            kiel.train.len(),
+            kiel.test.len()
+        );
+        habit_bench::reports::throughput_report(&kiel, habit_bench::SEED)
+    })
+}

@@ -34,14 +34,17 @@ The workspace builds fully offline — external dependencies (`rand`,
 
 ## Architecture
 
-Twelve crates in six layers, plus the `habit` umbrella crate re-exporting
-a prelude:
+Thirteen crates in seven layers, plus the `habit` umbrella crate
+re-exporting a prelude:
 
 ```text
              ┌──────────────────────────────────────────────────┐
              │          habit — umbrella crate + prelude        │
              └──────────────────────────────────────────────────┘
- apps        habit-cli (`habit` binary)   habit-bench (14 experiment bins)
+ apps        habit-cli (`habit` binary)   habit-bench (16 experiment bins)
+             ────────────────────────────────────────────────────
+ serving     habit-engine (thread pool, sharded fit, batched
+             imputation with an LRU route cache)
              ────────────────────────────────────────────────────
  evaluation  eval (DTW, gap injection,    density (traffic density
              splits, experiment reports)  maps & rendering)
@@ -68,6 +71,7 @@ a prelude:
 | `crates/ais` | AIS data model, cleaning filters, mobility events, trip segmentation |
 | `crates/synth` | seeded synthetic AIS datasets mirroring the paper's DAN / KIEL / SAR feeds |
 | `crates/core` (`habit-core`) | the HABIT method: fit, gap imputation, track repair, fleet models |
+| `crates/engine` (`habit-engine`) | parallel serving: hand-rolled thread pool, tile-sharded fit (byte-identical to sequential), batched imputation with route dedup + LRU cache |
 | `crates/baselines` | competitors: SLI straight-line, GTI point-graph, PaLMTO N-gram |
 | `crates/density` | traffic density maps and exports built on the same substrate |
 | `crates/eval` | experiment harness: DTW accuracy, gap cases, experiment runners, `ExperimentReport` |
@@ -111,8 +115,14 @@ cargo run -p habit-bench --release --bin all_experiments -- --out-dir reports/
 # Re-render EXPERIMENTS.md from the committed JSON without re-running:
 cargo run -p habit-bench --release --bin all_experiments -- --render-only --out-dir reports/
 
-# One experiment, e.g. Figure 5:
+# One experiment, e.g. Figure 5 or the batched-serving throughput:
 cargo run -p habit-bench --release --bin fig5
+cargo run -p habit-bench --release --bin throughput
+
+# CI perf tracking: fresh smoke-scale wall clocks vs the committed
+# baseline (reports/smoke/), failing on >2x regressions:
+cargo run -p habit-bench --release --bin perf_check -- \
+    --baseline reports/smoke --fresh /tmp/smoke-reports
 
 # Criterion micro-benchmarks:
 cargo bench
@@ -160,7 +170,7 @@ mod tests {
         assert!(md.contains(QUICKSTART_SRC));
         // The CLI section embeds the live help text.
         assert!(md.contains("USAGE: habit <command>"));
-        // All 12 crates appear in the table.
+        // All 13 crates appear in the table.
         for krate in [
             "geo-kernel",
             "hexgrid",
@@ -169,6 +179,7 @@ mod tests {
             "ais",
             "synth",
             "habit-core",
+            "habit-engine",
             "baselines",
             "density",
             "eval",

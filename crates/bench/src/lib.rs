@@ -18,7 +18,9 @@
 //! | `ablation_medians` | DESIGN.md §5 — exact vs P² medians, HLL precision |
 //! | `ablation_palmto`  | the paper's dropped competitor, reproduced |
 //! | `ablation_fleet`   | vessel-type conditioning (paper future work) |
+//! | `throughput`       | batched imputation serving via `habit-engine` (beyond the paper) |
 //! | `all_experiments`  | everything above; writes `reports/*.json` + `EXPERIMENTS.md` |
+//! | `perf_check`       | CI perf gate: fresh vs committed wall clocks (`--baseline`/`--fresh`) |
 //!
 //! Every binary builds a structured [`eval::ExperimentReport`] via
 //! [`reports`], prints its markdown, and with `--out-dir DIR` persists

@@ -1,0 +1,192 @@
+//! `habit batch` — impute a stream of gap queries concurrently.
+//!
+//! Reads a gap CSV (`lon1,lat1,t1,lon2,lat2,t2`, one query per row),
+//! answers the whole batch through `habit-engine`'s [`BatchImputer`]
+//! (route dedup + LRU cache + thread pool), writes the imputed points as
+//! `gap,t,lon,lat` and prints a throughput summary. Per-query failures
+//! (no path, unsnappable endpoint) are reported on stderr and in the
+//! summary but do not fail the run — a batch server keeps serving.
+
+use crate::args::Args;
+use crate::io::{read_gaps_csv, write_batch_csv};
+use habit_core::HabitModel;
+use habit_engine::{BatchImputer, ThreadPool};
+use std::error::Error;
+use std::path::Path;
+use std::time::Instant;
+
+/// Default route-cache capacity (entries).
+const DEFAULT_CACHE: usize = 4096;
+
+/// Default worker count: the machine's available parallelism.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Entry point for `habit batch`.
+pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+    args.check_flags(&["model", "input", "out", "threads", "cache"])?;
+    let model_path = args.require("model")?;
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let threads: usize = args.get_or("threads", default_threads())?;
+    let cache: usize = args.get_or("cache", DEFAULT_CACHE)?;
+
+    let queries = read_gaps_csv(Path::new(input))?;
+    if queries.is_empty() {
+        return Err(
+            format!("{input}: no gap queries (expected lon1,lat1,t1,lon2,lat2,t2 rows)").into(),
+        );
+    }
+    let bytes = std::fs::read(model_path)?;
+    let model = HabitModel::from_bytes(&bytes)?;
+
+    let pool = ThreadPool::new(threads);
+    let imputer = BatchImputer::new(&model, cache);
+    let t0 = Instant::now();
+    let (results, stats) = imputer.impute_batch(&queries, &pool);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    for (i, result) in results.iter().enumerate() {
+        if let Err(failure) = result {
+            eprintln!("gap {i}: {failure}");
+        }
+    }
+    let row_results: Vec<Option<&habit_core::Imputation>> =
+        results.iter().map(|r| r.as_ref().ok()).collect();
+    write_batch_csv(&row_results, Path::new(out))?;
+
+    let qps = stats.queries as f64 / elapsed.max(1e-9);
+    let hit_rate = if stats.unique_routes > 0 {
+        stats.cache_hits as f64 / stats.unique_routes as f64 * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "imputed {}/{} gaps ({} failed) in {elapsed:.3} s — {qps:.1} queries/s -> {out}",
+        stats.ok, stats.queries, stats.failed
+    );
+    println!(
+        "routes: {} unique, {} searched, {} from cache ({hit_rate:.1}% hit rate); threads {}, cache {}/{}",
+        stats.unique_routes,
+        stats.routes_computed,
+        stats.cache_hits,
+        pool.threads(),
+        imputer.cached_routes(),
+        cache,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::{trips_to_table, AisPoint, Trip};
+    use habit_core::HabitConfig;
+
+    fn write_model(path: &Path) {
+        let trips: Vec<Trip> = (0..4)
+            .map(|k| Trip {
+                trip_id: k + 1,
+                mmsi: 100 + k,
+                points: (0..150)
+                    .map(|i| {
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.003,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        let model = HabitModel::fit(&trips_to_table(&trips), HabitConfig::default()).unwrap();
+        std::fs::write(path, model.to_bytes()).unwrap();
+    }
+
+    fn run_args(tokens: &[&str]) -> Result<(), Box<dyn Error>> {
+        run(&Args::parse(tokens.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn batch_imputes_a_gap_file() {
+        let dir = std::env::temp_dir();
+        let model = dir.join(format!("habit-batch-{}.habit", std::process::id()));
+        let gaps = dir.join(format!("habit-batch-{}-gaps.csv", std::process::id()));
+        let out = dir.join(format!("habit-batch-{}-out.csv", std::process::id()));
+        write_model(&model);
+        // Repeated routes exercise the dedup/cache path; one gap sits in
+        // open water and fails to find a path without failing the run.
+        std::fs::write(
+            &gaps,
+            "lon1,lat1,t1,lon2,lat2,t2\n\
+             10.05,56.0,0,10.35,56.0,3600\n\
+             10.05,56.0,100,10.35,56.0,3700\n\
+             10.10,56.0,0,10.40,56.0,3600\n",
+        )
+        .unwrap();
+        run_args(&[
+            "batch",
+            "--model",
+            model.to_str().unwrap(),
+            "--input",
+            gaps.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--cache",
+            "16",
+        ])
+        .expect("batch");
+        let text = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&model).ok();
+        std::fs::remove_file(&gaps).ok();
+        std::fs::remove_file(&out).ok();
+        assert!(text.starts_with("gap,t,lon,lat"));
+        assert!(text.lines().count() > 3, "{text}");
+        // All three gap ids appear.
+        for id in ["0", "1", "2"] {
+            assert!(
+                text.lines()
+                    .skip(1)
+                    .any(|l| l.split(',').next() == Some(id)),
+                "gap {id} missing from output"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_missing_files_and_empty_input() {
+        let err = run_args(&[
+            "batch",
+            "--model",
+            "/nonexistent.habit",
+            "--input",
+            "/nonexistent.csv",
+            "--out",
+            "/tmp/x.csv",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("csv"), "{err}");
+
+        let dir = std::env::temp_dir();
+        let empty = dir.join(format!("habit-batch-{}-empty.csv", std::process::id()));
+        std::fs::write(&empty, "lon1,lat1,t1,lon2,lat2,t2\n").unwrap();
+        let err = run_args(&[
+            "batch",
+            "--model",
+            "/nonexistent.habit",
+            "--input",
+            empty.to_str().unwrap(),
+            "--out",
+            "/tmp/x.csv",
+        ])
+        .unwrap_err();
+        std::fs::remove_file(&empty).ok();
+        assert!(err.to_string().contains("no gap queries"), "{err}");
+    }
+}

@@ -2,6 +2,7 @@
 //! `Result`, writing human output to stdout; `main` maps errors to exit
 //! codes.
 
+pub mod batch;
 pub mod eval_cmd;
 pub mod export;
 pub mod fit;
@@ -19,6 +20,7 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
         "synth" => synth_cmd::run(args),
         "fit" => fit::run(args),
         "impute" => impute::run(args),
+        "batch" => batch::run(args),
         "repair" => repair::run(args),
         "info" => info::run(args),
         "eval" => eval_cmd::run(args),
@@ -54,6 +56,9 @@ COMMANDS
            [--projection center|median]
   impute   impute one gap with a fitted model
            --model FILE  --from LON,LAT,T  --to LON,LAT,T  [--out FILE]
+  batch    impute a CSV of gap queries concurrently (dedup + route cache)
+           --model FILE  --input FILE  --out FILE  [--threads N]
+           [--cache ENTRIES]   (defaults: all cores, 4096 routes)
   repair   fill every gap in a single-vessel track CSV (t,lon,lat)
            --model FILE  --input FILE  --out FILE  [--threshold SECONDS]
            [--densify METERS|none]   (default: 250 m)
@@ -76,6 +81,9 @@ EXAMPLES
   # Impute one 60-minute gap (from/to are lon,lat,t triples):
   habit impute --model kiel.habit --from 10.30,57.10,0 --to 10.85,57.45,3600
 
+  # Impute a whole gap file at once (prints a throughput summary):
+  habit batch --model kiel.habit --input gaps.csv --out imputed.csv --threads 4
+
   # Repair every gap in a single-vessel track, then export a density map:
   habit repair --model kiel.habit --input track.csv --out repaired.csv
   habit export --input kiel.csv --resolution 8 --format geojson --out density.geojson
@@ -88,8 +96,10 @@ EXIT CODES (shell-friendly, stable)
   1  runtime failure (bad input file, no path found, I/O error)
   2  usage error (unknown command/flag, missing or unparsable value)
 
-Formats: AIS CSV = mmsi,t,lon,lat[,sog,cog,heading]; track CSV = t,lon,lat.
-Model files are HABIT's compact binary blobs (`fit` output)."
+Formats: AIS CSV = mmsi,t,lon,lat[,sog,cog,heading]; track CSV = t,lon,lat;
+gap CSV = lon1,lat1,t1,lon2,lat2,t2 (`batch` input; its output prefixes a
+`gap` query-index column). Model files are HABIT's compact binary blobs
+(`fit` output)."
 }
 
 #[cfg(test)]

@@ -1,16 +1,20 @@
 //! CSV I/O between the CLI's file formats and the library types.
 //!
-//! Two formats:
+//! Three formats:
 //!
 //! * **AIS CSV** — `mmsi,t,lon,lat,sog,cog,heading`, one row per report
 //!   (the format `habit synth` writes and `habit fit` reads);
 //! * **track CSV** — `t,lon,lat`, a single vessel's time-ordered track
-//!   (`habit repair` / `habit impute` output).
+//!   (`habit repair` / `habit impute` output);
+//! * **gap CSV** — `lon1,lat1,t1,lon2,lat2,t2`, one gap query per row
+//!   (`habit batch` input; output is a track CSV with a leading `gap`
+//!   column tying points back to their query row).
 
 use aggdb::csv::{read_csv_path, write_csv_path};
 use aggdb::{AggError, Column, Table};
 use ais::{AisPoint, Trajectory};
 use geo_kernel::TimedPoint;
+use habit_core::{GapQuery, Imputation};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -167,6 +171,52 @@ pub fn write_track_csv(points: &[TimedPoint], path: &Path) -> Result<(), IoError
     Ok(())
 }
 
+/// Reads a gap-query CSV (`lon1,lat1,t1,lon2,lat2,t2`), one query per
+/// row, in row order.
+pub fn read_gaps_csv(path: &Path) -> Result<Vec<GapQuery>, IoError> {
+    let table = read_csv_path(path)?;
+    let lon1 = numeric(&table, "lon1")?;
+    let lat1 = numeric(&table, "lat1")?;
+    let t1 = integer(&table, "t1")?;
+    let lon2 = numeric(&table, "lon2")?;
+    let lat2 = numeric(&table, "lat2")?;
+    let t2 = integer(&table, "t2")?;
+    Ok((0..table.num_rows())
+        .map(|i| GapQuery::new(lon1[i], lat1[i], t1[i], lon2[i], lat2[i], t2[i]))
+        .collect())
+}
+
+/// Writes imputed batch results as a track CSV with a leading `gap`
+/// column (`gap,t,lon,lat`); failed queries contribute no rows.
+pub fn write_batch_csv(results: &[Option<&Imputation>], path: &Path) -> Result<(), IoError> {
+    let n: usize = results
+        .iter()
+        .map(|r| r.map_or(0, |imp| imp.points.len()))
+        .sum();
+    let mut gap = Vec::with_capacity(n);
+    let mut t = Vec::with_capacity(n);
+    let mut lon = Vec::with_capacity(n);
+    let mut lat = Vec::with_capacity(n);
+    for (i, result) in results.iter().enumerate() {
+        if let Some(imp) = result {
+            for p in &imp.points {
+                gap.push(i as u64);
+                t.push(p.t);
+                lon.push(p.pos.lon);
+                lat.push(p.pos.lat);
+            }
+        }
+    }
+    let table = Table::from_columns(vec![
+        ("gap", Column::from_u64(gap)),
+        ("t", Column::from_i64(t)),
+        ("lon", Column::from_f64(lon)),
+        ("lat", Column::from_f64(lat)),
+    ])?;
+    write_csv_path(&table, path)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +272,54 @@ mod tests {
         assert_eq!(back.len(), 3);
         assert!(back.windows(2).all(|w| w[0].t <= w[1].t));
         assert_eq!(back[0].t, 0);
+    }
+
+    #[test]
+    fn gap_csv_read_and_batch_write() {
+        let path = tmp("gaps.csv");
+        std::fs::write(
+            &path,
+            "lon1,lat1,t1,lon2,lat2,t2\n10.1,56.0,0,10.4,56.0,3600\n10.2,56.1,100,10.5,56.2,7200\n",
+        )
+        .unwrap();
+        let gaps = read_gaps_csv(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(gaps.len(), 2);
+        assert_eq!(gaps[0].start.t, 0);
+        assert_eq!(gaps[1].end.t, 7200);
+        assert!((gaps[1].start.pos.lon - 10.2).abs() < 1e-12);
+
+        let bad = tmp("gaps-bad.csv");
+        std::fs::write(&bad, "lon1,lat1\n1,2\n").unwrap();
+        let err = read_gaps_csv(&bad).unwrap_err();
+        std::fs::remove_file(&bad).ok();
+        assert!(matches!(err, IoError::MissingColumn("t1")), "{err:?}");
+
+        // Batch output: failed queries (None) leave no rows; point rows
+        // carry their query index.
+        let imp = Imputation {
+            points: vec![
+                TimedPoint::new(10.0, 56.0, 0),
+                TimedPoint::new(10.1, 56.0, 60),
+            ],
+            cells: Vec::new(),
+            start_cell: hexgrid::HexCell::from_axial(9, 0, 0).unwrap(),
+            end_cell: hexgrid::HexCell::from_axial(9, 1, 0).unwrap(),
+            cost: 1.0,
+            expanded: 1,
+            raw_point_count: 2,
+        };
+        let out = tmp("batch-out.csv");
+        write_batch_csv(&[Some(&imp), None, Some(&imp)], &out).expect("write");
+        let text = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&out).ok();
+        assert!(text.starts_with("gap,t,lon,lat"));
+        let gap_ids: Vec<&str> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next().unwrap())
+            .collect();
+        assert_eq!(gap_ids, vec!["0", "0", "2", "2"]);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! * [`io`] — AIS CSV ↔ [`ais::Trajectory`] and track CSV ↔
 //!   [`geo_kernel::TimedPoint`] conversions;
 //! * [`commands`] — one module per subcommand (`synth`, `fit`, `impute`,
-//!   `repair`, `info`, `eval`, `export`) plus the dispatcher,
+//!   `batch`, `repair`, `info`, `eval`, `export`) plus the dispatcher,
 //!   [`commands::help_text`] (usage, worked examples, exit codes) and
 //!   [`commands::version`].
 //!

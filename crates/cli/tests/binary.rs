@@ -96,6 +96,49 @@ fn full_workflow_through_the_binary() {
     assert!(body.starts_with("t,lon,lat"));
     assert!(body.lines().count() >= 3);
 
+    // batch: the same gap three times plus a shifted one, through the
+    // concurrent path. Exit 0, non-empty output, a throughput summary.
+    let gaps = dir.join("gaps.csv");
+    let (lon_f, lat_f) = (lon.parse::<f64>().unwrap(), lat.parse::<f64>().unwrap());
+    let mut gap_rows = String::from("lon1,lat1,t1,lon2,lat2,t2\n");
+    for k in 0..3 {
+        gap_rows.push_str(&format!(
+            "{lon_f},{lat_f},{},{},{lat_f},{}\n",
+            k * 10,
+            lon_f + 0.15,
+            3600 + k * 10
+        ));
+    }
+    gap_rows.push_str(&format!(
+        "{},{lat_f},0,{},{lat_f},3600\n",
+        lon_f + 0.02,
+        lon_f + 0.17
+    ));
+    std::fs::write(&gaps, gap_rows).unwrap();
+    let batched = dir.join("batched.csv");
+    let out = habit(&[
+        "batch",
+        "--model",
+        model.to_str().unwrap(),
+        "--input",
+        gaps.to_str().unwrap(),
+        "--out",
+        batched.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "batch: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(summary.contains("queries/s"), "{summary}");
+    assert!(summary.contains("routes:"), "{summary}");
+    let batch_body = std::fs::read_to_string(&batched).unwrap();
+    assert!(batch_body.starts_with("gap,t,lon,lat"));
+    assert!(batch_body.lines().count() >= 4, "{batch_body}");
+
     // repair the imputed track with an artificial hole.
     let holed = dir.join("holed.csv");
     let mut kept = String::from("t,lon,lat\n");

@@ -18,6 +18,9 @@ use geo_kernel::GeoPoint;
 use hexgrid::{HexCell, HexGrid};
 use mobgraph::{Codec, DiGraph};
 
+/// The weighted directed transition graph a fit produces.
+pub type TransitionGraph = DiGraph<CellStats, EdgeStats>;
+
 /// Per-cell aggregate statistics — the graph's node attributes
 /// (paper §3.2 "for each H3 cell group cl we compute …").
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,10 +88,37 @@ impl Codec for EdgeStats {
 ///
 /// `table` must contain the [`ais::COLS`] columns
 /// (`trip_id`, `vessel_id`, `ts`, `lon`, `lat`, `sog`, `cog`).
+///
+/// The graph is assembled in **canonical order** — cell statistics
+/// sorted by cell id, transitions sorted by `(lag_cl, cl)` — so the
+/// result (and hence a serialized [`crate::HabitModel`]) is a pure
+/// function of the input *set* of rows, independent of row order and of
+/// whether the group-bys ran sequentially or sharded (`habit-engine`).
 pub fn build_transition_graph(
     table: &Table,
     config: &HabitConfig,
 ) -> Result<DiGraph<CellStats, EdgeStats>, HabitError> {
+    let lagged = lagged_trip_table(table, config)?;
+
+    // -- 4a. Per-cell statistics.
+    let cell_stats = lagged
+        .group_by(&["cl"], &cell_agg_specs())?
+        .sort_by_columns(&["cl"])?;
+
+    // -- 4b. Per-transition statistics, lag_cl != cl and lag_cl not null.
+    let transitions_tbl = transition_rows(&lagged)?
+        .group_by(&["lag_cl", "cl"], &transition_agg_specs())?
+        .sort_by_columns(&["lag_cl", "cl"])?;
+
+    assemble_graph(&cell_stats, &transitions_tbl)
+}
+
+/// Stages 1–3 of graph generation: cell assignment, the cell-span drift
+/// filter, and the window lag. Returns the lagged trip table whose two
+/// group-bys ([`cell_agg_specs`] over `cl`, [`transition_agg_specs`]
+/// over `(lag_cl, cl)` of [`transition_rows`]) produce the graph inputs.
+/// Exposed so `habit-engine` can shard the group-bys spatially.
+pub fn lagged_trip_table(table: &Table, config: &HabitConfig) -> Result<Table, HabitError> {
     let grid = HexGrid::new();
     let res = config.resolution;
 
@@ -114,14 +144,11 @@ pub fn build_transition_graph(
         let cell = grid.cell(&GeoPoint::new(lons[i], lats[i]), res)?;
         cells.push(cell.raw());
     }
-    let with_cells = table
-        .clone()
-        .with_column("cl", Column::from_u64(cells.clone()))?;
 
     // -- 2. Cell-span filter: drop trips confined to ≤ min_cell_span
     //       mutually adjacent cells (paper: "minor, non-essential local
     //       displacements, e.g. sea drift").
-    let trip_col = with_cells.column_by_name("trip_id")?;
+    let trip_col = table.column_by_name("trip_id")?;
     let trip_ids =
         trip_col
             .u64_values()
@@ -130,7 +157,11 @@ pub fn build_transition_graph(
                 expected: "UInt64",
                 actual: trip_col.dtype().name(),
             }))?;
+    // Trips are contiguous runs in a trip table, so counting run
+    // boundaries pre-sizes the per-trip cell sets in one cheap pass.
+    let approx_trips = trip_ids.windows(2).filter(|w| w[0] != w[1]).count() + 1;
     let mut trip_cells: FxHashMap<u64, FxHashSet<u64>> = FxHashMap::default();
+    trip_cells.reserve(approx_trips);
     for (trip, cell) in trip_ids.iter().zip(&cells) {
         trip_cells.entry(*trip).or_default().insert(*cell);
     }
@@ -140,6 +171,7 @@ pub fn build_transition_graph(
             small_trips.insert(*trip);
         }
     }
+    let with_cells = table.clone().with_column("cl", Column::from_u64(cells))?;
     let filtered = if small_trips.is_empty() {
         with_cells
     } else {
@@ -151,39 +183,58 @@ pub fn build_transition_graph(
     }
 
     // -- 3. lag(cl) OVER (PARTITION BY trip_id ORDER BY ts).
-    let lagged = aggdb::window::with_lag(filtered, &["trip_id"], "ts", "cl", "lag_cl")?;
+    Ok(aggdb::window::with_lag(
+        filtered,
+        &["trip_id"],
+        "ts",
+        "cl",
+        "lag_cl",
+    )?)
+}
 
-    // -- 4a. Per-cell statistics.
-    let cell_stats = lagged.group_by(
-        &["cl"],
-        &[
-            AggSpec::new("", Agg::Count, "cnt"),
-            AggSpec::new("vessel_id", Agg::CountDistinctApprox, "vessels"),
-            AggSpec::new("lon", Agg::Median, "median_lon"),
-            AggSpec::new("lat", Agg::Median, "median_lat"),
-            AggSpec::new("sog", Agg::Median, "median_sog"),
-            AggSpec::new("cog", Agg::Median, "median_cog"),
-        ],
-    )?;
+/// The per-cell aggregate specs of the paper's first group-by (§3.2).
+pub fn cell_agg_specs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::new("", Agg::Count, "cnt"),
+        AggSpec::new("vessel_id", Agg::CountDistinctApprox, "vessels"),
+        AggSpec::new("lon", Agg::Median, "median_lon"),
+        AggSpec::new("lat", Agg::Median, "median_lat"),
+        AggSpec::new("sog", Agg::Median, "median_sog"),
+        AggSpec::new("cog", Agg::Median, "median_cog"),
+    ]
+}
 
-    // -- 4b. Per-transition statistics, lag_cl != cl and lag_cl not null.
+/// The per-transition aggregate specs of the paper's second group-by.
+pub fn transition_agg_specs() -> Vec<AggSpec> {
+    vec![AggSpec::new(
+        "trip_id",
+        Agg::CountDistinctApprox,
+        "transitions",
+    )]
+}
+
+/// Filters the lagged table down to transition rows: `lag_cl` non-null
+/// and different from `cl`.
+pub fn transition_rows(lagged: &Table) -> Result<Table, HabitError> {
     let lag_col = lagged.column_by_name("lag_cl")?.clone();
     let cl_col = lagged.column_by_name("cl")?.clone();
-    let transitions_tbl = lagged
-        .filter(|i| lag_col.is_valid(i) && lag_col.value(i).as_u64() != cl_col.value(i).as_u64())
-        .group_by(
-            &["lag_cl", "cl"],
-            &[AggSpec::new(
-                "trip_id",
-                Agg::CountDistinctApprox,
-                "transitions",
-            )],
-        )?;
+    Ok(lagged
+        .filter(|i| lag_col.is_valid(i) && lag_col.value(i).as_u64() != cl_col.value(i).as_u64()))
+}
 
-    // -- 5. Assemble the graph. Nodes are the cells present in the edge
-    //       list (paper: "nodes … identified by the corresponding H3 cells
-    //       present in the edge list"), attributed from the cell stats.
+/// Phase-2 step 5: assembles the weighted directed graph from the two
+/// aggregate tables. Nodes are the cells present in the edge list
+/// (paper: "nodes … identified by the corresponding H3 cells present in
+/// the edge list"), attributed from the cell stats. Node and edge
+/// insertion follow the row order of `transitions_tbl`, so callers must
+/// pass canonically sorted tables for a canonical graph.
+pub fn assemble_graph(
+    cell_stats: &Table,
+    transitions_tbl: &Table,
+) -> Result<DiGraph<CellStats, EdgeStats>, HabitError> {
+    let grid = HexGrid::new();
     let mut stats_by_cell: FxHashMap<u64, CellStats> = FxHashMap::default();
+    stats_by_cell.reserve(cell_stats.num_rows());
     {
         let cl = cell_stats.column_by_name("cl")?;
         let cnt = cell_stats.column_by_name("cnt")?;

@@ -52,6 +52,29 @@ pub struct Imputation {
     pub raw_point_count: usize,
 }
 
+/// A resolved cell-level route between two snapped endpoint cells — the
+/// A* result before any per-query work (inverse projection, timestamp
+/// allocation, simplification) is applied. Routes depend only on the
+/// `(start_cell, end_cell)` pair, which is what makes them cacheable
+/// across a batch of gap queries (`habit-engine`'s `BatchImputer`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// The cell sequence from start to end cell, inclusive.
+    pub cells: Vec<HexCell>,
+    /// A* path cost under the configured weight scheme.
+    pub cost: f64,
+    /// Nodes expanded by the search.
+    pub expanded: usize,
+}
+
+impl Route {
+    /// `true` when start and end snapped into the same cell (no search
+    /// ran).
+    pub fn is_trivial(&self) -> bool {
+        self.cells.len() <= 1
+    }
+}
+
 impl HabitModel {
     /// Imputes a gap (paper §3.3–3.4): snap endpoints → A* over the
     /// transition graph → inverse projection (`p`) → timestamp allocation
@@ -62,17 +85,24 @@ impl HabitModel {
         }
         let (start_cell, _) = self.snap(&gap.start.pos)?;
         let (end_cell, _) = self.snap(&gap.end.pos)?;
+        let route = self.route_between(start_cell, end_cell)?;
+        Ok(self.imputation_from_route(gap, &route, start_cell, end_cell))
+    }
 
-        // Trivial gap: both endpoints in the same (or adjacent) cell.
+    /// Phase 3's search step in isolation: the A* route between two
+    /// snapped cells. Deterministic in `(start_cell, end_cell)`, so the
+    /// result can be reused across queries that snap to the same pair.
+    pub fn route_between(
+        &self,
+        start_cell: HexCell,
+        end_cell: HexCell,
+    ) -> Result<Route, HabitError> {
+        // Trivial gap: both endpoints in the same cell.
         if start_cell == end_cell {
-            return Ok(Imputation {
-                points: vec![gap.start, gap.end],
+            return Ok(Route {
                 cells: vec![start_cell],
-                start_cell,
-                end_cell,
                 cost: 0.0,
                 expanded: 0,
-                raw_point_count: 2,
             });
         }
 
@@ -115,11 +145,39 @@ impl HabitModel {
             .iter()
             .map(|&id| HexCell::from_raw(id).expect("valid node id"))
             .collect();
+        Ok(Route {
+            cells,
+            cost: result.cost,
+            expanded: result.expanded,
+        })
+    }
+
+    /// Phases 3 (inverse projection) and 4 (timestamps + RDP) applied to
+    /// an already-resolved route: the per-query tail of [`Self::impute`],
+    /// cheap enough to re-run for every query sharing a cached route.
+    pub fn imputation_from_route(
+        &self,
+        gap: &GapQuery,
+        route: &Route,
+        start_cell: HexCell,
+        end_cell: HexCell,
+    ) -> Imputation {
+        if route.is_trivial() {
+            return Imputation {
+                points: vec![gap.start, gap.end],
+                cells: route.cells.clone(),
+                start_cell,
+                end_cell,
+                cost: 0.0,
+                expanded: route.expanded,
+                raw_point_count: 2,
+            };
+        }
 
         // Inverse projection: cells → coordinates.
-        let mut positions: Vec<GeoPoint> = Vec::with_capacity(cells.len() + 2);
+        let mut positions: Vec<GeoPoint> = Vec::with_capacity(route.cells.len() + 2);
         positions.push(gap.start.pos);
-        for cell in &cells {
+        for cell in &route.cells {
             positions.push(self.project_cell(*cell));
         }
         positions.push(gap.end.pos);
@@ -135,15 +193,15 @@ impl HabitModel {
             timed
         };
 
-        Ok(Imputation {
+        Imputation {
             points,
-            cells,
+            cells: route.cells.clone(),
             start_cell,
             end_cell,
-            cost: result.cost,
-            expanded: result.expanded,
+            cost: route.cost,
+            expanded: route.expanded,
             raw_point_count,
-        })
+        }
     }
 
     /// Maps a path cell to coordinates per the configured projection `p`.

@@ -67,7 +67,7 @@ pub use config::{CellProjection, HabitConfig, WeightScheme};
 pub use error::HabitError;
 pub use fleet::{FleetConfig, FleetModel, ServedBy};
 pub use graphgen::{build_transition_graph, CellStats, EdgeStats};
-pub use impute::{GapQuery, Imputation};
+pub use impute::{GapQuery, Imputation, Route};
 pub use merge::merge_graphs;
 pub use model::HabitModel;
 pub use repair::{GapOutcome, RepairConfig, RepairReport};

@@ -37,6 +37,18 @@ impl HabitModel {
         Ok(Self::from_graph(graph, config))
     }
 
+    /// Builds a model around an already-assembled transition graph —
+    /// the seam `habit-engine`'s sharded fit uses after merging shard
+    /// aggregates through [`crate::graphgen::assemble_graph`]. The graph
+    /// must be in the canonical order `build_transition_graph` produces
+    /// for the model bytes to be reproducible.
+    pub fn from_transition_graph(
+        graph: DiGraph<CellStats, EdgeStats>,
+        config: HabitConfig,
+    ) -> Self {
+        Self::from_graph(graph, config)
+    }
+
     pub(crate) fn from_graph(graph: DiGraph<CellStats, EdgeStats>, config: HabitConfig) -> Self {
         let grid = HexGrid::new();
         // Node representative positions for the nearest-node index: the

@@ -1,0 +1,63 @@
+//! # habit-engine — the parallel serving subsystem
+//!
+//! `habit-core` fits one model on one core and answers one gap at a
+//! time. This crate is the scale-out layer the ROADMAP's north star asks
+//! for, in three pieces:
+//!
+//! * [`pool::ThreadPool`] — a hand-rolled fixed pool (the offline
+//!   workspace has no `rayon`) with a scoped, order-preserving
+//!   [`ThreadPool::map_chunks`] primitive;
+//! * [`shard::fit_sharded`] — the fit's two group-bys partitioned by
+//!   spatial tile ([`hexgrid::TilePartitioner`]) and executed per shard
+//!   on the pool, merged through `aggdb`'s mergeable partial aggregates
+//!   in deterministic shard order. The resulting model serializes
+//!   **byte-identically** to the sequential `HabitModel::fit` at every
+//!   shard and thread count (property-tested);
+//! * [`batch::BatchImputer`] — batched imputation: snap all queries,
+//!   A*-search each *distinct* cell pair once, reuse routes across
+//!   batches through a bounded LRU ([`lru::LruCache`]), and run the
+//!   per-query tail on the pool. Per-query failures are data
+//!   ([`batch::BatchFailure`]), not batch aborts.
+//!
+//! The `habit batch` CLI subcommand and the `throughput` experiment of
+//! `habit-bench` are thin clients of this crate.
+//!
+//! ```
+//! use habit_engine::{BatchImputer, ThreadPool, fit_sharded};
+//! use habit_core::{GapQuery, HabitConfig};
+//! use aggdb::{Column, Table};
+//!
+//! // A toy trip table: one vessel sailing east (columns as in ais::COLS).
+//! let n = 200usize;
+//! let table = Table::from_columns(vec![
+//!     ("trip_id", Column::from_u64(vec![1; n])),
+//!     ("vessel_id", Column::from_u64(vec![9; n])),
+//!     ("ts", Column::from_i64((0..n as i64).map(|i| i * 60).collect())),
+//!     ("lon", Column::from_f64((0..n).map(|i| 10.0 + i as f64 * 0.002).collect())),
+//!     ("lat", Column::from_f64(vec![56.0; n])),
+//!     ("sog", Column::from_f64(vec![12.0; n])),
+//!     ("cog", Column::from_f64(vec![90.0; n])),
+//! ]).unwrap();
+//!
+//! let pool = ThreadPool::new(4);
+//! let model = fit_sharded(&table, HabitConfig::default(), 4, &pool).unwrap();
+//! let imputer = BatchImputer::new(&model, 1024);
+//! let queries = vec![GapQuery::new(10.05, 56.0, 0, 10.3, 56.0, 3600); 16];
+//! let (results, stats) = imputer.impute_batch(&queries, &pool);
+//! assert_eq!(stats.ok, 16);
+//! assert_eq!(stats.unique_routes, 1, "identical queries share one search");
+//! assert!(results.iter().all(Result::is_ok));
+//! ```
+
+pub mod batch;
+pub mod lru;
+pub mod pool;
+pub mod shard;
+
+#[cfg(test)]
+mod proptests;
+
+pub use batch::{BatchFailure, BatchImputer, BatchStats};
+pub use lru::LruCache;
+pub use pool::ThreadPool;
+pub use shard::{fit_sharded, sharded_transition_graph};

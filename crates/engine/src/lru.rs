@@ -1,0 +1,205 @@
+//! A bounded LRU cache over an intrusive doubly-linked list.
+//!
+//! Backs the [`crate::BatchImputer`] route cache: route searches are the
+//! expensive part of a gap query, and serving traffic concentrates on a
+//! small working set of (start cell, end cell) pairs, so a bounded LRU
+//! keeps the hot routes while old corridors age out. Hand-rolled (no
+//! `lru` crate offline): a slab of nodes with prev/next indices plus an
+//! FxHash index; `get` and `insert` are O(1).
+
+use aggdb::fxhash::FxHashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used cache.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: FxHashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    /// Most recently used node, or `NIL` when empty.
+    head: usize,
+    /// Least recently used node, or `NIL` when empty.
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity.max(1)` entries.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            map: FxHashMap::default(),
+            slab: Vec::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.move_to_front(idx);
+        Some(&self.slab[idx].value)
+    }
+
+    /// Looks up `key` without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slab[idx].value)
+    }
+
+    /// Inserts or replaces `key`, evicting the least-recently-used entry
+    /// when the cache is full. Returns `true` when an eviction happened.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.move_to_front(idx);
+            return false;
+        }
+        let mut evicted = false;
+        let idx = if self.map.len() < self.capacity {
+            // Grow the slab with a fresh node.
+            let idx = self.slab.len();
+            self.slab.push(Node {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        } else {
+            // Reuse the LRU node in place.
+            evicted = true;
+            let idx = self.tail;
+            self.unlink(idx);
+            let old_key = self.slab[idx].key.clone();
+            self.map.remove(&old_key);
+            self.slab[idx].key = key.clone();
+            self.slab[idx].value = value;
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn move_to_front(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut cache: LruCache<u32, &str> = LruCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert(1, "a");
+        cache.insert(2, "b");
+        assert_eq!(cache.get(&1), Some(&"a")); // 1 is now MRU
+        assert!(cache.insert(3, "c"), "2 (LRU) evicted");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(&"a"));
+        assert_eq!(cache.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn replace_updates_value_without_eviction() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(7, 70);
+        assert!(!cache.insert(7, 71));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.peek(&7), Some(&71));
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.peek(&1), Some(&10)); // 1 stays LRU
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&1), None, "peek must not rescue the LRU");
+        assert_eq!(cache.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn capacity_one_and_zero_clamp() {
+        let mut cache: LruCache<u8, u8> = LruCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn long_churn_stays_bounded_and_consistent() {
+        let mut cache: LruCache<u64, u64> = LruCache::new(8);
+        for i in 0..1000u64 {
+            cache.insert(i % 13, i);
+            assert!(cache.len() <= 8);
+        }
+        // The most recent key is always retrievable with the last value
+        // written for it.
+        cache.insert(99, 4242);
+        assert_eq!(cache.get(&99), Some(&4242));
+    }
+}

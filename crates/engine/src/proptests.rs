@@ -1,0 +1,95 @@
+//! Property test for the engine's core guarantee: sharded fit is
+//! **byte-identical** to the sequential fit — same serialized model for
+//! random trip tables across shard counts {1, 2, 4, 8} and thread
+//! counts {1, 4}.
+
+use crate::pool::ThreadPool;
+use crate::shard::fit_sharded;
+use ais::{trips_to_table, AisPoint, Trip};
+use habit_core::{HabitConfig, HabitModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random multi-corridor trip table: a few vessels random-walk
+/// from seeded anchor points with varied headings, spreading rows over
+/// several spatial tiles.
+fn random_trip_table(seed: u64, n_trips: usize, points_per_trip: usize) -> aggdb::Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trips = Vec::with_capacity(n_trips);
+    for k in 0..n_trips {
+        let mut lon = 8.0 + rng.gen_range(0.0..6.0);
+        let mut lat = 54.0 + rng.gen_range(0.0..3.0);
+        let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        let (mut dlon, mut dlat) = (heading.cos() * 0.004, heading.sin() * 0.003);
+        let mut points = Vec::with_capacity(points_per_trip);
+        for i in 0..points_per_trip {
+            // Occasional course changes keep the lattice paths irregular.
+            if rng.gen_range(0u32..10) == 0 {
+                let turn = rng.gen_range(-0.5..0.5f64);
+                let (s, c) = turn.sin_cos();
+                let (ndlon, ndlat) = (dlon * c - dlat * s, dlon * s + dlat * c);
+                dlon = ndlon;
+                dlat = ndlat;
+            }
+            lon += dlon;
+            lat += dlat;
+            points.push(AisPoint::new(
+                1000 + k as u64,
+                i as i64 * 60,
+                lon,
+                lat,
+                rng.gen_range(5.0..15.0),
+                rng.gen_range(0.0..360.0),
+            ));
+        }
+        trips.push(Trip {
+            trip_id: k as u64 + 1,
+            mmsi: 1000 + k as u64,
+            points,
+        });
+    }
+    trips_to_table(&trips)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole determinism contract, end to end: for random trip
+    /// tables, every (shards, threads) combination serializes to the
+    /// same bytes as the sequential `HabitModel::fit`.
+    #[test]
+    fn sharded_fit_equals_sequential_fit(
+        seed in 0u64..10_000,
+        n_trips in 3usize..6,
+        points in 40usize..90,
+    ) {
+        let table = random_trip_table(seed, n_trips, points);
+        let config = HabitConfig::default();
+        let sequential = HabitModel::fit(&table, config);
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 4] {
+                let pool = ThreadPool::new(threads);
+                let sharded = fit_sharded(&table, config, shards, &pool);
+                match (&sequential, &sharded) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(
+                            a.to_bytes(),
+                            b.to_bytes(),
+                            "model bytes diverge at shards={} threads={}",
+                            shards,
+                            threads
+                        );
+                    }
+                    (Err(_), Err(_)) => {} // both reject (e.g. all drift)
+                    _ => prop_assert!(
+                        false,
+                        "ok/err divergence at shards={} threads={}",
+                        shards,
+                        threads
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Sharded model fitting: the graph-generation group-bys, tile by tile.
+//!
+//! [`fit_sharded`] reproduces `HabitModel::fit` with the two expensive
+//! group-bys of `graphgen` (per-cell and per-transition statistics) run
+//! **per spatial shard in parallel**:
+//!
+//! 1. the global stages run once (cell assignment, drift filter, window
+//!    lag — they need whole-trip context and are cheap);
+//! 2. every row is assigned to a shard by the coarse tile of its cell
+//!    (`hexgrid::TilePartitioner`), so both group-by keys — `cl` and
+//!    `(lag_cl, cl)`, keyed by the destination cell — never straddle
+//!    shards;
+//! 3. each shard computes mergeable partial aggregates
+//!    (`aggdb::PartialGroupBy`) on a pool worker;
+//! 4. partials merge **in ascending shard order** (not completion
+//!    order), finish into canonically key-sorted tables, and assemble
+//!    into the transition graph.
+//!
+//! Because the merge is bit-exact for count / distinct / median and the
+//! final tables are canonically sorted, the fitted model serializes to
+//! **byte-identical** blobs for any shard count and any thread count —
+//! equal to the sequential [`HabitModel::fit`] — which the engine's
+//! property tests assert.
+
+use crate::pool::ThreadPool;
+use aggdb::{PartialGroupBy, Table};
+use habit_core::graphgen::{
+    assemble_graph, cell_agg_specs, lagged_trip_table, transition_agg_specs, transition_rows,
+};
+use habit_core::{HabitConfig, HabitError, HabitModel};
+use hexgrid::tiling::DEFAULT_TILE_LEVELS_UP;
+use hexgrid::{HexCell, TilePartitioner};
+
+/// Fits a HABIT model with the group-bys sharded by spatial tile and
+/// executed on `pool`. Produces a model byte-identical to
+/// `HabitModel::fit(table, config)` for every `shards ≥ 1` and every
+/// pool size.
+pub fn fit_sharded(
+    table: &Table,
+    config: HabitConfig,
+    shards: usize,
+    pool: &ThreadPool,
+) -> Result<HabitModel, HabitError> {
+    let graph = sharded_transition_graph(table, &config, shards, pool)?;
+    Ok(HabitModel::from_transition_graph(graph, config))
+}
+
+/// The sharded equivalent of `habit_core::build_transition_graph`.
+pub fn sharded_transition_graph(
+    table: &Table,
+    config: &HabitConfig,
+    shards: usize,
+    pool: &ThreadPool,
+) -> Result<habit_core::graphgen::TransitionGraph, HabitError> {
+    let shards = shards.max(1);
+    let lagged = lagged_trip_table(table, config)?;
+    let shard_tables = partition_by_tile(&lagged, config.resolution, shards)?;
+
+    // One pool task per shard: both partial group-bys over that shard's
+    // rows. Chunk size 1 keeps shards independently schedulable.
+    let partials: Vec<Result<(PartialGroupBy, PartialGroupBy), HabitError>> =
+        pool.map_chunks(&shard_tables, 1, |_, chunk| {
+            let shard = &chunk[0];
+            let cells = shard.group_by_partial(&["cl"], &cell_agg_specs())?;
+            let transitions = transition_rows(shard)?
+                .group_by_partial(&["lag_cl", "cl"], &transition_agg_specs())?;
+            Ok((cells, transitions))
+        });
+
+    // Merge in ascending shard order — deterministic regardless of which
+    // worker finished first.
+    let mut cell_merged: Option<PartialGroupBy> = None;
+    let mut trans_merged: Option<PartialGroupBy> = None;
+    for shard_result in partials {
+        let (cells, transitions) = shard_result?;
+        match &mut cell_merged {
+            None => cell_merged = Some(cells),
+            Some(m) => m.merge(cells)?,
+        }
+        match &mut trans_merged {
+            None => trans_merged = Some(transitions),
+            Some(m) => m.merge(transitions)?,
+        }
+    }
+    let (cell_merged, trans_merged) = (
+        cell_merged.expect("at least one shard"),
+        trans_merged.expect("at least one shard"),
+    );
+
+    let cell_stats = cell_merged.finish_sorted()?;
+    let transitions_tbl = trans_merged.finish_sorted()?;
+    assemble_graph(&cell_stats, &transitions_tbl)
+}
+
+/// Splits the lagged table into per-shard tables by the coarse tile of
+/// each row's `cl` cell. Row order within a shard stays ascending, so
+/// per-shard accumulation visits rows in the same relative order as the
+/// sequential path.
+fn partition_by_tile(
+    lagged: &Table,
+    resolution: u8,
+    shards: usize,
+) -> Result<Vec<Table>, HabitError> {
+    let cl = lagged.column_by_name("cl")?;
+    let cells = cl
+        .u64_values()
+        .ok_or(HabitError::BadInput(aggdb::AggError::TypeMismatch {
+            column: "cl".into(),
+            expected: "UInt64",
+            actual: cl.dtype().name(),
+        }))?;
+
+    let partitioner = TilePartitioner::new(resolution, DEFAULT_TILE_LEVELS_UP, shards);
+    // Memoize cell → shard: rows revisit the same cells constantly and
+    // the tile lookup does trigonometry.
+    let mut shard_of_cell: aggdb::fxhash::FxHashMap<u64, usize> =
+        aggdb::fxhash::FxHashMap::default();
+    let mut shard_rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for (row, &raw) in cells.iter().enumerate() {
+        let shard = match shard_of_cell.get(&raw) {
+            Some(&s) => s,
+            None => {
+                let cell = HexCell::from_raw(raw).map_err(HabitError::Grid)?;
+                let s = partitioner.shard_of(cell).map_err(HabitError::Grid)?;
+                shard_of_cell.insert(raw, s);
+                s
+            }
+        };
+        shard_rows[shard].push(row);
+    }
+    Ok(shard_rows
+        .into_iter()
+        .map(|rows| lagged.take(&rows))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::{trips_to_table, AisPoint, Trip};
+
+    fn corridor_table() -> Table {
+        // Two corridors far enough apart to live in different tiles.
+        let mut trips = Vec::new();
+        for k in 0..4u64 {
+            trips.push(Trip {
+                trip_id: k + 1,
+                mmsi: 100 + k,
+                points: (0..120)
+                    .map(|i| {
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.004,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
+                    })
+                    .collect(),
+            });
+            trips.push(Trip {
+                trip_id: 100 + k + 1,
+                mmsi: 200 + k,
+                points: (0..120)
+                    .map(|i| {
+                        AisPoint::new(
+                            200 + k,
+                            i as i64 * 60,
+                            12.5,
+                            55.0 + i as f64 * 0.003,
+                            10.0,
+                            0.0,
+                        )
+                    })
+                    .collect(),
+            });
+        }
+        trips_to_table(&trips)
+    }
+
+    #[test]
+    fn sharded_fit_is_byte_identical_to_sequential() {
+        let table = corridor_table();
+        let config = HabitConfig::default();
+        let sequential = HabitModel::fit(&table, config).expect("sequential fit");
+        let baseline = sequential.to_bytes();
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 4] {
+                let pool = ThreadPool::new(threads);
+                let model = fit_sharded(&table, config, shards, &pool).expect("sharded fit");
+                assert_eq!(
+                    model.to_bytes(),
+                    baseline,
+                    "shards={shards} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_row_exactly_once() {
+        let table = corridor_table();
+        let config = HabitConfig::default();
+        let lagged = lagged_trip_table(&table, &config).unwrap();
+        let parts = partition_by_tile(&lagged, config.resolution, 4).unwrap();
+        let total: usize = parts.iter().map(Table::num_rows).sum();
+        assert_eq!(total, lagged.num_rows());
+        // Two distant corridors must not all land in one shard.
+        let non_empty = parts.iter().filter(|t| t.num_rows() > 0).count();
+        assert!(non_empty >= 2, "tiles all hashed to one shard");
+    }
+
+    #[test]
+    fn sharded_fit_propagates_empty_model() {
+        // Drift-only input: everything is filtered, fit must error like
+        // the sequential path.
+        let drift = Trip {
+            trip_id: 1,
+            mmsi: 7,
+            points: (0..40)
+                .map(|i| AisPoint::new(7, i * 60, 11.0 + (i % 2) as f64 * 1e-4, 56.5, 0.4, 0.0))
+                .collect(),
+        };
+        let table = trips_to_table(&[drift]);
+        let pool = ThreadPool::new(2);
+        assert!(matches!(
+            fit_sharded(&table, HabitConfig::default(), 4, &pool),
+            Err(HabitError::EmptyModel)
+        ));
+    }
+}

@@ -41,10 +41,12 @@ pub mod cover;
 pub mod error;
 pub mod grid;
 pub mod ops;
+pub mod tiling;
 
 pub use cell::HexCell;
 pub use error::HexError;
 pub use grid::{HexGrid, MAX_RESOLUTION};
+pub use tiling::TilePartitioner;
 
 #[cfg(test)]
 mod proptests;

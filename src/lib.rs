@@ -15,6 +15,8 @@
 //!   segmentation;
 //! * [`synth`] — the synthetic maritime world and AIS feed generator;
 //! * [`core`] — the HABIT model itself (fit / impute / serialize);
+//! * [`engine`] — the parallel serving subsystem (sharded fit, batched
+//!   imputation with a route cache);
 //! * [`baselines`] — SLI, GTI and PaLMTO competitor methods;
 //! * [`eval`] — DTW accuracy, gap injection, splits and the experiment
 //!   runners regenerating every table and figure of the paper.
@@ -50,6 +52,7 @@ pub use density;
 pub use eval;
 pub use geo_kernel as geo;
 pub use habit_core as core;
+pub use habit_engine as engine;
 pub use hexgrid;
 pub use mobgraph;
 pub use synth;
@@ -65,6 +68,7 @@ pub mod prelude {
     pub use habit_core::{
         CellProjection, GapQuery, HabitConfig, HabitError, HabitModel, Imputation, WeightScheme,
     };
+    pub use habit_engine::{BatchImputer, ThreadPool};
     pub use hexgrid::{HexCell, HexGrid};
     pub use synth::{Dataset, World};
 }
