@@ -227,14 +227,31 @@ impl Column {
     }
 
     /// Builds a new column containing the rows at `indices`.
+    ///
+    /// Column-major: one match on the storage type, then a typed gather
+    /// — no per-row `Value` boxing or dynamic dispatch. `take` backs
+    /// `Table::sort_by` / `filter` on the fit path, where the per-row
+    /// version showed up in profiles.
     pub fn take(&self, indices: &[usize]) -> Column {
-        let mut out = Column::new_empty(self.dtype());
-        for &i in indices {
-            // Cheap per-row dispatch is fine here: `take` is not on the
-            // aggregation hot path.
-            out.push(self.value(i)).expect("same dtype");
-        }
-        out
+        let data = match &self.data {
+            ColumnData::I64(v) => ColumnData::I64(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::U64(v) => ColumnData::U64(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::F64(v) => ColumnData::F64(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(indices.iter().map(|&i| Arc::clone(&v[i])).collect())
+            }
+        };
+        // All-valid columns (the common case) skip per-row bit reads.
+        let validity = if self.null_count() == 0 {
+            Bitmap::filled(indices.len(), true)
+        } else {
+            let mut bm = Bitmap::new();
+            for &i in indices {
+                bm.push(self.validity.get(i));
+            }
+            bm
+        };
+        Column { data, validity }
     }
 
     /// Approximate heap size of the column in bytes (storage metric).

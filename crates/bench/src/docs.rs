@@ -34,7 +34,7 @@ The workspace builds fully offline — external dependencies (`rand`,
 
 ## Architecture
 
-Thirteen crates in seven layers, plus the `habit` umbrella crate
+Fourteen crates in eight layers, plus the `habit` umbrella crate
 re-exporting a prelude:
 
 ```text
@@ -42,6 +42,9 @@ re-exporting a prelude:
              │          habit — umbrella crate + prelude        │
              └──────────────────────────────────────────────────┘
  apps        habit-cli (`habit` binary)   habit-bench (16 experiment bins)
+             ────────────────────────────────────────────────────
+ facade      habit-service (typed request/response API, unified
+             error taxonomy, `habit serve` line-JSON TCP daemon)
              ────────────────────────────────────────────────────
  serving     habit-engine (thread pool, sharded fit, batched
              imputation with an LRU route cache)
@@ -72,10 +75,11 @@ re-exporting a prelude:
 | `crates/synth` | seeded synthetic AIS datasets mirroring the paper's DAN / KIEL / SAR feeds |
 | `crates/core` (`habit-core`) | the HABIT method: fit, gap imputation, track repair, fleet models |
 | `crates/engine` (`habit-engine`) | parallel serving: hand-rolled thread pool, tile-sharded fit (byte-identical to sequential), batched imputation with route dedup + LRU cache |
+| `crates/service` (`habit-service`) | unified service facade: typed `Request`/`Response` API, `ServiceError` taxonomy with stable codes, shared CSV converters, line-JSON wire codec + TCP server |
 | `crates/baselines` | competitors: SLI straight-line, GTI point-graph, PaLMTO N-gram |
 | `crates/density` | traffic density maps and exports built on the same substrate |
 | `crates/eval` | experiment harness: DTW accuracy, gap cases, experiment runners, `ExperimentReport` |
-| `crates/cli` (`habit-cli`) | the `habit` command-line tool |
+| `crates/cli` (`habit-cli`) | the `habit` command-line tool — thin adapters over `habit-service` |
 | `crates/bench` (`habit-bench`) | experiment binaries, criterion benches, report/README generators |
 
 ## Quickstart
@@ -97,9 +101,61 @@ More examples: `compare_methods`, `density_map`, `fleet_types`,
 
 ## The `habit` CLI
 
+Every model-touching command is a thin adapter over
+`habit_service::Service` — the same facade the daemon serves over TCP —
+so the CLI, the daemon, and the tests exercise one code path.
+
 ```text
 {help}
 ```
+
+## The `habit serve` daemon
+
+`habit serve --model kiel.habit --port 4740` exposes the full service
+over **habit-wire/v1**: line-delimited JSON over TCP (hand-rolled, no
+serde/tokio), one request per line, one response line per request.
+Requests carry the protocol version and an operation
+(`health`, `model_info`, `impute`, `impute_batch`, `repair`, `fit`,
+`shutdown`); gap endpoints are `[lon,lat,t]`, track points `[t,lon,lat]`,
+cell ids hex strings. A worked netcat session:
+
+```sh
+habit serve --model kiel.habit --port 4740 &
+printf '%s\n' '{{"v":1,"op":"health"}}' | nc 127.0.0.1 4740
+# {{"v":1,"ok":true,"op":"health","data":{{"status":"serving",...}}}}
+printf '%s\n' '{{"v":1,"op":"impute","from":[10.30,57.10,0],"to":[10.85,57.45,3600]}}' \
+    | nc 127.0.0.1 4740
+# {{"v":1,"ok":true,"op":"impute","data":{{"points":[[0,10.3,57.1],...],...}}}}
+printf '%s\n' '{{"v":1,"op":"shutdown"}}' | nc 127.0.0.1 4740
+# {{"v":1,"ok":true,"op":"shutdown","data":{{"stopping":true}}}}
+```
+
+Failures come back as `{{"ok":false,"error":{{"code":...,"message":...}}}}`
+with a stable machine-readable code; the CLI derives its exit codes from
+the same taxonomy (`bad_request` exits 2, every other code exits 1):
+
+| code | exit | meaning |
+|------|------|---------|
+| `bad_request` | 2 | malformed request: unknown op/flag, bad value, wrong protocol version |
+| `io` | 1 | file or socket I/O failure |
+| `csv` | 1 | CSV input could not be parsed |
+| `bad_input` | 1 | input rows/columns have the wrong shape or type |
+| `grid` | 1 | invalid coordinate or grid resolution |
+| `no_model` | 1 | the operation needs a model but none is loaded |
+| `empty_model` | 1 | fit produced (or the model has) no transition graph |
+| `no_path` | 1 | no historical path between the snapped gap endpoints |
+| `snap_failed` | 1 | a gap endpoint could not be snapped onto the model |
+| `bad_model_blob` | 1 | a serialized model file is corrupt or incompatible |
+| `unsorted_input` | 1 | a track was not sorted by timestamp |
+| `config_mismatch` | 1 | models with incompatible configurations |
+| `internal` | 1 | unexpected internal failure |
+
+The daemon answers `impute`/`impute_batch` through the engine's batch
+imputer, so recurring routes are served from a warm LRU cache across
+requests and connections; `fit` hot-swaps the serving model in place.
+Graceful shutdown: the `shutdown` op, or start with `--watch-stdin` and
+close the daemon's stdin pipe (supervisor-friendly; no signal handler
+needed in the std-only build).
 
 ## Reproducing the paper's evaluation
 
@@ -170,7 +226,13 @@ mod tests {
         assert!(md.contains(QUICKSTART_SRC));
         // The CLI section embeds the live help text.
         assert!(md.contains("USAGE: habit <command>"));
-        // All 13 crates appear in the table.
+        // The daemon section documents the wire protocol, a worked nc
+        // example, and the full error-code table.
+        assert!(md.contains("habit-wire/v1"));
+        assert!(md.contains("nc 127.0.0.1 4740"));
+        assert!(md.contains("| `bad_request` | 2 |"));
+        assert!(md.contains("| `no_path` | 1 |"));
+        // All 14 crates appear in the table.
         for krate in [
             "geo-kernel",
             "hexgrid",
@@ -180,6 +242,7 @@ mod tests {
             "synth",
             "habit-core",
             "habit-engine",
+            "habit-service",
             "baselines",
             "density",
             "eval",

@@ -1004,6 +1004,7 @@ pub fn throughput_report(kiel: &Bench, seed: u64) -> Result<ExperimentReport> {
     }
     let seq_s = seq_t0.elapsed().as_secs_f64();
     let seq_qps = queries.len() as f64 / seq_s.max(1e-9);
+    let model = std::sync::Arc::new(model);
 
     // -- Batched serving at 1 / 2 / 4 threads (cold cache per run).
     let mut table = MarkdownTable::new(vec![
@@ -1028,7 +1029,7 @@ pub fn throughput_report(kiel: &Bench, seed: u64) -> Result<ExperimentReport> {
     let mut speedup_at_4 = 0.0f64;
     for threads in [1usize, 2, 4] {
         let pool = ThreadPool::new(threads);
-        let imputer = BatchImputer::new(&model, CACHE);
+        let imputer = BatchImputer::new(std::sync::Arc::clone(&model), CACHE);
         let b_t0 = Instant::now();
         let (_, stats) = imputer.impute_batch(&queries, &pool);
         let b_s = b_t0.elapsed().as_secs_f64();
@@ -1059,7 +1060,7 @@ pub fn throughput_report(kiel: &Bench, seed: u64) -> Result<ExperimentReport> {
         "Queries/s",
     ])
     .with_context(id);
-    let imputer = BatchImputer::new(&model, CACHE);
+    let imputer = BatchImputer::new(std::sync::Arc::clone(&model), CACHE);
     let mut warm_hit_rate = 0.0f64;
     for tick in 1..=TICKS {
         let tick_t0 = Instant::now();

@@ -55,6 +55,14 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+impl From<ArgError> for habit_service::ServiceError {
+    /// Every argument error is a `bad_request` in the unified taxonomy
+    /// (exit code 2), same as a malformed daemon request.
+    fn from(e: ArgError) -> Self {
+        habit_service::ServiceError::bad_request(e.to_string())
+    }
+}
+
 impl Args {
     /// Parses raw arguments (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {

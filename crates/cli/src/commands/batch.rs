@@ -1,19 +1,18 @@
-//! `habit batch` — impute a stream of gap queries concurrently.
+//! `habit batch` — a thin adapter: flags → [`Request::ImputeBatch`] →
+//! `gap,t,lon,lat` CSV plus a throughput summary.
 //!
-//! Reads a gap CSV (`lon1,lat1,t1,lon2,lat2,t2`, one query per row),
-//! answers the whole batch through `habit-engine`'s [`BatchImputer`]
-//! (route dedup + LRU cache + thread pool), writes the imputed points as
-//! `gap,t,lon,lat` and prints a throughput summary. Per-query failures
-//! (no path, unsnappable endpoint) are reported on stderr and in the
-//! summary but do not fail the run — a batch server keeps serving.
+//! Reads a gap CSV (`lon1,lat1,t1,lon2,lat2,t2`, one query per row;
+//! `--input -` streams stdin), answers the whole batch through the
+//! service's engine path (route dedup + LRU cache + thread pool), and
+//! reports per-query failures on stderr without failing the run — a
+//! batch server keeps serving.
 
 use crate::args::Args;
-use crate::io::{read_gaps_csv, write_batch_csv};
-use habit_core::HabitModel;
-use habit_engine::{BatchImputer, ThreadPool};
-use std::error::Error;
+use crate::commands::run_gap_csv_batch;
+use crate::io::write_batch_csv;
+use habit_core::Imputation;
+use habit_service::ServiceError;
 use std::path::Path;
-use std::time::Instant;
 
 /// Default route-cache capacity (entries).
 const DEFAULT_CACHE: usize = 4096;
@@ -24,7 +23,7 @@ fn default_threads() -> usize {
 }
 
 /// Entry point for `habit batch`.
-pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn run(args: &Args) -> Result<(), ServiceError> {
     args.check_flags(&["model", "input", "out", "threads", "cache"])?;
     let model_path = args.require("model")?;
     let input = args.require("input")?;
@@ -32,47 +31,29 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
     let threads: usize = args.get_or("threads", default_threads())?;
     let cache: usize = args.get_or("cache", DEFAULT_CACHE)?;
 
-    let queries = read_gaps_csv(Path::new(input))?;
-    if queries.is_empty() {
-        return Err(
-            format!("{input}: no gap queries (expected lon1,lat1,t1,lon2,lat2,t2 rows)").into(),
-        );
-    }
-    let bytes = std::fs::read(model_path)?;
-    let model = HabitModel::from_bytes(&bytes)?;
-
-    let pool = ThreadPool::new(threads);
-    let imputer = BatchImputer::new(&model, cache);
-    let t0 = Instant::now();
-    let (results, stats) = imputer.impute_batch(&queries, &pool);
-    let elapsed = t0.elapsed().as_secs_f64();
-
-    for (i, result) in results.iter().enumerate() {
-        if let Err(failure) = result {
-            eprintln!("gap {i}: {failure}");
-        }
-    }
-    let row_results: Vec<Option<&habit_core::Imputation>> =
-        results.iter().map(|r| r.as_ref().ok()).collect();
+    let (service, batch) = run_gap_csv_batch(model_path, input, threads, Some(cache))?;
+    let row_results: Vec<Option<&Imputation>> =
+        batch.results.iter().map(|r| r.as_ref().ok()).collect();
     write_batch_csv(&row_results, Path::new(out))?;
 
-    let qps = stats.queries as f64 / elapsed.max(1e-9);
+    let stats = batch.stats;
+    let qps = stats.queries as f64 / batch.wall_s.max(1e-9);
     let hit_rate = if stats.unique_routes > 0 {
         stats.cache_hits as f64 / stats.unique_routes as f64 * 100.0
     } else {
         0.0
     };
     println!(
-        "imputed {}/{} gaps ({} failed) in {elapsed:.3} s — {qps:.1} queries/s -> {out}",
-        stats.ok, stats.queries, stats.failed
+        "imputed {}/{} gaps ({} failed) in {:.3} s — {qps:.1} queries/s -> {out}",
+        stats.ok, stats.queries, stats.failed, batch.wall_s
     );
     println!(
         "routes: {} unique, {} searched, {} from cache ({hit_rate:.1}% hit rate); threads {}, cache {}/{}",
         stats.unique_routes,
         stats.routes_computed,
         stats.cache_hits,
-        pool.threads(),
-        imputer.cached_routes(),
+        service.threads(),
+        batch.cached_routes,
         cache,
     );
     Ok(())
@@ -82,7 +63,7 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
 mod tests {
     use super::*;
     use ais::{trips_to_table, AisPoint, Trip};
-    use habit_core::HabitConfig;
+    use habit_core::{HabitConfig, HabitModel};
 
     fn write_model(path: &Path) {
         let trips: Vec<Trip> = (0..4)
@@ -107,7 +88,7 @@ mod tests {
         std::fs::write(path, model.to_bytes()).unwrap();
     }
 
-    fn run_args(tokens: &[&str]) -> Result<(), Box<dyn Error>> {
+    fn run_args(tokens: &[&str]) -> Result<(), ServiceError> {
         run(&Args::parse(tokens.iter().map(|s| s.to_string())).unwrap())
     }
 
@@ -118,14 +99,16 @@ mod tests {
         let gaps = dir.join(format!("habit-batch-{}-gaps.csv", std::process::id()));
         let out = dir.join(format!("habit-batch-{}-out.csv", std::process::id()));
         write_model(&model);
-        // Repeated routes exercise the dedup/cache path; one gap sits in
-        // open water and fails to find a path without failing the run.
+        // Repeated routes exercise the dedup/cache path; the last row's
+        // unsnappable endpoint (latitude 95) fails per-query without
+        // failing the run — a batch server keeps serving.
         std::fs::write(
             &gaps,
             "lon1,lat1,t1,lon2,lat2,t2\n\
              10.05,56.0,0,10.35,56.0,3600\n\
              10.05,56.0,100,10.35,56.0,3700\n\
-             10.10,56.0,0,10.40,56.0,3600\n",
+             10.10,56.0,0,10.40,56.0,3600\n\
+             10.05,95.0,0,10.35,56.0,3600\n",
         )
         .unwrap();
         run_args(&[
@@ -148,7 +131,8 @@ mod tests {
         std::fs::remove_file(&out).ok();
         assert!(text.starts_with("gap,t,lon,lat"));
         assert!(text.lines().count() > 3, "{text}");
-        // All three gap ids appear.
+        // The three good gaps appear; the failed one contributes no
+        // rows (and did not fail the run).
         for id in ["0", "1", "2"] {
             assert!(
                 text.lines()
@@ -157,6 +141,13 @@ mod tests {
                 "gap {id} missing from output"
             );
         }
+        assert!(
+            !text
+                .lines()
+                .skip(1)
+                .any(|l| l.split(',').next() == Some("3")),
+            "failed gap must contribute no rows: {text}"
+        );
     }
 
     #[test]
@@ -188,5 +179,6 @@ mod tests {
         .unwrap_err();
         std::fs::remove_file(&empty).ok();
         assert!(err.to_string().contains("no gap queries"), "{err}");
+        assert_eq!(err.exit_code(), 1, "runtime failure, as documented");
     }
 }

@@ -1,5 +1,9 @@
 //! `habit eval` — quick accuracy/latency comparison on a synthetic
 //! dataset (a compact version of the paper's Figure 5 + Table 4).
+//!
+//! No model file is involved (methods are fitted in-memory on a fresh
+//! split), so there is no service request behind this command; its
+//! errors still speak the unified taxonomy.
 
 use crate::args::Args;
 use crate::commands::synth_cmd::build_dataset;
@@ -8,17 +12,17 @@ use eval::experiments::{accuracy_dtw, latency, Bench};
 use eval::report::{fmt_m, fmt_mb, fmt_s, mean, median, MarkdownTable};
 use eval::Imputer;
 use habit_core::HabitConfig;
-use std::error::Error;
+use habit_service::{ErrorCode, ServiceError};
 
 /// Entry point for `habit eval`.
-pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn run(args: &Args) -> Result<(), ServiceError> {
     args.check_flags(&["dataset", "seed", "scale", "gap"])?;
     let name = args.get("dataset").unwrap_or("kiel");
     let seed: u64 = args.get_or("seed", 42)?;
     let scale: f64 = args.get_or("scale", 0.3)?;
     let gap_minutes: i64 = args.get_or("gap", 60)?;
     if gap_minutes <= 0 {
-        return Err("--gap must be positive minutes".into());
+        return Err(ServiceError::bad_request("--gap must be positive minutes"));
     }
 
     let dataset = build_dataset(name, seed, scale)?;
@@ -33,9 +37,10 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
         gap_minutes
     );
     if cases.is_empty() {
-        return Err(
-            "no trip can host a gap of this duration — lower --gap or raise --scale".into(),
-        );
+        return Err(ServiceError::new(
+            ErrorCode::BadInput,
+            "no trip can host a gap of this duration — lower --gap or raise --scale",
+        ));
     }
 
     let mut methods = vec![
@@ -96,6 +101,7 @@ mod tests {
     #[test]
     fn eval_rejects_bad_gap() {
         let args = Args::parse(["eval", "--gap", "-10"].map(String::from)).unwrap();
-        assert!(run(&args).is_err());
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 }

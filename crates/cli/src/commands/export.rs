@@ -1,25 +1,35 @@
 //! `habit export` — build a traffic density map from an AIS CSV and
-//! export it as GeoJSON or CSV (optionally repairing gaps with a fitted
-//! model first, the paper's Fig. 1 workflow).
+//! export it as GeoJSON or CSV, optionally repairing gaps first (the
+//! paper's Fig. 1 workflow). With `--model`, every trip's track is
+//! repaired through the same [`Request::Repair`] operation the daemon
+//! serves — the command never touches a model directly.
 
 use crate::args::Args;
+use crate::commands::open_service;
 use crate::io::read_ais_csv;
 use ais::{segment_all, TripConfig};
 use density::{render_ascii, to_csv, to_geojson, DensityMap};
 use geo_kernel::TimedPoint;
-use habit_core::{HabitModel, RepairConfig};
-use std::error::Error;
+use habit_core::RepairConfig;
+use habit_service::{Request, Response, Service, ServiceError};
 use std::path::Path;
 
 /// Entry point for `habit export`.
-pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn run(args: &Args) -> Result<(), ServiceError> {
     args.check_flags(&["input", "out", "resolution", "format", "model", "preview"])?;
     let input = args.require("input")?;
     let out = args.require("out")?;
     let resolution: u8 = args.get_or("resolution", 8)?;
     let format = args.get("format").unwrap_or("geojson");
     if !(1..=hexgrid::MAX_RESOLUTION).contains(&resolution) {
-        return Err(format!("--resolution {resolution} out of range").into());
+        return Err(ServiceError::bad_request(format!(
+            "--resolution {resolution} out of range"
+        )));
+    }
+    if !matches!(format, "geojson" | "csv") {
+        return Err(ServiceError::bad_request(format!(
+            "unknown format `{format}` (geojson|csv)"
+        )));
     }
 
     let trajectories = read_ais_csv(Path::new(input))?;
@@ -27,38 +37,44 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
     let mut map = DensityMap::new(resolution);
     let mut repaired_points = 0usize;
 
-    // With a model: repair each trip's internal gaps before aggregating.
-    let model = match args.get("model") {
-        Some(path) => Some(HabitModel::from_bytes(&std::fs::read(path)?)?),
+    // With a model: repair each trip's internal gaps (via the service's
+    // Repair operation) before aggregating.
+    let service: Option<Service> = match args.get("model") {
+        Some(path) => Some(open_service(path, 1, 64)?),
         None => None,
     };
     for trip in &trips {
-        match &model {
-            Some(model) => {
+        match &service {
+            Some(service) if trip.points.len() >= 2 => {
                 let track: Vec<TimedPoint> = trip
                     .points
                     .iter()
                     .map(|p| TimedPoint { pos: p.pos, t: p.t })
                     .collect();
-                let (fixed, report) = model.repair_track(&track, &RepairConfig::default())?;
-                repaired_points += report.points_added;
-                map.add_path(&fixed, trip.mmsi);
+                let Response::Repaired(repaired) = service.handle(&Request::Repair {
+                    track,
+                    config: RepairConfig::default(),
+                })?
+                else {
+                    unreachable!("Repair answers Repaired");
+                };
+                repaired_points += repaired.points_added;
+                map.add_path(&repaired.points, trip.mmsi);
             }
-            None => map.add_trip(trip),
+            _ => map.add_trip(trip),
         }
     }
 
     let body = match format {
         "geojson" => to_geojson(&map),
-        "csv" => to_csv(&map),
-        other => return Err(format!("unknown format `{other}` (geojson|csv)").into()),
+        _ => to_csv(&map),
     };
     std::fs::write(out, &body)?;
     println!(
         "{} trips -> {} cells at r={resolution}{} -> {out} ({format}, {} bytes)",
         trips.len(),
         map.cell_count(),
-        if model.is_some() {
+        if service.is_some() {
             format!(", {repaired_points} imputed points")
         } else {
             String::new()
@@ -76,6 +92,7 @@ mod tests {
     use super::*;
     use crate::commands::synth_cmd::build_dataset;
     use crate::io::write_ais_csv;
+    use habit_core::HabitModel;
 
     fn paths(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
         let dir = std::env::temp_dir();
@@ -176,5 +193,6 @@ mod tests {
         let err = run(&args).unwrap_err();
         std::fs::remove_file(&csv).ok();
         assert!(err.to_string().contains("unknown format"), "{err}");
+        assert_eq!(err.exit_code(), 2);
     }
 }

@@ -1,54 +1,38 @@
-//! `habit fit` — fit a HABIT model from an AIS CSV and save it.
+//! `habit fit` — a thin adapter: flags → [`Request::Fit`] → summary.
 
 use crate::args::Args;
-use crate::io::read_ais_csv;
-use ais::{segment_all, trips_to_table, TripConfig};
-use habit_core::{CellProjection, HabitConfig, HabitModel};
-use std::error::Error;
-use std::path::Path;
+use habit_service::{FitSpec, Request, Response, Service, ServiceConfig, ServiceError};
 
-/// Parses the `--projection` flag.
-pub fn parse_projection(raw: &str) -> Result<CellProjection, String> {
-    match raw.to_ascii_lowercase().as_str() {
-        "center" | "c" => Ok(CellProjection::Center),
-        "median" | "w" => Ok(CellProjection::Median),
-        other => Err(format!("unknown projection `{other}` (center|median)")),
-    }
-}
+pub use habit_service::parse_projection;
 
 /// Entry point for `habit fit`.
-pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn run(args: &Args) -> Result<(), ServiceError> {
     args.check_flags(&["input", "out", "resolution", "tolerance", "projection"])?;
     let input = args.require("input")?;
     let out = args.require("out")?;
     let resolution: u8 = args.get_or("resolution", 9)?;
     let tolerance: f64 = args.get_or("tolerance", 100.0)?;
     let projection = parse_projection(args.get("projection").unwrap_or("median"))?;
-    if !(1..=hexgrid::MAX_RESOLUTION).contains(&resolution) {
-        return Err(format!("--resolution {resolution} out of range").into());
-    }
 
-    let trajectories = read_ais_csv(Path::new(input))?;
-    let trips = segment_all(&trajectories, &TripConfig::default());
-    if trips.is_empty() {
-        return Err("no trips after segmentation — check the input data".into());
-    }
-    let config = HabitConfig {
+    // A model-less service: Fit creates (and would serve) the model.
+    let service = Service::new(ServiceConfig::default());
+    let spec = FitSpec {
+        input: input.to_string(),
         resolution,
-        rdp_tolerance_m: tolerance,
+        tolerance_m: tolerance,
         projection,
-        ..HabitConfig::default()
+        save_to: Some(out.to_string()),
     };
-    let model = HabitModel::fit(&trips_to_table(&trips), config)?;
-    let bytes = model.to_bytes();
-    std::fs::write(out, &bytes)?;
+    let Response::Fitted(summary) = service.handle(&Request::Fit(spec))? else {
+        unreachable!("Fit answers Fitted");
+    };
     println!(
         "fitted r={resolution} t={tolerance} on {} trips ({} reports): {} cells, {} transitions, {} bytes -> {out}",
-        trips.len(),
-        trips.iter().map(|t| t.points.len()).sum::<usize>(),
-        model.node_count(),
-        model.edge_count(),
-        bytes.len()
+        summary.trips,
+        summary.reports,
+        summary.cells,
+        summary.transitions,
+        summary.model_bytes,
     );
     Ok(())
 }
@@ -58,6 +42,7 @@ mod tests {
     use super::*;
     use crate::commands::synth_cmd::build_dataset;
     use crate::io::write_ais_csv;
+    use habit_core::{CellProjection, HabitModel};
 
     #[test]
     fn projection_parse() {
@@ -101,7 +86,7 @@ mod tests {
     }
 
     #[test]
-    fn fit_rejects_empty_input() {
+    fn fit_rejects_empty_input_and_bad_resolution() {
         let dir = std::env::temp_dir();
         let csv = dir.join(format!("habit-fit-empty-{}.csv", std::process::id()));
         // Header + one stationary point: no trips survive segmentation.
@@ -118,7 +103,25 @@ mod tests {
         )
         .unwrap();
         let err = run(&args).unwrap_err();
-        std::fs::remove_file(&csv).ok();
         assert!(err.to_string().contains("no trips"), "{err}");
+        assert_eq!(err.code, habit_service::ErrorCode::EmptyModel);
+
+        let args = Args::parse(
+            [
+                "fit",
+                "--input",
+                csv.to_str().unwrap(),
+                "--out",
+                "/tmp/x.habit",
+                "--resolution",
+                "99",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let err = run(&args).unwrap_err();
+        std::fs::remove_file(&csv).ok();
+        assert_eq!(err.code, habit_service::ErrorCode::BadRequest);
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 }

@@ -1,50 +1,95 @@
-//! `habit impute` — answer one gap query with a fitted model.
+//! `habit impute` — a thin adapter: flags → [`Request::Impute`] /
+//! [`Request::ImputeBatch`] → track CSV.
+//!
+//! Two modes share one service:
+//!
+//! * `--from LON,LAT,T --to LON,LAT,T` — one gap, `t,lon,lat` output;
+//! * `--input FILE|-` — a gap CSV (`-` = stdin, the daemon's streaming
+//!   shape), `gap,t,lon,lat` output with per-gap failures on stderr.
 
 use crate::args::Args;
-use crate::io::write_track_csv;
+use crate::commands::{open_service, run_gap_csv_batch};
+use crate::io::{write_batch_csv, write_track_csv};
 use geo_kernel::TimedPoint;
-use habit_core::{GapQuery, HabitModel};
-use std::error::Error;
+use habit_core::{GapQuery, Imputation};
+use habit_service::{Request, Response, ServiceError};
 use std::path::Path;
 
 /// Parses a `LON,LAT,T` endpoint triple.
-pub fn parse_endpoint(raw: &str) -> Result<TimedPoint, String> {
+pub fn parse_endpoint(raw: &str) -> Result<TimedPoint, ServiceError> {
     let parts: Vec<&str> = raw.split(',').collect();
     if parts.len() != 3 {
-        return Err(format!("`{raw}`: expected LON,LAT,T"));
+        return Err(ServiceError::bad_request(format!(
+            "`{raw}`: expected LON,LAT,T"
+        )));
     }
     let lon: f64 = parts[0]
         .trim()
         .parse()
-        .map_err(|_| format!("bad longitude `{}`", parts[0]))?;
+        .map_err(|_| ServiceError::bad_request(format!("bad longitude `{}`", parts[0])))?;
     let lat: f64 = parts[1]
         .trim()
         .parse()
-        .map_err(|_| format!("bad latitude `{}`", parts[1]))?;
+        .map_err(|_| ServiceError::bad_request(format!("bad latitude `{}`", parts[1])))?;
     let t: i64 = parts[2]
         .trim()
         .parse()
-        .map_err(|_| format!("bad timestamp `{}`", parts[2]))?;
+        .map_err(|_| ServiceError::bad_request(format!("bad timestamp `{}`", parts[2])))?;
     Ok(TimedPoint::new(lon, lat, t))
 }
 
 /// Entry point for `habit impute`.
-pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
-    args.check_flags(&["model", "from", "to", "out"])?;
+pub fn run(args: &Args) -> Result<(), ServiceError> {
+    args.check_flags(&["model", "from", "to", "out", "input"])?;
     let model_path = args.require("model")?;
+
+    // Gap-CSV mode: the whole file through the batch operation (the
+    // shared front half also used by `habit batch`).
+    if let Some(input) = args.get("input") {
+        if args.get("from").is_some() || args.get("to").is_some() {
+            return Err(ServiceError::bad_request(
+                "--input replaces --from/--to; pass one or the other",
+            ));
+        }
+        let (_service, batch) = run_gap_csv_batch(model_path, input, 1, None)?;
+        let rows: Vec<Option<&Imputation>> =
+            batch.results.iter().map(|r| r.as_ref().ok()).collect();
+        match args.get("out") {
+            Some(out) => {
+                write_batch_csv(&rows, Path::new(out))?;
+                println!(
+                    "imputed {}/{} gaps ({} failed) -> {out}",
+                    batch.stats.ok, batch.stats.queries, batch.stats.failed
+                );
+            }
+            None => {
+                println!("gap,t,lon,lat");
+                for (i, row) in rows.iter().enumerate() {
+                    if let Some(imp) = row {
+                        for p in &imp.points {
+                            println!("{i},{},{:.6},{:.6}", p.t, p.pos.lon, p.pos.lat);
+                        }
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Single-gap mode.
     let from = parse_endpoint(args.require("from")?)?;
     let to = parse_endpoint(args.require("to")?)?;
     if to.t <= from.t {
-        return Err("--to must be later than --from".into());
+        return Err(ServiceError::bad_request("--to must be later than --from"));
     }
-
-    let bytes = std::fs::read(model_path)?;
-    let model = HabitModel::from_bytes(&bytes)?;
+    let service = open_service(model_path, 1, 1)?;
     let gap = GapQuery {
         start: from,
         end: to,
     };
-    let imputation = model.impute(&gap)?;
+    let Response::Imputation(imputation) = service.handle(&Request::Impute { gap })? else {
+        unreachable!("Impute answers Imputation");
+    };
 
     match args.get("out") {
         Some(out) => {
@@ -70,22 +115,9 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
 mod tests {
     use super::*;
     use ais::{trips_to_table, AisPoint, Trip};
-    use habit_core::HabitConfig;
+    use habit_core::{HabitConfig, HabitModel};
 
-    #[test]
-    fn endpoint_parsing() {
-        let p = parse_endpoint("10.5,56.25,1700000000").unwrap();
-        assert_eq!(p.pos.lon, 10.5);
-        assert_eq!(p.pos.lat, 56.25);
-        assert_eq!(p.t, 1_700_000_000);
-        assert!(parse_endpoint("10.5,56.25").is_err());
-        assert!(parse_endpoint("a,b,c").is_err());
-        // Negative longitude works (flag parser passes it through).
-        assert_eq!(parse_endpoint("-3.5,48.0,0").unwrap().pos.lon, -3.5);
-    }
-
-    #[test]
-    fn impute_from_saved_model() {
+    fn write_model(path: &Path) {
         let trips: Vec<Trip> = (0..4)
             .map(|k| Trip {
                 trip_id: k + 1,
@@ -105,10 +137,27 @@ mod tests {
             })
             .collect();
         let model = HabitModel::fit(&trips_to_table(&trips), HabitConfig::default()).unwrap();
+        std::fs::write(path, model.to_bytes()).unwrap();
+    }
+
+    #[test]
+    fn endpoint_parsing() {
+        let p = parse_endpoint("10.5,56.25,1700000000").unwrap();
+        assert_eq!(p.pos.lon, 10.5);
+        assert_eq!(p.pos.lat, 56.25);
+        assert_eq!(p.t, 1_700_000_000);
+        assert!(parse_endpoint("10.5,56.25").is_err());
+        assert!(parse_endpoint("a,b,c").is_err());
+        // Negative longitude works (flag parser passes it through).
+        assert_eq!(parse_endpoint("-3.5,48.0,0").unwrap().pos.lon, -3.5);
+    }
+
+    #[test]
+    fn impute_from_saved_model() {
         let dir = std::env::temp_dir();
         let model_path = dir.join(format!("habit-impute-{}.habit", std::process::id()));
         let out_path = dir.join(format!("habit-impute-{}.csv", std::process::id()));
-        std::fs::write(&model_path, model.to_bytes()).unwrap();
+        write_model(&model_path);
 
         let args = Args::parse(
             [
@@ -134,6 +183,71 @@ mod tests {
     }
 
     #[test]
+    fn impute_a_gap_csv_through_the_batch_op() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let model_path = dir.join(format!("habit-impute-csv-{pid}.habit"));
+        let gaps_path = dir.join(format!("habit-impute-csv-{pid}-gaps.csv"));
+        let out_path = dir.join(format!("habit-impute-csv-{pid}-out.csv"));
+        write_model(&model_path);
+        std::fs::write(
+            &gaps_path,
+            "lon1,lat1,t1,lon2,lat2,t2\n\
+             10.05,56.0,0,10.35,56.0,3600\n\
+             10.10,56.0,0,10.40,56.0,3600\n",
+        )
+        .unwrap();
+
+        let args = Args::parse(
+            [
+                "impute",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--input",
+                gaps_path.to_str().unwrap(),
+                "--out",
+                out_path.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        run(&args).expect("impute --input");
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&gaps_path).ok();
+        std::fs::remove_file(&out_path).ok();
+        assert!(text.starts_with("gap,t,lon,lat"), "{text}");
+        for id in ["0", "1"] {
+            assert!(
+                text.lines()
+                    .skip(1)
+                    .any(|l| l.split(',').next() == Some(id)),
+                "gap {id} missing from output"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_conflicting_input_and_endpoint_flags() {
+        let args = Args::parse(
+            [
+                "impute",
+                "--model",
+                "/nonexistent",
+                "--input",
+                "gaps.csv",
+                "--from",
+                "10,56,0",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("one or the other"), "{err}");
+    }
+
+    #[test]
     fn rejects_inverted_time_and_bad_model() {
         let args = Args::parse(
             [
@@ -148,7 +262,9 @@ mod tests {
             .map(String::from),
         )
         .unwrap();
-        assert!(run(&args).unwrap_err().to_string().contains("later"));
+        let err = run(&args).unwrap_err();
+        assert!(err.to_string().contains("later"));
+        assert_eq!(err.exit_code(), 2, "usage error");
 
         let dir = std::env::temp_dir();
         let bad = dir.join(format!("habit-bad-{}.habit", std::process::id()));
@@ -172,5 +288,6 @@ mod tests {
             err.to_string().contains("invalid serialized model"),
             "{err}"
         );
+        assert_eq!(err.code, habit_service::ErrorCode::BadModelBlob);
     }
 }

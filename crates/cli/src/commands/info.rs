@@ -1,53 +1,56 @@
-//! `habit info` — describe a fitted model file.
+//! `habit info` — a thin adapter: flags → [`Request::ModelInfo`] → text.
 
 use crate::args::Args;
-use habit_core::{CellProjection, HabitModel, WeightScheme};
-use std::error::Error;
+use crate::commands::open_service;
+use habit_core::{CellProjection, WeightScheme};
+use habit_service::{ModelReport, Request, Response, ServiceError};
 
 /// Renders a model description (separated from `run` for testing).
-pub fn describe(model: &HabitModel, blob_len: usize) -> String {
-    let c = model.config();
-    let projection = match c.projection {
+pub fn describe(report: &ModelReport) -> String {
+    let projection = match report.config.projection {
         CellProjection::Center => "center (c)",
         CellProjection::Median => "median (w)",
     };
-    let weights = match c.weight_scheme {
+    let weights = match report.config.weight_scheme {
         WeightScheme::Hops => "hops (paper default)",
         WeightScheme::InverseTransitions => "1/transitions",
         WeightScheme::NegLogFrequency => "neg-log frequency",
     };
     let mut out = String::new();
-    out.push_str(&format!("HABIT model ({blob_len} bytes serialized)\n"));
-    out.push_str(&format!("  resolution r      : {}\n", c.resolution));
+    out.push_str(&format!(
+        "HABIT model ({} bytes serialized)\n",
+        report.storage_bytes
+    ));
+    out.push_str(&format!(
+        "  resolution r      : {}\n",
+        report.config.resolution
+    ));
     out.push_str(&format!("  projection p      : {projection}\n"));
-    out.push_str(&format!("  rdp tolerance t   : {} m\n", c.rdp_tolerance_m));
+    out.push_str(&format!(
+        "  rdp tolerance t   : {} m\n",
+        report.config.rdp_tolerance_m
+    ));
     out.push_str(&format!("  edge weights      : {weights}\n"));
     out.push_str(&format!(
         "  graph             : {} cells, {} transitions\n",
-        model.node_count(),
-        model.edge_count()
+        report.cells, report.transitions
     ));
-    // Aggregate traffic stats over the graph.
-    let mut msgs = 0u64;
-    let mut max_vessels = 0u64;
-    for (_, stats) in model.graph().nodes() {
-        msgs += stats.msg_count;
-        max_vessels = max_vessels.max(stats.vessels);
-    }
-    out.push_str(&format!("  indexed reports   : {msgs}\n"));
+    out.push_str(&format!("  indexed reports   : {}\n", report.reports));
     out.push_str(&format!(
-        "  busiest cell      : {max_vessels} distinct vessels\n"
+        "  busiest cell      : {} distinct vessels\n",
+        report.busiest_cell_vessels
     ));
     out
 }
 
 /// Entry point for `habit info`.
-pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn run(args: &Args) -> Result<(), ServiceError> {
     args.check_flags(&["model"])?;
-    let path = args.require("model")?;
-    let bytes = std::fs::read(path)?;
-    let model = HabitModel::from_bytes(&bytes)?;
-    print!("{}", describe(&model, bytes.len()));
+    let service = open_service(args.require("model")?, 1, 1)?;
+    let Response::ModelInfo(report) = service.handle(&Request::ModelInfo)? else {
+        unreachable!("ModelInfo answers ModelInfo");
+    };
+    print!("{}", describe(&report));
     Ok(())
 }
 
@@ -55,7 +58,8 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
 mod tests {
     use super::*;
     use ais::{trips_to_table, AisPoint, Trip};
-    use habit_core::HabitConfig;
+    use habit_core::{HabitConfig, HabitModel};
+    use habit_service::{Service, ServiceConfig};
 
     #[test]
     fn describe_contains_key_fields() {
@@ -68,7 +72,17 @@ mod tests {
         }];
         let model =
             HabitModel::fit(&trips_to_table(&trips), HabitConfig::with_r_t(8, 250.0)).unwrap();
-        let text = describe(&model, model.storage_bytes());
+        let service = Service::with_model(
+            ServiceConfig {
+                threads: 1,
+                cache_capacity: 1,
+            },
+            model,
+        );
+        let Response::ModelInfo(report) = service.handle(&Request::ModelInfo).unwrap() else {
+            panic!("model info");
+        };
+        let text = describe(&report);
         assert!(text.contains("resolution r      : 8"));
         assert!(text.contains("250 m"));
         assert!(text.contains("median (w)"));
@@ -79,6 +93,7 @@ mod tests {
     #[test]
     fn run_reports_missing_file() {
         let args = Args::parse(["info", "--model", "/does/not/exist"].map(String::from)).unwrap();
-        assert!(run(&args).is_err());
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.code, habit_service::ErrorCode::Io);
     }
 }

@@ -1,49 +1,59 @@
-//! `habit repair` — fill every communication gap in a track CSV.
+//! `habit repair` — a thin adapter: flags → [`Request::Repair`] →
+//! repaired track CSV plus a per-gap report.
 
 use crate::args::Args;
+use crate::commands::open_service;
 use crate::io::{read_track_csv, write_track_csv};
-use habit_core::{HabitModel, RepairConfig};
-use std::error::Error;
+use habit_core::RepairConfig;
+use habit_service::{Request, Response, ServiceError};
 use std::path::Path;
 
 /// Entry point for `habit repair`.
-pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn run(args: &Args) -> Result<(), ServiceError> {
     args.check_flags(&["model", "input", "out", "threshold", "densify"])?;
     let model_path = args.require("model")?;
     let input = args.require("input")?;
     let out = args.require("out")?;
     let threshold: i64 = args.get_or("threshold", 30 * 60)?;
     if threshold <= 0 {
-        return Err("--threshold must be positive seconds".into());
+        return Err(ServiceError::bad_request(
+            "--threshold must be positive seconds",
+        ));
     }
     // Default 250 m (the paper's resampling bound); `--densify none`
     // keeps only the simplified vertices.
     let densify: Option<f64> = match args.get("densify") {
         Some("none") => None,
-        Some(raw) => Some(raw.parse().map_err(|_| format!("bad --densify `{raw}`"))?),
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ServiceError::bad_request(format!("bad --densify `{raw}`")))?,
+        ),
         None => Some(250.0),
     };
 
-    let model = HabitModel::from_bytes(&std::fs::read(model_path)?)?;
     let track = read_track_csv(Path::new(input))?;
-    if track.len() < 2 {
-        return Err("track needs at least two points".into());
-    }
-    let config = RepairConfig {
-        gap_threshold_s: threshold,
-        densify_max_spacing_m: densify,
+    let points_in = track.len();
+    let service = open_service(model_path, 1, 1)?;
+    let Response::Repaired(repaired) = service.handle(&Request::Repair {
+        track,
+        config: RepairConfig {
+            gap_threshold_s: threshold,
+            densify_max_spacing_m: densify,
+        },
+    })?
+    else {
+        unreachable!("Repair answers Repaired");
     };
-    let (repaired, report) = model.repair_track(&track, &config)?;
-    write_track_csv(&repaired, Path::new(out))?;
+    write_track_csv(&repaired.points, Path::new(out))?;
     println!(
         "{} -> {out}: {} points in, {} gaps found, {} imputed, {} points added",
         input,
-        track.len(),
-        report.gaps_found(),
-        report.gaps_imputed(),
-        report.points_added
+        points_in,
+        repaired.gaps_found(),
+        repaired.gaps_imputed(),
+        repaired.points_added
     );
-    for gap in &report.gaps {
+    for gap in &repaired.gaps {
         let status = match &gap.error {
             None => format!("+{} points", gap.points_added),
             Some(e) => format!("FAILED: {e}"),
@@ -60,7 +70,7 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
 mod tests {
     use super::*;
     use ais::{trips_to_table, AisPoint, Trip};
-    use habit_core::HabitConfig;
+    use habit_core::{HabitConfig, HabitModel};
 
     #[test]
     fn repair_end_to_end() {
@@ -150,5 +160,6 @@ mod tests {
         let err = run(&args).unwrap_err();
         std::fs::remove_file(&track_path).ok();
         assert!(err.to_string().contains("positive"), "{err}");
+        assert_eq!(err.exit_code(), 2, "flag misuse is a usage error");
     }
 }

@@ -1,0 +1,100 @@
+//! `habit serve` — the long-lived daemon: the same [`Service`] the CLI
+//! adapters use, wrapped in the blocking line-JSON-over-TCP server of
+//! [`habit_service::server`].
+//!
+//! ```text
+//! habit serve --model kiel.habit --port 4740 &
+//! printf '%s\n' '{"v":1,"op":"health"}' | nc 127.0.0.1 4740
+//! printf '%s\n' '{"v":1,"op":"shutdown"}' | nc 127.0.0.1 4740
+//! ```
+//!
+//! The first stdout line reports the bound address (`--port 0` picks a
+//! free port, so scripts and tests parse that line); `--watch-stdin`
+//! makes a closing stdin pipe trigger the same graceful shutdown as a
+//! `shutdown` request.
+
+use crate::args::Args;
+use habit_service::{ServeOptions, Service, ServiceConfig, ServiceError};
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// Default TCP port ("HT" on a phone keypad, collision-free in the
+/// registered range).
+const DEFAULT_PORT: u16 = 4740;
+
+/// Entry point for `habit serve`.
+pub fn run(args: &Args) -> Result<(), ServiceError> {
+    args.check_flags(&[
+        "model",
+        "host",
+        "port",
+        "threads",
+        "cache",
+        "conn-threads",
+        "watch-stdin",
+    ])?;
+    let model_path = args.require("model")?;
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.get_or("port", DEFAULT_PORT)?;
+    let threads: usize = args.get_or(
+        "threads",
+        std::thread::available_parallelism().map_or(1, usize::from),
+    )?;
+    let cache: usize = args.get_or("cache", 4096)?;
+    let conn_threads: usize = args.get_or("conn-threads", 4)?;
+
+    let service = Arc::new(Service::with_model_file(
+        ServiceConfig {
+            threads,
+            cache_capacity: cache,
+        },
+        model_path,
+    )?);
+    let model = service.model().expect("constructed with a model");
+    let listener = TcpListener::bind((host, port)).map_err(|e| {
+        ServiceError::new(habit_service::ErrorCode::Io, format!("{host}:{port}: {e}"))
+    })?;
+    let local = listener.local_addr()?;
+    println!(
+        "habit serve: listening on {local} ({model_path}: {} cells, {} transitions; {threads} compute threads, {conn_threads} connection workers)",
+        model.node_count(),
+        model.edge_count(),
+    );
+    println!(
+        "habit serve: protocol habit-wire/v1 — one JSON request per line; '{{\"v\":1,\"op\":\"shutdown\"}}' stops the daemon"
+    );
+    std::io::stdout().flush()?;
+
+    let served = habit_service::serve(
+        &service,
+        listener,
+        ServeOptions {
+            connection_threads: conn_threads,
+            watch_stdin: args.switch("watch-stdin"),
+            ..ServeOptions::default()
+        },
+    )?;
+    println!("habit serve: clean shutdown after {served} connection(s)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_requires_a_real_model() {
+        let args =
+            Args::parse(["serve", "--model", "/nonexistent.habit"].map(String::from)).unwrap();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.code, habit_service::ErrorCode::Io);
+    }
+
+    #[test]
+    fn serve_rejects_unknown_flags() {
+        let args = Args::parse(["serve", "--model", "x", "--prot", "1"].map(String::from)).unwrap();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+}

@@ -1,31 +1,38 @@
 //! `habit synth` — generate a synthetic AIS CSV dataset.
+//!
+//! The one command with no service operation behind it: dataset
+//! generation is an input producer, not a model operation. Its errors
+//! still speak the unified taxonomy (`bad_request` for unknown
+//! datasets/bad scales, I/O codes from the writer).
 
 use crate::args::Args;
 use crate::io::write_ais_csv;
-use std::error::Error;
+use habit_service::ServiceError;
 use std::path::Path;
 use synth::{datasets, DatasetSpec};
 
 /// Builds the named dataset (`dan` / `kiel` / `sar`).
-pub fn build_dataset(name: &str, seed: u64, scale: f64) -> Result<datasets::Dataset, String> {
+pub fn build_dataset(name: &str, seed: u64, scale: f64) -> Result<datasets::Dataset, ServiceError> {
     let spec = DatasetSpec { seed, scale };
     match name.to_ascii_lowercase().as_str() {
         "dan" => Ok(datasets::dan(spec)),
         "kiel" => Ok(datasets::kiel(spec)),
         "sar" => Ok(datasets::sar(spec)),
-        other => Err(format!("unknown dataset `{other}` (dan|kiel|sar)")),
+        other => Err(ServiceError::bad_request(format!(
+            "unknown dataset `{other}` (dan|kiel|sar)"
+        ))),
     }
 }
 
 /// Entry point for `habit synth`.
-pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn run(args: &Args) -> Result<(), ServiceError> {
     args.check_flags(&["dataset", "out", "seed", "scale"])?;
     let name = args.require("dataset")?;
     let out = args.require("out")?;
     let seed: u64 = args.get_or("seed", 42)?;
     let scale: f64 = args.get_or("scale", 1.0)?;
     if scale <= 0.0 {
-        return Err("--scale must be positive".into());
+        return Err(ServiceError::bad_request("--scale must be positive"));
     }
 
     let dataset = build_dataset(name, seed, scale)?;
@@ -47,7 +54,8 @@ mod tests {
     fn dataset_names_resolve() {
         assert!(build_dataset("kiel", 1, 0.05).is_ok());
         assert!(build_dataset("KIEL", 1, 0.05).is_ok());
-        assert!(build_dataset("atlantis", 1, 0.05).is_err());
+        let err = build_dataset("atlantis", 1, 0.05).unwrap_err();
+        assert_eq!(err.code, habit_service::ErrorCode::BadRequest);
     }
 
     #[test]
@@ -90,7 +98,7 @@ mod tests {
             .map(String::from),
         )
         .unwrap();
-        assert!(run(&args).is_err());
+        assert_eq!(run(&args).unwrap_err().exit_code(), 2, "usage error");
         let args = Args::parse(
             [
                 "synth",

@@ -1,32 +1,39 @@
 //! # habit-cli — the `habit` command-line tool as a library
 //!
 //! The binary (`src/main.rs`) is a thin wrapper over this crate so that
-//! argument parsing, CSV I/O and every subcommand stay unit-testable:
+//! argument parsing and every subcommand stay unit-testable:
 //!
 //! * [`args`] — the minimal `--flag value` parser (hand-rolled; the
 //!   offline workspace has no CLI dependency);
-//! * [`io`] — AIS CSV ↔ [`ais::Trajectory`] and track CSV ↔
-//!   [`geo_kernel::TimedPoint`] conversions;
-//! * [`commands`] — one module per subcommand (`synth`, `fit`, `impute`,
-//!   `batch`, `repair`, `info`, `eval`, `export`) plus the dispatcher,
-//!   [`commands::help_text`] (usage, worked examples, exit codes) and
-//!   [`commands::version`].
+//! * [`io`] — the shared CSV converters re-exported from
+//!   [`habit_service::csvio`] plus the `-` (stdin) input convention;
+//! * [`commands`] — one thin adapter per subcommand (`synth`, `fit`,
+//!   `impute`, `batch`, `repair`, `info`, `eval`, `export`, `serve`)
+//!   plus the dispatcher, [`commands::help_text`] (usage, worked
+//!   examples, exit codes, wire protocol) and [`commands::version`].
+//!
+//! Every command that touches a model routes through
+//! [`habit_service::Service`] — the same facade the `habit serve`
+//! daemon exposes over TCP — so the CLI, the daemon, and the tests all
+//! exercise one code path, and every failure carries a stable
+//! [`habit_service::ErrorCode`].
 //!
 //! ## Exit codes
 //!
 //! The binary's exit codes are stable and shell-friendly — scripts may
-//! branch on them:
+//! branch on them. They derive from the error taxonomy in exactly one
+//! place (`main`):
 //!
 //! | code | meaning |
 //! |------|---------|
 //! | 0 | success |
 //! | 1 | runtime failure: bad input file, no imputable path, I/O error |
-//! | 2 | usage error: unknown command or flag, missing/unparsable value |
+//! | 2 | usage error (`bad_request`): unknown command or flag, missing/unparsable value |
 //!
-//! Usage errors print the offending flag and the full help text to
-//! stderr; runtime failures print a one-line `error: …` diagnostic.
-//! The same convention is shared by the `habit-bench` experiment
-//! binaries.
+//! Usage errors print the offending flag to stderr (argument-parse
+//! failures add the full help text); runtime failures print a one-line
+//! `error: … [code]` diagnostic carrying the machine-readable code the
+//! daemon would return for the same failure.
 //!
 //! ## Typical session
 //!
@@ -34,6 +41,7 @@
 //! habit synth  --dataset kiel --scale 0.3 --out kiel.csv
 //! habit fit    --input kiel.csv --resolution 9 --tolerance 100 --out kiel.habit
 //! habit impute --model kiel.habit --from 10.30,57.10,0 --to 10.85,57.45,3600
+//! habit serve  --model kiel.habit --port 4740
 //! ```
 //!
 //! Run `habit help` for the complete command reference.

@@ -1,7 +1,8 @@
 //! `habit` — the HABIT command-line tool.
 //!
 //! Generate synthetic AIS data, fit imputation models, answer gap
-//! queries, and repair whole tracks from the shell:
+//! queries, repair whole tracks, and serve models over TCP from the
+//! shell:
 //!
 //! ```text
 //! habit synth  --dataset kiel --scale 0.3 --out kiel.csv
@@ -9,11 +10,14 @@
 //! habit info   --model kiel.habit
 //! habit impute --model kiel.habit --from 10.30,57.10,0 --to 10.85,57.45,3600
 //! habit repair --model kiel.habit --input track.csv --out repaired.csv
+//! habit serve  --model kiel.habit --port 4740
 //! habit eval   --dataset sar --scale 0.2
 //! ```
 //!
-//! Exit codes are stable for shell use: 0 success, 1 runtime failure,
-//! 2 usage error (see `habit help` or the `habit_cli` crate docs).
+//! Exit codes are stable for shell use and derive from the service
+//! error taxonomy in exactly one place (here): 0 success, 1 runtime
+//! failure, 2 usage error (`bad_request`). See `habit help` or the
+//! `habit_cli` crate docs.
 
 use habit_cli::{args, commands};
 use std::process::ExitCode;
@@ -31,8 +35,9 @@ fn main() -> ExitCode {
     match commands::dispatch(&parsed) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // The single error→exit-code seam: the taxonomy decides.
+            eprintln!("error: {e} [{}]", e.code);
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -192,6 +192,9 @@ fn full_workflow_through_the_binary() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Pins the unified exit-code table (0 success / 1 runtime / 2 usage)
+/// at the process boundary: exit codes derive from the service error
+/// taxonomy in one place, so every command fails the same way.
 #[test]
 fn helpful_failures_and_exit_codes() {
     // No arguments: usage on stderr, exit code 2.
@@ -199,9 +202,10 @@ fn helpful_failures_and_exit_codes() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 
-    // Unknown command: exit 1 with a pointer to help.
+    // Unknown command: a usage error (exit 2, `bad_request`) with a
+    // pointer to help — as the EXIT CODES table documents.
     let out = habit(&["frobnicate"]);
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
     // help: exit 0.
@@ -209,14 +213,109 @@ fn helpful_failures_and_exit_codes() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("impute"));
 
-    // Missing required flag.
+    // Missing required flag: usage error, exit 2.
     let out = habit(&["fit", "--input", "/nonexistent.csv"]);
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
 
-    // Unreadable input reported cleanly, not a panic.
+    // Unknown flag: usage error, exit 2.
+    let out = habit(&[
+        "synth",
+        "--dataset",
+        "kiel",
+        "--out",
+        "x.csv",
+        "--sale",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    // Unreadable input reported cleanly, not a panic: runtime failure,
+    // exit 1, carrying the machine-readable taxonomy code.
     let out = habit(&["info", "--model", "/does/not/exist.habit"]);
     assert_eq!(out.status.code(), Some(1));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("[io]"), "taxonomy code shown: {err}");
+}
+
+/// `--input -` streams a gap CSV from stdin (`batch` and `impute`),
+/// matching the daemon's streaming shape.
+#[test]
+fn batch_and_impute_read_gaps_from_stdin() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join(format!("habit-e2e-stdin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("kiel.csv");
+    let model = dir.join("kiel.habit");
+    let out = habit(&[
+        "synth",
+        "--dataset",
+        "kiel",
+        "--scale",
+        "0.05",
+        "--seed",
+        "7",
+        "--out",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = habit(&[
+        "fit",
+        "--input",
+        csv.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let first: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+    let (lon, lat) = (first[2].parse::<f64>().unwrap(), first[3]);
+    let gap_rows = format!(
+        "lon1,lat1,t1,lon2,lat2,t2\n{lon},{lat},0,{},{lat},3600\n",
+        lon + 0.15
+    );
+
+    for command in ["batch", "impute"] {
+        let out_csv = dir.join(format!("{command}-stdin.csv"));
+        let mut child = Command::new(env!("CARGO_BIN_EXE_habit"))
+            .args([
+                command,
+                "--model",
+                model.to_str().unwrap(),
+                "--input",
+                "-",
+                "--out",
+                out_csv.to_str().unwrap(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn habit");
+        child
+            .stdin
+            .take()
+            .expect("piped stdin")
+            .write_all(gap_rows.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "{command} --input -: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let body = std::fs::read_to_string(&out_csv).unwrap();
+        assert!(body.starts_with("gap,t,lon,lat"), "{command}: {body}");
+        assert!(body.lines().count() >= 3, "{command}: {body}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

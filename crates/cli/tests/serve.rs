@@ -1,0 +1,228 @@
+//! End-to-end test of the `habit serve` daemon: spawns the real binary
+//! on an ephemeral port, speaks habit-wire/v1 over a real TCP socket
+//! (`Health`, `Impute`, `ImputeBatch`, `Shutdown`), and asserts the
+//! TCP path produces **byte-identical** imputation output to the
+//! `habit impute` CLI adapter on the same model and gap — the
+//! acceptance check that both frontends share one code path.
+
+use habit_service::{wire, Request, Response};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn habit(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_habit"))
+        .args(args)
+        .output()
+        .expect("spawn habit binary")
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("habit-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+/// Builds a small model through the real binary; returns (csv, model).
+fn build_model(dir: &Path) -> (PathBuf, PathBuf) {
+    let csv = dir.join("kiel.csv");
+    let model = dir.join("kiel.habit");
+    let out = habit(&[
+        "synth",
+        "--dataset",
+        "kiel",
+        "--scale",
+        "0.05",
+        "--seed",
+        "7",
+        "--out",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = habit(&[
+        "fit",
+        "--input",
+        csv.to_str().unwrap(),
+        "--resolution",
+        "9",
+        "--tolerance",
+        "100",
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (csv, model)
+}
+
+/// Spawns `habit serve --port 0` and parses the bound address from its
+/// first stdout line (guarded by a timeout so a hung daemon fails the
+/// test instead of wedging CI).
+fn spawn_daemon(model: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_habit"))
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--port",
+            "0",
+            "--threads",
+            "2",
+            "--conn-threads",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn habit serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read banner line");
+    let addr = first
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {first:?}"))
+        .to_string();
+    // Keep draining stdout in the background so the daemon never blocks
+    // on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    (child, addr)
+}
+
+/// Sends one request line and reads one response line.
+fn round_trip(stream: &TcpStream, reader: &mut BufReader<TcpStream>, request: &Request) -> String {
+    let mut s = stream;
+    s.write_all(wire::encode_request(request).as_bytes())
+        .unwrap();
+    s.write_all(b"\n").unwrap();
+    s.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read response line");
+    assert!(!reply.is_empty(), "daemon closed the connection early");
+    reply
+}
+
+/// Waits for the daemon to exit, failing the test on a hang.
+fn wait_with_timeout(child: &mut Child, limit: Duration) -> std::process::ExitStatus {
+    let t0 = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if t0.elapsed() > limit {
+            let _ = child.kill();
+            panic!("habit serve did not exit within {limit:?} after Shutdown");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn daemon_round_trip_matches_the_cli_byte_for_byte() {
+    let dir = tmpdir();
+    let (csv, model) = build_model(&dir);
+
+    // A gap along the corridor, from the dataset's own coordinates.
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let first: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+    let (lon, lat): (f64, f64) = (first[2].parse().unwrap(), first[3].parse().unwrap());
+    let (lon2, t2) = (lon + 0.15, 3600i64);
+    let gap = habit_core::GapQuery::new(lon, lat, 0, lon2, lat, t2);
+
+    let (mut child, addr) = spawn_daemon(&model);
+    let stream = TcpStream::connect(&addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // -- Health: model loaded, graph populated.
+    let reply = round_trip(&stream, &mut reader, &Request::Health);
+    let Ok(Response::Health(health)) = wire::decode_response(&reply).unwrap() else {
+        panic!("health reply: {reply}");
+    };
+    assert!(health.model_loaded);
+    assert!(health.cells > 0);
+
+    // -- Impute over TCP.
+    let reply = round_trip(&stream, &mut reader, &Request::Impute { gap });
+    let Ok(Response::Imputation(tcp_imputation)) = wire::decode_response(&reply).unwrap() else {
+        panic!("impute reply: {reply}");
+    };
+    assert!(tcp_imputation.points.len() >= 2);
+
+    // -- ImputeBatch over TCP: same gap twice — identical answers, one
+    //    unique route.
+    let reply = round_trip(
+        &stream,
+        &mut reader,
+        &Request::ImputeBatch {
+            gaps: vec![gap, gap],
+        },
+    );
+    let Ok(Response::Batch(batch)) = wire::decode_response(&reply).unwrap() else {
+        panic!("batch reply: {reply}");
+    };
+    assert_eq!(batch.stats.queries, 2);
+    assert_eq!(batch.stats.ok, 2);
+    assert_eq!(batch.stats.unique_routes, 1, "route dedup over TCP");
+    for result in &batch.results {
+        let imp = result.as_ref().expect("batch result");
+        assert_eq!(imp.points, tcp_imputation.points, "batch == single");
+    }
+
+    // -- The byte-identical acceptance check: render the TCP answer
+    //    through the same CSV writer the CLI uses and diff the files.
+    let cli_out = dir.join("cli-imputed.csv");
+    let out = habit(&[
+        "impute",
+        "--model",
+        model.to_str().unwrap(),
+        "--from",
+        &format!("{lon},{lat},0"),
+        "--to",
+        &format!("{lon2},{lat},{t2}"),
+        "--out",
+        cli_out.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tcp_out = dir.join("tcp-imputed.csv");
+    habit_cli::io::write_track_csv(&tcp_imputation.points, &tcp_out).unwrap();
+    let cli_bytes = std::fs::read(&cli_out).unwrap();
+    let tcp_bytes = std::fs::read(&tcp_out).unwrap();
+    assert!(!cli_bytes.is_empty());
+    assert_eq!(
+        cli_bytes, tcp_bytes,
+        "TCP daemon and CLI adapter must produce byte-identical imputation output"
+    );
+
+    // -- Shutdown: acknowledged, then the process exits cleanly (0).
+    let reply = round_trip(&stream, &mut reader, &Request::Shutdown);
+    assert!(matches!(
+        wire::decode_response(&reply).unwrap(),
+        Ok(Response::ShuttingDown)
+    ));
+    let status = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "clean exit after Shutdown: {status:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

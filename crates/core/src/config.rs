@@ -30,7 +30,7 @@ pub enum WeightScheme {
 
 /// All tunables of the framework, named as in the paper: resolution `r`,
 /// projection `p`, simplification tolerance `t`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HabitConfig {
     /// H3 grid resolution `r` (paper sweeps 6..=10; default 9).
     pub resolution: u8,

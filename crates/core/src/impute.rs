@@ -9,7 +9,7 @@ use mobgraph::astar;
 
 /// A gap to impute: the last report before the silence and the first
 /// report after it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GapQuery {
     /// Last known position/time before the gap.
     pub start: TimedPoint,

@@ -15,7 +15,7 @@ use crate::model::HabitModel;
 use geo_kernel::TimedPoint;
 
 /// Configuration of a repair pass.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepairConfig {
     /// Minimum silence (seconds) between consecutive reports that counts
     /// as a gap to impute. The paper's trip segmentation uses ΔT = 30

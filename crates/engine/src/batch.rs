@@ -85,14 +85,19 @@ pub struct BatchStats {
 
 /// A model wrapper that answers gap-query batches concurrently with
 /// route dedup and a bounded LRU route cache.
-pub struct BatchImputer<'m> {
-    model: &'m HabitModel,
+///
+/// The imputer *owns* its model (shared via `Arc`), so a long-lived
+/// service can keep one imputer — and its warm route cache — alive
+/// across requests while other components (e.g. a model-info endpoint)
+/// hold the same model.
+pub struct BatchImputer {
+    model: Arc<HabitModel>,
     cache: Mutex<LruCache<(u64, u64), Arc<RouteOutcome>>>,
 }
 
-impl<'m> BatchImputer<'m> {
+impl BatchImputer {
     /// Wraps `model` with a route cache of `cache_capacity` entries.
-    pub fn new(model: &'m HabitModel, cache_capacity: usize) -> Self {
+    pub fn new(model: Arc<HabitModel>, cache_capacity: usize) -> Self {
         Self {
             model,
             cache: Mutex::new(LruCache::new(cache_capacity)),
@@ -101,7 +106,7 @@ impl<'m> BatchImputer<'m> {
 
     /// The wrapped model.
     pub fn model(&self) -> &HabitModel {
-        self.model
+        &self.model
     }
 
     /// Number of routes currently cached.
@@ -125,7 +130,7 @@ impl<'m> BatchImputer<'m> {
         }
 
         // -- 1. Snap every query's endpoints (parallel, query order).
-        let model = self.model;
+        let model = self.model.as_ref();
         let snapped: Vec<Result<(HexCell, HexCell), BatchFailure>> =
             pool.map_items(queries, |gap| {
                 let start = model
@@ -216,7 +221,7 @@ mod tests {
     use ais::{trips_to_table, AisPoint, Trip};
     use habit_core::HabitConfig;
 
-    fn lane_model() -> HabitModel {
+    fn lane_model() -> Arc<HabitModel> {
         let trips: Vec<Trip> = (0..4)
             .map(|k| Trip {
                 trip_id: k + 1,
@@ -235,7 +240,7 @@ mod tests {
                     .collect(),
             })
             .collect();
-        HabitModel::fit(&trips_to_table(&trips), HabitConfig::default()).unwrap()
+        Arc::new(HabitModel::fit(&trips_to_table(&trips), HabitConfig::default()).unwrap())
     }
 
     fn lane_queries(n: usize) -> Vec<GapQuery> {
@@ -259,7 +264,7 @@ mod tests {
     #[test]
     fn batch_matches_single_query_path() {
         let model = lane_model();
-        let imputer = BatchImputer::new(&model, 64);
+        let imputer = BatchImputer::new(Arc::clone(&model), 64);
         let pool = ThreadPool::new(4);
         let queries = lane_queries(12);
         let (results, stats) = imputer.impute_batch(&queries, &pool);
@@ -284,7 +289,7 @@ mod tests {
     #[test]
     fn cache_serves_repeat_batches() {
         let model = lane_model();
-        let imputer = BatchImputer::new(&model, 64);
+        let imputer = BatchImputer::new(Arc::clone(&model), 64);
         let pool = ThreadPool::new(2);
         let queries = lane_queries(9);
         let (_, first) = imputer.impute_batch(&queries, &pool);
@@ -301,12 +306,12 @@ mod tests {
         let model = lane_model();
         let queries = lane_queries(20);
         let reference: Vec<_> = {
-            let imputer = BatchImputer::new(&model, 8);
+            let imputer = BatchImputer::new(Arc::clone(&model), 8);
             let pool = ThreadPool::new(1);
             imputer.impute_batch(&queries, &pool).0
         };
         for threads in [2usize, 4] {
-            let imputer = BatchImputer::new(&model, 8);
+            let imputer = BatchImputer::new(Arc::clone(&model), 8);
             let pool = ThreadPool::new(threads);
             let (results, _) = imputer.impute_batch(&queries, &pool);
             for (i, (a, b)) in reference.iter().zip(&results).enumerate() {
@@ -325,7 +330,7 @@ mod tests {
     #[test]
     fn failures_are_per_query_not_batch_wide() {
         let model = lane_model();
-        let imputer = BatchImputer::new(&model, 8);
+        let imputer = BatchImputer::new(Arc::clone(&model), 8);
         let pool = ThreadPool::new(2);
         let mut queries = lane_queries(3);
         // An endpoint with an invalid latitude cannot snap.
@@ -340,7 +345,7 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let model = lane_model();
-        let imputer = BatchImputer::new(&model, 8);
+        let imputer = BatchImputer::new(Arc::clone(&model), 8);
         let pool = ThreadPool::new(2);
         let (results, stats) = imputer.impute_batch(&[], &pool);
         assert!(results.is_empty());

@@ -40,8 +40,8 @@
 //! ]).unwrap();
 //!
 //! let pool = ThreadPool::new(4);
-//! let model = fit_sharded(&table, HabitConfig::default(), 4, &pool).unwrap();
-//! let imputer = BatchImputer::new(&model, 1024);
+//! let model = std::sync::Arc::new(fit_sharded(&table, HabitConfig::default(), 4, &pool).unwrap());
+//! let imputer = BatchImputer::new(model, 1024);
 //! let queries = vec![GapQuery::new(10.05, 56.0, 0, 10.3, 56.0, 3600); 16];
 //! let (results, stats) = imputer.impute_batch(&queries, &pool);
 //! assert_eq!(stats.ok, 16);

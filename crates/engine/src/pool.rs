@@ -59,6 +59,21 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Submits one fire-and-forget job to the pool.
+    ///
+    /// Unlike [`map_chunks`](Self::map_chunks) this does not block: the
+    /// job runs whenever a worker frees up, and dropping the pool joins
+    /// it (the queue is drained before the workers exit). This is the
+    /// shape a blocking accept loop needs — hand each connection to a
+    /// worker and keep accepting.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.tx
+            .as_ref()
+            .expect("pool sender alive")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
     /// Splits `items` into chunks of `chunk_size` and maps `f(chunk_index,
     /// chunk)` over them on the pool, blocking until every chunk is done.
     /// Results come back in chunk order. The calling thread only waits —
@@ -234,6 +249,21 @@ mod tests {
             let out = pool.map_items(&items, |x| x + round);
             assert_eq!(out.len(), items.len());
         }
+    }
+
+    #[test]
+    fn execute_runs_detached_jobs_and_drop_drains_them() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(2);
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers after the queue drains
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! CSV I/O between the system's file formats and the library types.
+//!
+//! Moved here from `habit-cli` so every frontend — the CLI adapters,
+//! the daemon's `fit` operation, tests — shares one set of converters.
+//! Three formats:
+//!
+//! * **AIS CSV** — `mmsi,t,lon,lat,sog,cog,heading`, one row per report
+//!   (the format `habit synth` writes and `habit fit` reads);
+//! * **track CSV** — `t,lon,lat`, a single vessel's time-ordered track
+//!   (`habit repair` / `habit impute` output);
+//! * **gap CSV** — `lon1,lat1,t1,lon2,lat2,t2`, one gap query per row
+//!   (`habit batch` input; output is a track CSV with a leading `gap`
+//!   column tying points back to their query row).
+//!
+//! Each reader has a path-based and a `Read`-based variant; the latter
+//! is what `--input -` (stdin) plumbs into.
+
+use aggdb::csv::{read_csv, read_csv_path, write_csv_path};
+use aggdb::{AggError, Column, Table};
+use ais::{AisPoint, Trajectory};
+use geo_kernel::TimedPoint;
+use habit_core::{GapQuery, Imputation};
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::path::Path;
+
+/// I/O errors with file context.
+#[derive(Debug)]
+pub enum IoError {
+    /// CSV parse / write failure.
+    Csv(AggError),
+    /// The file is missing a required column.
+    MissingColumn(&'static str),
+    /// A column has the wrong type.
+    BadColumn(&'static str),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Csv(e) => write!(f, "csv: {e}"),
+            IoError::MissingColumn(c) => write!(f, "missing column `{c}`"),
+            IoError::BadColumn(c) => write!(f, "column `{c}` has the wrong type"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<AggError> for IoError {
+    fn from(e: AggError) -> Self {
+        IoError::Csv(e)
+    }
+}
+
+impl From<IoError> for crate::ServiceError {
+    fn from(e: IoError) -> Self {
+        let code = match &e {
+            IoError::Csv(AggError::Io(_)) => crate::ErrorCode::Io,
+            IoError::Csv(_) => crate::ErrorCode::Csv,
+            IoError::MissingColumn(_) | IoError::BadColumn(_) => crate::ErrorCode::BadInput,
+        };
+        crate::ServiceError::new(code, e.to_string())
+    }
+}
+
+/// Numeric column as f64 regardless of inferred integer/float type.
+fn numeric(table: &Table, name: &'static str) -> Result<Vec<f64>, IoError> {
+    let col = table
+        .column_by_name(name)
+        .map_err(|_| IoError::MissingColumn(name))?;
+    if let Some(v) = col.f64_values() {
+        return Ok(v.to_vec());
+    }
+    if let Some(v) = col.i64_values() {
+        return Ok(v.iter().map(|&x| x as f64).collect());
+    }
+    if let Some(v) = col.u64_values() {
+        return Ok(v.iter().map(|&x| x as f64).collect());
+    }
+    Err(IoError::BadColumn(name))
+}
+
+/// Integer column as i64.
+fn integer(table: &Table, name: &'static str) -> Result<Vec<i64>, IoError> {
+    let col = table
+        .column_by_name(name)
+        .map_err(|_| IoError::MissingColumn(name))?;
+    if let Some(v) = col.i64_values() {
+        return Ok(v.to_vec());
+    }
+    if let Some(v) = col.u64_values() {
+        return Ok(v.iter().map(|&x| x as i64).collect());
+    }
+    Err(IoError::BadColumn(name))
+}
+
+fn ais_from_table(table: &Table) -> Result<Vec<Trajectory>, IoError> {
+    let n = table.num_rows();
+    let mmsi = integer(table, "mmsi")?;
+    let t = integer(table, "t")?;
+    let lon = numeric(table, "lon")?;
+    let lat = numeric(table, "lat")?;
+    let sog = numeric(table, "sog").unwrap_or_else(|_| vec![0.0; n]);
+    let cog = numeric(table, "cog").unwrap_or_else(|_| vec![0.0; n]);
+    let heading = numeric(table, "heading").unwrap_or_else(|_| cog.clone());
+
+    let mut per_vessel: BTreeMap<u64, Vec<AisPoint>> = BTreeMap::new();
+    for i in 0..n {
+        let mut p = AisPoint::new(mmsi[i] as u64, t[i], lon[i], lat[i], sog[i], cog[i]);
+        p.heading = heading[i];
+        per_vessel.entry(p.mmsi).or_default().push(p);
+    }
+    Ok(per_vessel
+        .into_iter()
+        .map(|(mmsi, points)| Trajectory::new(mmsi, points))
+        .collect())
+}
+
+/// Reads an AIS CSV into one trajectory per MMSI (sorted by time).
+///
+/// Required columns: `mmsi`, `t`, `lon`, `lat`; optional: `sog`, `cog`,
+/// `heading` (default 0 when absent).
+pub fn read_ais_csv(path: &Path) -> Result<Vec<Trajectory>, IoError> {
+    ais_from_table(&read_csv_path(path)?)
+}
+
+/// Reads an AIS CSV from any reader (e.g. stdin).
+pub fn read_ais_csv_reader<R: Read>(reader: R) -> Result<Vec<Trajectory>, IoError> {
+    ais_from_table(&read_csv(reader)?)
+}
+
+/// Writes trajectories as an AIS CSV.
+pub fn write_ais_csv(trajectories: &[Trajectory], path: &Path) -> Result<(), IoError> {
+    let n: usize = trajectories.iter().map(|t| t.len()).sum();
+    let mut mmsi = Vec::with_capacity(n);
+    let mut t = Vec::with_capacity(n);
+    let mut lon = Vec::with_capacity(n);
+    let mut lat = Vec::with_capacity(n);
+    let mut sog = Vec::with_capacity(n);
+    let mut cog = Vec::with_capacity(n);
+    let mut heading = Vec::with_capacity(n);
+    for traj in trajectories {
+        for p in &traj.points {
+            mmsi.push(p.mmsi as i64);
+            t.push(p.t);
+            lon.push(p.pos.lon);
+            lat.push(p.pos.lat);
+            sog.push(p.sog);
+            cog.push(p.cog);
+            heading.push(p.heading);
+        }
+    }
+    let table = Table::from_columns(vec![
+        ("mmsi", Column::from_i64(mmsi)),
+        ("t", Column::from_i64(t)),
+        ("lon", Column::from_f64(lon)),
+        ("lat", Column::from_f64(lat)),
+        ("sog", Column::from_f64(sog)),
+        ("cog", Column::from_f64(cog)),
+        ("heading", Column::from_f64(heading)),
+    ])?;
+    write_csv_path(&table, path)?;
+    Ok(())
+}
+
+fn track_from_table(table: &Table) -> Result<Vec<TimedPoint>, IoError> {
+    let t = integer(table, "t")?;
+    let lon = numeric(table, "lon")?;
+    let lat = numeric(table, "lat")?;
+    let mut points: Vec<TimedPoint> = t
+        .iter()
+        .zip(lon.iter().zip(&lat))
+        .map(|(&t, (&lon, &lat))| TimedPoint::new(lon, lat, t))
+        .collect();
+    points.sort_by_key(|p| p.t);
+    Ok(points)
+}
+
+/// Reads a single-vessel track CSV (`t,lon,lat`), sorted by time.
+pub fn read_track_csv(path: &Path) -> Result<Vec<TimedPoint>, IoError> {
+    track_from_table(&read_csv_path(path)?)
+}
+
+/// Reads a track CSV from any reader (e.g. stdin).
+pub fn read_track_csv_reader<R: Read>(reader: R) -> Result<Vec<TimedPoint>, IoError> {
+    track_from_table(&read_csv(reader)?)
+}
+
+/// Writes a track CSV (`t,lon,lat`).
+pub fn write_track_csv(points: &[TimedPoint], path: &Path) -> Result<(), IoError> {
+    let table = Table::from_columns(vec![
+        ("t", Column::from_i64(points.iter().map(|p| p.t).collect())),
+        (
+            "lon",
+            Column::from_f64(points.iter().map(|p| p.pos.lon).collect()),
+        ),
+        (
+            "lat",
+            Column::from_f64(points.iter().map(|p| p.pos.lat).collect()),
+        ),
+    ])?;
+    write_csv_path(&table, path)?;
+    Ok(())
+}
+
+fn gaps_from_table(table: &Table) -> Result<Vec<GapQuery>, IoError> {
+    let lon1 = numeric(table, "lon1")?;
+    let lat1 = numeric(table, "lat1")?;
+    let t1 = integer(table, "t1")?;
+    let lon2 = numeric(table, "lon2")?;
+    let lat2 = numeric(table, "lat2")?;
+    let t2 = integer(table, "t2")?;
+    Ok((0..table.num_rows())
+        .map(|i| GapQuery::new(lon1[i], lat1[i], t1[i], lon2[i], lat2[i], t2[i]))
+        .collect())
+}
+
+/// Reads a gap-query CSV (`lon1,lat1,t1,lon2,lat2,t2`), one query per
+/// row, in row order.
+pub fn read_gaps_csv(path: &Path) -> Result<Vec<GapQuery>, IoError> {
+    gaps_from_table(&read_csv_path(path)?)
+}
+
+/// Reads a gap-query CSV from any reader (e.g. stdin).
+pub fn read_gaps_csv_reader<R: Read>(reader: R) -> Result<Vec<GapQuery>, IoError> {
+    gaps_from_table(&read_csv(reader)?)
+}
+
+/// Writes imputed batch results as a track CSV with a leading `gap`
+/// column (`gap,t,lon,lat`); failed queries contribute no rows.
+pub fn write_batch_csv(results: &[Option<&Imputation>], path: &Path) -> Result<(), IoError> {
+    let n: usize = results
+        .iter()
+        .map(|r| r.map_or(0, |imp| imp.points.len()))
+        .sum();
+    let mut gap = Vec::with_capacity(n);
+    let mut t = Vec::with_capacity(n);
+    let mut lon = Vec::with_capacity(n);
+    let mut lat = Vec::with_capacity(n);
+    for (i, result) in results.iter().enumerate() {
+        if let Some(imp) = result {
+            for p in &imp.points {
+                gap.push(i as u64);
+                t.push(p.t);
+                lon.push(p.pos.lon);
+                lat.push(p.pos.lat);
+            }
+        }
+    }
+    let table = Table::from_columns(vec![
+        ("gap", Column::from_u64(gap)),
+        ("t", Column::from_i64(t)),
+        ("lon", Column::from_f64(lon)),
+        ("lat", Column::from_f64(lat)),
+    ])?;
+    write_csv_path(&table, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("habit-svc-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn ais_csv_round_trip() {
+        let trajs = vec![
+            Trajectory::new(
+                111,
+                (0..20)
+                    .map(|i| AisPoint::new(111, i * 60, 10.0 + i as f64 * 0.01, 56.0, 12.5, 90.0))
+                    .collect(),
+            ),
+            Trajectory::new(
+                222,
+                (0..10)
+                    .map(|i| AisPoint::new(222, i * 30, 23.5, 37.9 + i as f64 * 0.01, 8.0, 0.0))
+                    .collect(),
+            ),
+        ];
+        let path = tmp("ais.csv");
+        write_ais_csv(&trajs, &path).expect("write");
+        let back = read_ais_csv(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].mmsi, 111);
+        assert_eq!(back[1].mmsi, 222);
+        assert_eq!(back[0].len(), 20);
+        for (a, b) in trajs[0].points.iter().zip(&back[0].points) {
+            assert_eq!(a.t, b.t);
+            assert!((a.pos.lon - b.pos.lon).abs() < 1e-9);
+            assert!((a.sog - b.sog).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn track_csv_round_trip_sorts() {
+        let pts = vec![
+            TimedPoint::new(10.2, 56.0, 300),
+            TimedPoint::new(10.0, 56.0, 0),
+            TimedPoint::new(10.1, 56.0, 120),
+        ];
+        let path = tmp("track.csv");
+        write_track_csv(&pts, &path).expect("write");
+        let back = read_track_csv(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), 3);
+        assert!(back.windows(2).all(|w| w[0].t <= w[1].t));
+        assert_eq!(back[0].t, 0);
+    }
+
+    #[test]
+    fn gap_csv_read_and_batch_write() {
+        let path = tmp("gaps.csv");
+        std::fs::write(
+            &path,
+            "lon1,lat1,t1,lon2,lat2,t2\n10.1,56.0,0,10.4,56.0,3600\n10.2,56.1,100,10.5,56.2,7200\n",
+        )
+        .unwrap();
+        let gaps = read_gaps_csv(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(gaps.len(), 2);
+        assert_eq!(gaps[0].start.t, 0);
+        assert_eq!(gaps[1].end.t, 7200);
+        assert!((gaps[1].start.pos.lon - 10.2).abs() < 1e-12);
+
+        let bad = tmp("gaps-bad.csv");
+        std::fs::write(&bad, "lon1,lat1\n1,2\n").unwrap();
+        let err = read_gaps_csv(&bad).unwrap_err();
+        std::fs::remove_file(&bad).ok();
+        assert!(matches!(err, IoError::MissingColumn("t1")), "{err:?}");
+
+        // Batch output: failed queries (None) leave no rows; point rows
+        // carry their query index.
+        let imp = Imputation {
+            points: vec![
+                TimedPoint::new(10.0, 56.0, 0),
+                TimedPoint::new(10.1, 56.0, 60),
+            ],
+            cells: Vec::new(),
+            start_cell: hexgrid::HexCell::from_axial(9, 0, 0).unwrap(),
+            end_cell: hexgrid::HexCell::from_axial(9, 1, 0).unwrap(),
+            cost: 1.0,
+            expanded: 1,
+            raw_point_count: 2,
+        };
+        let out = tmp("batch-out.csv");
+        write_batch_csv(&[Some(&imp), None, Some(&imp)], &out).expect("write");
+        let text = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&out).ok();
+        assert!(text.starts_with("gap,t,lon,lat"));
+        let gap_ids: Vec<&str> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next().unwrap())
+            .collect();
+        assert_eq!(gap_ids, vec!["0", "0", "2", "2"]);
+    }
+
+    #[test]
+    fn reader_variants_match_path_variants() {
+        let csv = "lon1,lat1,t1,lon2,lat2,t2\n10.1,56.0,0,10.4,56.0,3600\n";
+        let gaps = read_gaps_csv_reader(csv.as_bytes()).expect("read gaps");
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].end.t, 3600);
+
+        let track = read_track_csv_reader("t,lon,lat\n60,10.1,56.0\n0,10.0,56.0\n".as_bytes())
+            .expect("read track");
+        assert_eq!(track[0].t, 0, "reader variant sorts too");
+
+        let ais = read_ais_csv_reader("mmsi,t,lon,lat\n5,0,10.0,56.0\n".as_bytes()).expect("ais");
+        assert_eq!(ais.len(), 1);
+        assert_eq!(ais[0].points[0].sog, 0.0, "optional columns default");
+    }
+
+    #[test]
+    fn missing_columns_reported() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "a,b\n1,2\n").unwrap();
+        let err = read_ais_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, IoError::MissingColumn("mmsi")), "{err:?}");
+    }
+
+    #[test]
+    fn io_errors_map_to_the_taxonomy() {
+        let missing = read_gaps_csv(Path::new("/nonexistent/gaps.csv")).unwrap_err();
+        let svc: crate::ServiceError = missing.into();
+        assert_eq!(svc.code, crate::ErrorCode::Io);
+        assert!(svc.message.contains("csv"), "{svc}");
+
+        let bad: crate::ServiceError = IoError::MissingColumn("t1").into();
+        assert_eq!(bad.code, crate::ErrorCode::BadInput);
+    }
+}

@@ -1,0 +1,263 @@
+//! The unified error taxonomy of the service API.
+//!
+//! Every failure the system can produce — argument parsing, file I/O,
+//! CSV decoding, model fitting, imputation — maps onto one
+//! [`ServiceError`] carrying a stable machine-readable [`ErrorCode`].
+//! The codes are part of the wire protocol (clients match on them) and
+//! of the CLI contract (each code implies exactly one process exit
+//! code), so they must never change meaning once released.
+
+use std::fmt;
+
+/// Stable machine-readable error codes, one per failure class.
+///
+/// | code | exit | meaning |
+/// |------|------|---------|
+/// | `bad_request` | 2 | malformed request: unknown op/flag, bad value, wrong protocol version |
+/// | `io` | 1 | file or socket I/O failure |
+/// | `csv` | 1 | CSV input could not be parsed |
+/// | `bad_input` | 1 | input rows/columns have the wrong shape or type |
+/// | `grid` | 1 | invalid coordinate or grid resolution during an operation |
+/// | `no_model` | 1 | the operation needs a model but none is loaded |
+/// | `empty_model` | 1 | fit produced (or the model has) no transition graph |
+/// | `no_path` | 1 | no historical path between the snapped gap endpoints |
+/// | `snap_failed` | 1 | a gap endpoint could not be snapped onto the model |
+/// | `bad_model_blob` | 1 | a serialized model file is corrupt or incompatible |
+/// | `unsorted_input` | 1 | a track was not sorted by timestamp |
+/// | `config_mismatch` | 1 | models with incompatible configurations |
+/// | `internal` | 1 | unexpected internal failure |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Malformed request (usage error): unknown operation or flag,
+    /// missing/unparsable value, unsupported protocol version.
+    BadRequest,
+    /// File or socket I/O failure.
+    Io,
+    /// CSV input could not be parsed.
+    Csv,
+    /// Input rows/columns have the wrong shape or type.
+    BadInput,
+    /// Invalid coordinate or grid resolution during an operation.
+    Grid,
+    /// The operation needs a loaded model but the service has none.
+    NoModel,
+    /// The model has (or fitting produced) no transition-graph nodes.
+    EmptyModel,
+    /// No path exists between the snapped gap endpoints.
+    NoPath,
+    /// A gap endpoint could not be snapped onto the model.
+    SnapFailed,
+    /// A serialized model blob is corrupt or incompatible.
+    BadModelBlob,
+    /// A track passed to repair was not sorted by timestamp.
+    UnsortedInput,
+    /// Two models with incompatible configurations cannot combine.
+    ConfigMismatch,
+    /// Unexpected internal failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code, in documentation order (the wire error-code table).
+    pub const ALL: [ErrorCode; 13] = [
+        ErrorCode::BadRequest,
+        ErrorCode::Io,
+        ErrorCode::Csv,
+        ErrorCode::BadInput,
+        ErrorCode::Grid,
+        ErrorCode::NoModel,
+        ErrorCode::EmptyModel,
+        ErrorCode::NoPath,
+        ErrorCode::SnapFailed,
+        ErrorCode::BadModelBlob,
+        ErrorCode::UnsortedInput,
+        ErrorCode::ConfigMismatch,
+        ErrorCode::Internal,
+    ];
+
+    /// The wire token of the code (`snake_case`, stable).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Io => "io",
+            ErrorCode::Csv => "csv",
+            ErrorCode::BadInput => "bad_input",
+            ErrorCode::Grid => "grid",
+            ErrorCode::NoModel => "no_model",
+            ErrorCode::EmptyModel => "empty_model",
+            ErrorCode::NoPath => "no_path",
+            ErrorCode::SnapFailed => "snap_failed",
+            ErrorCode::BadModelBlob => "bad_model_blob",
+            ErrorCode::UnsortedInput => "unsorted_input",
+            ErrorCode::ConfigMismatch => "config_mismatch",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire token back into a code.
+    pub fn parse(token: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_str() == token)
+    }
+
+    /// The process exit code the CLI derives from this error class:
+    /// `2` for usage errors, `1` for every runtime failure. (`0` is
+    /// success and never appears here.)
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A failed service operation: a stable code plus a human-readable
+/// message. This is the single error type every frontend (CLI, TCP
+/// daemon, tests) receives, renders, and derives exit codes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Machine-readable failure class.
+    pub code: ErrorCode,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Builds an error from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A `bad_request` (usage) error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadRequest, message)
+    }
+
+    /// An `internal` error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Internal, message)
+    }
+
+    /// The process exit code of [`ErrorCode::exit_code`].
+    pub fn exit_code(&self) -> u8 {
+        self.code.exit_code()
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<habit_core::HabitError> for ServiceError {
+    fn from(e: habit_core::HabitError) -> Self {
+        let code = ErrorCode::parse(e.code()).unwrap_or(ErrorCode::Internal);
+        Self::new(code, e.to_string())
+    }
+}
+
+impl From<habit_engine::BatchFailure> for ServiceError {
+    fn from(e: habit_engine::BatchFailure) -> Self {
+        let code = match &e {
+            habit_engine::BatchFailure::NoPath { .. } => ErrorCode::NoPath,
+            habit_engine::BatchFailure::Snap(_) => ErrorCode::SnapFailed,
+        };
+        Self::new(code, e.to_string())
+    }
+}
+
+impl From<aggdb::AggError> for ServiceError {
+    fn from(e: aggdb::AggError) -> Self {
+        let code = match &e {
+            aggdb::AggError::Csv { .. } => ErrorCode::Csv,
+            aggdb::AggError::Io(_) => ErrorCode::Io,
+            _ => ErrorCode::BadInput,
+        };
+        Self::new(code, e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::new(ErrorCode::Io, e.to_string())
+    }
+}
+
+impl From<eval::json::JsonError> for ServiceError {
+    fn from(e: eval::json::JsonError) -> Self {
+        Self::bad_request(e.to_string())
+    }
+}
+
+impl From<eval::ReportError> for ServiceError {
+    fn from(e: eval::ReportError) -> Self {
+        Self::internal(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_their_tokens() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nonsense"), None);
+    }
+
+    /// Pins the full code table: token and exit code per class. Anything
+    /// that changes this table changes the public API and must be
+    /// deliberate.
+    #[test]
+    fn code_table_is_pinned() {
+        let table: Vec<(&str, u8)> = ErrorCode::ALL
+            .into_iter()
+            .map(|c| (c.as_str(), c.exit_code()))
+            .collect();
+        assert_eq!(
+            table,
+            vec![
+                ("bad_request", 2),
+                ("io", 1),
+                ("csv", 1),
+                ("bad_input", 1),
+                ("grid", 1),
+                ("no_model", 1),
+                ("empty_model", 1),
+                ("no_path", 1),
+                ("snap_failed", 1),
+                ("bad_model_blob", 1),
+                ("unsorted_input", 1),
+                ("config_mismatch", 1),
+                ("internal", 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn habit_errors_map_onto_the_taxonomy() {
+        let e = ServiceError::from(habit_core::HabitError::BadModelBlob);
+        assert_eq!(e.code, ErrorCode::BadModelBlob);
+        assert!(e.message.contains("invalid serialized model"));
+        assert_eq!(e.exit_code(), 1);
+
+        let e = ServiceError::from(habit_core::HabitError::NoPath { from: 1, to: 2 });
+        assert_eq!(e.code, ErrorCode::NoPath);
+
+        let e = ServiceError::bad_request("--frob is not a flag");
+        assert_eq!(e.exit_code(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! # habit-service — the unified service facade
+//!
+//! One typed, versioned request/response API over the whole system, so
+//! every frontend — the `habit` CLI, the `habit serve` TCP daemon,
+//! tests — executes the same code path:
+//!
+//! * [`Request`] / [`Response`] — the seven operations (`Fit`,
+//!   `Impute`, `ImputeBatch`, `Repair`, `ModelInfo`, `Health`,
+//!   `Shutdown`) and their typed payloads;
+//! * [`ServiceError`] / [`ErrorCode`] — the unified error taxonomy:
+//!   every failure anywhere in the stack maps to a stable
+//!   machine-readable code, and each code implies exactly one CLI exit
+//!   code (`bad_request` → 2, everything else → 1);
+//! * [`Service`] — owns a loaded [`habit_core::HabitModel`], a
+//!   [`habit_engine::BatchImputer`] (whose route cache stays warm
+//!   across requests), and the compute [`habit_engine::ThreadPool`];
+//!   [`Service::handle`] executes any request;
+//! * [`wire`] — the hand-rolled line-delimited JSON codec
+//!   (`habit-wire/v1`, no serde) and [`server`] — the blocking TCP
+//!   daemon behind `habit serve`;
+//! * [`csvio`] — the AIS / track / gap CSV converters every frontend
+//!   shares (path- and reader-based, so `--input -` streams stdin).
+//!
+//! ```
+//! use habit_service::{Request, Response, Service, ServiceConfig};
+//! use habit_core::{GapQuery, HabitConfig, HabitModel};
+//! use aggdb::{Column, Table};
+//!
+//! // A toy trip table: one vessel sailing east (columns as in ais::COLS).
+//! let n = 200usize;
+//! let table = Table::from_columns(vec![
+//!     ("trip_id", Column::from_u64(vec![1; n])),
+//!     ("vessel_id", Column::from_u64(vec![9; n])),
+//!     ("ts", Column::from_i64((0..n as i64).map(|i| i * 60).collect())),
+//!     ("lon", Column::from_f64((0..n).map(|i| 10.0 + i as f64 * 0.002).collect())),
+//!     ("lat", Column::from_f64(vec![56.0; n])),
+//!     ("sog", Column::from_f64(vec![12.0; n])),
+//!     ("cog", Column::from_f64(vec![90.0; n])),
+//! ]).unwrap();
+//! let model = HabitModel::fit(&table, HabitConfig::default()).unwrap();
+//!
+//! let service = Service::with_model(ServiceConfig::default(), model);
+//! let gap = GapQuery::new(10.05, 56.0, 1_500, 10.3, 56.0, 9_000);
+//! let response = service.handle(&Request::Impute { gap }).unwrap();
+//! let Response::Imputation(imputed) = response else { unreachable!() };
+//! assert!(imputed.points.len() >= 2);
+//! ```
+
+pub mod csvio;
+pub mod error;
+pub mod request;
+pub mod response;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use error::{ErrorCode, ServiceError};
+pub use request::{parse_projection, projection_token, FitSpec, Request, PROTOCOL_VERSION};
+pub use response::{
+    BatchOutcome, FitSummary, HealthInfo, ModelReport, RepairOutcome, RepairedGap, Response,
+};
+pub use server::{serve, ServeOptions};
+pub use service::{Service, ServiceConfig};

@@ -1,0 +1,145 @@
+//! The typed response surface of the service API.
+//!
+//! Each [`crate::Request`] variant has exactly one success payload here;
+//! failures travel as [`crate::ServiceError`]. Payloads are plain data —
+//! the CLI renders them as text/CSV, the daemon as line-delimited JSON —
+//! and every field round-trips losslessly through [`crate::wire`].
+
+use crate::error::ServiceError;
+use geo_kernel::TimedPoint;
+use habit_core::{HabitConfig, Imputation};
+use habit_engine::{BatchFailure, BatchStats};
+
+/// Liveness payload: what is this process serving right now?
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthInfo {
+    /// Crate version of the service.
+    pub version: String,
+    /// Worker threads in the service's compute pool.
+    pub threads: usize,
+    /// Whether a model is loaded (imputation-ready).
+    pub model_loaded: bool,
+    /// Transition-graph nodes of the loaded model (0 when none).
+    pub cells: usize,
+    /// Transition-graph edges of the loaded model (0 when none).
+    pub transitions: usize,
+}
+
+/// Description of the loaded model (the `habit info` payload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelReport {
+    /// The model's fit configuration (resolution, projection, tolerance,
+    /// weight scheme).
+    pub config: HabitConfig,
+    /// Transition-graph nodes.
+    pub cells: usize,
+    /// Transition-graph edges.
+    pub transitions: usize,
+    /// Total AIS reports indexed into the graph.
+    pub reports: u64,
+    /// Distinct vessels in the busiest cell.
+    pub busiest_cell_vessels: u64,
+    /// Serialized model blob size in bytes.
+    pub storage_bytes: usize,
+}
+
+/// Result of a batched imputation.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-gap results in query order; failures are data.
+    pub results: Vec<Result<Imputation, BatchFailure>>,
+    /// Dedup/cache/parallelism counters for the batch.
+    pub stats: BatchStats,
+    /// Routes resident in the LRU cache after the batch.
+    pub cached_routes: usize,
+    /// Service-side wall clock of the batch, seconds.
+    pub wall_s: f64,
+}
+
+/// One gap encountered during a repair, wire-safe (errors carry their
+/// taxonomy code instead of a live error value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairedGap {
+    /// Index in the input track of the report before the silence.
+    pub after_index: usize,
+    /// Silence duration, seconds.
+    pub duration_s: i64,
+    /// Points spliced in (0 when imputation failed).
+    pub points_added: usize,
+    /// Why imputation failed, when it did.
+    pub error: Option<ServiceError>,
+}
+
+/// Result of a track repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The repaired track: input points verbatim plus imputed interiors.
+    pub points: Vec<TimedPoint>,
+    /// Every gap at or above the threshold, in track order.
+    pub gaps: Vec<RepairedGap>,
+    /// Total points spliced in.
+    pub points_added: usize,
+}
+
+impl RepairOutcome {
+    /// Number of gaps found.
+    pub fn gaps_found(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Number of gaps successfully imputed.
+    pub fn gaps_imputed(&self) -> usize {
+        self.gaps.iter().filter(|g| g.error.is_none()).count()
+    }
+}
+
+/// Result of a fit: the new serving model's vitals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitSummary {
+    /// Trips that survived segmentation.
+    pub trips: usize,
+    /// AIS reports across those trips.
+    pub reports: usize,
+    /// Transition-graph nodes of the fitted model.
+    pub cells: usize,
+    /// Transition-graph edges of the fitted model.
+    pub transitions: usize,
+    /// Serialized model blob size in bytes.
+    pub model_bytes: usize,
+    /// Where the blob was written, when requested.
+    pub saved_to: Option<String>,
+}
+
+/// The success payload of one service operation.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Payload of [`crate::Request::Health`].
+    Health(HealthInfo),
+    /// Payload of [`crate::Request::ModelInfo`].
+    ModelInfo(ModelReport),
+    /// Payload of [`crate::Request::Impute`].
+    Imputation(Imputation),
+    /// Payload of [`crate::Request::ImputeBatch`].
+    Batch(BatchOutcome),
+    /// Payload of [`crate::Request::Repair`].
+    Repaired(RepairOutcome),
+    /// Payload of [`crate::Request::Fit`].
+    Fitted(FitSummary),
+    /// Payload of [`crate::Request::Shutdown`].
+    ShuttingDown,
+}
+
+impl Response {
+    /// The wire operation token this payload answers.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Response::Health(_) => "health",
+            Response::ModelInfo(_) => "model_info",
+            Response::Imputation(_) => "impute",
+            Response::Batch(_) => "impute_batch",
+            Response::Repaired(_) => "repair",
+            Response::Fitted(_) => "fit",
+            Response::ShuttingDown => "shutdown",
+        }
+    }
+}

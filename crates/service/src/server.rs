@@ -1,0 +1,529 @@
+//! The `habit serve` daemon: blocking line-delimited-JSON over TCP.
+//!
+//! Hand-rolled on `std::net` — the offline workspace has no tokio or
+//! hyper, and the protocol does not need them: each connection is a
+//! stream of request lines answered in order ([`crate::wire`]), handled
+//! by a worker of a bounded connection pool (the engine's
+//! [`ThreadPool`], reused via its `execute` primitive).
+//!
+//! ## Shutdown
+//!
+//! Graceful shutdown has two triggers:
+//!
+//! * a `{"v":1,"op":"shutdown"}` request — acknowledged on the issuing
+//!   connection, then the accept loop stops and in-flight connections
+//!   drain;
+//! * the *stdin pipe* closing (when [`ServeOptions::watch_stdin`] is
+//!   set) — the supervisor-friendly stand-in for a SIGINT handler in a
+//!   std-only build: run `habit serve` with stdin attached to a pipe
+//!   and close it (or Ctrl-D) to stop the daemon.
+//!
+//! The accept loop polls a non-blocking listener and every connection
+//! reader uses a short read timeout, so both triggers take effect
+//! within tens of milliseconds without any signal machinery.
+//!
+//! ## Robustness bounds
+//!
+//! The connection pool is bounded ([`ServeOptions::connection_threads`]),
+//! so two abuse shapes are bounded too: a connection that stays silent
+//! is closed after [`ServeOptions::idle_timeout`] (freeing its worker —
+//! a queued request, including `shutdown`, therefore waits at most one
+//! idle timeout even if every worker was held by an idle peer), and a
+//! line that grows past [`MAX_LINE_BYTES`] without a newline gets a
+//! `bad_request` reply and the connection is dropped instead of growing
+//! daemon memory without limit. Transient `accept` errors (interrupts,
+//! aborted handshakes, fd exhaustion) are logged and retried — one bad
+//! accept never kills the daemon.
+
+use crate::error::ServiceError;
+use crate::response::Response;
+use crate::service::Service;
+use crate::wire;
+use habit_engine::ThreadPool;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a running server behaves.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Workers in the connection pool (concurrent connections served;
+    /// further connections queue).
+    pub connection_threads: usize,
+    /// When set, a background thread reads stdin to EOF and then
+    /// requests shutdown — close the pipe to stop the daemon.
+    pub watch_stdin: bool,
+    /// Connections that deliver no bytes for this long are closed,
+    /// freeing their pool worker for queued connections.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            connection_threads: 4,
+            watch_stdin: false,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Poll interval of the accept loop and connection readers.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Hard cap on one request line (buffered bytes without a newline);
+/// beyond it the client gets a `bad_request` and the connection closes.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Runs the accept loop on `listener` until shutdown is requested,
+/// then drains in-flight connections and returns the number of
+/// connections served.
+pub fn serve(
+    service: &Arc<Service>,
+    listener: TcpListener,
+    options: ServeOptions,
+) -> Result<usize, ServiceError> {
+    listener.set_nonblocking(true)?;
+    if options.watch_stdin {
+        let svc = Arc::clone(service);
+        std::thread::Builder::new()
+            .name("habit-serve-stdin".into())
+            .spawn(move || {
+                // Block until the supervisor closes our stdin, then stop.
+                let mut sink = [0u8; 256];
+                let mut stdin = std::io::stdin().lock();
+                while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                svc.request_shutdown();
+            })?;
+    }
+
+    let pool = ThreadPool::new(options.connection_threads);
+    let idle_timeout = options.idle_timeout;
+    let mut served = 0usize;
+    while !service.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                served += 1;
+                let svc = Arc::clone(service);
+                pool.execute(move || {
+                    // Isolate panics per connection: a bug reached by one
+                    // request must cost that connection, not a pool
+                    // worker (and eventually the whole daemon).
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(stream, &svc, idle_timeout)
+                    }));
+                    if caught.is_err() {
+                        eprintln!("habit serve: connection handler panicked (connection dropped)");
+                    }
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Transient accept failures (aborted handshakes, fd
+                // exhaustion) must not kill a long-lived daemon: log,
+                // back off one poll interval, keep accepting.
+                eprintln!("habit serve: accept error (retrying): {e}");
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+    drop(pool); // joins workers: queued + in-flight connections drain
+    Ok(served)
+}
+
+/// Serves one connection: reads request lines, writes one response line
+/// per request, closes on EOF, I/O error, idle timeout, an oversized
+/// line, or handled shutdown.
+fn handle_connection(stream: TcpStream, service: &Service, idle_timeout: Duration) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut reader = LineReader::new(&stream);
+    let mut out = &stream;
+    let mut last_activity = std::time::Instant::now();
+    loop {
+        let buffered_before = reader.bytes_buffered();
+        let line = match reader.next_line() {
+            Ok(Some(line)) => {
+                last_activity = std::time::Instant::now();
+                line
+            }
+            Ok(None) => break, // EOF
+            Err(Wait::Retry) => {
+                if service.shutdown_requested() {
+                    break;
+                }
+                if reader.bytes_buffered() > buffered_before {
+                    last_activity = std::time::Instant::now(); // partial progress
+                } else if last_activity.elapsed() > idle_timeout {
+                    break; // silent peer: free this worker
+                }
+                continue;
+            }
+            Err(Wait::Oversized) => {
+                let err = ServiceError::bad_request(format!(
+                    "request line exceeds {MAX_LINE_BYTES} bytes"
+                ));
+                let mut reply = wire::encode_response(&Err(err));
+                reply.push('\n');
+                let _ = out.write_all(reply.as_bytes()).and_then(|_| out.flush());
+                break;
+            }
+            Err(Wait::Closed) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let result = wire::decode_request(&line).and_then(|req| service.handle(&req));
+        let stop = matches!(result, Ok(Response::ShuttingDown));
+        let mut reply = wire::encode_response(&result);
+        reply.push('\n');
+        if out
+            .write_all(reply.as_bytes())
+            .and_then(|_| out.flush())
+            .is_err()
+        {
+            break; // peer went away mid-reply
+        }
+        if stop {
+            break;
+        }
+    }
+}
+
+/// Why [`LineReader::next_line`] yielded no line yet.
+enum Wait {
+    /// Read timed out — poll the shutdown flag and come back.
+    Retry,
+    /// The buffered line exceeds [`MAX_LINE_BYTES`]; drop the peer.
+    Oversized,
+    /// The connection failed; stop serving it.
+    Closed,
+}
+
+/// An incremental line reader safe under read timeouts: partial lines
+/// survive across `next_line` calls (a plain `BufRead::read_line` may
+/// drop buffered bytes when a timeout hits mid-line).
+struct LineReader<'s> {
+    stream: &'s TcpStream,
+    pending: Vec<u8>,
+    /// Bytes of `pending` already scanned for `\n` — each byte is
+    /// examined once across reads, keeping long lines O(n) instead of
+    /// re-scanning the whole buffer after every 4 KiB read.
+    scanned: usize,
+    chunk: [u8; 4096],
+}
+
+impl<'s> LineReader<'s> {
+    fn new(stream: &'s TcpStream) -> Self {
+        Self {
+            stream,
+            pending: Vec::new(),
+            scanned: 0,
+            chunk: [0; 4096],
+        }
+    }
+
+    /// Bytes buffered towards the next line (activity indicator).
+    fn bytes_buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `Ok(Some(line))` without its newline, `Ok(None)` on clean EOF.
+    fn next_line(&mut self) -> Result<Option<String>, Wait> {
+        loop {
+            if let Some(pos) = self.pending[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                let rest = self.pending.split_off(self.scanned + pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                self.scanned = 0;
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            self.scanned = self.pending.len();
+            if self.pending.len() > MAX_LINE_BYTES {
+                return Err(Wait::Oversized);
+            }
+            match self.stream.read(&mut self.chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.pending.extend_from_slice(&self.chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(Wait::Retry)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(Wait::Closed),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use crate::service::ServiceConfig;
+    use ais::{trips_to_table, AisPoint, Trip};
+    use habit_core::{GapQuery, HabitConfig, HabitModel};
+    use std::io::{BufRead, BufReader};
+
+    fn lane_model() -> HabitModel {
+        let trips: Vec<Trip> = (0..4)
+            .map(|k| Trip {
+                trip_id: k + 1,
+                mmsi: 100 + k,
+                points: (0..150)
+                    .map(|i| {
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.003,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        HabitModel::fit(&trips_to_table(&trips), HabitConfig::default()).unwrap()
+    }
+
+    /// In-process server round trip: health, impute (== direct model
+    /// path), a malformed line, then shutdown — and serve() returns.
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let service = Arc::new(Service::with_model(
+            ServiceConfig {
+                threads: 2,
+                cache_capacity: 16,
+            },
+            lane_model(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc = Arc::clone(&service);
+        let server = std::thread::spawn(move || {
+            serve(
+                &svc,
+                listener,
+                ServeOptions {
+                    connection_threads: 2,
+                    ..ServeOptions::default()
+                },
+            )
+            .expect("serve")
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut send = |line: &str| {
+            let mut s = &stream;
+            s.write_all(line.as_bytes()).unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply
+        };
+
+        let reply = send(&wire::encode_request(&Request::Health));
+        let Ok(Response::Health(h)) = wire::decode_response(&reply).unwrap() else {
+            panic!("health: {reply}");
+        };
+        assert!(h.model_loaded);
+
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        let reply = send(&wire::encode_request(&Request::Impute { gap }));
+        let Ok(Response::Imputation(served)) = wire::decode_response(&reply).unwrap() else {
+            panic!("impute: {reply}");
+        };
+        let direct = service.model().unwrap().impute(&gap).unwrap();
+        assert_eq!(served.points, direct.points, "TCP == in-process");
+        assert_eq!(served.cells, direct.cells);
+
+        // Garbage gets a coded error, not a dropped connection.
+        let reply = send("this is not json");
+        let err = wire::decode_response(&reply).unwrap().unwrap_err();
+        assert_eq!(err.code, crate::ErrorCode::BadRequest);
+
+        let reply = send(&wire::encode_request(&Request::Shutdown));
+        assert!(matches!(
+            wire::decode_response(&reply).unwrap(),
+            Ok(Response::ShuttingDown)
+        ));
+        let served_count = server.join().expect("server thread");
+        assert_eq!(served_count, 1);
+    }
+
+    /// An idle connection is closed after `idle_timeout`, freeing its
+    /// pool worker — so a queued `shutdown` request can never be starved
+    /// forever by silent peers holding every worker.
+    #[test]
+    fn idle_connections_are_reaped() {
+        let service = Arc::new(Service::with_model(
+            ServiceConfig {
+                threads: 1,
+                cache_capacity: 4,
+            },
+            lane_model(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc = Arc::clone(&service);
+        let server = std::thread::spawn(move || {
+            serve(
+                &svc,
+                listener,
+                ServeOptions {
+                    connection_threads: 1,
+                    watch_stdin: false,
+                    idle_timeout: Duration::from_millis(200),
+                },
+            )
+        });
+
+        // A silent connection occupies the only worker…
+        let idle = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // …and a second connection (queued behind it) sends shutdown.
+        let active = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(active.try_clone().unwrap());
+        {
+            let mut s = &active;
+            s.write_all(wire::encode_request(&Request::Shutdown).as_bytes())
+                .unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+        }
+        active
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("shutdown acknowledged");
+        assert!(matches!(
+            wire::decode_response(&reply).unwrap(),
+            Ok(Response::ShuttingDown)
+        ));
+        server.join().expect("server thread").expect("serve ok");
+        drop(idle);
+    }
+
+    /// A line that grows past the cap gets a coded error and the
+    /// connection closes instead of buffering without bound.
+    #[test]
+    fn oversized_lines_are_rejected() {
+        let service = Arc::new(Service::with_model(
+            ServiceConfig {
+                threads: 1,
+                cache_capacity: 4,
+            },
+            lane_model(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc = Arc::clone(&service);
+        let server = std::thread::spawn(move || serve(&svc, listener, ServeOptions::default()));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // Stream > MAX_LINE_BYTES without a newline. Once the server
+        // trips the cap it stops reading and closes, so late writes may
+        // fail — that is the expected backpressure, not a test failure.
+        let chunk = vec![b'x'; 1 << 20];
+        let mut sent = 0usize;
+        let mut s = &stream;
+        while sent <= MAX_LINE_BYTES + (1 << 20) {
+            if s.write_all(&chunk).is_err() {
+                break;
+            }
+            sent += chunk.len();
+        }
+        let _ = s.flush();
+        // The server must terminate the connection (ideally after a
+        // coded bad_request reply; a reset also proves the bound) and
+        // must NOT buffer without limit or hang.
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) => {} // closed before the reply could be read
+            Ok(_) => {
+                let err = wire::decode_response(&reply).unwrap().unwrap_err();
+                assert_eq!(err.code, crate::ErrorCode::BadRequest);
+                assert!(err.message.contains("exceeds"), "{err}");
+            }
+            Err(e) => assert!(
+                matches!(e.kind(), ErrorKind::ConnectionReset | ErrorKind::BrokenPipe),
+                "unexpected read error: {e}"
+            ),
+        }
+        drop(stream);
+
+        // The daemon survived the abusive connection: a fresh one works.
+        let healthy = TcpStream::connect(addr).unwrap();
+        healthy
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(healthy.try_clone().unwrap());
+        {
+            let mut s = &healthy;
+            s.write_all(wire::encode_request(&Request::Health).as_bytes())
+                .unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+        }
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("health after abuse");
+        assert!(matches!(
+            wire::decode_response(&reply).unwrap(),
+            Ok(Response::Health(_))
+        ));
+
+        service.request_shutdown();
+        server.join().expect("server thread").expect("serve ok");
+    }
+
+    /// A request split across many tiny writes still parses — the line
+    /// reader reassembles across read timeouts.
+    #[test]
+    fn fragmented_writes_are_reassembled() {
+        let service = Arc::new(Service::with_model(
+            ServiceConfig {
+                threads: 1,
+                cache_capacity: 4,
+            },
+            lane_model(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc = Arc::clone(&service);
+        let server = std::thread::spawn(move || serve(&svc, listener, ServeOptions::default()));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let line = wire::encode_request(&Request::Health);
+        for chunk in line.as_bytes().chunks(3) {
+            let mut s = &stream;
+            s.write_all(chunk).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        (&stream).write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(matches!(
+            wire::decode_response(&reply).unwrap(),
+            Ok(Response::Health(_))
+        ));
+
+        service.request_shutdown();
+        server.join().expect("server thread").expect("serve ok");
+    }
+}

@@ -1,0 +1,600 @@
+//! The service: one struct that owns a loaded model and executes every
+//! operation of the API.
+//!
+//! [`Service::handle`] is the single entry point all frontends share:
+//! the CLI adapters call it in-process, the TCP daemon calls it per
+//! request line, and tests call it directly — so an imputation answered
+//! over a socket is byte-for-byte the imputation the CLI prints.
+
+use crate::error::{ErrorCode, ServiceError};
+use crate::request::{FitSpec, Request};
+use crate::response::{
+    BatchOutcome, FitSummary, HealthInfo, ModelReport, RepairOutcome, RepairedGap, Response,
+};
+use ais::{segment_all, trips_to_table, TripConfig};
+use habit_core::{GapQuery, HabitConfig, HabitModel};
+use habit_engine::{fit_sharded, BatchImputer, ThreadPool};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Tunables of a [`Service`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads of the compute pool (fit shards, batch queries).
+    pub threads: usize,
+    /// Route-cache capacity of the batch imputer, entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// The serving state behind one loaded model: the model plus the batch
+/// imputer whose route cache stays warm across requests.
+struct Loaded {
+    model: Arc<HabitModel>,
+    imputer: BatchImputer,
+}
+
+/// Executes [`Request`]s against an owned model, thread pool, and route
+/// cache. Transport-agnostic: frontends construct requests, call
+/// [`Service::handle`], and render the typed [`Response`].
+pub struct Service {
+    pool: ThreadPool,
+    cache_capacity: usize,
+    state: RwLock<Option<Loaded>>,
+    stopping: AtomicBool,
+}
+
+impl Service {
+    /// A service with no model loaded (only `Health`, `Fit` and
+    /// `Shutdown` succeed until one is fitted or installed).
+    pub fn new(config: ServiceConfig) -> Self {
+        Self {
+            pool: ThreadPool::new(config.threads),
+            cache_capacity: config.cache_capacity.max(1),
+            state: RwLock::new(None),
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    /// A service serving `model`.
+    pub fn with_model(config: ServiceConfig, model: HabitModel) -> Self {
+        let service = Self::new(config);
+        service.install_model(model);
+        service
+    }
+
+    /// A service serving the model blob at `path`.
+    pub fn with_model_file(config: ServiceConfig, path: &str) -> Result<Self, ServiceError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ServiceError::new(ErrorCode::Io, format!("{path}: {e}")))?;
+        let model = HabitModel::from_bytes(&bytes)?;
+        Ok(Self::with_model(config, model))
+    }
+
+    /// Installs `model` as the serving model (fresh route cache).
+    pub fn install_model(&self, model: HabitModel) {
+        let model = Arc::new(model);
+        let imputer = BatchImputer::new(Arc::clone(&model), self.cache_capacity);
+        *self.state.write().expect("state lock") = Some(Loaded { model, imputer });
+    }
+
+    /// The loaded model, when one is installed.
+    pub fn model(&self) -> Option<Arc<HabitModel>> {
+        self.state
+            .read()
+            .expect("state lock")
+            .as_ref()
+            .map(|l| Arc::clone(&l.model))
+    }
+
+    /// Worker threads of the compute pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// `true` once a [`Request::Shutdown`] was handled (or
+    /// [`Service::request_shutdown`] called); servers poll this.
+    pub fn shutdown_requested(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Marks the service as stopping (the out-of-band path: closed
+    /// stdin pipe, signal bridge).
+    pub fn request_shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+    }
+
+    /// Executes one request. Every failure is a [`ServiceError`] with a
+    /// stable code; per-gap failures inside a batch are data in the
+    /// [`BatchOutcome`], not request failures.
+    pub fn handle(&self, request: &Request) -> Result<Response, ServiceError> {
+        match request {
+            Request::Health => Ok(Response::Health(self.health())),
+            Request::ModelInfo => self.model_info(),
+            Request::Impute { gap } => self.impute(gap),
+            Request::ImputeBatch { gaps } => self.impute_batch(gaps),
+            Request::Repair { track, config } => self.repair(track, config),
+            Request::Fit(spec) => self.fit(spec),
+            Request::Shutdown => {
+                self.request_shutdown();
+                Ok(Response::ShuttingDown)
+            }
+        }
+    }
+
+    fn health(&self) -> HealthInfo {
+        let state = self.state.read().expect("state lock");
+        let (cells, transitions) = state
+            .as_ref()
+            .map_or((0, 0), |l| (l.model.node_count(), l.model.edge_count()));
+        HealthInfo {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            threads: self.pool.threads(),
+            model_loaded: state.is_some(),
+            cells,
+            transitions,
+        }
+    }
+
+    /// Runs `f` with the loaded serving state or fails with `no_model`.
+    fn with_loaded<R>(
+        &self,
+        f: impl FnOnce(&Loaded) -> Result<R, ServiceError>,
+    ) -> Result<R, ServiceError> {
+        let state = self.state.read().expect("state lock");
+        match state.as_ref() {
+            Some(loaded) => f(loaded),
+            None => Err(ServiceError::new(
+                ErrorCode::NoModel,
+                "no model loaded — fit one or start the service with --model",
+            )),
+        }
+    }
+
+    fn model_info(&self) -> Result<Response, ServiceError> {
+        self.with_loaded(|loaded| {
+            let model = &loaded.model;
+            let mut reports = 0u64;
+            let mut busiest = 0u64;
+            for (_, stats) in model.graph().nodes() {
+                reports += stats.msg_count;
+                busiest = busiest.max(stats.vessels);
+            }
+            Ok(Response::ModelInfo(ModelReport {
+                config: *model.config(),
+                cells: model.node_count(),
+                transitions: model.edge_count(),
+                reports,
+                busiest_cell_vessels: busiest,
+                storage_bytes: model.storage_bytes(),
+            }))
+        })
+    }
+
+    fn impute(&self, gap: &GapQuery) -> Result<Response, ServiceError> {
+        if gap.duration_s() <= 0 {
+            return Err(ServiceError::bad_request(format!(
+                "invalid gap: end (t={}) must be later than start (t={})",
+                gap.end.t, gap.start.t
+            )));
+        }
+        self.with_loaded(|loaded| {
+            if loaded.model.node_count() == 0 {
+                return Err(habit_core::HabitError::EmptyModel.into());
+            }
+            // Through the batch imputer (batch of one) so single-gap
+            // traffic shares the warm route cache with batches; the
+            // engine asserts batch == single-query results.
+            let (mut results, _) = loaded
+                .imputer
+                .impute_batch(std::slice::from_ref(gap), &self.pool);
+            match results.pop().expect("one result per query") {
+                Ok(imputation) => Ok(Response::Imputation(imputation)),
+                Err(failure) => Err(failure.into()),
+            }
+        })
+    }
+
+    fn impute_batch(&self, gaps: &[GapQuery]) -> Result<Response, ServiceError> {
+        self.with_loaded(|loaded| {
+            let t0 = Instant::now();
+            let (results, stats) = loaded.imputer.impute_batch(gaps, &self.pool);
+            Ok(Response::Batch(BatchOutcome {
+                results,
+                stats,
+                cached_routes: loaded.imputer.cached_routes(),
+                wall_s: t0.elapsed().as_secs_f64(),
+            }))
+        })
+    }
+
+    fn repair(
+        &self,
+        track: &[geo_kernel::TimedPoint],
+        config: &habit_core::RepairConfig,
+    ) -> Result<Response, ServiceError> {
+        if track.len() < 2 {
+            // Payload data problem, not flag misuse: runtime failure
+            // (exit 1), matching the documented stable exit codes.
+            return Err(ServiceError::new(
+                ErrorCode::BadInput,
+                "track needs at least two points",
+            ));
+        }
+        if config.gap_threshold_s <= 0 {
+            return Err(ServiceError::bad_request(
+                "gap threshold must be positive seconds",
+            ));
+        }
+        if let Some(d) = config.densify_max_spacing_m {
+            // The resampler asserts spacing > 0; reject bad values here
+            // so a well-formed wire request can never panic a worker.
+            if !(d.is_finite() && d > 0.0) {
+                return Err(ServiceError::bad_request(format!(
+                    "densify spacing must be positive meters (got {d})"
+                )));
+            }
+        }
+        self.with_loaded(|loaded| {
+            let (points, report) = loaded.model.repair_track(track, config)?;
+            let gaps = report
+                .gaps
+                .into_iter()
+                .map(|g| RepairedGap {
+                    after_index: g.after_index,
+                    duration_s: g.duration_s,
+                    points_added: g.points_added,
+                    error: g.error.map(ServiceError::from),
+                })
+                .collect();
+            Ok(Response::Repaired(RepairOutcome {
+                points,
+                gaps,
+                points_added: report.points_added,
+            }))
+        })
+    }
+
+    fn fit(&self, spec: &FitSpec) -> Result<Response, ServiceError> {
+        if !(1..=hexgrid::MAX_RESOLUTION).contains(&spec.resolution) {
+            return Err(ServiceError::bad_request(format!(
+                "resolution {} out of range (1..={})",
+                spec.resolution,
+                hexgrid::MAX_RESOLUTION
+            )));
+        }
+        let trajectories = crate::csvio::read_ais_csv(Path::new(&spec.input))?;
+        let trips = segment_all(&trajectories, &TripConfig::default());
+        if trips.is_empty() {
+            return Err(ServiceError::new(
+                ErrorCode::EmptyModel,
+                "no trips after segmentation — check the input data",
+            ));
+        }
+        let config = HabitConfig {
+            resolution: spec.resolution,
+            rdp_tolerance_m: spec.tolerance_m,
+            projection: spec.projection,
+            ..HabitConfig::default()
+        };
+        // Sharded fit on the pool: byte-identical to the sequential
+        // `HabitModel::fit` at every shard/thread count (engine proptest).
+        let table = trips_to_table(&trips);
+        let model = fit_sharded(&table, config, self.pool.threads(), &self.pool)?;
+        let bytes = model.to_bytes();
+        if let Some(out) = &spec.save_to {
+            std::fs::write(out, &bytes)
+                .map_err(|e| ServiceError::new(ErrorCode::Io, format!("{out}: {e}")))?;
+        }
+        let summary = FitSummary {
+            trips: trips.len(),
+            reports: trips.iter().map(|t| t.points.len()).sum(),
+            cells: model.node_count(),
+            transitions: model.edge_count(),
+            model_bytes: bytes.len(),
+            saved_to: spec.save_to.clone(),
+        };
+        self.install_model(model);
+        Ok(Response::Fitted(summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::{AisPoint, Trip};
+
+    fn lane_model() -> HabitModel {
+        let trips: Vec<Trip> = (0..4)
+            .map(|k| Trip {
+                trip_id: k + 1,
+                mmsi: 100 + k,
+                points: (0..150)
+                    .map(|i| {
+                        AisPoint::new(
+                            100 + k,
+                            i as i64 * 60,
+                            10.0 + i as f64 * 0.003,
+                            56.0,
+                            12.0,
+                            90.0,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        HabitModel::fit(&trips_to_table(&trips), HabitConfig::default()).unwrap()
+    }
+
+    fn small_service() -> Service {
+        Service::with_model(
+            ServiceConfig {
+                threads: 2,
+                cache_capacity: 64,
+            },
+            lane_model(),
+        )
+    }
+
+    #[test]
+    fn health_reports_model_state() {
+        let empty = Service::new(ServiceConfig {
+            threads: 1,
+            cache_capacity: 8,
+        });
+        let Response::Health(h) = empty.handle(&Request::Health).unwrap() else {
+            panic!("health");
+        };
+        assert!(!h.model_loaded);
+        assert_eq!(h.cells, 0);
+
+        let svc = small_service();
+        let Response::Health(h) = svc.handle(&Request::Health).unwrap() else {
+            panic!("health");
+        };
+        assert!(h.model_loaded);
+        assert!(h.cells > 0);
+        assert_eq!(h.threads, 2);
+    }
+
+    #[test]
+    fn model_info_matches_the_model() {
+        let svc = small_service();
+        let model = svc.model().expect("loaded");
+        let Response::ModelInfo(info) = svc.handle(&Request::ModelInfo).unwrap() else {
+            panic!("model info");
+        };
+        assert_eq!(info.cells, model.node_count());
+        assert_eq!(info.transitions, model.edge_count());
+        assert_eq!(info.config.resolution, model.config().resolution);
+        assert_eq!(info.storage_bytes, model.storage_bytes());
+        assert!(info.reports > 0);
+    }
+
+    #[test]
+    fn impute_matches_the_direct_model_path() {
+        let svc = small_service();
+        let model = svc.model().expect("loaded");
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        let Response::Imputation(served) = svc.handle(&Request::Impute { gap }).unwrap() else {
+            panic!("imputation");
+        };
+        let direct = model.impute(&gap).unwrap();
+        assert_eq!(served.cells, direct.cells);
+        assert_eq!(served.cost, direct.cost);
+        assert_eq!(served.points.len(), direct.points.len());
+        for (a, b) in served.points.iter().zip(&direct.points) {
+            assert_eq!((a.t, a.pos.lon, a.pos.lat), (b.t, b.pos.lon, b.pos.lat));
+        }
+    }
+
+    #[test]
+    fn impute_validates_and_reports_taxonomy_codes() {
+        let svc = small_service();
+        let inverted = GapQuery::new(10.05, 56.0, 100, 10.4, 56.0, 50);
+        let err = svc.handle(&Request::Impute { gap: inverted }).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("later"), "{err}");
+
+        let unsnappable = GapQuery::new(10.05, 95.0, 0, 10.4, 56.0, 3600);
+        let err = svc
+            .handle(&Request::Impute { gap: unsnappable })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::SnapFailed);
+
+        let empty = Service::new(ServiceConfig {
+            threads: 1,
+            cache_capacity: 8,
+        });
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        let err = empty.handle(&Request::Impute { gap }).unwrap_err();
+        assert_eq!(err.code, ErrorCode::NoModel);
+    }
+
+    #[test]
+    fn batch_reuses_the_route_cache_across_requests() {
+        let svc = small_service();
+        let gaps = vec![GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600); 6];
+        let Response::Batch(first) = svc
+            .handle(&Request::ImputeBatch { gaps: gaps.clone() })
+            .unwrap()
+        else {
+            panic!("batch");
+        };
+        assert_eq!(first.stats.ok, 6);
+        assert_eq!(first.stats.unique_routes, 1);
+        assert_eq!(first.stats.routes_computed, 1);
+
+        // Second request: the same route comes from the cache — and a
+        // single `Impute` shares it too.
+        let Response::Batch(second) = svc.handle(&Request::ImputeBatch { gaps }).unwrap() else {
+            panic!("batch");
+        };
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(second.stats.routes_computed, 0);
+        assert_eq!(second.cached_routes, 1);
+    }
+
+    #[test]
+    fn repair_and_validation() {
+        let svc = small_service();
+        let mut track: Vec<geo_kernel::TimedPoint> = Vec::new();
+        for i in 0..200i64 {
+            if (60..100).contains(&i) {
+                continue;
+            }
+            track.push(geo_kernel::TimedPoint::new(
+                10.0 + i as f64 * 0.003,
+                56.0,
+                i * 60,
+            ));
+        }
+        let config = habit_core::RepairConfig {
+            gap_threshold_s: 1800,
+            densify_max_spacing_m: Some(250.0),
+        };
+        let Response::Repaired(out) = svc
+            .handle(&Request::Repair {
+                track: track.clone(),
+                config,
+            })
+            .unwrap()
+        else {
+            panic!("repair");
+        };
+        assert_eq!(out.gaps_found(), 1);
+        assert_eq!(out.gaps_imputed(), 1);
+        assert!(out.points.len() > track.len());
+        assert_eq!(
+            out.points_added,
+            out.gaps.iter().map(|g| g.points_added).sum::<usize>()
+        );
+
+        let err = svc
+            .handle(&Request::Repair {
+                track: track[..1].to_vec(),
+                config,
+            })
+            .unwrap_err();
+        assert!(err.message.contains("two points"), "{err}");
+
+        let err = svc
+            .handle(&Request::Repair {
+                track,
+                config: habit_core::RepairConfig {
+                    gap_threshold_s: -5,
+                    densify_max_spacing_m: None,
+                },
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn fit_installs_a_serving_model() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("habit-svc-fit-{pid}.csv"));
+        let blob = dir.join(format!("habit-svc-fit-{pid}.habit"));
+        let mut body = String::from("mmsi,t,lon,lat,sog,cog,heading\n");
+        for k in 0..3u64 {
+            for i in 0..150i64 {
+                body.push_str(&format!(
+                    "{},{},{:.6},56.0,12.0,90.0,90.0\n",
+                    100 + k,
+                    i * 60,
+                    10.0 + i as f64 * 0.003
+                ));
+            }
+        }
+        std::fs::write(&csv, body).unwrap();
+
+        let svc = Service::new(ServiceConfig {
+            threads: 2,
+            cache_capacity: 16,
+        });
+        let spec = FitSpec {
+            input: csv.to_str().unwrap().to_string(),
+            resolution: 9,
+            tolerance_m: 100.0,
+            save_to: Some(blob.to_str().unwrap().to_string()),
+            ..FitSpec::default()
+        };
+        let Response::Fitted(summary) = svc.handle(&Request::Fit(spec)).unwrap() else {
+            panic!("fit");
+        };
+        assert!(summary.cells > 0);
+        assert_eq!(summary.trips, 3);
+        assert_eq!(summary.reports, 450);
+
+        // The blob on disk is the model now serving (sharded fit is
+        // byte-identical to sequential, and install used the same model).
+        let disk = std::fs::read(&blob).unwrap();
+        assert_eq!(disk.len(), summary.model_bytes);
+        let served = svc.model().expect("installed");
+        assert_eq!(served.to_bytes(), disk);
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&blob).ok();
+
+        // And imputation now works without any restart.
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        assert!(svc.handle(&Request::Impute { gap }).is_ok());
+    }
+
+    #[test]
+    fn fit_rejects_bad_inputs() {
+        let svc = Service::new(ServiceConfig {
+            threads: 1,
+            cache_capacity: 8,
+        });
+        let err = svc
+            .handle(&Request::Fit(FitSpec {
+                input: "/nonexistent.csv".into(),
+                resolution: 99,
+                ..FitSpec::default()
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest, "resolution first: {err}");
+
+        let err = svc
+            .handle(&Request::Fit(FitSpec {
+                input: "/nonexistent.csv".into(),
+                ..FitSpec::default()
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Io);
+
+        let dir = std::env::temp_dir();
+        let csv = dir.join(format!("habit-svc-fit-empty-{}.csv", std::process::id()));
+        std::fs::write(&csv, "mmsi,t,lon,lat\n1,0,10.0,56.0\n").unwrap();
+        let err = svc
+            .handle(&Request::Fit(FitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                ..FitSpec::default()
+            }))
+            .unwrap_err();
+        std::fs::remove_file(&csv).ok();
+        assert_eq!(err.code, ErrorCode::EmptyModel);
+        assert!(err.message.contains("no trips"), "{err}");
+    }
+
+    #[test]
+    fn shutdown_sets_the_flag() {
+        let svc = small_service();
+        assert!(!svc.shutdown_requested());
+        let resp = svc.handle(&Request::Shutdown).unwrap();
+        assert!(matches!(resp, Response::ShuttingDown));
+        assert!(svc.shutdown_requested());
+    }
+}

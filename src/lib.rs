@@ -17,6 +17,8 @@
 //! * [`core`] — the HABIT model itself (fit / impute / serialize);
 //! * [`engine`] — the parallel serving subsystem (sharded fit, batched
 //!   imputation with a route cache);
+//! * [`service`] — the unified service facade: typed request/response
+//!   API, unified error taxonomy, and the `habit serve` TCP daemon;
 //! * [`baselines`] — SLI, GTI and PaLMTO competitor methods;
 //! * [`eval`] — DTW accuracy, gap injection, splits and the experiment
 //!   runners regenerating every table and figure of the paper.
@@ -53,6 +55,7 @@ pub use eval;
 pub use geo_kernel as geo;
 pub use habit_core as core;
 pub use habit_engine as engine;
+pub use habit_service as service;
 pub use hexgrid;
 pub use mobgraph;
 pub use synth;
@@ -69,6 +72,7 @@ pub mod prelude {
         CellProjection, GapQuery, HabitConfig, HabitError, HabitModel, Imputation, WeightScheme,
     };
     pub use habit_engine::{BatchImputer, ThreadPool};
+    pub use habit_service::{Request, Response, Service, ServiceConfig, ServiceError};
     pub use hexgrid::{HexCell, HexGrid};
     pub use synth::{Dataset, World};
 }
