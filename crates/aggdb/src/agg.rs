@@ -60,10 +60,51 @@ impl AggSpec {
     }
 }
 
+impl Agg {
+    /// Stable one-byte code of the function, part of the serialized
+    /// [`crate::partial::PartialGroupBy`] layout — append-only, never
+    /// renumber.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            Agg::Count => 0,
+            Agg::CountNonNull => 1,
+            Agg::CountDistinctApprox => 2,
+            Agg::CountDistinctExact => 3,
+            Agg::Median => 4,
+            Agg::Mean => 5,
+            Agg::Min => 6,
+            Agg::Max => 7,
+            Agg::Sum => 8,
+            Agg::First => 9,
+            Agg::Last => 10,
+        }
+    }
+
+    /// Inverse of [`Agg::code`]; `None` for unknown codes.
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Agg::Count,
+            1 => Agg::CountNonNull,
+            2 => Agg::CountDistinctApprox,
+            3 => Agg::CountDistinctExact,
+            4 => Agg::Median,
+            5 => Agg::Mean,
+            6 => Agg::Min,
+            7 => Agg::Max,
+            8 => Agg::Sum,
+            9 => Agg::First,
+            10 => Agg::Last,
+            _ => return None,
+        })
+    }
+}
+
 /// Per-group accumulator.
 ///
-/// Crate-visible so [`crate::partial`] can hold un-finished accumulators
-/// and merge them across shards.
+/// Crate-visible so [`crate::partial`] can hold un-finished accumulators,
+/// merge them across shards, and serialize them (the persistable
+/// fit-state seam).
+#[derive(Clone)]
 pub(crate) enum Acc {
     Count(u64),
     Hll(HyperLogLog),
@@ -207,6 +248,19 @@ impl Acc {
                 }
             }
             _ => debug_assert!(false, "mismatched accumulator variants"),
+        }
+    }
+
+    /// Erases accumulation-order artifacts that do not change the
+    /// finished aggregate: the median's value buffer is sorted
+    /// (`median_exact` re-sorts anyway). After canonicalization two
+    /// accumulators that saw the same multiset of inputs — in any order,
+    /// under any sharding — are structurally identical, which is what
+    /// makes a serialized fit state a pure function of the input *set*.
+    /// Order-sensitive accumulators (`first`/`last`) are left untouched.
+    pub(crate) fn canonicalize(&mut self) {
+        if let Acc::Values(v) = self {
+            v.sort_by(f64::total_cmp);
         }
     }
 

@@ -123,6 +123,32 @@ impl HyperLogLog {
     pub fn byte_size(&self) -> usize {
         self.registers.len() + 2
     }
+
+    /// The raw register array (length `2^precision`). Registers fully
+    /// determine the sketch, which is what makes HLL state serializable
+    /// and merge bit-exact: serializing and restoring the registers
+    /// reproduces the estimator's state exactly.
+    pub fn registers(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Rebuilds a sketch from a register array previously obtained via
+    /// [`HyperLogLog::registers`]. Returns `None` when the register
+    /// count does not match `2^precision` (corrupt input) or the
+    /// precision is outside `4..=18`.
+    pub fn from_registers(precision: u8, registers: Vec<u8>) -> Option<Self> {
+        if !(4..=18).contains(&precision) || registers.len() != 1usize << precision {
+            return None;
+        }
+        let max_rank = 64 - precision + 1;
+        if registers.iter().any(|&r| r > max_rank) {
+            return None;
+        }
+        Some(Self {
+            precision,
+            registers,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +227,24 @@ mod tests {
     fn merge_rejects_mismatched_precision() {
         let mut a = HyperLogLog::new(10);
         a.merge(&HyperLogLog::new(12));
+    }
+
+    #[test]
+    fn register_round_trip_preserves_state() {
+        let mut h = HyperLogLog::new(10);
+        for v in 0..3_000u64 {
+            h.insert_u64(v);
+        }
+        let back = HyperLogLog::from_registers(h.precision(), h.registers().to_vec()).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.registers(), h.registers());
+
+        assert!(HyperLogLog::from_registers(10, vec![0; 5]).is_none());
+        assert!(HyperLogLog::from_registers(3, vec![0; 8]).is_none());
+        assert!(
+            HyperLogLog::from_registers(4, vec![255; 16]).is_none(),
+            "impossible ranks rejected"
+        );
     }
 
     #[test]

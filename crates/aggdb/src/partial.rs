@@ -20,10 +20,12 @@
 use crate::agg::{column_from_values, Acc, Agg, AggSpec};
 use crate::error::AggError;
 use crate::fxhash::FxHashMap;
-use crate::table::{Field, Schema, Table};
-use crate::value::Value;
+use crate::hll::HyperLogLog;
+use crate::table::{compare_values, Field, Schema, Table};
+use crate::value::{DataType, Value};
 
 /// Partially aggregated groups: keys plus mergeable accumulators.
+#[derive(Clone)]
 pub struct PartialGroupBy {
     specs: Vec<AggSpec>,
     key_fields: Vec<Field>,
@@ -131,29 +133,69 @@ impl PartialGroupBy {
         Ok(())
     }
 
+    /// Reorders groups into the canonical key-sorted order and erases
+    /// accumulation-order artifacts inside each accumulator
+    /// ([`Acc::canonicalize`]). Group keys are unique, so the sort has
+    /// no ties; after this call two partials built from the same input
+    /// *set* of rows — under any row order, sharding, or merge order —
+    /// are structurally identical and serialize to identical bytes
+    /// (bit-exact for count / distinct / median / min / max; sums and
+    /// means remain subject to float summation order, and
+    /// `first`/`last` are inherently order-defined).
+    ///
+    /// [`PartialGroupBy::finish`] on a canonicalized partial yields the
+    /// key-sorted table [`PartialGroupBy::finish_sorted`] would.
+    pub fn canonicalize(&mut self) {
+        let mut order: Vec<usize> = (0..self.keys.len()).collect();
+        order.sort_by(|&a, &b| {
+            for (ka, kb) in self.keys[a].iter().zip(&self.keys[b]) {
+                let ord = compare_values(ka, kb);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut keys = Vec::with_capacity(self.keys.len());
+        let mut accs = Vec::with_capacity(self.accs.len());
+        for &i in &order {
+            keys.push(std::mem::take(&mut self.keys[i]));
+            accs.push(std::mem::take(&mut self.accs[i]));
+        }
+        self.keys = keys;
+        self.accs = accs;
+        self.index.clear();
+        for (i, k) in self.keys.iter().enumerate() {
+            self.index.insert(k.clone(), i);
+        }
+        for group_accs in &mut self.accs {
+            for acc in group_accs {
+                acc.canonicalize();
+            }
+        }
+    }
+
     /// Finishes every accumulator into the aggregate output table, with
     /// groups in first-appearance (merge) order — the exact shape
     /// [`Table::group_by`] produces.
     pub fn finish(self) -> Result<Table, AggError> {
-        let mut key_table = Table::empty(Schema::new(self.key_fields.clone()));
-        for key in &self.keys {
-            key_table.push_row(key.clone())?;
-        }
-        let nspecs = self.specs.len();
-        let mut out_values: Vec<Vec<Value>> = (0..nspecs)
-            .map(|_| Vec::with_capacity(self.keys.len()))
-            .collect();
-        for group_accs in self.accs {
-            debug_assert_eq!(group_accs.len(), nspecs);
-            for (ai, acc) in group_accs.into_iter().enumerate() {
-                out_values[ai].push(acc.finish());
-            }
-        }
-        let mut result = key_table;
-        for (spec, values) in self.specs.iter().zip(out_values) {
-            result = result.with_column(&spec.alias, column_from_values(values))?;
-        }
-        Ok(result)
+        let specs = self.specs.clone();
+        let key_fields = self.key_fields.clone();
+        finish_impl(&specs, &key_fields, &self.keys, self.accs.into_iter())
+    }
+
+    /// Like [`PartialGroupBy::finish`] but non-consuming: the partial
+    /// stays usable (and mergeable) afterwards. Accumulators are cloned
+    /// one group at a time, so the transient cost is one group's state,
+    /// not the whole table's. This is the seam that lets a persistable
+    /// fit state finalize into a model *and* keep absorbing deltas.
+    pub fn finish_to_table(&self) -> Result<Table, AggError> {
+        finish_impl(
+            &self.specs,
+            &self.key_fields,
+            &self.keys,
+            self.accs.iter().cloned(),
+        )
     }
 
     /// Like [`PartialGroupBy::finish`], but returns the table sorted by
@@ -165,6 +207,438 @@ impl PartialGroupBy {
         let table = self.finish()?;
         let names: Vec<&str> = key_names.iter().map(String::as_str).collect();
         table.sort_by_columns(&names)
+    }
+}
+
+/// Shared finishing pipeline of [`PartialGroupBy::finish`] (consuming)
+/// and [`PartialGroupBy::finish_to_table`] (borrowing + per-group clone).
+fn finish_impl(
+    specs: &[AggSpec],
+    key_fields: &[Field],
+    keys: &[Vec<Value>],
+    accs: impl Iterator<Item = Vec<Acc>>,
+) -> Result<Table, AggError> {
+    let mut key_table = Table::empty(Schema::new(key_fields.to_vec()));
+    for key in keys {
+        key_table.push_row(key.clone())?;
+    }
+    let nspecs = specs.len();
+    let mut out_values: Vec<Vec<Value>> = (0..nspecs)
+        .map(|_| Vec::with_capacity(keys.len()))
+        .collect();
+    for group_accs in accs {
+        debug_assert_eq!(group_accs.len(), nspecs);
+        for (ai, acc) in group_accs.into_iter().enumerate() {
+            out_values[ai].push(acc.finish());
+        }
+    }
+    let mut result = key_table;
+    for (spec, values) in specs.iter().zip(out_values) {
+        result = result.with_column(&spec.alias, column_from_values(values))?;
+    }
+    Ok(result)
+}
+
+// ------------------------------------------------------------------ codec
+//
+// The serialized form of a partial group-by — the payload of a
+// persistable fit state. Fixed-width little-endian fields, length
+// prefixes everywhere, self-delimiting (decode consumes exactly what
+// encode produced, so containers can concatenate partials). The layout
+// is versioned by the *container* (e.g. `habit-core`'s fit-state blob);
+// within one container version it is append-only.
+//
+// Determinism contract: encoding is a pure function of the partial's
+// structural state. Call [`PartialGroupBy::canonicalize`] first to also
+// make it a pure function of the aggregated input *set* — that sorts
+// groups and median buffers; hash-set distinct states are sorted here,
+// at encode time, and HLL registers are position-determined.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Some(head)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+    take_bytes(buf, 1).map(|b| b[0])
+}
+
+fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+    take_bytes(buf, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+    take_bytes(buf, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn get_f64(buf: &mut &[u8]) -> Option<f64> {
+    take_bytes(buf, 8).map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn get_str(buf: &mut &[u8]) -> Option<String> {
+    let n = get_u32(buf)? as usize;
+    let bytes = take_bytes(buf, n)?;
+    String::from_utf8(bytes.to_vec()).ok()
+}
+
+fn dtype_code(d: DataType) -> u8 {
+    match d {
+        DataType::Int64 => 0,
+        DataType::UInt64 => 1,
+        DataType::Float64 => 2,
+        DataType::Utf8 => 3,
+    }
+}
+
+fn dtype_from_code(code: u8) -> Option<DataType> {
+    Some(match code {
+        0 => DataType::Int64,
+        1 => DataType::UInt64,
+        2 => DataType::Float64,
+        3 => DataType::Utf8,
+        _ => return None,
+    })
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::UInt(x) => {
+            out.push(2);
+            put_u64(out, *x);
+        }
+        Value::Float(x) => {
+            out.push(3);
+            put_f64(out, *x);
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+    }
+}
+
+fn get_value(buf: &mut &[u8]) -> Option<Value> {
+    Some(match get_u8(buf)? {
+        0 => Value::Null,
+        1 => Value::Int(i64::from_le_bytes(take_bytes(buf, 8)?.try_into().ok()?)),
+        2 => Value::UInt(get_u64(buf)?),
+        3 => Value::Float(get_f64(buf)?),
+        4 => Value::Str(get_str(buf)?.into()),
+        _ => return None,
+    })
+}
+
+/// HLL register encoding: sparse `(index, rank)` pairs when most
+/// registers are zero (the common per-group case), dense otherwise —
+/// whichever is smaller, chosen by a fixed rule so the bytes stay
+/// deterministic.
+fn put_hll(out: &mut Vec<u8>, h: &HyperLogLog) {
+    let registers = h.registers();
+    let nnz = registers.iter().filter(|&&r| r != 0).count();
+    let sparse_size = 4 + nnz * 5;
+    if sparse_size < registers.len() {
+        out.push(1); // sparse
+        out.push(h.precision());
+        put_u32(out, nnz as u32);
+        for (i, &r) in registers.iter().enumerate() {
+            if r != 0 {
+                put_u32(out, i as u32);
+                out.push(r);
+            }
+        }
+    } else {
+        out.push(0); // dense
+        out.push(h.precision());
+        out.extend_from_slice(registers);
+    }
+}
+
+fn get_hll(buf: &mut &[u8]) -> Option<HyperLogLog> {
+    let repr = get_u8(buf)?;
+    let precision = get_u8(buf)?;
+    if !(4..=18).contains(&precision) {
+        return None;
+    }
+    let m = 1usize << precision;
+    let registers = match repr {
+        0 => take_bytes(buf, m)?.to_vec(),
+        1 => {
+            let nnz = get_u32(buf)? as usize;
+            if nnz > m {
+                return None;
+            }
+            let mut registers = vec![0u8; m];
+            for _ in 0..nnz {
+                let idx = get_u32(buf)? as usize;
+                let rank = get_u8(buf)?;
+                if idx >= m {
+                    return None;
+                }
+                registers[idx] = rank;
+            }
+            registers
+        }
+        _ => return None,
+    };
+    HyperLogLog::from_registers(precision, registers)
+}
+
+fn put_acc(out: &mut Vec<u8>, acc: &Acc) {
+    match acc {
+        Acc::Count(n) => {
+            out.push(0);
+            put_u64(out, *n);
+        }
+        Acc::Hll(h) => {
+            out.push(1);
+            put_hll(out, h);
+        }
+        Acc::Exact(set) => {
+            out.push(2);
+            // Hash-set iteration order is arbitrary: sort for
+            // deterministic bytes (the total order of `sort_by_columns`).
+            let mut values: Vec<&Value> = set.iter().collect();
+            values.sort_by(|a, b| compare_values(a, b));
+            put_u32(out, values.len() as u32);
+            for v in values {
+                put_value(out, v);
+            }
+        }
+        Acc::Values(v) => {
+            out.push(3);
+            put_u64(out, v.len() as u64);
+            for x in v {
+                put_f64(out, *x);
+            }
+        }
+        Acc::Mean { sum, n } => {
+            out.push(4);
+            put_f64(out, *sum);
+            put_u64(out, *n);
+        }
+        Acc::MinMax { best, is_min } => {
+            out.push(5);
+            out.push(u8::from(*is_min) | (u8::from(best.is_some()) << 1));
+            put_f64(out, best.unwrap_or(0.0));
+        }
+        Acc::Sum(s) => {
+            out.push(6);
+            put_f64(out, *s);
+        }
+        Acc::FirstLast { value, keep_first } => {
+            out.push(7);
+            out.push(u8::from(*keep_first));
+            match value {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    put_value(out, v);
+                }
+            }
+        }
+    }
+}
+
+/// The variant tag [`put_acc`] writes for an accumulator of `func` —
+/// the decode-time cross-check that a corrupt blob cannot pair a spec
+/// with a foreign accumulator (whose later [`Acc::merge`] would be a
+/// silent no-op in release builds).
+fn expected_acc_tag(func: Agg) -> u8 {
+    match func {
+        Agg::Count | Agg::CountNonNull => 0,
+        Agg::CountDistinctApprox => 1,
+        Agg::CountDistinctExact => 2,
+        Agg::Median => 3,
+        Agg::Mean => 4,
+        Agg::Min | Agg::Max => 5,
+        Agg::Sum => 6,
+        Agg::First | Agg::Last => 7,
+    }
+}
+
+/// Decodes one accumulator, validating it against the spec it belongs
+/// to: the variant must match `func`, direction/keep flags must agree,
+/// and HLL sketches must carry the accumulation pipeline's precision
+/// (a mismatched precision would panic the next merge).
+fn get_acc(buf: &mut &[u8], func: Agg) -> Option<Acc> {
+    let tag = get_u8(buf)?;
+    if tag != expected_acc_tag(func) {
+        return None;
+    }
+    Some(match tag {
+        0 => Acc::Count(get_u64(buf)?),
+        1 => {
+            let h = get_hll(buf)?;
+            if h.precision() != crate::hll::DEFAULT_PRECISION {
+                return None;
+            }
+            Acc::Hll(h)
+        }
+        2 => {
+            let n = get_u32(buf)? as usize;
+            if n > buf.len() {
+                return None; // each value is ≥ 1 byte: corrupt length
+            }
+            let mut set = crate::fxhash::FxHashSet::default();
+            set.reserve(n);
+            for _ in 0..n {
+                set.insert(get_value(buf)?);
+            }
+            Acc::Exact(set)
+        }
+        3 => {
+            let n = get_u64(buf)? as usize;
+            if n > buf.len() / 8 {
+                return None;
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(get_f64(buf)?);
+            }
+            Acc::Values(v)
+        }
+        4 => Acc::Mean {
+            sum: get_f64(buf)?,
+            n: get_u64(buf)?,
+        },
+        5 => {
+            let flags = get_u8(buf)?;
+            let best = get_f64(buf)?;
+            let is_min = flags & 1 != 0;
+            if is_min != (func == Agg::Min) {
+                return None;
+            }
+            Acc::MinMax {
+                best: (flags & 2 != 0).then_some(best),
+                is_min,
+            }
+        }
+        6 => Acc::Sum(get_f64(buf)?),
+        7 => {
+            let keep_first = get_u8(buf)? != 0;
+            if keep_first != (func == Agg::First) {
+                return None;
+            }
+            let value = match get_u8(buf)? {
+                0 => None,
+                1 => Some(get_value(buf)?),
+                _ => return None,
+            };
+            Acc::FirstLast { value, keep_first }
+        }
+        _ => return None,
+    })
+}
+
+impl PartialGroupBy {
+    /// Appends the partial's serialized form to `out` (self-delimiting;
+    /// see the codec notes above). Canonicalize first when the bytes
+    /// must be independent of row order and sharding.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.specs.len() as u32);
+        for spec in &self.specs {
+            put_str(out, &spec.column);
+            out.push(spec.func.code());
+            put_str(out, &spec.alias);
+        }
+        put_u32(out, self.key_fields.len() as u32);
+        for field in &self.key_fields {
+            put_str(out, &field.name);
+            out.push(dtype_code(field.dtype));
+        }
+        put_u64(out, self.keys.len() as u64);
+        for (key, group_accs) in self.keys.iter().zip(&self.accs) {
+            for v in key {
+                put_value(out, v);
+            }
+            for acc in group_accs {
+                put_acc(out, acc);
+            }
+        }
+    }
+
+    /// Decodes a partial previously written by
+    /// [`PartialGroupBy::encode_into`], advancing `buf` past it. `None`
+    /// on truncation or malformed data (never panics, never
+    /// over-allocates on corrupt lengths).
+    pub fn decode_from(buf: &mut &[u8]) -> Option<Self> {
+        let nspecs = get_u32(buf)? as usize;
+        if nspecs > buf.len() {
+            return None;
+        }
+        let mut specs = Vec::with_capacity(nspecs);
+        for _ in 0..nspecs {
+            let column = get_str(buf)?;
+            let func = Agg::from_code(get_u8(buf)?)?;
+            let alias = get_str(buf)?;
+            specs.push(AggSpec::new(column, func, alias));
+        }
+        let nfields = get_u32(buf)? as usize;
+        if nfields > buf.len() {
+            return None;
+        }
+        let mut key_fields = Vec::with_capacity(nfields);
+        for _ in 0..nfields {
+            let name = get_str(buf)?;
+            let dtype = dtype_from_code(get_u8(buf)?)?;
+            key_fields.push(Field::new(name, dtype));
+        }
+        let ngroups = get_u64(buf)? as usize;
+        if ngroups > buf.len() {
+            return None; // each group is ≥ 1 byte: corrupt length
+        }
+        let mut keys = Vec::with_capacity(ngroups);
+        let mut accs = Vec::with_capacity(ngroups);
+        let mut index = FxHashMap::default();
+        index.reserve(ngroups);
+        for g in 0..ngroups {
+            let mut key = Vec::with_capacity(nfields);
+            for _ in 0..nfields {
+                key.push(get_value(buf)?);
+            }
+            let mut group_accs = Vec::with_capacity(nspecs);
+            for spec in &specs {
+                group_accs.push(get_acc(buf, spec.func)?);
+            }
+            if index.insert(key.clone(), g).is_some() {
+                return None; // duplicate group key: corrupt
+            }
+            keys.push(key);
+            accs.push(group_accs);
+        }
+        Some(Self {
+            specs,
+            key_fields,
+            keys,
+            index,
+            accs,
+        })
     }
 }
 
@@ -244,6 +718,150 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Splitting a table into chunks in different orders, partially
+    /// aggregating, merging, and canonicalizing must serialize to
+    /// identical bytes — the persistable-fit-state contract.
+    #[test]
+    fn canonical_bytes_independent_of_sharding() {
+        let cl: Vec<u64> = (0..80).map(|i| (i * 13) % 7).collect();
+        let v: Vec<f64> = (0..80).map(|i| (i as f64 * 0.37).cos() * 50.0).collect();
+        let t = table(cl, v);
+        // Drop order-defined and float-order-dependent aggregates: the
+        // canonical-bytes contract covers what the HABIT fit uses.
+        let canonical_specs: Vec<AggSpec> = specs()
+            .into_iter()
+            .filter(|s| !matches!(s.func, Agg::Sum | Agg::Mean))
+            .collect();
+
+        let mut blobs: Vec<Vec<u8>> = Vec::new();
+        for chunks in [1usize, 2, 3, 5] {
+            let n = t.num_rows();
+            let per = n.div_ceil(chunks);
+            let mut parts: Vec<PartialGroupBy> = (0..chunks)
+                .map(|c| {
+                    let idx: Vec<usize> = (c * per..((c + 1) * per).min(n)).collect();
+                    t.take(&idx)
+                        .group_by_partial(&["cl"], &canonical_specs)
+                        .unwrap()
+                })
+                .collect();
+            // Merge in reverse order too: merge order must not matter.
+            parts.reverse();
+            let mut merged = parts.remove(0);
+            for p in parts {
+                merged.merge(p).unwrap();
+            }
+            merged.canonicalize();
+            let mut out = Vec::new();
+            merged.encode_into(&mut out);
+            blobs.push(out);
+        }
+        for blob in &blobs[1..] {
+            assert_eq!(blob, &blobs[0], "canonical bytes diverge across shardings");
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_finish_and_merge() {
+        let t = table(
+            (0..40).map(|i| i % 4).collect(),
+            (0..40).map(|i| i as f64 * 1.5 - 7.0).collect(),
+        );
+        let part = t.group_by_partial(&["cl"], &specs()).unwrap();
+        let expected = part.clone().finish_sorted().unwrap();
+
+        let mut bytes = Vec::new();
+        part.encode_into(&mut bytes);
+        // Self-delimiting: trailing bytes stay untouched.
+        bytes.extend_from_slice(b"tail");
+        let mut buf = bytes.as_slice();
+        let back = PartialGroupBy::decode_from(&mut buf).expect("decode");
+        assert_eq!(buf, b"tail");
+
+        // The decoded partial finishes identically...
+        let got = back.clone().finish_sorted().unwrap();
+        assert_eq!(got.num_rows(), expected.num_rows());
+        for row in 0..expected.num_rows() {
+            assert_eq!(got.row(row), expected.row(row), "row {row}");
+        }
+        // ...and is still mergeable (counts double after self-merge).
+        let mut doubled = back.clone();
+        doubled.merge(back).unwrap();
+        let d = doubled.finish_sorted().unwrap();
+        let cnt = |t: &Table| {
+            t.column_by_name("cnt")
+                .unwrap()
+                .u64_values()
+                .unwrap()
+                .to_vec()
+        };
+        assert_eq!(
+            cnt(&d),
+            cnt(&expected).iter().map(|c| c * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn finish_to_table_is_non_destructive() {
+        let t = table(vec![1, 1, 2], vec![1.0, 3.0, 5.0]);
+        let part = t.group_by_partial(&["cl"], &specs()).unwrap();
+        let a = part.finish_to_table().unwrap();
+        let b = part.finish_to_table().unwrap();
+        let c = part.finish().unwrap();
+        for row in 0..c.num_rows() {
+            assert_eq!(a.row(row), c.row(row));
+            assert_eq!(b.row(row), c.row(row));
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_truncation_and_corrupt_lengths() {
+        let t = table(vec![1, 2, 3], vec![0.5, 1.5, 2.5]);
+        let part = t.group_by_partial(&["cl"], &specs()).unwrap();
+        let mut bytes = Vec::new();
+        part.encode_into(&mut bytes);
+        for cut in 0..bytes.len() {
+            let mut buf = &bytes[..cut];
+            assert!(
+                PartialGroupBy::decode_from(&mut buf).is_none(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+        // A corrupt group count must not over-allocate or panic.
+        let mut corrupt = bytes.clone();
+        let specs_end = corrupt.len() - 1;
+        corrupt[specs_end] ^= 0xFF;
+        let mut buf = corrupt.as_slice();
+        let _ = PartialGroupBy::decode_from(&mut buf); // may be None or Some; must not panic
+    }
+
+    /// A blob pairing a spec with a foreign accumulator variant must be
+    /// rejected at decode time — a mismatched `Acc::merge` later would
+    /// be a silent no-op in release builds.
+    #[test]
+    fn decoder_rejects_accumulator_variant_mismatch() {
+        let t = table(vec![1, 2], vec![0.5, 1.5]);
+        let part = t
+            .group_by_partial(&["cl"], &[AggSpec::new("v", Agg::Median, "med")])
+            .unwrap();
+        let mut bytes = Vec::new();
+        part.encode_into(&mut bytes);
+        // The first accumulator's tag byte follows the single-value key
+        // of the first group; find it by re-encoding with a tampered
+        // spec func instead of hunting offsets: flip the spec's func
+        // code (Median=4 → Count=0) so specs no longer match the accs.
+        let func_code_at = bytes
+            .iter()
+            .position(|&b| b == 4)
+            .expect("median func code in header");
+        bytes[func_code_at] = 0; // now claims Agg::Count
+        let mut buf = bytes.as_slice();
+        assert!(
+            PartialGroupBy::decode_from(&mut buf).is_none(),
+            "count spec + median accumulator must not decode"
+        );
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub mod types;
 pub use clean::{clean_trajectory, CleanConfig, CleanReport};
 pub use events::{annotate, EventConfig, MobilityEvent};
 pub use table::{trips_to_table, COLS};
-pub use trips::{segment_all, segment_trajectory, Trip, TripConfig};
+pub use trips::{segment_all, segment_all_from, segment_trajectory, Trip, TripConfig};
 pub use types::{AisPoint, Trajectory, VesselInfo, VesselType};

@@ -128,7 +128,17 @@ fn push_trip(
 /// Segments many vessels, assigning globally unique sequential trip ids
 /// starting at 1.
 pub fn segment_all(trajectories: &[Trajectory], cfg: &TripConfig) -> Vec<Trip> {
-    let mut next_id = 1u64;
+    segment_all_from(trajectories, cfg, 1)
+}
+
+/// Like [`segment_all`], but with trip ids continuing from `first_id` —
+/// the incremental-refit seam: a delta's ids must continue where the
+/// fitted history's segmentation stopped, so that refitting is
+/// id-for-id identical to re-segmenting the concatenated input (the
+/// fit counts *distinct* trip ids per transition; aliased ids would
+/// under-count).
+pub fn segment_all_from(trajectories: &[Trajectory], cfg: &TripConfig, first_id: u64) -> Vec<Trip> {
+    let mut next_id = first_id;
     let mut trips = Vec::new();
     for traj in trajectories {
         trips.extend(segment_trajectory(traj, cfg, &mut next_id));

@@ -77,6 +77,45 @@ fn bench_aggdb(c: &mut Criterion) {
             black_box(h.count())
         })
     });
+
+    // Window lag over interleaved trips — the single-stable-sort path
+    // of `aggdb::window` (one sort shared across lag columns).
+    let trips: Vec<u64> = (0..n).map(|i| (i % 200) as u64).collect();
+    let ts: Vec<i64> = (0..n).map(|i| (i / 200) as i64 * 60).collect();
+    let lag_cells: Vec<u64> = (0..n).map(|i| (i % 500) as u64).collect();
+    let lag_table = Table::from_columns(vec![
+        ("trip_id", Column::from_u64(trips)),
+        ("ts", Column::from_i64(ts)),
+        ("cl", Column::from_u64(lag_cells)),
+    ])
+    .expect("columns");
+    c.bench_function("window_lag_100k_200trips", |b| {
+        b.iter(|| {
+            black_box(aggdb::window::lag_over(&lag_table, &["trip_id"], "ts", "cl").expect("lag"))
+        })
+    });
+
+    // Fit-state persistence: canonical encode + decode of the partial
+    // group-by (the payload of a `fit --save-state` blob).
+    let mut partial = table
+        .group_by_partial(
+            &["cl"],
+            &[
+                AggSpec::new("", Agg::Count, "cnt"),
+                AggSpec::new("vessel", Agg::CountDistinctApprox, "vessels"),
+                AggSpec::new("lon", Agg::Median, "mlon"),
+            ],
+        )
+        .expect("partial");
+    partial.canonicalize();
+    c.bench_function("partial_groupby_codec_500groups", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::new();
+            partial.encode_into(&mut bytes);
+            let mut buf = bytes.as_slice();
+            black_box(aggdb::PartialGroupBy::decode_from(&mut buf).expect("decode"))
+        })
+    });
 }
 
 fn bench_dtw(c: &mut Criterion) {

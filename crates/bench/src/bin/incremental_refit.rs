@@ -1,0 +1,9 @@
+//! Incremental refit vs from-scratch fit: wall clocks, fit-state
+//! storage cost, and the byte-identity check (beyond the paper).
+
+use habit_bench::{kiel, report_main, reports, SEED};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    report_main(|| reports::incremental_report(&kiel(), SEED))
+}

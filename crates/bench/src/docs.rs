@@ -41,13 +41,13 @@ re-exporting a prelude:
              ┌──────────────────────────────────────────────────┐
              │          habit — umbrella crate + prelude        │
              └──────────────────────────────────────────────────┘
- apps        habit-cli (`habit` binary)   habit-bench (16 experiment bins)
+ apps        habit-cli (`habit` binary)   habit-bench (17 experiment bins)
              ────────────────────────────────────────────────────
  facade      habit-service (typed request/response API, unified
              error taxonomy, `habit serve` line-JSON TCP daemon)
              ────────────────────────────────────────────────────
- serving     habit-engine (thread pool, sharded fit, batched
-             imputation with an LRU route cache)
+ serving     habit-engine (thread pool, sharded + incremental fit
+             over FitState, batched imputation with an LRU cache)
              ────────────────────────────────────────────────────
  evaluation  eval (DTW, gap injection,    density (traffic density
              splits, experiment reports)  maps & rendering)
@@ -73,8 +73,8 @@ re-exporting a prelude:
 | `crates/mobgraph` | mobility graph: per-cell stats, transition edges, A* search, compact codec |
 | `crates/ais` | AIS data model, cleaning filters, mobility events, trip segmentation |
 | `crates/synth` | seeded synthetic AIS datasets mirroring the paper's DAN / KIEL / SAR feeds |
-| `crates/core` (`habit-core`) | the HABIT method: fit, gap imputation, track repair, fleet models |
-| `crates/engine` (`habit-engine`) | parallel serving: hand-rolled thread pool, tile-sharded fit (byte-identical to sequential), batched imputation with route dedup + LRU cache |
+| `crates/core` (`habit-core`) | the HABIT method: fit, gap imputation, track repair, fleet models, persistable `FitState` (v2 model container) |
+| `crates/engine` (`habit-engine`) | parallel serving: hand-rolled thread pool, tile-sharded fit as `accumulate → merge → finalize` over `FitState` (byte-identical to sequential), incremental refit, batched imputation with route dedup + LRU cache |
 | `crates/service` (`habit-service`) | unified service facade: typed `Request`/`Response` API, `ServiceError` taxonomy with stable codes, shared CSV converters, line-JSON wire codec + TCP server |
 | `crates/baselines` | competitors: SLI straight-line, GTI point-graph, PaLMTO N-gram |
 | `crates/density` | traffic density maps and exports built on the same substrate |
@@ -99,6 +99,31 @@ cargo run --release --example quickstart
 More examples: `compare_methods`, `density_map`, `fleet_types`,
 `port_traffic` (`cargo run --release --example <name>`).
 
+### Incremental refit
+
+Fitting normally re-scans the whole history. With the persistable
+**fit state** (the fit's partial aggregates — counts, HLL sketches,
+median buffers — as a versioned binary blob embedded in a v2 model
+container), each new day of trips merges in **byte-identically** to a
+from-scratch fit over history ∪ delta (property-tested at every
+shard/thread count), without re-reading the history:
+
+```sh
+habit fit   --input day1.csv --out kiel.habit --save-state
+habit refit --model kiel.habit --input day2.csv       # updates in place
+habit refit --model kiel.habit --input day3.csv
+habit info  --model kiel.habit    # blob version, state size, fit provenance
+```
+
+The delta must contain whole, *new* trips (new vessels / new days —
+trip and vessel streams must not straddle the boundary). Lean v1 blobs
+(`fit` without `--save-state`) stay the default — smaller, read-only —
+and still load everywhere. The running daemon accepts the same
+operation over the wire (`{{"v":1,"op":"refit","input":"day2.csv"}}`)
+and hot-swaps the refitted model without dropping connections; the
+`incremental` experiment below reports refit-vs-full-fit wall clocks
+plus the byte-identity check.
+
 ## The `habit` CLI
 
 Every model-touching command is a thin adapter over
@@ -116,8 +141,8 @@ over **habit-wire/v1**: line-delimited JSON over TCP (hand-rolled, no
 serde/tokio), one request per line, one response line per request.
 Requests carry the protocol version and an operation
 (`health`, `model_info`, `impute`, `impute_batch`, `repair`, `fit`,
-`shutdown`); gap endpoints are `[lon,lat,t]`, track points `[t,lon,lat]`,
-cell ids hex strings. A worked netcat session:
+`refit`, `shutdown`); gap endpoints are `[lon,lat,t]`, track points
+`[t,lon,lat]`, cell ids hex strings. A worked netcat session:
 
 ```sh
 habit serve --model kiel.habit --port 4740 &
@@ -148,11 +173,15 @@ the same taxonomy (`bad_request` exits 2, every other code exits 1):
 | `bad_model_blob` | 1 | a serialized model file is corrupt or incompatible |
 | `unsorted_input` | 1 | a track was not sorted by timestamp |
 | `config_mismatch` | 1 | models with incompatible configurations |
+| `state_version` | 1 | fit-state version unsupported, or the model embeds no state (refit needs one) |
+| `config_drift` | 1 | refit delta accumulated under a different fit configuration |
 | `internal` | 1 | unexpected internal failure |
 
 The daemon answers `impute`/`impute_batch` through the engine's batch
 imputer, so recurring routes are served from a warm LRU cache across
-requests and connections; `fit` hot-swaps the serving model in place.
+requests and connections; `fit` and `refit` hot-swap the serving model
+in place (a refit snapshots the state, accumulates the delta off the
+request path, and swaps at the end, so imputations keep flowing).
 Graceful shutdown: the `shutdown` op, or start with `--watch-stdin` and
 close the daemon's stdin pipe (supervisor-friendly; no signal handler
 needed in the std-only build).
@@ -171,16 +200,19 @@ cargo run -p habit-bench --release --bin all_experiments -- --out-dir reports/
 # Re-render EXPERIMENTS.md from the committed JSON without re-running:
 cargo run -p habit-bench --release --bin all_experiments -- --render-only --out-dir reports/
 
-# One experiment, e.g. Figure 5 or the batched-serving throughput:
+# One experiment, e.g. Figure 5, the batched-serving throughput, or
+# the incremental-refit comparison (report id `incremental`):
 cargo run -p habit-bench --release --bin fig5
 cargo run -p habit-bench --release --bin throughput
+cargo run -p habit-bench --release --bin incremental_refit
 
 # CI perf tracking: fresh smoke-scale wall clocks vs the committed
 # baseline (reports/smoke/), failing on >2x regressions:
 cargo run -p habit-bench --release --bin perf_check -- \
     --baseline reports/smoke --fresh /tmp/smoke-reports
 
-# Criterion micro-benchmarks:
+# Criterion micro-benchmarks (set CRITERION_SUMMARY_FILE=out.tsv for a
+# machine-readable name/min/med/mean-ns line per benchmark):
 cargo bench
 ```
 
@@ -232,6 +264,13 @@ mod tests {
         assert!(md.contains("nc 127.0.0.1 4740"));
         assert!(md.contains("| `bad_request` | 2 |"));
         assert!(md.contains("| `no_path` | 1 |"));
+        assert!(md.contains("| `state_version` | 1 |"));
+        assert!(md.contains("| `config_drift` | 1 |"));
+        // The incremental-refit workflow is documented with a worked
+        // command sequence and the wire op.
+        assert!(md.contains("### Incremental refit"));
+        assert!(md.contains("habit refit --model kiel.habit"));
+        assert!(md.contains("\"op\":\"refit\""));
         // All 14 crates appear in the table.
         for krate in [
             "geo-kernel",

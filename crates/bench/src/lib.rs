@@ -19,6 +19,7 @@
 //! | `ablation_palmto`  | the paper's dropped competitor, reproduced |
 //! | `ablation_fleet`   | vessel-type conditioning (paper future work) |
 //! | `throughput`       | batched imputation serving via `habit-engine` (beyond the paper) |
+//! | `incremental`      | incremental refit vs from-scratch fit via the persistable `FitState` (beyond the paper) |
 //! | `all_experiments`  | everything above; writes `reports/*.json` + `EXPERIMENTS.md` |
 //! | `perf_check`       | CI perf gate: fresh vs committed wall clocks (`--baseline`/`--fresh`) |
 //!

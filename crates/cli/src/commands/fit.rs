@@ -7,12 +7,20 @@ pub use habit_service::parse_projection;
 
 /// Entry point for `habit fit`.
 pub fn run(args: &Args) -> Result<(), ServiceError> {
-    args.check_flags(&["input", "out", "resolution", "tolerance", "projection"])?;
+    args.check_flags(&[
+        "input",
+        "out",
+        "resolution",
+        "tolerance",
+        "projection",
+        "save-state",
+    ])?;
     let input = args.require("input")?;
     let out = args.require("out")?;
     let resolution: u8 = args.get_or("resolution", 9)?;
     let tolerance: f64 = args.get_or("tolerance", 100.0)?;
     let projection = parse_projection(args.get("projection").unwrap_or("median"))?;
+    let save_state = args.switch("save-state");
 
     // A model-less service: Fit creates (and would serve) the model.
     let service = Service::new(ServiceConfig::default());
@@ -22,12 +30,14 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
         tolerance_m: tolerance,
         projection,
         save_to: Some(out.to_string()),
+        save_state,
     };
     let Response::Fitted(summary) = service.handle(&Request::Fit(spec))? else {
         unreachable!("Fit answers Fitted");
     };
+    let state_note = if save_state { " (+fit state)" } else { "" };
     println!(
-        "fitted r={resolution} t={tolerance} on {} trips ({} reports): {} cells, {} transitions, {} bytes -> {out}",
+        "fitted r={resolution} t={tolerance} on {} trips ({} reports): {} cells, {} transitions, {} bytes{state_note} -> {out}",
         summary.trips,
         summary.reports,
         summary.cells,

@@ -40,6 +40,28 @@ pub fn describe(report: &ModelReport) -> String {
         "  busiest cell      : {} distinct vessels\n",
         report.busiest_cell_vessels
     ));
+    match &report.state {
+        Some(state) => {
+            out.push_str(&format!(
+                "  blob version      : v{} (refittable: embedded fit state)\n",
+                report.blob_version
+            ));
+            out.push_str(&format!(
+                "  fit state         : {} bytes\n",
+                state.state_bytes
+            ));
+            out.push_str(&format!(
+                "  fit provenance    : {} trips, {} reports accumulated\n",
+                state.trips, state.reports
+            ));
+        }
+        None => {
+            out.push_str(&format!(
+                "  blob version      : v{} (read-only: no embedded fit state — refit needs `fit --save-state`)\n",
+                report.blob_version
+            ));
+        }
+    }
     out
 }
 
@@ -88,6 +110,31 @@ mod tests {
         assert!(text.contains("median (w)"));
         assert!(text.contains("cells"));
         assert!(text.contains("indexed reports"));
+        // A freshly fitted model is refittable: v2 with provenance.
+        assert!(text.contains("blob version      : v2"), "{text}");
+        assert!(
+            text.contains("fit provenance    : 1 trips, 150 reports"),
+            "{text}"
+        );
+        assert!(text.contains("fit state         : "), "{text}");
+    }
+
+    #[test]
+    fn describe_distinguishes_v1_models() {
+        let report = habit_service::ModelReport {
+            config: HabitConfig::default(),
+            cells: 10,
+            transitions: 20,
+            reports: 100,
+            busiest_cell_vessels: 2,
+            storage_bytes: 1024,
+            blob_version: 1,
+            state: None,
+        };
+        let text = describe(&report);
+        assert!(text.contains("blob version      : v1"), "{text}");
+        assert!(text.contains("--save-state"), "{text}");
+        assert!(!text.contains("fit provenance"), "{text}");
     }
 
     #[test]

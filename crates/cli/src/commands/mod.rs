@@ -14,6 +14,7 @@ pub mod export;
 pub mod fit;
 pub mod impute;
 pub mod info;
+pub mod refit;
 pub mod repair;
 pub mod serve;
 pub mod synth_cmd;
@@ -73,6 +74,7 @@ pub fn dispatch(args: &Args) -> Result<(), ServiceError> {
     match args.command.as_str() {
         "synth" => synth_cmd::run(args),
         "fit" => fit::run(args),
+        "refit" => refit::run(args),
         "impute" => impute::run(args),
         "batch" => batch::run(args),
         "repair" => repair::run(args),
@@ -110,7 +112,13 @@ COMMANDS
            --dataset dan|kiel|sar  --out FILE  [--seed N] [--scale F]
   fit      fit a HABIT model from an AIS CSV
            --input FILE  --out FILE  [--resolution 6..10] [--tolerance M]
-           [--projection center|median]
+           [--projection center|median] [--save-state]
+           (--save-state embeds the fit state: bigger blob, refittable)
+  refit    merge a delta AIS CSV of NEW trips into a fitted model
+           --model FILE  --input FILE  [--out FILE] [--threads N]
+           (model must embed fit state — `fit --save-state`; without
+           --out the refitted blob overwrites --model; byte-identical
+           to a from-scratch fit over history + delta)
   impute   impute one gap (--from/--to) or a gap CSV (--input FILE|-)
            --model FILE  --from LON,LAT,T  --to LON,LAT,T  [--out FILE]
            --model FILE  --input FILE|-  [--out FILE]
@@ -140,6 +148,12 @@ EXAMPLES
   habit synth --dataset kiel --scale 0.3 --seed 42 --out kiel.csv
   habit fit --input kiel.csv --resolution 9 --tolerance 100 --out kiel.habit
   habit info --model kiel.habit
+
+  # Incremental refit: fit once with the state embedded, then absorb
+  # each new day of trips without re-reading the history:
+  habit fit --input day1.csv --out kiel.habit --save-state
+  habit refit --model kiel.habit --input day2.csv
+  habit refit --model kiel.habit --input day3.csv
 
   # Impute one 60-minute gap (from/to are lon,lat,t triples):
   habit impute --model kiel.habit --from 10.30,57.10,0 --to 10.85,57.45,3600
@@ -175,7 +189,8 @@ EXIT CODES (shell-friendly, stable)
   every other error code exits 1. Daemon responses carry the same codes
   (bad_request, io, csv, bad_input, grid, no_model, empty_model,
   no_path, snap_failed, bad_model_blob, unsorted_input, config_mismatch,
-  internal) in {\"ok\":false,\"error\":{\"code\":...,\"message\":...}}.
+  state_version, config_drift, internal) in
+  {\"ok\":false,\"error\":{\"code\":...,\"message\":...}}.
 
 Formats: AIS CSV = mmsi,t,lon,lat[,sog,cog,heading]; track CSV = t,lon,lat;
 gap CSV = lon1,lat1,t1,lon2,lat2,t2 (`batch`/`impute --input`; outputs

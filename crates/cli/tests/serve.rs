@@ -55,6 +55,8 @@ fn build_model(dir: &Path) -> (PathBuf, PathBuf) {
         "100",
         "--out",
         model.to_str().unwrap(),
+        // Embed the fit state so the daemon under test is refittable.
+        "--save-state",
     ]);
     assert!(
         out.status.success(),
@@ -214,6 +216,42 @@ fn daemon_round_trip_matches_the_cli_byte_for_byte() {
         cli_bytes, tcp_bytes,
         "TCP daemon and CLI adapter must produce byte-identical imputation output"
     );
+
+    // -- Refit over TCP: a delta of the same corridor under new vessel
+    //    ids hot-swaps the serving model without a restart.
+    let delta = dir.join("delta.csv");
+    let mut delta_body = String::from("mmsi,t,lon,lat,sog,cog,heading\n");
+    for line in text.lines().skip(1) {
+        let (mmsi, rest) = line.split_once(',').expect("csv row");
+        let mmsi: u64 = mmsi.parse().expect("mmsi");
+        delta_body.push_str(&format!("{},{rest}\n", mmsi + 1_000_000));
+    }
+    std::fs::write(&delta, delta_body).unwrap();
+    let reply = round_trip(
+        &stream,
+        &mut reader,
+        &Request::Refit(habit_service::RefitSpec {
+            input: delta.to_str().unwrap().to_string(),
+            save_to: None,
+        }),
+    );
+    let Ok(Response::Refitted(refit)) = wire::decode_response(&reply).unwrap() else {
+        panic!("refit reply: {reply}");
+    };
+    assert!(refit.trips_added > 0);
+    assert_eq!(
+        refit.trips_total,
+        refit.trips_added * 2,
+        "the delta duplicates the history's traffic trip for trip"
+    );
+    // The refitted model serves immediately on the same connection, and
+    // the duplicated corridor does not change the answer's geometry
+    // (medians over duplicated positions are unchanged).
+    let reply = round_trip(&stream, &mut reader, &Request::Impute { gap });
+    let Ok(Response::Imputation(after_refit)) = wire::decode_response(&reply).unwrap() else {
+        panic!("impute-after-refit reply: {reply}");
+    };
+    assert_eq!(after_refit.points, tcp_imputation.points);
 
     // -- Shutdown: acknowledged, then the process exits cleanly (0).
     let reply = round_trip(&stream, &mut reader, &Request::Shutdown);

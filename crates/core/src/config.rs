@@ -90,6 +90,37 @@ impl HabitConfig {
         }
     }
 
+    /// Serializes **every** tunable (unlike the model header's four
+    /// fields): a fit state must reproduce the exact accumulation
+    /// pipeline, where `min_cell_span` and `snap_max_rings` matter too.
+    /// Layout: resolution, projection, weight (1 byte each), rdp f64,
+    /// min_cell_span u64, snap_max_rings u32 — all little-endian.
+    pub(crate) fn encode_full(&self, out: &mut Vec<u8>) {
+        out.push(self.resolution);
+        out.push(self.projection_code());
+        out.push(self.weight_code());
+        out.extend_from_slice(&self.rdp_tolerance_m.to_le_bytes());
+        out.extend_from_slice(&(self.min_cell_span as u64).to_le_bytes());
+        out.extend_from_slice(&self.snap_max_rings.to_le_bytes());
+    }
+
+    /// Inverse of [`HabitConfig::encode_full`], advancing `buf`.
+    pub(crate) fn decode_full(buf: &mut &[u8]) -> Option<Self> {
+        if buf.len() < 3 + 8 + 8 + 4 {
+            return None;
+        }
+        let (resolution, projection, weight) = (buf[0], buf[1], buf[2]);
+        let rdp = f64::from_le_bytes(buf[3..11].try_into().ok()?);
+        let span = u64::from_le_bytes(buf[11..19].try_into().ok()?);
+        let rings = u32::from_le_bytes(buf[19..23].try_into().ok()?);
+        *buf = &buf[23..];
+        Some(Self {
+            min_cell_span: usize::try_from(span).ok()?,
+            snap_max_rings: rings,
+            ..Self::decode(resolution, projection, weight, rdp)
+        })
+    }
+
     pub(crate) fn decode(resolution: u8, projection: u8, weight: u8, rdp_tolerance_m: f64) -> Self {
         Self {
             resolution,

@@ -26,6 +26,20 @@ pub enum HabitError {
     /// Two models with incompatible configurations (resolution,
     /// projection or weight scheme) cannot be merged.
     ConfigMismatch,
+    /// A serialized fit state carries a version this build does not
+    /// speak (or the model blob embeds no state at all where one is
+    /// required, e.g. refitting a v1 model).
+    StateVersion {
+        /// Version found in the blob (0 when the blob has no state).
+        found: u8,
+        /// Highest version this build supports.
+        supported: u8,
+    },
+    /// A refit tried to merge partial aggregates accumulated under a
+    /// different fit configuration (resolution, projection, tolerance,
+    /// cell-span filter): the aggregates are not comparable, so the
+    /// delta must be re-accumulated under the saved state's config.
+    ConfigDrift,
 }
 
 impl HabitError {
@@ -44,6 +58,8 @@ impl HabitError {
             HabitError::BadModelBlob => "bad_model_blob",
             HabitError::UnsortedInput => "unsorted_input",
             HabitError::ConfigMismatch => "config_mismatch",
+            HabitError::StateVersion { .. } => "state_version",
+            HabitError::ConfigDrift => "config_drift",
         }
     }
 }
@@ -61,6 +77,29 @@ impl fmt::Display for HabitError {
             HabitError::UnsortedInput => write!(f, "track is not sorted by timestamp"),
             HabitError::ConfigMismatch => {
                 write!(f, "models were fitted with incompatible configurations")
+            }
+            HabitError::StateVersion {
+                found: 0,
+                supported,
+            } => {
+                write!(
+                    f,
+                    "model blob embeds no fit state (v1 or stateless blob) — refit needs a \
+                     model fitted with --save-state (state versions up to {supported})"
+                )
+            }
+            HabitError::StateVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported fit-state version {found} (this build speaks up to {supported})"
+                )
+            }
+            HabitError::ConfigDrift => {
+                write!(
+                    f,
+                    "fit configuration drift: the delta was accumulated under a different \
+                     configuration than the saved fit state"
+                )
             }
         }
     }

@@ -1,0 +1,454 @@
+//! The persistable fit state — partial aggregates as a first-class,
+//! mergeable, serializable artifact.
+//!
+//! A HABIT fit is two group-bys over the lagged trip table
+//! ([`crate::graphgen`]). This module reifies their *un-finished*
+//! accumulators ([`aggdb::PartialGroupBy`]) plus the fit configuration
+//! and provenance into a [`FitState`] that can be
+//!
+//! * **accumulated** from a trip table ([`FitState::accumulate`]),
+//! * **merged** with the state of another table — a shard, or a later
+//!   day's delta ([`FitState::merge`]), and
+//! * **finalized** into the [`TransitionGraph`] at any point
+//!   ([`FitState::finalize`]) without losing the ability to keep
+//!   merging,
+//!
+//! and that serializes to a **versioned binary blob** embedded in v2
+//! model containers ([`crate::HabitModel::to_bytes_full`]). This is the
+//! seam incremental refit rides on: `fit(history ∪ delta)` ≡
+//! `finalize(merge(state(history), state(delta)))`, **byte-identically**
+//! for the aggregates the fit uses (count / HLL distinct / median),
+//! provided the two inputs hold *whole, disjoint trips* (trip and
+//! vessel ids must not straddle the boundary — the window lag and the
+//! drift filter need whole-trip context, and distinct counts would
+//! alias). [`FitState::accumulate`] canonicalizes the partials (groups
+//! key-sorted, median buffers value-sorted), so the state is a pure
+//! function of the input *set* of rows — independent of row order,
+//! sharding, and merge order.
+//!
+//! Provenance is deliberately restricted to merge-exact fields
+//! (`trips`, `reports`, `max_trip_id`): anything order- or
+//! wall-clock-dependent (a refit timestamp, a "last delta" size) would
+//! break the byte-identity contract between an incrementally refitted
+//! state and a from-scratch fit.
+
+use crate::config::HabitConfig;
+use crate::error::HabitError;
+use crate::graphgen::{
+    assemble_graph, cell_agg_specs, lagged_trip_table, transition_agg_specs, transition_rows,
+    TransitionGraph,
+};
+use aggdb::fxhash::FxHashSet;
+use aggdb::{PartialGroupBy, Table};
+
+/// Magic bytes prefixing a serialized fit state ("HFS1").
+const FITSTATE_MAGIC: u32 = 0x3153_4648;
+/// Highest fit-state blob version this build reads and writes.
+pub const FITSTATE_VERSION: u8 = 1;
+
+/// Merge-exact fit provenance: how much data the state has absorbed.
+///
+/// Every field merges under [`FitState::merge`] exactly as a
+/// from-scratch fit over the union would compute it (counts add, the
+/// id high-water mark takes the max) — which is why nothing order- or
+/// wall-clock-dependent (timestamps, per-refit deltas) lives here.
+/// `max_trip_id` is the seam the service uses to continue trip-id
+/// assignment across refits without aliasing history ids, even when a
+/// model was fitted from a table with sparse ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FitProvenance {
+    /// Distinct trips accumulated (pre-drift-filter).
+    pub trips: u64,
+    /// AIS reports accumulated (input rows, pre-drift-filter).
+    pub reports: u64,
+    /// Highest trip id accumulated (0 when no rows): delta trip ids
+    /// must start above it.
+    pub max_trip_id: u64,
+}
+
+impl FitProvenance {
+    /// Counts a trip table: distinct `trip_id`s, rows, and the highest
+    /// trip id.
+    pub fn of_table(table: &Table) -> Result<Self, HabitError> {
+        let trip_col = table.column_by_name("trip_id")?;
+        let ids =
+            trip_col
+                .u64_values()
+                .ok_or(HabitError::BadInput(aggdb::AggError::TypeMismatch {
+                    column: "trip_id".into(),
+                    expected: "UInt64",
+                    actual: trip_col.dtype().name(),
+                }))?;
+        let mut distinct: FxHashSet<u64> = FxHashSet::default();
+        let mut max_trip_id = 0u64;
+        for &id in ids {
+            distinct.insert(id);
+            max_trip_id = max_trip_id.max(id);
+        }
+        Ok(Self {
+            trips: distinct.len() as u64,
+            reports: table.num_rows() as u64,
+            max_trip_id,
+        })
+    }
+
+    /// Absorbs another table's counters (counts add, the high-water
+    /// mark takes the max — both exact under the disjoint-trips
+    /// contract).
+    pub fn merge(&mut self, other: &Self) {
+        self.trips += other.trips;
+        self.reports += other.reports;
+        self.max_trip_id = self.max_trip_id.max(other.max_trip_id);
+    }
+}
+
+/// The partial-aggregate state of a HABIT fit: configuration, the two
+/// un-finished group-bys of graph generation, and provenance.
+#[derive(Clone)]
+pub struct FitState {
+    config: HabitConfig,
+    /// Per-cell statistics partial (`GROUP BY cl`).
+    cells: PartialGroupBy,
+    /// Per-transition statistics partial (`GROUP BY lag_cl, cl`).
+    transitions: PartialGroupBy,
+    provenance: FitProvenance,
+}
+
+impl FitState {
+    /// Runs the accumulation half of a fit over `table` (columns per
+    /// [`ais::COLS`]): cell assignment, drift filter, window lag, and
+    /// both partial group-bys — everything **except** finishing the
+    /// accumulators into a graph. A table whose trips are all filtered
+    /// (sea drift) yields a state with zero groups; it is
+    /// [`FitState::finalize`] that rejects an empty model.
+    pub fn accumulate(table: &Table, config: HabitConfig) -> Result<Self, HabitError> {
+        let provenance = FitProvenance::of_table(table)?;
+        let lagged = lagged_trip_table(table, &config)?;
+        let cells = lagged.group_by_partial(&["cl"], &cell_agg_specs())?;
+        let transitions = transition_rows(&lagged)?
+            .group_by_partial(&["lag_cl", "cl"], &transition_agg_specs())?;
+        Self::from_partials(config, cells, transitions, provenance)
+    }
+
+    /// Assembles a state from already-computed partials — the seam
+    /// `habit-engine` uses after merging per-shard partial group-bys.
+    /// Canonicalizes both partials, so states built from any sharding of
+    /// the same rows are structurally (and byte-) identical.
+    pub fn from_partials(
+        config: HabitConfig,
+        mut cells: PartialGroupBy,
+        mut transitions: PartialGroupBy,
+        provenance: FitProvenance,
+    ) -> Result<Self, HabitError> {
+        cells.canonicalize();
+        transitions.canonicalize();
+        Ok(Self {
+            config,
+            cells,
+            transitions,
+            provenance,
+        })
+    }
+
+    /// The configuration the state accumulates under.
+    pub fn config(&self) -> &HabitConfig {
+        &self.config
+    }
+
+    /// Merge-exact counters of everything absorbed so far.
+    pub fn provenance(&self) -> &FitProvenance {
+        &self.provenance
+    }
+
+    /// Distinct cells with accumulated statistics.
+    pub fn cell_groups(&self) -> usize {
+        self.cells.num_groups()
+    }
+
+    /// Distinct cell transitions accumulated.
+    pub fn transition_groups(&self) -> usize {
+        self.transitions.num_groups()
+    }
+
+    /// Absorbs another state accumulated under the **same**
+    /// configuration — a delta day of trips, or another shard. Fails
+    /// with [`HabitError::ConfigDrift`] when the configurations differ
+    /// (the partials would not be comparable). Re-canonicalizes, so the
+    /// merged state's bytes equal a from-scratch accumulation over the
+    /// union (disjoint-trips contract).
+    pub fn merge(&mut self, other: FitState) -> Result<(), HabitError> {
+        if self.config != other.config {
+            return Err(HabitError::ConfigDrift);
+        }
+        self.cells.merge(other.cells)?;
+        self.transitions.merge(other.transitions)?;
+        self.cells.canonicalize();
+        self.transitions.canonicalize();
+        self.provenance.merge(&other.provenance);
+        Ok(())
+    }
+
+    /// Finishes the accumulators into the canonical [`TransitionGraph`]
+    /// **without consuming the state** — it remains mergeable, which is
+    /// exactly what lets a daemon refit and re-finalize day after day.
+    pub fn finalize(&self) -> Result<TransitionGraph, HabitError> {
+        // Canonicalized partials finish in key-sorted order — the
+        // canonical table order `assemble_graph` requires.
+        let cell_stats = self.cells.finish_to_table()?;
+        let transitions_tbl = self.transitions.finish_to_table()?;
+        assemble_graph(&cell_stats, &transitions_tbl)
+    }
+
+    /// Serializes the state as a standalone versioned blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the serialized state (self-delimiting) to `out`.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&FITSTATE_MAGIC.to_le_bytes());
+        out.push(FITSTATE_VERSION);
+        self.config.encode_full(out);
+        out.extend_from_slice(&self.provenance.trips.to_le_bytes());
+        out.extend_from_slice(&self.provenance.reports.to_le_bytes());
+        out.extend_from_slice(&self.provenance.max_trip_id.to_le_bytes());
+        self.cells.encode_into(out);
+        self.transitions.encode_into(out);
+    }
+
+    /// Decodes a state from the front of `buf`, advancing it.
+    ///
+    /// Distinguishes *unsupported version* ([`HabitError::StateVersion`],
+    /// so callers can say "re-fit with this build") from *corruption*
+    /// ([`HabitError::BadModelBlob`]).
+    pub(crate) fn decode_from(buf: &mut &[u8]) -> Result<Self, HabitError> {
+        let magic = take_u32(buf).ok_or(HabitError::BadModelBlob)?;
+        if magic != FITSTATE_MAGIC {
+            return Err(HabitError::BadModelBlob);
+        }
+        let version = take_u8(buf).ok_or(HabitError::BadModelBlob)?;
+        if version != FITSTATE_VERSION {
+            return Err(HabitError::StateVersion {
+                found: version,
+                supported: FITSTATE_VERSION,
+            });
+        }
+        let config = HabitConfig::decode_full(buf).ok_or(HabitError::BadModelBlob)?;
+        let trips = take_u64(buf).ok_or(HabitError::BadModelBlob)?;
+        let reports = take_u64(buf).ok_or(HabitError::BadModelBlob)?;
+        let max_trip_id = take_u64(buf).ok_or(HabitError::BadModelBlob)?;
+        let cells = PartialGroupBy::decode_from(buf).ok_or(HabitError::BadModelBlob)?;
+        let transitions = PartialGroupBy::decode_from(buf).ok_or(HabitError::BadModelBlob)?;
+        Ok(Self {
+            config,
+            cells,
+            transitions,
+            provenance: FitProvenance {
+                trips,
+                reports,
+                max_trip_id,
+            },
+        })
+    }
+
+    /// Deserializes a blob written by [`FitState::to_bytes`]. Trailing
+    /// bytes are rejected (a standalone blob is exactly one state).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, HabitError> {
+        let mut buf = bytes;
+        let state = Self::decode_from(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(HabitError::BadModelBlob);
+        }
+        Ok(state)
+    }
+
+    /// Serialized size in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+fn take_u8(buf: &mut &[u8]) -> Option<u8> {
+    let (&b, rest) = buf.split_first()?;
+    *buf = rest;
+    Some(b)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Some(u32::from_le_bytes(head.try_into().ok()?))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Some(u64::from_le_bytes(head.try_into().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ais::{trips_to_table, AisPoint, Trip};
+
+    fn lane_trip(trip_id: u64, mmsi: u64, lat: f64, n: usize) -> Trip {
+        Trip {
+            trip_id,
+            mmsi,
+            points: (0..n)
+                .map(|i| {
+                    AisPoint::new(
+                        mmsi,
+                        i as i64 * 60,
+                        10.0 + i as f64 * 0.004,
+                        lat,
+                        12.0,
+                        90.0,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn drift_trip(trip_id: u64, mmsi: u64) -> Trip {
+        Trip {
+            trip_id,
+            mmsi,
+            points: (0..40)
+                .map(|i| AisPoint::new(mmsi, i * 60, 11.0 + (i % 2) as f64 * 1e-4, 56.5, 0.4, 0.0))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn accumulate_merge_equals_union_accumulate() {
+        let history: Vec<Trip> = (0..3)
+            .map(|k| lane_trip(k + 1, 100 + k, 56.0, 120))
+            .collect();
+        let delta: Vec<Trip> = (0..2)
+            .map(|k| lane_trip(k + 4, 200 + k, 56.02, 110))
+            .collect();
+        let union: Vec<Trip> = history.iter().chain(&delta).cloned().collect();
+        let config = HabitConfig::default();
+
+        let mut incremental =
+            FitState::accumulate(&trips_to_table(&history), config).expect("history");
+        let delta_state = FitState::accumulate(&trips_to_table(&delta), config).expect("delta");
+        incremental.merge(delta_state).expect("merge");
+
+        let full = FitState::accumulate(&trips_to_table(&union), config).expect("union");
+        assert_eq!(incremental.to_bytes(), full.to_bytes(), "state bytes");
+        assert_eq!(incremental.provenance().trips, 5);
+        assert_eq!(incremental.provenance().reports, 3 * 120 + 2 * 110);
+        assert_eq!(incremental.provenance().max_trip_id, 5);
+
+        // Finalized graphs are identical too.
+        let a = incremental.finalize().expect("graph");
+        let b = full.finalize().expect("graph");
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    /// Sparse trip ids (a model fitted through the library API from an
+    /// arbitrary table): the high-water mark — not the distinct count —
+    /// is what keeps delta ids from aliasing history ids.
+    #[test]
+    fn provenance_high_water_mark_survives_sparse_ids() {
+        let sparse =
+            trips_to_table(&[lane_trip(1, 100, 56.0, 100), lane_trip(50, 101, 56.01, 100)]);
+        let state = FitState::accumulate(&sparse, HabitConfig::default()).unwrap();
+        assert_eq!(state.provenance().trips, 2);
+        assert_eq!(state.provenance().max_trip_id, 50);
+        let back = FitState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(back.provenance().max_trip_id, 50);
+    }
+
+    #[test]
+    fn merge_rejects_config_drift() {
+        let t = trips_to_table(&[lane_trip(1, 100, 56.0, 100)]);
+        let mut a = FitState::accumulate(&t, HabitConfig::with_r_t(9, 100.0)).unwrap();
+        let b = FitState::accumulate(&t, HabitConfig::with_r_t(8, 100.0)).unwrap();
+        assert!(matches!(a.merge(b), Err(HabitError::ConfigDrift)));
+    }
+
+    #[test]
+    fn all_drift_accumulates_empty_but_counts_provenance() {
+        let t = trips_to_table(&[drift_trip(1, 7)]);
+        let state = FitState::accumulate(&t, HabitConfig::default()).expect("accumulate");
+        assert_eq!(state.cell_groups(), 0);
+        assert_eq!(state.provenance().trips, 1);
+        assert!(matches!(state.finalize(), Err(HabitError::EmptyModel)));
+
+        // Merging a drift-only delta is provenance-only — the real data
+        // is untouched, matching a union fit (the filter is per-trip).
+        let history = trips_to_table(
+            &(0..3)
+                .map(|k| lane_trip(k + 1, 100 + k, 56.0, 120))
+                .collect::<Vec<_>>(),
+        );
+        let mut with_data = FitState::accumulate(&history, HabitConfig::default()).unwrap();
+        let graph_before = with_data.finalize().unwrap().to_bytes();
+        let drift_state =
+            FitState::accumulate(&trips_to_table(&[drift_trip(9, 9)]), HabitConfig::default())
+                .unwrap();
+        with_data.merge(drift_state).unwrap();
+        assert_eq!(with_data.provenance().trips, 4);
+        assert_eq!(with_data.finalize().unwrap().to_bytes(), graph_before);
+    }
+
+    #[test]
+    fn blob_round_trip_and_corruption() {
+        let t = trips_to_table(
+            &(0..3)
+                .map(|k| lane_trip(k + 1, 100 + k, 56.0, 120))
+                .collect::<Vec<_>>(),
+        );
+        let state = FitState::accumulate(&t, HabitConfig::with_r_t(8, 250.0)).unwrap();
+        let bytes = state.to_bytes();
+        let back = FitState::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.to_bytes(), bytes, "re-encode is stable");
+        assert_eq!(back.config(), state.config());
+        assert_eq!(back.provenance(), state.provenance());
+        assert_eq!(
+            back.finalize().unwrap().to_bytes(),
+            state.finalize().unwrap().to_bytes()
+        );
+
+        // A restored state keeps absorbing deltas.
+        let mut restored = back;
+        let delta = FitState::accumulate(
+            &trips_to_table(&[lane_trip(9, 300, 56.01, 100)]),
+            *state.config(),
+        )
+        .unwrap();
+        restored.merge(delta).unwrap();
+        assert_eq!(restored.provenance().trips, 4);
+
+        // Corruption surfaces as BadModelBlob; future versions as
+        // StateVersion.
+        let mut corrupt = bytes.clone();
+        corrupt[0] ^= 0xFF;
+        assert!(matches!(
+            FitState::from_bytes(&corrupt),
+            Err(HabitError::BadModelBlob)
+        ));
+        let mut future = bytes.clone();
+        future[4] = FITSTATE_VERSION + 1;
+        assert!(matches!(
+            FitState::from_bytes(&future),
+            Err(HabitError::StateVersion { found, supported })
+                if found == FITSTATE_VERSION + 1 && supported == FITSTATE_VERSION
+        ));
+        assert!(FitState::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(FitState::from_bytes(&trailing).is_err());
+    }
+}

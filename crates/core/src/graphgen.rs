@@ -89,28 +89,19 @@ impl Codec for EdgeStats {
 /// `table` must contain the [`ais::COLS`] columns
 /// (`trip_id`, `vessel_id`, `ts`, `lon`, `lat`, `sog`, `cog`).
 ///
-/// The graph is assembled in **canonical order** — cell statistics
-/// sorted by cell id, transitions sorted by `(lag_cl, cl)` — so the
-/// result (and hence a serialized [`crate::HabitModel`]) is a pure
-/// function of the input *set* of rows, independent of row order and of
-/// whether the group-bys ran sequentially or sharded (`habit-engine`).
+/// This is `FitState::accumulate(...).finalize()` — the one-shot table
+/// scan *is* the staged partial-aggregate pipeline, so a graph built
+/// here can never diverge from one built by merging shard or delta
+/// states ([`crate::FitState`]). The graph is assembled in **canonical
+/// order** — cell statistics sorted by cell id, transitions sorted by
+/// `(lag_cl, cl)` — so the result (and hence a serialized
+/// [`crate::HabitModel`]) is a pure function of the input *set* of rows,
+/// independent of row order, sharding, and refit history.
 pub fn build_transition_graph(
     table: &Table,
     config: &HabitConfig,
 ) -> Result<DiGraph<CellStats, EdgeStats>, HabitError> {
-    let lagged = lagged_trip_table(table, config)?;
-
-    // -- 4a. Per-cell statistics.
-    let cell_stats = lagged
-        .group_by(&["cl"], &cell_agg_specs())?
-        .sort_by_columns(&["cl"])?;
-
-    // -- 4b. Per-transition statistics, lag_cl != cl and lag_cl not null.
-    let transitions_tbl = transition_rows(&lagged)?
-        .group_by(&["lag_cl", "cl"], &transition_agg_specs())?
-        .sort_by_columns(&["lag_cl", "cl"])?;
-
-    assemble_graph(&cell_stats, &transitions_tbl)
+    crate::fitstate::FitState::accumulate(table, *config)?.finalize()
 }
 
 /// Stages 1–3 of graph generation: cell assignment, the cell-span drift
@@ -178,9 +169,9 @@ pub fn lagged_trip_table(table: &Table, config: &HabitConfig) -> Result<Table, H
         let keep_trip = |i: usize| !small_trips.contains(&trip_ids_at(&with_cells, i));
         with_cells.filter(keep_trip)
     };
-    if filtered.num_rows() == 0 {
-        return Err(HabitError::EmptyModel);
-    }
+    // An all-drift table lags to zero rows — legal here: accumulation
+    // over it is an empty (still mergeable) partial, and it is
+    // `assemble_graph` that rejects an empty *model*.
 
     // -- 3. lag(cl) OVER (PARTITION BY trip_id ORDER BY ts).
     Ok(aggdb::window::with_lag(

@@ -53,6 +53,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fitstate;
 pub mod fleet;
 pub mod graphgen;
 pub mod impute;
@@ -65,6 +66,7 @@ mod proptests;
 
 pub use config::{CellProjection, HabitConfig, WeightScheme};
 pub use error::HabitError;
+pub use fitstate::{FitProvenance, FitState, FITSTATE_VERSION};
 pub use fleet::{FleetConfig, FleetModel, ServedBy};
 pub use graphgen::{build_transition_graph, CellStats, EdgeStats};
 pub use impute::{GapQuery, Imputation, Route};

@@ -2,7 +2,8 @@
 
 use crate::config::HabitConfig;
 use crate::error::HabitError;
-use crate::graphgen::{build_transition_graph, CellStats, EdgeStats};
+use crate::fitstate::{FitProvenance, FitState};
+use crate::graphgen::{CellStats, EdgeStats};
 use aggdb::Table;
 use geo_kernel::GeoPoint;
 use hexgrid::{HexCell, HexGrid};
@@ -10,8 +11,11 @@ use mobgraph::{Codec, DiGraph, NearestIndex};
 
 /// Magic bytes prefixing a serialized model ("HBM1").
 const MODEL_MAGIC: u32 = 0x4D42_4831;
-/// Blob format version.
-const MODEL_VERSION: u8 = 1;
+/// Blob format version of the lean, graph-only layout.
+const MODEL_VERSION_V1: u8 = 1;
+/// Blob format version of the container embedding a [`FitState`]
+/// alongside the finalized graph (refittable models).
+const MODEL_VERSION_V2: u8 = 2;
 
 /// A fitted HABIT framework instance.
 ///
@@ -19,6 +23,11 @@ const MODEL_VERSION: u8 = 1;
 /// statistics, edges = observed transitions), the working grid, and a
 /// nearest-node index for snapping gap endpoints. Fitting is phase 1–2 of
 /// the paper; [`HabitModel::impute`](crate::impute) is phases 3–4.
+///
+/// A model fitted in this process (or loaded from a v2 blob) also
+/// carries the [`FitState`] it was finalized from, which is what makes
+/// it *refittable*: new trips merge into the state and the graph is
+/// re-finalized, byte-identical to a from-scratch fit over the union.
 pub struct HabitModel {
     pub(crate) config: HabitConfig,
     pub(crate) graph: DiGraph<CellStats, EdgeStats>,
@@ -28,13 +37,28 @@ pub struct HabitModel {
     pub(crate) max_transitions: u32,
     /// Maximum per-edge grid distance (heuristic admissibility bound).
     pub(crate) max_grid_distance: u16,
+    /// The partial-aggregate state the graph was finalized from
+    /// (`None` for v1 blobs and graph-only constructions — such models
+    /// serve but cannot be refitted).
+    pub(crate) state: Option<FitState>,
 }
 
 impl HabitModel {
     /// Fits the model on a trip table (columns per [`ais::COLS`]).
+    /// The accumulated [`FitState`] is retained, so the result is
+    /// refittable.
     pub fn fit(table: &Table, config: HabitConfig) -> Result<Self, HabitError> {
-        let graph = build_transition_graph(table, &config)?;
-        Ok(Self::from_graph(graph, config))
+        Self::from_fit_state(FitState::accumulate(table, config)?)
+    }
+
+    /// Finalizes `state` into a serving model, keeping the state
+    /// embedded for later refits — the seam both the sequential fit and
+    /// `habit-engine`'s sharded/incremental paths converge on.
+    pub fn from_fit_state(state: FitState) -> Result<Self, HabitError> {
+        let graph = state.finalize()?;
+        let mut model = Self::from_graph(graph, *state.config());
+        model.state = Some(state);
+        Ok(model)
     }
 
     /// Builds a model around an already-assembled transition graph —
@@ -81,6 +105,7 @@ impl HabitModel {
             nn,
             max_transitions,
             max_grid_distance,
+            state: None,
         }
     }
 
@@ -109,42 +134,148 @@ impl HabitModel {
         &self.graph
     }
 
-    /// Serializes the model to its on-disk form — the framework storage
-    /// size the paper's Table 2 reports.
+    /// The embedded fit state, when the model is refittable.
+    pub fn state(&self) -> Option<&FitState> {
+        self.state.as_ref()
+    }
+
+    /// Merge-exact fit provenance (trips and reports accumulated), when
+    /// the model carries its state.
+    pub fn fit_provenance(&self) -> Option<&FitProvenance> {
+        self.state.as_ref().map(FitState::provenance)
+    }
+
+    /// The blob version [`HabitModel::to_bytes_full`] writes for this
+    /// model: `2` when a fit state is embedded, `1` otherwise.
+    pub fn blob_version(&self) -> u8 {
+        if self.state.is_some() {
+            MODEL_VERSION_V2
+        } else {
+            MODEL_VERSION_V1
+        }
+    }
+
+    /// Drops the embedded fit state, releasing its (substantial)
+    /// accumulator memory. The model keeps serving; it just can no
+    /// longer be refitted. Returns `self` for builder-style use.
+    pub fn without_state(mut self) -> Self {
+        self.state = None;
+        self
+    }
+
+    /// Serializes the **lean** v1 layout — finalized graph only, no fit
+    /// state. This is the framework storage size the paper's Table 2
+    /// reports, and the byte-identity yardstick of the sharded fit: the
+    /// accumulator state is an implementation vehicle, not part of the
+    /// model the paper defines.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         MODEL_MAGIC.encode(&mut out);
-        MODEL_VERSION.encode(&mut out);
-        self.config.resolution.encode(&mut out);
-        self.config.projection_code().encode(&mut out);
-        self.config.weight_code().encode(&mut out);
-        self.config.rdp_tolerance_m.encode(&mut out);
+        MODEL_VERSION_V1.encode(&mut out);
+        self.encode_config(&mut out);
         let graph_bytes = self.graph.to_bytes();
         out.extend_from_slice(&graph_bytes);
         out
     }
 
-    /// Deserializes a model previously produced by [`HabitModel::to_bytes`].
+    /// Serializes the model **with** its fit state when one is embedded
+    /// — the v2 container: header, length-prefixed graph, then the
+    /// versioned [`FitState`] blob. A stateless model falls back to the
+    /// v1 layout, so `to_bytes_full` is always loadable by
+    /// [`HabitModel::from_bytes`].
+    pub fn to_bytes_full(&self) -> Vec<u8> {
+        let Some(state) = &self.state else {
+            return self.to_bytes();
+        };
+        let mut out = Vec::new();
+        MODEL_MAGIC.encode(&mut out);
+        MODEL_VERSION_V2.encode(&mut out);
+        self.encode_config(&mut out);
+        let graph_bytes = self.graph.to_bytes();
+        (graph_bytes.len() as u64).encode(&mut out);
+        out.extend_from_slice(&graph_bytes);
+        let state_bytes = state.to_bytes();
+        (state_bytes.len() as u64).encode(&mut out);
+        out.extend_from_slice(&state_bytes);
+        out
+    }
+
+    fn encode_config(&self, out: &mut Vec<u8>) {
+        self.config.resolution.encode(out);
+        self.config.projection_code().encode(out);
+        self.config.weight_code().encode(out);
+        self.config.rdp_tolerance_m.encode(out);
+    }
+
+    /// Deserializes a model blob — either layout. v1 blobs (and v2
+    /// blobs from this build) load fully; the graph serves identically
+    /// in both cases, and only v2 blobs restore a refittable state.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, HabitError> {
         let mut buf = bytes;
         let buf = &mut buf;
-        if u32::decode(buf) != Some(MODEL_MAGIC) || u8::decode(buf) != Some(MODEL_VERSION) {
+        if u32::decode(buf) != Some(MODEL_MAGIC) {
             return Err(HabitError::BadModelBlob);
         }
+        let version = u8::decode(buf).ok_or(HabitError::BadModelBlob)?;
         let resolution = u8::decode(buf).ok_or(HabitError::BadModelBlob)?;
         let projection = u8::decode(buf).ok_or(HabitError::BadModelBlob)?;
         let weight = u8::decode(buf).ok_or(HabitError::BadModelBlob)?;
         let rdp = f64::decode(buf).ok_or(HabitError::BadModelBlob)?;
         let config = HabitConfig::decode(resolution, projection, weight, rdp);
-        let graph =
-            DiGraph::<CellStats, EdgeStats>::from_bytes(buf).ok_or(HabitError::BadModelBlob)?;
-        Ok(Self::from_graph(graph, config))
+        match version {
+            MODEL_VERSION_V1 => {
+                let graph = DiGraph::<CellStats, EdgeStats>::from_bytes(buf)
+                    .ok_or(HabitError::BadModelBlob)?;
+                Ok(Self::from_graph(graph, config))
+            }
+            MODEL_VERSION_V2 => {
+                let graph_bytes = take_prefixed(buf).ok_or(HabitError::BadModelBlob)?;
+                let graph = DiGraph::<CellStats, EdgeStats>::from_bytes(graph_bytes)
+                    .ok_or(HabitError::BadModelBlob)?;
+                let mut state_bytes = take_prefixed(buf).ok_or(HabitError::BadModelBlob)?;
+                let state = FitState::decode_from(&mut state_bytes)?;
+                if !state_bytes.is_empty() || !buf.is_empty() {
+                    // The v2 container is exactly header + graph +
+                    // state; trailing bytes anywhere are corruption
+                    // (and would break re-encode stability).
+                    return Err(HabitError::BadModelBlob);
+                }
+                // The header duplicates four config fields for cheap
+                // inspection; they must agree with the embedded state's
+                // full config, which is the authoritative one (it also
+                // carries min_cell_span / snap_max_rings).
+                let state_config = *state.config();
+                if state_config.resolution != config.resolution
+                    || state_config.projection != config.projection
+                    || state_config.weight_scheme != config.weight_scheme
+                    || state_config.rdp_tolerance_m != config.rdp_tolerance_m
+                {
+                    return Err(HabitError::BadModelBlob);
+                }
+                let mut model = Self::from_graph(graph, state_config);
+                model.state = Some(state);
+                Ok(model)
+            }
+            _ => Err(HabitError::BadModelBlob),
+        }
     }
 
-    /// Serialized size in bytes (storage metric).
+    /// Serialized size in bytes (storage metric; the lean v1 layout).
     pub fn storage_bytes(&self) -> usize {
         self.to_bytes().len()
     }
+}
+
+/// Reads a `u64` length prefix and returns that many bytes, advancing
+/// `buf`. `None` on truncation.
+fn take_prefixed<'a>(buf: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let len = u64::decode(buf)? as usize;
+    if len > buf.len() {
+        return None;
+    }
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    Some(head)
 }
 
 /// Bucket size (degrees) for the nearest-node index: roughly one cell
@@ -203,6 +334,74 @@ mod tests {
         assert_eq!(back.edge_count(), m.edge_count());
         assert_eq!(back.config().resolution, m.config().resolution);
         assert_eq!(back.max_transitions, m.max_transitions);
+    }
+
+    #[test]
+    fn v2_container_round_trips_state() {
+        let m = model();
+        assert_eq!(m.blob_version(), 2, "a fresh fit is refittable");
+        let prov = *m.fit_provenance().expect("state embedded");
+        assert_eq!(prov.trips, 4);
+        assert_eq!(prov.reports, 4 * 150);
+
+        let full = m.to_bytes_full();
+        let lean = m.to_bytes();
+        assert!(full.len() > lean.len(), "v2 embeds the state");
+        assert_eq!(lean[4], 1, "lean layout stays v1");
+        assert_eq!(full[4], 2, "full layout is the v2 container");
+
+        let back = HabitModel::from_bytes(&full).expect("v2 loads");
+        assert_eq!(back.blob_version(), 2);
+        assert_eq!(back.fit_provenance(), Some(&prov));
+        assert_eq!(back.to_bytes(), lean, "same finalized graph");
+        assert_eq!(back.to_bytes_full(), full, "re-encode is stable");
+
+        // The lean bytes load as a read-only (v1, stateless) model.
+        let v1 = HabitModel::from_bytes(&lean).expect("v1 loads");
+        assert_eq!(v1.blob_version(), 1);
+        assert!(v1.state().is_none());
+        assert_eq!(v1.to_bytes_full(), lean, "stateless full == lean");
+
+        // Dropping the state demotes the blob to v1 without touching
+        // the graph.
+        let stripped = model().without_state();
+        assert_eq!(stripped.blob_version(), 1);
+        assert_eq!(stripped.to_bytes(), lean);
+    }
+
+    #[test]
+    fn v2_truncation_and_tampering_rejected() {
+        let full = model().to_bytes_full();
+        for cut in [5usize, 20, full.len() / 2, full.len() - 1] {
+            assert!(
+                HabitModel::from_bytes(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+        let mut bad_version = full.clone();
+        bad_version[4] = 9;
+        assert!(matches!(
+            HabitModel::from_bytes(&bad_version),
+            Err(HabitError::BadModelBlob)
+        ));
+
+        // Trailing garbage after the state section is corruption, not
+        // padding — accepting it would break re-encode stability.
+        let mut trailing = full.clone();
+        trailing.push(0);
+        assert!(matches!(
+            HabitModel::from_bytes(&trailing),
+            Err(HabitError::BadModelBlob)
+        ));
+
+        // The header's config fields must agree with the embedded
+        // state's (authoritative) config.
+        let mut drifted = full;
+        drifted[5] ^= 1; // header resolution byte
+        assert!(matches!(
+            HabitModel::from_bytes(&drifted),
+            Err(HabitError::BadModelBlob)
+        ));
     }
 
     #[test]

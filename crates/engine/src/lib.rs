@@ -7,12 +7,18 @@
 //! * [`pool::ThreadPool`] — a hand-rolled fixed pool (the offline
 //!   workspace has no `rayon`) with a scoped, order-preserving
 //!   [`ThreadPool::map_chunks`] primitive;
-//! * [`shard::fit_sharded`] — the fit's two group-bys partitioned by
-//!   spatial tile ([`hexgrid::TilePartitioner`]) and executed per shard
-//!   on the pool, merged through `aggdb`'s mergeable partial aggregates
-//!   in deterministic shard order. The resulting model serializes
+//! * [`shard::fit_sharded`] — the fit as explicit `accumulate → merge
+//!   → finalize` stages over `habit_core::FitState`: the two group-bys
+//!   partitioned by spatial tile ([`hexgrid::TilePartitioner`]) and
+//!   executed per shard on the pool, merged through `aggdb`'s mergeable
+//!   partial aggregates in deterministic shard order. The resulting
+//!   model — and its embedded, persistable fit state — serializes
 //!   **byte-identically** to the sequential `HabitModel::fit` at every
 //!   shard and thread count (property-tested);
+//! * [`refit::refit_state`] / [`refit::refit_model`] — incremental
+//!   refit: a delta of new trips accumulates through the same sharded
+//!   pipeline and merges into a saved state, byte-identical to a
+//!   from-scratch fit over `history ∪ delta` (property-tested);
 //! * [`batch::BatchImputer`] — batched imputation: snap all queries,
 //!   A*-search each *distinct* cell pair once, reuse routes across
 //!   batches through a bounded LRU ([`lru::LruCache`]), and run the
@@ -52,6 +58,7 @@
 pub mod batch;
 pub mod lru;
 pub mod pool;
+pub mod refit;
 pub mod shard;
 
 #[cfg(test)]
@@ -60,4 +67,5 @@ mod proptests;
 pub use batch::{BatchFailure, BatchImputer, BatchStats};
 pub use lru::LruCache;
 pub use pool::ThreadPool;
-pub use shard::{fit_sharded, sharded_transition_graph};
+pub use refit::{refit_model, refit_state, RefitOutcome};
+pub use shard::{accumulate_sharded, fit_sharded, sharded_transition_graph};

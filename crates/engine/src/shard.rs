@@ -1,59 +1,67 @@
-//! Sharded model fitting: the graph-generation group-bys, tile by tile.
+//! Sharded model fitting: `accumulate → merge → finalize`, tile by tile.
 //!
-//! [`fit_sharded`] reproduces `HabitModel::fit` with the two expensive
-//! group-bys of `graphgen` (per-cell and per-transition statistics) run
-//! **per spatial shard in parallel**:
+//! The fit pipeline is three explicit stages over
+//! [`habit_core::FitState`]:
 //!
-//! 1. the global stages run once (cell assignment, drift filter, window
-//!    lag — they need whole-trip context and are cheap);
-//! 2. every row is assigned to a shard by the coarse tile of its cell
-//!    (`hexgrid::TilePartitioner`), so both group-by keys — `cl` and
-//!    `(lag_cl, cl)`, keyed by the destination cell — never straddle
-//!    shards;
-//! 3. each shard computes mergeable partial aggregates
-//!    (`aggdb::PartialGroupBy`) on a pool worker;
-//! 4. partials merge **in ascending shard order** (not completion
-//!    order), finish into canonically key-sorted tables, and assemble
-//!    into the transition graph.
+//! 1. **accumulate** ([`accumulate_sharded`]) — the global stages run
+//!    once (cell assignment, drift filter, window lag — they need
+//!    whole-trip context and are cheap); every row is assigned to a
+//!    shard by the coarse tile of its cell (`hexgrid::TilePartitioner`),
+//!    so both group-by keys — `cl` and `(lag_cl, cl)`, keyed by the
+//!    destination cell — never straddle shards, and each shard computes
+//!    mergeable partial aggregates (`aggdb::PartialGroupBy`) on a pool
+//!    worker;
+//! 2. **merge** — shard partials merge **in ascending shard order**
+//!    (not completion order) and the result canonicalizes into a
+//!    [`FitState`] whose bytes are independent of the sharding;
+//! 3. **finalize** ([`fit_sharded`], via
+//!    [`HabitModel::from_fit_state`]) — the state finishes into
+//!    canonically sorted tables and assembles the transition graph.
 //!
 //! Because the merge is bit-exact for count / distinct / median and the
-//! final tables are canonically sorted, the fitted model serializes to
-//! **byte-identical** blobs for any shard count and any thread count —
-//! equal to the sequential [`HabitModel::fit`] — which the engine's
-//! property tests assert.
+//! state canonicalizes, both the fitted model **and its embedded fit
+//! state** serialize to byte-identical blobs for any shard count and
+//! any thread count — equal to the sequential [`HabitModel::fit`] —
+//! which the engine's property tests assert. The same seam powers
+//! [`crate::refit`]: a delta table accumulates exactly like a shard and
+//! merges into a saved state.
 
 use crate::pool::ThreadPool;
 use aggdb::{PartialGroupBy, Table};
+use habit_core::fitstate::FitProvenance;
 use habit_core::graphgen::{
-    assemble_graph, cell_agg_specs, lagged_trip_table, transition_agg_specs, transition_rows,
+    cell_agg_specs, lagged_trip_table, transition_agg_specs, transition_rows,
 };
-use habit_core::{HabitConfig, HabitError, HabitModel};
+use habit_core::{FitState, HabitConfig, HabitError, HabitModel};
 use hexgrid::tiling::DEFAULT_TILE_LEVELS_UP;
 use hexgrid::{HexCell, TilePartitioner};
 
 /// Fits a HABIT model with the group-bys sharded by spatial tile and
-/// executed on `pool`. Produces a model byte-identical to
-/// `HabitModel::fit(table, config)` for every `shards ≥ 1` and every
-/// pool size.
+/// executed on `pool`. Produces a model — and embedded fit state —
+/// byte-identical to `HabitModel::fit(table, config)` for every
+/// `shards ≥ 1` and every pool size.
 pub fn fit_sharded(
     table: &Table,
     config: HabitConfig,
     shards: usize,
     pool: &ThreadPool,
 ) -> Result<HabitModel, HabitError> {
-    let graph = sharded_transition_graph(table, &config, shards, pool)?;
-    Ok(HabitModel::from_transition_graph(graph, config))
+    HabitModel::from_fit_state(accumulate_sharded(table, config, shards, pool)?)
 }
 
-/// The sharded equivalent of `habit_core::build_transition_graph`.
-pub fn sharded_transition_graph(
+/// The accumulate + merge stages: runs the partial group-bys per
+/// spatial shard on `pool` and merges them into one canonical
+/// [`FitState`] — everything of a fit except finalizing the graph.
+/// This is the stage [`crate::refit`] reuses verbatim for delta tables.
+pub fn accumulate_sharded(
     table: &Table,
-    config: &HabitConfig,
+    config: HabitConfig,
     shards: usize,
     pool: &ThreadPool,
-) -> Result<habit_core::graphgen::TransitionGraph, HabitError> {
+) -> Result<FitState, HabitError> {
     let shards = shards.max(1);
-    let lagged = lagged_trip_table(table, config)?;
+    let provenance = FitProvenance::of_table(table)?;
+    let lagged = lagged_trip_table(table, &config)?;
     let shard_tables = partition_by_tile(&lagged, config.resolution, shards)?;
 
     // One pool task per shard: both partial group-bys over that shard's
@@ -68,7 +76,8 @@ pub fn sharded_transition_graph(
         });
 
     // Merge in ascending shard order — deterministic regardless of which
-    // worker finished first.
+    // worker finished first. (`FitState::from_partials` then erases even
+    // that order by canonicalizing.)
     let mut cell_merged: Option<PartialGroupBy> = None;
     let mut trans_merged: Option<PartialGroupBy> = None;
     for shard_result in partials {
@@ -82,14 +91,22 @@ pub fn sharded_transition_graph(
             Some(m) => m.merge(transitions)?,
         }
     }
-    let (cell_merged, trans_merged) = (
+    FitState::from_partials(
+        config,
         cell_merged.expect("at least one shard"),
         trans_merged.expect("at least one shard"),
-    );
+        provenance,
+    )
+}
 
-    let cell_stats = cell_merged.finish_sorted()?;
-    let transitions_tbl = trans_merged.finish_sorted()?;
-    assemble_graph(&cell_stats, &transitions_tbl)
+/// The sharded equivalent of `habit_core::build_transition_graph`.
+pub fn sharded_transition_graph(
+    table: &Table,
+    config: &HabitConfig,
+    shards: usize,
+    pool: &ThreadPool,
+) -> Result<habit_core::graphgen::TransitionGraph, HabitError> {
+    accumulate_sharded(table, *config, shards, pool)?.finalize()
 }
 
 /// Splits the lagged table into per-shard tables by the coarse tile of

@@ -25,6 +25,8 @@ use std::fmt;
 /// | `bad_model_blob` | 1 | a serialized model file is corrupt or incompatible |
 /// | `unsorted_input` | 1 | a track was not sorted by timestamp |
 /// | `config_mismatch` | 1 | models with incompatible configurations |
+/// | `state_version` | 1 | fit-state version unsupported, or the model embeds no state (refit needs one) |
+/// | `config_drift` | 1 | refit delta accumulated under a different fit configuration |
 /// | `internal` | 1 | unexpected internal failure |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorCode {
@@ -53,13 +55,19 @@ pub enum ErrorCode {
     UnsortedInput,
     /// Two models with incompatible configurations cannot combine.
     ConfigMismatch,
+    /// A serialized fit state has an unsupported version — or the model
+    /// embeds no state at all where an operation (refit) requires one.
+    StateVersion,
+    /// A refit delta was accumulated under a different fit
+    /// configuration than the saved state.
+    ConfigDrift,
     /// Unexpected internal failure.
     Internal,
 }
 
 impl ErrorCode {
     /// Every code, in documentation order (the wire error-code table).
-    pub const ALL: [ErrorCode; 13] = [
+    pub const ALL: [ErrorCode; 15] = [
         ErrorCode::BadRequest,
         ErrorCode::Io,
         ErrorCode::Csv,
@@ -72,6 +80,8 @@ impl ErrorCode {
         ErrorCode::BadModelBlob,
         ErrorCode::UnsortedInput,
         ErrorCode::ConfigMismatch,
+        ErrorCode::StateVersion,
+        ErrorCode::ConfigDrift,
         ErrorCode::Internal,
     ];
 
@@ -90,6 +100,8 @@ impl ErrorCode {
             ErrorCode::BadModelBlob => "bad_model_blob",
             ErrorCode::UnsortedInput => "unsorted_input",
             ErrorCode::ConfigMismatch => "config_mismatch",
+            ErrorCode::StateVersion => "state_version",
+            ErrorCode::ConfigDrift => "config_drift",
             ErrorCode::Internal => "internal",
         }
     }
@@ -242,6 +254,8 @@ mod tests {
                 ("bad_model_blob", 1),
                 ("unsorted_input", 1),
                 ("config_mismatch", 1),
+                ("state_version", 1),
+                ("config_drift", 1),
                 ("internal", 1),
             ]
         );
@@ -259,5 +273,16 @@ mod tests {
 
         let e = ServiceError::bad_request("--frob is not a flag");
         assert_eq!(e.exit_code(), 2);
+
+        // The refit taxonomy additions flow through the same seam.
+        let e = ServiceError::from(habit_core::HabitError::StateVersion {
+            found: 0,
+            supported: habit_core::FITSTATE_VERSION,
+        });
+        assert_eq!(e.code, ErrorCode::StateVersion);
+        assert!(e.message.contains("--save-state"), "{e}");
+        let e = ServiceError::from(habit_core::HabitError::ConfigDrift);
+        assert_eq!(e.code, ErrorCode::ConfigDrift);
+        assert_eq!(e.exit_code(), 1);
     }
 }

@@ -4,7 +4,7 @@
 //! every frontend — the `habit` CLI, the `habit serve` TCP daemon,
 //! tests — executes the same code path:
 //!
-//! * [`Request`] / [`Response`] — the seven operations (`Fit`,
+//! * [`Request`] / [`Response`] — the eight operations (`Fit`, `Refit`,
 //!   `Impute`, `ImputeBatch`, `Repair`, `ModelInfo`, `Health`,
 //!   `Shutdown`) and their typed payloads;
 //! * [`ServiceError`] / [`ErrorCode`] — the unified error taxonomy:
@@ -55,9 +55,12 @@ pub mod service;
 pub mod wire;
 
 pub use error::{ErrorCode, ServiceError};
-pub use request::{parse_projection, projection_token, FitSpec, Request, PROTOCOL_VERSION};
+pub use request::{
+    parse_projection, projection_token, FitSpec, RefitSpec, Request, PROTOCOL_VERSION,
+};
 pub use response::{
-    BatchOutcome, FitSummary, HealthInfo, ModelReport, RepairOutcome, RepairedGap, Response,
+    BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, RefitSummary, RepairOutcome,
+    RepairedGap, Response,
 };
 pub use server::{serve, ServeOptions};
 pub use service::{Service, ServiceConfig};

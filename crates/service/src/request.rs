@@ -29,6 +29,10 @@ pub struct FitSpec {
     pub projection: CellProjection,
     /// When set, the fitted model blob is also written to this path.
     pub save_to: Option<String>,
+    /// Embed the fit state in the saved blob (v2 container): larger on
+    /// disk, but the saved model can be incrementally refitted later.
+    /// The in-memory serving model keeps its state either way.
+    pub save_state: bool,
 }
 
 impl Default for FitSpec {
@@ -39,8 +43,20 @@ impl Default for FitSpec {
             tolerance_m: 100.0,
             projection: CellProjection::Median,
             save_to: None,
+            save_state: false,
         }
     }
+}
+
+/// Parameters of a [`Request::Refit`] operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefitSpec {
+    /// Path to the delta AIS CSV — **new** trips only (new vessels /
+    /// new days; trip and vessel streams must not straddle the
+    /// history/delta boundary), resolved on the service's machine.
+    pub input: String,
+    /// When set, the refitted v2 model blob is also written here.
+    pub save_to: Option<String>,
 }
 
 /// One operation against the service, transport-agnostic.
@@ -70,6 +86,10 @@ pub enum Request {
     },
     /// Fit a model from an AIS CSV and install it as the serving model.
     Fit(FitSpec),
+    /// Merge a delta AIS CSV of new trips into the serving model's fit
+    /// state, re-finalize, and hot-swap — byte-identical to refitting
+    /// from scratch over history ∪ delta, without re-scanning history.
+    Refit(RefitSpec),
     /// Ask the service to stop accepting work and shut down cleanly.
     Shutdown,
 }
@@ -84,6 +104,7 @@ impl Request {
             Request::ImputeBatch { .. } => "impute_batch",
             Request::Repair { .. } => "repair",
             Request::Fit(_) => "fit",
+            Request::Refit(_) => "refit",
             Request::Shutdown => "shutdown",
         }
     }
@@ -126,5 +147,13 @@ mod tests {
         assert_eq!(Request::Health.op(), "health");
         assert_eq!(Request::Shutdown.op(), "shutdown");
         assert_eq!(Request::Fit(FitSpec::default()).op(), "fit");
+        assert_eq!(
+            Request::Refit(RefitSpec {
+                input: "delta.csv".into(),
+                save_to: None,
+            })
+            .op(),
+            "refit"
+        );
     }
 }

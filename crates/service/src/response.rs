@@ -25,6 +25,18 @@ pub struct HealthInfo {
     pub transitions: usize,
 }
 
+/// Embedded fit-state vitals of a refittable (v2) model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitStateInfo {
+    /// Serialized size of the embedded state, bytes.
+    pub state_bytes: u64,
+    /// Fit provenance: distinct trips accumulated across the initial
+    /// fit and every refit since.
+    pub trips: u64,
+    /// Fit provenance: AIS reports accumulated.
+    pub reports: u64,
+}
+
 /// Description of the loaded model (the `habit info` payload).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelReport {
@@ -39,8 +51,14 @@ pub struct ModelReport {
     pub reports: u64,
     /// Distinct vessels in the busiest cell.
     pub busiest_cell_vessels: u64,
-    /// Serialized model blob size in bytes.
+    /// Serialized model blob size in bytes (lean graph-only layout).
     pub storage_bytes: usize,
+    /// Blob version the model serializes as: `2` when a fit state is
+    /// embedded (refittable), `1` for lean / legacy models.
+    pub blob_version: u8,
+    /// Embedded-state presence, size, and fit provenance (`None` for
+    /// v1 / stateless models — they serve but cannot be refitted).
+    pub state: Option<FitStateInfo>,
 }
 
 /// Result of a batched imputation.
@@ -110,6 +128,28 @@ pub struct FitSummary {
     pub saved_to: Option<String>,
 }
 
+/// Result of an incremental refit: what the delta added and the new
+/// serving model's vitals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefitSummary {
+    /// Distinct trips merged in from the delta.
+    pub trips_added: u64,
+    /// AIS reports merged in from the delta.
+    pub reports_added: u64,
+    /// Fit provenance after the merge: total distinct trips.
+    pub trips_total: u64,
+    /// Fit provenance after the merge: total AIS reports.
+    pub reports_total: u64,
+    /// Transition-graph nodes of the refitted model.
+    pub cells: usize,
+    /// Transition-graph edges of the refitted model.
+    pub transitions: usize,
+    /// Serialized v2 (state-embedding) blob size in bytes.
+    pub model_bytes: usize,
+    /// Where the refitted blob was written, when requested.
+    pub saved_to: Option<String>,
+}
+
 /// The success payload of one service operation.
 #[derive(Debug, Clone)]
 pub enum Response {
@@ -125,6 +165,8 @@ pub enum Response {
     Repaired(RepairOutcome),
     /// Payload of [`crate::Request::Fit`].
     Fitted(FitSummary),
+    /// Payload of [`crate::Request::Refit`].
+    Refitted(RefitSummary),
     /// Payload of [`crate::Request::Shutdown`].
     ShuttingDown,
 }
@@ -139,6 +181,7 @@ impl Response {
             Response::Batch(_) => "impute_batch",
             Response::Repaired(_) => "repair",
             Response::Fitted(_) => "fit",
+            Response::Refitted(_) => "refit",
             Response::ShuttingDown => "shutdown",
         }
     }

@@ -7,13 +7,14 @@
 //! over a socket is byte-for-byte the imputation the CLI prints.
 
 use crate::error::{ErrorCode, ServiceError};
-use crate::request::{FitSpec, Request};
+use crate::request::{FitSpec, RefitSpec, Request};
 use crate::response::{
-    BatchOutcome, FitSummary, HealthInfo, ModelReport, RepairOutcome, RepairedGap, Response,
+    BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, RefitSummary, RepairOutcome,
+    RepairedGap, Response,
 };
-use ais::{segment_all, trips_to_table, TripConfig};
+use ais::{segment_all, segment_all_from, trips_to_table, TripConfig};
 use habit_core::{GapQuery, HabitConfig, HabitModel};
-use habit_engine::{fit_sharded, BatchImputer, ThreadPool};
+use habit_engine::{fit_sharded, refit_model, BatchImputer, ThreadPool};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
@@ -51,6 +52,13 @@ pub struct Service {
     pool: ThreadPool,
     cache_capacity: usize,
     state: RwLock<Option<Loaded>>,
+    /// Serializes model-swapping operations (`fit`, `refit`): a refit
+    /// snapshots the serving state, accumulates off the read lock, and
+    /// installs at the end — two concurrent refits would otherwise
+    /// both derive from the same snapshot and the loser's delta would
+    /// silently vanish (and both would mint colliding trip-id ranges).
+    /// Read-only traffic never takes this lock.
+    mutate: std::sync::Mutex<()>,
     stopping: AtomicBool,
 }
 
@@ -62,6 +70,7 @@ impl Service {
             pool: ThreadPool::new(config.threads),
             cache_capacity: config.cache_capacity.max(1),
             state: RwLock::new(None),
+            mutate: std::sync::Mutex::new(()),
             stopping: AtomicBool::new(false),
         }
     }
@@ -125,6 +134,7 @@ impl Service {
             Request::ImputeBatch { gaps } => self.impute_batch(gaps),
             Request::Repair { track, config } => self.repair(track, config),
             Request::Fit(spec) => self.fit(spec),
+            Request::Refit(spec) => self.refit(spec),
             Request::Shutdown => {
                 self.request_shutdown();
                 Ok(Response::ShuttingDown)
@@ -177,6 +187,12 @@ impl Service {
                 reports,
                 busiest_cell_vessels: busiest,
                 storage_bytes: model.storage_bytes(),
+                blob_version: model.blob_version(),
+                state: model.state().map(|s| FitStateInfo {
+                    state_bytes: s.storage_bytes() as u64,
+                    trips: s.provenance().trips,
+                    reports: s.provenance().reports,
+                }),
             }))
         })
     }
@@ -266,6 +282,7 @@ impl Service {
     }
 
     fn fit(&self, spec: &FitSpec) -> Result<Response, ServiceError> {
+        let _mutating = self.mutate.lock().expect("mutate lock");
         if !(1..=hexgrid::MAX_RESOLUTION).contains(&spec.resolution) {
             return Err(ServiceError::bad_request(format!(
                 "resolution {} out of range (1..={})",
@@ -291,7 +308,15 @@ impl Service {
         // `HabitModel::fit` at every shard/thread count (engine proptest).
         let table = trips_to_table(&trips);
         let model = fit_sharded(&table, config, self.pool.threads(), &self.pool)?;
-        let bytes = model.to_bytes();
+        // `--save-state` writes the v2 container (graph + fit state), so
+        // the blob on disk can be refitted by a later process; the lean
+        // v1 blob stays the default. The *serving* model keeps its state
+        // in memory either way, so in-daemon refits always work.
+        let bytes = if spec.save_state {
+            model.to_bytes_full()
+        } else {
+            model.to_bytes()
+        };
         if let Some(out) = &spec.save_to {
             std::fs::write(out, &bytes)
                 .map_err(|e| ServiceError::new(ErrorCode::Io, format!("{out}: {e}")))?;
@@ -306,6 +331,64 @@ impl Service {
         };
         self.install_model(model);
         Ok(Response::Fitted(summary))
+    }
+
+    fn refit(&self, spec: &RefitSpec) -> Result<Response, ServiceError> {
+        // One mutating operation at a time (see `Service::mutate`);
+        // imputations keep flowing on the read lock throughout.
+        let _mutating = self.mutate.lock().expect("mutate lock");
+        // Snapshot the serving model (Arc) so the read lock is not held
+        // across the accumulate — imputations keep flowing during a
+        // refit; the hot-swap happens at the end.
+        let model = self.model().ok_or_else(|| {
+            ServiceError::new(
+                ErrorCode::NoModel,
+                "no model loaded — refit needs a serving model with an embedded fit state",
+            )
+        })?;
+        let state = model.state().ok_or_else(|| {
+            ServiceError::from(habit_core::HabitError::StateVersion {
+                found: 0,
+                supported: habit_core::FITSTATE_VERSION,
+            })
+        })?;
+
+        let trajectories = crate::csvio::read_ais_csv(Path::new(&spec.input))?;
+        // Continue trip-id assignment above the fitted history's
+        // high-water mark: ids must match what one segmentation pass
+        // over history ∪ delta would have assigned (service-fitted
+        // histories are dense, so max == count), and must never alias
+        // an existing id even for sparse library-fitted histories —
+        // the per-transition distinct-trip counts would under-count.
+        let first_id = state.provenance().max_trip_id + 1;
+        let trips = segment_all_from(&trajectories, &TripConfig::default(), first_id);
+        if trips.is_empty() {
+            return Err(ServiceError::new(
+                ErrorCode::BadInput,
+                "delta produced no trips after segmentation — nothing to refit",
+            ));
+        }
+        let delta = trips_to_table(&trips);
+        let (refitted, outcome) = refit_model(&model, &delta, self.pool.threads(), &self.pool)?;
+
+        let bytes = refitted.to_bytes_full();
+        if let Some(out) = &spec.save_to {
+            std::fs::write(out, &bytes)
+                .map_err(|e| ServiceError::new(ErrorCode::Io, format!("{out}: {e}")))?;
+        }
+        let provenance = *refitted.fit_provenance().expect("refit keeps the state");
+        let summary = RefitSummary {
+            trips_added: outcome.trips_added,
+            reports_added: outcome.reports_added,
+            trips_total: provenance.trips,
+            reports_total: provenance.reports,
+            cells: refitted.node_count(),
+            transitions: refitted.edge_count(),
+            model_bytes: bytes.len(),
+            saved_to: spec.save_to.clone(),
+        };
+        self.install_model(refitted);
+        Ok(Response::Refitted(summary))
     }
 }
 
@@ -587,6 +670,182 @@ mod tests {
         std::fs::remove_file(&csv).ok();
         assert_eq!(err.code, ErrorCode::EmptyModel);
         assert!(err.message.contains("no trips"), "{err}");
+    }
+
+    /// Writes an AIS CSV of `vessels` lane trips with mmsis starting at
+    /// `mmsi0`; returns the path.
+    fn write_lane_csv(tag: &str, mmsi0: u64, vessels: u64) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("habit-svc-refit-{tag}-{}.csv", std::process::id()));
+        let mut body = String::from("mmsi,t,lon,lat,sog,cog,heading\n");
+        for k in 0..vessels {
+            for i in 0..150i64 {
+                body.push_str(&format!(
+                    "{},{},{:.6},56.0,12.0,90.0,90.0\n",
+                    mmsi0 + k,
+                    i * 60,
+                    10.0 + i as f64 * 0.003
+                ));
+            }
+        }
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    #[test]
+    fn refit_hot_swaps_and_matches_full_fit() {
+        let history = write_lane_csv("hist", 100, 3);
+        let delta = write_lane_csv("delta", 500, 2);
+        let combined = std::env::temp_dir().join(format!(
+            "habit-svc-refit-combined-{}.csv",
+            std::process::id()
+        ));
+        // history rows then delta rows, one header — what one big fit
+        // would have read.
+        let mut body = std::fs::read_to_string(&history).unwrap();
+        let delta_body = std::fs::read_to_string(&delta).unwrap();
+        body.push_str(delta_body.split_once('\n').unwrap().1);
+        std::fs::write(&combined, body).unwrap();
+
+        let config = ServiceConfig {
+            threads: 2,
+            cache_capacity: 16,
+        };
+        // Incremental path: fit history, refit delta.
+        let svc = Service::new(config);
+        svc.handle(&Request::Fit(FitSpec {
+            input: history.to_str().unwrap().to_string(),
+            ..FitSpec::default()
+        }))
+        .unwrap();
+        let before = svc.model().unwrap();
+        let Response::Refitted(summary) = svc
+            .handle(&Request::Refit(RefitSpec {
+                input: delta.to_str().unwrap().to_string(),
+                save_to: None,
+            }))
+            .unwrap()
+        else {
+            panic!("refit");
+        };
+        assert_eq!(summary.trips_added, 2);
+        assert_eq!(summary.reports_added, 300);
+        assert_eq!(summary.trips_total, 5);
+        assert_eq!(summary.reports_total, 750);
+        let refitted = svc.model().unwrap();
+        assert!(
+            !std::sync::Arc::ptr_eq(&before, &refitted),
+            "refit hot-swaps the serving model"
+        );
+
+        // From-scratch path over the union: byte-identical, state and
+        // all.
+        let full_svc = Service::new(config);
+        full_svc
+            .handle(&Request::Fit(FitSpec {
+                input: combined.to_str().unwrap().to_string(),
+                ..FitSpec::default()
+            }))
+            .unwrap();
+        let full = full_svc.model().unwrap();
+        assert_eq!(refitted.to_bytes_full(), full.to_bytes_full());
+
+        // And the refitted model answers queries immediately.
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        assert!(svc.handle(&Request::Impute { gap }).is_ok());
+
+        for p in [&history, &delta, &combined] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn refit_error_taxonomy() {
+        let config = ServiceConfig {
+            threads: 1,
+            cache_capacity: 8,
+        };
+        // No model at all → no_model.
+        let empty = Service::new(config);
+        let err = empty
+            .handle(&Request::Refit(RefitSpec {
+                input: "/nonexistent.csv".into(),
+                save_to: None,
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NoModel);
+
+        // A model loaded from a lean v1 blob has no state → state_version.
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let blob = dir.join(format!("habit-svc-refit-v1-{pid}.habit"));
+        std::fs::write(&blob, lane_model().to_bytes()).unwrap();
+        let v1_svc = Service::with_model_file(config, blob.to_str().unwrap()).unwrap();
+        let err = v1_svc
+            .handle(&Request::Refit(RefitSpec {
+                input: "/nonexistent.csv".into(),
+                save_to: None,
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::StateVersion);
+        assert!(err.message.contains("--save-state"), "{err}");
+        std::fs::remove_file(&blob).ok();
+
+        // A state-bearing model with an unreadable delta → io; with an
+        // empty delta → bad_input.
+        let svc = Service::with_model(config, lane_model());
+        let err = svc
+            .handle(&Request::Refit(RefitSpec {
+                input: "/nonexistent.csv".into(),
+                save_to: None,
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Io);
+        let csv = dir.join(format!("habit-svc-refit-empty-{pid}.csv"));
+        std::fs::write(&csv, "mmsi,t,lon,lat\n1,0,10.0,56.0\n").unwrap();
+        let err = svc
+            .handle(&Request::Refit(RefitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                save_to: None,
+            }))
+            .unwrap_err();
+        std::fs::remove_file(&csv).ok();
+        assert_eq!(err.code, ErrorCode::BadInput);
+        assert!(err.message.contains("no trips"), "{err}");
+    }
+
+    #[test]
+    fn fit_save_state_writes_a_refittable_blob() {
+        let csv = write_lane_csv("savestate", 100, 3);
+        let blob =
+            std::env::temp_dir().join(format!("habit-svc-savestate-{}.habit", std::process::id()));
+        let svc = Service::new(ServiceConfig {
+            threads: 2,
+            cache_capacity: 16,
+        });
+        let Response::Fitted(summary) = svc
+            .handle(&Request::Fit(FitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                save_to: Some(blob.to_str().unwrap().to_string()),
+                save_state: true,
+                ..FitSpec::default()
+            }))
+            .unwrap()
+        else {
+            panic!("fit");
+        };
+        let disk = std::fs::read(&blob).unwrap();
+        assert_eq!(disk.len(), summary.model_bytes);
+        let model = habit_core::HabitModel::from_bytes(&disk).unwrap();
+        assert_eq!(model.blob_version(), 2, "--save-state writes v2");
+        assert!(model.state().is_some());
+        assert_eq!(
+            disk,
+            svc.model().unwrap().to_bytes_full(),
+            "disk blob equals the serving model's full serialization"
+        );
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&blob).ok();
     }
 
     #[test]

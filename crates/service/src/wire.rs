@@ -32,9 +32,12 @@
 //! raw 64-bit ids exceed JSON's exact-integer range.
 
 use crate::error::{ErrorCode, ServiceError};
-use crate::request::{parse_projection, projection_token, FitSpec, Request, PROTOCOL_VERSION};
+use crate::request::{
+    parse_projection, projection_token, FitSpec, RefitSpec, Request, PROTOCOL_VERSION,
+};
 use crate::response::{
-    BatchOutcome, FitSummary, HealthInfo, ModelReport, RepairOutcome, RepairedGap, Response,
+    BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, RefitSummary, RepairOutcome,
+    RepairedGap, Response,
 };
 use eval::json::Json;
 use geo_kernel::TimedPoint;
@@ -247,6 +250,16 @@ pub fn encode_request(request: &Request) -> String {
                     .as_ref()
                     .map_or(Json::Null, |s| Json::Str(s.clone())),
             ));
+            fields.push(("save_state".into(), Json::Bool(spec.save_state)));
+        }
+        Request::Refit(spec) => {
+            fields.push(("input".into(), Json::Str(spec.input.clone())));
+            fields.push((
+                "save_to".into(),
+                spec.save_to
+                    .as_ref()
+                    .map_or(Json::Null, |s| Json::Str(s.clone())),
+            ));
         }
     }
     Json::Obj(fields).render_compact()
@@ -328,11 +341,31 @@ pub fn decode_request(line: &str) -> Result<Request, ServiceError> {
                         .to_string(),
                 ),
             };
+            let save_state = match doc.get("save_state") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err(bad("field `save_state` must be a boolean")),
+            };
             Ok(Request::Fit(FitSpec {
                 input: str_field(&doc, "input")?.to_string(),
                 resolution,
                 tolerance_m,
                 projection,
+                save_to,
+                save_state,
+            }))
+        }
+        "refit" => {
+            let save_to = match doc.get("save_to") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| bad("field `save_to` must be a string or null"))?
+                        .to_string(),
+                ),
+            };
+            Ok(Request::Refit(RefitSpec {
+                input: str_field(&doc, "input")?.to_string(),
                 save_to,
             }))
         }
@@ -473,6 +506,17 @@ fn response_data(response: &Response) -> Json {
                 Json::from(m.busiest_cell_vessels),
             ),
             ("storage_bytes".into(), Json::from(m.storage_bytes as u64)),
+            ("blob_version".into(), Json::from(u64::from(m.blob_version))),
+            (
+                "state".into(),
+                m.state.as_ref().map_or(Json::Null, |s| {
+                    Json::Obj(vec![
+                        ("state_bytes".into(), Json::from(s.state_bytes)),
+                        ("trips".into(), Json::from(s.trips)),
+                        ("reports".into(), Json::from(s.reports)),
+                    ])
+                }),
+            ),
         ]),
         Response::Imputation(imp) => imputation_json(imp),
         Response::Batch(b) => Json::Obj(vec![
@@ -530,6 +574,21 @@ fn response_data(response: &Response) -> Json {
             (
                 "saved_to".into(),
                 f.saved_to
+                    .as_ref()
+                    .map_or(Json::Null, |s| Json::Str(s.clone())),
+            ),
+        ]),
+        Response::Refitted(r) => Json::Obj(vec![
+            ("trips_added".into(), Json::from(r.trips_added)),
+            ("reports_added".into(), Json::from(r.reports_added)),
+            ("trips_total".into(), Json::from(r.trips_total)),
+            ("reports_total".into(), Json::from(r.reports_total)),
+            ("cells".into(), Json::from(r.cells as u64)),
+            ("transitions".into(), Json::from(r.transitions as u64)),
+            ("model_bytes".into(), Json::from(r.model_bytes as u64)),
+            (
+                "saved_to".into(),
+                r.saved_to
                     .as_ref()
                     .map_or(Json::Null, |s| Json::Str(s.clone())),
             ),
@@ -609,6 +668,16 @@ pub fn decode_response(line: &str) -> Result<Result<Response, ServiceError>, Ser
             reports: u64_field(data, "reports")?,
             busiest_cell_vessels: u64_field(data, "busiest_cell_vessels")?,
             storage_bytes: u64_field(data, "storage_bytes")? as usize,
+            blob_version: u8::try_from(u64_field(data, "blob_version")?)
+                .map_err(|_| bad("blob_version out of range"))?,
+            state: match data.get("state") {
+                None | Some(Json::Null) => None,
+                Some(s) => Some(FitStateInfo {
+                    state_bytes: u64_field(s, "state_bytes")?,
+                    trips: u64_field(s, "trips")?,
+                    reports: u64_field(s, "reports")?,
+                }),
+            },
         }),
         "impute" => Response::Imputation(imputation_from(data)?),
         "impute_batch" => Response::Batch(BatchOutcome {
@@ -641,6 +710,23 @@ pub fn decode_response(line: &str) -> Result<Result<Response, ServiceError>, Ser
         "fit" => Response::Fitted(FitSummary {
             trips: u64_field(data, "trips")? as usize,
             reports: u64_field(data, "reports")? as usize,
+            cells: u64_field(data, "cells")? as usize,
+            transitions: u64_field(data, "transitions")? as usize,
+            model_bytes: u64_field(data, "model_bytes")? as usize,
+            saved_to: match data.get("saved_to") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| bad("saved_to must be a string or null"))?
+                        .to_string(),
+                ),
+            },
+        }),
+        "refit" => Response::Refitted(RefitSummary {
+            trips_added: u64_field(data, "trips_added")?,
+            reports_added: u64_field(data, "reports_added")?,
+            trips_total: u64_field(data, "trips_total")?,
+            reports_total: u64_field(data, "reports_total")?,
             cells: u64_field(data, "cells")? as usize,
             transitions: u64_field(data, "transitions")? as usize,
             model_bytes: u64_field(data, "model_bytes")? as usize,
@@ -699,6 +785,15 @@ mod tests {
             tolerance_m: 250.0,
             projection: habit_core::CellProjection::Center,
             save_to: Some("kiel.habit".into()),
+            save_state: true,
+        }));
+        round_trip_request(Request::Refit(RefitSpec {
+            input: "delta.csv".into(),
+            save_to: Some("kiel.habit".into()),
+        }));
+        round_trip_request(Request::Refit(RefitSpec {
+            input: "delta.csv".into(),
+            save_to: None,
         }));
     }
 
@@ -814,6 +909,16 @@ mod tests {
                 model_bytes: 40960,
                 saved_to: None,
             })),
+            Ok(Response::Refitted(RefitSummary {
+                trips_added: 3,
+                reports_added: 450,
+                trips_total: 15,
+                reports_total: 2250,
+                cells: 130,
+                transitions: 260,
+                model_bytes: 81920,
+                saved_to: Some("kiel.habit".into()),
+            })),
             Ok(Response::ShuttingDown),
             Err(ServiceError::new(ErrorCode::NoModel, "no model loaded")),
         ];
@@ -837,6 +942,7 @@ mod tests {
                 }
                 (Ok(Response::Health(a)), Ok(Response::Health(b))) => assert_eq!(a, b),
                 (Ok(Response::Fitted(a)), Ok(Response::Fitted(b))) => assert_eq!(a, b),
+                (Ok(Response::Refitted(a)), Ok(Response::Refitted(b))) => assert_eq!(a, b),
                 (Ok(Response::ShuttingDown), Ok(Response::ShuttingDown)) => {}
                 (Err(a), Err(b)) => assert_eq!(a, b),
                 other => panic!("round trip mismatch: {other:?}"),
@@ -853,6 +959,12 @@ mod tests {
             reports: 300,
             busiest_cell_vessels: 4,
             storage_bytes: 2048,
+            blob_version: 2,
+            state: Some(FitStateInfo {
+                state_bytes: 65536,
+                trips: 12,
+                reports: 300,
+            }),
         };
         let line = encode_response(&Ok(Response::ModelInfo(report.clone())));
         let Ok(Response::ModelInfo(back)) = decode_response(&line).unwrap() else {
@@ -862,5 +974,22 @@ mod tests {
         assert_eq!(back.config.rdp_tolerance_m, 250.0);
         assert_eq!(back.config.projection, report.config.projection);
         assert_eq!(back.storage_bytes, 2048);
+        assert_eq!(back.blob_version, 2);
+        assert_eq!(back.state, report.state);
+
+        // A stateless (v1) model encodes state as null and decodes to
+        // None.
+        let v1 = ModelReport {
+            blob_version: 1,
+            state: None,
+            ..report
+        };
+        let line = encode_response(&Ok(Response::ModelInfo(v1)));
+        assert!(line.contains("\"state\":null"), "{line}");
+        let Ok(Response::ModelInfo(back)) = decode_response(&line).unwrap() else {
+            panic!("model info");
+        };
+        assert_eq!(back.blob_version, 1);
+        assert_eq!(back.state, None);
     }
 }

@@ -15,6 +15,18 @@
 //! burn-in, and no plots/HTML. `cargo bench` and `cargo bench --no-run`
 //! both work; arguments cargo forwards (e.g. `--bench`, filters) are
 //! accepted and filters are applied to benchmark names.
+//!
+//! For machine-readable perf tracking (the fine-grained complement to
+//! the experiment-level wall clocks `perf_check` gates on), set
+//! `CRITERION_SUMMARY_FILE=/path/to/file`: every finished benchmark
+//! appends one tab-separated line
+//!
+//! ```text
+//! <name>\t<min_ns>\t<median_ns>\t<mean_ns>
+//! ```
+//!
+//! so two runs can be diffed/joined per benchmark without parsing the
+//! human-formatted output.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -148,6 +160,31 @@ fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         format_duration(median),
         format_duration(mean),
     );
+    append_summary_line(name, min, median, mean);
+}
+
+/// Appends the machine-readable `name\tmin\tmed\tmean` (nanoseconds)
+/// line to `$CRITERION_SUMMARY_FILE`, when set. Write failures only
+/// warn: a perf-tracking side channel must never fail the benches.
+fn append_summary_line(name: &str, min: Duration, median: Duration, mean: Duration) {
+    let Some(path) = std::env::var_os("CRITERION_SUMMARY_FILE") else {
+        return;
+    };
+    use std::io::Write;
+    let line = format!(
+        "{name}\t{}\t{}\t{}\n",
+        min.as_nanos(),
+        median.as_nanos(),
+        mean.as_nanos()
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("criterion: could not append to {path:?}: {e}");
+    }
 }
 
 /// The top-level harness state.
@@ -348,6 +385,39 @@ mod tests {
         });
         group.finish();
         assert_eq!(setups, 11);
+    }
+
+    #[test]
+    fn summary_file_gets_one_tsv_line_per_bench() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-summary-{}.tsv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // The env var is process-global and other tests in this binary
+        // run bench_function concurrently — their lines may land in the
+        // file while it is set, so assert only on this test's own
+        // benchmark lines, never on the total count.
+        std::env::set_var("CRITERION_SUMMARY_FILE", &path);
+        let mut c = Criterion {
+            sample_size: 10,
+            filters: Vec::new(),
+        };
+        c.bench_function("summary_alpha", |b| b.iter(|| 1u32 + 1));
+        c.bench_function("summary_beta", |b| b.iter(|| 2u32 * 2));
+        std::env::remove_var("CRITERION_SUMMARY_FILE");
+
+        let text = std::fs::read_to_string(&path).expect("summary written");
+        std::fs::remove_file(&path).ok();
+        for name in ["summary_alpha", "summary_beta"] {
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&format!("{name}\t")))
+                .unwrap_or_else(|| panic!("no summary line for {name}: {text}"));
+            let cols: Vec<&str> = line.split('\t').collect();
+            assert_eq!(cols.len(), 4, "{line}");
+            for ns in &cols[1..] {
+                ns.parse::<u128>().expect("nanosecond integer");
+            }
+        }
     }
 
     #[test]
