@@ -25,6 +25,7 @@
 //! Hot paths follow the Rust perf-book guidance: integer-keyed hash maps
 //! use a bundled [FxHash](fxhash::FxHashMap) implementation, accumulators
 //! preallocate, and CSV I/O is buffered.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod agg;
 pub mod bitmap;

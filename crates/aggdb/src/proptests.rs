@@ -34,7 +34,7 @@ fn ais_like_table() -> impl Strategy<Value = Table> {
 
 /// Exact reference median (sorted middle / average of middles).
 fn naive_median(values: &mut [f64]) -> f64 {
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values.sort_by(|a, b| a.total_cmp(b));
     let n = values.len();
     if n % 2 == 1 {
         values[n / 2]

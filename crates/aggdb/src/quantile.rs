@@ -21,8 +21,7 @@ pub fn quantile_exact(values: &mut Vec<f64>, q: f64) -> Option<f64> {
     let lo_idx = pos.floor() as usize;
     let frac = pos - lo_idx as f64;
 
-    let (_, lo_val, rest) =
-        values.select_nth_unstable_by(lo_idx, |a, b| a.partial_cmp(b).expect("no NaNs"));
+    let (_, lo_val, rest) = values.select_nth_unstable_by(lo_idx, |a, b| a.total_cmp(b));
     let lo = *lo_val;
     if frac == 0.0 {
         return Some(lo);
@@ -85,8 +84,7 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial
-                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+                self.initial.sort_by(|a, b| a.total_cmp(b));
                 self.heights.copy_from_slice(&self.initial);
             }
             return;
@@ -157,7 +155,7 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             // Fewer than 5 observations: exact.
             let mut v = self.initial.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+            v.sort_by(|a, b| a.total_cmp(b));
             let pos = self.q * (v.len() - 1) as f64;
             let lo = pos.floor() as usize;
             let frac = pos - lo as f64;

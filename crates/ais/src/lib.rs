@@ -43,6 +43,7 @@
 //! (`geo_kernel::GeoPoint`). The synthetic datasets in `synth` emit the
 //! same shapes, so the pipeline is identical for real and generated
 //! feeds.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod clean;
 pub mod events;

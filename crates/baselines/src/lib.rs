@@ -31,6 +31,7 @@
 //! The `eval` crate wraps all of them (and HABIT) behind
 //! `eval::Imputer`, which is what every experiment binary sweeps; the
 //! committed numbers live in `EXPERIMENTS.md`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod gti;
 pub mod palmto;

@@ -34,7 +34,7 @@ The workspace builds fully offline — external dependencies (`rand`,
 
 ## Architecture
 
-Fourteen crates in eight layers, plus the `habit` umbrella crate
+Fifteen crates in eight layers, plus the `habit` umbrella crate
 re-exporting a prelude:
 
 ```text
@@ -42,6 +42,7 @@ re-exporting a prelude:
              │          habit — umbrella crate + prelude        │
              └──────────────────────────────────────────────────┘
  apps        habit-cli (`habit` binary)   habit-bench (17 experiment bins)
+             habit-lint (workspace static analysis — see LINTS.md)
              ────────────────────────────────────────────────────
  facade      habit-service (typed request/response API, unified
              error taxonomy, `habit serve` line-JSON TCP daemon)
@@ -81,6 +82,7 @@ re-exporting a prelude:
 | `crates/eval` | experiment harness: DTW accuracy, gap cases, experiment runners, `ExperimentReport` |
 | `crates/cli` (`habit-cli`) | the `habit` command-line tool — thin adapters over `habit-service` |
 | `crates/bench` (`habit-bench`) | experiment binaries, criterion benches, report/README generators |
+| `crates/lint` (`habit-lint`) | hand-rolled static analysis (lexer + scanner, no `syn`): the pinned L001–L005 registry enforcing determinism, unsafe-audit, and wire-taxonomy invariants |
 
 ## Quickstart
 
@@ -228,11 +230,32 @@ synthetic analogues of the paper's real AIS feeds, so absolute numbers
 differ from the paper while the comparative shapes it argues from are
 preserved (see the paper-vs-reproduction table in `EXPERIMENTS.md`).
 
+## Static analysis — `habit-lint`
+
+A hand-rolled lint pass (comment/string-aware lexer + token scanner, no
+`syn`) enforcing the invariants the test suite can only probe
+dynamically. The registry is pinned and documented in
+[`LINTS.md`](LINTS.md) (generated — CI fails when stale):
+
+| id | name | enforces |
+|----|------|----------|
+{lint_rows}
+```sh
+cargo run -p habit-lint --release -- --check          # CI gate: any violation fails
+cargo run -p habit-lint --release -- --json reports/lint.json
+```
+
+Silencing is inline only — `// habit-lint: allow(Lxxx) -- reason` — and
+itself audited (L005): every suppression lands in the committed
+[`reports/lint.json`](reports/lint.json), which CI diffs, so the
+suppression count cannot grow without showing up in review.
+
 ## Development
 
 ```sh
 cargo build --release && cargo test -q   # tier-1 gate
 cargo fmt --all --check && cargo clippy --workspace --all-targets
+cargo run -p habit-lint --release -- --check
 ```
 
 See [ROADMAP.md](ROADMAP.md) for open items, [PAPER.md](PAPER.md) for
@@ -241,7 +264,22 @@ and [CHANGES.md](CHANGES.md) for the PR history.
 "#,
         quickstart = QUICKSTART_SRC,
         help = habit_cli::commands::help_text(),
+        lint_rows = lint_table_rows(),
     )
+}
+
+/// The habit-lint registry rendered as markdown table rows, so the
+/// README's lint table cannot drift from the registry it documents.
+fn lint_table_rows() -> String {
+    habit_lint::ALL
+        .iter()
+        .map(|l| {
+            format!(
+                "| [`{}`](LINTS.md) | `{}` | {} |\n",
+                l.id, l.name, l.summary
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -271,7 +309,13 @@ mod tests {
         assert!(md.contains("### Incremental refit"));
         assert!(md.contains("habit refit --model kiel.habit"));
         assert!(md.contains("\"op\":\"refit\""));
-        // All 14 crates appear in the table.
+        // The static-analysis section renders the live lint registry.
+        assert!(md.contains("## Static analysis — `habit-lint`"));
+        for lint in habit_lint::ALL.iter() {
+            assert!(md.contains(lint.name), "README must mention {}", lint.name);
+        }
+        assert!(md.contains("habit-lint: allow(Lxxx) -- reason"));
+        // All 15 crates appear in the table.
         for krate in [
             "geo-kernel",
             "hexgrid",
@@ -287,6 +331,7 @@ mod tests {
             "eval",
             "habit-cli",
             "habit-bench",
+            "habit-lint",
         ] {
             assert!(md.contains(krate), "README must mention {krate}");
         }

@@ -300,7 +300,7 @@ pub fn fig3_report(dan: &Bench, seed: u64) -> Result<ExperimentReport> {
     let best = rows
         .iter()
         .filter(|r| r.imputed > 0)
-        .min_by(|a, b| a.mean_dtw_m.partial_cmp(&b.mean_dtw_m).expect("finite"));
+        .min_by(|a, b| a.mean_dtw_m.total_cmp(&b.mean_dtw_m));
     let repro = match best {
         Some(b) => format!(
             "Median projection beats center at {median_wins}/{pairs} resolutions (mean DTW); best \
@@ -408,7 +408,7 @@ pub fn fig5_report(kiel: &Bench, sar: &Bench, seed: u64) -> Result<ExperimentRep
         let best = rows
             .iter()
             .filter(|r| r.failures < r.total)
-            .min_by(|a, b| a.mean_dtw_m.partial_cmp(&b.mean_dtw_m).expect("finite"));
+            .min_by(|a, b| a.mean_dtw_m.total_cmp(&b.mean_dtw_m));
         let sli = rows.iter().find(|r| r.method == "SLI");
         if let (Some(best), Some(sli)) = (best, sli) {
             clauses.push(format!(

@@ -156,10 +156,15 @@ pub fn lagged_trip_table(table: &Table, config: &HabitConfig) -> Result<Table, H
     for (trip, cell) in trip_ids.iter().zip(&cells) {
         trip_cells.entry(*trip).or_default().insert(*cell);
     }
+    // Trip order never reaches the output (membership set only), but
+    // walking the map sorted keeps every pass over this module
+    // hasher-independent by construction.
     let mut small_trips: FxHashSet<u64> = FxHashSet::default();
-    for (trip, cellset) in &trip_cells {
+    let mut spans: Vec<(u64, &FxHashSet<u64>)> = trip_cells.iter().map(|(t, s)| (*t, s)).collect();
+    spans.sort_unstable_by_key(|(t, _)| *t);
+    for (trip, cellset) in spans {
         if cellset.len() <= config.min_cell_span && cells_mutually_adjacent(&grid, cellset) {
-            small_trips.insert(*trip);
+            small_trips.insert(trip);
         }
     }
     let with_cells = table.clone().with_column("cl", Column::from_u64(cells))?;
@@ -310,10 +315,11 @@ fn trip_ids_at(table: &Table, row: usize) -> u64 {
 /// (the paper's "one or at most two adjacent H3 cells" criterion
 /// generalized to `min_cell_span`).
 fn cells_mutually_adjacent(grid: &HexGrid, cells: &FxHashSet<u64>) -> bool {
-    let v: Vec<HexCell> = cells
+    let mut v: Vec<HexCell> = cells
         .iter()
         .filter_map(|&c| HexCell::from_raw(c).ok())
         .collect();
+    v.sort_unstable_by_key(|c| c.raw());
     for i in 0..v.len() {
         for j in (i + 1)..v.len() {
             match grid.grid_distance(v[i], v[j]) {

@@ -50,6 +50,7 @@
 //! let imputed = model.impute(&gap).unwrap();
 //! assert!(imputed.points.len() >= 2);
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod config;
 pub mod error;

@@ -26,6 +26,7 @@
 //! assert!(map.cell_count() > 3);
 //! assert_eq!(map.total_messages(), 100);
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod diff;
 pub mod map;

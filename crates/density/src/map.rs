@@ -1,6 +1,7 @@
 //! The density map accumulator.
 
-use aggdb::fxhash::FxHashMap;
+use std::collections::BTreeMap;
+
 use aggdb::HyperLogLog;
 use ais::{Trajectory, Trip};
 use geo_kernel::{GeoPoint, TimedPoint};
@@ -60,7 +61,10 @@ impl CellDensity {
 pub struct DensityMap {
     resolution: u8,
     grid: HexGrid,
-    cells: FxHashMap<u64, CellDensity>,
+    // Ordered store: the map feeds GeoJSON rendering and report rows,
+    // so iteration order must be a function of the cells, not of
+    // hasher state (L001).
+    cells: BTreeMap<u64, CellDensity>,
 }
 
 impl DensityMap {
@@ -69,7 +73,7 @@ impl DensityMap {
         Self {
             resolution,
             grid: HexGrid::new(),
-            cells: FxHashMap::default(),
+            cells: BTreeMap::new(),
         }
     }
 
@@ -138,7 +142,7 @@ impl DensityMap {
         self.cells.get(&cell.raw())
     }
 
-    /// Iterates `(cell, statistics)` in arbitrary order.
+    /// Iterates `(cell, statistics)` in ascending raw-cell-id order.
     pub fn iter(&self) -> impl Iterator<Item = (HexCell, &CellDensity)> {
         self.cells.iter().map(|(&raw, d)| {
             (

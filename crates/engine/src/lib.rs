@@ -54,6 +54,7 @@
 //! assert_eq!(stats.unique_routes, 1, "identical queries share one search");
 //! assert!(results.iter().all(Result::is_ok));
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod batch;
 pub mod lru;

@@ -41,6 +41,7 @@
 //!
 //! Binaries under `crates/bench/src/bin/` call into this crate; run e.g.
 //! `cargo run -p habit-bench --release --bin fig5`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod dtw;
 pub mod experiments;

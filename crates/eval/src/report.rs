@@ -689,7 +689,7 @@ pub fn median(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let mid = v.len() / 2;
     if v.len() % 2 == 1 {
         v[mid]
@@ -704,7 +704,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
     v[rank.min(v.len() - 1)]
 }

@@ -65,7 +65,7 @@ pub fn split_trips<R: Rng>(trips: &[Trip], train_frac: f64, rng: &mut R) -> (Vec
         }
         // Highest fractional remainder first; ties broken by bucket index
         // so the apportionment stays deterministic.
-        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut cursor = 0usize;
         while assigned < n_train {
             let (_, b) = remainders[cursor % remainders.len()];

@@ -18,6 +18,7 @@
 //!
 //! Everything operates on plain `f64` degrees; no external geodesy crates
 //! are used.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod angle;
 pub mod bbox;

@@ -40,7 +40,7 @@ pub fn interpolate_at_fraction(path: &[GeoPoint], f: f64) -> Option<GeoPoint> {
     }
     let target = f.clamp(0.0, 1.0) * total;
     // Binary search for the segment containing `target`.
-    let idx = match cum.binary_search_by(|v| v.partial_cmp(&target).expect("finite")) {
+    let idx = match cum.binary_search_by(|v| v.total_cmp(&target)) {
         Ok(i) => return Some(path[i]),
         Err(i) => i, // first index with cum > target; segment is [i-1, i]
     };

@@ -35,6 +35,7 @@
 //! zig-zag-encoded 28-bit axial coordinates. IDs are stable across runs and
 //! machines and order-independent, so they can be used as graph node keys
 //! and serialized.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cell;
 pub mod cover;

@@ -1,0 +1,37 @@
+//! `habit-lint` — the workspace's hand-rolled static-analysis pass.
+//!
+//! The repo's headline guarantee — models and `FitState` blobs
+//! byte-identical at any shard/thread count — and its API contracts
+//! (an auditable `unsafe` surface, a drift-free wire error taxonomy)
+//! are enforced dynamically by proptests and golden files. This crate
+//! makes them *statically inspectable*: a comment- and string-aware
+//! lexer ([`lexer`]) plus a lightweight token scanner (no `syn`,
+//! consistent with the workspace's no-registry, hand-rolled style)
+//! drive a pinned registry of lints ([`registry::ALL`]):
+//!
+//! | ID | name |
+//! |----|------|
+//! | L001 | unordered-iteration-to-sink |
+//! | L002 | unsafe-without-safety |
+//! | L003 | float-ordering-hazard |
+//! | L004 | error-taxonomy-drift |
+//! | L005 | lint-suppression-audit |
+//!
+//! The `habit-lint` binary runs them over the whole workspace
+//! (`--check` for CI, `--json` for the committed machine-readable
+//! report); `LINTS.md` is generated from the registry. Silencing is
+//! inline only — `// habit-lint: allow(Lxxx) -- reason` — and every
+//! suppression is itself audited (L005) and committed to
+//! `reports/lint.json`.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod registry;
+pub mod scan;
+
+pub use diag::{Diagnostic, Report, Suppression};
+pub use registry::{render_lints_md, Lint, ALL};
+pub use scan::{analyze, check_root, scan_root, SourceFile, Workspace};

@@ -1,0 +1,122 @@
+//! L002 `unsafe-without-safety`: every `unsafe` block, fn, impl, or
+//! trait must carry a `// SAFETY:` comment.
+//!
+//! The comment must appear within the 12 lines above the `unsafe`
+//! keyword (attached to the statement, not somewhere in the file) or
+//! trail on the same line. There is no allow-based silencing in
+//! practice: if the proof obligation cannot be written down, the
+//! `unsafe` should not exist.
+
+use crate::diag::Diagnostic;
+use crate::lints::CodeView;
+use crate::scan::SourceFile;
+
+/// How far above the `unsafe` keyword a `// SAFETY:` comment may sit.
+const SAFETY_WINDOW_LINES: u32 = 12;
+
+/// Runs L002 over one file.
+pub fn run(file: &SourceFile) -> Vec<Diagnostic> {
+    let code = CodeView::new(&file.tokens);
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if !code.is_ident(i, "unsafe") {
+            continue;
+        }
+        let t = code.get(i).expect("checked ident");
+        if has_safety_comment(file, code.raw_index(i).expect("in range"), t.line) {
+            continue;
+        }
+        let what = match code.text(i + 1) {
+            "fn" => "fn",
+            "impl" => "impl",
+            "trait" => "trait",
+            _ => "block",
+        };
+        out.push(Diagnostic {
+            lint: "L002",
+            file: file.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            message: format!("`unsafe` {what} without a `// SAFETY:` comment"),
+            note: format!(
+                "state the invariant that makes this sound in a `// SAFETY:` comment within \
+                 the {SAFETY_WINDOW_LINES} lines above (LINTS.md#l002)"
+            ),
+        });
+    }
+    out
+}
+
+/// Is there a `SAFETY:` comment in the window above `line`, or
+/// trailing on `line` itself?
+fn has_safety_comment(file: &SourceFile, raw_idx: usize, line: u32) -> bool {
+    let lo = line.saturating_sub(SAFETY_WINDOW_LINES);
+    // Backwards over the raw stream: comments between `lo` and the
+    // unsafe keyword.
+    for t in file.tokens[..raw_idx].iter().rev() {
+        if t.line < lo {
+            break;
+        }
+        if t.is_comment() && t.text.contains("SAFETY:") {
+            return true;
+        }
+    }
+    // Forwards: a trailing comment on the same line.
+    file.tokens[raw_idx..]
+        .iter()
+        .take_while(|t| t.line == line)
+        .any(|t| t.is_comment() && t.text.contains("SAFETY:"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        run(&SourceFile::new("x.rs".into(), src))
+    }
+
+    #[test]
+    fn unsafe_without_comment_is_flagged() {
+        let d = lint("fn f() { let x = unsafe { std::mem::transmute(y) }; }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("`unsafe` block"));
+    }
+
+    #[test]
+    fn safety_comment_above_passes() {
+        assert!(lint(
+            "fn f() {\n    // SAFETY: y outlives the call; the latch bounds the borrow.\n    \
+             let x = unsafe { std::mem::transmute(y) };\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn trailing_safety_comment_passes() {
+        assert!(
+            lint("fn f() { let x = unsafe { g() }; // SAFETY: g is a const lookup\n}").is_empty()
+        );
+    }
+
+    #[test]
+    fn comment_too_far_above_does_not_count() {
+        let mut src = String::from("// SAFETY: stale, twenty lines away\n");
+        src.push_str(&"\n".repeat(20));
+        src.push_str("fn f() { unsafe { g() } }\n");
+        assert_eq!(lint(&src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_and_impl_are_classified() {
+        let d = lint("unsafe fn f() {}\nunsafe impl Send for T {}");
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("`unsafe` fn"));
+        assert!(d[1].message.contains("`unsafe` impl"));
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_ignored() {
+        assert!(lint("// unsafe is discussed here\nfn f() { let s = \"unsafe\"; }").is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! L003 `float-ordering-hazard`: `partial_cmp(…).unwrap()` or
+//! `.expect(…)` instead of a total order.
+//!
+//! `partial_cmp` returns `None` for NaN, so unwrapping it plants a
+//! panic inside sorts and min/max scans — and on the pre-`total_cmp`
+//! idiom `-0.0 == 0.0`, the relative order of equal keys is left to
+//! the sort algorithm instead of the data, which is exactly the kind
+//! of nondeterminism the byte-identity guarantee forbids. The fix is
+//! `f64::total_cmp`; an explicit `None` shim (`unwrap_or(…)`) is
+//! accepted as a deliberate decision.
+
+use crate::diag::Diagnostic;
+use crate::lints::CodeView;
+use crate::scan::SourceFile;
+
+/// Runs L003 over one file.
+pub fn run(file: &SourceFile) -> Vec<Diagnostic> {
+    let code = CodeView::new(&file.tokens);
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if !code.is_ident(i, "partial_cmp") || !code.is_punct(i + 1, "(") {
+            continue;
+        }
+        let Some(close) = code.matching_close(i + 1) else {
+            continue;
+        };
+        if !code.is_punct(close + 1, ".") {
+            continue;
+        }
+        let next = code.text(close + 2);
+        if (next == "unwrap" || next == "expect") && code.is_punct(close + 3, "(") {
+            let t = code.get(i).expect("checked ident");
+            out.push(Diagnostic {
+                lint: "L003",
+                file: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`partial_cmp(…).{next}(…)` — partial order on floats, panics on NaN"
+                ),
+                note: "use `f64::total_cmp` (total and panic-free), or handle `None` \
+                       explicitly with `unwrap_or` (LINTS.md#l003)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        run(&SourceFile::new("x.rs".into(), src))
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged() {
+        let d = lint(
+            "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n\
+             fn g(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\")); }",
+        );
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains(".unwrap("));
+        assert!(d[1].message.contains(".expect("));
+    }
+
+    #[test]
+    fn total_cmp_and_shims_pass() {
+        assert!(lint(
+            "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }\n\
+             fn g(a: f64, b: f64) -> Ordering { a.partial_cmp(&b).unwrap_or(Ordering::Equal) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn nested_arguments_do_not_confuse_the_matcher() {
+        let d = lint("fn f() { x.partial_cmp(&g(a, (b, c))).unwrap(); }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn partial_cmp_returning_the_option_is_fine() {
+        assert!(lint(
+            "impl PartialOrd for S { fn partial_cmp(&self, o: &S) -> Option<Ordering> { \
+             self.x.partial_cmp(&o.x) } }"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! L004 `error-taxonomy-drift`: the wire error-code taxonomy must
+//! agree across every pinned surface.
+//!
+//! The taxonomy's surfaces:
+//!
+//! 1. `crates/service/src/error.rs` — the `ErrorCode` enum, the
+//!    `ALL` array, and the `as_str` token table must cover the same
+//!    variants, with pairwise-distinct tokens;
+//! 2. `crates/service/src/wire.rs` — errors must be encoded/decoded
+//!    generically (`as_str` + `ErrorCode::parse`), so no code can be
+//!    un-decodable on the wire;
+//! 3. `crates/core/src/error.rs` — every `HabitError` variant must map
+//!    to a known wire token in `HabitError::code()`, with no wildcard
+//!    arm hiding unmapped variants;
+//! 4. `README.md` — the generated error table must document every
+//!    token.
+//!
+//! When the scanned tree has no `crates/service/src/error.rs` the lint
+//! is inert, so `habit-lint` still works on arbitrary trees.
+
+use crate::diag::Diagnostic;
+use crate::lints::CodeView;
+use crate::scan::{SourceFile, Workspace};
+
+/// Runs L004 over the whole workspace.
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(service_err) = ws.file_by_suffix("crates/service/src/error.rs") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let code = CodeView::new(&service_err.tokens);
+
+    let variants = enum_variants(&code, "ErrorCode");
+    let all = all_entries(&code);
+    let tokens = match_arms(&code, "as_str", "ErrorCode");
+
+    for (v, line) in &variants {
+        if !all.iter().any(|(a, _)| a == v) {
+            out.push(diag(
+                service_err,
+                *line,
+                format!("ErrorCode::{v} is missing from ErrorCode::ALL"),
+                "add the variant to the ALL array (documentation order)",
+            ));
+        }
+        if !tokens.iter().any(|(t, _, _)| t == v) {
+            out.push(diag(
+                service_err,
+                *line,
+                format!("ErrorCode::{v} has no wire token in as_str()"),
+                "add a snake_case token arm to the as_str match",
+            ));
+        }
+    }
+    for (a, line) in &all {
+        if !variants.iter().any(|(v, _)| v == a) {
+            out.push(diag(
+                service_err,
+                *line,
+                format!("ErrorCode::ALL lists `{a}`, which is not an ErrorCode variant"),
+                "remove the stale entry from ALL",
+            ));
+        }
+    }
+    // Tokens must be pairwise distinct — two codes sharing a wire
+    // token are indistinguishable to clients.
+    for (i, (v, tok, line)) in tokens.iter().enumerate() {
+        if tokens[..i].iter().any(|(_, t, _)| t == tok) {
+            out.push(diag(
+                service_err,
+                *line,
+                format!("wire token `{tok}` (ErrorCode::{v}) is not unique"),
+                "every code needs a distinct snake_case token",
+            ));
+        }
+    }
+
+    // wire.rs must handle the taxonomy generically: encode through
+    // `as_str`, decode through `ErrorCode::parse` — then every token,
+    // present and future, round-trips.
+    if let Some(wire) = ws.file_by_suffix("crates/service/src/wire.rs") {
+        let wcode = CodeView::new(&wire.tokens);
+        let has_parse = (0..wcode.len()).any(|i| {
+            wcode.is_ident(i, "ErrorCode")
+                && wcode.is_punct(i + 1, ":")
+                && wcode.is_punct(i + 2, ":")
+                && wcode.is_ident(i + 3, "parse")
+        });
+        let has_as_str = (0..wcode.len()).any(|i| wcode.is_ident(i, "as_str"));
+        if !has_parse || !has_as_str {
+            out.push(diag(
+                wire,
+                1,
+                "wire.rs does not route error codes through ErrorCode::parse/as_str".to_string(),
+                "decode error codes with ErrorCode::parse and encode with as_str so the \
+                 taxonomy cannot drift from the wire",
+            ));
+        }
+    }
+
+    // Every HabitError variant must map onto a known wire token.
+    if let Some(core_err) = ws.file_by_suffix("crates/core/src/error.rs") {
+        let ccode = CodeView::new(&core_err.tokens);
+        let habit_variants = enum_variants(&ccode, "HabitError");
+        let arms = match_arms(&ccode, "code", "HabitError");
+        for (v, line) in &habit_variants {
+            match arms.iter().find(|(av, _, _)| av == v) {
+                None => out.push(diag(
+                    core_err,
+                    *line,
+                    format!("HabitError::{v} has no arm in HabitError::code()"),
+                    "map the variant to a wire token so the service layer can classify it",
+                )),
+                Some((_, tok, aline)) => {
+                    if !tokens.iter().any(|(_, t, _)| t == tok) {
+                        out.push(diag(
+                            core_err,
+                            *aline,
+                            format!(
+                                "HabitError::{v} maps to `{tok}`, which is not an ErrorCode \
+                                 wire token"
+                            ),
+                            "use one of the tokens from ErrorCode::as_str",
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(line) = wildcard_arm(&ccode, "code") {
+            out.push(diag(
+                core_err,
+                line,
+                "HabitError::code() has a wildcard arm".to_string(),
+                "enumerate every variant explicitly so a new variant cannot silently \
+                 inherit a wrong code",
+            ));
+        }
+    }
+
+    // The README error table must document every token.
+    if let Some(readme) = ws.texts.get("README.md") {
+        let header_line = readme
+            .lines()
+            .position(|l| l.contains("| code | exit |"))
+            .map(|i| i as u32 + 1)
+            .unwrap_or(1);
+        for (v, tok, _) in &tokens {
+            let row = format!("| `{tok}` |");
+            if !readme.contains(&row) {
+                out.push(Diagnostic {
+                    lint: "L004",
+                    file: "README.md".to_string(),
+                    line: header_line,
+                    col: 1,
+                    message: format!("error table lacks a row for `{tok}` (ErrorCode::{v})"),
+                    note: "document the code in the service error table and regenerate the \
+                           README (gen_readme)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn diag(file: &SourceFile, line: u32, message: String, note: &str) -> Diagnostic {
+    Diagnostic {
+        lint: "L004",
+        file: file.rel_path.clone(),
+        line,
+        col: 1,
+        message,
+        note: note.to_string(),
+    }
+}
+
+/// Variant names (with lines) of `enum NAME { … }`.
+fn enum_variants(code: &CodeView<'_>, name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let Some(open) = (0..code.len()).find(|&i| {
+        code.is_ident(i, "enum") && code.is_ident(i + 1, name) && code.is_punct(i + 2, "{")
+    }) else {
+        return out;
+    };
+    let open = open + 2;
+    let Some(close) = code.matching_close(open) else {
+        return out;
+    };
+    let mut i = open + 1;
+    let mut expecting_variant = true;
+    while i < close {
+        let skipped = code.skip_attr(i);
+        if skipped != i {
+            i = skipped;
+            continue;
+        }
+        if expecting_variant && code.is_any_ident(i) {
+            let t = code.get(i).expect("in range");
+            out.push((t.text.clone(), t.line));
+            expecting_variant = false;
+            i += 1;
+            continue;
+        }
+        // Skip variant payloads `{ … }` / `( … )` wholesale.
+        if code.is_punct(i, "{") || code.is_punct(i, "(") {
+            i = code.matching_close(i).map(|c| c + 1).unwrap_or(close);
+            continue;
+        }
+        if code.is_punct(i, ",") {
+            expecting_variant = true;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `(variant, "token", line)` triples from the match inside `fn FNAME`,
+/// where arms look like `ENUM::Variant [payload] => "token"`.
+fn match_arms(code: &CodeView<'_>, fname: &str, enum_name: &str) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    let Some(fn_at) =
+        (0..code.len()).find(|&i| code.is_ident(i, "fn") && code.is_ident(i + 1, fname))
+    else {
+        return out;
+    };
+    let Some(body_open) = (fn_at..code.len()).find(|&i| code.is_punct(i, "{")) else {
+        return out;
+    };
+    let body_close = code.matching_close(body_open).unwrap_or(code.len());
+    let mut i = body_open;
+    while i < body_close {
+        if code.is_ident(i, enum_name) && code.is_punct(i + 1, ":") && code.is_punct(i + 2, ":") {
+            let variant_at = i + 3;
+            if code.is_any_ident(variant_at) {
+                let t = code.get(variant_at).expect("in range");
+                let (variant, line) = (t.text.clone(), t.line);
+                // Seek `=>` past any payload pattern, then a string.
+                let mut j = variant_at + 1;
+                if code.is_punct(j, "{") || code.is_punct(j, "(") {
+                    j = code.matching_close(j).map(|c| c + 1).unwrap_or(j + 1);
+                }
+                if code.is_punct(j, "=") && code.is_punct(j + 1, ">") {
+                    if let Some(t) = code.get(j + 2) {
+                        if t.kind == crate::lexer::TokenKind::Str {
+                            out.push((variant, t.text.clone(), line));
+                        }
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Line of a `_ =>` arm inside `fn FNAME`, if any.
+fn wildcard_arm(code: &CodeView<'_>, fname: &str) -> Option<u32> {
+    let fn_at = (0..code.len()).find(|&i| code.is_ident(i, "fn") && code.is_ident(i + 1, fname))?;
+    let body_open = (fn_at..code.len()).find(|&i| code.is_punct(i, "{"))?;
+    let body_close = code.matching_close(body_open)?;
+    (body_open..body_close).find_map(|i| {
+        if code.is_ident(i, "_") && code.is_punct(i + 1, "=") && code.is_punct(i + 2, ">") {
+            code.get(i).map(|t| t.line)
+        } else {
+            None
+        }
+    })
+}
+
+/// `ErrorCode::X` entries (with lines) of the `ALL: [ErrorCode; N]` array.
+fn all_entries(code: &CodeView<'_>) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let Some(all_at) = (0..code.len()).find(|&i| {
+        code.is_ident(i, "ALL") && code.is_punct(i + 1, ":") && code.is_punct(i + 2, "[")
+    }) else {
+        return out;
+    };
+    let Some(arr_open) =
+        (all_at..code.len()).find(|&i| code.is_punct(i, "=") && code.is_punct(i + 1, "["))
+    else {
+        return out;
+    };
+    let arr_open = arr_open + 1;
+    let close = code.matching_close(arr_open).unwrap_or(code.len());
+    for i in arr_open..close {
+        if code.is_ident(i, "ErrorCode")
+            && code.is_punct(i + 1, ":")
+            && code.is_punct(i + 2, ":")
+            && code.is_any_ident(i + 3)
+        {
+            let t = code.get(i + 3).expect("in range");
+            out.push((t.text.clone(), t.line));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn ws(files: Vec<(&str, &str)>, readme: Option<&str>) -> Workspace {
+        let mut texts = BTreeMap::new();
+        if let Some(r) = readme {
+            texts.insert("README.md".to_string(), r.to_string());
+        }
+        Workspace {
+            files: files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p.into(), s))
+                .collect(),
+            texts,
+        }
+    }
+
+    const CONSISTENT: &str = r#"
+pub enum ErrorCode { Io, NoPath }
+impl ErrorCode {
+    pub const ALL: [ErrorCode; 2] = [ErrorCode::Io, ErrorCode::NoPath];
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Io => "io",
+            ErrorCode::NoPath => "no_path",
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn consistent_taxonomy_is_clean() {
+        let w = ws(
+            vec![
+                ("crates/service/src/error.rs", CONSISTENT),
+                (
+                    "crates/service/src/wire.rs",
+                    "fn d(s: &str) { ErrorCode::parse(s); } fn e(c: ErrorCode) { c.as_str(); }",
+                ),
+                (
+                    "crates/core/src/error.rs",
+                    "pub enum HabitError { NoPath }\nimpl HabitError { pub fn code(&self) -> \
+                     &'static str { match self { HabitError::NoPath => \"no_path\" } } }",
+                ),
+            ],
+            Some("| code | exit |\n| `io` | 1 |\n| `no_path` | 1 |\n"),
+        );
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn variant_missing_from_all_and_as_str() {
+        let drifted = CONSISTENT.replace(
+            "pub enum ErrorCode { Io, NoPath }",
+            "pub enum ErrorCode { Io, NoPath, Overloaded }",
+        );
+        let w = ws(vec![("crates/service/src/error.rs", &drifted)], None);
+        let d = run(&w);
+        assert_eq!(d.len(), 2);
+        assert!(d[0]
+            .message
+            .contains("Overloaded is missing from ErrorCode::ALL"));
+        assert!(d[1].message.contains("no wire token"));
+    }
+
+    #[test]
+    fn unmapped_habit_error_variant() {
+        let w = ws(
+            vec![
+                ("crates/service/src/error.rs", CONSISTENT),
+                (
+                    "crates/core/src/error.rs",
+                    "pub enum HabitError { NoPath, Grid }\nimpl HabitError { pub fn code(&self) \
+                     -> &'static str { match self { HabitError::NoPath => \"no_path\" } } }",
+                ),
+            ],
+            None,
+        );
+        let d = run(&w);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("HabitError::Grid has no arm"));
+    }
+
+    #[test]
+    fn readme_missing_a_token_row() {
+        let w = ws(
+            vec![("crates/service/src/error.rs", CONSISTENT)],
+            Some("| code | exit |\n| `io` | 1 |\n"),
+        );
+        let d = run(&w);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, "README.md");
+        assert!(d[0].message.contains("`no_path`"));
+    }
+
+    #[test]
+    fn no_service_crate_means_inert() {
+        let w = ws(vec![("src/lib.rs", "fn main() {}")], None);
+        assert!(run(&w).is_empty());
+    }
+}

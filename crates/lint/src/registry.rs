@@ -1,0 +1,195 @@
+//! The pinned lint registry.
+//!
+//! Every lint `habit-lint` implements is declared here, exactly once,
+//! with its stable ID, rationale, and silencing instructions — the same
+//! "pinned table" discipline as `ErrorCode::ALL` in `habit-service`:
+//! anything that adds, removes, or renames a lint changes this array
+//! and the tests that pin it, so the registry can never drift
+//! silently. `LINTS.md` is rendered from this table
+//! ([`render_lints_md`]) and CI fails when the committed copy is stale.
+
+/// One registered lint: identity plus the documentation that
+/// `LINTS.md` renders.
+#[derive(Debug, Clone, Copy)]
+pub struct Lint {
+    /// Stable ID (`L001` …). Never reused, never renumbered.
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line summary (README / diagnostics).
+    pub summary: &'static str,
+    /// Why the rule exists, in terms of the invariant it protects.
+    pub rationale: &'static str,
+    /// A minimal violating example.
+    pub example: &'static str,
+    /// How to fix — and when fixing is wrong, how to silence.
+    pub fix: &'static str,
+}
+
+/// Every lint, in ID order. Pinned by `registry_is_pinned` in the
+/// crate tests; golden fixture tests pin each lint's diagnostics.
+pub const ALL: [Lint; 5] = [
+    Lint {
+        id: "L001",
+        name: "unordered-iteration-to-sink",
+        summary: "HashMap/HashSet iteration inside a codec/serialization/report module",
+        rationale: "The repo's headline guarantee is that models and FitState blobs are \
+                    byte-identical at any shard/thread count. Hash-map iteration order is \
+                    arbitrary (and randomized across std versions), so iterating an unordered \
+                    map or set on a path that produces serialized bytes or report rows makes \
+                    the output depend on hasher state instead of the input set. Inside the \
+                    pinned sink modules (codecs, wire/JSON/CSV serializers, report builders) \
+                    every such iteration must be sorted or canonicalized first, or the \
+                    container switched to a BTreeMap/BTreeSet.",
+        example: "for (cell, stats) in &self.cells { out.extend(encode(cell, stats)); }",
+        fix: "Sort the entries before producing bytes (`let mut v: Vec<_> = m.iter().collect(); \
+              v.sort_by_key(…)`), call `canonicalize()`, or store a BTreeMap. If the iteration \
+              provably cannot reach the sink, silence with \
+              `// habit-lint: allow(L001) -- <why the order cannot matter>`.",
+    },
+    Lint {
+        id: "L002",
+        name: "unsafe-without-safety",
+        summary: "an `unsafe` block, fn, or impl without a `// SAFETY:` comment",
+        rationale: "The workspace is hand-rolled std-only Rust with exactly one audited unsafe \
+                    surface (the scoped-lifetime transmute in `engine/src/pool.rs`). Every \
+                    `unsafe` must state the proof obligation it discharges next to the code, \
+                    so the audit surface stays greppable and reviewable; an unjustified \
+                    `unsafe` is either unsound or undocumented, and both block review.",
+        example: "let job: Job = unsafe { std::mem::transmute(job) }; // no SAFETY comment",
+        fix: "Write a `// SAFETY:` comment within the 12 lines above the `unsafe` keyword \
+              naming the invariant that makes it sound (what bounds the borrow, who \
+              synchronizes, why the cast holds). There is no legitimate silencing: if the \
+              justification cannot be written down, the unsafe should not be merged.",
+    },
+    Lint {
+        id: "L003",
+        name: "float-ordering-hazard",
+        summary: "`partial_cmp(…).unwrap()` / `.expect(…)` instead of a total order on floats",
+        rationale: "`partial_cmp` on floats is None for NaN, so `.unwrap()`/`.expect()` turns \
+                    an unexpected NaN into a panic deep inside a sort — and under the \
+                    pre-total_cmp idiom `-0.0 == 0.0`, leaving the final order of equal keys \
+                    to the sort algorithm instead of the data. Deterministic paths (fit, \
+                    codecs, reports) must use a total order: `f64::total_cmp` is panic-free \
+                    and totally ordered, which is exactly the byte-identity discipline.",
+        example: "values.sort_by(|a, b| a.partial_cmp(b).unwrap());",
+        fix: "Use `a.total_cmp(b)` for float keys (panic-free, total). For genuinely partial \
+              comparisons keep `partial_cmp` but handle `None` explicitly \
+              (`unwrap_or(Ordering::Equal)` is a shim the lint accepts). Silence only with \
+              `// habit-lint: allow(L003) -- <why NaN is impossible and order is pinned>`.",
+    },
+    Lint {
+        id: "L004",
+        name: "error-taxonomy-drift",
+        summary: "the wire error-code taxonomy drifted between its pinned surfaces",
+        rationale: "`ErrorCode` is part of the wire protocol and the CLI exit-code contract: \
+                    clients match on the snake_case tokens and the README documents them. The \
+                    taxonomy lives in four places that must agree — the `ErrorCode` enum + \
+                    `ALL` array + `as_str` table in `service/src/error.rs`, the generic \
+                    encode/decode in `service/src/wire.rs`, the `HabitError::code()` seam in \
+                    `core/src/error.rs`, and the README error table. A variant missing from \
+                    any of them is an error a client cannot decode or an exit code nobody \
+                    documented.",
+        example: "pub enum ErrorCode { …, Overloaded } // absent from ALL / as_str / README",
+        fix: "Add the new code to `ErrorCode::ALL`, the `as_str` match, the doc-comment table \
+              in `service/src/error.rs`, and regenerate the README \
+              (`cargo run -p habit-bench --bin gen_readme`); map new `HabitError` variants in \
+              `HabitError::code()`. Do not silence — the taxonomy has no legitimate drift.",
+    },
+    Lint {
+        id: "L005",
+        name: "lint-suppression-audit",
+        summary: "a malformed, reasonless, or dead `habit-lint: allow` directive",
+        rationale: "Inline `// habit-lint: allow(Lxxx) -- reason` is the *only* silencing \
+                    mechanism, and the written reason is the point: every suppression is an \
+                    auditable decision in the committed lint report, so the count can only \
+                    move in review, never silently. A bare allow (no reason), an unknown lint \
+                    ID, or an allow that no longer silences anything is itself a violation.",
+        example: "// habit-lint: allow(L001)            (bare: no `-- reason`)",
+        fix: "Write `// habit-lint: allow(L001) -- <one-line reason>` on the flagged line or \
+              the line directly above it; delete directives whose violation is gone. L005 \
+              itself cannot be silenced.",
+    },
+];
+
+/// Looks a lint up by ID.
+pub fn by_id(id: &str) -> Option<&'static Lint> {
+    ALL.iter().find(|l| l.id == id)
+}
+
+/// Renders the generated `LINTS.md` from the registry. Deterministic;
+/// CI fails when the committed file differs (`habit-lint --check-docs`).
+pub fn render_lints_md() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# habit-lint — the workspace lint registry\n\n\
+         <!-- GENERATED FILE — do not edit by hand.\n\
+         Regenerate:\n\n    cargo run -p habit-lint --release -- --gen-docs\n\n\
+         CI runs `habit-lint --check-docs` and fails when this file is stale. -->\n\n\
+         `habit-lint` is the repo's hand-rolled static-analysis pass: a comment- and\n\
+         string-aware lexer plus a lightweight scanner (no `syn`) that enforces the\n\
+         invariants the test suite can only probe dynamically — byte-identical\n\
+         serialization, an auditable `unsafe` surface, and a drift-free wire error\n\
+         taxonomy. It runs over the whole workspace in CI:\n\n\
+         ```sh\n\
+         cargo run -p habit-lint --release -- --check          # fail on any violation\n\
+         cargo run -p habit-lint --release -- --json reports/lint.json\n\
+         ```\n\n\
+         Silencing: `// habit-lint: allow(Lxxx) -- reason` on the flagged line or the\n\
+         line directly above it. The reason is mandatory, audited by L005, and every\n\
+         suppression appears in the committed `reports/lint.json`, which CI diffs —\n\
+         so the suppression count can never grow without showing up in review.\n\n",
+    );
+    for lint in &ALL {
+        out.push_str(&format!("## {} `{}`\n\n", lint.id, lint.name));
+        out.push_str(&format!("**{}.**\n\n", lint.summary));
+        out.push_str(&format!("{}\n\n", lint.rationale));
+        out.push_str(&format!("```rust\n{}\n```\n\n", lint.example));
+        out.push_str(&format!("**Fix / silencing:** {}\n\n", lint.fix));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the registry: count and IDs, like `ErrorCode::ALL`.
+    /// Adding a lint must be a deliberate change to this table.
+    #[test]
+    fn registry_is_pinned() {
+        let ids: Vec<&str> = ALL.iter().map(|l| l.id).collect();
+        assert_eq!(ids, ["L001", "L002", "L003", "L004", "L005"]);
+        let names: Vec<&str> = ALL.iter().map(|l| l.name).collect();
+        assert_eq!(
+            names,
+            [
+                "unordered-iteration-to-sink",
+                "unsafe-without-safety",
+                "float-ordering-hazard",
+                "error-taxonomy-drift",
+                "lint-suppression-audit",
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(by_id("L002").map(|l| l.name), Some("unsafe-without-safety"));
+        assert!(by_id("L999").is_none());
+    }
+
+    #[test]
+    fn lints_md_documents_every_lint() {
+        let md = render_lints_md();
+        assert!(md.starts_with("# habit-lint"));
+        assert!(md.contains("GENERATED FILE"));
+        for lint in &ALL {
+            assert!(md.contains(lint.id), "LINTS.md must document {}", lint.id);
+            assert!(md.contains(lint.name));
+            assert!(md.contains(lint.rationale));
+        }
+        // Deterministic render.
+        assert_eq!(md, render_lints_md());
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded L004 fixture: a bad token, an unmapped variant, and a
+//! wildcard arm hiding it.
+
+pub enum HabitError {
+    Io,
+    NoPath,
+    Grid,
+}
+
+impl HabitError {
+    pub fn code(&self) -> &'static str {
+        match self {
+            HabitError::Io => "disk_io",
+            HabitError::NoPath => "no_path",
+            _ => "io",
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded L004 fixture: `Overloaded` drifted out of ALL and as_str.
+
+pub enum ErrorCode {
+    Io,
+    NoPath,
+    Overloaded,
+}
+
+impl ErrorCode {
+    pub const ALL: [ErrorCode; 2] = [ErrorCode::Io, ErrorCode::NoPath];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Io => "io",
+            ErrorCode::NoPath => "no_path",
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded L004 fixture: encodes through as_str but never decodes
+//! through ErrorCode::parse — half the wire contract.
+
+pub fn encode(c: ErrorCode) -> &'static str {
+    c.as_str()
+}

@@ -1,0 +1,13 @@
+//! Seeded suppression fixture: the violation is silenced with a
+//! reasoned allow, so it surfaces as a suppression, not a diagnostic.
+
+pub fn max_score(v: &[f64]) -> f64 {
+    let mut best = 0.0f64;
+    for &x in v {
+        // habit-lint: allow(L003) -- inputs validated finite upstream
+        if x.partial_cmp(&best).expect("finite") == std::cmp::Ordering::Greater {
+            best = x;
+        }
+    }
+    best
+}

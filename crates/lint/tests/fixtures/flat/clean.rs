@@ -1,0 +1,9 @@
+//! Clean fixture: nothing to report.
+
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}

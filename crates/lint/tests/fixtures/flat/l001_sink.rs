@@ -1,0 +1,13 @@
+//! Seeded L001 fixture: hash iteration straight into encoded bytes.
+
+impl Codec for Encoder {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let counts: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in &counts {
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let keys: Vec<u64> = counts.keys().copied().collect();
+        emit(&keys);
+    }
+}

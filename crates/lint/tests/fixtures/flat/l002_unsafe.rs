@@ -1,0 +1,11 @@
+//! Seeded L002 fixture: `unsafe` without a SAFETY comment.
+
+pub fn read_past(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+/// Documented one for contrast — this must not be flagged.
+pub fn fine(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees `ptr` is valid for reads.
+    unsafe { *ptr }
+}

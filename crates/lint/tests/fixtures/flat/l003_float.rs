@@ -1,0 +1,9 @@
+//! Seeded L003 fixture: partial order unwrapped inside a sort.
+
+pub fn sort_scores(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn fine(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}

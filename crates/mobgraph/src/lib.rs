@@ -16,6 +16,7 @@
 //! Internally nodes are dense `u32` indices so the search frontier works
 //! on flat vectors; the id ↔ index mapping uses an FxHash map (shared
 //! with `aggdb`), following the perf-book guidance for integer keys.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod codec;
 pub mod graph;

@@ -106,7 +106,7 @@ impl NearestIndex {
             .iter()
             .enumerate()
             .map(|(i, p)| (i as u32, haversine_m(query, p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Returns all `(item index, distance)` within `radius_m` meters of
@@ -197,7 +197,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(k, p)| (k as u32, haversine_m(&query, p)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap();
             assert_eq!(i, bi, "query {query}");
             assert!((d - bd).abs() < 1e-9);
@@ -218,7 +218,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(k, p)| (k as u32, haversine_m(&GeoPoint::new(0.0, 0.0), p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         assert_eq!(i, bi);
         assert!((d - bd).abs() < 1e-9);

@@ -45,6 +45,7 @@
 //! let Response::Imputation(imputed) = response else { unreachable!() };
 //! assert!(imputed.points.len() >= 2);
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod csvio;
 pub mod error;

@@ -22,6 +22,7 @@
 //!
 //! Everything is deterministic given a seed; dataset builders are pure
 //! functions of `(seed, scale)`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod datasets;
 pub mod regions;

@@ -170,10 +170,7 @@ impl PathSampler {
             return (self.points[0], 0.0);
         }
         let s = s.clamp(0.0, total);
-        let idx = match self
-            .cum
-            .binary_search_by(|v| v.partial_cmp(&s).expect("finite"))
-        {
+        let idx = match self.cum.binary_search_by(|v| v.total_cmp(&s)) {
             Ok(i) => i.max(1),
             Err(i) => i.min(self.points.len() - 1).max(1),
         };
