@@ -41,7 +41,7 @@ re-exporting a prelude:
              ┌──────────────────────────────────────────────────┐
              │          habit — umbrella crate + prelude        │
              └──────────────────────────────────────────────────┘
- apps        habit-cli (`habit` binary)   habit-bench (17 experiment bins)
+ apps        habit-cli (`habit` binary)   habit-bench (18 experiment bins)
              habit-lint (workspace static analysis — see LINTS.md)
              ────────────────────────────────────────────────────
  facade      habit-service (typed request/response API, unified

@@ -20,6 +20,7 @@
 //! | `ablation_fleet`   | vessel-type conditioning (paper future work) |
 //! | `throughput`       | batched imputation serving via `habit-engine` (beyond the paper) |
 //! | `incremental`      | incremental refit vs from-scratch fit via the persistable `FitState` (beyond the paper) |
+//! | `route_bench`      | route-engine hot path: CSR + arena A* + in-place RDP vs the naive reference (beyond the paper) |
 //! | `all_experiments`  | everything above; writes `reports/*.json` + `EXPERIMENTS.md` |
 //! | `perf_check`       | CI perf gate: fresh vs committed wall clocks (`--baseline`/`--fresh`) |
 //!

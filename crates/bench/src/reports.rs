@@ -17,6 +17,10 @@ use eval::report::{
     Provenance, ReportError, ReportSection,
 };
 use eval::Imputer;
+use geo_kernel::{
+    rdp_indices_reference, rdp_timed_in_place, resample_timed_max_spacing, GeoPoint, RdpScratch,
+    TimedPoint,
+};
 use habit_core::{
     FleetConfig, FleetModel, GapQuery, HabitConfig, HabitModel, ServedBy, WeightScheme,
 };
@@ -25,7 +29,7 @@ use std::time::{Duration, Instant};
 
 /// Canonical experiment order: `reports/<id>.json` file stems and the
 /// section order of the generated `EXPERIMENTS.md`.
-pub const EXPERIMENT_ORDER: [&str; 15] = [
+pub const EXPERIMENT_ORDER: [&str; 16] = [
     "table1",
     "table2",
     "table3",
@@ -41,6 +45,7 @@ pub const EXPERIMENT_ORDER: [&str; 15] = [
     "ablation_fleet",
     "throughput",
     "incremental",
+    "route_bench",
 ];
 
 type Result<T> = std::result::Result<T, eval::ReportError>;
@@ -1311,6 +1316,430 @@ pub fn incremental_report(kiel: &Bench, seed: u64) -> Result<ExperimentReport> {
     })
 }
 
+/// Route-engine hot path — CSR + arena A* + in-place RDP vs the
+/// retained naive reference (KIEL).
+///
+/// ISSUE 7 tentpole experiment. The serving path (`impute` →
+/// `route_between` on the frozen [`CsrGraph`] with a pooled
+/// `SearchArena`, tail simplification via `rdp_timed_in_place` with a
+/// pooled scratch) is benchmarked stage by stage against the retained
+/// naive path (`impute_naive` → `route_between_naive` on the pointer
+/// `DiGraph` with per-call `Vec` allocations, recursive sub-path-cloning
+/// `rdp_indices_reference`). Before any timing, every gap case is
+/// answered by both paths and checked **byte-identical** — cells, cost
+/// bits, expanded count, and every output point — at any scale, so the
+/// CI smoke run exercises the equivalence even when the timings are
+/// noise.
+///
+/// The speed contract is shaped by that byte-identity pin: both search
+/// backends are forced to settle nodes in exactly the same sequence, so
+/// the route-search stage can only win per-visit constants over a naive
+/// reference that already runs dense-array A* on a std binary heap. The
+/// structural win lands on the impute *tail* (projection + timestamps +
+/// RDP, the part the engine replays per query over cached routes),
+/// where the in-place kernel replaces recursive sub-path cloning. The
+/// full-scale committed run therefore enforces a ≥2x tail speedup plus
+/// a no-regression floor on full end-to-end impute, above noise floors;
+/// all timings are min-of-N sweeps.
+///
+/// [`CsrGraph`]: mobgraph::CsrGraph
+pub fn route_bench_report(kiel: &Bench, seed: u64) -> Result<ExperimentReport> {
+    let t0 = Instant::now();
+    let id = "route_bench";
+    const REPEAT: usize = 30;
+    const RDP_REPEAT: usize = 30;
+    const RDP_SPACING_M: f64 = 25.0;
+    let config = HabitConfig::with_r_t(9, 100.0);
+    let tol_m = config.rdp_tolerance_m;
+
+    let train_table = ais::trips_to_table(&kiel.train);
+    let model = HabitModel::fit(&train_table, config)
+        .map_err(|e| ReportError::experiment(id, format!("fit: {e}")))?;
+    let cases = kiel.gap_cases(3600, seed);
+    if cases.is_empty() {
+        return Err(ReportError::experiment(id, "no gap cases on KIEL"));
+    }
+
+    // -- Equivalence gate (runs at any scale, including CI smoke): the
+    //    hot path must answer every query byte-identically to the naive
+    //    reference before its speed means anything.
+    let mut imputable = 0usize;
+    for case in &cases {
+        match (model.impute(&case.query), model.impute_naive(&case.query)) {
+            (Ok(fast), Ok(naive)) => {
+                let identical = fast.cells == naive.cells
+                    && fast.cost.to_bits() == naive.cost.to_bits()
+                    && fast.expanded == naive.expanded
+                    && fast.raw_point_count == naive.raw_point_count
+                    && fast.points.len() == naive.points.len()
+                    && fast.points.iter().zip(&naive.points).all(|(a, b)| {
+                        a.pos.lon.to_bits() == b.pos.lon.to_bits()
+                            && a.pos.lat.to_bits() == b.pos.lat.to_bits()
+                            && a.t == b.t
+                    });
+                if !identical {
+                    return Err(ReportError::experiment(
+                        id,
+                        format!(
+                            "hot path diverged byte-wise from the naive reference on trip {}",
+                            case.trip_id
+                        ),
+                    ));
+                }
+                imputable += 1;
+            }
+            (Err(_), Err(_)) => {}
+            (fast, naive) => {
+                return Err(ReportError::experiment(
+                    id,
+                    format!(
+                        "outcome drift on trip {}: hot path ok={} vs naive ok={}",
+                        case.trip_id,
+                        fast.is_ok(),
+                        naive.is_ok()
+                    ),
+                ));
+            }
+        }
+    }
+    if imputable == 0 {
+        return Err(ReportError::experiment(
+            id,
+            "no imputable gap cases to compare",
+        ));
+    }
+
+    // Interleaved min-of-N sweep timer: each round times one naive
+    // sweep then one hot sweep over the full case set, and each side
+    // keeps its best round. Taking minima defeats scheduler and
+    // frequency jitter (round-to-round wall clock swings ±30% on a
+    // shared box); interleaving defeats the slower systematic drift —
+    // if the machine speeds up halfway through, both sides see it
+    // instead of whichever happened to be timed second.
+    fn best_pair(rounds: usize, mut naive: impl FnMut(), mut hot: impl FnMut()) -> (f64, f64) {
+        let (mut best_naive, mut best_hot) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..rounds {
+            let t = Instant::now();
+            naive();
+            best_naive = best_naive.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            hot();
+            best_hot = best_hot.min(t.elapsed().as_secs_f64());
+        }
+        (best_naive, best_hot)
+    }
+
+    // -- Stage 1: route search. Endpoints snapped once up front so the
+    //    timings isolate A* (CSR + pooled arena + baked edge records vs
+    //    pointer graph with three O(n) Vec allocations per call).
+    let mut pairs = Vec::new();
+    for case in &cases {
+        if let (Ok((s, _)), Ok((g, _))) = (
+            model.snap(&case.query.start.pos),
+            model.snap(&case.query.end.pos),
+        ) {
+            pairs.push((s, g));
+        }
+    }
+    if pairs.is_empty() {
+        return Err(ReportError::experiment(id, "no snappable cell pairs"));
+    }
+    let mut naive_cost = 0.0f64;
+    let mut fast_cost = 0.0f64;
+    let mut fast_expanded = 0usize;
+    let (search_naive_s, search_fast_s) = best_pair(
+        REPEAT,
+        || {
+            for &(s, g) in &pairs {
+                if let Ok(r) = model.route_between_naive(s, g) {
+                    naive_cost += r.cost;
+                }
+            }
+        },
+        || {
+            for &(s, g) in &pairs {
+                if let Ok(r) = model.route_between(s, g) {
+                    fast_cost += r.cost;
+                    fast_expanded += r.expanded;
+                }
+            }
+        },
+    );
+    if naive_cost.to_bits() != fast_cost.to_bits() {
+        return Err(ReportError::experiment(
+            id,
+            "accumulated route costs differ between backends",
+        ));
+    }
+
+    // -- Stage 2: trajectory simplification on dense vessel polylines
+    //    (ground-truth gap interiors resampled to 25 m spacing, the
+    //    density regime where RDP does real pruning work against the
+    //    100 m tolerance). Both sides pay one buffer copy per path —
+    //    the reference clones positions out of the timed points exactly
+    //    as the old tail did; the kernel clones the timed points to
+    //    simplify them in place.
+    let dense: Vec<Vec<TimedPoint>> = cases
+        .iter()
+        .map(|c| resample_timed_max_spacing(&c.truth, RDP_SPACING_M))
+        .filter(|p| p.len() >= 3)
+        .collect();
+    if dense.is_empty() {
+        return Err(ReportError::experiment(
+            id,
+            "no dense polylines for the RDP stage",
+        ));
+    }
+    let mut ref_kept = 0usize;
+    let mut fast_kept = 0usize;
+    let mut scratch = RdpScratch::new();
+    let (rdp_naive_s, rdp_fast_s) = best_pair(
+        RDP_REPEAT,
+        || {
+            for path in &dense {
+                let positions: Vec<GeoPoint> = path.iter().map(|p| p.pos).collect();
+                ref_kept += rdp_indices_reference(&positions, tol_m).len();
+            }
+        },
+        || {
+            for path in &dense {
+                let mut pts = path.clone();
+                rdp_timed_in_place(&mut pts, tol_m, &mut scratch);
+                fast_kept += pts.len();
+            }
+        },
+    );
+    if ref_kept != fast_kept {
+        return Err(ReportError::experiment(
+            id,
+            "RDP kept-vertex totals differ between the kernel and the reference",
+        ));
+    }
+
+    // -- Stage 3: the impute tail end to end — projection, timestamp
+    //    allocation, and RDP exactly as the engine replays a cached
+    //    route for each query. Routes are resolved once up front; the
+    //    two sides then run the retained naive tail (recursive
+    //    sub-path-cloning RDP) vs the in-place kernel over them.
+    let mut tail_inputs = Vec::new();
+    for case in &cases {
+        if let (Ok((s, _)), Ok((g, _))) = (
+            model.snap(&case.query.start.pos),
+            model.snap(&case.query.end.pos),
+        ) {
+            if let Ok(route) = model.route_between(s, g) {
+                tail_inputs.push((&case.query, route, s, g));
+            }
+        }
+    }
+    if tail_inputs.is_empty() {
+        return Err(ReportError::experiment(
+            id,
+            "no resolved routes for the tail stage",
+        ));
+    }
+    // The tail is microseconds per call, so each sweep replays the case
+    // set TAIL_INNER times to push the sweep into a robustly timeable
+    // range (a couple of ms) before min-of-N picks the best sweep.
+    const TAIL_INNER: usize = 20;
+    let mut tail_naive_pts = 0usize;
+    let mut tail_fast_pts = 0usize;
+    let (tail_naive_s, tail_fast_s) = best_pair(
+        REPEAT,
+        || {
+            for _ in 0..TAIL_INNER {
+                for (gap, route, s, g) in &tail_inputs {
+                    tail_naive_pts += model
+                        .imputation_from_route_naive(gap, route, *s, *g)
+                        .points
+                        .len();
+                }
+            }
+        },
+        || {
+            for _ in 0..TAIL_INNER {
+                for (gap, route, s, g) in &tail_inputs {
+                    tail_fast_pts += model.imputation_from_route(gap, route, *s, *g).points.len();
+                }
+            }
+        },
+    );
+    if tail_naive_pts != tail_fast_pts {
+        return Err(ReportError::experiment(
+            id,
+            "imputed point totals differ between the tail backends",
+        ));
+    }
+
+    // -- Stage 4: end-to-end imputation, the serving hot path as the
+    //    engine and daemon call it.
+    let mut naive_ok = 0usize;
+    let mut fast_ok = 0usize;
+    let (e2e_naive_s, e2e_fast_s) = best_pair(
+        REPEAT,
+        || {
+            for case in &cases {
+                if model.impute_naive(&case.query).is_ok() {
+                    naive_ok += 1;
+                }
+            }
+        },
+        || {
+            for case in &cases {
+                if model.impute(&case.query).is_ok() {
+                    fast_ok += 1;
+                }
+            }
+        },
+    );
+    if naive_ok != fast_ok {
+        return Err(ReportError::experiment(
+            id,
+            "imputation success counts differ between backends",
+        ));
+    }
+
+    let speedup = |naive: f64, fast: f64| naive / fast.max(1e-9);
+    let tail_speedup = speedup(tail_naive_s, tail_fast_s);
+    let e2e_speedup = speedup(e2e_naive_s, e2e_fast_s);
+    // The headline contract, enforced only on the full-scale committed
+    // run and above noise floors (at smoke scale both sides finish in
+    // microseconds and jitter would decide it): the reworked impute
+    // tail must beat the retained naive tail by ≥2x end to end, and the
+    // full impute must not regress. Route search is deliberately NOT
+    // gated at 2x: byte-identity pins both backends to the same settle
+    // sequence, so against a reference that already runs dense-array A*
+    // on a std binary heap only constant-factor per-visit wins exist
+    // there.
+    if experiments::eval_scale() >= 1.0 {
+        if tail_naive_s > 5e-4 && tail_speedup < 2.0 {
+            return Err(ReportError::experiment(
+                id,
+                format!(
+                    "impute-tail speedup {tail_speedup:.2}x fell below the 2x contract \
+                     (naive {tail_naive_s:.5}s vs hot {tail_fast_s:.5}s per sweep)"
+                ),
+            ));
+        }
+        if e2e_naive_s > 0.001 && e2e_speedup < 0.9 {
+            return Err(ReportError::experiment(
+                id,
+                format!(
+                    "end-to-end impute regressed: {e2e_speedup:.2}x \
+                     (naive {e2e_naive_s:.4}s vs hot {e2e_fast_s:.4}s per sweep)"
+                ),
+            ));
+        }
+    }
+
+    let mut table = MarkdownTable::new(vec![
+        "Stage",
+        "Naive path",
+        "Hot path",
+        "Calls/sweep",
+        "Naive (s)",
+        "Hot (s)",
+        "Speedup",
+    ])
+    .with_context(id);
+    table.row(vec![
+        "route search".to_string(),
+        "DiGraph A*, per-call Vecs".to_string(),
+        "CSR A*, arena + baked edges".to_string(),
+        pairs.len().to_string(),
+        fmt_s(search_naive_s),
+        fmt_s(search_fast_s),
+        format!("{:.2}x", speedup(search_naive_s, search_fast_s)),
+    ])?;
+    table.row(vec![
+        "RDP simplification".to_string(),
+        "recursive, clones sub-paths".to_string(),
+        "iterative, in-place".to_string(),
+        dense.len().to_string(),
+        fmt_s(rdp_naive_s),
+        fmt_s(rdp_fast_s),
+        format!("{:.2}x", speedup(rdp_naive_s, rdp_fast_s)),
+    ])?;
+    table.row(vec![
+        "impute tail".to_string(),
+        "project + naive RDP".to_string(),
+        "project + in-place RDP".to_string(),
+        (tail_inputs.len() * TAIL_INNER).to_string(),
+        fmt_s(tail_naive_s),
+        fmt_s(tail_fast_s),
+        format!("{tail_speedup:.2}x"),
+    ])?;
+    table.row(vec![
+        "end-to-end impute".to_string(),
+        "impute_naive()".to_string(),
+        "impute()".to_string(),
+        cases.len().to_string(),
+        fmt_s(e2e_naive_s),
+        fmt_s(e2e_fast_s),
+        format!("{e2e_speedup:.2}x"),
+    ])?;
+    let mut stage_section = ReportSection::titled("Stage-by-stage wall clock", table);
+    stage_section.notes.push(format!(
+        "Before timing, all {} gap cases ({imputable} imputable) were answered by both paths \
+         and checked byte-identical: cells, cost bits, A* expansion counts, and every output \
+         point. The speedup is a pure execution-plan change — the frontier order (estimate, \
+         descending path cost, external node id) is a strict total order, so both backends \
+         settle nodes in exactly the same sequence.",
+        cases.len(),
+    ));
+    stage_section.notes.push(
+        "That pin is also why route search sits near parity: the naive reference already \
+         runs dense-array A* over a std binary heap, so with identical expansions the \
+         CSR/arena/baked-edge kernel can only save per-visit constants (hash lookup, cell \
+         decode, ln, allocation), not search work. The structural win is in the tail, \
+         where the in-place RDP kernel replaces recursion that clones a sub-path per level."
+            .to_string(),
+    );
+    stage_section.notes.push(format!(
+        "Each timing is the best of {REPEAT} sweep rounds over the full case set, with \
+         naive and hot sweeps interleaved within each round (min-of-N per side): minima \
+         defeat scheduler/frequency jitter, interleaving defeats drift between the two \
+         timed blocks. Workload: graph of {} nodes / {} edges; the route stage settled {} nodes per \
+         search on average (identical on both backends by construction).",
+        model.csr().node_count(),
+        model.csr().edge_count(),
+        fast_expanded / (pairs.len() * REPEAT).max(1),
+    ));
+
+    Ok(ExperimentReport {
+        id: id.into(),
+        title: "Route engine — CSR + arena A* + in-place RDP vs naive path [KIEL]".into(),
+        paper_ref: "§3.3 routing + §3.4 simplification, engineered (beyond the paper)".into(),
+        paper_expected: "The paper's imputation tail — A* over the habit graph, then \
+                         projection and RDP simplification — is specified in textbook form. \
+                         Reworking it (frozen CSR with baked per-edge costs, pooled search \
+                         arena, iterative in-place RDP) must not change a single output byte; \
+                         under that pin the search stage can only win constants, so the \
+                         contract is a ≥2x speedup on the impute tail with no end-to-end \
+                         regression."
+            .into(),
+        reproduction: format!(
+            "The reworked impute tail ran {tail_speedup:.2}x faster than the retained naive \
+             tail (RDP kernel alone {:.2}x, route search {:.2}x, full impute {e2e_speedup:.2}x \
+             per sweep), with every answer byte-identical across {imputable} imputable gap \
+             cases.",
+            speedup(rdp_naive_s, rdp_fast_s),
+            speedup(search_naive_s, search_fast_s),
+        ),
+        params: vec![
+            param("r", 9),
+            param("t_m", tol_m),
+            param("repeat", REPEAT),
+            param("rdp_repeat", RDP_REPEAT),
+            param("rdp_spacing_m", RDP_SPACING_M),
+            param("gap_s", 3600),
+            param("seed", seed),
+        ],
+        sections: vec![stage_section],
+        provenance: provenance(seed, t0),
+    })
+}
+
 /// Runs every experiment in canonical order, sharing one prepared bench
 /// per dataset; logs progress to stderr.
 pub fn all_reports(seed: u64) -> Result<Vec<ExperimentReport>> {
@@ -1352,6 +1781,8 @@ pub fn all_reports(seed: u64) -> Result<Vec<ExperimentReport>> {
     log("throughput", &t0);
     out.push(incremental_report(&kiel, seed)?);
     log("incremental", &t0);
+    out.push(route_bench_report(&kiel, seed)?);
+    log("route_bench", &t0);
 
     debug_assert_eq!(out.len(), EXPERIMENT_ORDER.len());
     for (report, id) in out.iter().zip(EXPERIMENT_ORDER) {

@@ -19,8 +19,8 @@ fn habit(args: &[&str]) -> std::process::Output {
         .expect("spawn habit binary")
 }
 
-fn tmpdir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("habit-serve-e2e-{}", std::process::id()));
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("habit-serve-e2e-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create tmp dir");
     dir
 }
@@ -136,7 +136,7 @@ fn wait_with_timeout(child: &mut Child, limit: Duration) -> std::process::ExitSt
 
 #[test]
 fn daemon_round_trip_matches_the_cli_byte_for_byte() {
-    let dir = tmpdir();
+    let dir = tmpdir("roundtrip");
     let (csv, model) = build_model(&dir);
 
     // A gap along the corridor, from the dataset's own coordinates.
@@ -261,6 +261,129 @@ fn daemon_round_trip_matches_the_cli_byte_for_byte() {
     ));
     let status = wait_with_timeout(&mut child, Duration::from_secs(30));
     assert!(status.success(), "clean exit after Shutdown: {status:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ISSUE 7 satellite: N clients hammer one daemon **concurrently** with
+/// overlapping routes (same corridor, per-client gap durations), and
+/// every answer — rendered through the CLI's own CSV writer — must be
+/// byte-identical to a sequential `habit impute` run on the same model.
+/// This pins the pooled per-thread search arenas and RDP scratch
+/// buffers under real contention: a cross-request state leak (a stale
+/// generation counter, a dirty scratch buffer) would show up as a
+/// one-bit diff in some client's CSV.
+#[test]
+fn concurrent_clients_match_sequential_cli_byte_for_byte() {
+    const CLIENTS: usize = 4;
+    const GAPS_PER_CLIENT: usize = 3;
+
+    let dir = tmpdir("concurrent");
+    let (csv, model) = build_model(&dir);
+
+    // Gaps along the dataset's own corridor: identical geometry (so the
+    // clients' routes overlap and contend for the same pooled state)
+    // with a distinct duration per (client, round), which changes the
+    // allocated timestamps and therefore every CSV body.
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let first: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+    let (lon, lat): (f64, f64) = (first[2].parse().unwrap(), first[3].parse().unwrap());
+    let lon2 = lon + 0.15;
+    let gap_for = |client: usize, round: usize| {
+        let t2 = 3600 + (client * GAPS_PER_CLIENT + round) as i64 * 600;
+        habit_core::GapQuery::new(lon, lat, 0, lon2, lat, t2)
+    };
+
+    let (mut child, addr) = spawn_daemon(&model);
+
+    // -- Concurrent phase: each client opens its own connection and
+    //    imputes its gaps; a barrier lines all clients up so the
+    //    requests genuinely overlap instead of accidentally serializing.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(CLIENTS));
+    let answers: Vec<Vec<habit_core::Imputation>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let addr = addr.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(&addr).expect("connect client");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    barrier.wait();
+                    (0..GAPS_PER_CLIENT)
+                        .map(|round| {
+                            let gap = gap_for(client, round);
+                            let reply = round_trip(&stream, &mut reader, &Request::Impute { gap });
+                            match wire::decode_response(&reply).unwrap() {
+                                Ok(Response::Imputation(imp)) => imp,
+                                other => panic!("client {client} round {round}: {other:?}"),
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    // -- Shutdown before the sequential phase so the daemon cannot
+    //    interfere with the CLI runs' timing.
+    let stream = TcpStream::connect(&addr).expect("connect for shutdown");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let reply = round_trip(&stream, &mut reader, &Request::Shutdown);
+    assert!(matches!(
+        wire::decode_response(&reply).unwrap(),
+        Ok(Response::ShuttingDown)
+    ));
+    let status = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "clean exit after Shutdown: {status:?}");
+
+    // -- Sequential reference: one `habit impute` process per gap, then
+    //    a byte-for-byte diff against the concurrent answers rendered
+    //    through the identical CSV writer.
+    for (client, client_answers) in answers.iter().enumerate() {
+        for (round, answer) in client_answers.iter().enumerate() {
+            let gap = gap_for(client, round);
+            let cli_out = dir.join(format!("cli-{client}-{round}.csv"));
+            let out = habit(&[
+                "impute",
+                "--model",
+                model.to_str().unwrap(),
+                "--from",
+                &format!(
+                    "{},{},{}",
+                    gap.start.pos.lon, gap.start.pos.lat, gap.start.t
+                ),
+                "--to",
+                &format!("{},{},{}", gap.end.pos.lon, gap.end.pos.lat, gap.end.t),
+                "--out",
+                cli_out.to_str().unwrap(),
+            ]);
+            assert!(
+                out.status.success(),
+                "{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let tcp_out = dir.join(format!("tcp-{client}-{round}.csv"));
+            habit_cli::io::write_track_csv(&answer.points, &tcp_out).unwrap();
+            let cli_bytes = std::fs::read(&cli_out).unwrap();
+            let tcp_bytes = std::fs::read(&tcp_out).unwrap();
+            assert!(!cli_bytes.is_empty());
+            assert_eq!(
+                cli_bytes, tcp_bytes,
+                "client {client} round {round}: concurrent daemon output must be \
+                 byte-identical to the sequential CLI"
+            );
+        }
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }

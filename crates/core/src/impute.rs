@@ -1,11 +1,38 @@
 //! Phases 3–4: gap imputation and simplification (paper §3.3–3.4).
+//!
+//! Two routing paths live here, pinned byte-identical by test:
+//!
+//! * the **hot path** — [`HabitModel::route_between`] /
+//!   [`HabitModel::impute`] run A* over the model's frozen
+//!   [`mobgraph::CsrGraph`] with a thread-local [`SearchArena`], and the
+//!   simplification tail runs the in-place RDP kernel with a
+//!   thread-local [`RdpScratch`]. Steady-state routing on a warm thread
+//!   (e.g. `habit-engine`'s long-lived pool workers) allocates only the
+//!   result;
+//! * the **naive reference** — [`HabitModel::route_between_naive`] /
+//!   [`HabitModel::impute_naive`], the paper's form: fresh per-query A*
+//!   state over the hash-indexed `DiGraph` and the recursive sub-path
+//!   cloning RDP. Retained for the equivalence tests and as the
+//!   `route_bench` speedup baseline.
 
 use crate::config::{CellProjection, WeightScheme};
 use crate::error::HabitError;
 use crate::model::HabitModel;
-use geo_kernel::{haversine_m, rdp_timed, GeoPoint, TimedPoint};
+use geo_kernel::{
+    haversine_m, rdp_indices_reference, rdp_timed_in_place, GeoPoint, RdpScratch, TimedPoint,
+};
 use hexgrid::{ops, HexCell};
-use mobgraph::astar;
+use mobgraph::{astar, astar_csr_baked, SearchArena};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread search arena: `habit-engine`'s pool workers are
+    /// long-lived, so each worker's arena (and RDP scratch below) warms
+    /// once and is reused for every subsequent route on that thread.
+    static SEARCH_ARENA: RefCell<SearchArena> = RefCell::new(SearchArena::new());
+    /// Per-thread RDP scratch for the in-place simplification tail.
+    static RDP_SCRATCH: RefCell<RdpScratch> = RefCell::new(RdpScratch::new());
+}
 
 /// A gap to impute: the last report before the silence and the first
 /// report after it.
@@ -89,9 +116,30 @@ impl HabitModel {
         Ok(self.imputation_from_route(gap, &route, start_cell, end_cell))
     }
 
+    /// [`Self::impute`] on the retained naive machinery end to end:
+    /// per-query A* over the `DiGraph` and the recursive sub-path
+    /// cloning RDP. Byte-identical output to the hot path by
+    /// construction (pinned frontier order; identical RDP kept sets) —
+    /// the equivalence tests assert it, `route_bench` times it.
+    pub fn impute_naive(&self, gap: &GapQuery) -> Result<Imputation, HabitError> {
+        if self.graph.node_count() == 0 {
+            return Err(HabitError::EmptyModel);
+        }
+        let (start_cell, _) = self.snap(&gap.start.pos)?;
+        let (end_cell, _) = self.snap(&gap.end.pos)?;
+        let route = self.route_between_naive(start_cell, end_cell)?;
+        Ok(self.imputation_from_route_impl(gap, &route, start_cell, end_cell, true))
+    }
+
     /// Phase 3's search step in isolation: the A* route between two
     /// snapped cells. Deterministic in `(start_cell, end_cell)`, so the
     /// result can be reused across queries that snap to the same pair.
+    ///
+    /// This is the hot path: A* over the frozen CSR graph with a
+    /// thread-local [`SearchArena`]. Byte-identical to
+    /// [`Self::route_between_naive`] — both backends share the pinned
+    /// frontier order, and the weight/heuristic functions depend only on
+    /// edge payloads and external node ids.
     pub fn route_between(
         &self,
         start_cell: HexCell,
@@ -106,16 +154,124 @@ impl HabitModel {
             });
         }
 
-        // A* minimizing the configured weight; the heuristic is the hex
-        // grid distance to the goal scaled by the smallest possible edge
-        // cost per grid step, which keeps it admissible even when edges
-        // skip cells (grid_distance > 1).
         let goal_cell = end_cell;
+        // Baked heuristic: same integer hex-distance arithmetic as
+        // `route_heuristic`, but reading the pre-decoded axial coords
+        // from the baked edge records instead of unpacking the cell id
+        // per push. Every model node shares `config.resolution`, so the
+        // resolution-mismatch arm of `grid_distance` never fires and
+        // the produced f64s are identical.
         let min_step_cost = self.min_cost_per_grid_step();
-        let grid = self.grid;
+        let (gq, gr) = goal_cell.axial();
+        let hex_estimate = move |(q, r): (i32, i32)| {
+            let (dq, dr) = (q as i64 - gq, r as i64 - gr);
+            let ds = dq + dr;
+            (((dq.abs() + dr.abs() + ds.abs()) / 2) as u32) as f64 * min_step_cost
+        };
+        let (sq, sr) = start_cell.axial();
+        let start_est = hex_estimate((sq as i32, sr as i32));
+        let result = SEARCH_ARENA
+            .with(|arena| {
+                astar_csr_baked(
+                    &self.csr,
+                    &mut arena.borrow_mut(),
+                    start_cell.raw(),
+                    goal_cell.raw(),
+                    &self.route_kernel,
+                    start_est,
+                    hex_estimate,
+                )
+            })
+            .ok_or(HabitError::NoPath {
+                from: start_cell.raw(),
+                to: goal_cell.raw(),
+            })?;
+
+        Ok(route_from_path(result))
+    }
+
+    /// The paper's naive routing form, retained as the reference
+    /// implementation: per-query A* state over the hash-indexed
+    /// [`DiGraph`](mobgraph::DiGraph). The equivalence tests pin
+    /// [`Self::route_between`] byte-identical to this, and `route_bench`
+    /// reports the hot path's speedup over it.
+    pub fn route_between_naive(
+        &self,
+        start_cell: HexCell,
+        end_cell: HexCell,
+    ) -> Result<Route, HabitError> {
+        if start_cell == end_cell {
+            return Ok(Route {
+                cells: vec![start_cell],
+                cost: 0.0,
+                expanded: 0,
+            });
+        }
+
+        let goal_cell = end_cell;
+        let weight = self.route_weight();
+        let heuristic = self.route_heuristic(goal_cell);
+        let graph = &self.graph;
+        let result = astar(
+            graph,
+            start_cell.raw(),
+            goal_cell.raw(),
+            |f, t, e| weight(f, t, e),
+            |idx| heuristic(graph.node_id(idx)),
+        )
+        .ok_or(HabitError::NoPath {
+            from: start_cell.raw(),
+            to: goal_cell.raw(),
+        })?;
+
+        Ok(route_from_path(result))
+    }
+
+    /// Bakes the serving kernel's edge table once per model freeze: for
+    /// every CSR edge slot, the exact `f64` cost [`Self::route_weight`]
+    /// returns plus the target's id and axial coords for the heuristic.
+    /// Edge weights never change after fit, so recomputing the divide +
+    /// `ln` and the cell decode per edge visit (as the naive path does)
+    /// is pure waste — and because the baked values come from the same
+    /// formula on the same inputs, routing stays byte-identical.
+    pub(crate) fn bake_route_kernel(&mut self) {
+        let kernel = {
+            let weight = self.route_weight();
+            let csr = &self.csr;
+            let axial32 = |id: u64| -> (i32, i32) {
+                let (q, r) = HexCell::from_raw(id)
+                    .expect("node ids are valid cells")
+                    .axial();
+                // Axial hex coords at any real resolution are far below
+                // i32 range; the narrowing halves the record size.
+                (
+                    i32::try_from(q).expect("axial q fits i32"),
+                    i32::try_from(r).expect("axial r fits i32"),
+                )
+            };
+            let mut kernel = Vec::with_capacity(csr.edge_count());
+            for idx in 0..csr.node_count() as u32 {
+                for (to, e) in csr.edges_from_index(idx) {
+                    let id = csr.node_id(to);
+                    kernel.push(mobgraph::BakedEdge {
+                        cost: weight(idx, to, e),
+                        id,
+                        to_idx: to,
+                        hkey: axial32(id),
+                    });
+                }
+            }
+            kernel
+        };
+        self.route_kernel = kernel;
+    }
+
+    /// The A* edge weight under the configured scheme. Depends only on
+    /// the edge payload, so the same closure serves both graph backends.
+    fn route_weight(&self) -> impl Fn(u32, u32, &crate::graphgen::EdgeStats) -> f64 {
         let scheme = self.config.weight_scheme;
         let max_transitions = self.max_transitions as f64;
-        let weight = |_from: u32, _to: u32, e: &crate::graphgen::EdgeStats| -> f64 {
+        move |_from: u32, _to: u32, e: &crate::graphgen::EdgeStats| -> f64 {
             match scheme {
                 WeightScheme::Hops => 1.0,
                 WeightScheme::InverseTransitions => 1.0 / e.transitions as f64,
@@ -123,33 +279,25 @@ impl HabitModel {
                     (1.0 + max_transitions / e.transitions as f64).ln()
                 }
             }
-        };
-        let graph = &self.graph;
-        let heuristic = |idx: u32| -> f64 {
-            let cell = HexCell::from_raw(graph.node_id(idx)).expect("valid node id");
+        }
+    }
+
+    /// The admissible A* heuristic toward `goal_cell`: hex grid distance
+    /// scaled by the smallest possible edge cost per grid step, which
+    /// stays a lower bound even when edges skip cells
+    /// (`grid_distance > 1`). Keyed by **external** node id so both
+    /// backends compute identical estimates regardless of their dense
+    /// index assignment.
+    fn route_heuristic(&self, goal_cell: HexCell) -> impl Fn(u64) -> f64 {
+        let min_step_cost = self.min_cost_per_grid_step();
+        let grid = self.grid;
+        move |id: u64| -> f64 {
+            let cell = HexCell::from_raw(id).expect("valid node id");
             match grid.grid_distance(cell, goal_cell) {
                 Ok(d) => d as f64 * min_step_cost,
                 Err(_) => 0.0,
             }
-        };
-
-        let result = astar(graph, start_cell.raw(), goal_cell.raw(), weight, heuristic).ok_or(
-            HabitError::NoPath {
-                from: start_cell.raw(),
-                to: goal_cell.raw(),
-            },
-        )?;
-
-        let cells: Vec<HexCell> = result
-            .nodes
-            .iter()
-            .map(|&id| HexCell::from_raw(id).expect("valid node id"))
-            .collect();
-        Ok(Route {
-            cells,
-            cost: result.cost,
-            expanded: result.expanded,
-        })
+        }
     }
 
     /// Phases 3 (inverse projection) and 4 (timestamps + RDP) applied to
@@ -161,6 +309,34 @@ impl HabitModel {
         route: &Route,
         start_cell: HexCell,
         end_cell: HexCell,
+    ) -> Imputation {
+        self.imputation_from_route_impl(gap, route, start_cell, end_cell, false)
+    }
+
+    /// [`Self::imputation_from_route`] on the retained naive tail: the
+    /// recursive sub-path-cloning RDP instead of the in-place kernel.
+    /// Byte-identical output; `route_bench` times the two against each
+    /// other.
+    pub fn imputation_from_route_naive(
+        &self,
+        gap: &GapQuery,
+        route: &Route,
+        start_cell: HexCell,
+        end_cell: HexCell,
+    ) -> Imputation {
+        self.imputation_from_route_impl(gap, route, start_cell, end_cell, true)
+    }
+
+    /// Shared tail; `naive` selects the retained reference RDP (clone
+    /// positions out of the timed points, recursive kept-index search)
+    /// instead of the in-place kernel with the thread-local scratch.
+    fn imputation_from_route_impl(
+        &self,
+        gap: &GapQuery,
+        route: &Route,
+        start_cell: HexCell,
+        end_cell: HexCell,
+        naive: bool,
     ) -> Imputation {
         if route.is_trivial() {
             return Imputation {
@@ -183,15 +359,29 @@ impl HabitModel {
         positions.push(gap.end.pos);
 
         // Timestamp allocation proportional to cumulative distance.
-        let timed = allocate_timestamps(&positions, gap.start.t, gap.end.t);
-        let raw_point_count = timed.len();
+        let mut points = allocate_timestamps(&positions, gap.start.t, gap.end.t);
+        let raw_point_count = points.len();
 
         // Phase 4: simplification.
-        let points = if self.config.rdp_tolerance_m > 0.0 {
-            rdp_timed(&timed, self.config.rdp_tolerance_m)
-        } else {
-            timed
-        };
+        if self.config.rdp_tolerance_m > 0.0 {
+            if naive {
+                // The old wrapper's shape: clone the positions back out,
+                // run the recursive reference, gather kept vertices.
+                let pos_only: Vec<GeoPoint> = points.iter().map(|p| p.pos).collect();
+                points = rdp_indices_reference(&pos_only, self.config.rdp_tolerance_m)
+                    .into_iter()
+                    .map(|i| points[i])
+                    .collect();
+            } else {
+                RDP_SCRATCH.with(|scratch| {
+                    rdp_timed_in_place(
+                        &mut points,
+                        self.config.rdp_tolerance_m,
+                        &mut scratch.borrow_mut(),
+                    );
+                });
+            }
+        }
 
         Imputation {
             points,
@@ -255,6 +445,20 @@ impl HabitModel {
         let (idx, d) = self.nn.nearest(p).ok_or(HabitError::EmptyModel)?;
         let id = self.graph.node_id(idx);
         Ok((HexCell::from_raw(id).expect("valid node id"), d))
+    }
+}
+
+/// Converts a search [`mobgraph::PathResult`] into a [`Route`].
+fn route_from_path(result: mobgraph::PathResult) -> Route {
+    let cells: Vec<HexCell> = result
+        .nodes
+        .iter()
+        .map(|&id| HexCell::from_raw(id).expect("valid node id"))
+        .collect();
+    Route {
+        cells,
+        cost: result.cost,
+        expanded: result.expanded,
     }
 }
 
@@ -466,5 +670,86 @@ mod tests {
     fn gap_duration() {
         let gap = GapQuery::new(0.0, 0.0, 100, 1.0, 1.0, 3700);
         assert_eq!(gap.duration_s(), 3600);
+    }
+
+    /// The load-bearing ISSUE 7 equivalence: the CSR/arena/in-place-RDP
+    /// hot path returns **byte-identical** imputations to the retained
+    /// naive reference — every weight scheme, every gap, cost compared
+    /// by f64 bits.
+    #[test]
+    fn hot_path_imputes_byte_identical_to_naive() {
+        let gaps = [
+            GapQuery::new(10.05, 56.0, 0, 10.6, 56.35, 10_000),
+            GapQuery::new(10.3, 56.0, 0, 10.6, 56.2, 7_200),
+            GapQuery::new(10.6, 56.2, 0, 10.3, 56.0, 7_200), // reversed
+            GapQuery::new(10.3, 56.0, 0, 10.3005, 56.0, 600), // trivial
+            GapQuery::new(10.2, 55.985, 0, 10.45, 56.0, 7_200), // off-grid snap
+        ];
+        for ws in [
+            WeightScheme::Hops,
+            WeightScheme::InverseTransitions,
+            WeightScheme::NegLogFrequency,
+        ] {
+            for tol in [0.0, 500.0] {
+                let model = l_model(HabitConfig {
+                    weight_scheme: ws,
+                    rdp_tolerance_m: tol,
+                    ..HabitConfig::default()
+                });
+                for gap in &gaps {
+                    let fast = model.impute(gap);
+                    let naive = model.impute_naive(gap);
+                    match (fast, naive) {
+                        (Ok(fast), Ok(naive)) => {
+                            assert_eq!(fast.cells, naive.cells, "{ws:?} tol {tol}");
+                            assert_eq!(fast.cost.to_bits(), naive.cost.to_bits());
+                            assert_eq!(fast.expanded, naive.expanded);
+                            assert_eq!(fast.raw_point_count, naive.raw_point_count);
+                            assert_eq!(fast.points.len(), naive.points.len());
+                            for (a, b) in fast.points.iter().zip(&naive.points) {
+                                assert_eq!(a.pos.lon.to_bits(), b.pos.lon.to_bits());
+                                assert_eq!(a.pos.lat.to_bits(), b.pos.lat.to_bits());
+                                assert_eq!(a.t, b.t);
+                            }
+                        }
+                        (Err(_), Err(_)) => {}
+                        (fast, naive) => {
+                            panic!("outcome drift: fast {fast:?} vs naive {naive:?}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `route_between` (CSR + arena) equals `route_between_naive`
+    /// (DiGraph, per-query state) exactly, including the `expanded`
+    /// effort counter — the settle sequences are pinned identical.
+    #[test]
+    fn route_between_matches_naive_backend() {
+        let model = l_model(HabitConfig::default());
+        let cells: Vec<HexCell> = model
+            .graph()
+            .nodes()
+            .map(|(id, _)| HexCell::from_raw(id).unwrap())
+            .collect();
+        // Every 7th pair keeps the test fast while crossing the lane.
+        for (i, &a) in cells.iter().step_by(7).enumerate() {
+            for &b in cells.iter().skip(i % 3).step_by(11) {
+                let fast = model.route_between(a, b);
+                let naive = model.route_between_naive(a, b);
+                match (fast, naive) {
+                    (Ok(fast), Ok(naive)) => {
+                        assert_eq!(fast.cells, naive.cells);
+                        assert_eq!(fast.cost.to_bits(), naive.cost.to_bits());
+                        assert_eq!(fast.expanded, naive.expanded);
+                    }
+                    (Err(_), Err(_)) => {}
+                    (fast, naive) => {
+                        panic!("outcome drift: fast {fast:?} vs naive {naive:?}")
+                    }
+                }
+            }
+        }
     }
 }

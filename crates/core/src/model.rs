@@ -7,7 +7,7 @@ use crate::graphgen::{CellStats, EdgeStats};
 use aggdb::Table;
 use geo_kernel::GeoPoint;
 use hexgrid::{HexCell, HexGrid};
-use mobgraph::{Codec, DiGraph, NearestIndex};
+use mobgraph::{Codec, CsrGraph, DiGraph, NearestIndex};
 
 /// Magic bytes prefixing a serialized model ("HBM1").
 const MODEL_MAGIC: u32 = 0x4D42_4831;
@@ -31,6 +31,17 @@ const MODEL_VERSION_V2: u8 = 2;
 pub struct HabitModel {
     pub(crate) config: HabitConfig,
     pub(crate) graph: DiGraph<CellStats, EdgeStats>,
+    /// Frozen CSR form of `graph`, built once at construction — the
+    /// serving hot path routes over this with a per-thread
+    /// [`mobgraph::SearchArena`]; `graph` stays the mutable/reference
+    /// form (refit, codec, naive search).
+    pub(crate) csr: CsrGraph<CellStats, EdgeStats>,
+    /// Baked routing kernel, one record per CSR edge slot: the exact
+    /// `f64` cost the weight closure would return plus the target's id
+    /// and axial `(q, r)` heuristic key, computed once at freeze time
+    /// so the serving inner loop reads one contiguous record instead of
+    /// doing a divide + `ln` and a cell decode per edge visit.
+    pub(crate) route_kernel: Vec<mobgraph::BakedEdge<(i32, i32)>>,
     pub(crate) grid: HexGrid,
     pub(crate) nn: NearestIndex,
     /// Maximum edge transition count (heuristic scaling).
@@ -98,15 +109,20 @@ impl HabitModel {
             }
         }
 
-        Self {
+        let csr = CsrGraph::from_digraph(&graph);
+        let mut model = Self {
             config,
             graph,
+            csr,
+            route_kernel: Vec::new(),
             grid,
             nn,
             max_transitions,
             max_grid_distance,
             state: None,
-        }
+        };
+        model.bake_route_kernel();
+        model
     }
 
     /// The configuration the model was fitted with.
@@ -132,6 +148,12 @@ impl HabitModel {
     /// Direct access to the transition graph (read-only).
     pub fn graph(&self) -> &DiGraph<CellStats, EdgeStats> {
         &self.graph
+    }
+
+    /// Direct access to the frozen CSR form of the transition graph —
+    /// what the routing hot path searches over.
+    pub fn csr(&self) -> &CsrGraph<CellStats, EdgeStats> {
+        &self.csr
     }
 
     /// The embedded fit state, when the model is refittable.

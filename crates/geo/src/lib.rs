@@ -12,7 +12,10 @@
 //! * polyline utilities — [`resample_max_spacing`], [`path_length_m`],
 //!   [`interpolate_at_fraction`];
 //! * [`rdp()`] — Ramer–Douglas–Peucker simplification with a tolerance in
-//!   meters (the paper's trajectory-simplification phase, §3.4);
+//!   meters (the paper's trajectory-simplification phase, §3.4), backed by
+//!   an iterative in-place kernel with reusable [`RdpScratch`] state
+//!   ([`rdp_in_place`] / [`rdp_timed_in_place`]) and pinned equal to the
+//!   retained recursive reference [`rdp_indices_reference`];
 //! * [`Polygon`] / [`MultiPolygon`] — land masks used by the synthetic world
 //!   for navigability checks.
 //!
@@ -43,7 +46,10 @@ pub use polyline::{
     resample_timed_max_spacing,
 };
 pub use projection::{mercator, mercator_inverse, LocalProjection, EARTH_RADIUS_M};
-pub use rdp::{rdp, rdp_indices, rdp_timed};
+pub use rdp::{
+    rdp, rdp_in_place, rdp_indices, rdp_indices_reference, rdp_timed, rdp_timed_in_place,
+    RdpScratch,
+};
 
 /// Conversion factor: knots → meters per second.
 pub const KNOTS_TO_MPS: f64 = 0.514_444_444_444_444_4;

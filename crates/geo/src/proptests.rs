@@ -2,9 +2,12 @@
 //! invariants, bearing/destination round trips, and distance sanity.
 
 use crate::distance::{destination_point, haversine_m};
-use crate::point::GeoPoint;
+use crate::point::{GeoPoint, TimedPoint};
 use crate::polyline::{point_segment_distance_m, resample_max_spacing};
-use crate::rdp::rdp;
+use crate::rdp::{
+    rdp, rdp_in_place, rdp_indices, rdp_indices_reference, rdp_timed, rdp_timed_in_place,
+    RdpScratch,
+};
 use proptest::prelude::*;
 
 /// A random wandering path around a mid-latitude region.
@@ -73,6 +76,66 @@ proptest! {
         let once = rdp(&path, tol_m);
         let twice = rdp(&once, tol_m);
         prop_assert_eq!(once, twice);
+    }
+
+    /// ISSUE 7 satellite: the iterative in-place kernel keeps exactly the
+    /// same index set as the recursive sub-path-cloning reference, on
+    /// wander paths, degenerate lengths (`len < 3` via the 2.. strategy
+    /// lower bound and explicit prefixes), zero tolerance, and with the
+    /// scratch reused across calls.
+    #[test]
+    fn in_place_rdp_equals_recursive_reference(
+        path in wander_path(),
+        tol_m in 0f64..5_000.0,
+    ) {
+        let mut scratch = RdpScratch::new();
+        for slice in [&path[..], &path[..1.min(path.len())], &path[..2.min(path.len())]] {
+            let fast = rdp_indices(slice, tol_m);
+            let reference = rdp_indices_reference(slice, tol_m);
+            prop_assert_eq!(&fast, &reference);
+
+            // The in-place forms compact to exactly those indices, with
+            // a reused scratch (generation reset exercised every loop).
+            let mut geo = slice.to_vec();
+            rdp_in_place(&mut geo, tol_m, &mut scratch);
+            let expect: Vec<GeoPoint> = reference.iter().map(|&i| slice[i]).collect();
+            prop_assert_eq!(&geo, &expect);
+
+            let timed: Vec<TimedPoint> = slice
+                .iter()
+                .enumerate()
+                .map(|(i, g)| TimedPoint::new(g.lon, g.lat, i as i64 * 30))
+                .collect();
+            let mut timed_in_place = timed.clone();
+            rdp_timed_in_place(&mut timed_in_place, tol_m, &mut scratch);
+            prop_assert_eq!(&timed_in_place, &rdp_timed(&timed, tol_m));
+            let kept_t: Vec<i64> = timed_in_place.iter().map(|p| p.t).collect();
+            let expect_t: Vec<i64> = fast.iter().map(|&i| i as i64 * 30).collect();
+            prop_assert_eq!(kept_t, expect_t, "timestamps follow the kept-index set");
+        }
+
+        // Zero tolerance is the identity on both implementations.
+        prop_assert_eq!(rdp_indices(&path, 0.0).len(), path.len());
+        prop_assert_eq!(rdp_indices_reference(&path, 0.0).len(), path.len());
+    }
+
+    /// All-collinear wander: points resampled onto one segment collapse
+    /// to the endpoints at any positive tolerance, identically on both
+    /// implementations.
+    #[test]
+    fn collinear_paths_collapse_identically(
+        lon in -30f64..30.0,
+        lat in 40f64..58.0,
+        n in 3usize..40,
+        tol_m in 10f64..5_000.0,
+    ) {
+        // Equal-longitude points: strictly collinear in lon/lat space.
+        let line: Vec<GeoPoint> = (0..n)
+            .map(|i| GeoPoint::new(lon, lat + 0.0005 * i as f64))
+            .collect();
+        let fast = rdp_indices(&line, tol_m);
+        prop_assert_eq!(&fast, &rdp_indices_reference(&line, tol_m));
+        prop_assert_eq!(fast, vec![0, n - 1]);
     }
 
     /// Resampling respects the spacing bound, keeps the endpoints, and

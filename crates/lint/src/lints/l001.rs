@@ -34,7 +34,7 @@ use crate::scan::SourceFile;
 
 /// The pinned sink modules: every path producing serialized bytes,
 /// wire/JSON/CSV output, or committed report rows.
-pub const SINK_SUFFIXES: [&str; 17] = [
+pub const SINK_SUFFIXES: [&str; 18] = [
     "crates/aggdb/src/partial.rs",
     "crates/aggdb/src/hll.rs",
     "crates/aggdb/src/csv.rs",
@@ -42,6 +42,7 @@ pub const SINK_SUFFIXES: [&str; 17] = [
     "crates/core/src/model.rs",
     "crates/core/src/graphgen.rs",
     "crates/mobgraph/src/graph.rs",
+    "crates/mobgraph/src/csr.rs",
     "crates/mobgraph/src/codec.rs",
     "crates/service/src/wire.rs",
     "crates/service/src/csvio.rs",

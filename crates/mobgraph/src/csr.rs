@@ -1,0 +1,388 @@
+//! Frozen CSR (compressed sparse row) adjacency.
+//!
+//! [`DiGraph`] is the *mutable* form: hash-indexed ids, per-node edge
+//! `Vec`s, insertion-order dense indices. [`CsrGraph`] is its frozen
+//! serving form — three contiguous arrays (`offsets`/`targets`/`weights`)
+//! built once in **canonical order** (node ids ascending, each node's
+//! adjacency sorted by target id), so the arrays are a pure function of
+//! the node/edge *set*: any edge-insertion order produces byte-identical
+//! bytes, the same discipline `FitState::canonicalize` enforces on the
+//! fit side. Routing over it touches only flat slices — no hash buckets,
+//! no pointer chasing — which is what makes the arena A* kernel in
+//! [`crate::search`] allocation-free and cache-friendly.
+
+use crate::codec::Codec;
+use crate::graph::{DiGraph, NodeId};
+
+/// Magic bytes prefixing a serialized CSR graph ("HBC1").
+const MAGIC: u32 = 0x4843_4231;
+
+/// A frozen directed graph in CSR form.
+///
+/// Dense index = rank of the node id in ascending order; adjacency of
+/// node `i` lives in `targets[offsets[i]..offsets[i+1]]` (parallel to
+/// `weights`), sorted by target id. Built from a [`DiGraph`] with
+/// [`CsrGraph::from_digraph`]; immutable thereafter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph<N, E> {
+    /// Node ids, ascending. `ids[i]` is the external id of dense index `i`.
+    ids: Vec<NodeId>,
+    /// Node payloads, parallel to `ids`.
+    payloads: Vec<N>,
+    /// `offsets[i]..offsets[i + 1]` bounds node `i`'s adjacency;
+    /// `len == node_count + 1`, monotone, last entry = edge count.
+    offsets: Vec<u32>,
+    /// Edge target dense indices, grouped per source, sorted by target id
+    /// within each group.
+    targets: Vec<u32>,
+    /// Edge payloads, parallel to `targets`.
+    weights: Vec<E>,
+}
+
+impl<N: Clone, E: Clone> CsrGraph<N, E> {
+    /// Freezes a [`DiGraph`] into canonical CSR form.
+    ///
+    /// Deterministic regardless of the insertion order of nodes or edges:
+    /// nodes are ranked by ascending id and each adjacency run is sorted
+    /// by target id, so two graphs with equal node/edge sets freeze to
+    /// equal arrays (and equal [`CsrGraph::to_bytes`] output).
+    pub fn from_digraph(graph: &DiGraph<N, E>) -> Self {
+        let n = graph.node_count();
+        // Rank insertion-order indices by external id.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&idx| graph.node_id(idx));
+        // Old dense index → new rank.
+        let mut rank = vec![0u32; n];
+        for (r, &old) in order.iter().enumerate() {
+            rank[old as usize] = r as u32;
+        }
+
+        let mut ids = Vec::with_capacity(n);
+        let mut payloads = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(graph.edge_count());
+        let mut weights = Vec::with_capacity(graph.edge_count());
+        offsets.push(0);
+        let mut run: Vec<(u32, E)> = Vec::new();
+        for &old in &order {
+            ids.push(graph.node_id(old));
+            payloads.push(graph.node_by_index(old).clone());
+            run.clear();
+            run.extend(
+                graph
+                    .edges_from_index(old)
+                    .map(|e| (rank[e.to_idx as usize], e.payload.clone())),
+            );
+            // Rank order == id order, so sorting by rank is the canonical
+            // sort-by-target-id.
+            run.sort_by_key(|&(t, _)| t);
+            for (t, w) in run.drain(..) {
+                targets.push(t);
+                weights.push(w);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Self {
+            ids,
+            payloads,
+            offsets,
+            targets,
+            weights,
+        }
+    }
+}
+
+impl<N, E> CsrGraph<N, E> {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Dense index of a node id, if present (binary search — `ids` is
+    /// sorted ascending).
+    #[inline]
+    pub fn node_index(&self, id: NodeId) -> Option<u32> {
+        self.ids.binary_search(&id).ok().map(|i| i as u32)
+    }
+
+    /// External id of a dense index.
+    #[inline]
+    pub fn node_id(&self, idx: u32) -> NodeId {
+        self.ids[idx as usize]
+    }
+
+    /// Node payload by dense index.
+    #[inline]
+    pub fn node_by_index(&self, idx: u32) -> &N {
+        &self.payloads[idx as usize]
+    }
+
+    /// Node payload by external id.
+    pub fn node(&self, id: NodeId) -> Option<&N> {
+        self.node_index(id).map(|i| &self.payloads[i as usize])
+    }
+
+    /// Iterates `(target dense index, payload)` over a node's outgoing
+    /// edges, ascending by target id.
+    #[inline]
+    pub fn edges_from_index(&self, idx: u32) -> impl Iterator<Item = (u32, &E)> {
+        let lo = self.offsets[idx as usize] as usize;
+        let hi = self.offsets[idx as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter())
+    }
+
+    /// Edge payload for `from → to`, if present.
+    pub fn edge(&self, from: NodeId, to: NodeId) -> Option<&E> {
+        let f = self.node_index(from)?;
+        let t = self.node_index(to)?;
+        let lo = self.offsets[f as usize] as usize;
+        let hi = self.offsets[f as usize + 1] as usize;
+        let at = self.targets[lo..hi].binary_search(&t).ok()?;
+        Some(&self.weights[lo + at])
+    }
+
+    /// The node ids, ascending (dense index = position).
+    #[inline]
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// The raw offsets array (`node_count + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw edge-target array (dense indices, grouped per source).
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// The raw edge-payload array, parallel to [`CsrGraph::targets`].
+    #[inline]
+    pub fn weights(&self) -> &[E] {
+        &self.weights
+    }
+}
+
+impl<N: Codec, E: Codec> CsrGraph<N, E> {
+    /// Serializes the frozen arrays: header, ids, payloads, offsets,
+    /// targets, weights. Canonical construction makes this a pure
+    /// function of the node/edge set.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.node_count() * 16 + self.edge_count() * 12);
+        MAGIC.encode(&mut out);
+        (self.node_count() as u64).encode(&mut out);
+        (self.edge_count() as u64).encode(&mut out);
+        for id in &self.ids {
+            id.encode(&mut out);
+        }
+        for payload in &self.payloads {
+            payload.encode(&mut out);
+        }
+        for off in &self.offsets {
+            off.encode(&mut out);
+        }
+        for t in &self.targets {
+            t.encode(&mut out);
+        }
+        for w in &self.weights {
+            w.encode(&mut out);
+        }
+        out
+    }
+
+    /// Deserializes a graph produced by [`CsrGraph::to_bytes`],
+    /// validating every structural invariant (ids strictly ascending,
+    /// offsets monotone and spanning, targets in range and sorted per
+    /// run) so a decoded graph is safe to search without bounds checks
+    /// beyond the slice ones.
+    pub fn from_bytes(mut buf: &[u8]) -> Option<Self> {
+        let buf = &mut buf;
+        if u32::decode(buf)? != MAGIC {
+            return None;
+        }
+        let n = u64::decode(buf)? as usize;
+        let m = u64::decode(buf)? as usize;
+        // Reject counts the remaining bytes cannot possibly hold before
+        // they reach an allocator-aborting `with_capacity`.
+        if n > buf.len() / 8 || m > buf.len() / 4 {
+            return None;
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(NodeId::decode(buf)?);
+        }
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        let mut payloads = Vec::with_capacity(n);
+        for _ in 0..n {
+            payloads.push(N::decode(buf)?);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        for _ in 0..n + 1 {
+            offsets.push(u32::decode(buf)?);
+        }
+        if offsets.first() != Some(&0)
+            || offsets.last() != Some(&(m as u32))
+            || !offsets.windows(2).all(|w| w[0] <= w[1])
+        {
+            return None;
+        }
+        let mut targets = Vec::with_capacity(m);
+        for _ in 0..m {
+            let t = u32::decode(buf)?;
+            if t as usize >= n {
+                return None;
+            }
+            targets.push(t);
+        }
+        for w in offsets.windows(2) {
+            let run = &targets[w[0] as usize..w[1] as usize];
+            if !run.windows(2).all(|p| p[0] < p[1]) {
+                return None;
+            }
+        }
+        let mut weights = Vec::with_capacity(m);
+        for _ in 0..m {
+            weights.push(E::decode(buf)?);
+        }
+        Some(Self {
+            ids,
+            payloads,
+            offsets,
+            targets,
+            weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait SwapRanges {
+        fn swap_ranges(&mut self, a: usize, b: usize, len: usize);
+    }
+
+    impl SwapRanges for Vec<u8> {
+        /// Swaps two equal-length non-overlapping byte ranges.
+        fn swap_ranges(&mut self, a: usize, b: usize, len: usize) {
+            for k in 0..len {
+                self.swap(a + k, b + k);
+            }
+        }
+    }
+
+    /// A small weighted digraph built with nodes/edges in the given orders.
+    fn build(nodes: &[u64], edges: &[(u64, u64, f64)]) -> DiGraph<u64, f64> {
+        let mut g = DiGraph::new();
+        for &id in nodes {
+            g.add_node(id, id * 10);
+        }
+        for &(a, b, w) in edges {
+            assert!(g.add_edge(a, b, w));
+        }
+        g
+    }
+
+    #[test]
+    fn freeze_is_canonical() {
+        let g = build(&[5, 2, 9], &[(5, 2, 1.0), (2, 9, 2.0), (5, 9, 3.0)]);
+        let csr = CsrGraph::from_digraph(&g);
+        assert_eq!(csr.ids(), &[2, 5, 9]);
+        assert_eq!(csr.offsets(), &[0, 1, 3, 3]);
+        // Node 2 (rank 0) → 9 (rank 2); node 5 (rank 1) → 2 (rank 0) then
+        // 9 (rank 2), sorted by target id.
+        assert_eq!(csr.targets(), &[2, 0, 2]);
+        assert_eq!(csr.weights(), &[2.0, 1.0, 3.0]);
+        assert_eq!(csr.node(5), Some(&50));
+        assert_eq!(csr.edge(5, 9), Some(&3.0));
+        assert_eq!(csr.edge(9, 5), None, "directed");
+        assert_eq!(csr.node_index(7), None);
+    }
+
+    /// Golden test (ISSUE 7 satellite): shuffled node- and edge-insertion
+    /// orders freeze to byte-identical arrays.
+    #[test]
+    fn shuffled_insertion_orders_freeze_identically() {
+        let nodes = [5u64, 2, 9, 14, 1];
+        let edges = [
+            (5u64, 2u64, 1.0f64),
+            (2, 9, 2.0),
+            (5, 9, 3.0),
+            (9, 14, 0.5),
+            (14, 1, 4.0),
+            (1, 5, 2.5),
+            (2, 14, 9.0),
+        ];
+        // Fixed permutations (no RNG: the point is golden determinism).
+        let node_orders: [[usize; 5]; 3] = [[0, 1, 2, 3, 4], [4, 3, 2, 1, 0], [2, 0, 4, 1, 3]];
+        let edge_orders: [[usize; 7]; 3] = [
+            [0, 1, 2, 3, 4, 5, 6],
+            [6, 5, 4, 3, 2, 1, 0],
+            [3, 0, 6, 2, 5, 1, 4],
+        ];
+        let reference = CsrGraph::from_digraph(&build(&nodes, &edges));
+        let ref_bytes = reference.to_bytes();
+        for no in &node_orders {
+            for eo in &edge_orders {
+                let shuffled_nodes: Vec<u64> = no.iter().map(|&i| nodes[i]).collect();
+                let shuffled_edges: Vec<(u64, u64, f64)> = eo.iter().map(|&i| edges[i]).collect();
+                let csr = CsrGraph::from_digraph(&build(&shuffled_nodes, &shuffled_edges));
+                assert_eq!(csr.offsets(), reference.offsets());
+                assert_eq!(csr.targets(), reference.targets());
+                assert_eq!(csr.weights(), reference.weights());
+                assert_eq!(csr.to_bytes(), ref_bytes, "byte-identical freeze");
+            }
+        }
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let g = build(&[5, 2, 9], &[(5, 2, 1.0), (2, 9, 2.0), (5, 9, 3.0)]);
+        let csr = CsrGraph::from_digraph(&g);
+        let bytes = csr.to_bytes();
+        let back: CsrGraph<u64, f64> = CsrGraph::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, csr);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupted_input_rejected() {
+        let g = build(&[1, 2], &[(1, 2, 1.0)]);
+        let csr = CsrGraph::from_digraph(&g);
+        let good = csr.to_bytes();
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF; // magic
+        assert!(CsrGraph::<u64, f64>::from_bytes(&bad).is_none());
+        assert!(CsrGraph::<u64, f64>::from_bytes(&good[..good.len() - 1]).is_none());
+        // Descending ids: flip the two id fields.
+        let mut swapped = good.clone();
+        swapped.swap_ranges(20, 28, 8);
+        assert!(CsrGraph::<u64, f64>::from_bytes(&swapped).is_none());
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let g: DiGraph<u64, f64> = DiGraph::new();
+        let csr = CsrGraph::from_digraph(&g);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(csr.offsets(), &[0]);
+        let back: CsrGraph<u64, f64> = CsrGraph::from_bytes(&csr.to_bytes()).expect("round trip");
+        assert_eq!(back, csr);
+    }
+}

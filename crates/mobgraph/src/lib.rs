@@ -6,8 +6,13 @@
 //! * [`DiGraph`] — a directed graph keyed by stable `u64` ids (hex cells
 //!   in HABIT, point ids in the GTI baseline) with arbitrary node and edge
 //!   payloads;
+//! * [`CsrGraph`] — the frozen CSR serving form of a [`DiGraph`]:
+//!   contiguous `offsets`/`targets`/`weights` arrays in canonical node
+//!   order, built once and routed over allocation-free;
 //! * [`search`] — Dijkstra and A* with caller-supplied weight and
-//!   heuristic functions, plus BFS reachability and connected components;
+//!   heuristic functions (a naive per-query backend over [`DiGraph`] and
+//!   an arena backend over [`CsrGraph`], pinned byte-identical), plus BFS
+//!   reachability and connected components;
 //! * [`spatial::NearestIndex`] — bucket-grid nearest-neighbor lookup used
 //!   to snap gap endpoints onto graph nodes;
 //! * [`codec`] — a compact binary encoding for graphs, giving the
@@ -19,11 +24,16 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod codec;
+pub mod csr;
 pub mod graph;
 pub mod search;
 pub mod spatial;
 
 pub use codec::Codec;
+pub use csr::CsrGraph;
 pub use graph::{DiGraph, EdgeRef, NodeId};
-pub use search::{astar, dijkstra, reachable_from, strongly_connected_roots, PathResult};
+pub use search::{
+    astar, astar_csr, astar_csr_baked, dijkstra, dijkstra_csr, reachable_from,
+    strongly_connected_roots, BakedEdge, PathResult, SearchArena,
+};
 pub use spatial::NearestIndex;
