@@ -34,7 +34,7 @@ The workspace builds fully offline — external dependencies (`rand`,
 
 ## Architecture
 
-Fifteen crates in eight layers, plus the `habit` umbrella crate
+Sixteen crates in eight layers, plus the `habit` umbrella crate
 re-exporting a prelude:
 
 ```text
@@ -47,8 +47,10 @@ re-exporting a prelude:
  facade      habit-service (typed request/response API, unified
              error taxonomy, `habit serve` line-JSON TCP daemon)
              ────────────────────────────────────────────────────
- serving     habit-engine (thread pool, sharded + incremental fit
-             over FitState, batched imputation with an LRU cache)
+ serving     habit-engine (thread pool,   habit-obs (zero-dep spans,
+             sharded + incremental fit    metrics registry, plaintext
+             over FitState, batched       + span-JSON renderers)
+             imputation with LRU cache)
              ────────────────────────────────────────────────────
  evaluation  eval (DTW, gap injection,    density (traffic density
              splits, experiment reports)  maps & rendering)
@@ -76,6 +78,7 @@ re-exporting a prelude:
 | `crates/synth` | seeded synthetic AIS datasets mirroring the paper's DAN / KIEL / SAR feeds |
 | `crates/core` (`habit-core`) | the HABIT method: fit, gap imputation, track repair, fleet models, persistable `FitState` (v2 model container) |
 | `crates/engine` (`habit-engine`) | parallel serving: hand-rolled thread pool, tile-sharded fit as `accumulate → merge → finalize` over `FitState` (byte-identical to sequential), incremental refit, batched imputation with route dedup + LRU cache |
+| `crates/obs` (`habit-obs`) | dependency-free observability substrate: monotonic span recorder, deterministic metrics registry (counters / gauges / fixed-bucket histograms), plaintext and span-JSON renderers |
 | `crates/service` (`habit-service`) | unified service facade: typed `Request`/`Response` API, `ServiceError` taxonomy with stable codes, shared CSV converters, line-JSON wire codec + TCP server |
 | `crates/baselines` | competitors: SLI straight-line, GTI point-graph, PaLMTO N-gram |
 | `crates/density` | traffic density maps and exports built on the same substrate |
@@ -143,8 +146,8 @@ over **habit-wire/v1**: line-delimited JSON over TCP (hand-rolled, no
 serde/tokio), one request per line, one response line per request.
 Requests carry the protocol version and an operation
 (`health`, `model_info`, `impute`, `impute_batch`, `repair`, `fit`,
-`refit`, `shutdown`); gap endpoints are `[lon,lat,t]`, track points
-`[t,lon,lat]`, cell ids hex strings. A worked netcat session:
+`refit`, `metrics`, `shutdown`); gap endpoints are `[lon,lat,t]`, track
+points `[t,lon,lat]`, cell ids hex strings. A worked netcat session:
 
 ```sh
 habit serve --model kiel.habit --port 4740 &
@@ -187,6 +190,54 @@ request path, and swaps at the end, so imputations keep flowing).
 Graceful shutdown: the `shutdown` op, or start with `--watch-stdin` and
 close the daemon's stdin pipe (supervisor-friendly; no signal handler
 needed in the std-only build).
+
+## Observability
+
+The whole stack is instrumented through `habit-obs`, a dependency-free
+tracing/metrics substrate (monotonic microsecond span clock, never
+`SystemTime`, so serialized output stays deterministic). Every request
+records per-stage spans (`parse → handle → route → impute → render`;
+`fit`/`refit` phases likewise) and feeds a deterministic metrics
+registry — per-op request/error counters, latency histograms with
+pinned buckets, route-cache hit/miss counters, a live connection gauge.
+The same numbers are exposed three ways:
+
+```sh
+# 1. The `metrics` wire op — a structured snapshot over habit-wire/v1:
+printf '%s\n' '{{"v":1,"op":"metrics"}}' | nc 127.0.0.1 4740
+
+# 2. The extended `health` payload: uptime_ticks, requests_total, and
+#    route-cache hit/miss counters, monotonic across requests.
+
+# 3. A plaintext HTTP endpoint (Prometheus-style lines, stable layout):
+habit serve --model kiel.habit --port 4740 --metrics-port 9464 &
+curl -s 127.0.0.1:9464/        # habit_requests_total{{op="impute"}} 2 ...
+curl -s 127.0.0.1:9464/spans   # recent spans, one JSON object per line
+```
+
+Failed requests are spanned too — a malformed line shows up under
+`habit_errors_total{{code="bad_request",op="unknown"}}`, so error rates
+are first-class, not inferred.
+
+**Per-point repair provenance** explains *how* each imputed point was
+produced. Opt-in (`"provenance":true` on `impute`/`impute_batch`/
+`repair`, or `habit impute --provenance`); the imputed points are
+byte-identical with and without it, and the off path adds zero work:
+
+```sh
+habit impute --model kiel.habit --provenance \
+    --from 10.30,57.10,0 --to 10.85,57.45,3600
+# t,lon,lat,kind,cell,from_cell,cell_msgs,edge_transitions,cost_share,confidence
+# 0,10.300000,57.100000,observed,0x8900...,,6,0,0.000000,1.000000
+# 503,10.317000,57.130000,route,0x8900...,0x8900...,2,1,0.034483,0.500000
+```
+
+`kind` is `observed` (a gap endpoint), `route` (projected from the
+habitual cell path), or `synthesized` (densified between route points);
+`cell_msgs` is the historical support under the point's cell,
+`cost_share` its share of the A* path cost, `confidence` a
+support-derived [0,1] score. Run-to-run byte identity of this CSV is
+pinned by a committed golden under `crates/cli/tests/golden/`.
 
 ## Reproducing the paper's evaluation
 
@@ -315,7 +366,17 @@ mod tests {
             assert!(md.contains(lint.name), "README must mention {}", lint.name);
         }
         assert!(md.contains("habit-lint: allow(Lxxx) -- reason"));
-        // All 15 crates appear in the table.
+        // The observability section documents all three metrics
+        // surfaces and the provenance CSV schema.
+        assert!(md.contains("## Observability"));
+        assert!(md.contains("\"op\":\"metrics\""));
+        assert!(md.contains("--metrics-port 9464"));
+        assert!(md.contains("curl -s 127.0.0.1:9464/spans"));
+        assert!(md.contains(
+            "t,lon,lat,kind,cell,from_cell,cell_msgs,edge_transitions,cost_share,confidence"
+        ));
+        assert!(md.contains("habit impute --model kiel.habit --provenance"));
+        // All 16 crates appear in the table.
         for krate in [
             "geo-kernel",
             "hexgrid",
@@ -325,6 +386,7 @@ mod tests {
             "synth",
             "habit-core",
             "habit-engine",
+            "habit-obs",
             "habit-service",
             "baselines",
             "density",

@@ -31,7 +31,7 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
     let threads: usize = args.get_or("threads", default_threads())?;
     let cache: usize = args.get_or("cache", DEFAULT_CACHE)?;
 
-    let (service, batch) = run_gap_csv_batch(model_path, input, threads, Some(cache))?;
+    let (service, batch) = run_gap_csv_batch(model_path, input, threads, Some(cache), false)?;
     let row_results: Vec<Option<&Imputation>> =
         batch.results.iter().map(|r| r.as_ref().ok()).collect();
     write_batch_csv(&row_results, Path::new(out))?;

@@ -54,6 +54,7 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
                 let Response::Repaired(repaired) = service.handle(&Request::Repair {
                     track,
                     config: RepairConfig::default(),
+                    provenance: false,
                 })?
                 else {
                     unreachable!("Repair answers Repaired");

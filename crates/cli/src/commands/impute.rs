@@ -6,10 +6,19 @@
 //! * `--from LON,LAT,T --to LON,LAT,T` — one gap, `t,lon,lat` output;
 //! * `--input FILE|-` — a gap CSV (`-` = stdin, the daemon's streaming
 //!   shape), `gap,t,lon,lat` output with per-gap failures on stderr.
+//!
+//! `--provenance` switches both modes to the per-point repair
+//! provenance CSV (`t,lon,lat,kind,cell,from_cell,cell_msgs,
+//! edge_transitions,cost_share,confidence`): same points, plus how each
+//! one was produced. The points themselves are byte-identical with and
+//! without the flag.
 
 use crate::args::Args;
 use crate::commands::{open_service, run_gap_csv_batch};
-use crate::io::{write_batch_csv, write_track_csv};
+use crate::io::{
+    render_provenance_csv, write_batch_csv, write_batch_provenance_csv, write_track_csv,
+    PROVENANCE_HEADER,
+};
 use geo_kernel::TimedPoint;
 use habit_core::{GapQuery, Imputation};
 use habit_service::{Request, Response, ServiceError};
@@ -40,8 +49,9 @@ pub fn parse_endpoint(raw: &str) -> Result<TimedPoint, ServiceError> {
 
 /// Entry point for `habit impute`.
 pub fn run(args: &Args) -> Result<(), ServiceError> {
-    args.check_flags(&["model", "from", "to", "out", "input"])?;
+    args.check_flags(&["model", "from", "to", "out", "input", "provenance"])?;
     let model_path = args.require("model")?;
+    let provenance = args.switch("provenance");
 
     // Gap-CSV mode: the whole file through the batch operation (the
     // shared front half also used by `habit batch`).
@@ -51,16 +61,32 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
                 "--input replaces --from/--to; pass one or the other",
             ));
         }
-        let (_service, batch) = run_gap_csv_batch(model_path, input, 1, None)?;
+        let (_service, batch) = run_gap_csv_batch(model_path, input, 1, None, provenance)?;
         let rows: Vec<Option<&Imputation>> =
             batch.results.iter().map(|r| r.as_ref().ok()).collect();
         match args.get("out") {
             Some(out) => {
-                write_batch_csv(&rows, Path::new(out))?;
+                if provenance {
+                    write_batch_provenance_csv(&rows, Path::new(out))?;
+                } else {
+                    write_batch_csv(&rows, Path::new(out))?;
+                }
                 println!(
                     "imputed {}/{} gaps ({} failed) -> {out}",
                     batch.stats.ok, batch.stats.queries, batch.stats.failed
                 );
+            }
+            None if provenance => {
+                println!("gap,{PROVENANCE_HEADER}");
+                for (i, row) in rows.iter().enumerate() {
+                    if let Some(imp) = row {
+                        // Reuse the pinned row formatter; prefix the
+                        // query index exactly like the file writer.
+                        for line in render_provenance_csv(imp).lines().skip(1) {
+                            println!("{i},{line}");
+                        }
+                    }
+                }
             }
             None => {
                 println!("gap,t,lon,lat");
@@ -87,11 +113,21 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
         start: from,
         end: to,
     };
-    let Response::Imputation(imputation) = service.handle(&Request::Impute { gap })? else {
+    let Response::Imputation(imputation) = service.handle(&Request::Impute { gap, provenance })?
+    else {
         unreachable!("Impute answers Imputation");
     };
 
     match args.get("out") {
+        Some(out) if provenance => {
+            crate::io::write_provenance_csv(&imputation, Path::new(out))?;
+            println!(
+                "imputed {} points across {} cells (cost {:.2}) with provenance -> {out}",
+                imputation.points.len(),
+                imputation.cells.len(),
+                imputation.cost
+            );
+        }
         Some(out) => {
             write_track_csv(&imputation.points, Path::new(out))?;
             println!(
@@ -100,6 +136,9 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
                 imputation.cells.len(),
                 imputation.cost
             );
+        }
+        None if provenance => {
+            print!("{}", render_provenance_csv(&imputation));
         }
         None => {
             println!("t,lon,lat");
@@ -180,6 +219,64 @@ mod tests {
         std::fs::remove_file(&out_path).ok();
         assert!(text.starts_with("t,lon,lat"));
         assert!(text.lines().count() >= 3, "{text}");
+    }
+
+    #[test]
+    fn provenance_flag_emits_the_provenance_csv_without_moving_points() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let model_path = dir.join(format!("habit-impute-prov-{pid}.habit"));
+        let plain_path = dir.join(format!("habit-impute-prov-{pid}-plain.csv"));
+        let prov_path = dir.join(format!("habit-impute-prov-{pid}-prov.csv"));
+        write_model(&model_path);
+
+        let run_mode = |out: &Path, provenance: bool| {
+            let mut tokens = vec![
+                "impute".to_string(),
+                "--model".to_string(),
+                model_path.to_str().unwrap().to_string(),
+                "--from".to_string(),
+                "10.05,56.0,0".to_string(),
+                "--to".to_string(),
+                "10.40,56.0,3600".to_string(),
+                "--out".to_string(),
+                out.to_str().unwrap().to_string(),
+            ];
+            if provenance {
+                tokens.push("--provenance".to_string());
+            }
+            run(&Args::parse(tokens).unwrap()).expect("impute");
+        };
+        run_mode(&plain_path, false);
+        run_mode(&prov_path, true);
+        let plain = std::fs::read_to_string(&plain_path).unwrap();
+        let prov = std::fs::read_to_string(&prov_path).unwrap();
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&plain_path).ok();
+        std::fs::remove_file(&prov_path).ok();
+
+        assert!(prov.starts_with(crate::io::PROVENANCE_HEADER), "{prov}");
+        assert!(
+            prov.contains(",observed,") || prov.contains(",route,"),
+            "{prov}"
+        );
+        // Same points with and without provenance: the t,lon,lat
+        // columns of every row must agree (the plain writer emits the
+        // shortest float round-trip, the provenance writer fixed six
+        // decimals, so compare parsed values).
+        let plain_rows: Vec<&str> = plain.lines().skip(1).collect();
+        let prov_rows: Vec<&str> = prov.lines().skip(1).collect();
+        assert_eq!(plain_rows.len(), prov_rows.len());
+        for (a, b) in plain_rows.iter().zip(&prov_rows) {
+            let a: Vec<&str> = a.split(',').collect();
+            let b: Vec<&str> = b.split(',').collect();
+            assert_eq!(a[0], b[0], "timestamps agree");
+            for k in 1..3 {
+                let x: f64 = a[k].parse().unwrap();
+                let y: f64 = b[k].parse().unwrap();
+                assert!((x - y).abs() < 5e-7, "{x} vs {y}");
+            }
+        }
     }
 
     #[test]

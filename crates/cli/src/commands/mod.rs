@@ -43,12 +43,14 @@ pub(crate) fn open_service(
 /// the service over `model_path`, answer the whole file through one
 /// [`Request::ImputeBatch`], and report per-gap failures on stderr.
 /// Rendering differs per command and stays with the caller. `cache`
-/// defaults to one entry per gap when `None`.
+/// defaults to one entry per gap when `None`; `provenance` requests
+/// per-point repair provenance on every result.
 pub(crate) fn run_gap_csv_batch(
     model_path: &str,
     input: &str,
     threads: usize,
     cache: Option<usize>,
+    provenance: bool,
 ) -> Result<(Service, BatchOutcome), ServiceError> {
     let gaps = crate::io::read_gaps(input)?;
     if gaps.is_empty() {
@@ -58,7 +60,7 @@ pub(crate) fn run_gap_csv_batch(
         ));
     }
     let service = open_service(model_path, threads, cache.unwrap_or(gaps.len().max(1)))?;
-    let Response::Batch(batch) = service.handle(&Request::ImputeBatch { gaps })? else {
+    let Response::Batch(batch) = service.handle(&Request::ImputeBatch { gaps, provenance })? else {
         unreachable!("ImputeBatch answers Batch");
     };
     for (i, result) in batch.results.iter().enumerate() {
@@ -122,6 +124,9 @@ COMMANDS
   impute   impute one gap (--from/--to) or a gap CSV (--input FILE|-)
            --model FILE  --from LON,LAT,T  --to LON,LAT,T  [--out FILE]
            --model FILE  --input FILE|-  [--out FILE]
+           [--provenance]   (emit per-point repair provenance CSV:
+           t,lon,lat,kind,cell,from_cell,cell_msgs,edge_transitions,
+           cost_share,confidence — kind is observed|route|synthesized)
   batch    impute a CSV of gap queries concurrently (dedup + route cache)
            --model FILE  --input FILE|-  --out FILE  [--threads N]
            [--cache ENTRIES]   (defaults: all cores, 4096 routes; `-` = stdin)
@@ -138,8 +143,12 @@ COMMANDS
   serve    long-lived line-JSON-over-TCP daemon over a fitted model
            --model FILE  [--host ADDR] [--port N] [--threads N]
            [--cache ENTRIES] [--conn-threads N] [--watch-stdin]
+           [--metrics-port N]
            (defaults: 127.0.0.1:4740; --port 0 picks a free port;
-           --watch-stdin shuts down cleanly when stdin closes)
+           --watch-stdin shuts down cleanly when stdin closes;
+           --metrics-port serves plaintext metrics over HTTP on the
+           same host — GET / for counters, GET /spans for recent
+           stage spans as line JSON)
   help     this text
   version  print the habit version (also --version / -V)
 
@@ -179,7 +188,13 @@ EXAMPLES
   printf '%s\\n' \\
     '{\"v\":1,\"op\":\"impute\",\"from\":[10.30,57.10,0],\"to\":[10.85,57.45,3600]}' \\
     | nc 127.0.0.1 4740
+  printf '%s\\n' '{\"v\":1,\"op\":\"metrics\"}' | nc 127.0.0.1 4740
   printf '%s\\n' '{\"v\":1,\"op\":\"shutdown\"}' | nc 127.0.0.1 4740
+
+  # Scrape the daemon's plaintext metrics endpoint (counters, gauges,
+  # latency histograms) without speaking the wire protocol:
+  habit serve --model kiel.habit --port 4740 --metrics-port 9464 &
+  curl -s 127.0.0.1:9464/
 
 EXIT CODES (shell-friendly, stable)
   0  success

@@ -40,6 +40,7 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
             gap_threshold_s: threshold,
             densify_max_spacing_m: densify,
         },
+        provenance: false,
     })?
     else {
         unreachable!("Repair answers Repaired");

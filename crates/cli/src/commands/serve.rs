@@ -11,7 +11,11 @@
 //! The first stdout line reports the bound address (`--port 0` picks a
 //! free port, so scripts and tests parse that line); `--watch-stdin`
 //! makes a closing stdin pipe trigger the same graceful shutdown as a
-//! `shutdown` request.
+//! `shutdown` request; `--metrics-port N` binds a second listener on
+//! the same host serving the plaintext metrics snapshot over HTTP
+//! (`GET /` for counters/gauges/histograms, `GET /spans` for recent
+//! stage spans as line-delimited JSON) — scrapeable with `curl`, no
+//! wire protocol needed.
 
 use crate::args::Args;
 use habit_service::{ServeOptions, Service, ServiceConfig, ServiceError};
@@ -33,6 +37,7 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
         "cache",
         "conn-threads",
         "watch-stdin",
+        "metrics-port",
     ])?;
     let model_path = args.require("model")?;
     let host = args.get("host").unwrap_or("127.0.0.1");
@@ -43,6 +48,13 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
     )?;
     let cache: usize = args.get_or("cache", 4096)?;
     let conn_threads: usize = args.get_or("conn-threads", 4)?;
+    let metrics_port: Option<u16> = match args.get("metrics-port") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ServiceError::bad_request(format!("bad --metrics-port `{raw}`")))?,
+        ),
+        None => None,
+    };
 
     let service = Arc::new(Service::with_model_file(
         ServiceConfig {
@@ -64,9 +76,22 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
     println!(
         "habit serve: protocol habit-wire/v1 — one JSON request per line; '{{\"v\":1,\"op\":\"shutdown\"}}' stops the daemon"
     );
+    let metrics_listener = match metrics_port {
+        Some(p) => {
+            let ml = TcpListener::bind((host, p)).map_err(|e| {
+                ServiceError::new(habit_service::ErrorCode::Io, format!("{host}:{p}: {e}"))
+            })?;
+            println!(
+                "habit serve: metrics on http://{} (GET / for metrics, GET /spans for recent spans)",
+                ml.local_addr()?
+            );
+            Some(ml)
+        }
+        None => None,
+    };
     std::io::stdout().flush()?;
 
-    let served = habit_service::serve(
+    let served = habit_service::serve_with_metrics(
         &service,
         listener,
         ServeOptions {
@@ -74,6 +99,7 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
             watch_stdin: args.switch("watch-stdin"),
             ..ServeOptions::default()
         },
+        metrics_listener,
     )?;
     println!("habit serve: clean shutdown after {served} connection(s)");
     Ok(())
@@ -89,6 +115,24 @@ mod tests {
             Args::parse(["serve", "--model", "/nonexistent.habit"].map(String::from)).unwrap();
         let err = run(&args).unwrap_err();
         assert_eq!(err.code, habit_service::ErrorCode::Io);
+    }
+
+    #[test]
+    fn serve_rejects_a_bad_metrics_port() {
+        let args = Args::parse(
+            [
+                "serve",
+                "--model",
+                "/nonexistent.habit",
+                "--metrics-port",
+                "nope",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--metrics-port"), "{err}");
     }
 
     #[test]

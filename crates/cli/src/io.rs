@@ -5,7 +5,8 @@
 
 pub use habit_service::csvio::{
     read_ais_csv, read_ais_csv_reader, read_gaps_csv, read_gaps_csv_reader, read_track_csv,
-    read_track_csv_reader, write_ais_csv, write_batch_csv, write_track_csv, IoError,
+    read_track_csv_reader, render_provenance_csv, write_ais_csv, write_batch_csv,
+    write_batch_provenance_csv, write_provenance_csv, write_track_csv, IoError, PROVENANCE_HEADER,
 };
 
 use habit_core::GapQuery;

@@ -106,6 +106,64 @@ fn spawn_daemon(model: &Path) -> (Child, String) {
     (child, addr)
 }
 
+/// Spawns `habit serve --port 0 --metrics-port 0` and parses both the
+/// wire address and the metrics endpoint address from the banner.
+fn spawn_daemon_with_metrics(model: &Path) -> (Child, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_habit"))
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--port",
+            "0",
+            "--threads",
+            "2",
+            "--conn-threads",
+            "2",
+            "--metrics-port",
+            "0",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn habit serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut addr = String::new();
+    let mut metrics_addr = String::new();
+    while addr.is_empty() || metrics_addr.is_empty() {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read banner line") > 0,
+            "daemon exited before printing both addresses"
+        );
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            addr = rest.split_whitespace().next().unwrap_or("").to_string();
+        }
+        if let Some(rest) = line.split("metrics on http://").nth(1) {
+            metrics_addr = rest.split_whitespace().next().unwrap_or("").to_string();
+        }
+    }
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    (child, addr, metrics_addr)
+}
+
+/// One plaintext HTTP GET against the metrics endpoint.
+fn http_get(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut page = String::new();
+    stream.read_to_string(&mut page).expect("read metrics page");
+    page
+}
+
 /// Sends one request line and reads one response line.
 fn round_trip(stream: &TcpStream, reader: &mut BufReader<TcpStream>, request: &Request) -> String {
     let mut s = stream;
@@ -162,7 +220,14 @@ fn daemon_round_trip_matches_the_cli_byte_for_byte() {
     assert!(health.cells > 0);
 
     // -- Impute over TCP.
-    let reply = round_trip(&stream, &mut reader, &Request::Impute { gap });
+    let reply = round_trip(
+        &stream,
+        &mut reader,
+        &Request::Impute {
+            gap,
+            provenance: false,
+        },
+    );
     let Ok(Response::Imputation(tcp_imputation)) = wire::decode_response(&reply).unwrap() else {
         panic!("impute reply: {reply}");
     };
@@ -175,6 +240,7 @@ fn daemon_round_trip_matches_the_cli_byte_for_byte() {
         &mut reader,
         &Request::ImputeBatch {
             gaps: vec![gap, gap],
+            provenance: false,
         },
     );
     let Ok(Response::Batch(batch)) = wire::decode_response(&reply).unwrap() else {
@@ -247,7 +313,14 @@ fn daemon_round_trip_matches_the_cli_byte_for_byte() {
     // The refitted model serves immediately on the same connection, and
     // the duplicated corridor does not change the answer's geometry
     // (medians over duplicated positions are unchanged).
-    let reply = round_trip(&stream, &mut reader, &Request::Impute { gap });
+    let reply = round_trip(
+        &stream,
+        &mut reader,
+        &Request::Impute {
+            gap,
+            provenance: false,
+        },
+    );
     let Ok(Response::Imputation(after_refit)) = wire::decode_response(&reply).unwrap() else {
         panic!("impute-after-refit reply: {reply}");
     };
@@ -315,7 +388,14 @@ fn concurrent_clients_match_sequential_cli_byte_for_byte() {
                     (0..GAPS_PER_CLIENT)
                         .map(|round| {
                             let gap = gap_for(client, round);
-                            let reply = round_trip(&stream, &mut reader, &Request::Impute { gap });
+                            let reply = round_trip(
+                                &stream,
+                                &mut reader,
+                                &Request::Impute {
+                                    gap,
+                                    provenance: false,
+                                },
+                            );
                             match wire::decode_response(&reply).unwrap() {
                                 Ok(Response::Imputation(imp)) => imp,
                                 other => panic!("client {client} round {round}: {other:?}"),
@@ -385,5 +465,195 @@ fn concurrent_clients_match_sequential_cli_byte_for_byte() {
         }
     }
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ISSUE 8 tentpole, end to end: the daemon's observability surface.
+/// One daemon, three windows onto the same counters — the extended
+/// `health` payload (monotonic across requests), the `metrics` wire
+/// operation, and the `--metrics-port` plaintext HTTP endpoint — plus
+/// per-point provenance opt-in that leaves the points byte-identical,
+/// and error spans for a malformed request (the parse failure must show
+/// up in the per-op error counters even though no request ever ran).
+#[test]
+fn observability_surface_over_the_daemon() {
+    let dir = tmpdir("metrics");
+    let (csv, model) = build_model(&dir);
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let first: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+    let (lon, lat): (f64, f64) = (first[2].parse().unwrap(), first[3].parse().unwrap());
+    let gap = habit_core::GapQuery::new(lon, lat, 0, lon + 0.15, lat, 3600);
+
+    let (mut child, addr, metrics_addr) = spawn_daemon_with_metrics(&model);
+    let stream = TcpStream::connect(&addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // -- Health twice around two imputes: counters strictly monotonic,
+    //    the clock never goes backwards, the route cache is visible.
+    let reply = round_trip(&stream, &mut reader, &Request::Health);
+    let Ok(Response::Health(h1)) = wire::decode_response(&reply).unwrap() else {
+        panic!("health reply: {reply}");
+    };
+    let reply = round_trip(
+        &stream,
+        &mut reader,
+        &Request::Impute {
+            gap,
+            provenance: false,
+        },
+    );
+    let Ok(Response::Imputation(plain)) = wire::decode_response(&reply).unwrap() else {
+        panic!("impute reply: {reply}");
+    };
+    assert!(plain.provenance.is_none(), "provenance is opt-in");
+    let reply = round_trip(
+        &stream,
+        &mut reader,
+        &Request::Impute {
+            gap,
+            provenance: true,
+        },
+    );
+    let Ok(Response::Imputation(prov)) = wire::decode_response(&reply).unwrap() else {
+        panic!("impute --provenance reply: {reply}");
+    };
+    let reply = round_trip(&stream, &mut reader, &Request::Health);
+    let Ok(Response::Health(h2)) = wire::decode_response(&reply).unwrap() else {
+        panic!("health reply: {reply}");
+    };
+    // A request is counted after its own response is built, so h1
+    // reports the pre-existing total (0) and h2 sees h1 + two imputes.
+    assert_eq!(h2.requests_total, h1.requests_total + 3);
+    assert!(
+        h2.requests_total > h1.requests_total,
+        "requests_total monotonic: {} -> {}",
+        h1.requests_total,
+        h2.requests_total
+    );
+    assert!(h2.uptime_ticks >= h1.uptime_ticks, "uptime never rewinds");
+    assert!(h2.route_cache_misses >= 1, "first route was a miss");
+    assert!(h2.route_cache_hits >= 1, "repeated route hits the cache");
+
+    // -- Provenance: every imputed point explained, points untouched.
+    let records = prov.provenance.as_ref().expect("provenance requested");
+    assert_eq!(records.len(), prov.points.len());
+    assert_eq!(prov.points, plain.points, "provenance must not move points");
+
+    // -- The `metrics` wire operation returns the same registry.
+    let reply = round_trip(&stream, &mut reader, &Request::Metrics);
+    let Ok(Response::Metrics(snapshot)) = wire::decode_response(&reply).unwrap() else {
+        panic!("metrics reply: {reply}");
+    };
+    let impute_count = snapshot
+        .samples
+        .iter()
+        .find(|s| {
+            s.name == "habit_requests_total"
+                && s.labels == vec![("op".to_string(), "impute".to_string())]
+        })
+        .expect("habit_requests_total{op=impute} sample");
+    assert_eq!(impute_count.value, 2.0, "two imputes served");
+
+    // -- A malformed request line (separate connection) must land in
+    //    the error counters as op=unknown even though nothing ran.
+    {
+        let bad = TcpStream::connect(&addr).expect("connect for malformed line");
+        bad.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let mut bad_reader = BufReader::new(bad.try_clone().unwrap());
+        (&bad).write_all(b"this is not json\n").unwrap();
+        let mut reply = String::new();
+        bad_reader.read_line(&mut reply).expect("error reply");
+        assert!(reply.contains("bad_request"), "{reply}");
+    }
+
+    // -- The HTTP endpoint serves the same counters as plaintext, and
+    //    /spans exposes the recent per-request span records.
+    let page = http_get(&metrics_addr, "/");
+    assert!(page.starts_with("HTTP/1.0 200 OK\r\n"), "{page}");
+    assert!(
+        page.contains("habit_requests_total{op=\"impute\"} 2\n"),
+        "{page}"
+    );
+    assert!(
+        page.contains("habit_requests_total{op=\"health\"} 2\n"),
+        "{page}"
+    );
+    assert!(
+        page.contains("habit_errors_total{code=\"bad_request\",op=\"unknown\"} 1\n"),
+        "{page}"
+    );
+    assert!(page.contains("habit_route_cache_hits_total"), "{page}");
+    let spans = http_get(&metrics_addr, "/spans");
+    assert!(spans.contains("\"name\":\"handle\""), "{spans}");
+    assert!(spans.contains("\"op\":\"impute\""), "{spans}");
+    assert!(spans.contains("\"ok\":false"), "failed parse span: {spans}");
+
+    let reply = round_trip(&stream, &mut reader, &Request::Shutdown);
+    assert!(matches!(
+        wire::decode_response(&reply).unwrap(),
+        Ok(Response::ShuttingDown)
+    ));
+    let status = wait_with_timeout(&mut child, Duration::from_secs(30));
+    assert!(status.success(), "clean exit after Shutdown: {status:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ISSUE 8 acceptance: `habit impute --provenance` is deterministic —
+/// byte-identical across runs — and matches the committed golden CSV
+/// for the seeded KIEL model (seed 7, scale 0.05), so any drift in the
+/// provenance schema, float formatting, or the imputation itself fails
+/// loudly here.
+#[test]
+fn provenance_csv_matches_the_committed_golden() {
+    let dir = tmpdir("provgolden");
+    let (csv, model) = build_model(&dir);
+
+    // The same corridor gap as the round-trip test: anchored on the
+    // seeded dataset's own first report, so the query is as
+    // deterministic as the model.
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let first: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+    let (lon, lat): (f64, f64) = (first[2].parse().unwrap(), first[3].parse().unwrap());
+    let impute = |out: &Path| {
+        let run = habit(&[
+            "impute",
+            "--model",
+            model.to_str().unwrap(),
+            "--from",
+            &format!("{lon},{lat},0"),
+            "--to",
+            &format!("{},{lat},3600", lon + 0.15),
+            "--provenance",
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        assert!(
+            run.status.success(),
+            "{}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+    };
+    let out1 = dir.join("prov-1.csv");
+    let out2 = dir.join("prov-2.csv");
+    impute(&out1);
+    impute(&out2);
+    let bytes1 = std::fs::read(&out1).unwrap();
+    let bytes2 = std::fs::read(&out2).unwrap();
+    assert!(!bytes1.is_empty());
+    assert_eq!(bytes1, bytes2, "provenance CSV must be run-to-run stable");
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/impute_provenance.csv");
+    let golden = std::fs::read(&golden_path).expect("committed golden CSV");
+    assert_eq!(
+        bytes1,
+        golden,
+        "provenance output drifted from {} — if the change is intentional, \
+         regenerate the golden with the command in that file's header row",
+        golden_path.display()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

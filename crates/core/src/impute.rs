@@ -77,6 +77,75 @@ pub struct Imputation {
     pub expanded: usize,
     /// Number of path positions before simplification (Table 3's `cnt`).
     pub raw_point_count: usize,
+    /// Per-point repair provenance, parallel to `points`. `None` on the
+    /// default path — provenance is opt-in
+    /// ([`HabitModel::impute_with_provenance`]) and costs nothing when
+    /// absent.
+    pub provenance: Option<Vec<PointProvenance>>,
+}
+
+/// How an imputed point came to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvenanceKind {
+    /// A gap endpoint: the vessel's own last/first report, not imputed.
+    Observed,
+    /// An RDP-kept vertex of the A* route through the transition graph.
+    Route,
+    /// A point synthesized after simplification (track-repair
+    /// densification), carrying the evidence of the route segment it
+    /// subdivides.
+    Synthesized,
+}
+
+impl ProvenanceKind {
+    /// The stable wire/CSV token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProvenanceKind::Observed => "observed",
+            ProvenanceKind::Route => "route",
+            ProvenanceKind::Synthesized => "synthesized",
+        }
+    }
+
+    /// Parses a wire/CSV token.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "observed" => Some(ProvenanceKind::Observed),
+            "route" => Some(ProvenanceKind::Route),
+            "synthesized" => Some(ProvenanceKind::Synthesized),
+            _ => None,
+        }
+    }
+}
+
+/// The evidence trail of one imputed point: which transition edge the
+/// route traversed to reach it, how much historical support that edge
+/// and cell have, and how much of the route's total cost the step paid.
+/// The seam for quality-gated serving — a support threshold can refuse
+/// or flag low-evidence points instead of silently extrapolating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointProvenance {
+    /// How the point came to exist.
+    pub kind: ProvenanceKind,
+    /// The grid cell backing the point (the snapped cell for observed
+    /// endpoints, the route vertex otherwise). `None` only for
+    /// synthesized points between route vertices.
+    pub cell: Option<HexCell>,
+    /// The preceding route cell — the traversed transition edge's
+    /// source. `None` for endpoints and the first route vertex.
+    pub from_cell: Option<HexCell>,
+    /// Historical AIS reports aggregated in `cell` (per-cell support).
+    pub cell_msgs: u64,
+    /// Distinct historical trips that traversed `from_cell → cell`
+    /// (per-edge support); 0 when no edge was traversed.
+    pub edge_transitions: u32,
+    /// The traversed edge's cost as a share of the route's total cost
+    /// (0 when no edge was traversed or the route cost is 0).
+    pub cost_share: f64,
+    /// Support-derived confidence in [0, 1]: 1 for observed endpoints
+    /// and route anchors, `transitions / (transitions + 1)` for
+    /// traversed edges — monotone in the historical support.
+    pub confidence: f64,
 }
 
 /// A resolved cell-level route between two snapped endpoint cells — the
@@ -116,6 +185,21 @@ impl HabitModel {
         Ok(self.imputation_from_route(gap, &route, start_cell, end_cell))
     }
 
+    /// [`Self::impute`] with per-point [`PointProvenance`] attached.
+    /// The points are byte-identical to the plain path (the provenance
+    /// tail gathers RDP-kept vertices through the reference index set,
+    /// which is pinned equal to the in-place kernel's); only the
+    /// `provenance` field differs.
+    pub fn impute_with_provenance(&self, gap: &GapQuery) -> Result<Imputation, HabitError> {
+        if self.graph.node_count() == 0 {
+            return Err(HabitError::EmptyModel);
+        }
+        let (start_cell, _) = self.snap(&gap.start.pos)?;
+        let (end_cell, _) = self.snap(&gap.end.pos)?;
+        let route = self.route_between(start_cell, end_cell)?;
+        Ok(self.imputation_from_route_full(gap, &route, start_cell, end_cell, false, true))
+    }
+
     /// [`Self::impute`] on the retained naive machinery end to end:
     /// per-query A* over the `DiGraph` and the recursive sub-path
     /// cloning RDP. Byte-identical output to the hot path by
@@ -128,7 +212,7 @@ impl HabitModel {
         let (start_cell, _) = self.snap(&gap.start.pos)?;
         let (end_cell, _) = self.snap(&gap.end.pos)?;
         let route = self.route_between_naive(start_cell, end_cell)?;
-        Ok(self.imputation_from_route_impl(gap, &route, start_cell, end_cell, true))
+        Ok(self.imputation_from_route_full(gap, &route, start_cell, end_cell, true, false))
     }
 
     /// Phase 3's search step in isolation: the A* route between two
@@ -310,7 +394,7 @@ impl HabitModel {
         start_cell: HexCell,
         end_cell: HexCell,
     ) -> Imputation {
-        self.imputation_from_route_impl(gap, route, start_cell, end_cell, false)
+        self.imputation_from_route_full(gap, route, start_cell, end_cell, false, false)
     }
 
     /// [`Self::imputation_from_route`] on the retained naive tail: the
@@ -324,21 +408,45 @@ impl HabitModel {
         start_cell: HexCell,
         end_cell: HexCell,
     ) -> Imputation {
-        self.imputation_from_route_impl(gap, route, start_cell, end_cell, true)
+        self.imputation_from_route_full(gap, route, start_cell, end_cell, true, false)
+    }
+
+    /// [`Self::imputation_from_route`] with per-point provenance — the
+    /// cached-route tail `habit-engine`'s batch imputer runs when a
+    /// request carries `provenance: true`.
+    pub fn imputation_from_route_with_provenance(
+        &self,
+        gap: &GapQuery,
+        route: &Route,
+        start_cell: HexCell,
+        end_cell: HexCell,
+    ) -> Imputation {
+        self.imputation_from_route_full(gap, route, start_cell, end_cell, false, true)
     }
 
     /// Shared tail; `naive` selects the retained reference RDP (clone
     /// positions out of the timed points, recursive kept-index search)
-    /// instead of the in-place kernel with the thread-local scratch.
-    fn imputation_from_route_impl(
+    /// instead of the in-place kernel with the thread-local scratch;
+    /// `provenance` attaches per-point evidence records. The provenance
+    /// path gathers points through the reference RDP's kept-index set —
+    /// pinned identical to the in-place kernel's by the equivalence
+    /// tests — so the point bytes never depend on the flag.
+    fn imputation_from_route_full(
         &self,
         gap: &GapQuery,
         route: &Route,
         start_cell: HexCell,
         end_cell: HexCell,
         naive: bool,
+        provenance: bool,
     ) -> Imputation {
         if route.is_trivial() {
+            let prov = provenance.then(|| {
+                vec![
+                    self.observed_provenance(start_cell),
+                    self.observed_provenance(end_cell),
+                ]
+            });
             return Imputation {
                 points: vec![gap.start, gap.end],
                 cells: route.cells.clone(),
@@ -347,6 +455,7 @@ impl HabitModel {
                 cost: 0.0,
                 expanded: route.expanded,
                 raw_point_count: 2,
+                provenance: prov,
             };
         }
 
@@ -362,16 +471,18 @@ impl HabitModel {
         let mut points = allocate_timestamps(&positions, gap.start.t, gap.end.t);
         let raw_point_count = points.len();
 
-        // Phase 4: simplification.
+        // Phase 4: simplification. The provenance path needs the kept
+        // *indices*, so it always runs the reference index search (kept
+        // sets pinned identical to the in-place kernel).
+        let mut kept: Option<Vec<usize>> = None;
         if self.config.rdp_tolerance_m > 0.0 {
-            if naive {
+            if naive || provenance {
                 // The old wrapper's shape: clone the positions back out,
                 // run the recursive reference, gather kept vertices.
                 let pos_only: Vec<GeoPoint> = points.iter().map(|p| p.pos).collect();
-                points = rdp_indices_reference(&pos_only, self.config.rdp_tolerance_m)
-                    .into_iter()
-                    .map(|i| points[i])
-                    .collect();
+                let indices = rdp_indices_reference(&pos_only, self.config.rdp_tolerance_m);
+                points = indices.iter().map(|&i| points[i]).collect();
+                kept = Some(indices);
             } else {
                 RDP_SCRATCH.with(|scratch| {
                     rdp_timed_in_place(
@@ -381,7 +492,14 @@ impl HabitModel {
                     );
                 });
             }
+        } else if provenance {
+            kept = Some((0..raw_point_count).collect());
         }
+
+        let prov = provenance.then(|| {
+            let kept = kept.as_deref().unwrap_or(&[]);
+            self.route_provenance(route, start_cell, end_cell, kept, raw_point_count)
+        });
 
         Imputation {
             points,
@@ -391,7 +509,82 @@ impl HabitModel {
             cost: route.cost,
             expanded: route.expanded,
             raw_point_count,
+            provenance: prov,
         }
+    }
+
+    /// Provenance of a gap endpoint: the vessel's own report, anchored
+    /// in its snapped cell with full confidence.
+    fn observed_provenance(&self, cell: HexCell) -> PointProvenance {
+        PointProvenance {
+            kind: ProvenanceKind::Observed,
+            cell: Some(cell),
+            from_cell: None,
+            cell_msgs: self.cell_stats(cell).map_or(0, |s| s.msg_count),
+            edge_transitions: 0,
+            cost_share: 0.0,
+            confidence: 1.0,
+        }
+    }
+
+    /// Evidence records for the RDP-kept vertices of a non-trivial
+    /// route. Raw index `j` maps to: the start endpoint (`j == 0`), the
+    /// end endpoint (`j == n-1`), or route cell `j-1` otherwise; a
+    /// route vertex's traversed in-edge is `cells[k-1] → cells[k]`
+    /// (the first route vertex — the snapped start cell — has none).
+    fn route_provenance(
+        &self,
+        route: &Route,
+        start_cell: HexCell,
+        end_cell: HexCell,
+        kept: &[usize],
+        n: usize,
+    ) -> Vec<PointProvenance> {
+        let weight = self.route_weight();
+        kept.iter()
+            .map(|&j| {
+                if j == 0 {
+                    return self.observed_provenance(start_cell);
+                }
+                if j == n - 1 {
+                    return self.observed_provenance(end_cell);
+                }
+                let k = j - 1;
+                let cell = route.cells[k];
+                let cell_msgs = self.cell_stats(cell).map_or(0, |s| s.msg_count);
+                if k == 0 {
+                    // The snapped start cell: a route anchor with no
+                    // traversed in-edge.
+                    return PointProvenance {
+                        kind: ProvenanceKind::Route,
+                        cell: Some(cell),
+                        from_cell: None,
+                        cell_msgs,
+                        edge_transitions: 0,
+                        cost_share: 0.0,
+                        confidence: 1.0,
+                    };
+                }
+                let from = route.cells[k - 1];
+                let (transitions, edge_cost) = match self.graph.edge(from.raw(), cell.raw()) {
+                    Some(e) => (e.transitions, weight(0, 0, e)),
+                    None => (0, 0.0),
+                };
+                PointProvenance {
+                    kind: ProvenanceKind::Route,
+                    cell: Some(cell),
+                    from_cell: Some(from),
+                    cell_msgs,
+                    edge_transitions: transitions,
+                    cost_share: if route.cost > 0.0 {
+                        edge_cost / route.cost
+                    } else {
+                        0.0
+                    },
+                    confidence: transitions as f64 / (transitions as f64 + 1.0),
+                }
+            })
+            .collect()
     }
 
     /// Maps a path cell to coordinates per the configured projection `p`.
@@ -720,6 +913,84 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Provenance is opt-in evidence riding alongside the points: the
+    /// point bytes must be identical with and without it (and across
+    /// both RDP backends), endpoints must read `observed`, and interior
+    /// vertices must carry the traversed edge's historical support.
+    #[test]
+    fn provenance_is_attached_without_changing_the_points() {
+        for tol in [0.0, 500.0] {
+            let model = l_model(HabitConfig {
+                rdp_tolerance_m: tol,
+                ..HabitConfig::default()
+            });
+            let gap = GapQuery::new(10.3, 56.0, 0, 10.6, 56.2, 7_200);
+            let plain = model.impute(&gap).unwrap();
+            let with = model.impute_with_provenance(&gap).unwrap();
+            assert!(plain.provenance.is_none(), "provenance is opt-in");
+
+            assert_eq!(plain.points.len(), with.points.len(), "tol {tol}");
+            for (a, b) in plain.points.iter().zip(&with.points) {
+                assert_eq!(a.pos.lon.to_bits(), b.pos.lon.to_bits());
+                assert_eq!(a.pos.lat.to_bits(), b.pos.lat.to_bits());
+                assert_eq!(a.t, b.t);
+            }
+
+            let prov = with.provenance.as_ref().expect("requested provenance");
+            assert_eq!(prov.len(), with.points.len(), "parallel to points");
+            assert_eq!(prov[0].kind, ProvenanceKind::Observed);
+            assert_eq!(prov[0].cell, Some(with.start_cell));
+            assert_eq!(prov[0].confidence, 1.0);
+            assert_eq!(prov.last().unwrap().kind, ProvenanceKind::Observed);
+            assert_eq!(prov.last().unwrap().cell, Some(with.end_cell));
+
+            // Interior vertices: route kind, traversed-edge support,
+            // confidence strictly between 0 and 1, cost shares summing
+            // to (at most) the whole route.
+            let interior: Vec<_> = prov
+                .iter()
+                .filter(|p| p.kind == ProvenanceKind::Route && p.from_cell.is_some())
+                .collect();
+            assert!(!interior.is_empty(), "non-trivial route has interior");
+            let mut share_sum = 0.0;
+            for p in &interior {
+                assert!(p.edge_transitions > 0, "lane edges have support");
+                assert!(p.cell_msgs > 0, "lane cells have reports");
+                assert!(p.confidence > 0.0 && p.confidence < 1.0);
+                assert!(p.cost_share > 0.0);
+                share_sum += p.cost_share;
+            }
+            assert!(share_sum <= 1.0 + 1e-9, "shares within the route cost");
+
+            // Deterministic: a second provenance run is identical.
+            let again = model.impute_with_provenance(&gap).unwrap();
+            assert_eq!(again.provenance.as_ref().unwrap(), prov);
+        }
+    }
+
+    #[test]
+    fn trivial_gap_provenance_is_two_observed_endpoints() {
+        let model = l_model(HabitConfig::default());
+        let gap = GapQuery::new(10.3, 56.0, 0, 10.3005, 56.0, 600);
+        let imp = model.impute_with_provenance(&gap).unwrap();
+        let prov = imp.provenance.expect("provenance");
+        assert_eq!(prov.len(), 2);
+        assert!(prov.iter().all(|p| p.kind == ProvenanceKind::Observed));
+        assert!(prov.iter().all(|p| p.confidence == 1.0));
+    }
+
+    #[test]
+    fn provenance_kind_tokens_round_trip() {
+        for kind in [
+            ProvenanceKind::Observed,
+            ProvenanceKind::Route,
+            ProvenanceKind::Synthesized,
+        ] {
+            assert_eq!(ProvenanceKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ProvenanceKind::parse("nope"), None);
     }
 
     /// `route_between` (CSR + arena) equals `route_between_naive`

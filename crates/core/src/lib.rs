@@ -70,7 +70,7 @@ pub use error::HabitError;
 pub use fitstate::{FitProvenance, FitState, FITSTATE_VERSION};
 pub use fleet::{FleetConfig, FleetModel, ServedBy};
 pub use graphgen::{build_transition_graph, CellStats, EdgeStats};
-pub use impute::{GapQuery, Imputation, Route};
+pub use impute::{GapQuery, Imputation, PointProvenance, ProvenanceKind, Route};
 pub use merge::merge_graphs;
 pub use model::HabitModel;
 pub use repair::{GapOutcome, RepairConfig, RepairReport};

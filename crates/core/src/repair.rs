@@ -10,7 +10,7 @@
 //! surveillance) runs before consuming the data.
 
 use crate::error::HabitError;
-use crate::impute::GapQuery;
+use crate::impute::{GapQuery, PointProvenance, ProvenanceKind};
 use crate::model::HabitModel;
 use geo_kernel::TimedPoint;
 
@@ -49,6 +49,11 @@ pub struct GapOutcome {
     pub points_added: usize,
     /// Why imputation failed, when it did.
     pub error: Option<HabitError>,
+    /// Per-point repair evidence, parallel to the spliced interior
+    /// points. `Some` only under
+    /// [`HabitModel::repair_track_with_provenance`]; densification
+    /// inserts are marked [`ProvenanceKind::Synthesized`].
+    pub provenance: Option<Vec<PointProvenance>>,
 }
 
 /// Summary of a repair pass.
@@ -86,6 +91,30 @@ impl HabitModel {
         points: &[TimedPoint],
         config: &RepairConfig,
     ) -> Result<(Vec<TimedPoint>, RepairReport), HabitError> {
+        self.repair_track_impl(points, config, false)
+    }
+
+    /// [`Self::repair_track`] with per-point repair evidence: each
+    /// successful [`GapOutcome`] carries a [`PointProvenance`] record
+    /// per spliced point (parallel to the points it added).
+    /// Densification inserts are marked
+    /// [`ProvenanceKind::Synthesized`] and inherit the evidence of the
+    /// route vertex they lead up to. The repaired track itself is
+    /// byte-identical to the plain variant's.
+    pub fn repair_track_with_provenance(
+        &self,
+        points: &[TimedPoint],
+        config: &RepairConfig,
+    ) -> Result<(Vec<TimedPoint>, RepairReport), HabitError> {
+        self.repair_track_impl(points, config, true)
+    }
+
+    fn repair_track_impl(
+        &self,
+        points: &[TimedPoint],
+        config: &RepairConfig,
+        provenance: bool,
+    ) -> Result<(Vec<TimedPoint>, RepairReport), HabitError> {
         if points.windows(2).any(|w| w[1].t < w[0].t) {
             return Err(HabitError::UnsortedInput);
         }
@@ -105,24 +134,44 @@ impl HabitModel {
                         p.pos.lat,
                         p.t,
                     );
-                    match self.impute(&query) {
+                    let imputed = if provenance {
+                        self.impute_with_provenance(&query)
+                    } else {
+                        self.impute(&query)
+                    };
+                    match imputed {
                         Ok(imp) => {
                             // Interior points only; the endpoints are the
                             // existing reports.
                             let mut segment: Vec<TimedPoint> = imp.points;
+                            let mut prov = imp.provenance;
                             if let Some(spacing) = config.densify_max_spacing_m {
+                                if let Some(records) = prov.take() {
+                                    prov = Some(densified_provenance(&segment, &records, spacing));
+                                }
                                 segment = geo_kernel::resample_timed_max_spacing(&segment, spacing);
                             }
-                            let interior: Vec<TimedPoint> = segment
-                                .into_iter()
-                                .filter(|q| q.t > prev.t && q.t < p.t)
-                                .collect();
+                            // Filter to the interior, keeping provenance
+                            // in lockstep with the surviving points.
+                            let mut interior: Vec<TimedPoint> = Vec::new();
+                            let mut interior_prov = prov.as_ref().map(|_| Vec::new());
+                            for (j, q) in segment.iter().enumerate() {
+                                if q.t > prev.t && q.t < p.t {
+                                    interior.push(*q);
+                                    if let (Some(keep), Some(records)) =
+                                        (interior_prov.as_mut(), prov.as_ref())
+                                    {
+                                        keep.push(records[j].clone());
+                                    }
+                                }
+                            }
                             report.points_added += interior.len();
                             report.gaps.push(GapOutcome {
                                 after_index: i - 1,
                                 duration_s: silence,
                                 points_added: interior.len(),
                                 error: None,
+                                provenance: interior_prov,
                             });
                             out.extend(interior);
                         }
@@ -132,6 +181,7 @@ impl HabitModel {
                                 duration_s: silence,
                                 points_added: 0,
                                 error: Some(e),
+                                provenance: None,
                             });
                         }
                     }
@@ -141,6 +191,37 @@ impl HabitModel {
         }
         Ok((out, report))
     }
+}
+
+/// Provenance records for the densified form of `segment`: replays
+/// [`geo_kernel::resample_timed_max_spacing`]'s insertion walk so the
+/// output stays parallel to it. Each inserted point is synthesized on
+/// the way to `segment[i + 1]`, so it inherits that vertex's evidence
+/// with the kind rewritten.
+fn densified_provenance(
+    segment: &[TimedPoint],
+    records: &[PointProvenance],
+    max_spacing_m: f64,
+) -> Vec<PointProvenance> {
+    debug_assert_eq!(segment.len(), records.len());
+    if segment.len() < 2 {
+        return records.to_vec();
+    }
+    let mut out = Vec::with_capacity(records.len() * 2);
+    out.push(records[0].clone());
+    for (i, w) in segment.windows(2).enumerate() {
+        let d = geo_kernel::haversine_m(&w[0].pos, &w[1].pos);
+        if d > max_spacing_m {
+            let pieces = (d / max_spacing_m).ceil() as usize;
+            for _ in 1..pieces {
+                let mut synth = records[i + 1].clone();
+                synth.kind = ProvenanceKind::Synthesized;
+                out.push(synth);
+            }
+        }
+        out.push(records[i + 1].clone());
+    }
+    out
 }
 
 #[cfg(test)]
@@ -255,6 +336,45 @@ mod tests {
             max_gap_spacing <= 450.0,
             "imputed spacing {max_gap_spacing:.0} m should respect densification"
         );
+    }
+
+    #[test]
+    fn provenance_variant_matches_points_and_labels_densified_inserts() {
+        let model = lane_model();
+        let track = gappy_track();
+        let config = RepairConfig {
+            gap_threshold_s: 20 * 60,
+            densify_max_spacing_m: Some(200.0),
+        };
+        let (plain, _) = model.repair_track(&track, &config).expect("repair");
+        let (with, report) = model
+            .repair_track_with_provenance(&track, &config)
+            .expect("repair");
+
+        // The repaired track is byte-identical to the plain variant's.
+        assert_eq!(plain.len(), with.len());
+        for (a, b) in plain.iter().zip(&with) {
+            assert_eq!(a.pos.lon.to_bits(), b.pos.lon.to_bits());
+            assert_eq!(a.pos.lat.to_bits(), b.pos.lat.to_bits());
+            assert_eq!(a.t, b.t);
+        }
+
+        // Every successful gap carries one record per spliced point,
+        // and the tight spacing bound forces synthesized inserts.
+        let mut synthesized = 0usize;
+        for gap in &report.gaps {
+            let prov = gap.provenance.as_ref().expect("requested provenance");
+            assert_eq!(prov.len(), gap.points_added);
+            synthesized += prov
+                .iter()
+                .filter(|r| r.kind == ProvenanceKind::Synthesized)
+                .count();
+        }
+        assert!(synthesized > 0, "200 m bound must densify the lane");
+
+        // The plain variant reports no provenance at all.
+        let (_, plain_report) = model.repair_track(&track, &config).expect("repair");
+        assert!(plain_report.gaps.iter().all(|g| g.provenance.is_none()));
     }
 
     #[test]

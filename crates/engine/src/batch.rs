@@ -24,6 +24,7 @@ use crate::lru::LruCache;
 use crate::pool::ThreadPool;
 use aggdb::fxhash::FxHashMap;
 use habit_core::{GapQuery, HabitModel, Imputation, Route};
+use habit_obs::Recorder;
 use hexgrid::HexCell;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -121,6 +122,23 @@ impl BatchImputer {
         queries: &[GapQuery],
         pool: &ThreadPool,
     ) -> (Vec<Result<Imputation, BatchFailure>>, BatchStats) {
+        self.impute_batch_traced(queries, pool, false, None, "impute_batch")
+    }
+
+    /// [`Self::impute_batch`] with the serving knobs exposed: when
+    /// `provenance` is set each successful [`Imputation`] carries its
+    /// per-point [`habit_core::PointProvenance`] records (the points
+    /// themselves stay byte-identical); when `recorder` is set the
+    /// batch's `route` stage (snap + dedup + A*) and `impute` stage
+    /// (projection, timestamps, RDP) are recorded as spans under `op`.
+    pub fn impute_batch_traced(
+        &self,
+        queries: &[GapQuery],
+        pool: &ThreadPool,
+        provenance: bool,
+        recorder: Option<&Recorder>,
+        op: &str,
+    ) -> (Vec<Result<Imputation, BatchFailure>>, BatchStats) {
         let mut stats = BatchStats {
             queries: queries.len(),
             ..BatchStats::default()
@@ -130,6 +148,7 @@ impl BatchImputer {
         }
 
         // -- 1. Snap every query's endpoints (parallel, query order).
+        let route_span = recorder.map(|r| r.span("route", op));
         let model = self.model.as_ref();
         let snapped: Vec<Result<(HexCell, HexCell), BatchFailure>> =
             pool.map_items(queries, |gap| {
@@ -190,7 +209,10 @@ impl BatchImputer {
             }
         }
 
+        drop(route_span);
+
         // -- 4. Per-query tail: projection, timestamps, simplification.
+        let tail_span = recorder.map(|r| r.span("impute", op));
         let indices: Vec<usize> = (0..queries.len()).collect();
         let results: Vec<Result<Imputation, BatchFailure>> =
             pool.map_items(&indices, |&i| match &snapped[i] {
@@ -202,12 +224,20 @@ impl BatchImputer {
                             from: key.0,
                             to: key.1,
                         }),
-                        RouteOutcome::Found(route) => {
-                            Ok(model.imputation_from_route(&queries[i], route, *start, *end))
-                        }
+                        RouteOutcome::Found(route) => Ok(if provenance {
+                            model.imputation_from_route_with_provenance(
+                                &queries[i],
+                                route,
+                                *start,
+                                *end,
+                            )
+                        } else {
+                            model.imputation_from_route(&queries[i], route, *start, *end)
+                        }),
                     }
                 }
             });
+        drop(tail_span);
 
         stats.ok = results.iter().filter(|r| r.is_ok()).count();
         stats.failed = stats.queries - stats.ok;
@@ -340,6 +370,39 @@ mod tests {
         assert_eq!(stats.failed, 1);
         assert!(matches!(results[3], Err(BatchFailure::Snap(_))));
         assert!(results[..3].iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn traced_batch_records_spans_and_carries_provenance() {
+        let model = lane_model();
+        let imputer = BatchImputer::new(Arc::clone(&model), 8);
+        let pool = ThreadPool::new(2);
+        let queries = lane_queries(6);
+        let recorder = Recorder::new(64);
+        let (plain, _) = imputer.impute_batch(&queries, &pool);
+        let (traced, _) =
+            imputer.impute_batch_traced(&queries, &pool, true, Some(&recorder), "impute_batch");
+
+        // Both stages show up, labeled with the op.
+        let spans = recorder.recent();
+        assert_eq!(spans.len(), 2, "{spans:?}");
+        assert_eq!(spans[0].name, "route");
+        assert_eq!(spans[1].name, "impute");
+        assert!(spans.iter().all(|s| s.op == "impute_batch" && s.ok));
+
+        // Provenance rides along without disturbing the points.
+        for (a, b) in plain.iter().zip(&traced) {
+            let (a, b) = (a.as_ref().expect("ok"), b.as_ref().expect("ok"));
+            assert!(a.provenance.is_none());
+            let prov = b.provenance.as_ref().expect("requested provenance");
+            assert_eq!(prov.len(), b.points.len());
+            assert_eq!(a.points.len(), b.points.len());
+            for (x, y) in a.points.iter().zip(&b.points) {
+                assert_eq!(x.t, y.t);
+                assert_eq!(x.pos.lon.to_bits(), y.pos.lon.to_bits());
+                assert_eq!(x.pos.lat.to_bits(), y.pos.lat.to_bits());
+            }
+        }
     }
 
     #[test]

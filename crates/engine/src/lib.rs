@@ -68,5 +68,8 @@ mod proptests;
 pub use batch::{BatchFailure, BatchImputer, BatchStats};
 pub use lru::LruCache;
 pub use pool::ThreadPool;
-pub use refit::{refit_model, refit_state, RefitOutcome};
-pub use shard::{accumulate_sharded, fit_sharded, sharded_transition_graph};
+pub use refit::{refit_model, refit_model_traced, refit_state, refit_state_traced, RefitOutcome};
+pub use shard::{
+    accumulate_sharded, accumulate_sharded_traced, fit_sharded, fit_sharded_traced,
+    sharded_transition_graph,
+};

@@ -17,9 +17,10 @@
 //! gap.
 
 use crate::pool::ThreadPool;
-use crate::shard::accumulate_sharded;
+use crate::shard::accumulate_sharded_traced;
 use aggdb::Table;
 use habit_core::{FitState, HabitError, HabitModel};
+use habit_obs::Recorder;
 
 /// What a refit absorbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,15 +42,35 @@ pub fn refit_state(
     shards: usize,
     pool: &ThreadPool,
 ) -> Result<RefitOutcome, HabitError> {
+    refit_state_traced(state, delta, shards, pool, None, "refit")
+}
+
+/// [`refit_state`] with phase spans: the delta accumulation records the
+/// `fit.*` phases and the state merge records `refit.merge`, all under
+/// `op`. The merged state is unaffected.
+pub fn refit_state_traced(
+    state: &mut FitState,
+    delta: &Table,
+    shards: usize,
+    pool: &ThreadPool,
+    recorder: Option<&Recorder>,
+    op: &str,
+) -> Result<RefitOutcome, HabitError> {
     if delta.num_rows() == 0 {
         return Ok(RefitOutcome::default());
     }
-    let delta_state = accumulate_sharded(delta, *state.config(), shards, pool)?;
+    let delta_state =
+        accumulate_sharded_traced(delta, *state.config(), shards, pool, recorder, op)?;
     let outcome = RefitOutcome {
         trips_added: delta_state.provenance().trips,
         reports_added: delta_state.provenance().reports,
     };
-    state.merge(delta_state)?;
+    let merge_span = recorder.map(|r| r.span("refit.merge", op));
+    let merged = state.merge(delta_state);
+    if let (Some(mut s), Err(_)) = (merge_span, &merged) {
+        s.fail();
+    }
+    merged?;
     Ok(outcome)
 }
 
@@ -63,12 +84,30 @@ pub fn refit_model(
     shards: usize,
     pool: &ThreadPool,
 ) -> Result<(HabitModel, RefitOutcome), HabitError> {
+    refit_model_traced(model, delta, shards, pool, None, "refit")
+}
+
+/// [`refit_model`] with phase spans under `op`: the state refit's
+/// phases plus a final `fit.finalize` for the graph rebuild.
+pub fn refit_model_traced(
+    model: &HabitModel,
+    delta: &Table,
+    shards: usize,
+    pool: &ThreadPool,
+    recorder: Option<&Recorder>,
+    op: &str,
+) -> Result<(HabitModel, RefitOutcome), HabitError> {
     let mut state = model.state().cloned().ok_or(HabitError::StateVersion {
         found: 0,
         supported: habit_core::FITSTATE_VERSION,
     })?;
-    let outcome = refit_state(&mut state, delta, shards, pool)?;
-    Ok((HabitModel::from_fit_state(state)?, outcome))
+    let outcome = refit_state_traced(&mut state, delta, shards, pool, recorder, op)?;
+    let span = recorder.map(|r| r.span("fit.finalize", op));
+    let finalized = HabitModel::from_fit_state(state);
+    if let (Some(mut s), Err(_)) = (span, &finalized) {
+        s.fail();
+    }
+    Ok((finalized?, outcome))
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ use habit_core::graphgen::{
     cell_agg_specs, lagged_trip_table, transition_agg_specs, transition_rows,
 };
 use habit_core::{FitState, HabitConfig, HabitError, HabitModel};
+use habit_obs::Recorder;
 use hexgrid::tiling::DEFAULT_TILE_LEVELS_UP;
 use hexgrid::{HexCell, TilePartitioner};
 
@@ -46,7 +47,28 @@ pub fn fit_sharded(
     shards: usize,
     pool: &ThreadPool,
 ) -> Result<HabitModel, HabitError> {
-    HabitModel::from_fit_state(accumulate_sharded(table, config, shards, pool)?)
+    fit_sharded_traced(table, config, shards, pool, None, "fit")
+}
+
+/// [`fit_sharded`] with phase spans: when `recorder` is set, the
+/// `fit.prepare` / `fit.accumulate` / `fit.merge` phases (via
+/// [`accumulate_sharded_traced`]) plus a `fit.finalize` phase are
+/// recorded under `op`. The fitted bytes are unaffected.
+pub fn fit_sharded_traced(
+    table: &Table,
+    config: HabitConfig,
+    shards: usize,
+    pool: &ThreadPool,
+    recorder: Option<&Recorder>,
+    op: &str,
+) -> Result<HabitModel, HabitError> {
+    let state = accumulate_sharded_traced(table, config, shards, pool, recorder, op)?;
+    let span = recorder.map(|r| r.span("fit.finalize", op));
+    let model = HabitModel::from_fit_state(state);
+    if let (Some(mut s), Err(_)) = (span, &model) {
+        s.fail();
+    }
+    model
 }
 
 /// The accumulate + merge stages: runs the partial group-bys per
@@ -59,13 +81,30 @@ pub fn accumulate_sharded(
     shards: usize,
     pool: &ThreadPool,
 ) -> Result<FitState, HabitError> {
+    accumulate_sharded_traced(table, config, shards, pool, None, "fit")
+}
+
+/// [`accumulate_sharded`] with phase spans under `op`: `fit.prepare`
+/// (provenance, lag, tile partition), `fit.accumulate` (per-shard
+/// partial group-bys), `fit.merge` (ordered merge + canonicalize).
+pub fn accumulate_sharded_traced(
+    table: &Table,
+    config: HabitConfig,
+    shards: usize,
+    pool: &ThreadPool,
+    recorder: Option<&Recorder>,
+    op: &str,
+) -> Result<FitState, HabitError> {
     let shards = shards.max(1);
+    let prepare_span = recorder.map(|r| r.span("fit.prepare", op));
     let provenance = FitProvenance::of_table(table)?;
     let lagged = lagged_trip_table(table, &config)?;
     let shard_tables = partition_by_tile(&lagged, config.resolution, shards)?;
+    drop(prepare_span);
 
     // One pool task per shard: both partial group-bys over that shard's
     // rows. Chunk size 1 keeps shards independently schedulable.
+    let accumulate_span = recorder.map(|r| r.span("fit.accumulate", op));
     let partials: Vec<Result<(PartialGroupBy, PartialGroupBy), HabitError>> =
         pool.map_chunks(&shard_tables, 1, |_, chunk| {
             let shard = &chunk[0];
@@ -74,10 +113,13 @@ pub fn accumulate_sharded(
                 .group_by_partial(&["lag_cl", "cl"], &transition_agg_specs())?;
             Ok((cells, transitions))
         });
+    drop(accumulate_span);
 
     // Merge in ascending shard order — deterministic regardless of which
     // worker finished first. (`FitState::from_partials` then erases even
     // that order by canonicalizing.)
+    // Held (not dropped) so the span covers the canonicalize below.
+    let _merge_span = recorder.map(|r| r.span("fit.merge", op));
     let mut cell_merged: Option<PartialGroupBy> = None;
     let mut trans_merged: Option<PartialGroupBy> = None;
     for shard_result in partials {
@@ -155,6 +197,7 @@ fn partition_by_tile(
 mod tests {
     use super::*;
     use ais::{trips_to_table, AisPoint, Trip};
+    use habit_obs::Recorder;
 
     fn corridor_table() -> Table {
         // Two corridors far enough apart to live in different tiles.
@@ -226,6 +269,24 @@ mod tests {
         // Two distant corridors must not all land in one shard.
         let non_empty = parts.iter().filter(|t| t.num_rows() > 0).count();
         assert!(non_empty >= 2, "tiles all hashed to one shard");
+    }
+
+    #[test]
+    fn traced_fit_records_every_phase_and_identical_bytes() {
+        let table = corridor_table();
+        let config = HabitConfig::default();
+        let pool = ThreadPool::new(2);
+        let recorder = Recorder::new(16);
+        let plain = fit_sharded(&table, config, 2, &pool).expect("fit");
+        let traced =
+            fit_sharded_traced(&table, config, 2, &pool, Some(&recorder), "fit").expect("fit");
+        assert_eq!(plain.to_bytes(), traced.to_bytes());
+        let names: Vec<&str> = recorder.recent().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            ["fit.prepare", "fit.accumulate", "fit.merge", "fit.finalize"]
+        );
+        assert!(recorder.recent().iter().all(|s| s.op == "fit" && s.ok));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::scan::SourceFile;
 
 /// The pinned sink modules: every path producing serialized bytes,
 /// wire/JSON/CSV output, or committed report rows.
-pub const SINK_SUFFIXES: [&str; 18] = [
+pub const SINK_SUFFIXES: [&str; 20] = [
     "crates/aggdb/src/partial.rs",
     "crates/aggdb/src/hll.rs",
     "crates/aggdb/src/csv.rs",
@@ -46,6 +46,8 @@ pub const SINK_SUFFIXES: [&str; 18] = [
     "crates/mobgraph/src/codec.rs",
     "crates/service/src/wire.rs",
     "crates/service/src/csvio.rs",
+    "crates/obs/src/text.rs",
+    "crates/obs/src/spanjson.rs",
     "crates/eval/src/json.rs",
     "crates/eval/src/report.rs",
     "crates/density/src/map.rs",

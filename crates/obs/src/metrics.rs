@@ -1,0 +1,422 @@
+//! Typed metrics: counters, gauges, fixed-bucket histograms, and a
+//! registry with deterministic snapshots.
+//!
+//! Handles are `Arc`s resolved once per `(name, labels)` key; the
+//! per-event cost is one or two atomic adds. Histograms observe
+//! **integer µs ticks** into a bucket layout fixed at construction, so
+//! bucket counts — and the quantiles estimated from them — are a pure
+//! function of the observed multiset, never of timing jitter in the
+//! estimator itself. [`Registry::snapshot`] emits samples in a pinned
+//! order (BTreeMap key order; per histogram: buckets by bound, then
+//! `_count`, `_sum`, then `quantile="0.5|0.95|0.99"`), which is what
+//! makes the text endpoint golden-testable.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default latency bucket upper bounds, in µs ticks: 50 µs … 30 s.
+pub const LATENCY_BUCKETS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000,
+    30_000_000,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (set / add / sub).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (negative to subtract).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over integer µs ticks.
+///
+/// Bucket `i` counts observations `v` with `bounds[i-1] < v <=
+/// bounds[i]`; one overflow bucket past the last bound catches the
+/// tail. Quantiles interpolate linearly inside the bracketing bucket,
+/// clamped to the last finite bound for the overflow bucket — so an
+/// estimate always lands inside (or on the edge of) the bucket holding
+/// the true quantile, which the crate's proptest pins.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly increasing, non-empty upper
+    /// bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(!bounds.is_empty());
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (µs ticks).
+    pub fn observe(&self, value: u64) {
+        let i = self.bounds.partition_point(|&b| b < value);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (µs ticks).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Cumulative count of observations `<= bounds[i]`, plus the total
+    /// as a final entry (the `+Inf` bucket).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut cum = 0u64;
+        self.buckets
+            .iter()
+            .map(|b| {
+                cum += b.load(Ordering::Relaxed);
+                cum
+            })
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (0 < q <= 1) from the bucket counts:
+    /// the bracketing bucket is found by rank `ceil(q·count)`, then
+    /// linearly interpolated. Returns 0 for an empty histogram; the
+    /// overflow bucket clamps to the last finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        let last = *self.bounds.last().expect("non-empty bounds") as f64;
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        let mut lo = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if cum + in_bucket >= rank {
+                let Some(&hi) = self.bounds.get(i) else {
+                    return last; // overflow bucket: clamp
+                };
+                let into = (rank - cum) as f64 / in_bucket as f64;
+                return lo as f64 + (hi - lo) as f64 * into;
+            }
+            cum += in_bucket;
+            lo = self.bounds.get(i).copied().unwrap_or(lo);
+        }
+        last
+    }
+}
+
+/// One rendered sample: a metric name, its label pairs (sorted,
+/// deterministic), and a value. Counter/gauge values are exact as f64
+/// below 2^53 — far beyond any counter this process will reach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric (family) name, e.g. `habit_requests_total`.
+    pub name: String,
+    /// Label pairs in pinned order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A deterministic point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Samples in the registry's pinned order.
+    pub samples: Vec<Sample>,
+}
+
+type Key = (String, Vec<(String, String)>);
+
+/// A registry of counters, gauges, and histograms keyed by
+/// `(name, labels)`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<Key, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<Key, Arc<Histogram>>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    (
+        name.to_string(),
+        labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    )
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter for `(name, labels)`, created on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(key(name, labels)).or_default())
+    }
+
+    /// The gauge for `(name, labels)`, created on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(key(name, labels)).or_default())
+    }
+
+    /// The histogram for `(name, labels)`, created on first use with
+    /// the given bounds. Bounds are fixed by whoever registers first.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(key(name, labels))
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Renders every metric into a [`Snapshot`] in pinned order:
+    /// counters, then gauges, then histograms, each in BTreeMap key
+    /// order; histograms expand to `_bucket{le=…}` rows in bound order
+    /// (ending with `+Inf`), `_count`, `_sum`, and p50/p95/p99
+    /// `quantile` rows.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut samples = Vec::new();
+        {
+            let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            for ((name, labels), c) in map.iter() {
+                samples.push(Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: c.get() as f64,
+                });
+            }
+        }
+        {
+            let map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+            for ((name, labels), g) in map.iter() {
+                samples.push(Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: g.get() as f64,
+                });
+            }
+        }
+        {
+            let map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+            for ((name, labels), h) in map.iter() {
+                let cumulative = h.cumulative();
+                for (i, &bound) in h.bounds().iter().enumerate() {
+                    let mut ls = labels.clone();
+                    ls.push(("le".to_string(), bound.to_string()));
+                    samples.push(Sample {
+                        name: format!("{name}_bucket"),
+                        labels: ls,
+                        value: cumulative[i] as f64,
+                    });
+                }
+                let mut ls = labels.clone();
+                ls.push(("le".to_string(), "+Inf".to_string()));
+                samples.push(Sample {
+                    name: format!("{name}_bucket"),
+                    labels: ls,
+                    value: *cumulative.last().unwrap_or(&0) as f64,
+                });
+                samples.push(Sample {
+                    name: format!("{name}_count"),
+                    labels: labels.clone(),
+                    value: h.count() as f64,
+                });
+                samples.push(Sample {
+                    name: format!("{name}_sum"),
+                    labels: labels.clone(),
+                    value: h.sum() as f64,
+                });
+                for (tag, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                    let mut ls = labels.clone();
+                    ls.push(("quantile".to_string(), tag.to_string()));
+                    samples.push(Sample {
+                        name: name.clone(),
+                        labels: ls,
+                        value: h.quantile(q),
+                    });
+                }
+            }
+        }
+        Snapshot { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = Registry::new();
+        let c = reg.counter("req", &[("op", "impute")]);
+        c.inc();
+        c.add(2);
+        assert_eq!(reg.counter("req", &[("op", "impute")]).get(), 3);
+        // A different label set is a different counter.
+        assert_eq!(reg.counter("req", &[("op", "health")]).get(), 0);
+
+        let g = reg.gauge("conns", &[]);
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(7);
+        assert_eq!(reg.gauge("conns", &[]).get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 5, 10, 11, 90, 500, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1 + 5 + 10 + 11 + 90 + 500 + 5000);
+        // <=10: 3, <=100: 5, <=1000: 6, +Inf: 7.
+        assert_eq!(h.cumulative(), vec![3, 5, 6, 7]);
+        // Median rank 4 lands in the (10, 100] bucket.
+        let p50 = h.quantile(0.5);
+        assert!((10.0..=100.0).contains(&p50), "{p50}");
+        // The tail rank lands in the overflow bucket: clamped.
+        assert_eq!(h.quantile(0.99), 1000.0);
+        // Empty histogram.
+        assert_eq!(Histogram::new(&[10]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_order_is_pinned() {
+        let reg = Registry::new();
+        reg.counter("b_total", &[]).inc();
+        reg.counter("a_total", &[("op", "x")]).add(2);
+        reg.gauge("g", &[]).set(-1);
+        reg.histogram("lat", &[("op", "x")], &[10, 100]).observe(7);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "a_total",
+                "b_total",
+                "g",
+                "lat_bucket",
+                "lat_bucket",
+                "lat_bucket",
+                "lat_count",
+                "lat_sum",
+                "lat",
+                "lat",
+                "lat",
+            ]
+        );
+        assert_eq!(snap.samples[3].labels[1], ("le".into(), "10".into()));
+        assert_eq!(snap.samples[5].labels[1], ("le".into(), "+Inf".into()));
+        assert_eq!(snap.samples[8].labels[1], ("quantile".into(), "0.5".into()));
+        // Deterministic: a second snapshot is identical.
+        assert_eq!(snap, reg.snapshot());
+    }
+
+    /// Finds the index of the bucket (0-based, `bounds.len()` =
+    /// overflow) a value falls into.
+    fn bucket_of(bounds: &[u64], v: u64) -> usize {
+        bounds.partition_point(|&b| b < v)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The quantile estimate must bracket the true quantile: both
+        /// land in the same bucket, so the estimate lies within the
+        /// true value's bucket bounds (clamped to the last finite
+        /// bound for the overflow bucket).
+        #[test]
+        fn quantile_estimate_brackets_the_true_quantile(
+            samples in proptest::collection::vec(0u64..100_000, 1..200),
+            q_millis in 1u64..=1000,
+        ) {
+            let q = q_millis as f64 / 1000.0;
+            let bounds = LATENCY_BUCKETS_US;
+            let h = Histogram::new(&bounds);
+            for &v in &samples {
+                h.observe(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let true_q = sorted[rank - 1];
+            let estimate = h.quantile(q);
+
+            let bi = bucket_of(&bounds, true_q);
+            if bi >= bounds.len() {
+                // True quantile is past the last bound: the estimate
+                // clamps to the last finite bound.
+                prop_assert_eq!(estimate, *bounds.last().unwrap() as f64);
+            } else {
+                let lo = if bi == 0 { 0 } else { bounds[bi - 1] } as f64;
+                let hi = bounds[bi] as f64;
+                prop_assert!(
+                    estimate >= lo && estimate <= hi,
+                    "estimate {} outside bucket [{}, {}] of true quantile {}",
+                    estimate, lo, hi, true_q
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The Prometheus-style plaintext renderer for metric snapshots.
+//!
+//! One sample per line — `name{label="v",…} value` (no braces when a
+//! sample has no labels) — rendered from a [`Snapshot`], whose sample
+//! order is already pinned, so the whole payload is deterministic for
+//! a given counter state and golden-testable byte for byte. Values
+//! render through Rust's shortest-round-trip `f64` `Display`, which
+//! prints integral values with no fraction (`42`, not `42.0`).
+
+use crate::metrics::Snapshot;
+
+/// Renders a snapshot as the text exposition payload.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for sample in &snapshot.samples {
+        out.push_str(&sample.name);
+        if !sample.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in sample.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push_str("=\"");
+                push_escaped(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push(' ');
+        push_value(&mut out, sample.value);
+        out.push('\n');
+    }
+    out
+}
+
+/// Label values escape backslash, quote, and newline (the exposition
+/// format's required set).
+fn push_escaped(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Shortest-round-trip rendering; integral values have no fraction.
+fn push_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Registry, LATENCY_BUCKETS_US};
+
+    #[test]
+    fn renders_labels_values_and_escapes() {
+        let reg = Registry::new();
+        reg.counter("habit_requests_total", &[("op", "impute")])
+            .add(3);
+        reg.counter("habit_requests_total", &[("op", "health")])
+            .inc();
+        reg.gauge("habit_connections_open", &[]).set(2);
+        reg.counter("weird", &[("path", "a\"b\\c\nd")]).inc();
+        let text = render(&reg.snapshot());
+        assert!(text.contains("habit_requests_total{op=\"health\"} 1\n"));
+        assert!(text.contains("habit_requests_total{op=\"impute\"} 3\n"));
+        assert!(text.contains("habit_connections_open 2\n"));
+        assert!(text.contains("weird{path=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    /// The golden byte-layout test: a seeded, synthetic request
+    /// sequence injected into a registry must render to exactly these
+    /// bytes — pinning family order, bucket expansion, label
+    /// rendering, and value formatting all at once.
+    #[test]
+    fn golden_text_layout_for_a_seeded_sequence() {
+        let reg = Registry::new();
+        // The scripted sequence: 2 imputes (ok, 180 µs and 420 µs),
+        // 1 health (ok, 40 µs), 1 failed impute (bad_request, 9 µs).
+        let lat = |op| reg.histogram("habit_request_latency_us", &[("op", op)], &[100, 500]);
+        for (op, us, ok) in [
+            ("impute", 180u64, true),
+            ("health", 40, true),
+            ("impute", 420, true),
+            ("impute", 9, false),
+        ] {
+            reg.counter("habit_requests_total", &[("op", op)]).inc();
+            lat(op).observe(us);
+            if !ok {
+                reg.counter("habit_errors_total", &[("code", "bad_request"), ("op", op)])
+                    .inc();
+            }
+        }
+        reg.counter("habit_route_cache_hits_total", &[]).add(5);
+        reg.counter("habit_route_cache_misses_total", &[]).add(2);
+        reg.gauge("habit_connections_open", &[]).set(1);
+
+        let expected = "\
+habit_errors_total{code=\"bad_request\",op=\"impute\"} 1
+habit_requests_total{op=\"health\"} 1
+habit_requests_total{op=\"impute\"} 3
+habit_route_cache_hits_total 5
+habit_route_cache_misses_total 2
+habit_connections_open 1
+habit_request_latency_us_bucket{op=\"health\",le=\"100\"} 1
+habit_request_latency_us_bucket{op=\"health\",le=\"500\"} 1
+habit_request_latency_us_bucket{op=\"health\",le=\"+Inf\"} 1
+habit_request_latency_us_count{op=\"health\"} 1
+habit_request_latency_us_sum{op=\"health\"} 40
+habit_request_latency_us{op=\"health\",quantile=\"0.5\"} 100
+habit_request_latency_us{op=\"health\",quantile=\"0.95\"} 100
+habit_request_latency_us{op=\"health\",quantile=\"0.99\"} 100
+habit_request_latency_us_bucket{op=\"impute\",le=\"100\"} 1
+habit_request_latency_us_bucket{op=\"impute\",le=\"500\"} 3
+habit_request_latency_us_bucket{op=\"impute\",le=\"+Inf\"} 3
+habit_request_latency_us_count{op=\"impute\"} 3
+habit_request_latency_us_sum{op=\"impute\"} 609
+habit_request_latency_us{op=\"impute\",quantile=\"0.5\"} 300
+habit_request_latency_us{op=\"impute\",quantile=\"0.95\"} 500
+habit_request_latency_us{op=\"impute\",quantile=\"0.99\"} 500
+";
+        assert_eq!(render(&reg.snapshot()), expected);
+        // Byte-stable across renders.
+        assert_eq!(render(&reg.snapshot()), render(&reg.snapshot()));
+    }
+
+    #[test]
+    fn non_finite_values_render_in_exposition_form() {
+        use crate::metrics::{Sample, Snapshot};
+        let snap = Snapshot {
+            samples: vec![
+                Sample {
+                    name: "a".into(),
+                    labels: vec![],
+                    value: f64::NAN,
+                },
+                Sample {
+                    name: "b".into(),
+                    labels: vec![],
+                    value: f64::INFINITY,
+                },
+            ],
+        };
+        assert_eq!(render(&snap), "a NaN\nb +Inf\n");
+    }
+
+    #[test]
+    fn default_latency_buckets_are_increasing() {
+        assert!(LATENCY_BUCKETS_US.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -19,8 +19,9 @@ use aggdb::csv::{read_csv, read_csv_path, write_csv_path};
 use aggdb::{AggError, Column, Table};
 use ais::{AisPoint, Trajectory};
 use geo_kernel::TimedPoint;
-use habit_core::{GapQuery, Imputation};
+use habit_core::{GapQuery, Imputation, PointProvenance};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::io::Read;
 use std::path::Path;
 
@@ -258,6 +259,75 @@ pub fn write_batch_csv(results: &[Option<&Imputation>], path: &Path) -> Result<(
     Ok(())
 }
 
+/// Header of the provenance CSV (`habit impute --provenance`).
+pub const PROVENANCE_HEADER: &str =
+    "t,lon,lat,kind,cell,from_cell,cell_msgs,edge_transitions,cost_share,confidence";
+
+/// One provenance CSV row (without the trailing newline or any leading
+/// columns). Coordinates and shares use fixed 6-decimal formatting so
+/// the bytes are identical across runs and backends.
+fn provenance_row(out: &mut String, p: &TimedPoint, r: &PointProvenance) {
+    let cell = r.cell.map_or(String::new(), |c| format!("{:#x}", c.raw()));
+    let from = r
+        .from_cell
+        .map_or(String::new(), |c| format!("{:#x}", c.raw()));
+    let _ = write!(
+        out,
+        "{},{:.6},{:.6},{},{},{},{},{},{:.6},{:.6}",
+        p.t,
+        p.pos.lon,
+        p.pos.lat,
+        r.kind.as_str(),
+        cell,
+        from,
+        r.cell_msgs,
+        r.edge_transitions,
+        r.cost_share,
+        r.confidence
+    );
+}
+
+/// Renders an imputation's per-point provenance as CSV text
+/// (`t,lon,lat,kind,cell,from_cell,…`); rows pair points with their
+/// provenance records positionally.
+pub fn render_provenance_csv(imp: &Imputation) -> String {
+    let records = imp.provenance.as_deref().unwrap_or(&[]);
+    let mut out = String::from(PROVENANCE_HEADER);
+    out.push('\n');
+    for (p, r) in imp.points.iter().zip(records) {
+        provenance_row(&mut out, p, r);
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`render_provenance_csv`] to `path`.
+pub fn write_provenance_csv(imp: &Imputation, path: &Path) -> Result<(), IoError> {
+    std::fs::write(path, render_provenance_csv(imp)).map_err(|e| IoError::Csv(AggError::Io(e)))
+}
+
+/// Writes batch results with provenance as a provenance CSV with a
+/// leading `gap` column; failed queries and results without provenance
+/// contribute no rows.
+pub fn write_batch_provenance_csv(
+    results: &[Option<&Imputation>],
+    path: &Path,
+) -> Result<(), IoError> {
+    let mut out = String::from("gap,");
+    out.push_str(PROVENANCE_HEADER);
+    out.push('\n');
+    for (i, result) in results.iter().enumerate() {
+        let Some(imp) = result else { continue };
+        let records = imp.provenance.as_deref().unwrap_or(&[]);
+        for (p, r) in imp.points.iter().zip(records) {
+            let _ = write!(out, "{i},");
+            provenance_row(&mut out, p, r);
+            out.push('\n');
+        }
+    }
+    std::fs::write(path, out).map_err(|e| IoError::Csv(AggError::Io(e)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +419,7 @@ mod tests {
             cost: 1.0,
             expanded: 1,
             raw_point_count: 2,
+            provenance: None,
         };
         let out = tmp("batch-out.csv");
         write_batch_csv(&[Some(&imp), None, Some(&imp)], &out).expect("write");
@@ -361,6 +432,72 @@ mod tests {
             .map(|l| l.split(',').next().unwrap())
             .collect();
         assert_eq!(gap_ids, vec!["0", "0", "2", "2"]);
+    }
+
+    #[test]
+    fn provenance_csv_layout_is_pinned() {
+        use habit_core::ProvenanceKind;
+        let cell = hexgrid::HexCell::from_axial(9, 0, 0).unwrap();
+        let imp = Imputation {
+            points: vec![
+                TimedPoint::new(10.05, 56.0, 0),
+                TimedPoint::new(10.123456789, 56.5, 1800),
+            ],
+            cells: vec![cell],
+            start_cell: cell,
+            end_cell: cell,
+            cost: 1.0,
+            expanded: 1,
+            raw_point_count: 2,
+            provenance: Some(vec![
+                PointProvenance {
+                    kind: ProvenanceKind::Observed,
+                    cell: Some(cell),
+                    from_cell: None,
+                    cell_msgs: 42,
+                    edge_transitions: 0,
+                    cost_share: 0.0,
+                    confidence: 1.0,
+                },
+                PointProvenance {
+                    kind: ProvenanceKind::Route,
+                    cell: Some(cell),
+                    from_cell: Some(cell),
+                    cell_msgs: 7,
+                    edge_transitions: 3,
+                    cost_share: 0.125,
+                    confidence: 0.75,
+                },
+            ]),
+        };
+        let text = render_provenance_csv(&imp);
+        let hex = format!("{:#x}", cell.raw());
+        assert_eq!(
+            text,
+            format!(
+                "{PROVENANCE_HEADER}\n\
+                 0,10.050000,56.000000,observed,{hex},,42,0,0.000000,1.000000\n\
+                 1800,10.123457,56.500000,route,{hex},{hex},7,3,0.125000,0.750000\n"
+            )
+        );
+
+        // Batch variant: leading gap column; provenance-free results
+        // contribute no rows.
+        let plain = Imputation {
+            provenance: None,
+            ..imp.clone()
+        };
+        let out = tmp("prov-batch.csv");
+        write_batch_provenance_csv(&[Some(&imp), None, Some(&plain)], &out).expect("write");
+        let batch = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&out).ok();
+        assert!(batch.starts_with("gap,t,lon,lat,kind,"));
+        let gap_ids: Vec<&str> = batch
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next().unwrap())
+            .collect();
+        assert_eq!(gap_ids, vec!["0", "0"]);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! every frontend — the `habit` CLI, the `habit serve` TCP daemon,
 //! tests — executes the same code path:
 //!
-//! * [`Request`] / [`Response`] — the eight operations (`Fit`, `Refit`,
+//! * [`Request`] / [`Response`] — the nine operations (`Fit`, `Refit`,
 //!   `Impute`, `ImputeBatch`, `Repair`, `ModelInfo`, `Health`,
-//!   `Shutdown`) and their typed payloads;
+//!   `Metrics`, `Shutdown`) and their typed payloads;
 //! * [`ServiceError`] / [`ErrorCode`] — the unified error taxonomy:
 //!   every failure anywhere in the stack maps to a stable
 //!   machine-readable code, and each code implies exactly one CLI exit
@@ -15,6 +15,11 @@
 //!   [`habit_engine::BatchImputer`] (whose route cache stays warm
 //!   across requests), and the compute [`habit_engine::ThreadPool`];
 //!   [`Service::handle`] executes any request;
+//! * [`ServiceMetrics`] — the observability surface: per-op request /
+//!   error / latency metrics (a [`habit_obs::Registry`]) plus stage
+//!   spans (a [`habit_obs::Recorder`]), fed by every `handle` call and
+//!   exposed via the `metrics` op, the `health` payload, and the
+//!   daemon's plaintext metrics endpoint;
 //! * [`wire`] — the hand-rolled line-delimited JSON codec
 //!   (`habit-wire/v1`, no serde) and [`server`] — the blocking TCP
 //!   daemon behind `habit serve`;
@@ -41,7 +46,9 @@
 //!
 //! let service = Service::with_model(ServiceConfig::default(), model);
 //! let gap = GapQuery::new(10.05, 56.0, 1_500, 10.3, 56.0, 9_000);
-//! let response = service.handle(&Request::Impute { gap }).unwrap();
+//! let response = service
+//!     .handle(&Request::Impute { gap, provenance: false })
+//!     .unwrap();
 //! let Response::Imputation(imputed) = response else { unreachable!() };
 //! assert!(imputed.points.len() >= 2);
 //! ```
@@ -49,6 +56,7 @@
 
 pub mod csvio;
 pub mod error;
+pub mod metrics;
 pub mod request;
 pub mod response;
 pub mod server;
@@ -56,6 +64,7 @@ pub mod service;
 pub mod wire;
 
 pub use error::{ErrorCode, ServiceError};
+pub use metrics::ServiceMetrics;
 pub use request::{
     parse_projection, projection_token, FitSpec, RefitSpec, Request, PROTOCOL_VERSION,
 };
@@ -63,5 +72,5 @@ pub use response::{
     BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, RefitSummary, RepairOutcome,
     RepairedGap, Response,
 };
-pub use server::{serve, ServeOptions};
+pub use server::{serve, serve_with_metrics, ServeOptions};
 pub use service::{Service, ServiceConfig};

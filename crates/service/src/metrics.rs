@@ -1,0 +1,203 @@
+//! The service's metric surface: one [`ServiceMetrics`] per
+//! [`crate::Service`], shared by every frontend of that service.
+//!
+//! Wraps a [`habit_obs::Registry`] (typed counters / gauges /
+//! histograms with a pinned snapshot order) and a [`habit_obs::Recorder`]
+//! (stage spans on a monotonic µs clock). All durations are integer µs
+//! ticks — no `SystemTime` anywhere near a serialized value — and the
+//! metric families are fixed here so every exposition path (the
+//! `metrics` wire op, the extended `health` payload, the plaintext
+//! endpoint of `habit serve --metrics-port`) reports the same names:
+//!
+//! * `habit_requests_total{op=…}` — every handled request, malformed
+//!   lines counted under `op="unknown"`;
+//! * `habit_errors_total{code=…,op=…}` — failed requests by taxonomy
+//!   code;
+//! * `habit_request_latency_us{op=…}` — a fixed-bucket histogram per
+//!   op, quantiles derived deterministically from the bucket counts;
+//! * `habit_route_cache_hits_total` / `habit_route_cache_misses_total`
+//!   — the batch imputer's route cache, accumulated across requests;
+//! * `habit_refits_total` — successful fit/refit model swaps;
+//! * `habit_connections_open` — live daemon connections (gauge).
+
+use crate::error::ErrorCode;
+use habit_engine::BatchStats;
+use habit_obs::{Recorder, Registry, Snapshot, LATENCY_BUCKETS_US};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many finished spans the recorder retains for `GET /spans`.
+const SPAN_CAPACITY: usize = 1024;
+
+/// Metrics + span recorder of one service instance.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    registry: Registry,
+    recorder: Recorder,
+    requests_total: AtomicU64,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// A fresh metric surface; the recorder's epoch (and therefore
+    /// `uptime_ticks`) starts now.
+    pub fn new() -> Self {
+        Self {
+            registry: Registry::new(),
+            recorder: Recorder::new(SPAN_CAPACITY),
+            requests_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying registry (for exposition).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span recorder (stage timings; also the tick source).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Microseconds since this service's metrics were created.
+    pub fn uptime_ticks(&self) -> u64 {
+        self.recorder.ticks()
+    }
+
+    /// Requests observed so far, every op and outcome included.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Records one handled request: the per-op counter, its latency
+    /// observation, and — when it failed — the per-code error counter.
+    /// Malformed requests that never parsed use `op = "unknown"`.
+    pub fn observe_request(&self, op: &str, error: Option<ErrorCode>, duration_ticks: u64) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.registry
+            .counter("habit_requests_total", &[("op", op)])
+            .inc();
+        self.registry
+            .histogram(
+                "habit_request_latency_us",
+                &[("op", op)],
+                &LATENCY_BUCKETS_US,
+            )
+            .observe(duration_ticks);
+        if let Some(code) = error {
+            self.registry
+                .counter("habit_errors_total", &[("code", code.as_str()), ("op", op)])
+                .inc();
+        }
+    }
+
+    /// Accumulates a batch's route-cache counters.
+    pub fn observe_batch(&self, stats: &BatchStats) {
+        if stats.cache_hits > 0 {
+            self.registry
+                .counter("habit_route_cache_hits_total", &[])
+                .add(stats.cache_hits as u64);
+        }
+        if stats.routes_computed > 0 {
+            self.registry
+                .counter("habit_route_cache_misses_total", &[])
+                .add(stats.routes_computed as u64);
+        }
+    }
+
+    /// Route-cache `(hits, misses)` accumulated so far.
+    pub fn route_cache_counts(&self) -> (u64, u64) {
+        (
+            self.registry
+                .counter("habit_route_cache_hits_total", &[])
+                .get(),
+            self.registry
+                .counter("habit_route_cache_misses_total", &[])
+                .get(),
+        )
+    }
+
+    /// Counts one successful model swap (fit or refit).
+    pub fn observe_refit(&self) {
+        self.registry.counter("habit_refits_total", &[]).inc();
+    }
+
+    /// Tracks the daemon's live-connection gauge.
+    pub fn connection_opened(&self) {
+        self.registry.gauge("habit_connections_open", &[]).add(1);
+    }
+
+    /// The paired decrement of [`Self::connection_opened`].
+    pub fn connection_closed(&self) {
+        self.registry.gauge("habit_connections_open", &[]).add(-1);
+    }
+
+    /// The snapshot every exposition path serves, in the registry's
+    /// pinned order.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_observations_feed_every_family() {
+        let m = ServiceMetrics::new();
+        m.observe_request("impute", None, 120);
+        m.observe_request("impute", Some(ErrorCode::NoPath), 80);
+        m.observe_request("unknown", Some(ErrorCode::BadRequest), 5);
+        assert_eq!(m.requests_total(), 3);
+        let text = habit_obs::text::render(&m.snapshot());
+        assert!(
+            text.contains("habit_requests_total{op=\"impute\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("habit_requests_total{op=\"unknown\"} 1\n"));
+        assert!(text.contains("habit_errors_total{code=\"no_path\",op=\"impute\"} 1\n"));
+        assert!(text.contains("habit_errors_total{code=\"bad_request\",op=\"unknown\"} 1\n"));
+        assert!(text.contains("habit_request_latency_us_count{op=\"impute\"} 2\n"));
+    }
+
+    #[test]
+    fn cache_refit_and_connection_counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.observe_batch(&BatchStats {
+            queries: 4,
+            ok: 4,
+            failed: 0,
+            unique_routes: 3,
+            cache_hits: 1,
+            routes_computed: 2,
+        });
+        m.observe_batch(&BatchStats {
+            cache_hits: 4,
+            ..BatchStats::default()
+        });
+        assert_eq!(m.route_cache_counts(), (5, 2));
+        m.observe_refit();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        let text = habit_obs::text::render(&m.snapshot());
+        assert!(text.contains("habit_refits_total 1\n"));
+        assert!(text.contains("habit_connections_open 1\n"));
+        // Zero-valued batches never mint the counter families early.
+        assert!(text.contains("habit_route_cache_hits_total 5\n"));
+        assert!(text.contains("habit_route_cache_misses_total 2\n"));
+    }
+
+    #[test]
+    fn uptime_is_monotonic() {
+        let m = ServiceMetrics::new();
+        let a = m.uptime_ticks();
+        let b = m.uptime_ticks();
+        assert!(b >= a);
+    }
+}

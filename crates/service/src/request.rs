@@ -64,18 +64,27 @@ pub struct RefitSpec {
 pub enum Request {
     /// Liveness + model summary; always answerable.
     Health,
+    /// The service's metrics snapshot (counters, gauges, latency
+    /// quantiles); always answerable.
+    Metrics,
     /// Describe the loaded model (config, graph size, storage).
     ModelInfo,
     /// Impute a single gap.
     Impute {
         /// The gap to impute.
         gap: GapQuery,
+        /// Attach per-point repair evidence
+        /// ([`habit_core::PointProvenance`]) to the imputation. The
+        /// imputed points are byte-identical either way.
+        provenance: bool,
     },
     /// Impute a batch of gaps concurrently (route dedup + cache);
     /// per-gap failures are data, not request failures.
     ImputeBatch {
         /// The gaps, answered in order.
         gaps: Vec<GapQuery>,
+        /// Attach per-point repair evidence to each successful result.
+        provenance: bool,
     },
     /// Fill every over-threshold silence in a time-ordered track.
     Repair {
@@ -83,6 +92,8 @@ pub enum Request {
         track: Vec<TimedPoint>,
         /// Gap threshold and densification bounds.
         config: RepairConfig,
+        /// Attach per-point repair evidence to each repaired gap.
+        provenance: bool,
     },
     /// Fit a model from an AIS CSV and install it as the serving model.
     Fit(FitSpec),
@@ -99,6 +110,7 @@ impl Request {
     pub fn op(&self) -> &'static str {
         match self {
             Request::Health => "health",
+            Request::Metrics => "metrics",
             Request::ModelInfo => "model_info",
             Request::Impute { .. } => "impute",
             Request::ImputeBatch { .. } => "impute_batch",
@@ -145,6 +157,7 @@ mod tests {
     #[test]
     fn ops_are_stable() {
         assert_eq!(Request::Health.op(), "health");
+        assert_eq!(Request::Metrics.op(), "metrics");
         assert_eq!(Request::Shutdown.op(), "shutdown");
         assert_eq!(Request::Fit(FitSpec::default()).op(), "fit");
         assert_eq!(

@@ -7,8 +7,9 @@
 
 use crate::error::ServiceError;
 use geo_kernel::TimedPoint;
-use habit_core::{HabitConfig, Imputation};
+use habit_core::{HabitConfig, Imputation, PointProvenance};
 use habit_engine::{BatchFailure, BatchStats};
+use habit_obs::Snapshot;
 
 /// Liveness payload: what is this process serving right now?
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +24,14 @@ pub struct HealthInfo {
     pub cells: usize,
     /// Transition-graph edges of the loaded model (0 when none).
     pub transitions: usize,
+    /// Microseconds since the service started (monotonic clock).
+    pub uptime_ticks: u64,
+    /// Requests handled since start, every op and outcome included.
+    pub requests_total: u64,
+    /// Route-cache hits accumulated across all imputations.
+    pub route_cache_hits: u64,
+    /// Route-cache misses (A* searches run) accumulated.
+    pub route_cache_misses: u64,
 }
 
 /// Embedded fit-state vitals of a refittable (v2) model.
@@ -86,6 +95,9 @@ pub struct RepairedGap {
     pub points_added: usize,
     /// Why imputation failed, when it did.
     pub error: Option<ServiceError>,
+    /// Per-point repair evidence, parallel to the spliced points.
+    /// `Some` only when the request asked for provenance.
+    pub provenance: Option<Vec<PointProvenance>>,
 }
 
 /// Result of a track repair.
@@ -155,6 +167,9 @@ pub struct RefitSummary {
 pub enum Response {
     /// Payload of [`crate::Request::Health`].
     Health(HealthInfo),
+    /// Payload of [`crate::Request::Metrics`]: the service's metric
+    /// snapshot in its pinned sample order.
+    Metrics(Snapshot),
     /// Payload of [`crate::Request::ModelInfo`].
     ModelInfo(ModelReport),
     /// Payload of [`crate::Request::Impute`].
@@ -176,6 +191,7 @@ impl Response {
     pub fn op(&self) -> &'static str {
         match self {
             Response::Health(_) => "health",
+            Response::Metrics(_) => "metrics",
             Response::ModelInfo(_) => "model_info",
             Response::Imputation(_) => "impute",
             Response::Batch(_) => "impute_batch",

@@ -36,10 +36,12 @@
 //! accept never kills the daemon.
 
 use crate::error::ServiceError;
+use crate::metrics::ServiceMetrics;
 use crate::response::Response;
 use crate::service::Service;
 use crate::wire;
 use habit_engine::ThreadPool;
+use habit_obs::SpanRecord;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
@@ -84,7 +86,25 @@ pub fn serve(
     listener: TcpListener,
     options: ServeOptions,
 ) -> Result<usize, ServiceError> {
+    serve_with_metrics(service, listener, options, None)
+}
+
+/// [`serve`] plus an optional plaintext metrics endpoint: when
+/// `metrics_listener` is given, each connection to it gets one
+/// HTTP/1.0 response — the service's metric snapshot in exposition
+/// text format, or recent stage spans as line-JSON for `GET /spans` —
+/// and is closed. The endpoint shares the daemon's shutdown: it stops
+/// accepting when the serve loop exits.
+pub fn serve_with_metrics(
+    service: &Arc<Service>,
+    listener: TcpListener,
+    options: ServeOptions,
+    metrics_listener: Option<TcpListener>,
+) -> Result<usize, ServiceError> {
     listener.set_nonblocking(true)?;
+    if let Some(ml) = &metrics_listener {
+        ml.set_nonblocking(true)?;
+    }
     if options.watch_stdin {
         let svc = Arc::clone(service);
         std::thread::Builder::new()
@@ -102,6 +122,9 @@ pub fn serve(
     let idle_timeout = options.idle_timeout;
     let mut served = 0usize;
     while !service.shutdown_requested() {
+        if let Some(ml) = &metrics_listener {
+            poll_metrics_listener(ml, service);
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 served += 1;
@@ -136,9 +159,27 @@ pub fn serve(
 /// Serves one connection: reads request lines, writes one response line
 /// per request, closes on EOF, I/O error, idle timeout, an oversized
 /// line, or handled shutdown.
+///
+/// Every request line — including lines that never parse — feeds the
+/// service's metrics (`parse` / `render` spans, the connection gauge,
+/// and for malformed lines an `op="unknown"` error observation), so a
+/// failed request is never invisible to the counters.
 fn handle_connection(stream: TcpStream, service: &Service, idle_timeout: Duration) {
+    let metrics = service.metrics();
+    metrics.connection_opened();
+    handle_connection_inner(stream, service, idle_timeout, metrics);
+    metrics.connection_closed();
+}
+
+fn handle_connection_inner(
+    stream: TcpStream,
+    service: &Service,
+    idle_timeout: Duration,
+    metrics: &ServiceMetrics,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
+    let recorder = metrics.recorder();
     let mut reader = LineReader::new(&stream);
     let mut out = &stream;
     let mut last_activity = std::time::Instant::now();
@@ -165,6 +206,7 @@ fn handle_connection(stream: TcpStream, service: &Service, idle_timeout: Duratio
                 let err = ServiceError::bad_request(format!(
                     "request line exceeds {MAX_LINE_BYTES} bytes"
                 ));
+                metrics.observe_request("unknown", Some(err.code), 0);
                 let mut reply = wire::encode_response(&Err(err));
                 reply.push('\n');
                 let _ = out.write_all(reply.as_bytes()).and_then(|_| out.flush());
@@ -175,10 +217,34 @@ fn handle_connection(stream: TcpStream, service: &Service, idle_timeout: Duratio
         if line.trim().is_empty() {
             continue;
         }
-        let result = wire::decode_request(&line).and_then(|req| service.handle(&req));
+        let parse_start = recorder.ticks();
+        let decoded = wire::decode_request(&line);
+        let parse_ticks = recorder.ticks().saturating_sub(parse_start);
+        let op = decoded.as_ref().map_or("unknown", |r| r.op());
+        recorder.record(SpanRecord {
+            name: "parse",
+            op: op.to_string(),
+            start_ticks: parse_start,
+            duration_ticks: parse_ticks,
+            ok: decoded.is_ok(),
+        });
+        let result = match decoded {
+            Ok(req) => service.handle(&req),
+            Err(e) => {
+                // `Service::handle` never ran, so the malformed line is
+                // counted here — as `op="unknown"` with its parse cost.
+                metrics.observe_request("unknown", Some(e.code), parse_ticks);
+                Err(e)
+            }
+        };
         let stop = matches!(result, Ok(Response::ShuttingDown));
+        let mut render_span = recorder.span("render", op);
         let mut reply = wire::encode_response(&result);
         reply.push('\n');
+        if result.is_err() {
+            render_span.fail();
+        }
+        drop(render_span);
         if out
             .write_all(reply.as_bytes())
             .and_then(|_| out.flush())
@@ -190,6 +256,69 @@ fn handle_connection(stream: TcpStream, service: &Service, idle_timeout: Duratio
             break;
         }
     }
+}
+
+/// Drains every connection currently queued on the metrics listener,
+/// answering each on a short-lived thread so a slow scraper can never
+/// stall the daemon's accept loop.
+fn poll_metrics_listener(listener: &TcpListener, service: &Arc<Service>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let metrics = Arc::clone(service.metrics());
+                let spawned = std::thread::Builder::new()
+                    .name("habit-metrics".into())
+                    .spawn(move || handle_metrics_connection(stream, &metrics));
+                if spawned.is_err() {
+                    eprintln!("habit serve: failed to spawn metrics responder");
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("habit serve: metrics accept error (retrying): {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Answers one metrics-endpoint connection with a single HTTP/1.0
+/// response and closes it: `GET /spans` returns recent stage spans as
+/// line-JSON, every other request the metric snapshot in exposition
+/// text format.
+fn handle_metrics_connection(stream: TcpStream, metrics: &ServiceMetrics) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    // Read the request line (best effort — a bare `GET /` from nc and a
+    // full HTTP request from curl both work; headers are irrelevant).
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let mut s = &stream;
+    while !buf.contains(&b'\n') && buf.len() < 8192 {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&buf);
+    let path = request_line
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let body = if path == "/spans" {
+        habit_obs::spanjson::render_spans(&metrics.recorder().recent())
+    } else {
+        habit_obs::text::render(&metrics.snapshot())
+    };
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = s.write_all(response.as_bytes()).and_then(|_| s.flush());
 }
 
 /// Why [`LineReader::next_line`] yielded no line yet.
@@ -339,7 +468,10 @@ mod tests {
         assert!(h.model_loaded);
 
         let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
-        let reply = send(&wire::encode_request(&Request::Impute { gap }));
+        let reply = send(&wire::encode_request(&Request::Impute {
+            gap,
+            provenance: false,
+        }));
         let Ok(Response::Imputation(served)) = wire::decode_response(&reply).unwrap() else {
             panic!("impute: {reply}");
         };
@@ -359,6 +491,99 @@ mod tests {
         ));
         let served_count = server.join().expect("server thread");
         assert_eq!(served_count, 1);
+
+        // The garbage line and the shutdown both fed the counters —
+        // error paths and lifecycle requests are never invisible.
+        let text = habit_obs::text::render(&service.metrics().snapshot());
+        assert!(
+            text.contains("habit_errors_total{code=\"bad_request\",op=\"unknown\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("habit_requests_total{op=\"unknown\"} 1\n"));
+        assert!(text.contains("habit_requests_total{op=\"shutdown\"} 1\n"));
+        assert!(text.contains("habit_connections_open 0\n"));
+        let spans = service.metrics().recorder().recent();
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "parse" && s.op == "unknown" && !s.ok));
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "render" && s.op == "unknown" && !s.ok));
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "handle" && s.op == "shutdown" && s.ok));
+    }
+
+    /// The optional metrics endpoint answers plaintext exposition and
+    /// `GET /spans` over HTTP/1.0 while the daemon serves requests.
+    #[test]
+    fn metrics_endpoint_serves_text_and_spans() {
+        let service = Arc::new(Service::with_model(
+            ServiceConfig {
+                threads: 2,
+                cache_capacity: 16,
+            },
+            lane_model(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let metrics_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let metrics_addr = metrics_listener.local_addr().unwrap();
+        let svc = Arc::clone(&service);
+        let server = std::thread::spawn(move || {
+            serve_with_metrics(
+                &svc,
+                listener,
+                ServeOptions {
+                    connection_threads: 2,
+                    ..ServeOptions::default()
+                },
+                Some(metrics_listener),
+            )
+            .expect("serve")
+        });
+
+        // One health request so the counters are non-trivial.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        {
+            let mut s = &stream;
+            s.write_all(wire::encode_request(&Request::Health).as_bytes())
+                .unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+        }
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(matches!(
+            wire::decode_response(&reply).unwrap(),
+            Ok(Response::Health(_))
+        ));
+
+        let http_get = |path: &str| -> String {
+            let conn = TcpStream::connect(metrics_addr).unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let mut c = &conn;
+            c.write_all(format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").as_bytes())
+                .unwrap();
+            c.flush().unwrap();
+            let mut body = String::new();
+            BufReader::new(&conn).read_to_string(&mut body).unwrap();
+            body
+        };
+
+        let page = http_get("/metrics");
+        assert!(page.starts_with("HTTP/1.0 200 OK\r\n"), "{page}");
+        assert!(page.contains("Content-Type: text/plain"), "{page}");
+        assert!(page.contains("habit_requests_total{op=\"health\"} 1\n"));
+
+        let spans = http_get("/spans");
+        assert!(spans.contains("\"name\":\"handle\""), "{spans}");
+        assert!(spans.contains("\"op\":\"health\""), "{spans}");
+
+        service.request_shutdown();
+        server.join().expect("server thread");
     }
 
     /// An idle connection is closed after `idle_timeout`, freeing its

@@ -7,6 +7,7 @@
 //! over a socket is byte-for-byte the imputation the CLI prints.
 
 use crate::error::{ErrorCode, ServiceError};
+use crate::metrics::ServiceMetrics;
 use crate::request::{FitSpec, RefitSpec, Request};
 use crate::response::{
     BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, RefitSummary, RepairOutcome,
@@ -14,7 +15,7 @@ use crate::response::{
 };
 use ais::{segment_all, segment_all_from, trips_to_table, TripConfig};
 use habit_core::{GapQuery, HabitConfig, HabitModel};
-use habit_engine::{fit_sharded, refit_model, BatchImputer, ThreadPool};
+use habit_engine::{fit_sharded_traced, refit_model_traced, BatchImputer, ThreadPool};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
@@ -60,6 +61,7 @@ pub struct Service {
     /// Read-only traffic never takes this lock.
     mutate: std::sync::Mutex<()>,
     stopping: AtomicBool,
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl Service {
@@ -72,7 +74,14 @@ impl Service {
             state: RwLock::new(None),
             mutate: std::sync::Mutex::new(()),
             stopping: AtomicBool::new(false),
+            metrics: Arc::new(ServiceMetrics::new()),
         }
+    }
+
+    /// The service's metric surface (shared with the daemon's metrics
+    /// endpoint).
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
     }
 
     /// A service serving `model`.
@@ -126,13 +135,35 @@ impl Service {
     /// Executes one request. Every failure is a [`ServiceError`] with a
     /// stable code; per-gap failures inside a batch are data in the
     /// [`BatchOutcome`], not request failures.
+    ///
+    /// Every call — success, error, even `Shutdown` — records a
+    /// `handle` span and feeds the per-op request/error/latency
+    /// metrics, so a failed request is never invisible.
     pub fn handle(&self, request: &Request) -> Result<Response, ServiceError> {
+        let op = request.op();
+        let mut span = self.metrics.recorder().span("handle", op);
+        let result = self.dispatch(request);
+        if result.is_err() {
+            span.fail();
+        }
+        let duration = span.finish();
+        self.metrics
+            .observe_request(op, result.as_ref().err().map(|e| e.code), duration);
+        result
+    }
+
+    fn dispatch(&self, request: &Request) -> Result<Response, ServiceError> {
         match request {
             Request::Health => Ok(Response::Health(self.health())),
+            Request::Metrics => Ok(Response::Metrics(self.metrics.snapshot())),
             Request::ModelInfo => self.model_info(),
-            Request::Impute { gap } => self.impute(gap),
-            Request::ImputeBatch { gaps } => self.impute_batch(gaps),
-            Request::Repair { track, config } => self.repair(track, config),
+            Request::Impute { gap, provenance } => self.impute(gap, *provenance),
+            Request::ImputeBatch { gaps, provenance } => self.impute_batch(gaps, *provenance),
+            Request::Repair {
+                track,
+                config,
+                provenance,
+            } => self.repair(track, config, *provenance),
             Request::Fit(spec) => self.fit(spec),
             Request::Refit(spec) => self.refit(spec),
             Request::Shutdown => {
@@ -147,12 +178,17 @@ impl Service {
         let (cells, transitions) = state
             .as_ref()
             .map_or((0, 0), |l| (l.model.node_count(), l.model.edge_count()));
+        let (route_cache_hits, route_cache_misses) = self.metrics.route_cache_counts();
         HealthInfo {
             version: env!("CARGO_PKG_VERSION").to_string(),
             threads: self.pool.threads(),
             model_loaded: state.is_some(),
             cells,
             transitions,
+            uptime_ticks: self.metrics.uptime_ticks(),
+            requests_total: self.metrics.requests_total(),
+            route_cache_hits,
+            route_cache_misses,
         }
     }
 
@@ -197,7 +233,7 @@ impl Service {
         })
     }
 
-    fn impute(&self, gap: &GapQuery) -> Result<Response, ServiceError> {
+    fn impute(&self, gap: &GapQuery, provenance: bool) -> Result<Response, ServiceError> {
         if gap.duration_s() <= 0 {
             return Err(ServiceError::bad_request(format!(
                 "invalid gap: end (t={}) must be later than start (t={})",
@@ -211,9 +247,14 @@ impl Service {
             // Through the batch imputer (batch of one) so single-gap
             // traffic shares the warm route cache with batches; the
             // engine asserts batch == single-query results.
-            let (mut results, _) = loaded
-                .imputer
-                .impute_batch(std::slice::from_ref(gap), &self.pool);
+            let (mut results, stats) = loaded.imputer.impute_batch_traced(
+                std::slice::from_ref(gap),
+                &self.pool,
+                provenance,
+                Some(self.metrics.recorder()),
+                "impute",
+            );
+            self.metrics.observe_batch(&stats);
             match results.pop().expect("one result per query") {
                 Ok(imputation) => Ok(Response::Imputation(imputation)),
                 Err(failure) => Err(failure.into()),
@@ -221,10 +262,17 @@ impl Service {
         })
     }
 
-    fn impute_batch(&self, gaps: &[GapQuery]) -> Result<Response, ServiceError> {
+    fn impute_batch(&self, gaps: &[GapQuery], provenance: bool) -> Result<Response, ServiceError> {
         self.with_loaded(|loaded| {
             let t0 = Instant::now();
-            let (results, stats) = loaded.imputer.impute_batch(gaps, &self.pool);
+            let (results, stats) = loaded.imputer.impute_batch_traced(
+                gaps,
+                &self.pool,
+                provenance,
+                Some(self.metrics.recorder()),
+                "impute_batch",
+            );
+            self.metrics.observe_batch(&stats);
             Ok(Response::Batch(BatchOutcome {
                 results,
                 stats,
@@ -238,6 +286,7 @@ impl Service {
         &self,
         track: &[geo_kernel::TimedPoint],
         config: &habit_core::RepairConfig,
+        provenance: bool,
     ) -> Result<Response, ServiceError> {
         if track.len() < 2 {
             // Payload data problem, not flag misuse: runtime failure
@@ -262,7 +311,11 @@ impl Service {
             }
         }
         self.with_loaded(|loaded| {
-            let (points, report) = loaded.model.repair_track(track, config)?;
+            let (points, report) = if provenance {
+                loaded.model.repair_track_with_provenance(track, config)?
+            } else {
+                loaded.model.repair_track(track, config)?
+            };
             let gaps = report
                 .gaps
                 .into_iter()
@@ -271,6 +324,7 @@ impl Service {
                     duration_s: g.duration_s,
                     points_added: g.points_added,
                     error: g.error.map(ServiceError::from),
+                    provenance: g.provenance,
                 })
                 .collect();
             Ok(Response::Repaired(RepairOutcome {
@@ -307,7 +361,14 @@ impl Service {
         // Sharded fit on the pool: byte-identical to the sequential
         // `HabitModel::fit` at every shard/thread count (engine proptest).
         let table = trips_to_table(&trips);
-        let model = fit_sharded(&table, config, self.pool.threads(), &self.pool)?;
+        let model = fit_sharded_traced(
+            &table,
+            config,
+            self.pool.threads(),
+            &self.pool,
+            Some(self.metrics.recorder()),
+            "fit",
+        )?;
         // `--save-state` writes the v2 container (graph + fit state), so
         // the blob on disk can be refitted by a later process; the lean
         // v1 blob stays the default. The *serving* model keeps its state
@@ -330,6 +391,7 @@ impl Service {
             saved_to: spec.save_to.clone(),
         };
         self.install_model(model);
+        self.metrics.observe_refit();
         Ok(Response::Fitted(summary))
     }
 
@@ -369,7 +431,14 @@ impl Service {
             ));
         }
         let delta = trips_to_table(&trips);
-        let (refitted, outcome) = refit_model(&model, &delta, self.pool.threads(), &self.pool)?;
+        let (refitted, outcome) = refit_model_traced(
+            &model,
+            &delta,
+            self.pool.threads(),
+            &self.pool,
+            Some(self.metrics.recorder()),
+            "refit",
+        )?;
 
         let bytes = refitted.to_bytes_full();
         if let Some(out) = &spec.save_to {
@@ -388,6 +457,7 @@ impl Service {
             saved_to: spec.save_to.clone(),
         };
         self.install_model(refitted);
+        self.metrics.observe_refit();
         Ok(Response::Refitted(summary))
     }
 }
@@ -469,7 +539,13 @@ mod tests {
         let svc = small_service();
         let model = svc.model().expect("loaded");
         let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
-        let Response::Imputation(served) = svc.handle(&Request::Impute { gap }).unwrap() else {
+        let Response::Imputation(served) = svc
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap()
+        else {
             panic!("imputation");
         };
         let direct = model.impute(&gap).unwrap();
@@ -485,13 +561,21 @@ mod tests {
     fn impute_validates_and_reports_taxonomy_codes() {
         let svc = small_service();
         let inverted = GapQuery::new(10.05, 56.0, 100, 10.4, 56.0, 50);
-        let err = svc.handle(&Request::Impute { gap: inverted }).unwrap_err();
+        let err = svc
+            .handle(&Request::Impute {
+                gap: inverted,
+                provenance: false,
+            })
+            .unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
         assert!(err.message.contains("later"), "{err}");
 
         let unsnappable = GapQuery::new(10.05, 95.0, 0, 10.4, 56.0, 3600);
         let err = svc
-            .handle(&Request::Impute { gap: unsnappable })
+            .handle(&Request::Impute {
+                gap: unsnappable,
+                provenance: false,
+            })
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::SnapFailed);
 
@@ -500,7 +584,12 @@ mod tests {
             cache_capacity: 8,
         });
         let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
-        let err = empty.handle(&Request::Impute { gap }).unwrap_err();
+        let err = empty
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap_err();
         assert_eq!(err.code, ErrorCode::NoModel);
     }
 
@@ -509,7 +598,10 @@ mod tests {
         let svc = small_service();
         let gaps = vec![GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600); 6];
         let Response::Batch(first) = svc
-            .handle(&Request::ImputeBatch { gaps: gaps.clone() })
+            .handle(&Request::ImputeBatch {
+                gaps: gaps.clone(),
+                provenance: false,
+            })
             .unwrap()
         else {
             panic!("batch");
@@ -520,7 +612,13 @@ mod tests {
 
         // Second request: the same route comes from the cache — and a
         // single `Impute` shares it too.
-        let Response::Batch(second) = svc.handle(&Request::ImputeBatch { gaps }).unwrap() else {
+        let Response::Batch(second) = svc
+            .handle(&Request::ImputeBatch {
+                gaps,
+                provenance: false,
+            })
+            .unwrap()
+        else {
             panic!("batch");
         };
         assert_eq!(second.stats.cache_hits, 1);
@@ -550,6 +648,7 @@ mod tests {
             .handle(&Request::Repair {
                 track: track.clone(),
                 config,
+                provenance: false,
             })
             .unwrap()
         else {
@@ -567,6 +666,7 @@ mod tests {
             .handle(&Request::Repair {
                 track: track[..1].to_vec(),
                 config,
+                provenance: false,
             })
             .unwrap_err();
         assert!(err.message.contains("two points"), "{err}");
@@ -578,6 +678,7 @@ mod tests {
                     gap_threshold_s: -5,
                     densify_max_spacing_m: None,
                 },
+                provenance: false,
             })
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
@@ -632,7 +733,12 @@ mod tests {
 
         // And imputation now works without any restart.
         let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
-        assert!(svc.handle(&Request::Impute { gap }).is_ok());
+        assert!(svc
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .is_ok());
     }
 
     #[test]
@@ -752,7 +858,12 @@ mod tests {
 
         // And the refitted model answers queries immediately.
         let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
-        assert!(svc.handle(&Request::Impute { gap }).is_ok());
+        assert!(svc
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .is_ok());
 
         for p in [&history, &delta, &combined] {
             std::fs::remove_file(p).ok();
@@ -855,5 +966,116 @@ mod tests {
         let resp = svc.handle(&Request::Shutdown).unwrap();
         assert!(matches!(resp, Response::ShuttingDown));
         assert!(svc.shutdown_requested());
+        // Even the shutdown request left a span and fed the counters.
+        let spans = svc.metrics().recorder().recent();
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "handle" && s.op == "shutdown" && s.ok));
+    }
+
+    #[test]
+    fn every_request_feeds_the_metrics_surface() {
+        let svc = small_service();
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        svc.handle(&Request::Impute {
+            gap,
+            provenance: false,
+        })
+        .unwrap();
+        let inverted = GapQuery::new(10.05, 56.0, 100, 10.4, 56.0, 50);
+        svc.handle(&Request::Impute {
+            gap: inverted,
+            provenance: false,
+        })
+        .unwrap_err();
+        let Response::Metrics(snapshot) = svc.handle(&Request::Metrics).unwrap() else {
+            panic!("metrics");
+        };
+        let text = habit_obs::text::render(&snapshot);
+        assert!(
+            text.contains("habit_requests_total{op=\"impute\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("habit_errors_total{code=\"bad_request\",op=\"impute\"} 1\n"));
+        assert!(text.contains("habit_route_cache_misses_total 1\n"));
+        // Failed requests record failed spans, successful ones ok spans.
+        let spans = svc.metrics().recorder().recent();
+        let handled: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "handle" && s.op == "impute")
+            .collect();
+        assert_eq!(handled.len(), 2);
+        assert!(handled[0].ok && !handled[1].ok);
+        // The engine stages were traced under the request's op.
+        assert!(spans.iter().any(|s| s.name == "route" && s.op == "impute"));
+        assert!(spans.iter().any(|s| s.name == "impute" && s.op == "impute"));
+
+        // Health mirrors the same counters and stays monotonic.
+        let Response::Health(h1) = svc.handle(&Request::Health).unwrap() else {
+            panic!("health");
+        };
+        let Response::Health(h2) = svc.handle(&Request::Health).unwrap() else {
+            panic!("health");
+        };
+        assert_eq!(h1.route_cache_misses, 1);
+        assert!(h2.requests_total > h1.requests_total);
+        assert!(h2.uptime_ticks >= h1.uptime_ticks);
+    }
+
+    #[test]
+    fn provenance_flag_threads_through_impute_and_repair() {
+        let svc = small_service();
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        let Response::Imputation(plain) = svc
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("imputation");
+        };
+        let Response::Imputation(with) = svc
+            .handle(&Request::Impute {
+                gap,
+                provenance: true,
+            })
+            .unwrap()
+        else {
+            panic!("imputation");
+        };
+        assert!(plain.provenance.is_none());
+        let records = with.provenance.as_ref().expect("requested provenance");
+        assert_eq!(records.len(), with.points.len());
+        assert_eq!(plain.points, with.points, "points are byte-identical");
+
+        let mut track: Vec<geo_kernel::TimedPoint> = Vec::new();
+        for i in 0..200i64 {
+            if (60..100).contains(&i) {
+                continue;
+            }
+            track.push(geo_kernel::TimedPoint::new(
+                10.0 + i as f64 * 0.003,
+                56.0,
+                i * 60,
+            ));
+        }
+        let config = habit_core::RepairConfig {
+            gap_threshold_s: 1800,
+            densify_max_spacing_m: Some(250.0),
+        };
+        let Response::Repaired(out) = svc
+            .handle(&Request::Repair {
+                track,
+                config,
+                provenance: true,
+            })
+            .unwrap()
+        else {
+            panic!("repair");
+        };
+        assert_eq!(out.gaps_imputed(), 1);
+        let gap_prov = out.gaps[0].provenance.as_ref().expect("repair provenance");
+        assert_eq!(gap_prov.len(), out.gaps[0].points_added);
     }
 }

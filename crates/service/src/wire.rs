@@ -41,8 +41,11 @@ use crate::response::{
 };
 use eval::json::Json;
 use geo_kernel::TimedPoint;
-use habit_core::{GapQuery, HabitConfig, Imputation, RepairConfig};
+use habit_core::{
+    GapQuery, HabitConfig, Imputation, PointProvenance, ProvenanceKind, RepairConfig,
+};
 use habit_engine::{BatchFailure, BatchStats};
+use habit_obs::{Sample, Snapshot};
 use hexgrid::HexCell;
 
 // ---------------------------------------------------------------- helpers
@@ -192,6 +195,78 @@ fn gap_from(v: &Json) -> Result<GapQuery, ServiceError> {
     })
 }
 
+/// The optional `provenance` request flag: absent means `false`, so
+/// pre-provenance clients keep their exact request bytes.
+fn provenance_flag(doc: &Json) -> Result<bool, ServiceError> {
+    match doc.get("provenance") {
+        None => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(bad("field `provenance` must be a boolean")),
+    }
+}
+
+fn provenance_json(records: &[PointProvenance]) -> Json {
+    Json::Arr(
+        records
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("kind".into(), Json::Str(r.kind.as_str().into())),
+                    ("cell".into(), r.cell.map_or(Json::Null, cell_json)),
+                    ("from".into(), r.from_cell.map_or(Json::Null, cell_json)),
+                    ("msgs".into(), Json::from(r.cell_msgs)),
+                    (
+                        "transitions".into(),
+                        Json::from(u64::from(r.edge_transitions)),
+                    ),
+                    ("cost_share".into(), Json::Num(r.cost_share)),
+                    ("confidence".into(), Json::Num(r.confidence)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn provenance_record_from(v: &Json) -> Result<PointProvenance, ServiceError> {
+    let kind = str_field(v, "kind")?;
+    let kind = ProvenanceKind::parse(kind)
+        .ok_or_else(|| bad(format!("unknown provenance kind `{kind}`")))?;
+    let cell = match field(v, "cell")? {
+        Json::Null => None,
+        c => Some(cell_from(c)?),
+    };
+    let from_cell = match field(v, "from")? {
+        Json::Null => None,
+        c => Some(cell_from(c)?),
+    };
+    Ok(PointProvenance {
+        kind,
+        cell,
+        from_cell,
+        cell_msgs: u64_field(v, "msgs")?,
+        edge_transitions: u32::try_from(u64_field(v, "transitions")?)
+            .map_err(|_| bad("field `transitions` out of range"))?,
+        cost_share: f64_field(v, "cost_share")?,
+        confidence: f64_field(v, "confidence")?,
+    })
+}
+
+/// The optional `provenance` array of an imputation / repaired gap:
+/// emitted only when present, so non-provenance payload bytes are
+/// unchanged from pre-provenance builds.
+fn provenance_from(v: &Json) -> Result<Option<Vec<PointProvenance>>, ServiceError> {
+    match v.get("provenance") {
+        None | Some(Json::Null) => Ok(None),
+        Some(p) => Ok(Some(
+            p.as_arr()
+                .ok_or_else(|| bad("field `provenance` must be an array"))?
+                .iter()
+                .map(provenance_record_from)
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+    }
+}
+
 fn error_json(e: &ServiceError) -> Json {
     Json::Obj(vec![
         ("code".into(), Json::Str(e.code.as_str().into())),
@@ -214,18 +289,28 @@ pub fn encode_request(request: &Request) -> String {
         ("op".into(), Json::Str(request.op().into())),
     ];
     match request {
-        Request::Health | Request::ModelInfo | Request::Shutdown => {}
-        Request::Impute { gap } => {
+        Request::Health | Request::Metrics | Request::ModelInfo | Request::Shutdown => {}
+        Request::Impute { gap, provenance } => {
             fields.push(("from".into(), endpoint_json(&gap.start)));
             fields.push(("to".into(), endpoint_json(&gap.end)));
+            if *provenance {
+                fields.push(("provenance".into(), Json::Bool(true)));
+            }
         }
-        Request::ImputeBatch { gaps } => {
+        Request::ImputeBatch { gaps, provenance } => {
             fields.push((
                 "gaps".into(),
                 Json::Arr(gaps.iter().map(gap_json).collect()),
             ));
+            if *provenance {
+                fields.push(("provenance".into(), Json::Bool(true)));
+            }
         }
-        Request::Repair { track, config } => {
+        Request::Repair {
+            track,
+            config,
+            provenance,
+        } => {
             fields.push(("track".into(), points_json(track)));
             fields.push((
                 "threshold_s".into(),
@@ -235,6 +320,9 @@ pub fn encode_request(request: &Request) -> String {
                 "densify_m".into(),
                 config.densify_max_spacing_m.map_or(Json::Null, Json::Num),
             ));
+            if *provenance {
+                fields.push(("provenance".into(), Json::Bool(true)));
+            }
         }
         Request::Fit(spec) => {
             fields.push(("input".into(), Json::Str(spec.input.clone())));
@@ -276,6 +364,7 @@ pub fn decode_request(line: &str) -> Result<Request, ServiceError> {
     }
     match str_field(&doc, "op")? {
         "health" => Ok(Request::Health),
+        "metrics" => Ok(Request::Metrics),
         "model_info" => Ok(Request::ModelInfo),
         "shutdown" => Ok(Request::Shutdown),
         "impute" => Ok(Request::Impute {
@@ -283,13 +372,17 @@ pub fn decode_request(line: &str) -> Result<Request, ServiceError> {
                 start: endpoint_from(field(&doc, "from")?, "`from`")?,
                 end: endpoint_from(field(&doc, "to")?, "`to`")?,
             },
+            provenance: provenance_flag(&doc)?,
         }),
         "impute_batch" => {
             let gaps = arr_field(&doc, "gaps")?
                 .iter()
                 .map(gap_from)
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Request::ImputeBatch { gaps })
+            Ok(Request::ImputeBatch {
+                gaps,
+                provenance: provenance_flag(&doc)?,
+            })
         }
         "repair" => {
             let track = points_from(arr_field(&doc, "track")?)?;
@@ -308,6 +401,7 @@ pub fn decode_request(line: &str) -> Result<Request, ServiceError> {
                     gap_threshold_s: threshold_s,
                     densify_max_spacing_m: densify,
                 },
+                provenance: provenance_flag(&doc)?,
             })
         }
         "fit" => {
@@ -376,7 +470,7 @@ pub fn decode_request(line: &str) -> Result<Request, ServiceError> {
 // --------------------------------------------------------------- responses
 
 fn imputation_json(imp: &Imputation) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("points".into(), points_json(&imp.points)),
         (
             "cells".into(),
@@ -387,7 +481,11 @@ fn imputation_json(imp: &Imputation) -> Json {
         ("cost".into(), Json::Num(imp.cost)),
         ("expanded".into(), Json::from(imp.expanded as u64)),
         ("raw_points".into(), Json::from(imp.raw_point_count as u64)),
-    ])
+    ];
+    if let Some(records) = &imp.provenance {
+        fields.push(("provenance".into(), provenance_json(records)));
+    }
+    Json::Obj(fields)
 }
 
 fn imputation_from(v: &Json) -> Result<Imputation, ServiceError> {
@@ -402,6 +500,7 @@ fn imputation_from(v: &Json) -> Result<Imputation, ServiceError> {
         cost: f64_field(v, "cost")?,
         expanded: u64_field(v, "expanded")? as usize,
         raw_point_count: u64_field(v, "raw_points")? as usize,
+        provenance: provenance_from(v)?,
     })
 }
 
@@ -483,7 +582,43 @@ fn response_data(response: &Response) -> Json {
             ("model_loaded".into(), Json::Bool(h.model_loaded)),
             ("cells".into(), Json::from(h.cells as u64)),
             ("transitions".into(), Json::from(h.transitions as u64)),
+            ("uptime_ticks".into(), Json::from(h.uptime_ticks)),
+            ("requests_total".into(), Json::from(h.requests_total)),
+            ("route_cache_hits".into(), Json::from(h.route_cache_hits)),
+            (
+                "route_cache_misses".into(),
+                Json::from(h.route_cache_misses),
+            ),
         ]),
+        Response::Metrics(s) => Json::Obj(vec![(
+            "samples".into(),
+            Json::Arr(
+                s.samples
+                    .iter()
+                    .map(|sample| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(sample.name.clone())),
+                            (
+                                "labels".into(),
+                                Json::Arr(
+                                    sample
+                                        .labels
+                                        .iter()
+                                        .map(|(k, v)| {
+                                            Json::Arr(vec![
+                                                Json::Str(k.clone()),
+                                                Json::Str(v.clone()),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            ("value".into(), Json::Num(sample.value)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]),
         Response::ModelInfo(m) => Json::Obj(vec![
             (
                 "resolution".into(),
@@ -551,7 +686,7 @@ fn response_data(response: &Response) -> Json {
                     r.gaps
                         .iter()
                         .map(|g| {
-                            Json::Obj(vec![
+                            let mut fields = vec![
                                 ("after_index".into(), Json::from(g.after_index as u64)),
                                 ("duration_s".into(), Json::Num(exact(g.duration_s))),
                                 ("points_added".into(), Json::from(g.points_added as u64)),
@@ -559,7 +694,11 @@ fn response_data(response: &Response) -> Json {
                                     "error".into(),
                                     g.error.as_ref().map_or(Json::Null, error_json),
                                 ),
-                            ])
+                            ];
+                            if let Some(records) = &g.provenance {
+                                fields.push(("provenance".into(), provenance_json(records)));
+                            }
+                            Json::Obj(fields)
                         })
                         .collect(),
                 ),
@@ -653,6 +792,37 @@ pub fn decode_response(line: &str) -> Result<Result<Response, ServiceError>, Ser
             model_loaded: bool_field(data, "model_loaded")?,
             cells: u64_field(data, "cells")? as usize,
             transitions: u64_field(data, "transitions")? as usize,
+            uptime_ticks: u64_field(data, "uptime_ticks")?,
+            requests_total: u64_field(data, "requests_total")?,
+            route_cache_hits: u64_field(data, "route_cache_hits")?,
+            route_cache_misses: u64_field(data, "route_cache_misses")?,
+        }),
+        "metrics" => Response::Metrics(Snapshot {
+            samples: arr_field(data, "samples")?
+                .iter()
+                .map(|s| {
+                    Ok(Sample {
+                        name: str_field(s, "name")?.to_string(),
+                        labels: arr_field(s, "labels")?
+                            .iter()
+                            .map(|pair| {
+                                let kv = pair
+                                    .as_arr()
+                                    .filter(|a| a.len() == 2)
+                                    .ok_or_else(|| bad("label must be a [key,value] pair"))?;
+                                let k = kv[0]
+                                    .as_str()
+                                    .ok_or_else(|| bad("label key must be a string"))?;
+                                let v = kv[1]
+                                    .as_str()
+                                    .ok_or_else(|| bad("label value must be a string"))?;
+                                Ok((k.to_string(), v.to_string()))
+                            })
+                            .collect::<Result<Vec<_>, ServiceError>>()?,
+                        value: f64_field(s, "value")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ServiceError>>()?,
         }),
         "model_info" => Response::ModelInfo(ModelReport {
             config: HabitConfig {
@@ -703,6 +873,7 @@ pub fn decode_response(line: &str) -> Result<Result<Response, ServiceError>, Ser
                             None | Some(Json::Null) => None,
                             Some(e) => Some(error_from(e)?),
                         },
+                        provenance: provenance_from(g)?,
                     })
                 })
                 .collect::<Result<Vec<_>, ServiceError>>()?,
@@ -758,27 +929,40 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         round_trip_request(Request::Health);
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::ModelInfo);
         round_trip_request(Request::Shutdown);
-        round_trip_request(Request::Impute {
+        for provenance in [false, true] {
+            round_trip_request(Request::Impute {
+                gap: GapQuery::new(10.3, 57.1, 0, 10.85, 57.45, 3600),
+                provenance,
+            });
+            round_trip_request(Request::ImputeBatch {
+                gaps: vec![
+                    GapQuery::new(10.3, 57.1, 0, 10.85, 57.45, 3600),
+                    GapQuery::new(-3.25, 48.125, 100, -3.0, 48.5, 7200),
+                ],
+                provenance,
+            });
+            round_trip_request(Request::Repair {
+                track: vec![
+                    TimedPoint::new(10.0, 56.0, 0),
+                    TimedPoint::new(10.125, 56.0, 7200),
+                ],
+                config: RepairConfig {
+                    gap_threshold_s: 1800,
+                    densify_max_spacing_m: None,
+                },
+                provenance,
+            });
+        }
+        // `provenance:false` stays off the wire entirely — the request
+        // bytes are exactly what pre-provenance builds emitted.
+        let line = encode_request(&Request::Impute {
             gap: GapQuery::new(10.3, 57.1, 0, 10.85, 57.45, 3600),
+            provenance: false,
         });
-        round_trip_request(Request::ImputeBatch {
-            gaps: vec![
-                GapQuery::new(10.3, 57.1, 0, 10.85, 57.45, 3600),
-                GapQuery::new(-3.25, 48.125, 100, -3.0, 48.5, 7200),
-            ],
-        });
-        round_trip_request(Request::Repair {
-            track: vec![
-                TimedPoint::new(10.0, 56.0, 0),
-                TimedPoint::new(10.125, 56.0, 7200),
-            ],
-            config: RepairConfig {
-                gap_threshold_s: 1800,
-                densify_max_spacing_m: None,
-            },
-        });
+        assert!(!line.contains("provenance"), "{line}");
         round_trip_request(Request::Fit(FitSpec {
             input: "kiel.csv".into(),
             resolution: 8,
@@ -830,6 +1014,8 @@ mod tests {
             // 2^53+2: not exactly representable — rejected, not rounded.
             r#"{"v":1,"op":"impute","from":[1,2,9007199254740994],"to":[1,2,3]}"#,
             r#"{"v":1,"op":"repair","track":[[0,1,2]],"threshold_s":9007199254740994}"#,
+            // `provenance` must be a boolean, not truthy JSON.
+            r#"{"v":1,"op":"impute","from":[1,2,3],"to":[4,5,6],"provenance":1}"#,
         ] {
             let err = decode_request(line).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadRequest, "{line}: {err}");
@@ -853,6 +1039,7 @@ mod tests {
             cost: 2.125,
             expanded: 17,
             raw_point_count: 9,
+            provenance: None,
         };
         let cases: Vec<Result<Response, ServiceError>> = vec![
             Ok(Response::Health(HealthInfo {
@@ -861,6 +1048,10 @@ mod tests {
                 model_loaded: true,
                 cells: 120,
                 transitions: 240,
+                uptime_ticks: 1_500_000,
+                requests_total: 42,
+                route_cache_hits: 7,
+                route_cache_misses: 3,
             })),
             Ok(Response::Imputation(imp.clone())),
             Ok(Response::Batch(BatchOutcome {
@@ -892,12 +1083,14 @@ mod tests {
                         duration_s: 2400,
                         points_added: 1,
                         error: None,
+                        provenance: None,
                     },
                     RepairedGap {
                         after_index: 9,
                         duration_s: 3600,
                         points_added: 0,
                         error: Some(ServiceError::new(ErrorCode::NoPath, "no path")),
+                        provenance: None,
                     },
                 ],
             })),
@@ -991,5 +1184,111 @@ mod tests {
         };
         assert_eq!(back.blob_version, 1);
         assert_eq!(back.state, None);
+    }
+
+    #[test]
+    fn provenance_round_trips_and_stays_off_the_plain_wire() {
+        let cell_a = HexCell::from_axial(9, 3, -2).unwrap();
+        let cell_b = HexCell::from_axial(9, 4, -2).unwrap();
+        let records = vec![
+            PointProvenance {
+                kind: ProvenanceKind::Observed,
+                cell: Some(cell_a),
+                from_cell: None,
+                cell_msgs: 120,
+                edge_transitions: 0,
+                cost_share: 0.0,
+                confidence: 1.0,
+            },
+            PointProvenance {
+                kind: ProvenanceKind::Route,
+                cell: Some(cell_b),
+                from_cell: Some(cell_a),
+                cell_msgs: 75,
+                edge_transitions: 4,
+                cost_share: 0.5,
+                confidence: 0.8,
+            },
+            PointProvenance {
+                kind: ProvenanceKind::Synthesized,
+                cell: None,
+                from_cell: None,
+                cell_msgs: 75,
+                edge_transitions: 4,
+                cost_share: 0.5,
+                confidence: 0.8,
+            },
+        ];
+        let mut imp = Imputation {
+            points: vec![
+                TimedPoint::new(10.3, 57.1, 0),
+                TimedPoint::new(10.5, 57.25, 1800),
+                TimedPoint::new(10.85, 57.45, 3600),
+            ],
+            cells: vec![cell_a, cell_b],
+            start_cell: cell_a,
+            end_cell: cell_b,
+            cost: 2.125,
+            expanded: 17,
+            raw_point_count: 9,
+            provenance: None,
+        };
+        // No provenance → the payload bytes never mention it.
+        let plain = encode_response(&Ok(Response::Imputation(imp.clone())));
+        assert!(!plain.contains("provenance"), "{plain}");
+
+        imp.provenance = Some(records.clone());
+        let line = encode_response(&Ok(Response::Imputation(imp.clone())));
+        let Ok(Response::Imputation(back)) = decode_response(&line).unwrap() else {
+            panic!("imputation");
+        };
+        assert_eq!(back.provenance, Some(records.clone()));
+        assert_eq!(back.points, imp.points);
+
+        // And through a repaired gap.
+        let outcome = RepairOutcome {
+            points: imp.points.clone(),
+            points_added: 1,
+            gaps: vec![RepairedGap {
+                after_index: 4,
+                duration_s: 2400,
+                points_added: 1,
+                error: None,
+                provenance: Some(records.clone()),
+            }],
+        };
+        let line = encode_response(&Ok(Response::Repaired(outcome.clone())));
+        let Ok(Response::Repaired(back)) = decode_response(&line).unwrap() else {
+            panic!("repair");
+        };
+        assert_eq!(back, outcome);
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips() {
+        let snapshot = Snapshot {
+            samples: vec![
+                Sample {
+                    name: "habit_requests_total".into(),
+                    labels: vec![("op".into(), "impute".into())],
+                    value: 7.0,
+                },
+                Sample {
+                    name: "habit_connections_open".into(),
+                    labels: vec![],
+                    value: 2.0,
+                },
+                Sample {
+                    name: "habit_request_latency_us_sum".into(),
+                    labels: vec![("op".into(), "impute".into())],
+                    value: 1234.5,
+                },
+            ],
+        };
+        let line = encode_response(&Ok(Response::Metrics(snapshot.clone())));
+        let Ok(Response::Metrics(back)) = decode_response(&line).unwrap() else {
+            panic!("metrics");
+        };
+        assert_eq!(back, snapshot);
     }
 }
