@@ -1,0 +1,12 @@
+//! Fleet scale (beyond the paper): sharded serving via `habit-fleet` —
+//! per-shard model blobs behind the scatter/gather router vs the
+//! single-blob baseline, quality and throughput at 1/2/4/8 shards.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    habit_bench::report_main(|| {
+        let kiel = habit_bench::kiel();
+        habit_bench::reports::fleet_scale_report(&kiel, habit_bench::SEED)
+    })
+}

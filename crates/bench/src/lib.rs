@@ -21,6 +21,7 @@
 //! | `throughput`       | batched imputation serving via `habit-engine` (beyond the paper) |
 //! | `incremental`      | incremental refit vs from-scratch fit via the persistable `FitState` (beyond the paper) |
 //! | `route_bench`      | route-engine hot path: CSR + arena A* + in-place RDP vs the naive reference (beyond the paper) |
+//! | `fleet_scale`      | sharded serving via `habit-fleet`: per-shard blobs + seam-stitched routing vs single-blob (beyond the paper) |
 //! | `all_experiments`  | everything above; writes `reports/*.json` + `EXPERIMENTS.md` |
 //! | `perf_check`       | CI perf gate: fresh vs committed wall clocks (`--baseline`/`--fresh`) |
 //!

@@ -18,7 +18,7 @@
 //! wire protocol needed.
 
 use crate::args::Args;
-use habit_service::{ServeOptions, Service, ServiceConfig, ServiceError};
+use habit_service::{Request, Response, ServeOptions, Service, ServiceConfig, ServiceError};
 use std::io::Write;
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -31,6 +31,7 @@ const DEFAULT_PORT: u16 = 4740;
 pub fn run(args: &Args) -> Result<(), ServiceError> {
     args.check_flags(&[
         "model",
+        "shards",
         "host",
         "port",
         "threads",
@@ -39,7 +40,13 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
         "watch-stdin",
         "metrics-port",
     ])?;
-    let model_path = args.require("model")?;
+    let shards_dir = args.get("shards");
+    // Single-blob serving requires --model; sharded serving makes it an
+    // optional global fallback (rescues shard misses, answers repair).
+    let model_path = match shards_dir {
+        Some(_) => args.get("model"),
+        None => Some(args.require("model")?),
+    };
     let host = args.get("host").unwrap_or("127.0.0.1");
     let port: u16 = args.get_or("port", DEFAULT_PORT)?;
     let threads: usize = args.get_or(
@@ -56,22 +63,45 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
         None => None,
     };
 
-    let service = Arc::new(Service::with_model_file(
-        ServiceConfig {
-            threads,
-            cache_capacity: cache,
-        },
-        model_path,
-    )?);
-    let model = service.model().expect("constructed with a model");
+    let config = ServiceConfig {
+        threads,
+        cache_capacity: cache,
+    };
+    let service = Arc::new(match shards_dir {
+        Some(dir) => Service::with_fleet(config, dir, model_path)?,
+        None => Service::with_model_file(config, model_path.expect("required above"))?,
+    });
+    let desc = match shards_dir {
+        Some(dir) => {
+            let Response::Health(h) = service.handle(&Request::Health)? else {
+                unreachable!("Health answers Health");
+            };
+            let hash = h.manifest_hash.as_deref().unwrap_or("?");
+            let fallback = match model_path {
+                Some(p) => format!(", fallback {p}"),
+                None => String::new(),
+            };
+            format!(
+                "fleet {dir}: {} shards, manifest {hash}, {} cells, {} transitions{fallback}",
+                h.shards, h.cells, h.transitions,
+            )
+        }
+        None => {
+            let model = service.model().expect("constructed with a model");
+            format!(
+                "{}: {} cells, {} transitions",
+                model_path.expect("required above"),
+                model.node_count(),
+                model.edge_count(),
+            )
+        }
+    };
     let listener = TcpListener::bind((host, port)).map_err(|e| {
         ServiceError::new(habit_service::ErrorCode::Io, format!("{host}:{port}: {e}"))
     })?;
     let local = listener.local_addr()?;
     println!(
-        "habit serve: listening on {local} ({model_path}: {} cells, {} transitions; {threads} compute threads, {conn_threads} connection workers)",
-        model.node_count(),
-        model.edge_count(),
+        "habit serve: listening on {local} ({desc}; {threads} compute threads, {conn_threads} connection workers)"
     );
     println!(
         "habit serve: protocol habit-wire/v1 — one JSON request per line; '{{\"v\":1,\"op\":\"shutdown\"}}' stops the daemon"
@@ -115,6 +145,21 @@ mod tests {
             Args::parse(["serve", "--model", "/nonexistent.habit"].map(String::from)).unwrap();
         let err = run(&args).unwrap_err();
         assert_eq!(err.code, habit_service::ErrorCode::Io);
+    }
+
+    #[test]
+    fn serve_requires_a_model_unless_sharded() {
+        // Without --shards, --model is mandatory.
+        let err = run(&Args::parse(["serve"].map(String::from)).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--model"), "{err}");
+
+        // With --shards the directory must hold a fleet manifest.
+        let args =
+            Args::parse(["serve", "--shards", "/nonexistent-fleet"].map(String::from)).unwrap();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.code, habit_service::ErrorCode::Io);
+        assert!(err.to_string().contains("/nonexistent-fleet"), "{err}");
     }
 
     #[test]

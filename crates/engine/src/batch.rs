@@ -45,6 +45,15 @@ pub enum BatchFailure {
     /// An endpoint could not be snapped onto the model (invalid
     /// coordinate or empty model); the message is the underlying error.
     Snap(String),
+    /// An endpoint's tile is owned by a shard the serving fleet does
+    /// not carry. Never produced by [`BatchImputer`] itself — minted by
+    /// the fleet router in front of it when a query cannot be
+    /// dispatched to any loaded shard (and no global fallback model is
+    /// configured).
+    ShardMiss {
+        /// The owning shard id (`hash(tile) % shards`).
+        shard: u32,
+    },
 }
 
 impl fmt::Display for BatchFailure {
@@ -54,6 +63,12 @@ impl fmt::Display for BatchFailure {
                 write!(f, "no path between cells {from:#x} and {to:#x}")
             }
             BatchFailure::Snap(message) => write!(f, "snap failed: {message}"),
+            BatchFailure::ShardMiss { shard } => {
+                write!(
+                    f,
+                    "endpoint tile owned by shard {shard}, which is not loaded"
+                )
+            }
         }
     }
 }

@@ -70,6 +70,6 @@ pub use lru::LruCache;
 pub use pool::ThreadPool;
 pub use refit::{refit_model, refit_model_traced, refit_state, refit_state_traced, RefitOutcome};
 pub use shard::{
-    accumulate_sharded, accumulate_sharded_traced, fit_sharded, fit_sharded_traced,
-    sharded_transition_graph,
+    accumulate_per_shard, accumulate_sharded, accumulate_sharded_traced, fit_sharded,
+    fit_sharded_traced, sharded_transition_graph,
 };

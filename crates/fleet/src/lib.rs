@@ -1,0 +1,115 @@
+//! # habit-fleet — a fleet of per-shard HABIT models behind one front
+//!
+//! For datasets too large for a single transition graph, this crate
+//! turns the single-blob server into a **model fleet**:
+//!
+//! * [`manifest`] — the versioned, self-delimiting `HFM1`
+//!   [`ShardManifest`]: the fit configuration fingerprint, the
+//!   [`hexgrid::TilePartitioner`] parameters that decide tile
+//!   ownership, a key-sorted shard → blob path/hash table, and the
+//!   key-sorted tile → shard map. Canonical bytes: two manifests built
+//!   from the same entries in any insertion order serialize
+//!   identically (property-tested), and a committed golden blob pins
+//!   the layout.
+//! * [`builder`] — [`fit_fleet`]/[`write_fleet`] persist one v2 model
+//!   blob per non-empty shard from the engine's per-shard
+//!   [`habit_core::FitState`]s (the seam behind
+//!   `habit fit --shards-out DIR`), and [`load_fleet`] loads a
+//!   directory back, verifying blob hashes and config fingerprints.
+//! * [`router`] — the [`FleetRouter`] scatter/gather front: each gap
+//!   is classified by the tiles of its endpoints, in-shard gaps
+//!   dispatch to the owning shard's `BatchImputer` (per-shard route
+//!   caches), cross-shard gaps are routed leg by leg in their owning
+//!   shards and stitched at a tile-seam cell, and a gap landing on a
+//!   shard the manifest does not carry is a typed *shard miss* —
+//!   served honestly by the optional global fallback blob when one is
+//!   loaded, failed with `shard_miss` otherwise.
+//!
+//! The discipline mirrors the engine's sharded fit: a **one-shard
+//! fleet serves byte-identically** to the single-blob path (the shard
+//! state *is* the global state), and in-shard requests at any shard
+//! count go through exactly the single-blob serving code path against
+//! the shard's model. Only cross-shard stitches are approximate, and
+//! they are quality-gated by the committed `fleet_scale` experiment
+//! rather than byte-pinned.
+
+pub mod builder;
+pub mod manifest;
+pub mod router;
+
+pub use builder::{fit_fleet, load_fleet, shard_blob_name, write_fleet, LoadedFleet};
+pub use manifest::{config_fingerprint, fnv1a64, ShardBlob, ShardManifest, MANIFEST_FILE};
+pub use router::{Dispatch, FleetBatchStats, FleetRouter};
+
+use std::fmt;
+
+/// Default shard count for `habit fit --shards-out` when the request
+/// does not pick one.
+pub const DEFAULT_FLEET_SHARDS: u32 = 4;
+
+/// Everything that can go wrong building, loading, or routing a fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// An underlying model operation failed (fit, snap, route…).
+    Habit(habit_core::HabitError),
+    /// Reading or writing a blob/manifest file failed.
+    Io(std::io::Error),
+    /// The manifest bytes are corrupt, non-canonical, or carry an
+    /// unsupported version.
+    BadManifest(&'static str),
+    /// A shard blob's bytes do not match the hash the manifest records.
+    HashMismatch {
+        /// The shard whose blob drifted.
+        shard: u32,
+    },
+    /// A shard blob was fitted under a different configuration than the
+    /// manifest's fingerprint (or than its sibling shards).
+    ConfigMismatch,
+    /// A gap endpoint falls in a tile owned by a shard the manifest
+    /// does not carry (and no global fallback blob is loaded).
+    ShardMiss {
+        /// The owning shard id (`hash(tile) % shards`).
+        shard: u32,
+        /// The raw id of the endpoint's tile.
+        tile: u64,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Habit(e) => write!(f, "{e}"),
+            FleetError::Io(e) => write!(f, "fleet I/O: {e}"),
+            FleetError::BadManifest(why) => write!(f, "bad fleet manifest: {why}"),
+            FleetError::HashMismatch { shard } => write!(
+                f,
+                "shard {shard} blob bytes do not match the manifest hash (stale or corrupt blob)"
+            ),
+            FleetError::ConfigMismatch => {
+                write!(
+                    f,
+                    "shard blob configuration differs from the fleet manifest"
+                )
+            }
+            FleetError::ShardMiss { shard, tile } => write!(
+                f,
+                "gap endpoint tile {tile:#x} is owned by shard {shard}, which this fleet does \
+                 not carry (no global fallback loaded)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<habit_core::HabitError> for FleetError {
+    fn from(e: habit_core::HabitError) -> Self {
+        FleetError::Habit(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}

@@ -1,0 +1,361 @@
+//! The `HFM1` shard manifest: which shard owns which tile, and which
+//! blob serves which shard.
+//!
+//! A fleet directory is fully described by one manifest: the fit
+//! configuration fingerprint every blob must match, the
+//! [`TilePartitioner`] parameters (cell resolution, levels-up,
+//! modulus) that make tile ownership a pure function, the key-sorted
+//! shard → blob path/hash table, and the key-sorted tile → shard map
+//! of every tile that holds data. The codec is versioned,
+//! self-delimiting (trailing bytes are corruption), and **canonical**:
+//! entries live in `BTreeMap`s, so the serialized bytes are a pure
+//! function of the entry *set*, never of insertion order — the same
+//! L001 discipline as the model and fit-state blobs.
+
+use crate::FleetError;
+use habit_core::{CellProjection, HabitConfig, WeightScheme};
+use hexgrid::TilePartitioner;
+use mobgraph::Codec;
+use std::collections::BTreeMap;
+
+/// Magic bytes prefixing a serialized manifest ("HFM1").
+const MANIFEST_MAGIC: u32 = 0x314D_4648;
+/// Highest manifest version this build reads and writes.
+const MANIFEST_VERSION: u8 = 1;
+/// The manifest's file name inside a fleet directory.
+pub const MANIFEST_FILE: &str = "fleet.hfm";
+
+/// One shard's serving blob: its path relative to the fleet directory
+/// and the FNV-1a hash of the blob bytes (verified on load).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardBlob {
+    /// Blob file name, relative to the fleet directory (no separators).
+    pub path: String,
+    /// FNV-1a 64 hash of the blob file's bytes.
+    pub hash: u64,
+}
+
+/// The versioned description of a model fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// [`config_fingerprint`] of the fit configuration every blob in
+    /// the fleet was accumulated under.
+    pub fingerprint: u64,
+    /// Cell resolution of the fit (the partitioner's fine resolution).
+    pub resolution: u8,
+    /// How many resolution levels above the cells the owning tiles sit.
+    pub levels_up: u8,
+    /// The shard modulus: `shard(tile) = splitmix64(tile) % shards`.
+    /// Blob keys are ids under this modulus; shards with no data have
+    /// no blob entry.
+    pub shards: u32,
+    /// Shard id → serving blob, key-sorted.
+    pub blobs: BTreeMap<u32, ShardBlob>,
+    /// Tile raw id → owning shard id, key-sorted; one entry per tile
+    /// that holds fitted data.
+    pub tiles: BTreeMap<u64, u32>,
+}
+
+impl ShardManifest {
+    /// The tile partitioner this manifest's ownership is defined by.
+    pub fn partitioner(&self) -> TilePartitioner {
+        TilePartitioner::new(self.resolution, self.levels_up, self.shards as usize)
+    }
+
+    /// FNV-1a 64 over the canonical manifest bytes — the fleet identity
+    /// `Health`/`ModelInfo` report, changing whenever any blob, tile,
+    /// or parameter changes.
+    pub fn manifest_hash(&self) -> u64 {
+        fnv1a64(&self.to_bytes())
+    }
+
+    /// Serializes the manifest. Canonical: both maps iterate in key
+    /// order, so the bytes do not depend on how the maps were built.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        MANIFEST_MAGIC.encode(&mut out);
+        MANIFEST_VERSION.encode(&mut out);
+        self.fingerprint.encode(&mut out);
+        self.resolution.encode(&mut out);
+        self.levels_up.encode(&mut out);
+        self.shards.encode(&mut out);
+        (self.blobs.len() as u64).encode(&mut out);
+        for (shard, blob) in &self.blobs {
+            shard.encode(&mut out);
+            (blob.path.len() as u64).encode(&mut out);
+            out.extend_from_slice(blob.path.as_bytes());
+            blob.hash.encode(&mut out);
+        }
+        (self.tiles.len() as u64).encode(&mut out);
+        for (tile, shard) in &self.tiles {
+            tile.encode(&mut out);
+            shard.encode(&mut out);
+        }
+        out
+    }
+
+    /// Deserializes a manifest blob, validating structure: version,
+    /// strictly ascending keys (non-canonical bytes are rejected, so
+    /// decode∘encode is the identity), blob paths that stay inside the
+    /// fleet directory, tiles owned only by shards that have blobs, and
+    /// no trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FleetError> {
+        let mut buf = bytes;
+        let buf = &mut buf;
+        let bad = FleetError::BadManifest;
+        if u32::decode(buf) != Some(MANIFEST_MAGIC) {
+            return Err(bad("missing HFM1 magic"));
+        }
+        let version = u8::decode(buf).ok_or(bad("truncated header"))?;
+        if version != MANIFEST_VERSION {
+            return Err(bad("unsupported manifest version"));
+        }
+        let fingerprint = u64::decode(buf).ok_or(bad("truncated header"))?;
+        let resolution = u8::decode(buf).ok_or(bad("truncated header"))?;
+        let levels_up = u8::decode(buf).ok_or(bad("truncated header"))?;
+        let shards = u32::decode(buf).ok_or(bad("truncated header"))?;
+        if shards == 0 {
+            return Err(bad("zero shard modulus"));
+        }
+
+        let blob_count = u64::decode(buf).ok_or(bad("truncated blob table"))?;
+        let mut blobs = BTreeMap::new();
+        let mut prev_shard: Option<u32> = None;
+        for _ in 0..blob_count {
+            let shard = u32::decode(buf).ok_or(bad("truncated blob table"))?;
+            if prev_shard.is_some_and(|p| p >= shard) {
+                return Err(bad("blob table keys not strictly ascending"));
+            }
+            prev_shard = Some(shard);
+            if shard >= shards {
+                return Err(bad("blob shard id outside the modulus"));
+            }
+            let path_len = u64::decode(buf).ok_or(bad("truncated blob path"))? as usize;
+            if path_len == 0 || path_len > buf.len() {
+                return Err(bad("truncated blob path"));
+            }
+            let (head, rest) = buf.split_at(path_len);
+            *buf = rest;
+            let path =
+                String::from_utf8(head.to_vec()).map_err(|_| bad("blob path is not UTF-8"))?;
+            if path.contains('/') || path.contains('\\') || path.starts_with('.') {
+                return Err(bad("blob path must be a plain file name"));
+            }
+            let hash = u64::decode(buf).ok_or(bad("truncated blob hash"))?;
+            blobs.insert(shard, ShardBlob { path, hash });
+        }
+        if blobs.is_empty() {
+            return Err(bad("manifest carries no shard blobs"));
+        }
+
+        let tile_count = u64::decode(buf).ok_or(bad("truncated tile table"))?;
+        let mut tiles = BTreeMap::new();
+        let mut prev_tile: Option<u64> = None;
+        for _ in 0..tile_count {
+            let tile = u64::decode(buf).ok_or(bad("truncated tile table"))?;
+            if prev_tile.is_some_and(|p| p >= tile) {
+                return Err(bad("tile table keys not strictly ascending"));
+            }
+            prev_tile = Some(tile);
+            let shard = u32::decode(buf).ok_or(bad("truncated tile table"))?;
+            if !blobs.contains_key(&shard) {
+                return Err(bad("tile owned by a shard with no blob"));
+            }
+            tiles.insert(tile, shard);
+        }
+        if !buf.is_empty() {
+            return Err(bad("trailing bytes after the tile table"));
+        }
+        Ok(Self {
+            fingerprint,
+            resolution,
+            levels_up,
+            shards,
+            blobs,
+            tiles,
+        })
+    }
+}
+
+/// A stable fingerprint of **every** fit tunable — the manifest-level
+/// guard that all blobs in a fleet (and any delta refit) were
+/// accumulated under one configuration. Hashes a fixed little-endian
+/// layout (resolution, projection, weight, rdp bits, min_cell_span,
+/// snap_max_rings) with FNV-1a 64.
+pub fn config_fingerprint(config: &HabitConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(3 + 8 + 8 + 4);
+    bytes.push(config.resolution);
+    bytes.push(match config.projection {
+        CellProjection::Center => 0,
+        CellProjection::Median => 1,
+    });
+    bytes.push(match config.weight_scheme {
+        WeightScheme::Hops => 0,
+        WeightScheme::InverseTransitions => 1,
+        WeightScheme::NegLogFrequency => 2,
+    });
+    bytes.extend_from_slice(&config.rdp_tolerance_m.to_le_bytes());
+    bytes.extend_from_slice(&(config.min_cell_span as u64).to_le_bytes());
+    bytes.extend_from_slice(&config.snap_max_rings.to_le_bytes());
+    fnv1a64(&bytes)
+}
+
+/// FNV-1a 64 — the fleet's content hash for blobs and manifests.
+/// Deterministic across platforms and runs (no hasher state).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn manifest_with(entries: &[(u64, u32)], shards: u32) -> ShardManifest {
+        let mut blobs = BTreeMap::new();
+        let mut tiles = BTreeMap::new();
+        for &(tile, shard) in entries {
+            blobs.entry(shard).or_insert_with(|| ShardBlob {
+                path: format!("shard-{shard:04}.habit"),
+                hash: 0x1234_5678_9abc_def0 ^ shard as u64,
+            });
+            tiles.insert(tile, shard);
+        }
+        ShardManifest {
+            fingerprint: config_fingerprint(&HabitConfig::default()),
+            resolution: 9,
+            levels_up: 3,
+            shards,
+            blobs,
+            tiles,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_is_self_delimiting() {
+        let m = manifest_with(&[(0x8510, 0), (0x8520, 2), (0x8530, 0)], 4);
+        let bytes = m.to_bytes();
+        let back = ShardManifest::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, m);
+        assert_eq!(back.to_bytes(), bytes, "re-encode is stable");
+        assert_eq!(back.manifest_hash(), m.manifest_hash());
+
+        // Truncations and trailing bytes are corruption, not padding.
+        for cut in [0usize, 4, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                ShardManifest::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ShardManifest::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn structural_corruption_is_rejected() {
+        let m = manifest_with(&[(10, 0), (20, 1)], 2);
+        let mut bad_version = m.to_bytes();
+        bad_version[4] = 9;
+        assert!(matches!(
+            ShardManifest::from_bytes(&bad_version),
+            Err(FleetError::BadManifest("unsupported manifest version"))
+        ));
+
+        // A tile owned by a shard with no blob is inconsistent.
+        let mut orphan = m.clone();
+        orphan.shards = 8;
+        orphan.tiles.insert(30, 7);
+        assert!(ShardManifest::from_bytes(&orphan.to_bytes()).is_err());
+
+        // Paths must stay inside the fleet directory.
+        let mut escape = m.clone();
+        escape.blobs.get_mut(&0).expect("shard 0").path = "../evil.habit".into();
+        assert!(ShardManifest::from_bytes(&escape.to_bytes()).is_err());
+
+        // A shard id at or above the modulus can never own a tile.
+        let mut wide = m;
+        wide.blobs.insert(
+            5,
+            ShardBlob {
+                path: "shard-0005.habit".into(),
+                hash: 1,
+            },
+        );
+        assert!(ShardManifest::from_bytes(&wide.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_tunable() {
+        let base = HabitConfig::default();
+        let fp = config_fingerprint(&base);
+        assert_eq!(fp, config_fingerprint(&base), "deterministic");
+        let mut r = base;
+        r.resolution = 8;
+        let mut t = base;
+        t.rdp_tolerance_m = 250.0;
+        let mut s = base;
+        s.snap_max_rings += 1;
+        let mut c = base;
+        c.min_cell_span += 1;
+        for other in [r, t, s, c] {
+            assert_ne!(fp, config_fingerprint(&other));
+        }
+    }
+
+    #[test]
+    fn golden_manifest_keeps_loading() {
+        // The committed HFM1 layout pin: these bytes were produced by
+        // this codec and must load (and re-encode byte-identically)
+        // forever. Regenerating them on a layout change is a conscious,
+        // reviewed act: HABIT_REGEN_GOLDEN=1 cargo test -p habit-fleet.
+        let expected = manifest_with(&[(0x8510, 0), (0x8520, 2), (0x8530, 0)], 4);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fleet.hfm");
+        if std::env::var_os("HABIT_REGEN_GOLDEN").is_some() {
+            std::fs::write(path, expected.to_bytes()).expect("write golden manifest");
+        }
+        let golden = std::fs::read(path).expect("committed golden fleet.hfm");
+        let m = ShardManifest::from_bytes(&golden).expect("golden manifest loads");
+        assert_eq!(m, expected, "golden decodes to the pinned manifest");
+        assert_eq!(m.to_bytes(), golden, "re-encode is stable");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Canonicalization: arbitrary tile sets, inserted in any
+        /// order, round-trip through bytes that depend only on the
+        /// entry set.
+        #[test]
+        fn arbitrary_manifests_round_trip_canonically(
+            seed in 0u64..10_000,
+            n_tiles in 1usize..24,
+            shards in 1u32..9,
+        ) {
+            // Seeded tile ids (distinct via stride) and shard
+            // assignments; two build orders, one byte image.
+            let mut entries: Vec<(u64, u32)> = (0..n_tiles)
+                .map(|i| {
+                    let tile = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(i as u64 * 0x100);
+                    (tile, (tile % shards as u64) as u32)
+                })
+                .collect();
+            let forward = manifest_with(&entries, shards);
+            entries.reverse();
+            let reversed = manifest_with(&entries, shards);
+            prop_assert_eq!(forward.to_bytes(), reversed.to_bytes());
+
+            let bytes = forward.to_bytes();
+            let back = ShardManifest::from_bytes(&bytes).expect("round trip");
+            prop_assert_eq!(&back, &forward);
+            prop_assert_eq!(back.to_bytes(), bytes);
+        }
+    }
+}

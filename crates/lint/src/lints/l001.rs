@@ -34,7 +34,7 @@ use crate::scan::SourceFile;
 
 /// The pinned sink modules: every path producing serialized bytes,
 /// wire/JSON/CSV output, or committed report rows.
-pub const SINK_SUFFIXES: [&str; 20] = [
+pub const SINK_SUFFIXES: [&str; 22] = [
     "crates/aggdb/src/partial.rs",
     "crates/aggdb/src/hll.rs",
     "crates/aggdb/src/csv.rs",
@@ -44,6 +44,8 @@ pub const SINK_SUFFIXES: [&str; 20] = [
     "crates/mobgraph/src/graph.rs",
     "crates/mobgraph/src/csr.rs",
     "crates/mobgraph/src/codec.rs",
+    "crates/fleet/src/manifest.rs",
+    "crates/fleet/src/builder.rs",
     "crates/service/src/wire.rs",
     "crates/service/src/csvio.rs",
     "crates/obs/src/text.rs",

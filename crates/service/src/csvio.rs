@@ -34,6 +34,16 @@ pub enum IoError {
     MissingColumn(&'static str),
     /// A column has the wrong type.
     BadColumn(&'static str),
+    /// One field of one row could not be parsed (1-based line number,
+    /// the header counting as line 1).
+    BadField {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Name of the offending column.
+        column: &'static str,
+        /// The raw field text (empty when the row was too short).
+        value: String,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -42,6 +52,18 @@ impl std::fmt::Display for IoError {
             IoError::Csv(e) => write!(f, "csv: {e}"),
             IoError::MissingColumn(c) => write!(f, "missing column `{c}`"),
             IoError::BadColumn(c) => write!(f, "column `{c}` has the wrong type"),
+            IoError::BadField {
+                line,
+                column,
+                value,
+            } if value.is_empty() => {
+                write!(f, "line {line}: row has no field for column `{column}`")
+            }
+            IoError::BadField {
+                line,
+                column,
+                value,
+            } => write!(f, "line {line}, field `{column}`: cannot parse `{value}`"),
         }
     }
 }
@@ -58,7 +80,7 @@ impl From<IoError> for crate::ServiceError {
     fn from(e: IoError) -> Self {
         let code = match &e {
             IoError::Csv(AggError::Io(_)) => crate::ErrorCode::Io,
-            IoError::Csv(_) => crate::ErrorCode::Csv,
+            IoError::Csv(_) | IoError::BadField { .. } => crate::ErrorCode::Csv,
             IoError::MissingColumn(_) | IoError::BadColumn(_) => crate::ErrorCode::BadInput,
         };
         crate::ServiceError::new(code, e.to_string())
@@ -205,27 +227,75 @@ pub fn write_track_csv(points: &[TimedPoint], path: &Path) -> Result<(), IoError
     Ok(())
 }
 
-fn gaps_from_table(table: &Table) -> Result<Vec<GapQuery>, IoError> {
-    let lon1 = numeric(table, "lon1")?;
-    let lat1 = numeric(table, "lat1")?;
-    let t1 = integer(table, "t1")?;
-    let lon2 = numeric(table, "lon2")?;
-    let lat2 = numeric(table, "lat2")?;
-    let t2 = integer(table, "t2")?;
-    Ok((0..table.num_rows())
-        .map(|i| GapQuery::new(lon1[i], lat1[i], t1[i], lon2[i], lat2[i], t2[i]))
-        .collect())
+/// The gap CSV's required columns, in canonical order.
+const GAP_COLUMNS: [&str; 6] = ["lon1", "lat1", "t1", "lon2", "lat2", "t2"];
+
+/// Parses gap-CSV text by hand so errors can name the 1-based line and
+/// the offending field (the header is line 1, data starts at line 2) —
+/// the column readers above only know column names.
+fn gaps_from_text(text: &str) -> Result<Vec<GapQuery>, IoError> {
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines
+        .next()
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .collect();
+    let mut indices = [0usize; 6];
+    for (slot, column) in indices.iter_mut().zip(GAP_COLUMNS) {
+        *slot = header
+            .iter()
+            .position(|name| *name == column)
+            .ok_or(IoError::MissingColumn(column))?;
+    }
+    let mut gaps = Vec::new();
+    for (offset, row) in lines.enumerate() {
+        let line = offset + 2;
+        if row.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+        let mut coords = [0.0f64; 6];
+        let mut times = [0i64; 6];
+        for (k, (&index, column)) in indices.iter().zip(GAP_COLUMNS).enumerate() {
+            let raw = *fields.get(index).ok_or_else(|| IoError::BadField {
+                line,
+                column,
+                value: String::new(),
+            })?;
+            let parse_err = || IoError::BadField {
+                line,
+                column,
+                value: raw.to_string(),
+            };
+            // t1/t2 are integer seconds; the coordinates are floats.
+            if column.starts_with('t') {
+                times[k] = raw.parse().map_err(|_| parse_err())?;
+            } else {
+                coords[k] = raw.parse().map_err(|_| parse_err())?;
+            }
+        }
+        gaps.push(GapQuery::new(
+            coords[0], coords[1], times[2], coords[3], coords[4], times[5],
+        ));
+    }
+    Ok(gaps)
 }
 
 /// Reads a gap-query CSV (`lon1,lat1,t1,lon2,lat2,t2`), one query per
-/// row, in row order.
+/// row, in row order. Parse failures name the 1-based line and field.
 pub fn read_gaps_csv(path: &Path) -> Result<Vec<GapQuery>, IoError> {
-    gaps_from_table(&read_csv_path(path)?)
+    let text = std::fs::read_to_string(path).map_err(|e| IoError::Csv(AggError::Io(e)))?;
+    gaps_from_text(&text)
 }
 
 /// Reads a gap-query CSV from any reader (e.g. stdin).
-pub fn read_gaps_csv_reader<R: Read>(reader: R) -> Result<Vec<GapQuery>, IoError> {
-    gaps_from_table(&read_csv(reader)?)
+pub fn read_gaps_csv_reader<R: Read>(mut reader: R) -> Result<Vec<GapQuery>, IoError> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| IoError::Csv(AggError::Io(e)))?;
+    gaps_from_text(&text)
 }
 
 /// Writes imputed batch results as a track CSV with a leading `gap`
@@ -514,6 +584,64 @@ mod tests {
         let ais = read_ais_csv_reader("mmsi,t,lon,lat\n5,0,10.0,56.0\n".as_bytes()).expect("ais");
         assert_eq!(ais.len(), 1);
         assert_eq!(ais[0].points[0].sog, 0.0, "optional columns default");
+    }
+
+    #[test]
+    fn gap_csv_errors_name_the_line_and_field() {
+        // A bad value: 1-based line number (header is line 1) and the
+        // offending column, with the raw text quoted.
+        let err = read_gaps_csv_reader(
+            "lon1,lat1,t1,lon2,lat2,t2\n10.1,56.0,0,10.4,56.0,3600\n10.2,north,100,10.5,56.2,7200\n"
+                .as_bytes(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                IoError::BadField { line: 3, column: "lat1", value } if value == "north"
+            ),
+            "{err:?}"
+        );
+        let svc: crate::ServiceError = err.into();
+        assert_eq!(svc.code, crate::ErrorCode::Csv);
+        assert!(svc.message.contains("line 3"), "{svc}");
+        assert!(svc.message.contains("`lat1`"), "{svc}");
+        assert!(svc.message.contains("`north`"), "{svc}");
+
+        // Timestamps must be integer seconds.
+        let err = read_gaps_csv_reader(
+            "lon1,lat1,t1,lon2,lat2,t2\n10.1,56.0,half past,10.4,56.0,3600\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                IoError::BadField {
+                    line: 2,
+                    column: "t1",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+
+        // A short row names the column the row ran out before.
+        let err = read_gaps_csv_reader("lon1,lat1,t1,lon2,lat2,t2\n10.1,56.0,0\n".as_bytes())
+            .unwrap_err();
+        assert!(
+            matches!(&err, IoError::BadField { line: 2, column: "lon2", value } if value.is_empty()),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        // Shuffled headers and blank lines still parse.
+        let gaps = read_gaps_csv_reader(
+            "t2,lon1,lat1,t1,lon2,lat2\n\n3600,10.1,56.0,0,10.4,56.0\n".as_bytes(),
+        )
+        .expect("shuffled header");
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].end.t, 3600);
+        assert!((gaps[0].start.pos.lon - 10.1).abs() < 1e-12);
     }
 
     #[test]

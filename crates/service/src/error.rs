@@ -27,6 +27,7 @@ use std::fmt;
 /// | `config_mismatch` | 1 | models with incompatible configurations |
 /// | `state_version` | 1 | fit-state version unsupported, or the model embeds no state (refit needs one) |
 /// | `config_drift` | 1 | refit delta accumulated under a different fit configuration |
+/// | `shard_miss` | 1 | a gap endpoint's tile is owned by a shard the serving fleet does not carry |
 /// | `internal` | 1 | unexpected internal failure |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorCode {
@@ -61,13 +62,16 @@ pub enum ErrorCode {
     /// A refit delta was accumulated under a different fit
     /// configuration than the saved state.
     ConfigDrift,
+    /// A gap endpoint's tile is owned by a shard the serving fleet does
+    /// not carry (and no global fallback blob is loaded).
+    ShardMiss,
     /// Unexpected internal failure.
     Internal,
 }
 
 impl ErrorCode {
     /// Every code, in documentation order (the wire error-code table).
-    pub const ALL: [ErrorCode; 15] = [
+    pub const ALL: [ErrorCode; 16] = [
         ErrorCode::BadRequest,
         ErrorCode::Io,
         ErrorCode::Csv,
@@ -82,6 +86,7 @@ impl ErrorCode {
         ErrorCode::ConfigMismatch,
         ErrorCode::StateVersion,
         ErrorCode::ConfigDrift,
+        ErrorCode::ShardMiss,
         ErrorCode::Internal,
     ];
 
@@ -102,6 +107,7 @@ impl ErrorCode {
             ErrorCode::ConfigMismatch => "config_mismatch",
             ErrorCode::StateVersion => "state_version",
             ErrorCode::ConfigDrift => "config_drift",
+            ErrorCode::ShardMiss => "shard_miss",
             ErrorCode::Internal => "internal",
         }
     }
@@ -184,6 +190,22 @@ impl From<habit_engine::BatchFailure> for ServiceError {
         let code = match &e {
             habit_engine::BatchFailure::NoPath { .. } => ErrorCode::NoPath,
             habit_engine::BatchFailure::Snap(_) => ErrorCode::SnapFailed,
+            habit_engine::BatchFailure::ShardMiss { .. } => ErrorCode::ShardMiss,
+        };
+        Self::new(code, e.to_string())
+    }
+}
+
+impl From<habit_fleet::FleetError> for ServiceError {
+    fn from(e: habit_fleet::FleetError) -> Self {
+        let code = match e {
+            // An underlying model error keeps its own taxonomy mapping.
+            habit_fleet::FleetError::Habit(inner) => return ServiceError::from(inner),
+            habit_fleet::FleetError::Io(_) => ErrorCode::Io,
+            habit_fleet::FleetError::BadManifest(_)
+            | habit_fleet::FleetError::HashMismatch { .. } => ErrorCode::BadModelBlob,
+            habit_fleet::FleetError::ConfigMismatch => ErrorCode::ConfigMismatch,
+            habit_fleet::FleetError::ShardMiss { .. } => ErrorCode::ShardMiss,
         };
         Self::new(code, e.to_string())
     }
@@ -256,6 +278,7 @@ mod tests {
                 ("config_mismatch", 1),
                 ("state_version", 1),
                 ("config_drift", 1),
+                ("shard_miss", 1),
                 ("internal", 1),
             ]
         );

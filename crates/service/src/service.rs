@@ -15,8 +15,11 @@ use crate::response::{
 };
 use ais::{segment_all, segment_all_from, trips_to_table, TripConfig};
 use habit_core::{GapQuery, HabitConfig, HabitModel};
-use habit_engine::{fit_sharded_traced, refit_model_traced, BatchImputer, ThreadPool};
-use std::path::Path;
+use habit_engine::{
+    accumulate_per_shard, fit_sharded_traced, refit_model_traced, BatchImputer, ThreadPool,
+};
+use habit_fleet::{fit_fleet, load_fleet, shard_blob_name, FleetError, FleetRouter, MANIFEST_FILE};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -46,6 +49,56 @@ struct Loaded {
     imputer: BatchImputer,
 }
 
+/// The serving state behind a loaded model fleet (`habit serve
+/// --shards`): the scatter/gather router, the directory its blobs and
+/// manifest persist in (per-shard refits rewrite it in place), and the
+/// optional global fallback model — kept here as well as inside the
+/// router because `repair` walks a whole track and needs a model, not a
+/// router.
+struct FleetState {
+    router: FleetRouter,
+    dir: PathBuf,
+    fallback: Option<Arc<HabitModel>>,
+}
+
+/// Prefixes a fleet error with the fleet directory it concerns.
+fn fleet_error(dir: &Path, e: FleetError) -> ServiceError {
+    let mut err = ServiceError::from(e);
+    err.message = format!("{}: {}", dir.display(), err.message);
+    err
+}
+
+/// Repairs one track against `model` (the shared tail of the
+/// single-blob and fleet-fallback repair paths).
+fn repair_with(
+    model: &HabitModel,
+    track: &[geo_kernel::TimedPoint],
+    config: &habit_core::RepairConfig,
+    provenance: bool,
+) -> Result<Response, ServiceError> {
+    let (points, report) = if provenance {
+        model.repair_track_with_provenance(track, config)?
+    } else {
+        model.repair_track(track, config)?
+    };
+    let gaps = report
+        .gaps
+        .into_iter()
+        .map(|g| RepairedGap {
+            after_index: g.after_index,
+            duration_s: g.duration_s,
+            points_added: g.points_added,
+            error: g.error.map(ServiceError::from),
+            provenance: g.provenance,
+        })
+        .collect();
+    Ok(Response::Repaired(RepairOutcome {
+        points,
+        gaps,
+        points_added: report.points_added,
+    }))
+}
+
 /// Executes [`Request`]s against an owned model, thread pool, and route
 /// cache. Transport-agnostic: frontends construct requests, call
 /// [`Service::handle`], and render the typed [`Response`].
@@ -53,6 +106,10 @@ pub struct Service {
     pool: ThreadPool,
     cache_capacity: usize,
     state: RwLock<Option<Loaded>>,
+    /// The fleet serving state, mutually exclusive with `state`:
+    /// installing either clears the other. Lock order where both are
+    /// needed: `fleet` before `state`.
+    fleet: RwLock<Option<FleetState>>,
     /// Serializes model-swapping operations (`fit`, `refit`): a refit
     /// snapshots the serving state, accumulates off the read lock, and
     /// installs at the end — two concurrent refits would otherwise
@@ -72,6 +129,7 @@ impl Service {
             pool: ThreadPool::new(config.threads),
             cache_capacity: config.cache_capacity.max(1),
             state: RwLock::new(None),
+            fleet: RwLock::new(None),
             mutate: std::sync::Mutex::new(()),
             stopping: AtomicBool::new(false),
             metrics: Arc::new(ServiceMetrics::new()),
@@ -99,11 +157,62 @@ impl Service {
         Ok(Self::with_model(config, model))
     }
 
-    /// Installs `model` as the serving model (fresh route cache).
+    /// A service serving the model fleet in `dir` (written by `habit
+    /// fit --shards-out`), with an optional single-blob fallback model
+    /// that rescues shard-miss gaps. Every blob is hash-verified
+    /// against the manifest before anything serves.
+    pub fn with_fleet(
+        config: ServiceConfig,
+        dir: &str,
+        fallback_path: Option<&str>,
+    ) -> Result<Self, ServiceError> {
+        let service = Self::new(config);
+        let dir = PathBuf::from(dir);
+        let fleet = load_fleet(&dir).map_err(|e| fleet_error(&dir, e))?;
+        let fallback = match fallback_path {
+            None => None,
+            Some(path) => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| ServiceError::new(ErrorCode::Io, format!("{path}: {e}")))?;
+                Some(Arc::new(HabitModel::from_bytes(&bytes)?))
+            }
+        };
+        let router = FleetRouter::new(fleet, fallback.clone(), service.cache_capacity)
+            .map_err(|e| fleet_error(&dir, e))?;
+        service.install_fleet(FleetState {
+            router,
+            dir,
+            fallback,
+        });
+        Ok(service)
+    }
+
+    /// Installs `model` as the serving model (fresh route cache). A
+    /// previously serving fleet is unloaded — the two states are
+    /// mutually exclusive.
     pub fn install_model(&self, model: HabitModel) {
         let model = Arc::new(model);
         let imputer = BatchImputer::new(Arc::clone(&model), self.cache_capacity);
-        *self.state.write().expect("state lock") = Some(Loaded { model, imputer });
+        let mut fleet = self.fleet.write().expect("fleet lock");
+        let mut state = self.state.write().expect("state lock");
+        *fleet = None;
+        *state = Some(Loaded { model, imputer });
+        drop(state);
+        drop(fleet);
+        self.metrics.set_shards_loaded(0);
+    }
+
+    /// Installs a fleet as the serving state, unloading any single
+    /// blob.
+    fn install_fleet(&self, fleet_state: FleetState) {
+        let shards = fleet_state.router.shard_count();
+        let mut fleet = self.fleet.write().expect("fleet lock");
+        let mut state = self.state.write().expect("state lock");
+        *state = None;
+        *fleet = Some(fleet_state);
+        drop(state);
+        drop(fleet);
+        self.metrics.set_shards_loaded(shards);
     }
 
     /// The loaded model, when one is installed.
@@ -174,21 +283,34 @@ impl Service {
     }
 
     fn health(&self) -> HealthInfo {
+        let fleet = self.fleet.read().expect("fleet lock");
         let state = self.state.read().expect("state lock");
-        let (cells, transitions) = state
+        let (mut cells, mut transitions) = state
             .as_ref()
             .map_or((0, 0), |l| (l.model.node_count(), l.model.edge_count()));
+        let mut shards = 0;
+        let mut manifest_hash = None;
+        if let Some(f) = fleet.as_ref() {
+            for (_, model) in f.router.models() {
+                cells += model.node_count();
+                transitions += model.edge_count();
+            }
+            shards = f.router.shard_count();
+            manifest_hash = Some(format!("{:#018x}", f.router.manifest_hash()));
+        }
         let (route_cache_hits, route_cache_misses) = self.metrics.route_cache_counts();
         HealthInfo {
             version: env!("CARGO_PKG_VERSION").to_string(),
             threads: self.pool.threads(),
-            model_loaded: state.is_some(),
+            model_loaded: state.is_some() || fleet.is_some(),
             cells,
             transitions,
             uptime_ticks: self.metrics.uptime_ticks(),
             requests_total: self.metrics.requests_total(),
             route_cache_hits,
             route_cache_misses,
+            shards,
+            manifest_hash,
         }
     }
 
@@ -208,6 +330,39 @@ impl Service {
     }
 
     fn model_info(&self) -> Result<Response, ServiceError> {
+        {
+            let fleet = self.fleet.read().expect("fleet lock");
+            if let Some(f) = fleet.as_ref() {
+                // Aggregate across shards: graph/storage/report numbers
+                // sum, the busiest cell is the fleet-wide max, and the
+                // per-shard fit states stay per-shard (`state: None` —
+                // there is no single whole-fleet state to describe).
+                let mut report = ModelReport {
+                    config: HabitConfig::default(),
+                    cells: 0,
+                    transitions: 0,
+                    reports: 0,
+                    busiest_cell_vessels: 0,
+                    storage_bytes: 0,
+                    blob_version: 2,
+                    state: None,
+                    shards: f.router.shard_count(),
+                    manifest_hash: Some(format!("{:#018x}", f.router.manifest_hash())),
+                };
+                for (_, model) in f.router.models() {
+                    report.config = *model.config();
+                    report.cells += model.node_count();
+                    report.transitions += model.edge_count();
+                    report.storage_bytes += model.storage_bytes();
+                    for (_, stats) in model.graph().nodes() {
+                        report.reports += stats.msg_count;
+                        report.busiest_cell_vessels =
+                            report.busiest_cell_vessels.max(stats.vessels);
+                    }
+                }
+                return Ok(Response::ModelInfo(report));
+            }
+        }
         self.with_loaded(|loaded| {
             let model = &loaded.model;
             let mut reports = 0u64;
@@ -229,6 +384,8 @@ impl Service {
                     trips: s.provenance().trips,
                     reports: s.provenance().reports,
                 }),
+                shards: 0,
+                manifest_hash: None,
             }))
         })
     }
@@ -239,6 +396,26 @@ impl Service {
                 "invalid gap: end (t={}) must be later than start (t={})",
                 gap.end.t, gap.start.t
             )));
+        }
+        {
+            let fleet = self.fleet.read().expect("fleet lock");
+            if let Some(f) = fleet.as_ref() {
+                // Through the router (batch of one) so single-gap
+                // traffic shares the per-shard route caches.
+                let (mut results, stats, fleet_stats) = f.router.impute_batch(
+                    std::slice::from_ref(gap),
+                    &self.pool,
+                    provenance,
+                    Some(self.metrics.recorder()),
+                    "impute",
+                );
+                self.metrics.observe_batch(&stats);
+                self.metrics.observe_fleet(&fleet_stats);
+                return match results.pop().expect("one result per query") {
+                    Ok(imputation) => Ok(Response::Imputation(imputation)),
+                    Err(failure) => Err(failure.into()),
+                };
+            }
         }
         self.with_loaded(|loaded| {
             if loaded.model.node_count() == 0 {
@@ -263,6 +440,27 @@ impl Service {
     }
 
     fn impute_batch(&self, gaps: &[GapQuery], provenance: bool) -> Result<Response, ServiceError> {
+        {
+            let fleet = self.fleet.read().expect("fleet lock");
+            if let Some(f) = fleet.as_ref() {
+                let t0 = Instant::now();
+                let (results, stats, fleet_stats) = f.router.impute_batch(
+                    gaps,
+                    &self.pool,
+                    provenance,
+                    Some(self.metrics.recorder()),
+                    "impute_batch",
+                );
+                self.metrics.observe_batch(&stats);
+                self.metrics.observe_fleet(&fleet_stats);
+                return Ok(Response::Batch(BatchOutcome {
+                    results,
+                    stats,
+                    cached_routes: f.router.cached_routes(),
+                    wall_s: t0.elapsed().as_secs_f64(),
+                }));
+            }
+        }
         self.with_loaded(|loaded| {
             let t0 = Instant::now();
             let (results, stats) = loaded.imputer.impute_batch_traced(
@@ -310,29 +508,25 @@ impl Service {
                 )));
             }
         }
-        self.with_loaded(|loaded| {
-            let (points, report) = if provenance {
-                loaded.model.repair_track_with_provenance(track, config)?
-            } else {
-                loaded.model.repair_track(track, config)?
-            };
-            let gaps = report
-                .gaps
-                .into_iter()
-                .map(|g| RepairedGap {
-                    after_index: g.after_index,
-                    duration_s: g.duration_s,
-                    points_added: g.points_added,
-                    error: g.error.map(ServiceError::from),
-                    provenance: g.provenance,
-                })
-                .collect();
-            Ok(Response::Repaired(RepairOutcome {
-                points,
-                gaps,
-                points_added: report.points_added,
-            }))
-        })
+        {
+            let fleet = self.fleet.read().expect("fleet lock");
+            if let Some(f) = fleet.as_ref() {
+                // A repair walks one vessel's whole track — there is no
+                // per-gap scatter that preserves repair's semantics, so
+                // sharded serving answers it from the global fallback
+                // blob when one is loaded and refuses honestly when not.
+                let Some(model) = f.fallback.clone() else {
+                    return Err(ServiceError::new(
+                        ErrorCode::NoModel,
+                        "repair needs a global fallback model in sharded serving — \
+                         start the daemon with --shards DIR --model BLOB",
+                    ));
+                };
+                drop(fleet);
+                return repair_with(&model, track, config, provenance);
+            }
+        }
+        self.with_loaded(|loaded| repair_with(&loaded.model, track, config, provenance))
     }
 
     fn fit(&self, spec: &FitSpec) -> Result<Response, ServiceError> {
@@ -343,6 +537,19 @@ impl Service {
                 spec.resolution,
                 hexgrid::MAX_RESOLUTION
             )));
+        }
+        if spec.shards_out.is_some() {
+            if spec.save_to.is_some() {
+                return Err(ServiceError::bad_request(
+                    "--shards-out and --out are mutually exclusive — a fleet fit \
+                     writes per-shard blobs plus the manifest into its directory",
+                ));
+            }
+            if spec.fleet_shards == 0 {
+                return Err(ServiceError::bad_request(
+                    "--fleet-shards must be at least 1",
+                ));
+            }
         }
         let trajectories = crate::csvio::read_ais_csv(Path::new(&spec.input))?;
         let trips = segment_all(&trajectories, &TripConfig::default());
@@ -361,6 +568,44 @@ impl Service {
         // Sharded fit on the pool: byte-identical to the sequential
         // `HabitModel::fit` at every shard/thread count (engine proptest).
         let table = trips_to_table(&trips);
+        if let Some(out) = &spec.shards_out {
+            // Fleet fit: per-shard v2 blobs plus the manifest, then a
+            // hash-verified reload so the service serves exactly what
+            // the directory now holds.
+            let dir = PathBuf::from(out);
+            let manifest = fit_fleet(&table, config, spec.fleet_shards, &self.pool, &dir)
+                .map_err(|e| fleet_error(&dir, e))?;
+            let mut model_bytes = manifest.to_bytes().len();
+            for blob in manifest.blobs.values() {
+                model_bytes += std::fs::read(dir.join(&blob.path))
+                    .map_err(|e| ServiceError::new(ErrorCode::Io, format!("{out}: {e}")))?
+                    .len();
+            }
+            let fleet = load_fleet(&dir).map_err(|e| fleet_error(&dir, e))?;
+            let router = FleetRouter::new(fleet, None, self.cache_capacity)
+                .map_err(|e| fleet_error(&dir, e))?;
+            let (mut cells, mut transitions) = (0, 0);
+            for (_, model) in router.models() {
+                cells += model.node_count();
+                transitions += model.edge_count();
+            }
+            let summary = FitSummary {
+                trips: trips.len(),
+                reports: trips.iter().map(|t| t.points.len()).sum(),
+                cells,
+                transitions,
+                model_bytes,
+                saved_to: Some(out.clone()),
+                shards: spec.fleet_shards,
+            };
+            self.install_fleet(FleetState {
+                router,
+                dir,
+                fallback: None,
+            });
+            self.metrics.observe_refit();
+            return Ok(Response::Fitted(summary));
+        }
         let model = fit_sharded_traced(
             &table,
             config,
@@ -389,6 +634,7 @@ impl Service {
             transitions: model.edge_count(),
             model_bytes: bytes.len(),
             saved_to: spec.save_to.clone(),
+            shards: 0,
         };
         self.install_model(model);
         self.metrics.observe_refit();
@@ -399,6 +645,39 @@ impl Service {
         // One mutating operation at a time (see `Service::mutate`);
         // imputations keep flowing on the read lock throughout.
         let _mutating = self.mutate.lock().expect("mutate lock");
+        // Sharded serving refits one shard at a time: snapshot that
+        // shard's fit state under the read lock, accumulate off it, and
+        // hot-swap through the router at the end.
+        {
+            let fleet = self.fleet.read().expect("fleet lock");
+            if let Some(f) = fleet.as_ref() {
+                let Some(shard) = spec.shard else {
+                    return Err(ServiceError::bad_request(
+                        "sharded serving refits one shard at a time — pass --shard N",
+                    ));
+                };
+                let Some(model) = f.router.model(shard) else {
+                    return Err(ServiceError::new(
+                        ErrorCode::ShardMiss,
+                        format!("shard {shard} is not loaded in the serving fleet"),
+                    ));
+                };
+                let history = model
+                    .state()
+                    .cloned()
+                    .expect("fleet blobs always embed a fit state");
+                let modulus = f.router.manifest().shards;
+                let dir = f.dir.clone();
+                drop(fleet);
+                return self.refit_shard(spec, shard, history, modulus, &dir);
+            }
+        }
+        if let Some(shard) = spec.shard {
+            return Err(ServiceError::bad_request(format!(
+                "--shard {shard} applies to sharded serving only — this service \
+                 serves a single blob"
+            )));
+        }
         // Snapshot the serving model (Arc) so the read lock is not held
         // across the accumulate — imputations keep flowing during a
         // refit; the hot-swap happens at the end.
@@ -455,10 +734,85 @@ impl Service {
             transitions: refitted.edge_count(),
             model_bytes: bytes.len(),
             saved_to: spec.save_to.clone(),
+            shard: None,
         };
         self.install_model(refitted);
         self.metrics.observe_refit();
         Ok(Response::Refitted(summary))
+    }
+
+    /// The sharded-serving refit tail: merge the delta's contribution
+    /// to `shard` into that shard's snapshot `history`, hot-swap the
+    /// shard through the router, and persist the new blob and manifest
+    /// into the fleet directory (blob first, so a torn write cannot
+    /// leave the manifest pointing at stale bytes it no longer hashes).
+    fn refit_shard(
+        &self,
+        spec: &RefitSpec,
+        shard: u32,
+        mut history: habit_core::FitState,
+        modulus: u32,
+        dir: &Path,
+    ) -> Result<Response, ServiceError> {
+        let config = *history.config();
+        let trajectories = crate::csvio::read_ais_csv(Path::new(&spec.input))?;
+        // Trip ids continue above the *fleet-wide* high-water mark:
+        // every shard state carries the same global provenance, so a
+        // per-shard refit mints exactly the ids a whole-fleet refit
+        // would have.
+        let first_id = history.provenance().max_trip_id + 1;
+        let trips = segment_all_from(&trajectories, &TripConfig::default(), first_id);
+        if trips.is_empty() {
+            return Err(ServiceError::new(
+                ErrorCode::BadInput,
+                "delta produced no trips after segmentation — nothing to refit",
+            ));
+        }
+        let delta = trips_to_table(&trips);
+        let states = accumulate_per_shard(&delta, config, modulus as usize, &self.pool)?;
+        let Some((_, delta_state)) = states.into_iter().find(|(s, _)| *s == shard) else {
+            return Err(ServiceError::new(
+                ErrorCode::BadInput,
+                format!(
+                    "delta contributes nothing to shard {shard} — every cell of its \
+                     trips hashes to another shard"
+                ),
+            ));
+        };
+        history.merge(delta_state)?;
+        let provenance = *history.provenance();
+        let model = Arc::new(HabitModel::from_fit_state(history)?);
+
+        let mut fleet = self.fleet.write().expect("fleet lock");
+        let Some(f) = fleet.as_mut() else {
+            return Err(ServiceError::internal("fleet unloaded during refit"));
+        };
+        let (bytes, manifest) = f
+            .router
+            .replace_shard(shard, Arc::clone(&model))
+            .map_err(|e| fleet_error(dir, e))?;
+        drop(fleet);
+        let blob_path = dir.join(shard_blob_name(shard));
+        std::fs::write(&blob_path, &bytes).map_err(|e| {
+            ServiceError::new(ErrorCode::Io, format!("{}: {e}", blob_path.display()))
+        })?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        std::fs::write(&manifest_path, manifest.to_bytes()).map_err(|e| {
+            ServiceError::new(ErrorCode::Io, format!("{}: {e}", manifest_path.display()))
+        })?;
+
+        self.metrics.observe_refit();
+        Ok(Response::Refitted(RefitSummary {
+            trips_added: trips.len() as u64,
+            reports_added: trips.iter().map(|t| t.points.len() as u64).sum(),
+            trips_total: provenance.trips,
+            reports_total: provenance.reports,
+            cells: model.node_count(),
+            transitions: model.edge_count(),
+            model_bytes: bytes.len(),
+            saved_to: Some(blob_path.display().to_string()),
+            shard: Some(shard),
+        }))
     }
 }
 
@@ -829,6 +1183,7 @@ mod tests {
             .handle(&Request::Refit(RefitSpec {
                 input: delta.to_str().unwrap().to_string(),
                 save_to: None,
+                shard: None,
             }))
             .unwrap()
         else {
@@ -882,6 +1237,7 @@ mod tests {
             .handle(&Request::Refit(RefitSpec {
                 input: "/nonexistent.csv".into(),
                 save_to: None,
+                shard: None,
             }))
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::NoModel);
@@ -896,6 +1252,7 @@ mod tests {
             .handle(&Request::Refit(RefitSpec {
                 input: "/nonexistent.csv".into(),
                 save_to: None,
+                shard: None,
             }))
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::StateVersion);
@@ -909,6 +1266,7 @@ mod tests {
             .handle(&Request::Refit(RefitSpec {
                 input: "/nonexistent.csv".into(),
                 save_to: None,
+                shard: None,
             }))
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::Io);
@@ -918,6 +1276,7 @@ mod tests {
             .handle(&Request::Refit(RefitSpec {
                 input: csv.to_str().unwrap().to_string(),
                 save_to: None,
+                shard: None,
             }))
             .unwrap_err();
         std::fs::remove_file(&csv).ok();
@@ -1077,5 +1436,265 @@ mod tests {
         assert_eq!(out.gaps_imputed(), 1);
         let gap_prov = out.gaps[0].provenance.as_ref().expect("repair provenance");
         assert_eq!(gap_prov.len(), out.gaps[0].points_added);
+    }
+
+    #[test]
+    fn one_shard_fleet_serves_byte_identically_to_a_single_blob() {
+        let csv = write_lane_csv("fleet1", 100, 3);
+        let dir = std::env::temp_dir().join(format!("habit-svc-fleet1-{}", std::process::id()));
+        let config = ServiceConfig {
+            threads: 2,
+            cache_capacity: 16,
+        };
+
+        let fleet_svc = Service::new(config);
+        let Response::Fitted(summary) = fleet_svc
+            .handle(&Request::Fit(FitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                shards_out: Some(dir.to_str().unwrap().to_string()),
+                fleet_shards: 1,
+                ..FitSpec::default()
+            }))
+            .unwrap()
+        else {
+            panic!("fleet fit");
+        };
+        assert_eq!(summary.shards, 1);
+        assert_eq!(summary.saved_to.as_deref(), dir.to_str());
+
+        let single_svc = Service::new(config);
+        single_svc
+            .handle(&Request::Fit(FitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                ..FitSpec::default()
+            }))
+            .unwrap();
+
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        let Response::Imputation(fleet_answer) = fleet_svc
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("fleet imputation");
+        };
+        let Response::Imputation(single_answer) = single_svc
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("single imputation");
+        };
+        assert_eq!(fleet_answer.cells, single_answer.cells);
+        assert_eq!(fleet_answer.cost, single_answer.cost);
+        assert_eq!(fleet_answer.points, single_answer.points);
+
+        // Health and model_info carry the fleet identity.
+        let Response::Health(h) = fleet_svc.handle(&Request::Health).unwrap() else {
+            panic!("health");
+        };
+        assert!(h.model_loaded);
+        assert_eq!(h.shards, 1);
+        let hash = h
+            .manifest_hash
+            .expect("fleet health carries the manifest hash");
+        assert!(hash.starts_with("0x") && hash.len() == 18, "{hash}");
+        let Response::ModelInfo(info) = fleet_svc.handle(&Request::ModelInfo).unwrap() else {
+            panic!("model info");
+        };
+        assert_eq!(info.shards, 1);
+        assert_eq!(info.manifest_hash.as_deref(), Some(hash.as_str()));
+        assert_eq!(info.blob_version, 2, "fleet blobs embed their state");
+
+        // The metric surface saw the fleet: gauge + per-shard counter.
+        let Response::Metrics(snapshot) = fleet_svc.handle(&Request::Metrics).unwrap() else {
+            panic!("metrics");
+        };
+        let text = habit_obs::text::render(&snapshot);
+        assert!(text.contains("habit_shards_loaded 1\n"), "{text}");
+        assert!(
+            text.contains("habit_shard_requests_total{shard=\"0\"} 1\n"),
+            "{text}"
+        );
+
+        // Reloading the directory from scratch serves the same answer.
+        let reloaded = Service::with_fleet(config, dir.to_str().unwrap(), None).unwrap();
+        let Response::Imputation(again) = reloaded
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("reloaded imputation");
+        };
+        assert_eq!(again.points, fleet_answer.points);
+
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_refit_taxonomy_and_exclusivity() {
+        let csv = write_lane_csv("fleettax", 100, 3);
+        let dir = std::env::temp_dir().join(format!("habit-svc-fleettax-{}", std::process::id()));
+        let config = ServiceConfig {
+            threads: 2,
+            cache_capacity: 16,
+        };
+        let svc = Service::new(config);
+        svc.handle(&Request::Fit(FitSpec {
+            input: csv.to_str().unwrap().to_string(),
+            shards_out: Some(dir.to_str().unwrap().to_string()),
+            fleet_shards: 2,
+            ..FitSpec::default()
+        }))
+        .unwrap();
+
+        // Fleet mode: --shard is mandatory, and it must name a shard the
+        // fleet carries.
+        let err = svc
+            .handle(&Request::Refit(RefitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                save_to: None,
+                shard: None,
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("--shard"), "{err}");
+        let err = svc
+            .handle(&Request::Refit(RefitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                save_to: None,
+                shard: Some(7),
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::ShardMiss);
+
+        // --shards-out and --out stay mutually exclusive on fit.
+        let err = svc
+            .handle(&Request::Fit(FitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                shards_out: Some(dir.to_str().unwrap().to_string()),
+                save_to: Some("/tmp/x.habit".into()),
+                ..FitSpec::default()
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        let err = svc
+            .handle(&Request::Fit(FitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                shards_out: Some(dir.to_str().unwrap().to_string()),
+                fleet_shards: 0,
+                ..FitSpec::default()
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+
+        // A single-blob service rejects --shard.
+        let single = Service::with_model(config, lane_model());
+        let err = single
+            .handle(&Request::Refit(RefitSpec {
+                input: csv.to_str().unwrap().to_string(),
+                save_to: None,
+                shard: Some(0),
+            }))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("single blob"), "{err}");
+
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_repair_uses_the_fallback_or_says_why_not() {
+        let csv = write_lane_csv("fleetrepair", 100, 3);
+        let pid = std::process::id();
+        let dir = std::env::temp_dir().join(format!("habit-svc-fleetrepair-{pid}"));
+        let blob = std::env::temp_dir().join(format!("habit-svc-fleetrepair-{pid}.habit"));
+        let config = ServiceConfig {
+            threads: 2,
+            cache_capacity: 16,
+        };
+        let svc = Service::new(config);
+        svc.handle(&Request::Fit(FitSpec {
+            input: csv.to_str().unwrap().to_string(),
+            save_to: Some(blob.to_str().unwrap().to_string()),
+            ..FitSpec::default()
+        }))
+        .unwrap();
+        svc.handle(&Request::Fit(FitSpec {
+            input: csv.to_str().unwrap().to_string(),
+            shards_out: Some(dir.to_str().unwrap().to_string()),
+            fleet_shards: 2,
+            ..FitSpec::default()
+        }))
+        .unwrap();
+
+        let mut track: Vec<geo_kernel::TimedPoint> = Vec::new();
+        for i in 0..200i64 {
+            if (60..100).contains(&i) {
+                continue;
+            }
+            track.push(geo_kernel::TimedPoint::new(
+                10.0 + i as f64 * 0.003,
+                56.0,
+                i * 60,
+            ));
+        }
+        let repair_config = habit_core::RepairConfig {
+            gap_threshold_s: 1800,
+            densify_max_spacing_m: Some(250.0),
+        };
+
+        // A fleet without a fallback cannot repair — the error says how
+        // to get one.
+        let err = svc
+            .handle(&Request::Repair {
+                track: track.clone(),
+                config: repair_config,
+                provenance: false,
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NoModel);
+        assert!(err.message.contains("--shards DIR --model BLOB"), "{err}");
+
+        // With the global blob as fallback, repair answers exactly like
+        // single-blob serving.
+        let with_fallback =
+            Service::with_fleet(config, dir.to_str().unwrap(), Some(blob.to_str().unwrap()))
+                .unwrap();
+        let Response::Repaired(out) = with_fallback
+            .handle(&Request::Repair {
+                track: track.clone(),
+                config: repair_config,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("fleet repair");
+        };
+        let single = Service::with_model_file(config, blob.to_str().unwrap()).unwrap();
+        let Response::Repaired(base) = single
+            .handle(&Request::Repair {
+                track,
+                config: repair_config,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("single repair");
+        };
+        assert_eq!(out.gaps_imputed(), 1);
+        assert_eq!(out.points, base.points);
+
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&blob).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
