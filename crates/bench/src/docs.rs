@@ -184,6 +184,7 @@ the same taxonomy (`bad_request` exits 2, every other code exits 1):
 | `state_version` | 1 | fit-state version unsupported, or the model embeds no state (refit needs one) |
 | `config_drift` | 1 | refit delta accumulated under a different fit configuration |
 | `shard_miss` | 1 | a gap endpoint's owning shard has no blob loaded in the serving fleet |
+| `overloaded` | 1 | the admission queue is full — back off and retry |
 | `internal` | 1 | unexpected internal failure |
 
 The daemon answers `impute`/`impute_batch` through the engine's batch
@@ -193,7 +194,34 @@ in place (a refit snapshots the state, accumulates the delta off the
 request path, and swaps at the end, so imputations keep flowing).
 Graceful shutdown: the `shutdown` op, or start with `--watch-stdin` and
 close the daemon's stdin pipe (supervisor-friendly; no signal handler
-needed in the std-only build).
+needed in the std-only build); either way the admission queue is
+drained first, so every already-accepted request is answered before the
+listener stops. Request lines are capped at `--max-line-bytes`
+(default 16 MiB); oversized lines are rejected with `bad_request` and
+counted under their own `op="oversized_line"` metrics label.
+
+### Admission batching & SLOs
+
+By default the daemon **coalesces concurrent impute traffic across
+connections**: every in-flight `impute`/`impute_batch` gap is submitted
+to a bounded admission queue, and a flusher drains the queue into one
+shared engine batch whenever `--batch-max-gaps` gaps are waiting or the
+oldest has waited `--batch-window-us` microseconds (defaults: 128 gaps,
+1000 µs). One flush makes a single dedup + route-cache pass over every
+connection's gaps — N connections asking for the same uncached route
+cost one A* search instead of N — and the per-gap results scatter back
+to their originating connections **byte-identical** to the direct path
+(pinned by unit tests, a scatter/gather proptest, and a concurrent
+end-to-end test against the real binary). When the queue is full the
+daemon answers with the typed `overloaded` error instead of blocking
+the accept loop; `--no-coalesce` restores the per-connection direct
+path. The `health` payload reports the admission state — `queue_depth`,
+`queue_capacity`, and per-op `p50_us`/`p95_us`/`p99_us` latency
+quantiles derived from the pinned-bucket histograms — and the metrics
+endpoint exports `habit_admission_queue_depth`, flush/rejection
+counters, and a flush batch-size histogram. The committed `throughput`
+report's concurrent-clients table tracks what coalescing buys at 1–16
+connections, cold and warm.
 
 ## Sharded serving — `habit-fleet`
 
@@ -398,6 +426,16 @@ mod tests {
         assert!(md.contains("| `state_version` | 1 |"));
         assert!(md.contains("| `config_drift` | 1 |"));
         assert!(md.contains("| `shard_miss` | 1 |"));
+        assert!(md.contains("| `overloaded` | 1 |"));
+        // The admission-batching section documents the coalescing
+        // flags, the backpressure error, and the SLO health fields.
+        assert!(md.contains("### Admission batching & SLOs"));
+        assert!(md.contains("--batch-window-us"));
+        assert!(md.contains("--batch-max-gaps"));
+        assert!(md.contains("--no-coalesce"));
+        assert!(md.contains("--max-line-bytes"));
+        assert!(md.contains("habit_admission_queue_depth"));
+        assert!(md.contains("oversized_line"));
         // The sharded-serving section documents the manifest, the
         // routing semantics, and the worked fleet command sequence.
         assert!(md.contains("## Sharded serving — `habit-fleet`"));

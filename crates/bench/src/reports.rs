@@ -1092,7 +1092,160 @@ pub fn throughput_report(kiel: &Bench, seed: u64) -> Result<ExperimentReport> {
         ])?;
     }
 
+    // -- Concurrent clients: N client threads over one `Service` (the
+    //    exact facade the daemon serves), each issuing single-gap
+    //    `Impute` requests over the shared route set — the admission
+    //    layer coalescing them into shared engine flushes vs the
+    //    per-request direct path. Cold = first wave on a fresh service,
+    //    warm = second wave over the now-resident route cache.
+    let model_bytes = model.to_bytes();
+    // Every client sweeps the same corridor (overlapping routes — the
+    // recurring-traffic shape the daemon sees): the cold wave is one
+    // sweep per client over an empty cache, so concurrent connections
+    // ask for the same uncached routes at the same time; the warm waves
+    // repeat the sweep against the now-resident cache.
+    let cold_set: Vec<GapQuery> = queries[..cases.len() * 2.min(REPEAT)].to_vec();
+    let warm_set: Vec<GapQuery> = queries.clone();
+    let mut concurrent = MarkdownTable::new(vec![
+        "Clients",
+        "Direct cold q/s",
+        "Coalesced cold q/s",
+        "Cold speedup",
+        "Direct warm q/s",
+        "Coalesced warm q/s",
+        "Warm speedup",
+        "Warm vs 1-conn direct",
+    ])
+    .with_context(id);
+    let run_wave = |service: &std::sync::Arc<habit_service::Service>,
+                    clients: usize,
+                    per_client: &[GapQuery]|
+     -> f64 {
+        let barrier = std::sync::Barrier::new(clients);
+        let wall_s = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let t0 = Instant::now();
+                        for q in per_client {
+                            service
+                                .handle(&habit_service::Request::Impute {
+                                    gap: *q,
+                                    provenance: false,
+                                })
+                                .expect("serving impute");
+                        }
+                        t0.elapsed().as_secs_f64()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .fold(0.0f64, f64::max)
+        });
+        (per_client.len() * clients) as f64 / wall_s.max(1e-9)
+    };
+    let serve_cell = |clients: usize, coalesce: bool| -> Result<(f64, f64)> {
+        let svc = std::sync::Arc::new(habit_service::Service::with_model(
+            habit_service::ServiceConfig {
+                threads: 4,
+                cache_capacity: CACHE,
+            },
+            HabitModel::from_bytes(&model_bytes)
+                .map_err(|e| ReportError::experiment(id, format!("model round trip: {e}")))?,
+        ));
+        if coalesce {
+            // Flush at three quarters of the in-flight population so a
+            // flush never idles waiting for the last straggler to be
+            // rescheduled; the window is only the backstop.
+            svc.enable_admission(habit_service::AdmissionConfig {
+                batch_window_us: 100,
+                batch_max_gaps: (clients * 3 / 4).max(1),
+            });
+        }
+        let cold = run_wave(&svc, clients, &cold_set);
+        let warm = run_wave(&svc, clients, &warm_set);
+        svc.shutdown_admission();
+        Ok((cold, warm))
+    };
+    // Interleaved best-of-N rounds (the same discipline as
+    // `route_bench`): every cell is measured once per round, so
+    // machine-wide drift between cells cancels instead of landing on
+    // whichever cell ran last.
+    const CONCURRENT_ROUNDS: usize = 3;
+    let client_counts = [1usize, 2, 4, 8, 16, 32];
+    let mut cold_best = [[0.0f64; 2]; 6];
+    let mut warm_best = [[0.0f64; 2]; 6];
+    for _round in 0..CONCURRENT_ROUNDS {
+        for (ci, &clients) in client_counts.iter().enumerate() {
+            for (mi, coalesce) in [false, true].into_iter().enumerate() {
+                let (cold, warm) = serve_cell(clients, coalesce)?;
+                cold_best[ci][mi] = cold_best[ci][mi].max(cold);
+                warm_best[ci][mi] = warm_best[ci][mi].max(warm);
+            }
+        }
+    }
+    let direct_warm_1conn = warm_best[0][0];
+    let mut best_cold_speedup = (0usize, 0.0f64);
+    let mut best_warm_vs_1conn = (0usize, 0.0f64);
+    for (ci, &clients) in client_counts.iter().enumerate() {
+        let (direct_cold, coalesced_cold) = (cold_best[ci][0], cold_best[ci][1]);
+        let (direct_warm, coalesced_warm) = (warm_best[ci][0], warm_best[ci][1]);
+        let cold_speedup = coalesced_cold / direct_cold.max(1e-9);
+        let warm_speedup = coalesced_warm / direct_warm.max(1e-9);
+        // The headline ratio the issue asks for: coalesced concurrent
+        // throughput against the one-connection-at-a-time direct path.
+        let warm_vs_1conn = coalesced_warm / direct_warm_1conn.max(1e-9);
+        if clients >= 4 && cold_speedup > best_cold_speedup.1 {
+            best_cold_speedup = (clients, cold_speedup);
+        }
+        if clients >= 4 && warm_vs_1conn > best_warm_vs_1conn.1 {
+            best_warm_vs_1conn = (clients, warm_vs_1conn);
+        }
+        concurrent.row(vec![
+            clients.to_string(),
+            format!("{direct_cold:.1}"),
+            format!("{coalesced_cold:.1}"),
+            format!("{cold_speedup:.2}x"),
+            format!("{direct_warm:.1}"),
+            format!("{coalesced_warm:.1}"),
+            format!("{warm_speedup:.2}x"),
+            format!("{warm_vs_1conn:.2}x"),
+        ])?;
+    }
+
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut concurrent_section = ReportSection::titled(
+        "Concurrent clients — admission coalescing vs per-request direct path",
+        concurrent,
+    );
+    concurrent_section.notes.push(format!(
+        "Each client thread drives single-gap `Impute` requests through one shared \
+         `habit_service::Service` — the same facade `habit serve` answers from — and every \
+         client sweeps the same route set (recurring corridor traffic). Coalesced cells enable \
+         the daemon's admission layer (window 100 µs, flush at 3N/4 gaps so a flush never \
+         idles on the last straggler), so concurrent \
+         requests share one dedup + route-cache engine pass per flush; direct cells pay one \
+         engine pass per request. Answers are byte-identical either way (pinned by the \
+         service/engine suites and the serve e2e). Every cell is the best of \
+         {CONCURRENT_ROUNDS} interleaved rounds on a fresh service (cold = first sweep, \
+         warm = a full repeat sweep over the resident cache)."
+    ));
+    concurrent_section.notes.push(format!(
+        "The cold column is where coalescing earns its keep: concurrent connections asking for \
+         the same not-yet-cached route are deduplicated into a single A* search per flush, \
+         while the direct path lets every connection that misses race its own search. On a warm \
+         cache every request is an LRU hit either way, so what coalescing amortizes is the \
+         per-pass engine overhead — the last column compares against the issue's baseline, \
+         the one-connection-at-a-time direct path, and grows with concurrency as flushes get \
+         fuller. Same-concurrency warm ratios carry the coalesced path's two extra context \
+         switches per request (queue + wake) undiluted; this host exposes {cores} core(s), and \
+         with more cores the shared flush also parallelizes across the engine pool, which the \
+         direct single-gap path cannot."
+    ));
     let mut fit_section = ReportSection::titled("Sharded fit", {
         let mut fit_table = MarkdownTable::new(vec![
             "Fit path",
@@ -1133,14 +1286,24 @@ pub fn throughput_report(kiel: &Bench, seed: u64) -> Result<ExperimentReport> {
         reproduction: format!(
             "Batch at 4 threads reached {speedup_at_4:.2}x the sequential throughput \
              ({} queries over {} routes); warm-cache ticks hit {warm_hit_rate:.0}% of routes in \
-             the LRU; sharded fit byte-identical: {identical}.",
+             the LRU; admission coalescing at {} concurrent connections served {:.2}x the \
+             single-connection per-request throughput on a warm cache and {:.2}x the \
+             same-concurrency direct path on a cold cache at {} connections \
+             (cross-connection dedup); sharded fit byte-identical: {identical}.",
             queries.len(),
             cases.len(),
+            best_warm_vs_1conn.0,
+            best_warm_vs_1conn.1,
+            best_cold_speedup.1,
+            best_cold_speedup.0,
         ),
         params: vec![
             param("repeat", REPEAT),
             param("ticks", TICKS),
             param("threads", "1|2|4"),
+            param("clients", "1|2|4|8|16|32"),
+            param("concurrent_rounds", CONCURRENT_ROUNDS),
+            param("batch_window_us", 100),
             param("cache_entries", CACHE),
             param("shards", SHARDS),
             param("gap_s", 3600),
@@ -1149,6 +1312,7 @@ pub fn throughput_report(kiel: &Bench, seed: u64) -> Result<ExperimentReport> {
         sections: vec![
             ReportSection::titled("Serving throughput (cold cache per run)", table),
             ReportSection::titled("Route cache across serving ticks (4 threads)", ticks),
+            concurrent_section,
             fit_section,
         ],
         provenance: provenance(seed, t0),

@@ -149,12 +149,19 @@ COMMANDS
   serve    long-lived line-JSON-over-TCP daemon over a fitted model
            --model FILE  [--host ADDR] [--port N] [--threads N]
            [--cache ENTRIES] [--conn-threads N] [--watch-stdin]
-           [--metrics-port N]
+           [--metrics-port N] [--batch-window-us N] [--batch-max-gaps N]
+           [--no-coalesce] [--max-line-bytes N]
            (defaults: 127.0.0.1:4740; --port 0 picks a free port;
            --watch-stdin shuts down cleanly when stdin closes;
            --metrics-port serves plaintext metrics over HTTP on the
            same host — GET / for counters, GET /spans for recent
-           stage spans as line JSON)
+           stage spans as line JSON; concurrent impute traffic is
+           coalesced into shared engine batches — byte-identical
+           answers, collected for up to --batch-window-us (1000) or
+           until --batch-max-gaps (128) queue, a full queue rejects
+           with the typed `overloaded` error; --no-coalesce restores
+           the per-connection direct path; request lines longer than
+           --max-line-bytes (16 MiB) are rejected)
            --shards DIR  [--model FILE]  [...same flags]
            (sharded serving: route each gap to the shard owning its
            endpoint tiles, seam-stitch cross-shard gaps; --model then
@@ -221,7 +228,7 @@ EXIT CODES (shell-friendly, stable)
   every other error code exits 1. Daemon responses carry the same codes
   (bad_request, io, csv, bad_input, grid, no_model, empty_model,
   no_path, snap_failed, bad_model_blob, unsorted_input, config_mismatch,
-  state_version, config_drift, shard_miss, internal) in
+  state_version, config_drift, shard_miss, overloaded, internal) in
   {\"ok\":false,\"error\":{\"code\":...,\"message\":...}}.
 
 Formats: AIS CSV = mmsi,t,lon,lat[,sog,cog,heading]; track CSV = t,lon,lat;

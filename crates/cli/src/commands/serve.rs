@@ -16,9 +16,19 @@
 //! (`GET /` for counters/gauges/histograms, `GET /spans` for recent
 //! stage spans as line-delimited JSON) — scrapeable with `curl`, no
 //! wire protocol needed.
+//!
+//! The daemon coalesces concurrent impute traffic by default: in-flight
+//! `impute`/`impute_batch` gaps from every connection queue into one
+//! admission window (`--batch-window-us`, flushed early at
+//! `--batch-max-gaps`) and are answered from shared engine batches —
+//! byte-identical to the direct path, one dedup + route-cache pass per
+//! flush. A full queue rejects with the typed `overloaded` error.
+//! `--no-coalesce` restores the per-connection direct path.
 
 use crate::args::Args;
-use habit_service::{Request, Response, ServeOptions, Service, ServiceConfig, ServiceError};
+use habit_service::{
+    AdmissionConfig, Request, Response, ServeOptions, Service, ServiceConfig, ServiceError,
+};
 use std::io::Write;
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -39,6 +49,10 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
         "conn-threads",
         "watch-stdin",
         "metrics-port",
+        "batch-window-us",
+        "batch-max-gaps",
+        "no-coalesce",
+        "max-line-bytes",
     ])?;
     let shards_dir = args.get("shards");
     // Single-blob serving requires --model; sharded serving makes it an
@@ -62,6 +76,23 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
         ),
         None => None,
     };
+    let admission_defaults = AdmissionConfig::default();
+    let batch_window_us: u64 =
+        args.get_or("batch-window-us", admission_defaults.batch_window_us)?;
+    let batch_max_gaps: usize = args.get_or("batch-max-gaps", admission_defaults.batch_max_gaps)?;
+    if batch_max_gaps == 0 {
+        return Err(ServiceError::bad_request(
+            "--batch-max-gaps must be at least 1",
+        ));
+    }
+    let coalesce = !args.switch("no-coalesce");
+    let max_line_bytes: usize =
+        args.get_or("max-line-bytes", habit_service::server::MAX_LINE_BYTES)?;
+    if max_line_bytes == 0 {
+        return Err(ServiceError::bad_request(
+            "--max-line-bytes must be at least 1",
+        ));
+    }
 
     let config = ServiceConfig {
         threads,
@@ -96,6 +127,12 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
             )
         }
     };
+    if coalesce {
+        service.enable_admission(AdmissionConfig {
+            batch_window_us,
+            batch_max_gaps,
+        });
+    }
     let listener = TcpListener::bind((host, port)).map_err(|e| {
         ServiceError::new(habit_service::ErrorCode::Io, format!("{host}:{port}: {e}"))
     })?;
@@ -106,6 +143,16 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
     println!(
         "habit serve: protocol habit-wire/v1 — one JSON request per line; '{{\"v\":1,\"op\":\"shutdown\"}}' stops the daemon"
     );
+    if coalesce {
+        println!(
+            "habit serve: coalescing impute traffic (window {batch_window_us} µs, flush at {batch_max_gaps} gaps, queue capacity {} gaps)",
+            AdmissionConfig {
+                batch_window_us,
+                batch_max_gaps,
+            }
+            .queue_capacity()
+        );
+    }
     let metrics_listener = match metrics_port {
         Some(p) => {
             let ml = TcpListener::bind((host, p)).map_err(|e| {
@@ -127,6 +174,7 @@ pub fn run(args: &Args) -> Result<(), ServiceError> {
         ServeOptions {
             connection_threads: conn_threads,
             watch_stdin: args.switch("watch-stdin"),
+            max_line_bytes,
             ..ServeOptions::default()
         },
         metrics_listener,
@@ -178,6 +226,18 @@ mod tests {
         let err = run(&args).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("--metrics-port"), "{err}");
+    }
+
+    #[test]
+    fn serve_validates_admission_and_line_cap_flags() {
+        for bad in [
+            ["serve", "--model", "x", "--batch-max-gaps", "0"],
+            ["serve", "--model", "x", "--max-line-bytes", "0"],
+            ["serve", "--model", "x", "--batch-window-us", "soon"],
+        ] {
+            let err = run(&Args::parse(bad.map(String::from)).unwrap()).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}");
+        }
     }
 
     #[test]

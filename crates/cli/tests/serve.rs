@@ -70,6 +70,11 @@ fn build_model(dir: &Path) -> (PathBuf, PathBuf) {
 /// first stdout line (guarded by a timeout so a hung daemon fails the
 /// test instead of wedging CI).
 fn spawn_daemon(model: &Path) -> (Child, String) {
+    spawn_daemon_with_args(model, &[])
+}
+
+/// [`spawn_daemon`] with extra `habit serve` flags appended.
+fn spawn_daemon_with_args(model: &Path, extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_habit"))
         .args([
             "serve",
@@ -82,6 +87,7 @@ fn spawn_daemon(model: &Path) -> (Child, String) {
             "--conn-threads",
             "2",
         ])
+        .args(extra)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -464,6 +470,177 @@ fn concurrent_clients_match_sequential_cli_byte_for_byte() {
                  byte-identical to the sequential CLI"
             );
         }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ISSUE 10 tentpole, end to end: cross-connection admission batching
+/// is **byte-invisible**. Eight clients hammer a coalescing daemon
+/// concurrently with overlapping routes (shared and per-client gap
+/// durations, plus an `impute_batch` each), then replay the identical
+/// workload against a `--no-coalesce` daemon — every `impute` response
+/// must match byte-for-byte as a raw wire line, and every batch result
+/// must carry bit-identical points. The health payloads prove the two
+/// daemons really ran in different modes.
+#[test]
+fn coalescing_is_byte_invisible_to_concurrent_clients() {
+    const CLIENTS: usize = 8;
+
+    let dir = tmpdir("coalesce");
+    let (csv, model) = build_model(&dir);
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let first: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+    let (lon, lat): (f64, f64) = (first[2].parse().unwrap(), first[3].parse().unwrap());
+    let lon2 = lon + 0.15;
+    // Round 0 is the same gap for every client (coalescing dedups it
+    // across connections); round 1 is distinct per client (scatter must
+    // route each answer back to its own connection). The batch mixes
+    // both shapes.
+    let shared_gap = habit_core::GapQuery::new(lon, lat, 0, lon2, lat, 3600);
+    let client_gap = |client: usize| {
+        habit_core::GapQuery::new(lon, lat, 0, lon2, lat, 4200 + client as i64 * 600)
+    };
+    let run_clients = |addr: &str| -> Vec<(String, String, Vec<habit_core::Imputation>)> {
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(CLIENTS));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|client| {
+                    let addr = addr.to_string();
+                    let barrier = std::sync::Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        let stream = TcpStream::connect(&addr).expect("connect client");
+                        stream
+                            .set_read_timeout(Some(Duration::from_secs(60)))
+                            .unwrap();
+                        let mut reader = BufReader::new(stream.try_clone().unwrap());
+                        barrier.wait();
+                        let shared_reply = round_trip(
+                            &stream,
+                            &mut reader,
+                            &Request::Impute {
+                                gap: shared_gap,
+                                provenance: false,
+                            },
+                        );
+                        let own_reply = round_trip(
+                            &stream,
+                            &mut reader,
+                            &Request::Impute {
+                                gap: client_gap(client),
+                                provenance: false,
+                            },
+                        );
+                        let batch_reply = round_trip(
+                            &stream,
+                            &mut reader,
+                            &Request::ImputeBatch {
+                                gaps: vec![shared_gap, client_gap(client), shared_gap],
+                                provenance: false,
+                            },
+                        );
+                        let Ok(Response::Batch(batch)) =
+                            wire::decode_response(&batch_reply).unwrap()
+                        else {
+                            panic!("client {client} batch: {batch_reply}");
+                        };
+                        let batch_points: Vec<habit_core::Imputation> = batch
+                            .results
+                            .into_iter()
+                            .map(|r| r.expect("batch result"))
+                            .collect();
+                        (shared_reply, own_reply, batch_points)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        })
+    };
+    let shut_down = |mut child: Child, addr: &str| {
+        let stream = TcpStream::connect(addr).expect("connect for shutdown");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let reply = round_trip(&stream, &mut reader, &Request::Shutdown);
+        assert!(matches!(
+            wire::decode_response(&reply).unwrap(),
+            Ok(Response::ShuttingDown)
+        ));
+        let status = wait_with_timeout(&mut child, Duration::from_secs(30));
+        assert!(status.success(), "clean exit after Shutdown: {status:?}");
+    };
+    let health_admission = |addr: &str| -> Option<u64> {
+        let stream = TcpStream::connect(addr).expect("connect for health");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let reply = round_trip(&stream, &mut reader, &Request::Health);
+        let Ok(Response::Health(h)) = wire::decode_response(&reply).unwrap() else {
+            panic!("health reply: {reply}");
+        };
+        h.admission.map(|a| a.queue_capacity)
+    };
+
+    // Coalescing daemon (the default) with a wide-open window so the
+    // concurrent clients genuinely share flushes.
+    let (on_child, on_addr) = spawn_daemon_with_args(
+        &model,
+        &["--batch-window-us", "2000", "--batch-max-gaps", "64"],
+    );
+    assert_eq!(
+        health_admission(&on_addr),
+        Some(64 * 8),
+        "coalescing daemon advertises its admission queue"
+    );
+    let coalesced = run_clients(&on_addr);
+    shut_down(on_child, &on_addr);
+
+    // Direct-path daemon: identical model, identical workload.
+    let (off_child, off_addr) = spawn_daemon_with_args(&model, &["--no-coalesce"]);
+    assert_eq!(
+        health_admission(&off_addr),
+        None,
+        "--no-coalesce daemon has no admission layer"
+    );
+    let direct = run_clients(&off_addr);
+    shut_down(off_child, &off_addr);
+
+    for (client, ((on_shared, on_own, on_batch), (off_shared, off_own, off_batch))) in
+        coalesced.iter().zip(&direct).enumerate()
+    {
+        // `impute` responses carry no timing field: the raw wire lines
+        // must be byte-identical between the two modes.
+        assert_eq!(on_shared, off_shared, "client {client}: shared-gap reply");
+        assert_eq!(on_own, off_own, "client {client}: per-client-gap reply");
+        // `impute_batch` responses carry wall_s, so compare the payload:
+        // every imputation bit-identical, in order.
+        assert_eq!(on_batch.len(), off_batch.len());
+        for (i, (a, b)) in on_batch.iter().zip(off_batch).enumerate() {
+            assert_eq!(a.points, b.points, "client {client} batch gap {i}");
+            assert_eq!(a.cells, b.cells, "client {client} batch gap {i}");
+            assert_eq!(
+                a.cost.to_bits(),
+                b.cost.to_bits(),
+                "client {client} batch gap {i}"
+            );
+        }
+    }
+    // Scatter sanity: each client's round-1 answer reflects its own gap
+    // duration (last point lands at the client's own end timestamp).
+    for (client, (_, own_reply, _)) in coalesced.iter().enumerate() {
+        let Ok(Response::Imputation(imp)) = wire::decode_response(own_reply).unwrap() else {
+            panic!("client {client} own reply: {own_reply}");
+        };
+        assert_eq!(
+            imp.points.last().expect("points").t,
+            client_gap(client).end.t,
+            "client {client} got its own answer back"
+        );
     }
 
     std::fs::remove_dir_all(&dir).ok();

@@ -34,7 +34,7 @@ use crate::scan::SourceFile;
 
 /// The pinned sink modules: every path producing serialized bytes,
 /// wire/JSON/CSV output, or committed report rows.
-pub const SINK_SUFFIXES: [&str; 22] = [
+pub const SINK_SUFFIXES: [&str; 23] = [
     "crates/aggdb/src/partial.rs",
     "crates/aggdb/src/hll.rs",
     "crates/aggdb/src/csv.rs",
@@ -48,6 +48,7 @@ pub const SINK_SUFFIXES: [&str; 22] = [
     "crates/fleet/src/builder.rs",
     "crates/service/src/wire.rs",
     "crates/service/src/csvio.rs",
+    "crates/service/src/admission.rs",
     "crates/obs/src/text.rs",
     "crates/obs/src/spanjson.rs",
     "crates/eval/src/json.rs",

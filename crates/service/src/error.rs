@@ -28,6 +28,7 @@ use std::fmt;
 /// | `state_version` | 1 | fit-state version unsupported, or the model embeds no state (refit needs one) |
 /// | `config_drift` | 1 | refit delta accumulated under a different fit configuration |
 /// | `shard_miss` | 1 | a gap endpoint's tile is owned by a shard the serving fleet does not carry |
+/// | `overloaded` | 1 | the daemon's admission queue is full — back off and retry |
 /// | `internal` | 1 | unexpected internal failure |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorCode {
@@ -65,13 +66,16 @@ pub enum ErrorCode {
     /// A gap endpoint's tile is owned by a shard the serving fleet does
     /// not carry (and no global fallback blob is loaded).
     ShardMiss,
+    /// The daemon's bounded admission queue is full: the request was
+    /// rejected instead of queued. Transient — back off and retry.
+    Overloaded,
     /// Unexpected internal failure.
     Internal,
 }
 
 impl ErrorCode {
     /// Every code, in documentation order (the wire error-code table).
-    pub const ALL: [ErrorCode; 16] = [
+    pub const ALL: [ErrorCode; 17] = [
         ErrorCode::BadRequest,
         ErrorCode::Io,
         ErrorCode::Csv,
@@ -87,6 +91,7 @@ impl ErrorCode {
         ErrorCode::StateVersion,
         ErrorCode::ConfigDrift,
         ErrorCode::ShardMiss,
+        ErrorCode::Overloaded,
         ErrorCode::Internal,
     ];
 
@@ -108,6 +113,7 @@ impl ErrorCode {
             ErrorCode::StateVersion => "state_version",
             ErrorCode::ConfigDrift => "config_drift",
             ErrorCode::ShardMiss => "shard_miss",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::Internal => "internal",
         }
     }
@@ -279,6 +285,7 @@ mod tests {
                 ("state_version", 1),
                 ("config_drift", 1),
                 ("shard_miss", 1),
+                ("overloaded", 1),
                 ("internal", 1),
             ]
         );

@@ -54,6 +54,7 @@
 //! ```
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod admission;
 pub mod csvio;
 pub mod error;
 pub mod metrics;
@@ -63,14 +64,15 @@ pub mod server;
 pub mod service;
 pub mod wire;
 
+pub use admission::AdmissionConfig;
 pub use error::{ErrorCode, ServiceError};
 pub use metrics::ServiceMetrics;
 pub use request::{
     parse_projection, projection_token, FitSpec, RefitSpec, Request, PROTOCOL_VERSION,
 };
 pub use response::{
-    BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, RefitSummary, RepairOutcome,
-    RepairedGap, Response,
+    AdmissionInfo, BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, OpLatency,
+    RefitSummary, RepairOutcome, RepairedGap, Response,
 };
 pub use server::{serve, serve_with_metrics, ServeOptions};
 pub use service::{Service, ServiceConfig};

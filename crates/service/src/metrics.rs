@@ -24,16 +24,35 @@
 //! * `habit_shard_requests_total{shard=…}` — gaps (and stitched legs)
 //!   dispatched to each shard's imputer;
 //! * `habit_shard_seam_routes_total` — cross-shard gaps answered by a
-//!   seam-stitched two-leg route.
+//!   seam-stitched two-leg route;
+//! * `habit_admission_queue_depth` — gaps waiting in the daemon's
+//!   cross-connection admission queue (gauge, 0 without coalescing);
+//! * `habit_admission_flushes_total` / `habit_admission_submissions_total`
+//!   — coalesced engine flushes, and the connection submissions they
+//!   answered;
+//! * `habit_admission_batch_size` — gaps per coalesced flush
+//!   (fixed-bucket histogram);
+//! * `habit_admission_rejects_total` — submissions bounced with
+//!   `overloaded` because the queue was full.
 
 use crate::error::ErrorCode;
+use crate::response::OpLatency;
 use habit_engine::BatchStats;
 use habit_fleet::FleetBatchStats;
-use habit_obs::{Recorder, Registry, Snapshot, LATENCY_BUCKETS_US};
+use habit_obs::{Counter, Histogram, Recorder, Registry, Snapshot, LATENCY_BUCKETS_US};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// How many finished spans the recorder retains for `GET /spans`.
 const SPAN_CAPACITY: usize = 1024;
+
+/// Bucket upper bounds of `habit_admission_batch_size`: gaps per
+/// coalesced flush, 1 … 256 in powers of two.
+pub const ADMISSION_BATCH_BUCKETS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// One memoized per-op entry: op name, request counter, latency histogram.
+type HotOpEntry = (String, Arc<Counter>, Arc<Histogram>);
 
 /// Metrics + span recorder of one service instance.
 #[derive(Debug)]
@@ -41,6 +60,13 @@ pub struct ServiceMetrics {
     registry: Registry,
     recorder: Recorder,
     requests_total: AtomicU64,
+    /// Per-op request counter + latency histogram, memoized on first
+    /// use: `observe_request` sits on every request, and resolving
+    /// through the registry means an allocated `(name, labels)` key
+    /// plus a `Mutex<BTreeMap>` walk per metric — deadweight at
+    /// serving rates. The handful of wire ops land here after their
+    /// first registration and are found by a lock-free-read scan.
+    hot_ops: RwLock<Vec<HotOpEntry>>,
 }
 
 impl Default for ServiceMetrics {
@@ -57,6 +83,7 @@ impl ServiceMetrics {
             registry: Registry::new(),
             recorder: Recorder::new(SPAN_CAPACITY),
             requests_total: AtomicU64::new(0),
+            hot_ops: RwLock::new(Vec::new()),
         }
     }
 
@@ -85,16 +112,34 @@ impl ServiceMetrics {
     /// Malformed requests that never parsed use `op = "unknown"`.
     pub fn observe_request(&self, op: &str, error: Option<ErrorCode>, duration_ticks: u64) {
         self.requests_total.fetch_add(1, Ordering::Relaxed);
-        self.registry
-            .counter("habit_requests_total", &[("op", op)])
-            .inc();
-        self.registry
-            .histogram(
+        let memoized = {
+            let hot = self.hot_ops.read().unwrap_or_else(|e| e.into_inner());
+            match hot.iter().find(|(o, ..)| o == op) {
+                Some((_, counter, histogram)) => {
+                    counter.inc();
+                    histogram.observe(duration_ticks);
+                    true
+                }
+                None => false,
+            }
+        };
+        if !memoized {
+            // First request under this op: register through the
+            // registry (so unknown ops still appear lazily, exactly as
+            // before) and memoize the handles for the next one.
+            let counter = self.registry.counter("habit_requests_total", &[("op", op)]);
+            let histogram = self.registry.histogram(
                 "habit_request_latency_us",
                 &[("op", op)],
                 &LATENCY_BUCKETS_US,
-            )
-            .observe(duration_ticks);
+            );
+            counter.inc();
+            histogram.observe(duration_ticks);
+            let mut hot = self.hot_ops.write().unwrap_or_else(|e| e.into_inner());
+            if !hot.iter().any(|(o, ..)| o == op) {
+                hot.push((op.to_string(), counter, histogram));
+            }
+        }
         if let Some(code) = error {
             self.registry
                 .counter("habit_errors_total", &[("code", code.as_str()), ("op", op)])
@@ -165,6 +210,74 @@ impl ServiceMetrics {
     /// The paired decrement of [`Self::connection_opened`].
     pub fn connection_closed(&self) {
         self.registry.gauge("habit_connections_open", &[]).add(-1);
+    }
+
+    /// Sets the admission-queue depth gauge: gaps currently waiting for
+    /// a coalesced flush.
+    pub fn set_admission_queue_depth(&self, depth: usize) {
+        self.registry
+            .gauge("habit_admission_queue_depth", &[])
+            .set(depth as i64);
+    }
+
+    /// Records one coalesced flush: how many connection submissions it
+    /// answered and how many gaps the shared engine batch carried.
+    pub fn observe_admission_flush(&self, submissions: usize, gaps: usize) {
+        self.registry
+            .counter("habit_admission_flushes_total", &[])
+            .inc();
+        self.registry
+            .counter("habit_admission_submissions_total", &[])
+            .add(submissions as u64);
+        self.registry
+            .histogram("habit_admission_batch_size", &[], &ADMISSION_BATCH_BUCKETS)
+            .observe(gaps as u64);
+    }
+
+    /// Counts one submission rejected with `overloaded` (queue full).
+    pub fn observe_admission_reject(&self) {
+        self.registry
+            .counter("habit_admission_rejects_total", &[])
+            .inc();
+    }
+
+    /// Per-op p50/p95/p99 request latency, derived deterministically
+    /// from the `habit_request_latency_us` fixed-bucket histograms (the
+    /// same estimates the snapshot's `quantile` rows carry), in op
+    /// order. Ops with no observations yet do not appear.
+    pub fn latency_slos(&self) -> Vec<OpLatency> {
+        let snap = self.registry.snapshot();
+        let mut by_op: BTreeMap<String, OpLatency> = BTreeMap::new();
+        for sample in &snap.samples {
+            if sample.name != "habit_request_latency_us" {
+                continue;
+            }
+            let mut op = None;
+            let mut quantile = None;
+            for (k, v) in &sample.labels {
+                match k.as_str() {
+                    "op" => op = Some(v.clone()),
+                    "quantile" => quantile = Some(v.as_str()),
+                    _ => {}
+                }
+            }
+            let (Some(op), Some(quantile)) = (op, quantile) else {
+                continue;
+            };
+            let entry = by_op.entry(op.clone()).or_insert_with(|| OpLatency {
+                op,
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+            });
+            match quantile {
+                "0.5" => entry.p50_us = sample.value,
+                "0.95" => entry.p95_us = sample.value,
+                "0.99" => entry.p99_us = sample.value,
+                _ => {}
+            }
+        }
+        by_op.into_values().collect()
     }
 
     /// The snapshot every exposition path serves, in the registry's
@@ -253,6 +366,42 @@ mod tests {
         m.set_shards_loaded(0);
         let text = habit_obs::text::render(&m.snapshot());
         assert!(text.contains("habit_shards_loaded 0\n"), "{text}");
+    }
+
+    #[test]
+    fn admission_counters_and_slos_render() {
+        let m = ServiceMetrics::new();
+        m.set_admission_queue_depth(5);
+        m.observe_admission_flush(3, 7);
+        m.observe_admission_flush(1, 1);
+        m.observe_admission_reject();
+        let text = habit_obs::text::render(&m.snapshot());
+        assert!(text.contains("habit_admission_queue_depth 5\n"), "{text}");
+        assert!(text.contains("habit_admission_flushes_total 2\n"));
+        assert!(text.contains("habit_admission_submissions_total 4\n"));
+        assert!(text.contains("habit_admission_rejects_total 1\n"));
+        assert!(text.contains("habit_admission_batch_size_count 2\n"));
+
+        // SLOs derive from the per-op latency histograms: one op with
+        // known observations lands its quantiles inside the right
+        // buckets; an op never observed does not appear.
+        m.observe_request("impute", None, 120);
+        m.observe_request("impute", None, 180);
+        m.observe_request("impute", None, 9_000);
+        m.observe_request("health", None, 40);
+        let slos = m.latency_slos();
+        assert_eq!(slos.len(), 2, "{slos:?}");
+        assert_eq!(slos[0].op, "health");
+        assert_eq!(slos[1].op, "impute");
+        assert!(slos[0].p50_us <= 50.0, "{slos:?}");
+        assert!(
+            slos[1].p50_us > 100.0 && slos[1].p50_us <= 250.0,
+            "{slos:?}"
+        );
+        assert!(
+            slos[1].p99_us > 5_000.0 && slos[1].p99_us <= 10_000.0,
+            "{slos:?}"
+        );
     }
 
     #[test]

@@ -11,6 +11,35 @@ use habit_core::{HabitConfig, Imputation, PointProvenance};
 use habit_engine::{BatchFailure, BatchStats};
 use habit_obs::Snapshot;
 
+/// Per-op latency SLO estimates, derived from the service's
+/// fixed-bucket `habit_request_latency_us` histograms (deterministic
+/// for a given observation multiset — see `habit_obs::Histogram`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpLatency {
+    /// The wire operation the quantiles describe.
+    pub op: String,
+    /// Median request latency estimate, µs ticks.
+    pub p50_us: f64,
+    /// 95th-percentile request latency estimate, µs ticks.
+    pub p95_us: f64,
+    /// 99th-percentile request latency estimate, µs ticks.
+    pub p99_us: f64,
+}
+
+/// Admission-layer vitals, present in [`HealthInfo`] only when the
+/// daemon coalesces impute traffic (`habit serve` without
+/// `--no-coalesce`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionInfo {
+    /// Gaps currently waiting in the cross-connection queue.
+    pub queue_depth: u64,
+    /// Queue capacity in gaps; submissions past it are rejected with
+    /// `overloaded`.
+    pub queue_capacity: u64,
+    /// Per-op p50/p95/p99 request latency, ops in lexicographic order.
+    pub latency: Vec<OpLatency>,
+}
+
 /// Liveness payload: what is this process serving right now?
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthInfo {
@@ -37,6 +66,9 @@ pub struct HealthInfo {
     /// FNV-1a 64 of the serving fleet's canonical manifest bytes, as a
     /// hex string (`None` for single-blob serving).
     pub manifest_hash: Option<String>,
+    /// Admission-layer vitals (`None` when the daemon is not
+    /// coalescing — the field then stays off the wire entirely).
+    pub admission: Option<AdmissionInfo>,
 }
 
 /// Embedded fit-state vitals of a refittable (v2) model.

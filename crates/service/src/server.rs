@@ -29,11 +29,21 @@
 //! is closed after [`ServeOptions::idle_timeout`] (freeing its worker —
 //! a queued request, including `shutdown`, therefore waits at most one
 //! idle timeout even if every worker was held by an idle peer), and a
-//! line that grows past [`MAX_LINE_BYTES`] without a newline gets a
-//! `bad_request` reply and the connection is dropped instead of growing
-//! daemon memory without limit. Transient `accept` errors (interrupts,
-//! aborted handshakes, fd exhaustion) are logged and retried — one bad
-//! accept never kills the daemon.
+//! line that grows past [`ServeOptions::max_line_bytes`] (default
+//! [`MAX_LINE_BYTES`], tune with `--max-line-bytes`) without a newline
+//! gets a `bad_request` reply and the connection is dropped instead of
+//! growing daemon memory without limit — such rejections count under
+//! the dedicated `op="oversized_line"` metrics label. Transient
+//! `accept` errors (interrupts, aborted handshakes, fd exhaustion) are
+//! logged and retried — one bad accept never kills the daemon.
+//!
+//! When the service's admission layer is on (`habit serve` without
+//! `--no-coalesce`), shutdown drains it last: the accept loop exits,
+//! connection workers finish their in-flight requests (queued
+//! admissions are still being answered by the flusher while they wait),
+//! and only then is the admission queue closed, flushed one final time,
+//! and its flusher joined — a request racing shutdown is answered, not
+//! dropped.
 
 use crate::error::ServiceError;
 use crate::metrics::ServiceMetrics;
@@ -59,6 +69,10 @@ pub struct ServeOptions {
     /// Connections that deliver no bytes for this long are closed,
     /// freeing their pool worker for queued connections.
     pub idle_timeout: Duration,
+    /// Hard cap on one buffered request line (bytes without a newline);
+    /// beyond it the client gets a `bad_request` and the connection
+    /// closes. Defaults to [`MAX_LINE_BYTES`].
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -67,6 +81,7 @@ impl Default for ServeOptions {
             connection_threads: 4,
             watch_stdin: false,
             idle_timeout: Duration::from_secs(60),
+            max_line_bytes: MAX_LINE_BYTES,
         }
     }
 }
@@ -74,9 +89,16 @@ impl Default for ServeOptions {
 /// Poll interval of the accept loop and connection readers.
 const POLL: Duration = Duration::from_millis(25);
 
-/// Hard cap on one request line (buffered bytes without a newline);
+/// Default cap on one request line (buffered bytes without a newline);
 /// beyond it the client gets a `bad_request` and the connection closes.
+/// Override per daemon with [`ServeOptions::max_line_bytes`].
 pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Metrics label for requests rejected because their line outgrew
+/// [`ServeOptions::max_line_bytes`] — kept distinct from `op="unknown"`
+/// (malformed-but-bounded lines) so operators can tell flood abuse from
+/// junk traffic.
+pub const OVERSIZED_LINE_OP: &str = "oversized_line";
 
 /// Runs the accept loop on `listener` until shutdown is requested,
 /// then drains in-flight connections and returns the number of
@@ -119,7 +141,6 @@ pub fn serve_with_metrics(
     }
 
     let pool = ThreadPool::new(options.connection_threads);
-    let idle_timeout = options.idle_timeout;
     let mut served = 0usize;
     while !service.shutdown_requested() {
         if let Some(ml) = &metrics_listener {
@@ -134,7 +155,7 @@ pub fn serve_with_metrics(
                     // request must cost that connection, not a pool
                     // worker (and eventually the whole daemon).
                     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        handle_connection(stream, &svc, idle_timeout)
+                        handle_connection(stream, &svc, options)
                     }));
                     if caught.is_err() {
                         eprintln!("habit serve: connection handler panicked (connection dropped)");
@@ -153,6 +174,10 @@ pub fn serve_with_metrics(
         }
     }
     drop(pool); // joins workers: queued + in-flight connections drain
+                // The workers are gone, so no new admissions can arrive: close the
+                // coalescing queue, answer what is still in it, join the flusher.
+                // No-op when admission was never enabled.
+    service.shutdown_admission();
     Ok(served)
 }
 
@@ -162,25 +187,27 @@ pub fn serve_with_metrics(
 ///
 /// Every request line — including lines that never parse — feeds the
 /// service's metrics (`parse` / `render` spans, the connection gauge,
-/// and for malformed lines an `op="unknown"` error observation), so a
-/// failed request is never invisible to the counters.
-fn handle_connection(stream: TcpStream, service: &Service, idle_timeout: Duration) {
+/// for malformed lines an `op="unknown"` error observation, and for
+/// over-long lines an [`OVERSIZED_LINE_OP`] one), so a failed request
+/// is never invisible to the counters.
+fn handle_connection(stream: TcpStream, service: &Service, options: ServeOptions) {
     let metrics = service.metrics();
     metrics.connection_opened();
-    handle_connection_inner(stream, service, idle_timeout, metrics);
+    handle_connection_inner(stream, service, options, metrics);
     metrics.connection_closed();
 }
 
 fn handle_connection_inner(
     stream: TcpStream,
     service: &Service,
-    idle_timeout: Duration,
+    options: ServeOptions,
     metrics: &ServiceMetrics,
 ) {
+    let idle_timeout = options.idle_timeout;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
     let recorder = metrics.recorder();
-    let mut reader = LineReader::new(&stream);
+    let mut reader = LineReader::new(&stream, options.max_line_bytes);
     let mut out = &stream;
     let mut last_activity = std::time::Instant::now();
     loop {
@@ -204,9 +231,10 @@ fn handle_connection_inner(
             }
             Err(Wait::Oversized) => {
                 let err = ServiceError::bad_request(format!(
-                    "request line exceeds {MAX_LINE_BYTES} bytes"
+                    "request line exceeds {} bytes",
+                    options.max_line_bytes
                 ));
-                metrics.observe_request("unknown", Some(err.code), 0);
+                metrics.observe_request(OVERSIZED_LINE_OP, Some(err.code), 0);
                 let mut reply = wire::encode_response(&Err(err));
                 reply.push('\n');
                 let _ = out.write_all(reply.as_bytes()).and_then(|_| out.flush());
@@ -325,7 +353,7 @@ fn handle_metrics_connection(stream: TcpStream, metrics: &ServiceMetrics) {
 enum Wait {
     /// Read timed out — poll the shutdown flag and come back.
     Retry,
-    /// The buffered line exceeds [`MAX_LINE_BYTES`]; drop the peer.
+    /// The buffered line exceeds the reader's byte cap; drop the peer.
     Oversized,
     /// The connection failed; stop serving it.
     Closed,
@@ -341,15 +369,18 @@ struct LineReader<'s> {
     /// examined once across reads, keeping long lines O(n) instead of
     /// re-scanning the whole buffer after every 4 KiB read.
     scanned: usize,
+    /// Byte cap on one buffered line ([`ServeOptions::max_line_bytes`]).
+    max_line_bytes: usize,
     chunk: [u8; 4096],
 }
 
 impl<'s> LineReader<'s> {
-    fn new(stream: &'s TcpStream) -> Self {
+    fn new(stream: &'s TcpStream, max_line_bytes: usize) -> Self {
         Self {
             stream,
             pending: Vec::new(),
             scanned: 0,
+            max_line_bytes,
             chunk: [0; 4096],
         }
     }
@@ -376,7 +407,7 @@ impl<'s> LineReader<'s> {
                 return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
             }
             self.scanned = self.pending.len();
-            if self.pending.len() > MAX_LINE_BYTES {
+            if self.pending.len() > self.max_line_bytes {
                 return Err(Wait::Oversized);
             }
             match self.stream.read(&mut self.chunk) {
@@ -607,8 +638,8 @@ mod tests {
                 listener,
                 ServeOptions {
                     connection_threads: 1,
-                    watch_stdin: false,
                     idle_timeout: Duration::from_millis(200),
+                    ..ServeOptions::default()
                 },
             )
         });
@@ -713,6 +744,172 @@ mod tests {
 
         service.request_shutdown();
         server.join().expect("server thread").expect("serve ok");
+    }
+
+    /// A tuned `--max-line-bytes` cap takes effect and its rejections
+    /// are counted under the dedicated `oversized_line` label, not
+    /// lumped into `op="unknown"` with malformed traffic.
+    #[test]
+    fn tuned_line_cap_rejects_under_a_distinct_label() {
+        let service = Arc::new(Service::with_model(
+            ServiceConfig {
+                threads: 1,
+                cache_capacity: 4,
+            },
+            lane_model(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc = Arc::clone(&service);
+        let server = std::thread::spawn(move || {
+            serve(
+                &svc,
+                listener,
+                ServeOptions {
+                    max_line_bytes: 1024,
+                    ..ServeOptions::default()
+                },
+            )
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let _ = (&stream).write_all(&vec![b'x'; 4096]);
+        let _ = (&stream).flush();
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) => {}
+            Ok(_) => {
+                let err = wire::decode_response(&reply).unwrap().unwrap_err();
+                assert_eq!(err.code, crate::ErrorCode::BadRequest);
+                assert!(err.message.contains("exceeds 1024 bytes"), "{err}");
+            }
+            Err(e) => assert!(
+                matches!(e.kind(), ErrorKind::ConnectionReset | ErrorKind::BrokenPipe),
+                "unexpected read error: {e}"
+            ),
+        }
+        drop(stream);
+
+        // The rejection is attributed to its own op label.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let text = habit_obs::text::render(&service.metrics().snapshot());
+            if text.contains("habit_requests_total{op=\"oversized_line\"} 1\n") {
+                assert!(
+                    text.contains(
+                        "habit_errors_total{code=\"bad_request\",op=\"oversized_line\"} 1\n"
+                    ),
+                    "{text}"
+                );
+                assert!(!text.contains("op=\"unknown\""), "{text}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "oversized rejection never hit the counters: {text}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        service.request_shutdown();
+        server.join().expect("server thread").expect("serve ok");
+    }
+
+    /// A request racing shutdown through the admission queue is
+    /// answered before the daemon exits: the serve loop drains the
+    /// connection workers first and closes the coalescing queue last.
+    #[test]
+    fn shutdown_answers_admissions_queued_behind_the_window() {
+        let service = Arc::new(Service::with_model(
+            ServiceConfig {
+                threads: 2,
+                cache_capacity: 16,
+            },
+            lane_model(),
+        ));
+        // A very long batch window parks every admission until the
+        // shutdown drain — the only way the racer gets its answer.
+        service.enable_admission(crate::AdmissionConfig {
+            batch_window_us: 30_000_000,
+            batch_max_gaps: 128,
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc = Arc::clone(&service);
+        let server = std::thread::spawn(move || {
+            serve(
+                &svc,
+                listener,
+                ServeOptions {
+                    connection_threads: 2,
+                    ..ServeOptions::default()
+                },
+            )
+            .expect("serve")
+        });
+
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        let racer = TcpStream::connect(addr).unwrap();
+        racer
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut racer_reader = BufReader::new(racer.try_clone().unwrap());
+        {
+            let mut s = &racer;
+            s.write_all(
+                wire::encode_request(&Request::Impute {
+                    gap,
+                    provenance: false,
+                })
+                .as_bytes(),
+            )
+            .unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+        }
+        // Wait until the impute is actually parked in the queue, then
+        // race a shutdown against it from a second connection.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while service.handle(&Request::Health).map_or(true, |r| {
+            !matches!(&r, Response::Health(h)
+                if h.admission.as_ref().is_some_and(|a| a.queue_depth > 0))
+        }) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "impute never reached the admission queue"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stopper = TcpStream::connect(addr).unwrap();
+        let mut stop_reader = BufReader::new(stopper.try_clone().unwrap());
+        {
+            let mut s = &stopper;
+            s.write_all(wire::encode_request(&Request::Shutdown).as_bytes())
+                .unwrap();
+            s.write_all(b"\n").unwrap();
+            s.flush().unwrap();
+        }
+        let mut reply = String::new();
+        stop_reader.read_line(&mut reply).unwrap();
+        assert!(matches!(
+            wire::decode_response(&reply).unwrap(),
+            Ok(Response::ShuttingDown)
+        ));
+
+        // The queued impute is answered — identically to the direct
+        // model path — and only then does serve() return.
+        let mut reply = String::new();
+        racer_reader.read_line(&mut reply).expect("racer answered");
+        let Ok(Response::Imputation(answered)) = wire::decode_response(&reply).unwrap() else {
+            panic!("queued impute must be answered on shutdown: {reply}");
+        };
+        let direct = service.model().unwrap().impute(&gap).unwrap();
+        assert_eq!(answered.points, direct.points);
+        server.join().expect("server thread");
     }
 
     /// A request split across many tiny writes still parses — the line

@@ -6,17 +6,19 @@
 //! request line, and tests call it directly — so an imputation answered
 //! over a socket is byte-for-byte the imputation the CLI prints.
 
+use crate::admission::{AdmissionConfig, AdmissionQueue, Admitted, FlushAnswer, Submission};
 use crate::error::{ErrorCode, ServiceError};
 use crate::metrics::ServiceMetrics;
 use crate::request::{FitSpec, RefitSpec, Request};
 use crate::response::{
-    BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, RefitSummary, RepairOutcome,
-    RepairedGap, Response,
+    AdmissionInfo, BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, RefitSummary,
+    RepairOutcome, RepairedGap, Response,
 };
 use ais::{segment_all, segment_all_from, trips_to_table, TripConfig};
 use habit_core::{GapQuery, HabitConfig, HabitModel};
 use habit_engine::{
-    accumulate_per_shard, fit_sharded_traced, refit_model_traced, BatchImputer, ThreadPool,
+    accumulate_per_shard, fit_sharded_traced, refit_model_traced, BatchImputer, BatchStats,
+    ThreadPool,
 };
 use habit_fleet::{fit_fleet, load_fleet, shard_blob_name, FleetError, FleetRouter, MANIFEST_FILE};
 use std::path::{Path, PathBuf};
@@ -117,8 +119,19 @@ pub struct Service {
     /// silently vanish (and both would mint colliding trip-id ranges).
     /// Read-only traffic never takes this lock.
     mutate: std::sync::Mutex<()>,
+    /// The admission/coalescing layer, opt-in (`None` keeps the direct
+    /// per-request engine path; the daemon enables it unless started
+    /// with `--no-coalesce`). Behind its own lock so enabling never
+    /// contends with serving traffic.
+    admission: RwLock<Option<AdmissionState>>,
     stopping: AtomicBool,
     metrics: Arc<ServiceMetrics>,
+}
+
+/// The enabled admission layer: the queue plus its flusher thread.
+struct AdmissionState {
+    queue: Arc<AdmissionQueue>,
+    flusher: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Service {
@@ -131,6 +144,7 @@ impl Service {
             state: RwLock::new(None),
             fleet: RwLock::new(None),
             mutate: std::sync::Mutex::new(()),
+            admission: RwLock::new(None),
             stopping: AtomicBool::new(false),
             metrics: Arc::new(ServiceMetrics::new()),
         }
@@ -241,6 +255,222 @@ impl Service {
         self.stopping.store(true, Ordering::SeqCst);
     }
 
+    /// Turns on cross-connection admission batching: in-flight
+    /// `Impute`/`ImputeBatch` gaps queue into one bounded
+    /// [`AdmissionQueue`] and a flusher thread answers them in shared
+    /// coalesced engine batches. Answers stay byte-identical to the
+    /// direct path; a full queue rejects with the typed `overloaded`
+    /// code instead of blocking.
+    ///
+    /// The flusher holds an `Arc` of the service — call
+    /// [`Service::shutdown_admission`] to drain the queue and join it
+    /// (the daemon does so after its connection workers exit).
+    pub fn enable_admission(self: &Arc<Self>, config: AdmissionConfig) {
+        let queue = AdmissionQueue::new(config);
+        let service = Arc::clone(self);
+        let flusher_queue = Arc::clone(&queue);
+        let flusher = std::thread::Builder::new()
+            .name("habit-admission".into())
+            .spawn(move || {
+                while let Some(batch) = flusher_queue.next_flush() {
+                    service.flush_admitted(batch);
+                    service
+                        .metrics
+                        .set_admission_queue_depth(flusher_queue.depth());
+                }
+            })
+            .expect("spawn admission flusher");
+        let mut admission = self.admission.write().expect("admission lock");
+        *admission = Some(AdmissionState {
+            queue,
+            flusher: Some(flusher),
+        });
+        drop(admission);
+        self.metrics.set_admission_queue_depth(0);
+    }
+
+    /// Drains and stops the admission layer: closes the queue (late
+    /// submitters fall back to the direct path), lets the flusher
+    /// answer everything still queued, and joins it. Idempotent; a
+    /// no-op when admission was never enabled.
+    pub fn shutdown_admission(&self) {
+        let Some(mut state) = self.admission.write().expect("admission lock").take() else {
+            return;
+        };
+        state.queue.close();
+        if let Some(flusher) = state.flusher.take() {
+            flusher.join().ok();
+        }
+        self.metrics.set_admission_queue_depth(0);
+    }
+
+    /// Submits `gaps` to the admission queue when coalescing is on.
+    /// `Ok(None)` means "run the direct path" (admission disabled, the
+    /// queue is draining, or the submission is empty); `Err` carries
+    /// either the typed `overloaded` rejection or the flushed
+    /// submission's own failure.
+    ///
+    /// `single_gap` runs the direct `Impute` path's pre-flight (an
+    /// empty single-blob model refuses with `empty_model` before
+    /// snapping), so queueing cannot change which error a request gets.
+    fn submit_coalesced(
+        &self,
+        gaps: &[GapQuery],
+        provenance: bool,
+        single_gap: bool,
+    ) -> Result<Option<FlushAnswer>, ServiceError> {
+        if gaps.is_empty() {
+            return Ok(None);
+        }
+        let queue = {
+            let admission = self.admission.read().expect("admission lock");
+            match admission.as_ref() {
+                Some(state) => Arc::clone(&state.queue),
+                None => return Ok(None),
+            }
+        };
+        if single_gap {
+            let fleet = self.fleet.read().expect("fleet lock");
+            let single_blob = fleet.is_none();
+            drop(fleet);
+            if single_blob {
+                let state = self.state.read().expect("state lock");
+                if let Some(loaded) = state.as_ref() {
+                    if loaded.model.node_count() == 0 {
+                        return Err(habit_core::HabitError::EmptyModel.into());
+                    }
+                }
+                // No model at all: the flush mints the same `no_model`
+                // error the direct path would.
+            }
+        }
+        let slot = match queue.submit(gaps.to_vec(), provenance) {
+            Ok(Admitted::Queued(slot)) => slot,
+            Ok(Admitted::Bypass) => return Ok(None),
+            Err(e) => {
+                self.metrics.observe_admission_reject();
+                return Err(e);
+            }
+        };
+        self.metrics.set_admission_queue_depth(queue.depth());
+        slot.wait().map(Some)
+    }
+
+    /// The flusher's unit of work: answer one drained batch of
+    /// submissions in at most two shared engine passes (provenance and
+    /// plain submissions cannot share a pass — the flag is
+    /// batch-global).
+    fn flush_admitted(&self, submissions: Vec<Submission>) {
+        let gaps: usize = submissions.iter().map(|s| s.gaps.len()).sum();
+        self.metrics
+            .observe_admission_flush(submissions.len(), gaps);
+        let (plain, with_provenance): (Vec<Submission>, Vec<Submission>) =
+            submissions.into_iter().partition(|s| !s.provenance);
+        for group in [plain, with_provenance] {
+            if !group.is_empty() {
+                self.flush_group(group);
+            }
+        }
+    }
+
+    /// Answers one same-provenance group of submissions from a single
+    /// coalesced engine pass, delivering every slot exactly once — on
+    /// success each submission's scattered slice, on failure (no model,
+    /// or a panic in the engine) the same typed error to all of them.
+    fn flush_group(&self, group: Vec<Submission>) {
+        let provenance = group[0].provenance;
+        let slices: Vec<&[GapQuery]> = group.iter().map(|s| s.gaps.as_slice()).collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_coalesced(&slices, provenance)
+        }))
+        .unwrap_or_else(|_| Err(ServiceError::internal("coalesced flush panicked")));
+        match outcome {
+            Ok(answers) => {
+                debug_assert_eq!(answers.len(), group.len());
+                for (submission, answer) in group.iter().zip(answers) {
+                    submission.slot.complete(Ok(answer));
+                }
+            }
+            Err(e) => {
+                for submission in &group {
+                    submission.slot.complete(Err(e.clone()));
+                }
+            }
+        }
+    }
+
+    /// One shared engine pass over every submission's gaps — the
+    /// coalescing tentpole. Sharded serving flattens through the fleet
+    /// router (which sub-batches per shard), single-blob serving
+    /// through [`BatchImputer::impute_submissions`]; either way one
+    /// dedup + cache pass covers all connections, and results scatter
+    /// back by submission ranges.
+    fn run_coalesced(
+        &self,
+        slices: &[&[GapQuery]],
+        provenance: bool,
+    ) -> Result<Vec<FlushAnswer>, ServiceError> {
+        {
+            let fleet = self.fleet.read().expect("fleet lock");
+            if let Some(f) = fleet.as_ref() {
+                let flat: Vec<GapQuery> = slices.iter().flat_map(|g| g.iter().copied()).collect();
+                let (results, stats, fleet_stats) = f.router.impute_batch(
+                    &flat,
+                    &self.pool,
+                    provenance,
+                    Some(self.metrics.recorder()),
+                    "coalesced",
+                );
+                self.metrics.observe_batch(&stats);
+                self.metrics.observe_fleet(&fleet_stats);
+                let cached_routes = f.router.cached_routes();
+                let mut remaining = results.into_iter();
+                return Ok(slices
+                    .iter()
+                    .map(|group| {
+                        let part: Vec<_> = remaining.by_ref().take(group.len()).collect();
+                        let ok = part.iter().filter(|r| r.is_ok()).count();
+                        FlushAnswer {
+                            stats: BatchStats {
+                                queries: group.len(),
+                                ok,
+                                failed: group.len() - ok,
+                                unique_routes: stats.unique_routes,
+                                cache_hits: stats.cache_hits,
+                                routes_computed: stats.routes_computed,
+                            },
+                            results: part,
+                            cached_routes,
+                        }
+                    })
+                    .collect());
+            }
+        }
+        self.with_loaded(|loaded| {
+            let answered = loaded.imputer.impute_submissions(
+                slices,
+                &self.pool,
+                provenance,
+                Some(self.metrics.recorder()),
+                "coalesced",
+            );
+            // The route-level counters are the shared pass's — observe
+            // them once, not once per submission.
+            if let Some((_, shared)) = answered.first() {
+                self.metrics.observe_batch(shared);
+            }
+            let cached_routes = loaded.imputer.cached_routes();
+            Ok(answered
+                .into_iter()
+                .map(|(results, stats)| FlushAnswer {
+                    results,
+                    stats,
+                    cached_routes,
+                })
+                .collect())
+        })
+    }
+
     /// Executes one request. Every failure is a [`ServiceError`] with a
     /// stable code; per-gap failures inside a batch are data in the
     /// [`BatchOutcome`], not request failures.
@@ -299,6 +529,16 @@ impl Service {
             manifest_hash = Some(format!("{:#018x}", f.router.manifest_hash()));
         }
         let (route_cache_hits, route_cache_misses) = self.metrics.route_cache_counts();
+        let admission = self
+            .admission
+            .read()
+            .expect("admission lock")
+            .as_ref()
+            .map(|a| AdmissionInfo {
+                queue_depth: a.queue.depth() as u64,
+                queue_capacity: a.queue.capacity() as u64,
+                latency: self.metrics.latency_slos(),
+            });
         HealthInfo {
             version: env!("CARGO_PKG_VERSION").to_string(),
             threads: self.pool.threads(),
@@ -311,6 +551,7 @@ impl Service {
             route_cache_misses,
             shards,
             manifest_hash,
+            admission,
         }
     }
 
@@ -397,6 +638,13 @@ impl Service {
                 gap.end.t, gap.start.t
             )));
         }
+        if let Some(answer) = self.submit_coalesced(std::slice::from_ref(gap), provenance, true)? {
+            let mut results = answer.results;
+            return match results.pop().expect("one result per query") {
+                Ok(imputation) => Ok(Response::Imputation(imputation)),
+                Err(failure) => Err(failure.into()),
+            };
+        }
         {
             let fleet = self.fleet.read().expect("fleet lock");
             if let Some(f) = fleet.as_ref() {
@@ -440,6 +688,15 @@ impl Service {
     }
 
     fn impute_batch(&self, gaps: &[GapQuery], provenance: bool) -> Result<Response, ServiceError> {
+        let t0 = Instant::now();
+        if let Some(answer) = self.submit_coalesced(gaps, provenance, false)? {
+            return Ok(Response::Batch(BatchOutcome {
+                results: answer.results,
+                stats: answer.stats,
+                cached_routes: answer.cached_routes,
+                wall_s: t0.elapsed().as_secs_f64(),
+            }));
+        }
         {
             let fleet = self.fleet.read().expect("fleet lock");
             if let Some(f) = fleet.as_ref() {
@@ -1696,5 +1953,178 @@ mod tests {
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&blob).ok();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Coalesced answers must be byte-identical to the direct path:
+    /// same imputed points (bitwise), same per-submission stats, same
+    /// typed errors.
+    #[test]
+    fn coalesced_answers_match_the_direct_path_byte_for_byte() {
+        let direct = small_service();
+        let coalesced = Arc::new(small_service());
+        coalesced.enable_admission(AdmissionConfig::default());
+
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        let Response::Imputation(base) = direct
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("direct impute");
+        };
+        let Response::Imputation(via_queue) = coalesced
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("coalesced impute");
+        };
+        assert_eq!(base.points, via_queue.points);
+        assert_eq!(base.cells, via_queue.cells);
+        assert_eq!(base.cost.to_bits(), via_queue.cost.to_bits());
+
+        let gaps = vec![
+            gap,
+            GapQuery::new(10.1, 56.0, 600, 10.35, 56.0, 4_000),
+            gap, // duplicate: dedup must not disturb scatter order
+        ];
+        let Response::Batch(base) = direct
+            .handle(&Request::ImputeBatch {
+                gaps: gaps.clone(),
+                provenance: true,
+            })
+            .unwrap()
+        else {
+            panic!("direct batch");
+        };
+        let Response::Batch(via_queue) = coalesced
+            .handle(&Request::ImputeBatch {
+                gaps,
+                provenance: true,
+            })
+            .unwrap()
+        else {
+            panic!("coalesced batch");
+        };
+        assert_eq!(base.stats, via_queue.stats);
+        assert_eq!(base.results.len(), via_queue.results.len());
+        for (a, b) in base.results.iter().zip(&via_queue.results) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.points, y.points);
+                    assert_eq!(x.provenance, y.provenance);
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                other => panic!("result shape diverged: {other:?}"),
+            }
+        }
+
+        // Health now carries the admission vitals; the direct service's
+        // health does not.
+        let Response::Health(h) = coalesced.handle(&Request::Health).unwrap() else {
+            panic!("health");
+        };
+        let admission = h.admission.expect("admission vitals");
+        assert_eq!(admission.queue_capacity, 1024);
+        assert!(admission.latency.iter().any(|l| l.op == "impute"));
+        let Response::Health(h) = direct.handle(&Request::Health).unwrap() else {
+            panic!("health");
+        };
+        assert!(h.admission.is_none());
+
+        coalesced.shutdown_admission();
+    }
+
+    /// A submission larger than the queue's gap capacity is refused
+    /// with the typed `overloaded` code — admission control rejects,
+    /// it never blocks the connection.
+    #[test]
+    fn oversized_submissions_get_the_typed_overloaded_error() {
+        let svc = Arc::new(small_service());
+        svc.enable_admission(AdmissionConfig {
+            batch_window_us: 1_000,
+            batch_max_gaps: 2, // capacity 16 gaps
+        });
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        let err = svc
+            .handle(&Request::ImputeBatch {
+                gaps: vec![gap; 17],
+                provenance: false,
+            })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Overloaded);
+        assert!(err.message.contains("admission queue full"), "{err}");
+
+        // Within capacity the same service answers normally.
+        let Response::Batch(out) = svc
+            .handle(&Request::ImputeBatch {
+                gaps: vec![gap; 16],
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("batch");
+        };
+        assert_eq!(out.stats.ok, 16);
+        svc.shutdown_admission();
+    }
+
+    /// Work queued behind a long flush window is still answered when
+    /// the admission layer shuts down: close → final drain → join.
+    #[test]
+    fn shutdown_drains_queued_admissions_before_stopping() {
+        let svc = Arc::new(small_service());
+        svc.enable_admission(AdmissionConfig {
+            batch_window_us: 30_000_000, // park the flusher in its window
+            batch_max_gaps: 128,
+        });
+        let gap = GapQuery::new(10.05, 56.0, 0, 10.4, 56.0, 3600);
+        let Response::Imputation(base) = small_service()
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("direct impute");
+        };
+
+        let racer = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.handle(&Request::Impute {
+                    gap,
+                    provenance: false,
+                })
+            })
+        };
+        // Let the racer reach the queue, then shut down around it.
+        while svc.handle(&Request::Health).map_or(true, |r| {
+            !matches!(&r, Response::Health(h)
+                if h.admission.as_ref().is_some_and(|a| a.queue_depth > 0))
+        }) {
+            std::thread::yield_now();
+        }
+        svc.shutdown_admission();
+        let Ok(Response::Imputation(answered)) = racer.join().unwrap() else {
+            panic!("queued request must be answered on shutdown");
+        };
+        assert_eq!(answered.points, base.points);
+
+        // After the drain, requests fall back to the direct path.
+        let Response::Imputation(after) = svc
+            .handle(&Request::Impute {
+                gap,
+                provenance: false,
+            })
+            .unwrap()
+        else {
+            panic!("post-shutdown impute");
+        };
+        assert_eq!(after.points, base.points);
     }
 }

@@ -36,8 +36,8 @@ use crate::request::{
     parse_projection, projection_token, FitSpec, RefitSpec, Request, PROTOCOL_VERSION,
 };
 use crate::response::{
-    BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, RefitSummary, RepairOutcome,
-    RepairedGap, Response,
+    AdmissionInfo, BatchOutcome, FitStateInfo, FitSummary, HealthInfo, ModelReport, OpLatency,
+    RefitSummary, RepairOutcome, RepairedGap, Response,
 };
 use eval::json::Json;
 use geo_kernel::TimedPoint;
@@ -639,6 +639,30 @@ fn opt_shards(v: &Json) -> Result<usize, ServiceError> {
     }
 }
 
+/// Admission-layer vitals on `health` payloads; absent means the daemon
+/// is not coalescing (pre-admission responses still decode).
+fn opt_admission(v: &Json) -> Result<Option<AdmissionInfo>, ServiceError> {
+    let a = match v.get("admission") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(a) => a,
+    };
+    Ok(Some(AdmissionInfo {
+        queue_depth: u64_field(a, "queue_depth")?,
+        queue_capacity: u64_field(a, "queue_capacity")?,
+        latency: arr_field(a, "latency")?
+            .iter()
+            .map(|l| {
+                Ok(OpLatency {
+                    op: str_field(l, "op")?.to_string(),
+                    p50_us: f64_field(l, "p50_us")?,
+                    p95_us: f64_field(l, "p95_us")?,
+                    p99_us: f64_field(l, "p99_us")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ServiceError>>()?,
+    }))
+}
+
 /// Fleet manifest hash (hex string) on `health`/`model_info` payloads;
 /// absent means single-blob serving.
 fn opt_manifest_hash(v: &Json) -> Result<Option<String>, ServiceError> {
@@ -677,6 +701,34 @@ fn response_data(response: &Response) -> Json {
             }
             if let Some(hash) = &h.manifest_hash {
                 fields.push(("manifest_hash".into(), Json::Str(hash.clone())));
+            }
+            // Likewise the admission object appears only when the
+            // daemon coalesces — a direct-path daemon's health bytes
+            // stay pre-admission identical.
+            if let Some(a) = &h.admission {
+                fields.push((
+                    "admission".into(),
+                    Json::Obj(vec![
+                        ("queue_depth".into(), Json::from(a.queue_depth)),
+                        ("queue_capacity".into(), Json::from(a.queue_capacity)),
+                        (
+                            "latency".into(),
+                            Json::Arr(
+                                a.latency
+                                    .iter()
+                                    .map(|l| {
+                                        Json::Obj(vec![
+                                            ("op".into(), Json::Str(l.op.clone())),
+                                            ("p50_us".into(), Json::Num(l.p50_us)),
+                                            ("p95_us".into(), Json::Num(l.p95_us)),
+                                            ("p99_us".into(), Json::Num(l.p99_us)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ));
             }
             Json::Obj(fields)
         }
@@ -909,6 +961,7 @@ pub fn decode_response(line: &str) -> Result<Result<Response, ServiceError>, Ser
             route_cache_misses: u64_field(data, "route_cache_misses")?,
             shards: opt_shards(data)?,
             manifest_hash: opt_manifest_hash(data)?,
+            admission: opt_admission(data)?,
         }),
         "metrics" => Response::Metrics(Snapshot {
             samples: arr_field(data, "samples")?
@@ -1208,6 +1261,7 @@ mod tests {
                 route_cache_misses: 3,
                 shards: 0,
                 manifest_hash: None,
+                admission: None,
             })),
             Ok(Response::Health(HealthInfo {
                 version: "0.1.0".into(),
@@ -1221,6 +1275,24 @@ mod tests {
                 route_cache_misses: 3,
                 shards: 4,
                 manifest_hash: Some("0xdeadbeefcafef00d".into()),
+                admission: Some(AdmissionInfo {
+                    queue_depth: 5,
+                    queue_capacity: 1024,
+                    latency: vec![
+                        OpLatency {
+                            op: "impute".into(),
+                            p50_us: 125.5,
+                            p95_us: 900.0,
+                            p99_us: 4200.25,
+                        },
+                        OpLatency {
+                            op: "impute_batch".into(),
+                            p50_us: 2048.0,
+                            p95_us: 8192.0,
+                            p99_us: 30000.0,
+                        },
+                    ],
+                }),
             })),
             Ok(Response::Imputation(imp.clone())),
             Ok(Response::Batch(BatchOutcome {
@@ -1352,9 +1424,11 @@ mod tests {
             route_cache_misses: 3,
             shards: 0,
             manifest_hash: None,
+            admission: None,
         })));
         assert!(!line.contains("shards"), "{line}");
         assert!(!line.contains("manifest_hash"), "{line}");
+        assert!(!line.contains("admission"), "{line}");
         let line = encode_response(&Ok(Response::Fitted(FitSummary {
             trips: 12,
             reports: 1800,
